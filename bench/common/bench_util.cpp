@@ -1,0 +1,153 @@
+#include "common/bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/verify.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::bench {
+
+namespace {
+
+[[noreturn]] void usage_and_exit(const char* program) {
+  std::printf(
+      "usage: %s [--scale=F] [--runs=N] [--csv] [--min-rgg=N] [--max-rgg=N] "
+      "[--seed=N]\n"
+      "  --scale=F    dataset size as a fraction of the paper's (default "
+      "0.03; 1.0 = full size)\n"
+      "  --runs=N     timed repetitions to average (default 3; paper used "
+      "10)\n"
+      "  --csv        machine-readable CSV output\n"
+      "  --min-rgg=N  smallest RGG scale for the Figure 3 sweep (default "
+      "12)\n"
+      "  --max-rgg=N  largest RGG scale for the Figure 3 sweep (default 17; "
+      "paper used 24)\n"
+      "  --seed=N     RNG seed (default 1)\n",
+      program);
+  std::exit(2);
+}
+
+bool parse_kv(const char* arg, const char* key, const char** value) {
+  const std::size_t len = std::strlen(key);
+  if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--csv") == 0) {
+      args.csv = true;
+    } else if (parse_kv(arg, "--scale", &value)) {
+      args.scale = std::atof(value);
+    } else if (parse_kv(arg, "--runs", &value)) {
+      args.runs = std::atoi(value);
+    } else if (parse_kv(arg, "--min-rgg", &value)) {
+      args.min_rgg_scale = std::atoi(value);
+    } else if (parse_kv(arg, "--max-rgg", &value)) {
+      args.max_rgg_scale = std::atoi(value);
+    } else if (parse_kv(arg, "--seed", &value)) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(value));
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (args.scale <= 0.0 || args.scale > 1.0 || args.runs < 1 ||
+      args.min_rgg_scale < 5 || args.max_rgg_scale > 24 ||
+      args.min_rgg_scale > args.max_rgg_scale) {
+    usage_and_exit(argv[0]);
+  }
+  return args;
+}
+
+Measurement run_averaged(const color::AlgorithmSpec& spec,
+                         const graph::Csr& csr, std::uint64_t seed,
+                         int runs) {
+  Measurement m;
+  m.valid = true;
+  double total = 0.0;
+  double best = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    color::Options options;
+    options.seed = seed;
+    sim::Stopwatch watch;
+    color::Coloring result = spec.run(csr, options);
+    const double ms = watch.elapsed_ms();
+    total += ms;
+    if (r == 0 || ms < best) best = ms;
+    if (!color::is_valid_coloring(csr, result.colors)) m.valid = false;
+    if (r + 1 == runs) m.result = std::move(result);
+  }
+  m.ms_avg = total / runs;
+  m.ms_min = best;
+  return m;
+}
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, bool csv)
+    : headers_(std::move(headers)), csv_(csv) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  if (csv_) {
+    auto print_csv_row = [](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        std::printf("%s%s", i ? "," : "", row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_csv_row(headers_);
+    for (const auto& row : rows_) print_csv_row(row);
+    return;
+  }
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      std::printf("%s%-*s", c ? "  " : "", static_cast<int>(widths[c]),
+                  row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace gcol::bench

@@ -1,0 +1,67 @@
+#pragma once
+// Shared harness utilities for the paper-reproduction benchmarks: argument
+// parsing, averaged timed runs with validation (the paper averages 10 runs;
+// we default to 3 for CI speed — override with --runs=10), aligned table
+// printing with optional CSV output, and the geometric mean the paper's
+// speedup summaries use.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::bench {
+
+struct Args {
+  /// Fraction of each paper dataset's vertex count to generate. The default
+  /// keeps the full suite in minutes on a small machine; --scale=1
+  /// regenerates full-size analogues.
+  double scale = 0.03;
+  int runs = 3;           ///< timed repetitions averaged per data point
+  bool csv = false;       ///< machine-readable output instead of tables
+  int min_rgg_scale = 12; ///< Figure 3 sweep lower bound (paper: 15)
+  int max_rgg_scale = 17; ///< Figure 3 sweep upper bound (paper: 24)
+  std::uint64_t seed = 1;
+};
+
+/// Parses --scale=0.1 --runs=10 --csv --min-rgg=15 --max-rgg=20 --seed=7.
+/// Prints usage and exits on --help or unknown arguments.
+[[nodiscard]] Args parse_args(int argc, char** argv);
+
+struct Measurement {
+  double ms_avg = 0.0;
+  double ms_min = 0.0;
+  color::Coloring result;  ///< from the last run
+  bool valid = false;      ///< every run verified
+};
+
+/// Runs `spec` on `csr` `runs` times, verifying each output, and returns the
+/// averaged wall time plus the final coloring.
+[[nodiscard]] Measurement run_averaged(const color::AlgorithmSpec& spec,
+                                       const graph::Csr& csr,
+                                       std::uint64_t seed, int runs);
+
+/// Geometric mean (the paper's summary statistic for speedups).
+[[nodiscard]] double geomean(std::span<const double> values);
+
+/// Aligned table printing; in CSV mode prints comma-separated instead.
+class TablePrinter {
+ public:
+  TablePrinter(std::vector<std::string> headers, bool csv);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  bool csv_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+}  // namespace gcol::bench

@@ -1,0 +1,138 @@
+// Chromatic scheduling of dynamic data-graph computations — the paper's
+// first motivation (§I, ref [1], Kaler et al.: "Executing dynamic data-graph
+// computations deterministically using chromatic scheduling").
+//
+// The workload: iterated local averaging over a mesh (a data-graph
+// computation where each vertex update reads its neighbors). Run naively in
+// parallel, updates race and the result depends on scheduling. Scheduled by
+// color class, updates within a class touch disjoint neighborhoods, so the
+// parallel execution is DETERMINISTIC and exactly equals a specific
+// sequential order — this example demonstrates both properties.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/gcol.hpp"
+#include "graph/generators/mesh.hpp"
+#include "sim/device.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace gcol;
+
+std::vector<double> initial_state(vid_t n) {
+  const sim::CounterRng rng(31);
+  std::vector<double> state(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    state[i] = rng.uniform_double(i);
+  }
+  return state;
+}
+
+/// Gauss-Seidel-style in-place local averaging of `rounds` full passes,
+/// visiting color classes in order and vertices inside a class in parallel.
+std::vector<double> run_chromatic(const graph::Csr& csr,
+                                  const std::vector<std::int32_t>& colors,
+                                  std::int32_t num_colors, int rounds,
+                                  sim::Device& device) {
+  std::vector<double> state = initial_state(csr.num_vertices);
+  // Bucket vertices by color.
+  std::vector<std::vector<vid_t>> classes(
+      static_cast<std::size_t>(num_colors) + 1);
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    classes[static_cast<std::size_t>(colors[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  for (int round = 0; round < rounds; ++round) {
+    for (const auto& color_class : classes) {
+      device.parallel_for(
+          static_cast<std::int64_t>(color_class.size()),
+          [&](std::int64_t k) {
+            const vid_t v = color_class[static_cast<std::size_t>(k)];
+            double acc = state[static_cast<std::size_t>(v)];
+            const auto adj = csr.neighbors(v);
+            for (const vid_t u : adj) {
+              acc += state[static_cast<std::size_t>(u)];
+            }
+            state[static_cast<std::size_t>(v)] =
+                acc / (1.0 + static_cast<double>(adj.size()));
+          });
+    }
+  }
+  return state;
+}
+
+/// The sequential order chromatic scheduling is equivalent to: classes in
+/// order, vertices within a class in any order (they don't interact).
+std::vector<double> run_sequential_reference(
+    const graph::Csr& csr, const std::vector<std::int32_t>& colors,
+    std::int32_t num_colors, int rounds) {
+  std::vector<double> state = initial_state(csr.num_vertices);
+  for (int round = 0; round < rounds; ++round) {
+    for (std::int32_t c = 0; c <= num_colors; ++c) {
+      for (vid_t v = 0; v < csr.num_vertices; ++v) {
+        if (colors[static_cast<std::size_t>(v)] != c) continue;
+        double acc = state[static_cast<std::size_t>(v)];
+        const auto adj = csr.neighbors(v);
+        for (const vid_t u : adj) {
+          acc += state[static_cast<std::size_t>(u)];
+        }
+        state[static_cast<std::size_t>(v)] =
+            acc / (1.0 + static_cast<double>(adj.size()));
+      }
+    }
+  }
+  return state;
+}
+
+double max_difference(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const graph::Csr csr = graph::build_csr(graph::generate_mesh2d(
+      120, 120, {.second_ring_probability = 0.2, .seed = 9}));
+  std::printf("data graph: %d vertices, %lld edges (jittered FEM mesh)\n",
+              csr.num_vertices,
+              static_cast<long long>(csr.num_undirected_edges()));
+
+  // Any proper coloring works; use the paper's best-quality one.
+  const color::Coloring coloring = color::grb_mis_color(csr);
+  if (!color::is_valid_coloring(csr, coloring.colors)) return 1;
+  std::printf("chromatic schedule: %d color classes\n\n",
+              coloring.num_colors);
+
+  constexpr int kRounds = 10;
+  const std::vector<double> reference = run_sequential_reference(
+      csr, coloring.colors, coloring.num_colors, kRounds);
+
+  // Determinism across device widths: 1, 2 and 4 workers must agree
+  // bit-for-bit with each other AND with the sequential order.
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    sim::Device device(workers);
+    const std::vector<double> state = run_chromatic(
+        csr, coloring.colors, coloring.num_colors, kRounds, device);
+    const double diff = max_difference(state, reference);
+    std::printf("workers=%u  max |parallel - sequential| = %.3e  %s\n",
+                workers, diff, diff == 0.0 ? "(bitwise identical)" : "");
+    if (diff != 0.0) {
+      std::printf("chromatic scheduling determinism violated!\n");
+      return 1;
+    }
+  }
+
+  std::printf("\nChromatic scheduling makes the parallel data-graph "
+              "computation deterministic: every worker count reproduces the "
+              "sequential reference exactly, because same-colored updates "
+              "never share an edge.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Exam timetable scheduling — the paper's §I motivation (ref [5], Leighton:
+// "A graph coloring algorithm for large scheduling problems").
+//
+// Build a conflict graph from synthetic enrollments: courses are vertices,
+// and two courses conflict (share an edge) when some student takes both.
+// Exams of same-colored courses can sit in one time slot, so the number of
+// colors IS the timetable length. This example compares how many slots each
+// coloring heuristic needs and prints the resulting timetable summary.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/gcol.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace gcol;
+
+/// Synthesizes enrollments with "major" structure: students mostly pick
+/// courses inside their major (dense local conflicts) plus a few electives
+/// (sparse global conflicts) — the shape real timetabling instances have.
+graph::Csr make_conflict_graph(vid_t num_courses, int num_students,
+                               int courses_per_student,
+                               std::uint64_t seed) {
+  const sim::CounterRng rng(seed);
+  const vid_t majors = 12;
+  const vid_t per_major = num_courses / majors;
+  graph::Coo conflicts;
+  conflicts.num_vertices = num_courses;
+  std::vector<vid_t> schedule(static_cast<std::size_t>(courses_per_student));
+  std::uint64_t counter = 0;
+  for (int s = 0; s < num_students; ++s) {
+    const auto major = static_cast<vid_t>(
+        rng.uniform_below(counter++, static_cast<std::uint64_t>(majors)));
+    for (int k = 0; k < courses_per_student; ++k) {
+      const bool elective = rng.uniform_double(counter++) < 0.2;
+      vid_t course;
+      if (elective) {
+        course = static_cast<vid_t>(rng.uniform_below(
+            counter++, static_cast<std::uint64_t>(num_courses)));
+      } else {
+        course = major * per_major +
+                 static_cast<vid_t>(rng.uniform_below(
+                     counter++, static_cast<std::uint64_t>(per_major)));
+      }
+      schedule[static_cast<std::size_t>(k)] = course;
+    }
+    // Every pair of this student's courses conflicts.
+    for (int a = 0; a < courses_per_student; ++a) {
+      for (int c = a + 1; c < courses_per_student; ++c) {
+        conflicts.add_edge(schedule[static_cast<std::size_t>(a)],
+                           schedule[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+  return graph::build_csr(conflicts);  // dedups the repeated conflicts
+}
+
+}  // namespace
+
+int main() {
+  constexpr vid_t kCourses = 600;
+  constexpr int kStudents = 4000;
+  constexpr int kCoursesPerStudent = 5;
+  const graph::Csr csr =
+      make_conflict_graph(kCourses, kStudents, kCoursesPerStudent, 2024);
+  const graph::DegreeStats stats = graph::degree_stats(csr);
+  std::printf("conflict graph: %d courses, %lld conflicting pairs, max "
+              "conflicts per course %d\n\n",
+              csr.num_vertices,
+              static_cast<long long>(csr.num_undirected_edges()),
+              stats.max_degree);
+
+  std::printf("%-34s %6s %10s %14s\n", "scheduler (coloring)", "slots",
+              "ms", "largest slot");
+  std::int32_t best_slots = csr.num_vertices;
+  std::string best_name;
+  std::vector<std::int32_t> best_colors;
+  for (const char* name :
+       {"cpu_greedy", "cpu_greedy_sl", "grb_mis", "gunrock_is",
+        "gunrock_hash", "naumov_jpl", "naumov_cc", "jp_ldf"}) {
+    const color::AlgorithmSpec* spec = color::find_algorithm(name);
+    color::Options options;
+    const color::Coloring result = spec->run(csr, options);
+    if (!color::is_valid_coloring(csr, result.colors)) {
+      std::printf("%s produced an INVALID timetable!\n", name);
+      return 1;
+    }
+    const auto histogram = color::color_histogram(result.colors);
+    const auto largest =
+        *std::max_element(histogram.begin(), histogram.end());
+    std::printf("%-34s %6d %10.2f %14lld\n", spec->display_name.c_str(),
+                result.num_colors, result.elapsed_ms,
+                static_cast<long long>(largest));
+    if (result.num_colors < best_slots) {
+      best_slots = result.num_colors;
+      best_name = spec->display_name;
+      best_colors = result.colors;
+    }
+  }
+
+  std::printf("\nbest timetable: %d exam slots via %s\n", best_slots,
+              best_name.c_str());
+  const auto histogram = color::color_histogram(best_colors);
+  std::printf("exams per slot:");
+  for (std::size_t slot = 0; slot < histogram.size(); ++slot) {
+    if (histogram[slot] > 0) {
+      std::printf(" %lld", static_cast<long long>(histogram[slot]));
+    }
+  }
+  std::printf("\nNo student ever has two exams in the same slot — that is "
+              "exactly the proper-coloring guarantee.\n");
+  return 0;
+}

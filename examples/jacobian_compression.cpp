@@ -1,0 +1,137 @@
+// Sparse Jacobian compression via distance-2 coloring — the paper's
+// automatic-differentiation motivation (§I, refs [8] Coleman-Moré, [9]
+// Gebremedhin-Manne-Pothen "What color is your Jacobian?").
+//
+// To estimate a sparse Jacobian J with finite differences, columns that
+// share no row may be perturbed together (they are "structurally
+// orthogonal"): one function evaluation recovers all of them. Grouping
+// columns = coloring the column intersection graph; for a symmetric pattern
+// that is a distance-2 coloring of the adjacency graph. The compression
+// factor (columns / colors) is the speedup over one-evaluation-per-column.
+//
+// This example builds the Jacobian pattern of a 2D reaction-diffusion
+// stencil, groups columns with distance2_color, verifies structural
+// orthogonality directly, and then actually recovers J from compressed
+// finite-difference probes to show the end-to-end pipeline works.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/gcol.hpp"
+#include "graph/generators/grid.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace gcol;
+
+/// F(x) for a reaction-diffusion system on the grid: F_v(x) = 4 x_v -
+/// sum_{u ~ v} x_u + x_v^2. Its Jacobian has the 5-point stencil pattern
+/// (diagonal + adjacency).
+std::vector<double> evaluate(const graph::Csr& csr,
+                             const std::vector<double>& x) {
+  std::vector<double> f(x.size());
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    const auto uv = static_cast<std::size_t>(v);
+    double acc = 4.0 * x[uv] + x[uv] * x[uv];
+    for (const vid_t u : csr.neighbors(v)) {
+      acc -= x[static_cast<std::size_t>(u)];
+    }
+    f[uv] = acc;
+  }
+  return f;
+}
+
+/// Analytic Jacobian entry dF_v/dx_u for verification.
+double jacobian_entry(const graph::Csr& csr, const std::vector<double>& x,
+                      vid_t row, vid_t column) {
+  if (row == column) return 4.0 + 2.0 * x[static_cast<std::size_t>(row)];
+  for (const vid_t u : csr.neighbors(row)) {
+    if (u == column) return -1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr vid_t kSide = 60;
+  const graph::Csr csr =
+      graph::build_csr(graph::generate_grid2d(kSide, kSide));
+  const auto n = static_cast<std::size_t>(csr.num_vertices);
+  std::printf("Jacobian pattern: %d columns, 5-point stencil "
+              "(diagonal + %lld off-diagonals)\n",
+              csr.num_vertices, static_cast<long long>(csr.num_edges()));
+
+  // Group structurally-orthogonal columns: distance-2 coloring.
+  const color::Coloring groups = color::distance2_color(csr);
+  if (!color::is_valid_distance2_coloring(csr, groups.colors)) {
+    std::printf("distance-2 coloring invalid!\n");
+    return 1;
+  }
+  std::printf("column groups: %d (compression factor %.1fx, lower bound "
+              "%d)\n\n",
+              groups.num_colors,
+              static_cast<double>(csr.num_vertices) / groups.num_colors,
+              color::distance2_lower_bound(csr));
+
+  // Verify structural orthogonality directly: two same-group columns never
+  // share a Jacobian row (row v touches columns {v} union adj(v)).
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    const auto adj = csr.neighbors(v);
+    for (std::size_t a = 0; a < adj.size(); ++a) {
+      for (std::size_t b = a + 1; b < adj.size(); ++b) {
+        if (groups.colors[static_cast<std::size_t>(adj[a])] ==
+            groups.colors[static_cast<std::size_t>(adj[b])]) {
+          std::printf("columns %d and %d share row %d and a group!\n",
+                      adj[a], adj[b], v);
+          return 1;
+        }
+      }
+    }
+  }
+  std::printf("structural orthogonality verified for all rows\n");
+
+  // Recover the Jacobian with one forward difference per GROUP.
+  const sim::CounterRng rng(5);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = rng.uniform_double(i);
+  const std::vector<double> f0 = evaluate(csr, x);
+  constexpr double kStep = 1e-7;
+
+  double max_error = 0.0;
+  for (std::int32_t group = 0; group < groups.num_colors; ++group) {
+    // Perturb every column of the group at once.
+    std::vector<double> xp = x;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (groups.colors[c] == group) xp[c] += kStep;
+    }
+    const std::vector<double> fp = evaluate(csr, xp);
+    // Each row's difference is attributable to the unique group member in
+    // that row's column support.
+    for (vid_t row = 0; row < csr.num_vertices; ++row) {
+      const auto ur = static_cast<std::size_t>(row);
+      vid_t column = -1;
+      if (groups.colors[ur] == group) {
+        column = row;
+      } else {
+        for (const vid_t u : csr.neighbors(row)) {
+          if (groups.colors[static_cast<std::size_t>(u)] == group) {
+            column = u;
+            break;
+          }
+        }
+      }
+      if (column < 0) continue;
+      const double estimated = (fp[ur] - f0[ur]) / kStep;
+      const double exact = jacobian_entry(csr, x, row, column);
+      max_error = std::max(max_error, std::fabs(estimated - exact));
+    }
+  }
+  std::printf("recovered all %lld nonzeros with %d evaluations instead of "
+              "%d; max |error| = %.2e\n",
+              static_cast<long long>(csr.num_edges() + csr.num_vertices),
+              groups.num_colors, csr.num_vertices, max_error);
+  return max_error < 1e-4 ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# One-command reproduction of the paper's evaluation: build, test, run every
+# table/figure harness, and archive the outputs next to EXPERIMENTS.md.
+#
+#   scripts/reproduce.sh [--scale=F] [--runs=N] ...   (flags forwarded to
+#   every table harness; bench_micro_primitives takes google-benchmark
+#   flags and is run without them)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    if [ "$(basename "$b")" = "bench_micro_primitives" ]; then
+      "$b"
+    else
+      "$b" "$@"
+    fi
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

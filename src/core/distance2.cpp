@@ -1,0 +1,152 @@
+#include "core/distance2.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/verify.hpp"
+#include "gunrock/enactor.hpp"
+#include "gunrock/frontier.hpp"
+#include "gunrock/operators.hpp"
+#include "sim/atomics.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::color {
+
+namespace {
+
+/// Calls f(u) for every distinct u != v within distance 2 of v. May visit a
+/// vertex more than once; f must be idempotent-safe.
+template <typename F>
+void for_each_distance2(const graph::Csr& csr, vid_t v, F f) {
+  for (const vid_t u : csr.neighbors(v)) {
+    f(u);
+    for (const vid_t w : csr.neighbors(u)) {
+      if (w != v) f(w);
+    }
+  }
+}
+
+}  // namespace
+
+std::int32_t distance2_lower_bound(const graph::Csr& csr) {
+  return csr.num_vertices == 0 ? 0 : csr.max_degree() + 1;
+}
+
+bool is_valid_distance2_coloring(const graph::Csr& csr,
+                                 std::span<const std::int32_t> colors) {
+  if (colors.size() != static_cast<std::size_t>(csr.num_vertices)) {
+    return false;
+  }
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    const std::int32_t cv = colors[static_cast<std::size_t>(v)];
+    if (cv < 0) return false;
+    bool conflict = false;
+    for_each_distance2(csr, v, [&](vid_t u) {
+      if (colors[static_cast<std::size_t>(u)] == cv) conflict = true;
+    });
+    if (conflict) return false;
+  }
+  return true;
+}
+
+Coloring distance2_color(const graph::Csr& csr,
+                         const Distance2Options& options) {
+  const vid_t n = csr.num_vertices;
+  const auto un = static_cast<std::size_t>(n);
+  auto& device = sim::Device::instance();
+
+  Coloring result;
+  result.algorithm = options.parallel ? "distance2_jp" : "distance2_greedy";
+  result.colors.assign(un, kUncolored);
+  if (n == 0) return result;
+
+  std::int32_t* colors = result.colors.data();
+  const sim::Stopwatch watch;
+
+  // The distance-2 neighborhood has size <= max_degree^2; first-fit always
+  // finds a color within it.
+  auto min_available = [&](vid_t v, const std::int32_t* read_colors) {
+    // Bounded bitmap over candidate colors [0, d2_bound].
+    std::vector<std::uint64_t> forbidden;
+    std::size_t bound = 64;
+    forbidden.assign(bound / 64, 0);
+    auto mark = [&](std::int32_t c) {
+      if (c < 0) return;
+      const auto uc = static_cast<std::size_t>(c);
+      if (uc >= bound) {
+        bound = (uc / 64 + 1) * 64;
+        forbidden.resize(bound / 64, 0);
+      }
+      forbidden[uc / 64] |= std::uint64_t{1} << (uc % 64);
+    };
+    for_each_distance2(csr, v, [&](vid_t u) {
+      mark(read_colors[static_cast<std::size_t>(u)]);
+    });
+    std::int32_t c = 0;
+    while (static_cast<std::size_t>(c) < bound &&
+           (forbidden[static_cast<std::size_t>(c) / 64] >>
+                (static_cast<std::size_t>(c) % 64) &
+            1u)) {
+      ++c;
+    }
+    return c;
+  };
+
+  if (!options.parallel) {
+    for (vid_t v = 0; v < n; ++v) {
+      colors[static_cast<std::size_t>(v)] = min_available(v, colors);
+    }
+    result.iterations = 1;
+  } else {
+    std::vector<std::int64_t> priority(un);
+    const sim::CounterRng rng(options.seed, 0xD257);
+    device.parallel_for(n, [&](std::int64_t v) {
+      priority[static_cast<std::size_t>(v)] =
+          (static_cast<std::int64_t>(
+               rng.uniform_int31(static_cast<std::uint64_t>(v)))
+           << 32) |
+          static_cast<std::int64_t>(v);
+    });
+
+    gr::Frontier frontier = gr::Frontier::all(n);
+    // Snapshot-based rounds: all reads target the previous round's colors,
+    // making the result deterministic for any worker interleaving.
+    std::vector<std::int32_t> snapshot(result.colors);
+    const std::uint64_t launches_before = device.launch_count();
+    gr::Enactor enactor(device, options.max_iterations);
+    const gr::EnactorStats stats = enactor.enact([&](std::int32_t) {
+      gr::compute(device, frontier, [&](vid_t v) {
+        const auto uv = static_cast<std::size_t>(v);
+        if (snapshot[uv] != kUncolored) return;
+        const std::int64_t mine = priority[uv];
+        bool blocked = false;
+        for_each_distance2(csr, v, [&](vid_t u) {
+          if (!blocked &&
+              snapshot[static_cast<std::size_t>(u)] == kUncolored &&
+              priority[static_cast<std::size_t>(u)] > mine) {
+            blocked = true;
+          }
+        });
+        if (blocked) return;
+        colors[uv] = min_available(v, snapshot.data());
+      });
+      device.parallel_for(n, [&](std::int64_t i) {
+        snapshot[static_cast<std::size_t>(i)] =
+            colors[static_cast<std::size_t>(i)];
+      });
+      frontier = gr::filter(device, frontier, [&](vid_t v) {
+        return colors[static_cast<std::size_t>(v)] == kUncolored;
+      });
+      return !frontier.is_empty();
+    });
+    result.iterations = stats.iterations;
+    result.kernel_launches = device.launch_count() - launches_before;
+  }
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol::color

@@ -1,0 +1,37 @@
+#pragma once
+// Distance-2 graph coloring: no two vertices at distance <= 2 share a color.
+//
+// This is the coloring the paper's automatic-differentiation motivation
+// actually needs (§I, refs [8] Coleman-Moré, [9] Gebremedhin-Manne-Pothen
+// "What color is your Jacobian?"): columns of a sparse Jacobian can be
+// evaluated together iff they are structurally orthogonal, which is exactly
+// a distance-2 independent set in the column intersection graph.
+//
+// Two implementations: the sequential greedy (first-fit over the distance-2
+// neighborhood) and a parallel Jones-Plassmann-style variant where a vertex
+// colors itself once it outranks every uncolored vertex within two hops —
+// the same bulk-synchronous pattern as the distance-1 algorithms, squared.
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+struct Distance2Options : Options {
+  /// Parallel (Jones-Plassmann-style rounds) or sequential greedy.
+  bool parallel = true;
+};
+
+[[nodiscard]] Coloring distance2_color(const graph::Csr& csr,
+                                       const Distance2Options& options = {});
+
+/// True when every vertex is colored and no two distinct vertices within
+/// distance 2 share a color. O(sum of squared degrees).
+[[nodiscard]] bool is_valid_distance2_coloring(
+    const graph::Csr& csr, std::span<const std::int32_t> colors);
+
+/// Lower bound on any distance-2 coloring: max_degree + 1 (a vertex and its
+/// neighbors are pairwise within distance 2).
+[[nodiscard]] std::int32_t distance2_lower_bound(const graph::Csr& csr);
+
+}  // namespace gcol::color

@@ -1,0 +1,20 @@
+#pragma once
+// DSATUR (Brélaz 1979): sequential coloring that always picks the vertex
+// with the highest saturation degree (number of distinct colors in its
+// neighborhood), breaking ties by degree. The strongest classic sequential
+// quality heuristic — exact on bipartite graphs — and the natural upper
+// yardstick for the paper's quality comparisons beyond first-fit greedy
+// (complements the ordering survey of §II).
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+using DsaturOptions = Options;
+
+/// O((n + m) log n) with a lazy priority queue.
+[[nodiscard]] Coloring dsatur_color(const graph::Csr& csr,
+                                    const DsaturOptions& options = {});
+
+}  // namespace gcol::color

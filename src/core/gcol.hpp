@@ -1,0 +1,27 @@
+#pragma once
+// Umbrella header for the gcol graph-coloring library: include this to get
+// the full public API (graphs, generators, all coloring algorithms,
+// verification, and the algorithm registry).
+
+#include "core/distance2.hpp"        // IWYU pragma: export
+#include "core/dsatur.hpp"           // IWYU pragma: export
+#include "core/gm_speculative.hpp"   // IWYU pragma: export
+#include "core/greedy.hpp"           // IWYU pragma: export
+#include "core/grb_is.hpp"           // IWYU pragma: export
+#include "core/grb_jpl.hpp"          // IWYU pragma: export
+#include "core/grb_mis.hpp"          // IWYU pragma: export
+#include "core/gunrock_ar.hpp"       // IWYU pragma: export
+#include "core/gunrock_hash.hpp"     // IWYU pragma: export
+#include "core/gunrock_is.hpp"       // IWYU pragma: export
+#include "core/jones_plassmann.hpp"  // IWYU pragma: export
+#include "core/naumov.hpp"           // IWYU pragma: export
+#include "core/ordering.hpp"         // IWYU pragma: export
+#include "core/recolor.hpp"          // IWYU pragma: export
+#include "core/registry.hpp"         // IWYU pragma: export
+#include "core/result.hpp"           // IWYU pragma: export
+#include "core/verify.hpp"           // IWYU pragma: export
+#include "graph/build.hpp"           // IWYU pragma: export
+#include "graph/csr.hpp"             // IWYU pragma: export
+#include "graph/datasets.hpp"        // IWYU pragma: export
+#include "graph/mmio.hpp"            // IWYU pragma: export
+#include "graph/stats.hpp"           // IWYU pragma: export

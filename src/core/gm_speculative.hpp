@@ -1,0 +1,27 @@
+#pragma once
+// Gebremedhin-Manne speculative greedy coloring [Gebremedhin & Manne, CCPE
+// 2000], iterated in parallel after Deveci et al. [IPDPS 2016] — the
+// paper's first named future-work direction ("compare these algorithms with
+// Gebremedhin-Manne on the GPU").
+//
+// Each round: (1) optimistic phase — every active vertex takes the minimum
+// color absent from its (racily observed) neighborhood; (2) conflict
+// detection — monochromatic edges send their higher-id endpoint back to the
+// active set; (3) repeat on the conflicted set, switching to a sequential
+// cleanup when the set is tiny (Salihoglu-Widom style "finish serially").
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+struct GmSpeculativeOptions : Options {
+  /// When the conflicted set drops below this many vertices, finish them
+  /// sequentially instead of paying further parallel rounds.
+  std::int64_t sequential_threshold = 64;
+};
+
+[[nodiscard]] Coloring gm_speculative_color(
+    const graph::Csr& csr, const GmSpeculativeOptions& options = {});
+
+}  // namespace gcol::color

@@ -1,0 +1,51 @@
+#pragma once
+// Shared pieces of the GraphBLAS coloring implementations (Algorithms 2-4).
+
+#include <cstdint>
+
+#include "graphblas/grb.hpp"
+#include "sim/rng.hpp"
+
+namespace gcol::color::detail {
+
+/// Weight type for the random-priority vectors. The paper uses GrB_INT32
+/// weights; we widen to 64 bits and append the vertex id in the low bits so
+/// weights are pairwise distinct — Luby-style selection then provably
+/// terminates (equal int32 draws would leave tied vertices uncolorable
+/// forever). The high 31 bits stay uniformly random, so selection
+/// probabilities are unchanged except on ties.
+using Weight = std::int64_t;
+
+/// The paper's `set_random()`: a counter-RNG draw keyed by vertex id,
+/// made unique by packing the id into the low bits. Always > 0, so weight 0
+/// can mean "colored / not a candidate".
+inline grb::Info set_random_weights(grb::Vector<Weight>& weight,
+                                    std::uint64_t seed) {
+  // Stream 0xB1A5 keeps GraphBLAST draws independent of the Gunrock
+  // family's (stream 0) for the same user seed, as distinct cuRAND streams
+  // would be on the GPU.
+  const sim::CounterRng rng(seed, 0xB1A5);
+  weight.fill(Weight{0});
+  return grb::apply_indexed(
+      weight, nullptr,
+      [&rng](grb::Index i, Weight) {
+        const auto draw = static_cast<Weight>(
+            rng.uniform_int31(static_cast<std::uint64_t>(i)));
+        return (((draw + 1) << 31) |
+                static_cast<Weight>(i & 0x7fffffff)) &
+               0x7fffffffffffffff;
+      },
+      weight);
+}
+
+/// Collapses a vector to exact 0/1 values in place. The GT comparisons of
+/// Algorithms 2-3 can leave raw weights at union-only positions; the paper's
+/// subsequent Plus-reduce "succ" test only needs emptiness, but booleanizing
+/// keeps the reduction overflow-free and the masks crisp.
+template <typename T>
+grb::Info booleanize(grb::Vector<T>& v) {
+  return grb::apply(
+      v, nullptr, [](T x) { return static_cast<T>(x != T{0} ? 1 : 0); }, v);
+}
+
+}  // namespace gcol::color::detail

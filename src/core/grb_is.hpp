@@ -1,0 +1,18 @@
+#pragma once
+// GraphBLAS Independent Set coloring — the paper's Algorithm 2
+// (`GraphBLAST/Color_IS`): generalized Luby. Each round, a max-times vxm
+// finds every vertex's largest-weighted neighbor, a GT elementwise compare
+// extracts the independent set of local maxima, and two masked assigns color
+// the set and knock it out of the candidate list. One color per round.
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+using GrbIsOptions = Options;
+
+[[nodiscard]] Coloring grb_is_color(const graph::Csr& csr,
+                                    const GrbIsOptions& options = {});
+
+}  // namespace gcol::color

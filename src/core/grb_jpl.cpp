@@ -1,0 +1,114 @@
+#include "core/grb_jpl.hpp"
+
+#include <limits>
+
+#include "core/grb_common.hpp"
+#include "core/verify.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::color {
+
+namespace {
+
+using detail::Weight;
+
+constexpr Weight kNoColor = std::numeric_limits<Weight>::max();
+
+/// colors_array[i] == 0 ? candidate color i : not available.
+struct SelectUnused {
+  Weight operator()(Weight used_flag, Weight index) const noexcept {
+    return used_flag == 0 ? index : kNoColor;
+  }
+};
+
+/// Algorithm 4: minimum color (>= 1) not used by any colored neighbor of
+/// the frontier. `c` is the current coloring (0 = uncolored), `palette` and
+/// `ascending` are scratch vectors of size palette_size.
+std::int32_t jp_min_color(const grb::Matrix<Weight>& a,
+                          const grb::Vector<std::int32_t>& c,
+                          const grb::Vector<Weight>& frontier,
+                          grb::Vector<Weight>& nbr, grb::Vector<Weight>& used,
+                          grb::Vector<Weight>& palette,
+                          const grb::Vector<Weight>& ascending,
+                          grb::Vector<Weight>& min_array) {
+  // Find the frontier's COLORED neighbors: Boolean vxm masked by the color
+  // vector (value mask: nonzero == colored), Alg. 4 l.3.
+  nbr.clear();
+  grb::vxm(nbr, &c, grb::boolean_semiring<Weight>(), frontier, a);
+  // Map the indicator to the neighbors' colors (l.5).
+  used.clear();
+  grb::eWiseMult(used, nullptr, grb::Times{}, nbr, c);
+  // Fill the possible-colors array and scatter used colors into it (l.7-9).
+  grb::assign(palette, nullptr, Weight{0});
+  grb::scatter(palette, nullptr, used, Weight{1});
+  // Unused slots map to their own index, used ones to +inf (l.11).
+  grb::eWiseMult(min_array, nullptr, SelectUnused{}, palette, ascending);
+  // Color 0 means "uncolored" and is never available (l.12).
+  min_array.set_element(0, kNoColor);
+  // Min-reduce yields the minimum available color (l.14).
+  Weight min_color = kNoColor;
+  grb::reduce(&min_color, grb::min_monoid<Weight>(), min_array);
+  return static_cast<std::int32_t>(min_color);
+}
+
+}  // namespace
+
+Coloring grb_jpl_color(const graph::Csr& csr, const GrbJplOptions& options) {
+  const auto n = static_cast<grb::Index>(csr.num_vertices);
+
+  Coloring result;
+  result.algorithm = "grb_jpl";
+  result.colors.assign(static_cast<std::size_t>(n), kUncolored);
+  if (n == 0) return result;
+
+  auto& device = sim::Device::instance();
+  const grb::Matrix<Weight> a(csr);
+  grb::Vector<std::int32_t> c(n);
+  grb::Vector<Weight> weight(n), max(n), frontier(n), nbr(n), used(n);
+
+  // Possible-colors scratch: the minimum available color never exceeds the
+  // number of rounds + 1 <= n + 1.
+  const grb::Index palette_size = n + 2;
+  grb::Vector<Weight> palette(palette_size), ascending(palette_size),
+      min_array(palette_size);
+  ascending.fill(Weight{0});
+  grb::apply_indexed(
+      ascending, nullptr,
+      [](grb::Index i, Weight) { return static_cast<Weight>(i); }, ascending);
+
+  const sim::Stopwatch watch;
+  const std::uint64_t launches_before = device.launch_count();
+
+  grb::assign(c, nullptr, std::int32_t{0});
+  detail::set_random_weights(weight, options.seed);
+
+  for (std::int32_t round = 1; round <= options.max_iterations; ++round) {
+    // Select the independent set exactly as Algorithm 2 does.
+    grb::vxm(max, nullptr, grb::max_times_semiring<Weight>(), weight, a);
+    grb::eWiseAdd(frontier, nullptr, grb::Greater{}, weight, max);
+    detail::booleanize(frontier);
+    Weight succ = 0;
+    grb::reduce(&succ, grb::plus_monoid<Weight>(), frontier);
+    if (succ == 0) break;
+    // GRAPHBLASJPINNER replaces the fresh color with the minimum available.
+    const std::int32_t min_color =
+        jp_min_color(a, c, frontier, nbr, used, palette, ascending, min_array);
+    grb::assign(c, &frontier, min_color);
+    grb::assign(weight, &frontier, Weight{0});
+    ++result.iterations;
+  }
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.kernel_launches = device.launch_count() - launches_before;
+
+  const auto cv = c.dense_values();
+  device.parallel_for(n, [&](std::int64_t i) {
+    const std::int32_t paper_color = cv[static_cast<std::size_t>(i)];
+    result.colors[static_cast<std::size_t>(i)] =
+        paper_color == 0 ? kUncolored : paper_color - 1;
+  });
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol::color

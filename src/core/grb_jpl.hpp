@@ -1,0 +1,23 @@
+#pragma once
+// GraphBLAS Jones-Plassmann coloring — the paper's Algorithm 4
+// (`GraphBLAST/Color_JPL`). The independent set is selected as in Algorithm
+// 2, but instead of opening a new color every round, the helper computes the
+// minimum color not used by any colored neighbor of the frontier and colors
+// the whole frontier with it — enabling color reuse across rounds.
+//
+// The minimum-available-color search is the part that "could not be done
+// within the confines of the GraphBLAS API" (§IV-A3): neighbor colors are
+// scattered into a possible-colors array with the GxB_scatter extension,
+// compared against an ascending ramp, and min-reduced.
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+using GrbJplOptions = Options;
+
+[[nodiscard]] Coloring grb_jpl_color(const graph::Csr& csr,
+                                     const GrbJplOptions& options = {});
+
+}  // namespace gcol::color

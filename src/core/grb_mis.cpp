@@ -1,0 +1,90 @@
+#include "core/grb_mis.hpp"
+
+#include "core/grb_common.hpp"
+#include "core/verify.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::color {
+
+namespace {
+
+using detail::Weight;
+
+/// Algorithm 3 inner loop: grows `mis` to a maximal independent set of the
+/// subgraph induced by cand's nonzero entries. `cand` is consumed.
+void mis_inner(const grb::Matrix<Weight>& a, grb::Vector<Weight>& cand,
+               grb::Vector<Weight>& mis, grb::Vector<Weight>& max,
+               grb::Vector<Weight>& frontier, grb::Vector<Weight>& nbr) {
+  grb::assign(mis, nullptr, Weight{0});
+  for (;;) {
+    // Find max of remaining candidates' neighbors, masked to candidates
+    // (Alg. 3 l.6). The temporary must be cleared: masked writes leave
+    // stale entries from the previous round otherwise.
+    max.clear();
+    grb::vxm(max, &cand, grb::max_times_semiring<Weight>(), cand, a);
+    // New members: candidates beating all candidate neighbors (l.8).
+    grb::eWiseAdd(frontier, nullptr, grb::Greater{}, cand, max);
+    detail::booleanize(frontier);
+    // Stop when no new members joined (l.14-17).
+    Weight succ = 0;
+    grb::reduce(&succ, grb::plus_monoid<Weight>(), frontier);
+    if (succ == 0) break;
+    // Add members to the set; drop them from the candidates (l.10-12).
+    grb::assign(mis, &frontier, Weight{1});
+    grb::assign(cand, &frontier, Weight{0});
+    // Remove the new members' neighbors from the candidates (l.19-20).
+    nbr.clear();
+    grb::vxm(nbr, &cand, grb::boolean_semiring<Weight>(), frontier, a);
+    grb::assign(cand, &nbr, Weight{0});
+  }
+}
+
+}  // namespace
+
+Coloring grb_mis_color(const graph::Csr& csr, const GrbMisOptions& options) {
+  const auto n = static_cast<grb::Index>(csr.num_vertices);
+
+  Coloring result;
+  result.algorithm = "grb_mis";
+  result.colors.assign(static_cast<std::size_t>(n), kUncolored);
+  if (n == 0) return result;
+
+  auto& device = sim::Device::instance();
+  const grb::Matrix<Weight> a(csr);
+  grb::Vector<std::int32_t> c(n);
+  grb::Vector<Weight> weight(n), cand(n), mis(n), max(n), frontier(n), nbr(n);
+
+  const sim::Stopwatch watch;
+  const std::uint64_t launches_before = device.launch_count();
+
+  grb::assign(c, nullptr, std::int32_t{0});
+  detail::set_random_weights(weight, options.seed);
+
+  for (std::int32_t color = 1; color <= options.max_iterations; ++color) {
+    // Inner loop operates on a copy: knocked-out neighbors must stay
+    // colorable in later outer rounds.
+    cand = weight;
+    mis_inner(a, cand, mis, max, frontier, nbr);
+    // The MIS is empty only when no uncolored vertices remain.
+    Weight any = 0;
+    grb::reduce(&any, grb::lor_monoid<Weight>(), mis);
+    if (any == 0) break;
+    grb::assign(c, &mis, color);
+    grb::assign(weight, &mis, Weight{0});
+    ++result.iterations;
+  }
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.kernel_launches = device.launch_count() - launches_before;
+
+  const auto cv = c.dense_values();
+  device.parallel_for(n, [&](std::int64_t i) {
+    const std::int32_t paper_color = cv[static_cast<std::size_t>(i)];
+    result.colors[static_cast<std::size_t>(i)] =
+        paper_color == 0 ? kUncolored : paper_color - 1;
+  });
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol::color

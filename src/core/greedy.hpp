@@ -1,0 +1,38 @@
+#pragma once
+// The sequential greedy baseline (paper §II): visit vertices in some order,
+// give each the minimum color absent from its neighbors. This is the
+// `CPU/Color_Greedy` series of Figure 1 and the quality yardstick for the
+// GraphBLAST MIS claim ("1.014x fewer colors than a greedy, sequential
+// algorithm").
+//
+// The ordering heuristics cover the classic literature the paper surveys:
+// natural, random, largest-degree-first (Welsh-Powell), smallest-degree-last
+// (Matula-Beck degeneracy order, the fewest-colors heuristic in Allwright et
+// al.), and incidence-degree (Coleman-Moré).
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+enum class GreedyOrder {
+  kNatural,             ///< vertex id order (the paper's CPU baseline)
+  kRandom,              ///< uniformly shuffled
+  kLargestDegreeFirst,  ///< static degree, descending
+  kSmallestDegreeLast,  ///< degeneracy order: colors <= degeneracy + 1
+  kIncidenceDegree,     ///< dynamic: most already-colored neighbors first
+};
+
+struct GreedyOptions : Options {
+  GreedyOrder order = GreedyOrder::kNatural;
+};
+
+/// Sequential greedy first-fit coloring. Guarantees num_colors <=
+/// max_degree + 1 for every ordering, and <= degeneracy + 1 for
+/// kSmallestDegreeLast. O(n + m) plus the ordering cost.
+[[nodiscard]] Coloring greedy_color(const graph::Csr& csr,
+                                    const GreedyOptions& options = {});
+
+[[nodiscard]] const char* to_string(GreedyOrder order) noexcept;
+
+}  // namespace gcol::color

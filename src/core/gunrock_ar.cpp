@@ -1,0 +1,141 @@
+#include "core/gunrock_ar.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/verify.hpp"
+#include "gunrock/enactor.hpp"
+#include "gunrock/frontier.hpp"
+#include "gunrock/operators.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::color {
+
+namespace {
+
+/// Packed priority: random weight in the high bits, vertex id below, so a
+/// plain int64 max doubles as a tie-broken argmax (the ReduceMaxOp of
+/// Algorithm 7).
+inline std::int64_t packed_priority(std::int32_t r, vid_t v) noexcept {
+  return (static_cast<std::int64_t>(r) << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(v));
+}
+
+/// Element of the fused reduction: the (max, min) pair of packed priorities
+/// over a neighbor segment, combined component-wise.
+struct MinMaxPair {
+  std::int64_t max;
+  std::int64_t min;
+};
+
+}  // namespace
+
+Coloring gunrock_ar_color(const graph::Csr& csr,
+                          const GunrockArOptions& options) {
+  const vid_t n = csr.num_vertices;
+  const auto un = static_cast<std::size_t>(n);
+  auto& device = sim::Device::instance();
+
+  Coloring result;
+  result.algorithm = options.fused_minmax ? "gunrock_ar_fused" : "gunrock_ar";
+  result.colors.assign(un, kUncolored);
+  if (n == 0) return result;
+
+  std::vector<std::int32_t> random(un);
+  const sim::CounterRng rng(options.seed);
+  device.parallel_for(n, [&](std::int64_t v) {
+    random[static_cast<std::size_t>(v)] =
+        rng.uniform_int31(static_cast<std::uint64_t>(v));
+  });
+
+  constexpr std::int64_t kNoNeighbor = std::numeric_limits<std::int64_t>::min();
+  std::int32_t* colors = result.colors.data();
+  gr::Frontier frontier = gr::Frontier::all(n);
+
+  constexpr std::int64_t kNoNeighborMin =
+      std::numeric_limits<std::int64_t>::max();
+
+  const sim::Stopwatch watch;
+  const std::uint64_t launches_before = device.launch_count();
+  gr::Enactor enactor(device, options.max_iterations);
+  const gr::EnactorStats stats = enactor.enact([&](std::int32_t iteration) {
+    if (options.fused_minmax) {
+      // Fused future-work variant: ONE segmented reduction produces both
+      // extremes, so two mutually-exclusive independent sets color per
+      // iteration without a second neighbor-reduce.
+      std::vector<MinMaxPair> extremes(
+          static_cast<std::size_t>(frontier.size()));
+      gr::neighbor_reduce<MinMaxPair>(
+          device, csr, frontier,
+          [&](vid_t /*src*/, vid_t u) {
+            if (colors[static_cast<std::size_t>(u)] != kUncolored) {
+              return MinMaxPair{kNoNeighbor, kNoNeighborMin};
+            }
+            const std::int64_t p =
+                packed_priority(random[static_cast<std::size_t>(u)], u);
+            return MinMaxPair{p, p};
+          },
+          [](MinMaxPair a, MinMaxPair b) {
+            return MinMaxPair{b.max > a.max ? b.max : a.max,
+                              b.min < a.min ? b.min : a.min};
+          },
+          MinMaxPair{kNoNeighbor, kNoNeighborMin}, extremes);
+
+      const std::int32_t color = 2 * iteration;
+      device.parallel_for(frontier.size(), [&](std::int64_t i) {
+        const vid_t v = frontier.vertex(i);
+        const auto uv = static_cast<std::size_t>(v);
+        const std::int64_t mine = packed_priority(random[uv], v);
+        const MinMaxPair extreme = extremes[static_cast<std::size_t>(i)];
+        if (mine > extreme.max) {
+          colors[uv] = color;
+        } else if (mine < extreme.min) {
+          colors[uv] = color + 1;
+        }
+      });
+    } else {
+      // NeighborReduceOp: advance to the full (non-Removed, i.e. uncolored)
+      // neighborhood and segment-max the packed priorities.
+      std::vector<std::int64_t> neighbor_max(
+          static_cast<std::size_t>(frontier.size()));
+      gr::neighbor_reduce<std::int64_t>(
+          device, csr, frontier,
+          [&](vid_t /*src*/, vid_t u) {
+            // Removed (colored) neighbors contribute the identity.
+            return colors[static_cast<std::size_t>(u)] == kUncolored
+                       ? packed_priority(random[static_cast<std::size_t>(u)],
+                                         u)
+                       : kNoNeighbor;
+          },
+          [](std::int64_t a, std::int64_t b) { return b > a ? b : a; },
+          kNoNeighbor, neighbor_max);
+
+      // ColorRemovedOp: frontier vertices beating their whole neighborhood
+      // take this iteration's color.
+      device.parallel_for(frontier.size(), [&](std::int64_t i) {
+        const vid_t v = frontier.vertex(i);
+        const auto uv = static_cast<std::size_t>(v);
+        if (packed_priority(random[uv], v) >
+            neighbor_max[static_cast<std::size_t>(i)]) {
+          colors[uv] = iteration;
+        }
+      });
+    }
+
+    // Rebuild the frontier from still-uncolored vertices; Removed grows.
+    frontier = gr::filter(device, frontier, [&](vid_t v) {
+      return colors[static_cast<std::size_t>(v)] == kUncolored;
+    });
+    return !frontier.is_empty();
+  });
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.iterations = stats.iterations;
+  result.kernel_launches = device.launch_count() - launches_before;
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol::color

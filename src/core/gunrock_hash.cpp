@@ -1,0 +1,192 @@
+#include "core/gunrock_hash.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "core/verify.hpp"
+#include "gunrock/enactor.hpp"
+#include "gunrock/frontier.hpp"
+#include "gunrock/operators.hpp"
+#include "sim/atomics.hpp"
+#include "sim/reduce.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::color {
+
+namespace {
+
+inline bool priority_less(std::int32_t ra, vid_t a, std::int32_t rb,
+                          vid_t b) noexcept {
+  return ra < rb || (ra == rb && a < b);
+}
+
+}  // namespace
+
+Coloring gunrock_hash_color(const graph::Csr& csr,
+                            const GunrockHashOptions& options) {
+  const vid_t n = csr.num_vertices;
+  const auto un = static_cast<std::size_t>(n);
+  auto& device = sim::Device::instance();
+
+  Coloring result;
+  result.algorithm = "gunrock_hash";
+  result.colors.assign(un, kUncolored);
+  if (n == 0) return result;
+
+  const std::int32_t hash_size =
+      options.hash_size < 1 ? 1 : options.hash_size;
+
+  std::vector<std::int32_t> random(un);
+  const sim::CounterRng rng(options.seed);
+  device.parallel_for(n, [&](std::int64_t v) {
+    random[static_cast<std::size_t>(v)] =
+        rng.uniform_int31(static_cast<std::uint64_t>(v));
+  });
+
+  std::int32_t* colors = result.colors.data();
+  // Per-vertex prohibited-color table: hash_size slots, kUncolored = empty.
+  std::vector<std::int32_t> hash_table(un * static_cast<std::size_t>(hash_size),
+                                       kUncolored);
+  // Iteration a vertex was (tentatively) colored in; kUncolored = never.
+  // Entries < current iteration are final, == current are tentative.
+  std::vector<std::int32_t> colored_iter(un, kUncolored);
+  // Vertices that lost a conflict must take a fresh color next time; this
+  // guarantees the globally max-priority uncolored vertex finalizes within
+  // two iterations (progress guarantee; see tests/core/hash_test).
+  std::vector<std::uint8_t> lost_conflict(un, 0);
+
+  std::atomic<std::int64_t> conflicts{0};
+  const gr::Frontier frontier = gr::Frontier::all(n);
+
+  // Checks the per-vertex table; colors not found may still conflict — the
+  // table is bounded and lossy by design.
+  auto prohibited = [&](vid_t v, std::int32_t c) {
+    const std::size_t base =
+        static_cast<std::size_t>(v) * static_cast<std::size_t>(hash_size);
+    for (std::int32_t s = 0; s < hash_size; ++s) {
+      if (hash_table[base + static_cast<std::size_t>(s)] == c) return true;
+    }
+    return false;
+  };
+
+  // Deterministic color choice for a candidate: reuse the first known-safe
+  // existing color unless the candidate previously lost a conflict, else
+  // open a fresh color (odd for max-role, even for min-role).
+  auto choose_color = [&](vid_t cand, std::int32_t iteration, bool max_role) {
+    if (lost_conflict[static_cast<std::size_t>(cand)] == 0) {
+      const std::int32_t used_limit = 2 * iteration;  // colors opened so far
+      const std::int32_t probe_limit =
+          used_limit < 2 * hash_size ? used_limit : 2 * hash_size;
+      for (std::int32_t c = 0; c < probe_limit; ++c) {
+        if (!prohibited(cand, c)) return c;
+      }
+    }
+    return max_role ? 2 * iteration : 2 * iteration + 1;
+  };
+
+  const sim::Stopwatch watch;
+  const std::uint64_t launches_before = device.launch_count();
+  gr::Enactor enactor(device, options.max_iterations);
+  const gr::EnactorStats stats = enactor.enact([&](std::int32_t iteration) {
+    // HashColorOp (Algorithm 6): every uncolored vertex proposes colors for
+    // the max- and min-priority members of {itself} U uncolored neighbors.
+    gr::compute(device, frontier, [&](vid_t v) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (sim::atomic_load(colors[uv]) != kUncolored) return;
+      vid_t cand_max = v;
+      vid_t cand_min = v;
+      for (const vid_t u : csr.neighbors(v)) {
+        const auto uu = static_cast<std::size_t>(u);
+        if (sim::atomic_load(colors[uu]) != kUncolored) continue;
+        if (priority_less(random[static_cast<std::size_t>(cand_max)],
+                          cand_max, random[uu], u)) {
+          cand_max = u;
+        }
+        if (priority_less(random[uu], u,
+                          random[static_cast<std::size_t>(cand_min)],
+                          cand_min)) {
+          cand_min = u;
+        }
+      }
+      // Propose. Writes race between proposers; conflict resolution repairs
+      // any disagreement (the GPU implementation has the same property).
+      sim::atomic_store(colors[static_cast<std::size_t>(cand_max)],
+                        choose_color(cand_max, iteration, /*max_role=*/true));
+      sim::atomic_store(colored_iter[static_cast<std::size_t>(cand_max)],
+                        iteration);
+      if (cand_min != cand_max) {
+        sim::atomic_store(
+            colors[static_cast<std::size_t>(cand_min)],
+            choose_color(cand_min, iteration, /*max_role=*/false));
+        sim::atomic_store(colored_iter[static_cast<std::size_t>(cand_min)],
+                          iteration);
+      }
+    });
+
+    // Conflict-resolution operator: tentative vertices re-check their
+    // neighborhood; the lower-priority endpoint of a monochromatic edge
+    // (or the tentative endpoint, when the other is final) uncolors itself.
+    gr::compute(device, frontier, [&](vid_t v) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (sim::atomic_load(colored_iter[uv]) != iteration) return;
+      const std::int32_t cv = sim::atomic_load(colors[uv]);
+      if (cv == kUncolored) return;
+      for (const vid_t u : csr.neighbors(v)) {
+        const auto uu = static_cast<std::size_t>(u);
+        if (sim::atomic_load(colors[uu]) != cv) continue;
+        const std::int32_t u_iter = sim::atomic_load(colored_iter[uu]);
+        const bool u_final = u_iter != kUncolored && u_iter < iteration;
+        if (u_final ||
+            priority_less(random[uv], v, random[uu], u)) {
+          sim::atomic_store(colors[uv], kUncolored);
+          sim::atomic_store(colored_iter[uv], kUncolored);
+          lost_conflict[uv] = 1;
+          conflicts.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+
+    // Hash-generation operator: still-uncolored vertices record their
+    // neighbors' colors as prohibited (bounded table; overflow ignored).
+    gr::compute(device, frontier, [&](vid_t v) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (colors[uv] != kUncolored) return;
+      const std::size_t base =
+          uv * static_cast<std::size_t>(hash_size);
+      for (const vid_t u : csr.neighbors(v)) {
+        const std::int32_t cu = colors[static_cast<std::size_t>(u)];
+        if (cu == kUncolored) continue;
+        // Insert if absent and a slot is free.
+        bool present = false;
+        std::int32_t free_slot = -1;
+        for (std::int32_t s = 0; s < hash_size; ++s) {
+          const std::int32_t entry =
+              hash_table[base + static_cast<std::size_t>(s)];
+          if (entry == cu) {
+            present = true;
+            break;
+          }
+          if (entry == kUncolored && free_slot < 0) free_slot = s;
+        }
+        if (!present && free_slot >= 0) {
+          hash_table[base + static_cast<std::size_t>(free_slot)] = cu;
+        }
+      }
+    });
+
+    const std::int64_t colored = sim::count_if<std::int32_t>(
+        device, result.colors, [](std::int32_t c) { return c != kUncolored; });
+    return colored < n;
+  });
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.iterations = stats.iterations;
+  result.kernel_launches = device.launch_count() - launches_before;
+  result.conflicts_resolved = conflicts.load(std::memory_order_relaxed);
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol::color

@@ -1,0 +1,29 @@
+#pragma once
+// Gunrock Hash coloring — the paper's Algorithm 6 (`Gunrock/Color_Hash`).
+// Each active vertex proposes a color for the uncolored neighbor holding the
+// locally-largest (and smallest) random number, so the color set can exceed
+// a true independent set; a conflict-resolution operator then uncolors the
+// losers, and a per-vertex bounded hash table of prohibited colors lets
+// vertices REUSE earlier colors instead of always opening new ones —
+// "sacrifices fast runtime for fewer colors" (§IV-B2).
+//
+// Three compute operators per iteration (proposal, conflict resolution, hash
+// update) mean two extra global synchronizations over IS — the cost the
+// paper blames for Hash being slower than IS despite fewer colors.
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+struct GunrockHashOptions : Options {
+  /// Prohibited-color slots reserved per vertex. "The hash table size is a
+  /// modifiable value, and is inversely related to the number of conflicts"
+  /// — swept by bench_ablation_hash_size.
+  std::int32_t hash_size = 4;
+};
+
+[[nodiscard]] Coloring gunrock_hash_color(
+    const graph::Csr& csr, const GunrockHashOptions& options = {});
+
+}  // namespace gcol::color

@@ -1,0 +1,31 @@
+#pragma once
+// Gunrock Independent Set coloring — the paper's Algorithm 5 and headline
+// implementation (`Gunrock/Color_IS`). A compute operator assigns one thread
+// per active vertex; the thread serially scans its neighbor list comparing
+// random weights, and colors itself when it holds the local maximum (and,
+// with the min-max optimization, also when it holds the local minimum —
+// "we can perform assignment on two colors every iteration with no
+// additional overhead", §IV-B1).
+//
+// The option flags reproduce each row of Table II:
+//   min_max=false, use_atomics=true   -> "Independent Set with Atomics"
+//   min_max=false, use_atomics=false  -> "Independent Set without Atomics"
+//   min_max=true,  use_atomics=false  -> "Min-Max Independent Set"
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+struct GunrockIsOptions : Options {
+  /// Color two independent sets (local max and local min) per iteration.
+  bool min_max = true;
+  /// Count colored vertices with an in-kernel atomic counter (the paper's
+  /// "with atomics" variant) instead of a separate count launch.
+  bool use_atomics = false;
+};
+
+[[nodiscard]] Coloring gunrock_is_color(const graph::Csr& csr,
+                                        const GunrockIsOptions& options = {});
+
+}  // namespace gcol::color

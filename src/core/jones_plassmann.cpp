@@ -1,0 +1,168 @@
+#include "core/jones_plassmann.hpp"
+
+#include <vector>
+
+#include "core/ordering.hpp"
+#include "core/verify.hpp"
+#include "gunrock/enactor.hpp"
+#include "gunrock/frontier.hpp"
+#include "gunrock/operators.hpp"
+#include "sim/atomics.hpp"
+#include "sim/reduce.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::color {
+
+const char* to_string(JpPriority priority) noexcept {
+  switch (priority) {
+    case JpPriority::kRandom: return "random";
+    case JpPriority::kLargestDegreeFirst: return "largest-degree-first";
+    case JpPriority::kSmallestDegreeLast: return "smallest-degree-last";
+    case JpPriority::kHybridDegreeThenRandom: return "hybrid-che";
+  }
+  return "unknown";
+}
+
+Coloring jones_plassmann_color(const graph::Csr& csr,
+                               const JonesPlassmannOptions& options) {
+  const vid_t n = csr.num_vertices;
+  const auto un = static_cast<std::size_t>(n);
+  auto& device = sim::Device::instance();
+
+  Coloring result;
+  result.algorithm =
+      std::string("jones_plassmann_") + to_string(options.priority);
+  result.colors.assign(un, kUncolored);
+  if (n == 0) return result;
+
+  // Priorities: a strict total order packed into int64. Higher priority
+  // colors earlier; random bits break structural ties.
+  std::vector<std::int64_t> priority(un);
+  const sim::CounterRng rng(options.seed);
+  switch (options.priority) {
+    case JpPriority::kRandom:
+      device.parallel_for(n, [&](std::int64_t v) {
+        priority[static_cast<std::size_t>(v)] =
+            (static_cast<std::int64_t>(
+                 rng.uniform_int31(static_cast<std::uint64_t>(v)))
+             << 32) |
+            static_cast<std::int64_t>(v);
+      });
+      break;
+    case JpPriority::kLargestDegreeFirst:
+      device.parallel_for(n, [&](std::int64_t v) {
+        priority[static_cast<std::size_t>(v)] =
+            (static_cast<std::int64_t>(csr.degree(static_cast<vid_t>(v)))
+             << 32) |
+            static_cast<std::int64_t>(
+                rng.uniform_int31(static_cast<std::uint64_t>(v)));
+      });
+      break;
+    case JpPriority::kSmallestDegreeLast: {
+      // Degeneracy order: vertices removed later must color earlier.
+      const std::vector<vid_t> order = smallest_degree_last_order(csr);
+      for (vid_t rank = 0; rank < n; ++rank) {
+        priority[static_cast<std::size_t>(order[static_cast<std::size_t>(
+            rank)])] = static_cast<std::int64_t>(n - rank);
+      }
+      break;
+    }
+    case JpPriority::kHybridDegreeThenRandom: {
+      // Degree threshold at the requested percentile: heavy vertices rank
+      // by degree (colored in the earliest rounds, Che et al.'s load-
+      // imbalance fix); everyone else competes on random draws below them.
+      const std::vector<vid_t> by_degree = largest_degree_first_order(csr);
+      const double fraction =
+          options.hybrid_degree_fraction < 0.0
+              ? 0.0
+              : (options.hybrid_degree_fraction > 1.0
+                     ? 1.0
+                     : options.hybrid_degree_fraction);
+      const auto cutoff_index = static_cast<std::size_t>(
+          fraction * static_cast<double>(n));
+      const vid_t threshold =
+          cutoff_index == 0 || n == 0
+              ? csr.max_degree() + 1
+              : csr.degree(by_degree[std::min(
+                    cutoff_index, static_cast<std::size_t>(n) - 1)]);
+      device.parallel_for(n, [&](std::int64_t v) {
+        const vid_t degree = csr.degree(static_cast<vid_t>(v));
+        const std::int64_t head =
+            degree >= threshold ? static_cast<std::int64_t>(degree) + 1 : 0;
+        priority[static_cast<std::size_t>(v)] =
+            (head << 48) |
+            (static_cast<std::int64_t>(
+                 rng.uniform_int31(static_cast<std::uint64_t>(v)))
+             << 17) |
+            static_cast<std::int64_t>(v & 0x1ffff);
+      });
+      break;
+    }
+  }
+
+  std::int32_t* colors = result.colors.data();
+  // Per-round snapshot: decisions read the PREVIOUS round's colors only, so
+  // the result is a deterministic function of (graph, priorities) no matter
+  // how workers interleave — the bulk-synchronous JP formulation.
+  std::vector<std::int32_t> snapshot(result.colors);
+  gr::Frontier frontier = gr::Frontier::all(n);
+
+  const sim::Stopwatch watch;
+  const std::uint64_t launches_before = device.launch_count();
+  gr::Enactor enactor(device, options.max_iterations);
+  const gr::EnactorStats stats = enactor.enact([&](std::int32_t) {
+    // A vertex colors itself with its minimum available color once no
+    // snapshot-uncolored neighbor outranks it. Two adjacent vertices can
+    // never color in the same round (one outranks the other in the shared
+    // snapshot), so writes to `colors` never race with the reads below.
+    gr::compute(device, frontier, [&](vid_t v) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (snapshot[uv] != kUncolored) return;
+      const std::int64_t mine = priority[uv];
+      const auto adj = csr.neighbors(v);
+      for (const vid_t u : adj) {
+        if (snapshot[static_cast<std::size_t>(u)] == kUncolored &&
+            priority[static_cast<std::size_t>(u)] > mine) {
+          return;
+        }
+      }
+      // Minimum color absent from the colored neighborhood; a degree-d
+      // vertex always finds one in [0, d], so a d+1-word bitmap suffices.
+      const std::size_t words = adj.size() / 64 + 1;
+      std::vector<std::uint64_t> forbidden(words, 0);
+      for (const vid_t u : adj) {
+        const std::int32_t c = snapshot[static_cast<std::size_t>(u)];
+        if (c >= 0 && static_cast<std::size_t>(c) < words * 64) {
+          forbidden[static_cast<std::size_t>(c) / 64] |=
+              std::uint64_t{1} << (static_cast<std::size_t>(c) % 64);
+        }
+      }
+      std::int32_t color = 0;
+      while (forbidden[static_cast<std::size_t>(color) / 64] >>
+                 (static_cast<std::size_t>(color) % 64) &
+             1u) {
+        ++color;
+      }
+      colors[uv] = color;
+    });
+
+    // Publish this round's colors to the next round's snapshot.
+    device.parallel_for(n, [&](std::int64_t i) {
+      snapshot[static_cast<std::size_t>(i)] =
+          colors[static_cast<std::size_t>(i)];
+    });
+    frontier = gr::filter(device, frontier, [&](vid_t v) {
+      return colors[static_cast<std::size_t>(v)] == kUncolored;
+    });
+    return !frontier.is_empty();
+  });
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.iterations = stats.iterations;
+  result.kernel_launches = device.launch_count() - launches_before;
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol::color

@@ -1,0 +1,42 @@
+#pragma once
+// Classic Jones-Plassmann coloring [Jones & Plassmann, SISC 1993] with
+// per-vertex minimum-available color, plus the largest-degree-first priority
+// variant the paper's conclusion proposes as future work ("examine how the
+// largest-degree-first heuristic compares with the randomized algorithms").
+//
+// Unlike the paper's Algorithm 4 (which assigns one collective min color to
+// the whole frontier), this is the textbook JP: every vertex whose priority
+// beats all uncolored neighbors colors itself with the smallest color absent
+// from its (already colored) neighborhood. Colors are reused aggressively,
+// giving greedy-like quality with parallel rounds.
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+enum class JpPriority {
+  kRandom,              ///< Luby-style random priorities
+  kLargestDegreeFirst,  ///< degree, tie-broken by random (future-work exp.)
+  kSmallestDegreeLast,  ///< inverse-degeneracy weight, tie-broken by random
+  /// Che et al. [IPDPSW 2015] hybrid: "a largest degree-first strategy for
+  /// early iterations, followed by a randomized strategy" — encoded as a
+  /// static priority where vertices above the hybrid_degree_percentile get
+  /// degree-ordered (they color in the early rounds) and the rest compete
+  /// on random draws.
+  kHybridDegreeThenRandom,
+};
+
+struct JonesPlassmannOptions : Options {
+  JpPriority priority = JpPriority::kRandom;
+  /// kHybridDegreeThenRandom only: fraction of vertices (by degree rank)
+  /// treated degree-first.
+  double hybrid_degree_fraction = 0.1;
+};
+
+[[nodiscard]] Coloring jones_plassmann_color(
+    const graph::Csr& csr, const JonesPlassmannOptions& options = {});
+
+[[nodiscard]] const char* to_string(JpPriority priority) noexcept;
+
+}  // namespace gcol::color

@@ -1,0 +1,161 @@
+#include "core/naumov.hpp"
+
+#include <array>
+#include <vector>
+
+#include "core/verify.hpp"
+#include "sim/atomics.hpp"
+#include "sim/device.hpp"
+#include "sim/reduce.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::color {
+
+namespace {
+
+/// Tie-broken per-iteration hash priority, packed so int64 comparison gives
+/// a strict total order (csrcolor breaks hash ties by vertex index too).
+inline std::int64_t hash_priority(std::uint64_t seed, std::uint32_t iteration,
+                                  vid_t v) noexcept {
+  return (static_cast<std::int64_t>(sim::iteration_hash(seed, iteration, v))
+          << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(v));
+}
+
+}  // namespace
+
+Coloring naumov_jpl_color(const graph::Csr& csr,
+                          const NaumovJplOptions& options) {
+  const vid_t n = csr.num_vertices;
+  const auto un = static_cast<std::size_t>(n);
+  auto& device = sim::Device::instance();
+
+  Coloring result;
+  result.algorithm = "naumov_jpl";
+  result.colors.assign(un, kUncolored);
+  if (n == 0) return result;
+
+  std::int32_t* colors = result.colors.data();
+
+  const sim::Stopwatch watch;
+  const std::uint64_t launches_before = device.launch_count();
+  for (std::int32_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    // One kernel: every uncolored vertex checks whether it holds the local
+    // hash maximum among uncolored neighbors; re-randomized every iteration.
+    device.parallel_for(n, [&](std::int64_t vi) {
+      const auto v = static_cast<vid_t>(vi);
+      const auto uv = static_cast<std::size_t>(v);
+      if (colors[uv] != kUncolored) return;
+      const std::int64_t mine = hash_priority(
+          options.seed, static_cast<std::uint32_t>(iteration), v);
+      for (const vid_t u : csr.neighbors(v)) {
+        // Skip only neighbors finalized in EARLIER iterations; a neighbor
+        // racily colored this iteration must still be compared, or two
+        // adjacent local maxima could both claim this iteration's color.
+        const std::int32_t cu = sim::atomic_load(
+            colors[static_cast<std::size_t>(u)]);
+        if (cu != kUncolored && cu != iteration) continue;
+        if (hash_priority(options.seed, static_cast<std::uint32_t>(iteration),
+                          u) > mine) {
+          return;
+        }
+      }
+      sim::atomic_store(colors[uv], iteration);
+    });
+    ++result.iterations;
+
+    const std::int64_t uncolored = sim::count_if<std::int32_t>(
+        device, result.colors, [](std::int32_t c) { return c == kUncolored; });
+    if (uncolored == 0) break;
+  }
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.kernel_launches = device.launch_count() - launches_before;
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+Coloring naumov_cc_color(const graph::Csr& csr,
+                         const NaumovCcOptions& options) {
+  const vid_t n = csr.num_vertices;
+  const auto un = static_cast<std::size_t>(n);
+  auto& device = sim::Device::instance();
+
+  Coloring result;
+  result.algorithm = "naumov_cc";
+  result.colors.assign(un, kUncolored);
+  if (n == 0) return result;
+
+  constexpr std::int32_t kMaxHashes = 8;
+  const std::int32_t num_hashes =
+      options.num_hashes < 1
+          ? 1
+          : (options.num_hashes > kMaxHashes ? kMaxHashes
+                                             : options.num_hashes);
+  std::int32_t* colors = result.colors.data();
+
+  const sim::Stopwatch watch;
+  const std::uint64_t launches_before = device.launch_count();
+  for (std::int32_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    const std::int32_t color_base = iteration * 2 * num_hashes;
+    device.parallel_for(n, [&](std::int64_t vi) {
+      const auto v = static_cast<vid_t>(vi);
+      const auto uv = static_cast<std::size_t>(v);
+      if (colors[uv] != kUncolored) return;
+      // Evaluate all hash functions in a single neighbor pass.
+      std::array<bool, kMaxHashes> is_max{};
+      std::array<bool, kMaxHashes> is_min{};
+      std::array<std::int64_t, kMaxHashes> mine{};
+      for (std::int32_t h = 0; h < num_hashes; ++h) {
+        is_max[static_cast<std::size_t>(h)] = true;
+        is_min[static_cast<std::size_t>(h)] = true;
+        mine[static_cast<std::size_t>(h)] = hash_priority(
+            options.seed + static_cast<std::uint64_t>(h) * 0x9e37u,
+            static_cast<std::uint32_t>(iteration), v);
+      }
+      for (const vid_t u : csr.neighbors(v)) {
+        // As in JPL: only skip neighbors finalized before this iteration.
+        const std::int32_t cu = sim::atomic_load(
+            colors[static_cast<std::size_t>(u)]);
+        if (cu != kUncolored && cu < color_base) continue;
+        for (std::int32_t h = 0; h < num_hashes; ++h) {
+          const std::int64_t theirs = hash_priority(
+              options.seed + static_cast<std::uint64_t>(h) * 0x9e37u,
+              static_cast<std::uint32_t>(iteration), u);
+          if (theirs > mine[static_cast<std::size_t>(h)]) {
+            is_max[static_cast<std::size_t>(h)] = false;
+          }
+          if (theirs < mine[static_cast<std::size_t>(h)]) {
+            is_min[static_cast<std::size_t>(h)] = false;
+          }
+        }
+      }
+      // First winning role claims its reserved color for this iteration.
+      for (std::int32_t h = 0; h < num_hashes; ++h) {
+        if (is_max[static_cast<std::size_t>(h)]) {
+          sim::atomic_store(colors[uv], color_base + 2 * h);
+          return;
+        }
+        if (is_min[static_cast<std::size_t>(h)]) {
+          sim::atomic_store(colors[uv], color_base + 2 * h + 1);
+          return;
+        }
+      }
+    });
+    ++result.iterations;
+
+    const std::int64_t uncolored = sim::count_if<std::int32_t>(
+        device, result.colors, [](std::int32_t c) { return c == kUncolored; });
+    if (uncolored == 0) break;
+  }
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.kernel_launches = device.launch_count() - launches_before;
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol::color

@@ -1,0 +1,80 @@
+#include "core/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/rng.hpp"
+
+namespace gcol::color {
+
+std::vector<vid_t> natural_order(vid_t num_vertices) {
+  std::vector<vid_t> order(static_cast<std::size_t>(num_vertices));
+  std::iota(order.begin(), order.end(), vid_t{0});
+  return order;
+}
+
+std::vector<vid_t> random_order(vid_t num_vertices, std::uint64_t seed) {
+  std::vector<vid_t> order = natural_order(num_vertices);
+  const sim::CounterRng rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_below(i, static_cast<std::uint64_t>(i)));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+std::vector<vid_t> largest_degree_first_order(const graph::Csr& csr) {
+  std::vector<vid_t> order = natural_order(csr.num_vertices);
+  std::stable_sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    return csr.degree(a) > csr.degree(b);
+  });
+  return order;
+}
+
+std::vector<vid_t> smallest_degree_last_order(const graph::Csr& csr) {
+  const vid_t n = csr.num_vertices;
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<vid_t> degree(un);
+  vid_t max_degree = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    degree[static_cast<std::size_t>(v)] = csr.degree(v);
+    max_degree = std::max(max_degree, csr.degree(v));
+  }
+  std::vector<std::vector<vid_t>> buckets(
+      static_cast<std::size_t>(max_degree) + 1);
+  for (vid_t v = 0; v < n; ++v) {
+    buckets[static_cast<std::size_t>(degree[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  std::vector<bool> removed(un, false);
+  std::vector<vid_t> removal_order;
+  removal_order.reserve(un);
+  vid_t cursor = 0;
+  while (removal_order.size() < un) {
+    while (cursor <= max_degree &&
+           buckets[static_cast<std::size_t>(cursor)].empty()) {
+      ++cursor;
+    }
+    auto& bucket = buckets[static_cast<std::size_t>(cursor)];
+    const vid_t v = bucket.back();
+    bucket.pop_back();
+    // Lazy deletion: skip entries whose vertex moved buckets or is gone.
+    if (removed[static_cast<std::size_t>(v)] ||
+        degree[static_cast<std::size_t>(v)] != cursor) {
+      continue;
+    }
+    removed[static_cast<std::size_t>(v)] = true;
+    removal_order.push_back(v);
+    for (const vid_t u : csr.neighbors(v)) {
+      if (removed[static_cast<std::size_t>(u)]) continue;
+      const vid_t d = --degree[static_cast<std::size_t>(u)];
+      buckets[static_cast<std::size_t>(d)].push_back(u);
+      if (d < cursor) cursor = d;
+    }
+  }
+  std::reverse(removal_order.begin(), removal_order.end());
+  return removal_order;
+}
+
+}  // namespace gcol::color

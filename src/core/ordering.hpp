@@ -1,0 +1,29 @@
+#pragma once
+// Vertex ordering heuristics shared by the sequential greedy baseline and
+// the Jones-Plassmann priority variants (paper §II and the future-work
+// largest-degree-first discussion).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+/// 0, 1, ..., n-1.
+[[nodiscard]] std::vector<vid_t> natural_order(vid_t num_vertices);
+
+/// Uniform shuffle (Fisher-Yates over a counter RNG; deterministic in seed).
+[[nodiscard]] std::vector<vid_t> random_order(vid_t num_vertices,
+                                              std::uint64_t seed);
+
+/// Static degree, descending (Welsh-Powell).
+[[nodiscard]] std::vector<vid_t> largest_degree_first_order(
+    const graph::Csr& csr);
+
+/// Matula-Beck smallest-degree-last (degeneracy) order: greedy coloring in
+/// this order uses at most degeneracy + 1 colors. O(n + m) bucket queue.
+[[nodiscard]] std::vector<vid_t> smallest_degree_last_order(
+    const graph::Csr& csr);
+
+}  // namespace gcol::color

@@ -1,0 +1,212 @@
+#include "core/recolor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/verify.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::color {
+
+namespace {
+
+/// Remaps colors to a dense range [0, k) preserving class identity.
+std::int32_t normalize_colors(std::vector<std::int32_t>& colors) {
+  std::int32_t max_color = kUncolored;
+  for (const std::int32_t c : colors) max_color = std::max(max_color, c);
+  if (max_color < 0) return 0;
+  std::vector<std::int32_t> remap(static_cast<std::size_t>(max_color) + 1,
+                                  -1);
+  std::int32_t next = 0;
+  for (std::int32_t& c : colors) {
+    if (c < 0) continue;
+    if (remap[static_cast<std::size_t>(c)] < 0) {
+      remap[static_cast<std::size_t>(c)] = next++;
+    }
+    c = remap[static_cast<std::size_t>(c)];
+  }
+  return next;
+}
+
+std::vector<std::int64_t> class_sizes(std::span<const std::int32_t> colors,
+                                      std::int32_t num_classes) {
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(num_classes), 0);
+  for (const std::int32_t c : colors) {
+    if (c >= 0) ++sizes[static_cast<std::size_t>(c)];
+  }
+  return sizes;
+}
+
+}  // namespace
+
+double class_imbalance(std::span<const std::int32_t> colors) {
+  std::int32_t max_color = kUncolored;
+  for (const std::int32_t c : colors) max_color = std::max(max_color, c);
+  if (max_color < 0) return 1.0;
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(max_color) + 1, 0);
+  std::int64_t total = 0;
+  for (const std::int32_t c : colors) {
+    if (c >= 0) {
+      ++sizes[static_cast<std::size_t>(c)];
+      ++total;
+    }
+  }
+  std::int64_t nonempty = 0;
+  std::int64_t largest = 0;
+  for (const std::int64_t s : sizes) {
+    if (s > 0) ++nonempty;
+    largest = std::max(largest, s);
+  }
+  if (nonempty == 0) return 1.0;
+  const double average =
+      static_cast<double>(total) / static_cast<double>(nonempty);
+  return static_cast<double>(largest) / average;
+}
+
+Coloring iterated_greedy_recolor(const graph::Csr& csr,
+                                 const Coloring& coloring,
+                                 const IteratedGreedyOptions& options) {
+  const vid_t n = csr.num_vertices;
+  const auto un = static_cast<std::size_t>(n);
+
+  Coloring result;
+  result.algorithm = coloring.algorithm + "+iterated_greedy";
+  result.colors = coloring.colors;
+  const sim::Stopwatch watch;
+
+  std::vector<vid_t> forbidden(un + 1, -1);
+  const sim::CounterRng rng(options.seed, 0x1755);
+
+  for (std::int32_t round = 0; round < options.rounds; ++round) {
+    const std::int32_t num_classes = normalize_colors(result.colors);
+    if (num_classes <= 1) break;
+
+    // Visit order over classes.
+    std::vector<std::int32_t> class_order(
+        static_cast<std::size_t>(num_classes));
+    std::iota(class_order.begin(), class_order.end(), 0);
+    const auto sizes = class_sizes(result.colors, num_classes);
+    switch (options.order) {
+      case ClassOrder::kReverse:
+        std::reverse(class_order.begin(), class_order.end());
+        break;
+      case ClassOrder::kLargestFirst:
+        std::stable_sort(class_order.begin(), class_order.end(),
+                         [&](std::int32_t a, std::int32_t b) {
+                           return sizes[static_cast<std::size_t>(a)] >
+                                  sizes[static_cast<std::size_t>(b)];
+                         });
+        break;
+      case ClassOrder::kSmallestFirst:
+        std::stable_sort(class_order.begin(), class_order.end(),
+                         [&](std::int32_t a, std::int32_t b) {
+                           return sizes[static_cast<std::size_t>(a)] <
+                                  sizes[static_cast<std::size_t>(b)];
+                         });
+        break;
+      case ClassOrder::kRandom:
+        for (std::size_t i = class_order.size(); i > 1; --i) {
+          const auto j = static_cast<std::size_t>(rng.uniform_below(
+              static_cast<std::uint64_t>(round) * 131 + i,
+              static_cast<std::uint64_t>(i)));
+          std::swap(class_order[i - 1], class_order[j]);
+        }
+        break;
+    }
+    std::vector<std::int32_t> class_rank(
+        static_cast<std::size_t>(num_classes));
+    for (std::int32_t r = 0; r < num_classes; ++r) {
+      class_rank[static_cast<std::size_t>(class_order[
+          static_cast<std::size_t>(r)])] = r;
+    }
+
+    // Vertex visit order: by class rank (stable within class by id). The
+    // Culberson invariant: because all same-class vertices are mutually
+    // non-adjacent and visited together, first-fit can only merge classes,
+    // never split one — the count cannot grow.
+    std::vector<vid_t> order(un);
+    std::iota(order.begin(), order.end(), vid_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+      return class_rank[static_cast<std::size_t>(
+                 result.colors[static_cast<std::size_t>(a)])] <
+             class_rank[static_cast<std::size_t>(
+                 result.colors[static_cast<std::size_t>(b)])];
+    });
+
+    std::vector<std::int32_t> next(un, kUncolored);
+    for (vid_t k = 0; k < n; ++k) {
+      const vid_t v = order[static_cast<std::size_t>(k)];
+      for (const vid_t u : csr.neighbors(v)) {
+        const std::int32_t c = next[static_cast<std::size_t>(u)];
+        if (c >= 0 && c <= n) forbidden[static_cast<std::size_t>(c)] = k;
+      }
+      std::int32_t c = 0;
+      while (forbidden[static_cast<std::size_t>(c)] == k) ++c;
+      next[static_cast<std::size_t>(v)] = c;
+    }
+    result.colors = std::move(next);
+    ++result.iterations;
+  }
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+Coloring balance_colors(const graph::Csr& csr, const Coloring& coloring,
+                        const BalanceOptions& options) {
+  const vid_t n = csr.num_vertices;
+
+  Coloring result;
+  result.algorithm = coloring.algorithm + "+balanced";
+  result.colors = coloring.colors;
+  const sim::Stopwatch watch;
+
+  const std::int32_t num_classes = normalize_colors(result.colors);
+  if (num_classes > 1) {
+    auto sizes = class_sizes(result.colors, num_classes);
+    const std::int64_t target =
+        (n + num_classes - 1) / num_classes;  // ceil(average)
+
+    std::vector<bool> neighbor_uses(static_cast<std::size_t>(num_classes));
+    for (std::int32_t round = 0; round < options.rounds; ++round) {
+      bool moved = false;
+      for (vid_t v = 0; v < n; ++v) {
+        const auto cv = static_cast<std::size_t>(
+            result.colors[static_cast<std::size_t>(v)]);
+        if (sizes[cv] <= target) continue;  // class not oversized
+        std::fill(neighbor_uses.begin(), neighbor_uses.end(), false);
+        for (const vid_t u : csr.neighbors(v)) {
+          neighbor_uses[static_cast<std::size_t>(
+              result.colors[static_cast<std::size_t>(u)])] = true;
+        }
+        // Smallest feasible under-target class, if any improves balance.
+        std::int32_t best = -1;
+        for (std::int32_t c = 0; c < num_classes; ++c) {
+          if (neighbor_uses[static_cast<std::size_t>(c)]) continue;
+          if (sizes[static_cast<std::size_t>(c)] + 1 >= sizes[cv]) continue;
+          if (best < 0 || sizes[static_cast<std::size_t>(c)] <
+                              sizes[static_cast<std::size_t>(best)]) {
+            best = c;
+          }
+        }
+        if (best >= 0) {
+          --sizes[cv];
+          ++sizes[static_cast<std::size_t>(best)];
+          result.colors[static_cast<std::size_t>(v)] = best;
+          moved = true;
+        }
+      }
+      ++result.iterations;
+      if (!moved) break;
+    }
+  }
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol::color

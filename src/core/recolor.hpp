@@ -1,0 +1,54 @@
+#pragma once
+// Post-processing passes over an existing proper coloring:
+//
+// - iterated_greedy (Culberson 1992): re-run greedy with vertices grouped by
+//   their current color class and classes visited in a chosen order. The
+//   color count NEVER increases, and reverse/descending class orders often
+//   shave colors off — a cheap quality boost for any of the paper's
+//   fast-but-wasteful heuristics (IS, CC).
+// - balance_colors (Deveci et al.'s "balanced coloring" idea): move vertices
+//   from oversized classes to the smallest class available in their
+//   neighborhood, evening out class sizes without adding colors. Class
+//   balance directly bounds downstream parallelism per bulk-synchronous step
+//   (multicolor Gauss-Seidel, chromatic scheduling).
+
+#include <span>
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+enum class ClassOrder {
+  kReverse,         ///< highest color first (Culberson's classic choice)
+  kLargestFirst,    ///< biggest class first
+  kSmallestFirst,   ///< smallest class first
+  kRandom,          ///< shuffled classes
+};
+
+struct IteratedGreedyOptions : Options {
+  std::int32_t rounds = 4;
+  ClassOrder order = ClassOrder::kReverse;
+};
+
+/// Runs `rounds` Culberson passes over `coloring` and returns the improved
+/// coloring. Invariants: output is proper whenever input is, and
+/// output.num_colors <= input num_colors.
+[[nodiscard]] Coloring iterated_greedy_recolor(
+    const graph::Csr& csr, const Coloring& coloring,
+    const IteratedGreedyOptions& options = {});
+
+struct BalanceOptions : Options {
+  std::int32_t rounds = 2;
+};
+
+/// Rebalances class sizes without increasing the color count. Returns the
+/// new coloring; `coloring` itself is not modified.
+[[nodiscard]] Coloring balance_colors(const graph::Csr& csr,
+                                      const Coloring& coloring,
+                                      const BalanceOptions& options = {});
+
+/// Ratio largest class / average class size (1.0 = perfectly balanced).
+[[nodiscard]] double class_imbalance(std::span<const std::int32_t> colors);
+
+}  // namespace gcol::color

@@ -1,0 +1,177 @@
+#include "core/registry.hpp"
+
+#include "core/dsatur.hpp"
+#include "core/gm_speculative.hpp"
+#include "core/greedy.hpp"
+#include "core/grb_is.hpp"
+#include "core/grb_jpl.hpp"
+#include "core/grb_mis.hpp"
+#include "core/gunrock_ar.hpp"
+#include "core/gunrock_hash.hpp"
+#include "core/gunrock_is.hpp"
+#include "core/jones_plassmann.hpp"
+#include "core/naumov.hpp"
+
+namespace gcol::color {
+
+namespace {
+
+std::vector<AlgorithmSpec> make_registry() {
+  std::vector<AlgorithmSpec> all;
+
+  // ---- the paper's nine Figure 1 series, legend order -----------------
+  all.push_back({"cpu_greedy", "CPU/Color_Greedy", true,
+                 [](const graph::Csr& csr, const Options& base) {
+                   GreedyOptions options;
+                   static_cast<Options&>(options) = base;
+                   return greedy_color(csr, options);
+                 }});
+  all.push_back({"grb_is", "GraphBLAST/Color_IS", true,
+                 [](const graph::Csr& csr, const Options& base) {
+                   return grb_is_color(csr, base);
+                 }});
+  all.push_back({"grb_jpl", "GraphBLAST/Color_JPL", true,
+                 [](const graph::Csr& csr, const Options& base) {
+                   return grb_jpl_color(csr, base);
+                 }});
+  all.push_back({"grb_mis", "GraphBLAST/Color_MIS", true,
+                 [](const graph::Csr& csr, const Options& base) {
+                   return grb_mis_color(csr, base);
+                 }});
+  all.push_back({"gunrock_ar", "Gunrock/Color_AR", true,
+                 [](const graph::Csr& csr, const Options& base) {
+                   GunrockArOptions options;
+                   static_cast<Options&>(options) = base;
+                   return gunrock_ar_color(csr, options);
+                 }});
+  all.push_back({"gunrock_hash", "Gunrock/Color_Hash", true,
+                 [](const graph::Csr& csr, const Options& base) {
+                   GunrockHashOptions options;
+                   static_cast<Options&>(options) = base;
+                   return gunrock_hash_color(csr, options);
+                 }});
+  all.push_back({"gunrock_is", "Gunrock/Color_IS", true,
+                 [](const graph::Csr& csr, const Options& base) {
+                   GunrockIsOptions options;
+                   static_cast<Options&>(options) = base;
+                   return gunrock_is_color(csr, options);
+                 }});
+  all.push_back({"naumov_cc", "Naumov/Color_CC", true,
+                 [](const graph::Csr& csr, const Options& base) {
+                   NaumovCcOptions options;
+                   static_cast<Options&>(options) = base;
+                   return naumov_cc_color(csr, options);
+                 }});
+  all.push_back({"naumov_jpl", "Naumov/Color_JPL", true,
+                 [](const graph::Csr& csr, const Options& base) {
+                   return naumov_jpl_color(csr, base);
+                 }});
+
+  // ---- Table II ablation variants of Gunrock IS ------------------------
+  all.push_back({"gunrock_is_atomics", "Gunrock/Color_IS(atomics)", false,
+                 [](const graph::Csr& csr, const Options& base) {
+                   GunrockIsOptions options;
+                   static_cast<Options&>(options) = base;
+                   options.min_max = false;
+                   options.use_atomics = true;
+                   return gunrock_is_color(csr, options);
+                 }});
+  all.push_back({"gunrock_ar_fused", "Gunrock/Color_AR(fused-minmax)", false,
+                 [](const graph::Csr& csr, const Options& base) {
+                   GunrockArOptions options;
+                   static_cast<Options&>(options) = base;
+                   options.fused_minmax = true;
+                   return gunrock_ar_color(csr, options);
+                 }});
+  all.push_back({"gunrock_is_single", "Gunrock/Color_IS(single-set)", false,
+                 [](const graph::Csr& csr, const Options& base) {
+                   GunrockIsOptions options;
+                   static_cast<Options&>(options) = base;
+                   options.min_max = false;
+                   options.use_atomics = false;
+                   return gunrock_is_color(csr, options);
+                 }});
+
+  // ---- greedy ordering heuristics (survey, §II) -------------------------
+  const struct {
+    const char* name;
+    const char* display;
+    GreedyOrder order;
+  } greedy_variants[] = {
+      {"cpu_greedy_random", "CPU/Color_Greedy(random)", GreedyOrder::kRandom},
+      {"cpu_greedy_lf", "CPU/Color_Greedy(largest-first)",
+       GreedyOrder::kLargestDegreeFirst},
+      {"cpu_greedy_sl", "CPU/Color_Greedy(smallest-last)",
+       GreedyOrder::kSmallestDegreeLast},
+      {"cpu_greedy_id", "CPU/Color_Greedy(incidence)",
+       GreedyOrder::kIncidenceDegree},
+  };
+  for (const auto& variant : greedy_variants) {
+    const GreedyOrder order = variant.order;
+    all.push_back({variant.name, variant.display, false,
+                   [order](const graph::Csr& csr, const Options& base) {
+                     GreedyOptions options;
+                     static_cast<Options&>(options) = base;
+                     options.order = order;
+                     return greedy_color(csr, options);
+                   }});
+  }
+
+  // ---- future-work extensions ------------------------------------------
+  const struct {
+    const char* name;
+    const char* display;
+    JpPriority priority;
+  } jp_variants[] = {
+      {"jp_random", "JP/Color_Random", JpPriority::kRandom},
+      {"jp_ldf", "JP/Color_LDF", JpPriority::kLargestDegreeFirst},
+      {"jp_sdl", "JP/Color_SDL", JpPriority::kSmallestDegreeLast},
+      {"jp_hybrid", "JP/Color_HybridChe", JpPriority::kHybridDegreeThenRandom},
+  };
+  for (const auto& variant : jp_variants) {
+    const JpPriority priority = variant.priority;
+    all.push_back({variant.name, variant.display, false,
+                   [priority](const graph::Csr& csr, const Options& base) {
+                     JonesPlassmannOptions options;
+                     static_cast<Options&>(options) = base;
+                     options.priority = priority;
+                     return jones_plassmann_color(csr, options);
+                   }});
+  }
+  all.push_back({"dsatur", "CPU/Color_DSATUR", false,
+                 [](const graph::Csr& csr, const Options& base) {
+                   return dsatur_color(csr, base);
+                 }});
+  all.push_back({"gm_speculative", "GM/Color_Speculative", false,
+                 [](const graph::Csr& csr, const Options& base) {
+                   GmSpeculativeOptions options;
+                   static_cast<Options&>(options) = base;
+                   return gm_speculative_color(csr, options);
+                 }});
+
+  return all;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmSpec>& all_algorithms() {
+  static const std::vector<AlgorithmSpec> registry = make_registry();
+  return registry;
+}
+
+std::vector<const AlgorithmSpec*> figure1_algorithms() {
+  std::vector<const AlgorithmSpec*> nine;
+  for (const AlgorithmSpec& spec : all_algorithms()) {
+    if (spec.in_figure1) nine.push_back(&spec);
+  }
+  return nine;
+}
+
+const AlgorithmSpec* find_algorithm(const std::string& name) {
+  for (const AlgorithmSpec& spec : all_algorithms()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace gcol::color

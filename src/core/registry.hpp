@@ -1,0 +1,33 @@
+#pragma once
+// Name -> algorithm registry. Benchmarks, examples and the CLI look
+// implementations up here; the display names match the paper's Figure 1
+// legend so harness output lines up with the published charts.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+struct AlgorithmSpec {
+  std::string name;          ///< stable CLI identifier, e.g. "gunrock_is"
+  std::string display_name;  ///< paper legend, e.g. "Gunrock/Color_IS"
+  bool in_figure1 = false;   ///< one of the paper's nine compared series
+  std::function<Coloring(const graph::Csr&, const Options&)> run;
+};
+
+/// Every registered implementation: the paper's nine plus the extensions
+/// (classic Jones-Plassmann variants, Gebremedhin-Manne, greedy orderings,
+/// Gunrock IS ablation variants).
+[[nodiscard]] const std::vector<AlgorithmSpec>& all_algorithms();
+
+/// The nine Figure 1 series, in the paper's legend order.
+[[nodiscard]] std::vector<const AlgorithmSpec*> figure1_algorithms();
+
+/// Lookup by CLI name; nullptr when unknown.
+[[nodiscard]] const AlgorithmSpec* find_algorithm(const std::string& name);
+
+}  // namespace gcol::color

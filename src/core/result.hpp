@@ -1,0 +1,40 @@
+#pragma once
+// Common result and option types for every coloring algorithm in the
+// library. All algorithms emit the same Coloring record so the benchmark
+// harnesses can compare implementations uniformly (runtime, color count,
+// iterations, global synchronizations), mirroring the paper's Figure 1 and
+// Table II metrics.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gcol::color {
+
+/// Colors are 0-based contiguous-ish small integers; kUncolored marks a
+/// vertex no color has been assigned to (only valid mid-algorithm — every
+/// algorithm's output colors all vertices).
+inline constexpr std::int32_t kUncolored = -1;
+
+struct Coloring {
+  std::string algorithm;             ///< registry name of the producer
+  std::vector<std::int32_t> colors;  ///< per-vertex color, size n
+  std::int32_t num_colors = 0;       ///< number of distinct colors used
+  std::int32_t iterations = 0;       ///< outer color rounds
+  double elapsed_ms = 0.0;           ///< wall clock of the color phase only
+  std::uint64_t kernel_launches = 0; ///< global-synchronization proxy
+  std::int64_t conflicts_resolved = 0;  ///< hash/speculative variants only
+};
+
+/// Options shared by the parallel heuristics. Each algorithm header extends
+/// this with its own knobs.
+struct Options {
+  std::uint64_t seed = 0x5eedULL;
+  /// Safety cap on outer iterations (far above any practical bound; the
+  /// randomized heuristics all have expected O(log n) rounds).
+  std::int32_t max_iterations = 1 << 20;
+};
+
+}  // namespace gcol::color

@@ -1,0 +1,60 @@
+#include "core/verify.hpp"
+
+#include <algorithm>
+
+namespace gcol::color {
+
+std::optional<Violation> find_violation(const graph::Csr& csr,
+                                        std::span<const std::int32_t> colors) {
+  if (colors.size() != static_cast<std::size_t>(csr.num_vertices)) {
+    return Violation{.vertex = 0, .neighbor = kUncolored, .color = kUncolored};
+  }
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    const std::int32_t c = colors[static_cast<std::size_t>(v)];
+    if (c < 0) {
+      return Violation{.vertex = v, .neighbor = kUncolored, .color = c};
+    }
+    for (const vid_t u : csr.neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] == c) {
+        return Violation{.vertex = v, .neighbor = u, .color = c};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_valid_coloring(const graph::Csr& csr,
+                       std::span<const std::int32_t> colors) {
+  return !find_violation(csr, colors).has_value();
+}
+
+std::int32_t count_colors(std::span<const std::int32_t> colors) {
+  std::int32_t max_color = kUncolored;
+  for (const std::int32_t c : colors) max_color = std::max(max_color, c);
+  if (max_color < 0) return 0;
+  // Colors may be non-contiguous (hash reuse, CC multi-hash); count distinct.
+  std::vector<bool> used(static_cast<std::size_t>(max_color) + 1, false);
+  for (const std::int32_t c : colors) {
+    if (c >= 0) used[static_cast<std::size_t>(c)] = true;
+  }
+  return static_cast<std::int32_t>(std::count(used.begin(), used.end(), true));
+}
+
+std::vector<std::int64_t> color_histogram(
+    std::span<const std::int32_t> colors) {
+  std::int32_t max_color = kUncolored;
+  for (const std::int32_t c : colors) max_color = std::max(max_color, c);
+  std::vector<std::int64_t> histogram(
+      max_color >= 0 ? static_cast<std::size_t>(max_color) + 1 : 0, 0);
+  for (const std::int32_t c : colors) {
+    if (c >= 0) ++histogram[static_cast<std::size_t>(c)];
+  }
+  return histogram;
+}
+
+bool finalize_and_verify(const graph::Csr& csr, Coloring& result) {
+  result.num_colors = count_colors(result.colors);
+  return is_valid_coloring(csr, result.colors);
+}
+
+}  // namespace gcol::color

@@ -1,0 +1,45 @@
+#pragma once
+// Independent verification of colorings. Every test and benchmark validates
+// algorithm output through these functions, which share no code with the
+// algorithms themselves.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::color {
+
+/// A proper-coloring violation: either an uncolored vertex (neighbor ==
+/// kUncolored sentinel) or an edge whose endpoints share a color.
+struct Violation {
+  vid_t vertex = 0;
+  vid_t neighbor = 0;  ///< kUncolored when `vertex` itself is uncolored
+  std::int32_t color = kUncolored;
+};
+
+/// Returns the first violation found, or nullopt for a proper and complete
+/// coloring. O(n + m).
+[[nodiscard]] std::optional<Violation> find_violation(
+    const graph::Csr& csr, std::span<const std::int32_t> colors);
+
+/// True when every vertex is colored and no edge is monochromatic.
+[[nodiscard]] bool is_valid_coloring(const graph::Csr& csr,
+                                     std::span<const std::int32_t> colors);
+
+/// Number of distinct colors used (ignoring kUncolored entries).
+[[nodiscard]] std::int32_t count_colors(std::span<const std::int32_t> colors);
+
+/// Histogram of color-class sizes, indexed by color. The balance of these
+/// classes determines available parallelism in downstream consumers
+/// (multicolor Gauss-Seidel, chromatic scheduling).
+[[nodiscard]] std::vector<std::int64_t> color_histogram(
+    std::span<const std::int32_t> colors);
+
+/// Fills result.num_colors from result.colors and returns whether the
+/// coloring verifies against `csr`.
+bool finalize_and_verify(const graph::Csr& csr, Coloring& result);
+
+}  // namespace gcol::color

@@ -1,0 +1,120 @@
+#pragma once
+// Simulated distributed-memory execution — the substrate for the paper's
+// §II-B survey material (Bozdağ et al.'s distributed speculative coloring
+// framework and the Jones-Plassmann heuristic it is compared against).
+//
+// We have no cluster, so per the substitution rule the message-passing
+// environment is simulated: a bulk-synchronous (BSP/Pregel-style) engine
+// where R ranks hold private state, execute a superstep function in
+// parallel (on the virtual device), and exchange point-to-point messages
+// that are delivered at the next superstep boundary. This preserves what
+// the distributed algorithms' behaviour actually depends on — information
+// staleness across rounds, message volume, and round counts — without
+// pretending to model wire latency.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace gcol::dist {
+
+using rank_t = std::int32_t;
+
+/// A point-to-point message with an opaque payload type.
+template <typename Payload>
+struct Message {
+  rank_t from = 0;
+  Payload payload{};
+};
+
+/// Per-rank mailbox interface handed to the superstep function.
+template <typename Payload>
+class Mailbox {
+ public:
+  Mailbox(rank_t rank, rank_t size,
+          std::vector<Message<Payload>>* inbox,
+          std::vector<std::vector<Message<Payload>>>* outboxes)
+      : rank_(rank), size_(size), inbox_(inbox), outboxes_(outboxes) {}
+
+  [[nodiscard]] rank_t rank() const noexcept { return rank_; }
+  [[nodiscard]] rank_t size() const noexcept { return size_; }
+
+  /// Messages sent to this rank during the PREVIOUS superstep.
+  [[nodiscard]] const std::vector<Message<Payload>>& inbox() const noexcept {
+    return *inbox_;
+  }
+
+  /// Queues a message for delivery at the next superstep boundary.
+  void send(rank_t dest, Payload payload) {
+    (*outboxes_)[static_cast<std::size_t>(dest)].push_back(
+        Message<Payload>{rank_, std::move(payload)});
+  }
+
+ private:
+  rank_t rank_;
+  rank_t size_;
+  std::vector<Message<Payload>>* inbox_;
+  std::vector<std::vector<Message<Payload>>>* outboxes_;
+};
+
+struct BspStats {
+  std::int32_t supersteps = 0;
+  std::int64_t messages = 0;  ///< total point-to-point messages delivered
+};
+
+/// Runs ranks in lockstep supersteps until every rank votes to halt in the
+/// same superstep (Pregel semantics: a rank receiving messages still runs).
+///
+/// `step(rank_state, mailbox, superstep)` returns true to keep running.
+/// Ranks execute concurrently on the virtual device within a superstep;
+/// cross-rank communication is ONLY via mailboxes, so the simulation is
+/// deterministic for any worker count.
+template <typename State, typename Payload, typename Step>
+BspStats run_bsp(sim::Device& device, std::vector<State>& states, Step step,
+                 std::int32_t max_supersteps = 1 << 20) {
+  const auto num_ranks = static_cast<rank_t>(states.size());
+  const auto unum_ranks = states.size();
+  // Double-buffered mailboxes: inboxes hold last superstep's messages,
+  // outboxes collect this superstep's sends (one vector per (src, dest)
+  // pair so sends need no locking).
+  std::vector<std::vector<Message<Payload>>> inboxes(unum_ranks);
+  std::vector<std::vector<std::vector<Message<Payload>>>> outboxes(
+      unum_ranks, std::vector<std::vector<Message<Payload>>>(unum_ranks));
+
+  BspStats stats;
+  std::vector<std::uint8_t> active(unum_ranks, 1);
+  for (std::int32_t superstep = 0; superstep < max_supersteps; ++superstep) {
+    ++stats.supersteps;
+    device.parallel_for(num_ranks, [&](std::int64_t r) {
+      const auto ur = static_cast<std::size_t>(r);
+      Mailbox<Payload> mailbox(static_cast<rank_t>(r), num_ranks,
+                               &inboxes[ur], &outboxes[ur]);
+      active[ur] = step(states[ur], mailbox, superstep) ? 1 : 0;
+    });
+
+    // Superstep boundary: deliver all outboxes into inboxes.
+    bool any_message = false;
+    for (std::size_t dest = 0; dest < unum_ranks; ++dest) {
+      inboxes[dest].clear();
+      for (std::size_t src = 0; src < unum_ranks; ++src) {
+        auto& queue = outboxes[src][dest];
+        if (queue.empty()) continue;
+        any_message = true;
+        stats.messages += static_cast<std::int64_t>(queue.size());
+        inboxes[dest].insert(inboxes[dest].end(),
+                             std::make_move_iterator(queue.begin()),
+                             std::make_move_iterator(queue.end()));
+        queue.clear();
+      }
+    }
+
+    bool any_active = any_message;
+    for (const std::uint8_t a : active) any_active |= (a != 0);
+    if (!any_active) break;
+  }
+  return stats;
+}
+
+}  // namespace gcol::dist

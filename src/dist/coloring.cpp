@@ -1,0 +1,278 @@
+#include "dist/coloring.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/verify.hpp"
+#include "dist/partition.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::dist {
+
+namespace {
+
+using color::kUncolored;
+
+/// Boundary-color announcement.
+struct ColorUpdate {
+  vid_t vertex;
+  std::int32_t color;
+};
+
+/// Tie-broken static random priority shared by both algorithms.
+std::int64_t priority_of(std::uint64_t seed, vid_t v) {
+  return (static_cast<std::int64_t>(sim::iteration_hash(seed, 0, v)) << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(v));
+}
+
+/// Per-rank state common to both algorithms. Each rank writes ONLY its own
+/// block of the global color array plus its private ghost cache, so ranks
+/// can execute concurrently without races — the same isolation a real
+/// distributed memory gives for free.
+struct RankState {
+  rank_t rank = 0;
+  const graph::Csr* csr = nullptr;
+  const Partition* partition = nullptr;
+  std::int32_t* colors = nullptr;  // global array; own block writable
+  std::uint64_t seed = 0;
+  RankTopology topology;
+  std::unordered_map<vid_t, std::int32_t> ghost;  // off-rank neighbor colors
+  std::vector<vid_t> active;                      // local uncolored vertices
+  std::vector<ColorUpdate> pending_announcements;
+  vid_t batch_size = 0;
+  std::int64_t conflicts = 0;  // per-rank tally (summed after the run)
+
+  [[nodiscard]] bool is_local(vid_t v) const {
+    return partition->owner(v) == rank;
+  }
+
+  [[nodiscard]] std::int32_t color_of(vid_t u) const {
+    if (is_local(u)) return colors[static_cast<std::size_t>(u)];
+    const auto it = ghost.find(u);
+    return it == ghost.end() ? kUncolored : it->second;
+  }
+
+  /// First-fit over the (local + ghost) neighborhood view.
+  [[nodiscard]] std::int32_t min_available(vid_t v) const {
+    const auto adj = csr->neighbors(v);
+    const std::size_t words = adj.size() / 64 + 1;
+    std::vector<std::uint64_t> forbidden(words, 0);
+    for (const vid_t u : adj) {
+      const std::int32_t c = color_of(u);
+      if (c >= 0 && static_cast<std::size_t>(c) < words * 64) {
+        forbidden[static_cast<std::size_t>(c) / 64] |=
+            std::uint64_t{1} << (static_cast<std::size_t>(c) % 64);
+      }
+    }
+    std::int32_t c = 0;
+    while (forbidden[static_cast<std::size_t>(c) / 64] >>
+               (static_cast<std::size_t>(c) % 64) &
+           1u) {
+      ++c;
+    }
+    return c;
+  }
+
+  void absorb_inbox(const std::vector<Message<ColorUpdate>>& inbox) {
+    for (const auto& message : inbox) {
+      ghost[message.payload.vertex] = message.payload.color;
+    }
+  }
+
+  /// Announces v's new color to every rank owning one of its neighbors
+  /// (each destination exactly once; the candidate list is degree-bounded).
+  void announce(Mailbox<ColorUpdate>& mailbox, vid_t v, std::int32_t c) {
+    std::vector<rank_t> notified;
+    for (const vid_t u : csr->neighbors(v)) {
+      const rank_t other = partition->owner(u);
+      if (other == rank) continue;
+      bool seen = false;
+      for (const rank_t r : notified) {
+        if (r == other) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      notified.push_back(other);
+      mailbox.send(other, ColorUpdate{v, c});
+    }
+  }
+};
+
+std::vector<RankState> make_states(const graph::Csr& csr,
+                                   const Partition& partition,
+                                   std::int32_t* colors,
+                                   const DistOptions& options) {
+  std::vector<RankState> states(
+      static_cast<std::size_t>(partition.num_ranks));
+  for (rank_t r = 0; r < partition.num_ranks; ++r) {
+    RankState& state = states[static_cast<std::size_t>(r)];
+    state.rank = r;
+    state.csr = &csr;
+    state.partition = &partition;
+    state.colors = colors;
+    state.seed = options.seed;
+    state.batch_size = options.batch_size;
+    state.topology = classify_rank(csr, partition, r);
+    for (vid_t v = partition.block_begin(r); v < partition.block_end(r);
+         ++v) {
+      state.active.push_back(v);
+    }
+  }
+  return states;
+}
+
+}  // namespace
+
+DistColoring bozdag_color(const graph::Csr& csr, const DistOptions& options) {
+  const auto un = static_cast<std::size_t>(csr.num_vertices);
+  DistColoring result;
+  result.algorithm = "dist_bozdag";
+  result.colors.assign(un, kUncolored);
+  if (csr.num_vertices == 0) return result;
+
+  auto& device = sim::Device::instance();
+  const Partition partition =
+      make_block_partition(csr.num_vertices, options.num_ranks);
+  std::vector<RankState> states =
+      make_states(csr, partition, result.colors.data(), options);
+
+  const sim::Stopwatch watch;
+  result.bsp = run_bsp<RankState, ColorUpdate>(
+      device, states,
+      [&](RankState& state, Mailbox<ColorUpdate>& mailbox,
+          std::int32_t /*superstep*/) {
+        // 1. Absorb ghost-color updates from the previous superstep.
+        state.absorb_inbox(mailbox.inbox());
+
+        // 2. Conflict detection: a local boundary vertex that shares its
+        //    color with a ghost neighbor uncolors itself when it has the
+        //    lower priority (both endpoints evaluate the same symmetric
+        //    rule, so exactly one side retreats).
+        std::vector<vid_t> reactivated;
+        for (const vid_t v : state.topology.boundary) {
+          const std::int32_t cv = state.colors[static_cast<std::size_t>(v)];
+          if (cv == kUncolored) continue;
+          for (const vid_t u : state.csr->neighbors(v)) {
+            if (state.is_local(u)) continue;
+            if (state.color_of(u) == cv &&
+                priority_of(state.seed, v) < priority_of(state.seed, u)) {
+              state.colors[static_cast<std::size_t>(v)] = kUncolored;
+              reactivated.push_back(v);
+              ++state.conflicts;
+              break;
+            }
+          }
+        }
+        state.active.insert(state.active.end(), reactivated.begin(),
+                            reactivated.end());
+
+        // 3. Speculative coloring: first-fit a batch of active vertices
+        //    against the (possibly stale) local + ghost view.
+        const vid_t batch = state.batch_size > 0
+                                ? state.batch_size
+                                : static_cast<vid_t>(state.active.size());
+        vid_t colored_now = 0;
+        std::vector<vid_t> still_active;
+        for (const vid_t v : state.active) {
+          if (colored_now >= batch) {
+            still_active.push_back(v);
+            continue;
+          }
+          const std::int32_t c = state.min_available(v);
+          state.colors[static_cast<std::size_t>(v)] = c;
+          ++colored_now;
+          // 4. Announce boundary colorings; interior ones are invisible to
+          //    other ranks and cost no messages (the framework's key win).
+          bool is_boundary = false;
+          for (const vid_t u : state.csr->neighbors(v)) {
+            if (!state.is_local(u)) {
+              is_boundary = true;
+              break;
+            }
+          }
+          if (is_boundary) state.announce(mailbox, v, c);
+        }
+        state.active = std::move(still_active);
+
+        // Keep running while this rank has local work; run_bsp keeps the
+        // world alive while any messages are in flight.
+        return !state.active.empty() || colored_now > 0;
+      },
+      options.max_iterations);
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.iterations = result.bsp.supersteps;
+  for (const RankState& state : states) {
+    result.conflicts_resolved += state.conflicts;
+  }
+  result.num_colors = color::count_colors(result.colors);
+  return result;
+}
+
+DistColoring dist_jp_color(const graph::Csr& csr,
+                           const DistOptions& options) {
+  const auto un = static_cast<std::size_t>(csr.num_vertices);
+  DistColoring result;
+  result.algorithm = "dist_jp";
+  result.colors.assign(un, kUncolored);
+  if (csr.num_vertices == 0) return result;
+
+  auto& device = sim::Device::instance();
+  const Partition partition =
+      make_block_partition(csr.num_vertices, options.num_ranks);
+  std::vector<RankState> states =
+      make_states(csr, partition, result.colors.data(), options);
+
+  const sim::Stopwatch watch;
+  result.bsp = run_bsp<RankState, ColorUpdate>(
+      device, states,
+      [&](RankState& state, Mailbox<ColorUpdate>& mailbox,
+          std::int32_t /*superstep*/) {
+        state.absorb_inbox(mailbox.inbox());
+
+        // A vertex colors itself once no uncolored (local or ghost)
+        // neighbor outranks it — conflict-free by construction, because
+        // two adjacent vertices can never both be priority-unblocked.
+        std::vector<vid_t> still_active;
+        vid_t colored_now = 0;
+        for (const vid_t v : state.active) {
+          const std::int64_t mine = priority_of(state.seed, v);
+          bool blocked = false;
+          for (const vid_t u : state.csr->neighbors(v)) {
+            if (state.color_of(u) == kUncolored &&
+                priority_of(state.seed, u) > mine) {
+              blocked = true;
+              break;
+            }
+          }
+          if (blocked) {
+            still_active.push_back(v);
+            continue;
+          }
+          const std::int32_t c = state.min_available(v);
+          state.colors[static_cast<std::size_t>(v)] = c;
+          ++colored_now;
+          bool is_boundary = false;
+          for (const vid_t u : state.csr->neighbors(v)) {
+            if (!state.is_local(u)) {
+              is_boundary = true;
+              break;
+            }
+          }
+          if (is_boundary) state.announce(mailbox, v, c);
+        }
+        state.active = std::move(still_active);
+        return !state.active.empty();
+      },
+      options.max_iterations);
+
+  result.elapsed_ms = watch.elapsed_ms();
+  result.iterations = result.bsp.supersteps;
+  result.num_colors = color::count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol::dist

@@ -1,0 +1,45 @@
+#pragma once
+// Distributed-memory graph coloring on the simulated BSP substrate — the
+// algorithms of the paper's §II-B survey:
+//
+// - bozdag_color: the Bozdağ-Gebremedhin-Manne-Boman-Catalyurek framework
+//   [JPDC 2008]. Each rank speculatively first-fit colors its own block
+//   (interior vertices need no communication at all), exchanges boundary
+//   colors at superstep boundaries, detects conflicts against ghost copies,
+//   and uncolors the lower-priority endpoint for the next round. A batch
+//   size controls the speculation/communication tradeoff.
+// - dist_jp_color: the Jones-Plassmann heuristic in its distributed form
+//   [Jones & Plassmann, SISC 1993]: a vertex colors itself once every
+//   higher-priority neighbor (local or ghost) is colored; colors propagate
+//   via boundary messages. Conflict-free by construction, but needs as many
+//   supersteps as the priority DAG is deep.
+//
+// The literature's finding — greedy/speculative uses fewer colors, JP uses
+// fewer rounds of messaging per color — is reproduced by
+// bench_dist_coloring.
+
+#include "core/result.hpp"
+#include "dist/bsp.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::dist {
+
+struct DistOptions : color::Options {
+  rank_t num_ranks = 4;
+  /// Bozdağ only: local vertices colored per superstep before exchanging
+  /// boundary information. Small batches reduce conflicts at the cost of
+  /// more supersteps; 0 = color everything available each round.
+  vid_t batch_size = 0;
+};
+
+struct DistColoring : color::Coloring {
+  BspStats bsp;  ///< supersteps and total messages
+};
+
+[[nodiscard]] DistColoring bozdag_color(const graph::Csr& csr,
+                                        const DistOptions& options = {});
+
+[[nodiscard]] DistColoring dist_jp_color(const graph::Csr& csr,
+                                         const DistOptions& options = {});
+
+}  // namespace gcol::dist

@@ -1,0 +1,91 @@
+#pragma once
+// 1D block partitioning of a CSR graph across simulated ranks, with the
+// boundary/interior vertex classification the distributed coloring
+// literature (Bozdağ et al., §II-B) is built on: interior vertices have all
+// neighbors on the same rank and can be colored with zero communication;
+// boundary vertices need ghost-color exchange.
+
+#include <vector>
+
+#include "dist/bsp.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::dist {
+
+struct Partition {
+  rank_t num_ranks = 1;
+  vid_t num_vertices = 0;
+  /// first_vertex[r] .. first_vertex[r+1] is rank r's contiguous block.
+  std::vector<vid_t> first_vertex;
+
+  [[nodiscard]] rank_t owner(vid_t v) const noexcept {
+    // Blocks are near-equal; locate with a division then adjust (exact for
+    // the block layout built below).
+    rank_t r = static_cast<rank_t>(
+        (static_cast<std::int64_t>(v) * num_ranks) / num_vertices);
+    while (v < first_vertex[static_cast<std::size_t>(r)]) --r;
+    while (v >= first_vertex[static_cast<std::size_t>(r) + 1]) ++r;
+    return r;
+  }
+
+  [[nodiscard]] vid_t block_begin(rank_t r) const noexcept {
+    return first_vertex[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] vid_t block_end(rank_t r) const noexcept {
+    return first_vertex[static_cast<std::size_t>(r) + 1];
+  }
+  [[nodiscard]] vid_t block_size(rank_t r) const noexcept {
+    return block_end(r) - block_begin(r);
+  }
+};
+
+/// Near-equal contiguous blocks (the standard 1D layout).
+[[nodiscard]] inline Partition make_block_partition(vid_t num_vertices,
+                                                    rank_t num_ranks) {
+  if (num_ranks < 1) num_ranks = 1;
+  Partition p;
+  p.num_ranks = num_ranks;
+  p.num_vertices = num_vertices;
+  p.first_vertex.resize(static_cast<std::size_t>(num_ranks) + 1);
+  for (rank_t r = 0; r <= num_ranks; ++r) {
+    p.first_vertex[static_cast<std::size_t>(r)] = static_cast<vid_t>(
+        (static_cast<std::int64_t>(num_vertices) * r) / num_ranks);
+  }
+  return p;
+}
+
+/// Per-rank structural summary used by the distributed algorithms.
+struct RankTopology {
+  std::vector<vid_t> boundary;  ///< local vertices with off-rank neighbors
+  std::vector<vid_t> interior;  ///< local vertices with only local neighbors
+  /// Ranks owning at least one neighbor of a local boundary vertex.
+  std::vector<rank_t> neighbor_ranks;
+};
+
+[[nodiscard]] inline RankTopology classify_rank(const graph::Csr& csr,
+                                                const Partition& partition,
+                                                rank_t rank) {
+  RankTopology topology;
+  std::vector<bool> touches(static_cast<std::size_t>(partition.num_ranks),
+                            false);
+  for (vid_t v = partition.block_begin(rank); v < partition.block_end(rank);
+       ++v) {
+    bool is_boundary = false;
+    for (const vid_t u : csr.neighbors(v)) {
+      const rank_t other = partition.owner(u);
+      if (other != rank) {
+        is_boundary = true;
+        touches[static_cast<std::size_t>(other)] = true;
+      }
+    }
+    (is_boundary ? topology.boundary : topology.interior).push_back(v);
+  }
+  for (rank_t r = 0; r < partition.num_ranks; ++r) {
+    if (touches[static_cast<std::size_t>(r)]) {
+      topology.neighbor_ranks.push_back(r);
+    }
+  }
+  return topology;
+}
+
+}  // namespace gcol::dist

@@ -1,0 +1,146 @@
+#include "graph/build.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace gcol::graph {
+
+bool Csr::check() const {
+  if (num_vertices < 0) return false;
+  if (row_offsets.size() != static_cast<std::size_t>(num_vertices) + 1) {
+    return false;
+  }
+  if (row_offsets.front() != 0) return false;
+  if (row_offsets.back() != static_cast<eid_t>(col_indices.size())) {
+    return false;
+  }
+  for (vid_t v = 0; v < num_vertices; ++v) {
+    const auto row = static_cast<std::size_t>(v);
+    if (row_offsets[row] > row_offsets[row + 1]) return false;
+    const auto adj = neighbors(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      const vid_t u = adj[i];
+      if (u < 0 || u >= num_vertices) return false;
+      if (u == v) return false;                      // self loop
+      if (i > 0 && adj[i - 1] >= u) return false;    // unsorted or duplicate
+    }
+  }
+  return true;
+}
+
+Csr build_csr(const Coo& coo, const BuildOptions& options) {
+  const vid_t n = coo.num_vertices;
+  if (n < 0) throw std::invalid_argument("build_csr: negative vertex count");
+  for (std::size_t i = 0; i < coo.num_edges(); ++i) {
+    if (coo.src[i] < 0 || coo.src[i] >= n || coo.dst[i] < 0 ||
+        coo.dst[i] >= n) {
+      throw std::out_of_range("build_csr: edge endpoint out of range");
+    }
+  }
+
+  // Pass 1: count directed edges per row (both directions if symmetrizing).
+  std::vector<eid_t> counts(static_cast<std::size_t>(n) + 1, 0);
+  auto keep = [&](vid_t u, vid_t v) {
+    return !(options.remove_self_loops && u == v);
+  };
+  for (std::size_t i = 0; i < coo.num_edges(); ++i) {
+    const vid_t u = coo.src[i];
+    const vid_t v = coo.dst[i];
+    if (!keep(u, v)) continue;
+    ++counts[static_cast<std::size_t>(u) + 1];
+    if (options.symmetrize) ++counts[static_cast<std::size_t>(v) + 1];
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    counts[static_cast<std::size_t>(v) + 1] +=
+        counts[static_cast<std::size_t>(v)];
+  }
+
+  // Pass 2: scatter columns.
+  Csr csr;
+  csr.num_vertices = n;
+  csr.row_offsets = counts;  // becomes final offsets after dedup compaction
+  std::vector<vid_t> cols(static_cast<std::size_t>(counts.back()));
+  std::vector<eid_t> cursor(counts.begin(), counts.end() - 1);
+  for (std::size_t i = 0; i < coo.num_edges(); ++i) {
+    const vid_t u = coo.src[i];
+    const vid_t v = coo.dst[i];
+    if (!keep(u, v)) continue;
+    cols[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    if (options.symmetrize) {
+      cols[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] =
+          u;
+    }
+  }
+
+  // Pass 3: sort each adjacency list; optionally deduplicate in place.
+  eid_t write = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    const auto begin = static_cast<std::size_t>(
+        csr.row_offsets[static_cast<std::size_t>(v)]);
+    const auto end = static_cast<std::size_t>(
+        csr.row_offsets[static_cast<std::size_t>(v) + 1]);
+    std::sort(cols.begin() + static_cast<std::ptrdiff_t>(begin),
+              cols.begin() + static_cast<std::ptrdiff_t>(end));
+    const eid_t row_start = write;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (options.deduplicate && write > row_start &&
+          cols[static_cast<std::size_t>(write - 1)] == cols[i]) {
+        continue;
+      }
+      cols[static_cast<std::size_t>(write++)] = cols[i];
+    }
+    // Safe to overwrite: row v's old start is no longer needed, and row
+    // v + 1 reads its own (still pre-compaction) start slot next iteration.
+    csr.row_offsets[static_cast<std::size_t>(v)] = row_start;
+  }
+  csr.row_offsets[static_cast<std::size_t>(n)] = write;
+  cols.resize(static_cast<std::size_t>(write));
+  csr.col_indices = std::move(cols);
+  assert(csr.check());
+  return csr;
+}
+
+Csr permute_vertices(const Csr& csr, std::span<const vid_t> new_id_of) {
+  if (new_id_of.size() != static_cast<std::size_t>(csr.num_vertices)) {
+    throw std::invalid_argument("permute_vertices: wrong permutation size");
+  }
+  Coo coo;
+  coo.num_vertices = csr.num_vertices;
+  coo.reserve(static_cast<std::size_t>(csr.num_edges()));
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    for (const vid_t u : csr.neighbors(v)) {
+      coo.add_edge(new_id_of[static_cast<std::size_t>(v)],
+                   new_id_of[static_cast<std::size_t>(u)]);
+    }
+  }
+  // Edges already appear in both directions; just clean and sort.
+  return build_csr(coo, {.symmetrize = false});
+}
+
+Csr shuffle_vertices(const Csr& csr, std::uint64_t seed) {
+  const auto n = static_cast<std::size_t>(csr.num_vertices);
+  std::vector<vid_t> new_id_of(n);
+  for (std::size_t i = 0; i < n; ++i) new_id_of[i] = static_cast<vid_t>(i);
+  const sim::CounterRng rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_below(i, static_cast<std::uint64_t>(i)));
+    std::swap(new_id_of[i - 1], new_id_of[j]);
+  }
+  return permute_vertices(csr, new_id_of);
+}
+
+Coo to_coo(const Csr& csr) {
+  Coo coo;
+  coo.num_vertices = csr.num_vertices;
+  coo.reserve(static_cast<std::size_t>(csr.num_edges()));
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    for (const vid_t u : csr.neighbors(v)) coo.add_edge(v, u);
+  }
+  return coo;
+}
+
+}  // namespace gcol::graph

@@ -1,0 +1,32 @@
+#pragma once
+// Coordinate-format edge list: the interchange format produced by graph
+// generators and the Matrix Market reader, consumed by build_csr().
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gcol::graph {
+
+/// An unweighted edge list. Edges are directed as stored; build_csr() can
+/// symmetrize. Invariant maintained by producers: 0 <= src,dst < num_vertices.
+struct Coo {
+  vid_t num_vertices = 0;
+  std::vector<vid_t> src;
+  std::vector<vid_t> dst;
+
+  [[nodiscard]] std::size_t num_edges() const noexcept { return src.size(); }
+
+  void reserve(std::size_t edges) {
+    src.reserve(edges);
+    dst.reserve(edges);
+  }
+
+  void add_edge(vid_t u, vid_t v) {
+    src.push_back(u);
+    dst.push_back(v);
+  }
+};
+
+}  // namespace gcol::graph

@@ -1,0 +1,68 @@
+#pragma once
+// Compressed sparse row graph — the storage format both frameworks consume,
+// exactly as in the paper (§IV: "In both frameworks, we input compressed
+// sparse row (CSR) sparse matrix format").
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gcol::graph {
+
+/// An undirected graph stored as CSR with both edge directions materialized
+/// (so col_indices.size() == 2 * |undirected edges| for simple graphs).
+/// Invariants (established by build_csr, checked by Csr::check()):
+///   - row_offsets.size() == num_vertices + 1, non-decreasing,
+///     row_offsets.front() == 0, row_offsets.back() == col_indices.size()
+///   - neighbor lists are sorted ascending and contain no duplicates
+///   - no self loops
+struct Csr {
+  vid_t num_vertices = 0;
+  std::vector<eid_t> row_offsets;  // size num_vertices + 1
+  std::vector<vid_t> col_indices;  // size = directed edge count
+
+  /// Directed edge count (twice the undirected count for simple graphs).
+  [[nodiscard]] eid_t num_edges() const noexcept {
+    return static_cast<eid_t>(col_indices.size());
+  }
+
+  /// Undirected edge count.
+  [[nodiscard]] eid_t num_undirected_edges() const noexcept {
+    return num_edges() / 2;
+  }
+
+  [[nodiscard]] vid_t degree(vid_t v) const noexcept {
+    return static_cast<vid_t>(row_offsets[static_cast<std::size_t>(v) + 1] -
+                              row_offsets[static_cast<std::size_t>(v)]);
+  }
+
+  [[nodiscard]] std::span<const vid_t> neighbors(vid_t v) const noexcept {
+    const auto begin =
+        static_cast<std::size_t>(row_offsets[static_cast<std::size_t>(v)]);
+    const auto end =
+        static_cast<std::size_t>(row_offsets[static_cast<std::size_t>(v) + 1]);
+    return {col_indices.data() + begin, end - begin};
+  }
+
+  [[nodiscard]] vid_t max_degree() const noexcept {
+    vid_t best = 0;
+    for (vid_t v = 0; v < num_vertices; ++v) {
+      if (degree(v) > best) best = degree(v);
+    }
+    return best;
+  }
+
+  [[nodiscard]] double average_degree() const noexcept {
+    return num_vertices == 0 ? 0.0
+                             : static_cast<double>(num_edges()) /
+                                   static_cast<double>(num_vertices);
+  }
+
+  /// Verifies all structural invariants; returns false on the first
+  /// violation. Used by tests and by the Matrix Market loader.
+  [[nodiscard]] bool check() const;
+};
+
+}  // namespace gcol::graph

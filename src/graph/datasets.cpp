@@ -1,0 +1,277 @@
+#include "graph/datasets.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+
+#include "graph/build.hpp"
+#include "graph/generators/banded.hpp"
+#include "graph/generators/erdos_renyi.hpp"
+#include "graph/generators/grid.hpp"
+#include "graph/generators/mesh.hpp"
+#include "graph/generators/random_regular.hpp"
+#include "graph/generators/rgg.hpp"
+#include "graph/mmio.hpp"
+
+namespace gcol::graph {
+
+namespace {
+
+vid_t scaled(vid_t full, double scale) {
+  if (scale <= 0.0) scale = 1.0;
+  const double v = static_cast<double>(full) * scale;
+  return v < 2.0 ? 2 : static_cast<vid_t>(v);
+}
+
+vid_t side2d(vid_t vertices) {
+  return static_cast<vid_t>(
+      std::lround(std::sqrt(static_cast<double>(vertices))));
+}
+
+vid_t side3d(vid_t vertices) {
+  return static_cast<vid_t>(
+      std::lround(std::cbrt(static_cast<double>(vertices))));
+}
+
+std::vector<DatasetInfo> make_registry() {
+  std::vector<DatasetInfo> all;
+  auto add = [&](DatasetInfo info) { all.push_back(std::move(info)); };
+
+  // Structural mechanics / seismic: high, band-concentrated degree.
+  add({.name = "offshore",
+       .kind = "ru",
+       .paper_vertices = 259'789,
+       .paper_edges = 2'097'111,
+       .paper_avg_degree = 17.33,
+       .paper_diameter = 41,
+       .diameter_estimated = true,
+       .analogue = "banded(b=8, offband=0.7)",
+       .make = [](double s) {
+         return build_csr(generate_banded(
+             scaled(259'789, s),
+             {.half_bandwidth = 8, .offband_per_vertex = 0.7, .seed = 101}));
+       }});
+
+  add({.name = "af_shell3",
+       .kind = "ru",
+       .paper_vertices = 504'855,
+       .paper_edges = 8'747'968,
+       .paper_avg_degree = 35.84,
+       .paper_diameter = 485,
+       .diameter_estimated = true,
+       .analogue = "banded(b=17, offband=0.9)",
+       .make = [](double s) {
+         return build_csr(generate_banded(
+             scaled(504'855, s),
+             {.half_bandwidth = 17, .offband_per_vertex = 0.9, .seed = 102}));
+       }});
+
+  // 2D parabolic FEM problem: unstructured triangular mesh, avg degree ~7.
+  add({.name = "parabolic_fem",
+       .kind = "ru",
+       .paper_vertices = 525'825,
+       .paper_edges = 1'574'400,
+       .paper_avg_degree = 6.0,
+       .paper_diameter = 1536,
+       .diameter_estimated = true,
+       .analogue = "mesh2d(random diagonals)",
+       .make = [](double s) {
+         const vid_t side = side2d(scaled(525'825, s));
+         return build_csr(generate_mesh2d(side, side, {.seed = 103}));
+       }});
+
+  // 3D structural problem (finite differences), avg degree ~6.7.
+  add({.name = "apache2",
+       .kind = "ru",
+       .paper_vertices = 715'176,
+       .paper_edges = 2'402'357,
+       .paper_avg_degree = 6.74,
+       .paper_diameter = 449,
+       .diameter_estimated = true,
+       .analogue = "grid3d(7-point)",
+       .make = [](double s) {
+         const vid_t side = side3d(scaled(715'176, s));
+         return build_csr(
+             generate_grid3d(side, side, side, Stencil3d::kSevenPoint));
+       }});
+
+  // Landscape ecology, pure 5-point stencil.
+  add({.name = "ecology2",
+       .kind = "ru",
+       .paper_vertices = 999'999,
+       .paper_edges = 1'997'996,
+       .paper_avg_degree = 4.0,
+       .paper_diameter = 1998,
+       .diameter_estimated = true,
+       .analogue = "grid2d(5-point)",
+       .make = [](double s) {
+         const vid_t side = side2d(scaled(999'999, s));
+         return build_csr(
+             generate_grid2d(side, side, Stencil2d::kFivePoint));
+       }});
+
+  // Unstructured 2D thermal FEM, avg degree ~7.
+  add({.name = "thermal2",
+       .kind = "ru",
+       .paper_vertices = 1'228'045,
+       .paper_edges = 3'676'134,
+       .paper_avg_degree = 7.0,
+       .paper_diameter = 1778,
+       .diameter_estimated = true,
+       .analogue = "mesh2d(second ring p=0.25)",
+       .make = [](double s) {
+         const vid_t side = side2d(scaled(1'228'045, s));
+         return build_csr(generate_mesh2d(
+             side, side, {.second_ring_probability = 0.25, .seed = 106}));
+       }});
+
+  // Circuit simulation, avg degree ~4.9.
+  add({.name = "G3_circuit",
+       .kind = "ru",
+       .paper_vertices = 1'585'478,
+       .paper_edges = 3'852'040,
+       .paper_avg_degree = 4.86,
+       .paper_diameter = 515,
+       .diameter_estimated = true,
+       .analogue = "grid2d(5-point)",
+       .make = [](double s) {
+         const vid_t side = side2d(scaled(1'585'478, s));
+         return build_csr(
+             generate_grid2d(side, side, Stencil2d::kFivePoint));
+       }});
+
+  // 3D thermal FEM with full 27-point coupling, avg degree ~23.7.
+  add({.name = "FEM_3D_thermal2",
+       .kind = "rd",
+       .paper_vertices = 147'900,
+       .paper_edges = 1'751'342,
+       .paper_avg_degree = 23.7,
+       .paper_diameter = 150,
+       .diameter_estimated = false,
+       .analogue = "grid3d(27-point)",
+       .make = [](double s) {
+         const vid_t side = side3d(scaled(147'900, s));
+         return build_csr(
+             generate_grid3d(side, side, side, Stencil3d::kTwentySevenPoint));
+       }});
+
+  // Thermomechanical coupling, mid-degree band structure.
+  add({.name = "thermomech_dK",
+       .kind = "rd",
+       .paper_vertices = 204'316,
+       .paper_edges = 1'423'116,
+       .paper_avg_degree = 13.93,
+       .paper_diameter = 647,
+       .diameter_estimated = true,
+       .analogue = "banded(b=6, offband=0.9)",
+       .make = [](double s) {
+         return build_csr(generate_banded(
+             scaled(204'316, s),
+             {.half_bandwidth = 6, .offband_per_vertex = 0.9, .seed = 109}));
+       }});
+
+  // Circuit netlist: irregular, sparse, low degree.
+  add({.name = "ASIC_320ks",
+       .kind = "rd",
+       .paper_vertices = 321'671,
+       .paper_edges = 648'260,
+       .paper_avg_degree = 4.03,
+       .paper_diameter = 45,
+       .diameter_estimated = false,
+       .analogue = "erdos_renyi(m=2n)",
+       .make = [](double s) {
+         const vid_t n = scaled(321'671, s);
+         return build_csr(
+             generate_erdos_renyi(n, static_cast<eid_t>(n) * 2, 110));
+       }});
+
+  // DNA electrophoresis: tightly concentrated degree ~16.8.
+  add({.name = "cage13",
+       .kind = "rd",
+       .paper_vertices = 445'315,
+       .paper_edges = 3'740'647,
+       .paper_avg_degree = 16.8,
+       .paper_diameter = 42,
+       .diameter_estimated = true,
+       .analogue = "random_regular(d=16)",
+       .make = [](double s) {
+         return build_csr(
+             generate_random_regular(scaled(445'315, s), 16, 111));
+       }});
+
+  // 3D atmospheric model, 7-point stencil.
+  add({.name = "atmosmodd",
+       .kind = "rd",
+       .paper_vertices = 1'270'432,
+       .paper_edges = 4'386'816,
+       .paper_avg_degree = 6.9,
+       .paper_diameter = 351,
+       .diameter_estimated = true,
+       .analogue = "grid3d(7-point)",
+       .make = [](double s) {
+         const vid_t side = side3d(scaled(1'270'432, s));
+         return build_csr(
+             generate_grid3d(side, side, side, Stencil3d::kSevenPoint));
+       }});
+
+  return all;
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& paper_datasets() {
+  static const std::vector<DatasetInfo> registry = make_registry();
+  return registry;
+}
+
+DatasetInfo rgg_dataset(int scale) {
+  // Table I rgg rows: avg degree ln(2^scale) minus boundary effect; the
+  // published diameters grow ~ sqrt(n / log n).
+  DatasetInfo info;
+  info.name = "rgg_n_2_" + std::to_string(scale) + "_s0";
+  info.kind = "gu";
+  info.paper_vertices = static_cast<vid_t>(1) << scale;
+  info.paper_avg_degree =
+      std::log(static_cast<double>(info.paper_vertices)) * 0.95;
+  info.paper_edges = static_cast<eid_t>(
+      info.paper_avg_degree * static_cast<double>(info.paper_vertices) / 2.0);
+  // Published Table I diameters for scales 15-24 (earlier scales were not
+  // reported by the paper).
+  static constexpr vid_t kPaperDiameters[] = {191,  254,  341,  464,  632,
+                                              865, 1182, 1621, 2230, 2622};
+  if (scale >= 15 && scale <= 24) {
+    info.paper_diameter = kPaperDiameters[scale - 15];
+  }
+  info.diameter_estimated = scale >= 19;
+  info.analogue = "rgg(scale=" + std::to_string(scale) + ")";
+  info.make = [scale](double s) {
+    if (s >= 1.0) return build_csr(generate_rgg(scale, {.seed = 200}));
+    const auto n = scaled(static_cast<vid_t>(1) << scale, s);
+    return build_csr(generate_rgg_n(n, {.seed = 200}));
+  };
+  return info;
+}
+
+const DatasetInfo* find_dataset(const std::string& name) {
+  for (const DatasetInfo& info : paper_datasets()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+Csr build_dataset(const DatasetInfo& info, double scale) {
+  if (const char* dir = std::getenv("GCOL_DATA_DIR")) {
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / (info.name + ".mtx");
+    if (std::filesystem::exists(path)) {
+      return load_matrix_market(path.string());
+    }
+  }
+  // Shuffle the analogue's labels: synthetic lattices carry an accidentally
+  // perfect natural vertex order (a row-major grid 2-colors greedily) that
+  // real SuiteSparse application orderings do not have. Isomorphic graph,
+  // realistic ordering.
+  return shuffle_vertices(info.make(scale), 0xDA7A5E7u);
+}
+
+}  // namespace gcol::graph

@@ -1,0 +1,56 @@
+#include "graph/generators/banded.hpp"
+
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace gcol::graph {
+
+Coo generate_banded(vid_t num_vertices, const BandedOptions& options) {
+  if (num_vertices < 0) {
+    throw std::invalid_argument("generate_banded: negative vertex count");
+  }
+  if (options.half_bandwidth < 0 || options.offband_per_vertex < 0.0) {
+    throw std::invalid_argument("generate_banded: negative option");
+  }
+  Coo coo;
+  coo.num_vertices = num_vertices;
+  const std::int64_t n = num_vertices;
+  const std::int64_t b = options.half_bandwidth;
+  coo.reserve(static_cast<std::size_t>(
+      n * (b + static_cast<std::int64_t>(options.offband_per_vertex + 1))));
+
+  // In-band edges: forward half only (build_csr symmetrizes).
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t hi = i + b < n ? i + b : n - 1;
+    for (std::int64_t j = i + 1; j <= hi; ++j) {
+      coo.add_edge(static_cast<vid_t>(i), static_cast<vid_t>(j));
+    }
+  }
+
+  // Off-band fill: Bernoulli draw per vertex against the fractional rate,
+  // plus floor(rate) guaranteed draws.
+  const sim::CounterRng rng(options.seed);
+  const auto whole = static_cast<std::int64_t>(options.offband_per_vertex);
+  const double fraction =
+      options.offband_per_vertex - static_cast<double>(whole);
+  const std::int64_t reach =
+      options.offband_reach > 0 ? options.offband_reach : 1;
+  std::uint64_t counter = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t draws = whole;
+    if (fraction > 0.0 && rng.uniform_double(counter++) < fraction) ++draws;
+    for (std::int64_t k = 0; k < draws; ++k) {
+      // Target at band-exterior distance [b+1, b+reach] ahead of i.
+      const auto distance =
+          b + 1 +
+          static_cast<std::int64_t>(rng.uniform_below(
+              counter++, static_cast<std::uint64_t>(reach)));
+      const std::int64_t j = i + distance;
+      if (j < n) coo.add_edge(static_cast<vid_t>(i), static_cast<vid_t>(j));
+    }
+  }
+  return coo;
+}
+
+}  // namespace gcol::graph

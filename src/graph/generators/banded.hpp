@@ -1,0 +1,30 @@
+#pragma once
+// Banded matrix graphs — synthetic analogues for the paper's structural
+// mechanics / shell matrices (af_shell3, avg degree 35.8; offshore, 17.3;
+// FEM_3D_thermal2, 24.6). A shell-element stiffness matrix couples each node
+// with its neighbors along the discretization band, producing a high,
+// near-uniform degree concentrated near the diagonal; a banded graph with a
+// dense inner band plus sparse off-band "fill" couplings reproduces both the
+// degree and the locality.
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace gcol::graph {
+
+struct BandedOptions {
+  /// Half-bandwidth b: vertex i couples to i±1 .. i±b (degree -> 2b inside).
+  vid_t half_bandwidth = 8;
+  /// Expected number of additional random long-range couplings per vertex,
+  /// emulating the irregular fill of real FEM matrices. May be fractional.
+  double offband_per_vertex = 1.0;
+  /// Maximum distance of an off-band coupling.
+  vid_t offband_reach = 4096;
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] Coo generate_banded(vid_t num_vertices,
+                                  const BandedOptions& options = {});
+
+}  // namespace gcol::graph

@@ -1,0 +1,29 @@
+#include "graph/generators/erdos_renyi.hpp"
+
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace gcol::graph {
+
+Coo generate_erdos_renyi(vid_t num_vertices, eid_t num_edges,
+                         std::uint64_t seed) {
+  if (num_vertices < 0 || num_edges < 0) {
+    throw std::invalid_argument("generate_erdos_renyi: negative size");
+  }
+  Coo coo;
+  coo.num_vertices = num_vertices;
+  if (num_vertices < 2) return coo;
+  coo.reserve(static_cast<std::size_t>(num_edges));
+  const sim::CounterRng rng(seed);
+  const auto n = static_cast<std::uint64_t>(num_vertices);
+  for (eid_t e = 0; e < num_edges; ++e) {
+    const auto c = static_cast<std::uint64_t>(e);
+    const auto u = static_cast<vid_t>(rng.uniform_below(2 * c, n));
+    const auto v = static_cast<vid_t>(rng.uniform_below(2 * c + 1, n));
+    coo.add_edge(u, v);  // self loops / duplicates removed by build_csr
+  }
+  return coo;
+}
+
+}  // namespace gcol::graph

@@ -1,0 +1,16 @@
+#pragma once
+// Erdős–Rényi G(n, m) random graphs — used by the property-based test
+// suites and by ablation benches that need structure-free baselines.
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace gcol::graph {
+
+/// Uniform random graph with (approximately, after dedup/self-loop cleanup
+/// in build_csr) `num_edges` undirected edges.
+[[nodiscard]] Coo generate_erdos_renyi(vid_t num_vertices, eid_t num_edges,
+                                       std::uint64_t seed = 13);
+
+}  // namespace gcol::graph

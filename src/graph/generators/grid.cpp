@@ -1,0 +1,87 @@
+#include "graph/generators/grid.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace gcol::graph {
+
+Coo generate_grid2d(vid_t width, vid_t height, Stencil2d stencil) {
+  if (width < 0 || height < 0) {
+    throw std::invalid_argument("generate_grid2d: negative dimension");
+  }
+  const std::int64_t w = width;
+  const std::int64_t h = height;
+  if (w * h > static_cast<std::int64_t>(std::numeric_limits<vid_t>::max())) {
+    throw std::invalid_argument("generate_grid2d: grid too large");
+  }
+  Coo coo;
+  coo.num_vertices = static_cast<vid_t>(w * h);
+  const bool diagonals = stencil == Stencil2d::kNinePoint;
+  // Each vertex emits only "forward" edges so every undirected edge appears
+  // once; build_csr symmetrizes.
+  coo.reserve(static_cast<std::size_t>(w * h) * (diagonals ? 4u : 2u));
+  auto id = [w](std::int64_t i, std::int64_t j) {
+    return static_cast<vid_t>(j * w + i);
+  };
+  for (std::int64_t j = 0; j < h; ++j) {
+    for (std::int64_t i = 0; i < w; ++i) {
+      const vid_t v = id(i, j);
+      if (i + 1 < w) coo.add_edge(v, id(i + 1, j));
+      if (j + 1 < h) coo.add_edge(v, id(i, j + 1));
+      if (diagonals) {
+        if (i + 1 < w && j + 1 < h) coo.add_edge(v, id(i + 1, j + 1));
+        if (i > 0 && j + 1 < h) coo.add_edge(v, id(i - 1, j + 1));
+      }
+    }
+  }
+  return coo;
+}
+
+Coo generate_grid3d(vid_t width, vid_t height, vid_t depth,
+                    Stencil3d stencil) {
+  if (width < 0 || height < 0 || depth < 0) {
+    throw std::invalid_argument("generate_grid3d: negative dimension");
+  }
+  const std::int64_t w = width;
+  const std::int64_t h = height;
+  const std::int64_t d = depth;
+  if (w * h * d > static_cast<std::int64_t>(std::numeric_limits<vid_t>::max())) {
+    throw std::invalid_argument("generate_grid3d: grid too large");
+  }
+  Coo coo;
+  coo.num_vertices = static_cast<vid_t>(w * h * d);
+  const bool full = stencil == Stencil3d::kTwentySevenPoint;
+  coo.reserve(static_cast<std::size_t>(w * h * d) * (full ? 13u : 3u));
+  auto id = [w, h](std::int64_t i, std::int64_t j, std::int64_t k) {
+    return static_cast<vid_t>((k * h + j) * w + i);
+  };
+  for (std::int64_t k = 0; k < d; ++k) {
+    for (std::int64_t j = 0; j < h; ++j) {
+      for (std::int64_t i = 0; i < w; ++i) {
+        const vid_t v = id(i, j, k);
+        if (!full) {
+          if (i + 1 < w) coo.add_edge(v, id(i + 1, j, k));
+          if (j + 1 < h) coo.add_edge(v, id(i, j + 1, k));
+          if (k + 1 < d) coo.add_edge(v, id(i, j, k + 1));
+          continue;
+        }
+        // All 13 lexicographically-forward offsets of the 3x3x3 cube.
+        for (std::int64_t dk = 0; dk <= 1; ++dk) {
+          for (std::int64_t dj = -1; dj <= 1; ++dj) {
+            for (std::int64_t di = -1; di <= 1; ++di) {
+              if (dk == 0 && (dj < 0 || (dj == 0 && di <= 0))) continue;
+              const std::int64_t ni = i + di;
+              const std::int64_t nj = j + dj;
+              const std::int64_t nk = k + dk;
+              if (ni < 0 || ni >= w || nj < 0 || nj >= h || nk >= d) continue;
+              coo.add_edge(v, id(ni, nj, nk));
+            }
+          }
+        }
+      }
+    }
+  }
+  return coo;
+}
+
+}  // namespace gcol::graph

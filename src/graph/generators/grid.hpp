@@ -1,0 +1,30 @@
+#pragma once
+// Regular grid/stencil graphs — synthetic analogues for the paper's
+// finite-difference / circuit-simulation matrices (apache2, ecology2,
+// thermal2, G3_circuit, parabolic_fem are all low-degree mesh matrices with
+// average degree 5.8–8). A k-point stencil over a 2D or 3D lattice matches
+// their degree distribution and locality.
+
+#include "graph/coo.hpp"
+
+namespace gcol::graph {
+
+enum class Stencil2d {
+  kFivePoint,  ///< von Neumann neighborhood (avg degree -> 4)
+  kNinePoint,  ///< Moore neighborhood (avg degree -> 8)
+};
+
+enum class Stencil3d {
+  kSevenPoint,        ///< 6 axis neighbors (avg degree -> 6)
+  kTwentySevenPoint,  ///< full 3x3x3 cube (avg degree -> 26)
+};
+
+/// Grid of width x height vertices, vertex (i, j) at index j * width + i.
+[[nodiscard]] Coo generate_grid2d(vid_t width, vid_t height,
+                                  Stencil2d stencil = Stencil2d::kFivePoint);
+
+/// Grid of width x height x depth vertices.
+[[nodiscard]] Coo generate_grid3d(vid_t width, vid_t height, vid_t depth,
+                                  Stencil3d stencil = Stencil3d::kSevenPoint);
+
+}  // namespace gcol::graph

@@ -1,0 +1,65 @@
+#include "graph/generators/mesh.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace gcol::graph {
+
+Coo generate_mesh2d(vid_t width, vid_t height, const MeshOptions& options) {
+  if (width < 0 || height < 0) {
+    throw std::invalid_argument("generate_mesh2d: negative dimension");
+  }
+  const std::int64_t w = width;
+  const std::int64_t h = height;
+  if (w * h > static_cast<std::int64_t>(std::numeric_limits<vid_t>::max())) {
+    throw std::invalid_argument("generate_mesh2d: mesh too large");
+  }
+  Coo coo;
+  coo.num_vertices = static_cast<vid_t>(w * h);
+  coo.reserve(static_cast<std::size_t>(w * h) * 3u);
+  const sim::CounterRng rng(options.seed);
+  auto id = [w](std::int64_t i, std::int64_t j) {
+    return static_cast<vid_t>(j * w + i);
+  };
+  for (std::int64_t j = 0; j < h; ++j) {
+    for (std::int64_t i = 0; i < w; ++i) {
+      const vid_t v = id(i, j);
+      // Lattice edges (forward half).
+      if (i + 1 < w) coo.add_edge(v, id(i + 1, j));
+      if (j + 1 < h) coo.add_edge(v, id(i, j + 1));
+      // One diagonal per quad, orientation chosen per quad.
+      if (i + 1 < w && j + 1 < h) {
+        const std::uint64_t quad =
+            static_cast<std::uint64_t>(j) * static_cast<std::uint64_t>(w) +
+            static_cast<std::uint64_t>(i);
+        const bool main_diagonal =
+            !options.random_diagonals || (rng.bits(quad) & 1u) == 0;
+        if (main_diagonal) {
+          coo.add_edge(v, id(i + 1, j + 1));
+        } else {
+          coo.add_edge(id(i + 1, j), id(i, j + 1));
+        }
+      }
+      // Optional second-ring couplings (distance-2 along each axis).
+      if (options.second_ring_probability > 0.0) {
+        const std::uint64_t base =
+            0x9000000000000000ULL +
+            2 * (static_cast<std::uint64_t>(j) * static_cast<std::uint64_t>(w) +
+                 static_cast<std::uint64_t>(i));
+        if (i + 2 < w &&
+            rng.uniform_double(base) < options.second_ring_probability) {
+          coo.add_edge(v, id(i + 2, j));
+        }
+        if (j + 2 < h &&
+            rng.uniform_double(base + 1) < options.second_ring_probability) {
+          coo.add_edge(v, id(i, j + 2));
+        }
+      }
+    }
+  }
+  return coo;
+}
+
+}  // namespace gcol::graph

@@ -1,0 +1,29 @@
+#pragma once
+// Unstructured FEM-style surface meshes — synthetic analogues for the
+// paper's finite-element matrices with irregular but local connectivity
+// (parabolic_fem, thermomech_dK, cage13-like). A jittered triangulated grid:
+// lattice points perturbed, each quad split along a randomly-chosen diagonal,
+// optionally with second-ring couplings (node-to-node stiffness for
+// higher-order elements) to raise the average degree.
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace gcol::graph {
+
+struct MeshOptions {
+  /// Split each quad along a random diagonal (true) or uniformly (false).
+  bool random_diagonals = true;
+  /// Probability of adding each second-ring (distance-2 lattice) coupling,
+  /// raising average degree from ~6 toward ~12.
+  double second_ring_probability = 0.0;
+  std::uint64_t seed = 11;
+};
+
+/// Triangulated width x height lattice; vertex (i, j) at j * width + i.
+/// Average degree ~6 interior (grid edges + one diagonal per quad).
+[[nodiscard]] Coo generate_mesh2d(vid_t width, vid_t height,
+                                  const MeshOptions& options = {});
+
+}  // namespace gcol::graph

@@ -1,0 +1,44 @@
+#include "graph/generators/random_regular.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace gcol::graph {
+
+Coo generate_random_regular(vid_t num_vertices, vid_t degree,
+                            std::uint64_t seed) {
+  if (num_vertices < 0 || degree < 0) {
+    throw std::invalid_argument("generate_random_regular: negative size");
+  }
+  Coo coo;
+  coo.num_vertices = num_vertices;
+  if (num_vertices < 2 || degree == 0) return coo;
+
+  const auto n = static_cast<std::size_t>(num_vertices);
+  // Union of ceil(degree / 2) random permutations: each contributes 2 to
+  // every vertex's degree (one out, one in before symmetrization merges).
+  const vid_t rounds = static_cast<vid_t>((degree + 1) / 2);
+  coo.reserve(n * static_cast<std::size_t>(rounds));
+  std::vector<vid_t> perm(n);
+  for (vid_t round = 0; round < rounds; ++round) {
+    const sim::CounterRng rng(seed + 0x1000u * static_cast<std::uint64_t>(round));
+    std::iota(perm.begin(), perm.end(), vid_t{0});
+    // Fisher-Yates with the counter RNG.
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_below(i, static_cast<std::uint64_t>(i + 1)));
+      std::swap(perm[i], perm[j]);
+    }
+    // Connect consecutive elements of the permutation cycle: a Hamiltonian
+    // cycle, adding exactly degree 2 per vertex per round.
+    for (std::size_t i = 0; i < n; ++i) {
+      coo.add_edge(perm[i], perm[(i + 1) % n]);
+    }
+  }
+  return coo;
+}
+
+}  // namespace gcol::graph

@@ -1,0 +1,19 @@
+#pragma once
+// Near-regular random graphs (permutation-union model): the union of k
+// random perfect matchings/permutations gives every vertex degree ~k with
+// tiny variance. Used as the analogue for cage13 / atmosmodd-style matrices
+// whose degree distribution is tightly concentrated, and by property tests
+// that want a controlled-degree adversary for coloring quality.
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace gcol::graph {
+
+/// Every vertex ends with degree ~= `degree` (exact regularity is not
+/// guaranteed: duplicate edges and self loops are cleaned by build_csr).
+[[nodiscard]] Coo generate_random_regular(vid_t num_vertices, vid_t degree,
+                                          std::uint64_t seed = 19);
+
+}  // namespace gcol::graph

@@ -1,0 +1,104 @@
+#include "graph/generators/rgg.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace gcol::graph {
+
+Coo generate_rgg(int scale, const RggOptions& options) {
+  if (scale < 1 || scale > 30) {
+    throw std::invalid_argument("generate_rgg: scale must be in [1, 30]");
+  }
+  return generate_rgg_n(static_cast<vid_t>(1) << scale, options);
+}
+
+Coo generate_rgg_n(vid_t num_vertices, const RggOptions& options) {
+  if (num_vertices < 0) {
+    throw std::invalid_argument("generate_rgg_n: negative vertex count");
+  }
+  Coo coo;
+  coo.num_vertices = num_vertices;
+  if (num_vertices < 2) return coo;
+
+  const auto n = static_cast<std::size_t>(num_vertices);
+  const double radius =
+      options.radius_multiplier *
+      std::sqrt(std::log(static_cast<double>(n)) /
+                (std::numbers::pi * static_cast<double>(n)));
+
+  // Deterministic point cloud from the counter RNG.
+  const sim::CounterRng rng(options.seed);
+  std::vector<float> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(rng.uniform_double(2 * i));
+    y[i] = static_cast<float>(rng.uniform_double(2 * i + 1));
+  }
+
+  // Uniform grid with cell size >= radius: all neighbors of a point lie in
+  // its own or the 8 surrounding cells.
+  const auto cells_per_side =
+      static_cast<std::size_t>(std::max(1.0, std::floor(1.0 / radius)));
+  const double cell_size = 1.0 / static_cast<double>(cells_per_side);
+  const std::size_t num_cells = cells_per_side * cells_per_side;
+
+  auto cell_of = [&](std::size_t i) {
+    auto cx = static_cast<std::size_t>(x[i] / cell_size);
+    auto cy = static_cast<std::size_t>(y[i] / cell_size);
+    if (cx >= cells_per_side) cx = cells_per_side - 1;
+    if (cy >= cells_per_side) cy = cells_per_side - 1;
+    return cy * cells_per_side + cx;
+  };
+
+  // Counting sort of points into cells.
+  std::vector<std::size_t> cell_start(num_cells + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++cell_start[cell_of(i) + 1];
+  for (std::size_t c = 0; c < num_cells; ++c) cell_start[c + 1] += cell_start[c];
+  std::vector<vid_t> cell_points(n);
+  {
+    std::vector<std::size_t> cursor(cell_start.begin(), cell_start.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      cell_points[cursor[cell_of(i)]++] = static_cast<vid_t>(i);
+    }
+  }
+
+  const double radius_sq = radius * radius;
+  auto close = [&](vid_t a, vid_t b) {
+    const double dx = static_cast<double>(x[static_cast<std::size_t>(a)]) -
+                      static_cast<double>(x[static_cast<std::size_t>(b)]);
+    const double dy = static_cast<double>(y[static_cast<std::size_t>(a)]) -
+                      static_cast<double>(y[static_cast<std::size_t>(b)]);
+    return dx * dx + dy * dy <= radius_sq;
+  };
+
+  // Emit each undirected edge once (a < b); build_csr symmetrizes.
+  const auto side = static_cast<std::ptrdiff_t>(cells_per_side);
+  for (std::size_t cy = 0; cy < cells_per_side; ++cy) {
+    for (std::size_t cx = 0; cx < cells_per_side; ++cx) {
+      const std::size_t c = cy * cells_per_side + cx;
+      for (std::size_t pi = cell_start[c]; pi < cell_start[c + 1]; ++pi) {
+        const vid_t a = cell_points[pi];
+        for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+          for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+            const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(cy) + dy;
+            const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(cx) + dx;
+            if (ny < 0 || ny >= side || nx < 0 || nx >= side) continue;
+            const std::size_t nc = static_cast<std::size_t>(ny) * cells_per_side +
+                                   static_cast<std::size_t>(nx);
+            for (std::size_t qi = cell_start[nc]; qi < cell_start[nc + 1];
+                 ++qi) {
+              const vid_t b = cell_points[qi];
+              if (a < b && close(a, b)) coo.add_edge(a, b);
+            }
+          }
+        }
+      }
+    }
+  }
+  return coo;
+}
+
+}  // namespace gcol::graph

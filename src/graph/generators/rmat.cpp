@@ -1,0 +1,50 @@
+#include "graph/generators/rmat.hpp"
+
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace gcol::graph {
+
+Coo generate_rmat(int scale, eid_t edge_factor, const RmatOptions& options) {
+  if (scale < 1 || scale > 30) {
+    throw std::invalid_argument("generate_rmat: scale must be in [1, 30]");
+  }
+  if (edge_factor < 0) {
+    throw std::invalid_argument("generate_rmat: negative edge factor");
+  }
+  const double d = 1.0 - options.a - options.b - options.c;
+  if (options.a < 0 || options.b < 0 || options.c < 0 || d < 0) {
+    throw std::invalid_argument("generate_rmat: bad partition probabilities");
+  }
+
+  Coo coo;
+  coo.num_vertices = static_cast<vid_t>(1) << scale;
+  const eid_t num_edges = edge_factor * static_cast<eid_t>(coo.num_vertices);
+  coo.reserve(static_cast<std::size_t>(num_edges));
+  const sim::CounterRng rng(options.seed);
+  std::uint64_t counter = 0;
+  for (eid_t e = 0; e < num_edges; ++e) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double r = rng.uniform_double(counter++);
+      u <<= 1;
+      v <<= 1;
+      if (r < options.a) {
+        // top-left quadrant: no bits set
+      } else if (r < options.a + options.b) {
+        v |= 1;
+      } else if (r < options.a + options.b + options.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    coo.add_edge(static_cast<vid_t>(u), static_cast<vid_t>(v));
+  }
+  return coo;
+}
+
+}  // namespace gcol::graph

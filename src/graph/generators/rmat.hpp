@@ -1,0 +1,26 @@
+#pragma once
+// R-MAT (Kronecker) power-law graphs. The paper's conclusion singles out
+// power-law graphs as the regime where random-weight Luby coloring should
+// degrade versus largest-degree-first; this generator backs that
+// future-work experiment (bench_ablation_degree_priority).
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace gcol::graph {
+
+struct RmatOptions {
+  // Standard Graph500-style partition probabilities (a + b + c + d = 1).
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  std::uint64_t seed = 17;
+};
+
+/// 2^scale vertices, edge_factor * 2^scale directed edge draws (duplicates
+/// and self loops cleaned by build_csr, so the final graph is smaller).
+[[nodiscard]] Coo generate_rmat(int scale, eid_t edge_factor = 16,
+                                const RmatOptions& options = {});
+
+}  // namespace gcol::graph

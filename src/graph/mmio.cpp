@@ -1,0 +1,120 @@
+#include "graph/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/build.hpp"
+
+namespace gcol::graph {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("matrix market, line " + std::to_string(line) +
+                           ": " + what);
+}
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Coo read_matrix_market(std::istream& in) {
+  std::string line;
+  std::size_t line_number = 0;
+
+  if (!std::getline(in, line)) fail(1, "empty stream");
+  ++line_number;
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (lowercase(tag) != "%%matrixmarket") fail(line_number, "missing banner");
+  if (lowercase(object) != "matrix") fail(line_number, "object must be 'matrix'");
+  if (lowercase(format) != "coordinate") {
+    fail(line_number, "only coordinate format is supported");
+  }
+  field = lowercase(field);
+  if (field != "pattern" && field != "real" && field != "integer" &&
+      field != "complex") {
+    fail(line_number, "unsupported field '" + field + "'");
+  }
+  symmetry = lowercase(symmetry);
+  const bool symmetric =
+      symmetry == "symmetric" || symmetry == "skew-symmetric";
+  if (!symmetric && symmetry != "general") {
+    fail(line_number, "unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments and blank lines to the size line.
+  long long rows = -1, cols = -1, entries = -1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> entries)) {
+      fail(line_number, "bad size line");
+    }
+    break;
+  }
+  if (rows < 0) fail(line_number, "missing size line");
+  if (rows != cols) fail(line_number, "adjacency matrix must be square");
+  if (rows > static_cast<long long>(std::numeric_limits<vid_t>::max())) {
+    fail(line_number, "matrix too large for 32-bit vertex ids");
+  }
+
+  Coo coo;
+  coo.num_vertices = static_cast<vid_t>(rows);
+  coo.reserve(static_cast<std::size_t>(entries) * (symmetric ? 2 : 1));
+  long long seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    long long r, c;
+    if (!(entry >> r >> c)) fail(line_number, "bad entry");
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      fail(line_number, "entry index out of range");
+    }
+    const auto u = static_cast<vid_t>(r - 1);
+    const auto v = static_cast<vid_t>(c - 1);
+    coo.add_edge(u, v);
+    if (symmetric && u != v) coo.add_edge(v, u);
+    ++seen;
+  }
+  if (seen != entries) {
+    fail(line_number, "expected " + std::to_string(entries) +
+                          " entries, found " + std::to_string(seen));
+  }
+  return coo;
+}
+
+Csr load_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  // The reader already expanded symmetric storage; build_csr symmetrizes
+  // general storage and cleans self loops / duplicates for both.
+  return build_csr(read_matrix_market(in));
+}
+
+void write_matrix_market(std::ostream& out, const Csr& csr) {
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << "% written by gcol (lower-triangular part of an undirected graph)\n";
+  out << csr.num_vertices << ' ' << csr.num_vertices << ' '
+      << csr.num_undirected_edges() << '\n';
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    for (const vid_t u : csr.neighbors(v)) {
+      if (u < v) out << (v + 1) << ' ' << (u + 1) << '\n';
+    }
+  }
+}
+
+}  // namespace gcol::graph

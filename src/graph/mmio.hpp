@@ -1,0 +1,32 @@
+#pragma once
+// Matrix Market I/O. The paper's real-world datasets come from the
+// SuiteSparse Matrix Collection in this format; the loader lets users run
+// every benchmark on the genuine matrices when they have them, while the
+// writer round-trips generated graphs for external tools.
+//
+// Supported on read: `%%MatrixMarket matrix coordinate
+// {pattern|real|integer|complex} {general|symmetric|skew-symmetric}`.
+// Values are ignored (coloring is structure-only); symmetric storage is
+// expanded; 1-based indices are converted.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::graph {
+
+/// Parses a Matrix Market stream into an edge list. Rectangular matrices are
+/// rejected (a graph needs a square adjacency matrix). Throws
+/// std::runtime_error with a line number on malformed input.
+[[nodiscard]] Coo read_matrix_market(std::istream& in);
+
+/// Convenience: open + parse + build a clean undirected CSR.
+[[nodiscard]] Csr load_matrix_market(const std::string& path);
+
+/// Writes the strictly-lower-triangular part of an undirected CSR as a
+/// `pattern symmetric` Matrix Market body (the compact conventional form).
+void write_matrix_market(std::ostream& out, const Csr& csr);
+
+}  // namespace gcol::graph

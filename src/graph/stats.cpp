@@ -1,0 +1,101 @@
+#include "graph/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace gcol::graph {
+
+DegreeStats degree_stats(const Csr& csr) {
+  DegreeStats stats;
+  if (csr.num_vertices == 0) return stats;
+  stats.min_degree = csr.degree(0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    const vid_t d = csr.degree(v);
+    if (d < stats.min_degree) stats.min_degree = d;
+    if (d > stats.max_degree) stats.max_degree = d;
+    if (d == 0) ++stats.isolated_vertices;
+    sum += d;
+    sum_sq += static_cast<double>(d) * d;
+  }
+  const double n = static_cast<double>(csr.num_vertices);
+  stats.average_degree = sum / n;
+  const double variance = sum_sq / n - stats.average_degree * stats.average_degree;
+  stats.degree_stddev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+  return stats;
+}
+
+namespace {
+
+/// BFS from `source`, writing levels into `level` (must be sized n and filled
+/// with -1 by the caller; reset before return is the caller's job too when
+/// reusing). Returns the deepest level reached.
+vid_t bfs_depth(const Csr& csr, vid_t source, std::vector<vid_t>& level,
+                std::vector<vid_t>& queue) {
+  queue.clear();
+  queue.push_back(source);
+  level[static_cast<std::size_t>(source)] = 0;
+  vid_t depth = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vid_t v = queue[head];
+    const vid_t next = level[static_cast<std::size_t>(v)] + 1;
+    for (const vid_t u : csr.neighbors(v)) {
+      if (level[static_cast<std::size_t>(u)] < 0) {
+        level[static_cast<std::size_t>(u)] = next;
+        if (next > depth) depth = next;
+        queue.push_back(u);
+      }
+    }
+  }
+  return depth;
+}
+
+}  // namespace
+
+vid_t eccentricity(const Csr& csr, vid_t source) {
+  std::vector<vid_t> level(static_cast<std::size_t>(csr.num_vertices), -1);
+  std::vector<vid_t> queue;
+  queue.reserve(static_cast<std::size_t>(csr.num_vertices));
+  return bfs_depth(csr, source, level, queue);
+}
+
+vid_t estimate_diameter(const Csr& csr, vid_t samples, std::uint64_t seed) {
+  const vid_t n = csr.num_vertices;
+  if (n == 0) return 0;
+  if (samples > n) samples = n;
+  const sim::CounterRng rng(seed);
+  std::vector<vid_t> level(static_cast<std::size_t>(n), -1);
+  std::vector<vid_t> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  vid_t best = 0;
+  for (vid_t i = 0; i < samples; ++i) {
+    const vid_t source =
+        samples == n
+            ? i
+            : static_cast<vid_t>(rng.uniform_below(
+                  static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(n)));
+    const vid_t depth = bfs_depth(csr, source, level, queue);
+    if (depth > best) best = depth;
+    for (const vid_t v : queue) level[static_cast<std::size_t>(v)] = -1;
+  }
+  return best;
+}
+
+vid_t count_components(const Csr& csr) {
+  const vid_t n = csr.num_vertices;
+  std::vector<vid_t> level(static_cast<std::size_t>(n), -1);
+  std::vector<vid_t> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  vid_t components = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (level[static_cast<std::size_t>(v)] >= 0) continue;
+    ++components;
+    bfs_depth(csr, v, level, queue);
+  }
+  return components;
+}
+
+}  // namespace gcol::graph

@@ -1,0 +1,36 @@
+#pragma once
+// Graph statistics for the Table I reproduction: vertex/edge counts, average
+// degree, and the sampled-BFS diameter estimate the paper marks with an
+// asterisk ("diameter is an estimate using samples from 10,000 vertices").
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace gcol::graph {
+
+struct DegreeStats {
+  vid_t min_degree = 0;
+  vid_t max_degree = 0;
+  double average_degree = 0.0;
+  double degree_stddev = 0.0;
+  vid_t isolated_vertices = 0;  ///< degree-0 vertices
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Csr& csr);
+
+/// Lower-bound diameter estimate: BFS from up to `samples` start vertices
+/// (deterministically chosen from `seed`), take the maximum eccentricity
+/// observed. Matches the paper's Table I method. Runs in
+/// O(samples * (n + m)); pass a small `samples` for big graphs.
+[[nodiscard]] vid_t estimate_diameter(const Csr& csr, vid_t samples,
+                                      std::uint64_t seed = 0x5eedu);
+
+/// Exact single-source eccentricity (max BFS depth from `source`;
+/// unreachable vertices are ignored).
+[[nodiscard]] vid_t eccentricity(const Csr& csr, vid_t source);
+
+/// Number of connected components (BFS sweep).
+[[nodiscard]] vid_t count_components(const Csr& csr);
+
+}  // namespace gcol::graph

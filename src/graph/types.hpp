@@ -1,0 +1,15 @@
+#pragma once
+// Fundamental index types shared by every layer of the library.
+//
+// Vertex ids are 32-bit (the largest paper dataset has 16.8M vertices) and
+// edge offsets are 64-bit (the largest has 265M directed edges after
+// symmetrization, and full-scale regeneration must not overflow).
+
+#include <cstdint>
+
+namespace gcol {
+
+using vid_t = std::int32_t;  ///< vertex id / vertex count
+using eid_t = std::int64_t;  ///< edge id / CSR offset / edge count
+
+}  // namespace gcol

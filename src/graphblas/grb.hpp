@@ -1,0 +1,10 @@
+#pragma once
+// Umbrella header for the GraphBLAS-style framework (gcol::grb): include
+// this to write algorithms in the style of the paper's Algorithms 2-4.
+
+#include "graphblas/descriptor.hpp"  // IWYU pragma: export
+#include "graphblas/matrix.hpp"      // IWYU pragma: export
+#include "graphblas/operators.hpp"   // IWYU pragma: export
+#include "graphblas/ops.hpp"         // IWYU pragma: export
+#include "graphblas/types.hpp"       // IWYU pragma: export
+#include "graphblas/vector.hpp"      // IWYU pragma: export

@@ -1,0 +1,648 @@
+#pragma once
+// The GraphBLAS operations used by the paper's Algorithms 2–4, plus the
+// GxB_scatter extension the paper introduces for Jones-Plassmann (§IV-A3).
+//
+// Execution model: every operation computes its result into dense
+// (values, present) buffers with one or two virtual-GPU kernel launches,
+// then merges into the output under mask/replace semantics:
+//
+//   out_present[i] — the operation produced an entry at i
+//   writes(i)      = mask allows i && out_present[i]
+//   final(i)       = writes(i) ? out[i] : (replace ? none : old w[i])
+//
+// which is exactly the GraphBLAS C API's masked-assignment rule. vxm
+// implements both the push (iterate sparse input, scatter with atomics) and
+// pull (iterate masked outputs, gather) traversals with GraphBLAST's
+// direction-optimizing heuristic [Yang et al., ICPP 2018].
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "graphblas/descriptor.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/operators.hpp"
+#include "graphblas/types.hpp"
+#include "graphblas/vector.hpp"
+#include "sim/atomics.hpp"
+#include "sim/compact.hpp"
+#include "sim/device.hpp"
+#include "sim/reduce.hpp"
+
+namespace gcol::grb {
+
+namespace detail {
+
+/// Resolves mask + descriptor into a queryable predicate over positions.
+template <typename M>
+class MaskView {
+ public:
+  MaskView(const Vector<M>* mask, const Descriptor& desc)
+      : mask_(mask),
+        structure_(desc.mask_structure),
+        complement_(desc.mask_complement) {}
+
+  /// True when no mask constrains writes at all.
+  [[nodiscard]] bool trivial() const noexcept {
+    return mask_ == nullptr && !complement_;
+  }
+
+  [[nodiscard]] bool allows(Index i) const noexcept {
+    if (mask_ == nullptr) {
+      // No mask: everything writable; complementing "all" blocks everything.
+      return !complement_;
+    }
+    bool set;
+    if (structure_) {
+      set = mask_->has(i);
+    } else {
+      M value{};
+      set = mask_->extract_element(&value, i) == Info::kSuccess &&
+            value != M{0};
+    }
+    return complement_ ? !set : set;
+  }
+
+ private:
+  const Vector<M>* mask_;
+  bool structure_;
+  bool complement_;
+};
+
+/// No-mask tag with the same interface.
+struct NoMask {
+  [[nodiscard]] static bool trivial() noexcept { return true; }
+  [[nodiscard]] static bool allows(Index) noexcept { return true; }
+};
+
+/// O(1)-lookup view of a vector: dense vectors are viewed in place; sparse
+/// vectors are scattered once into scratch (values + presence) so element
+/// probes inside O(n)/O(m) loops never pay a binary search. This mirrors
+/// GraphBLAST's densify-before-dense-op strategy.
+template <typename T>
+class DenseView {
+ public:
+  DenseView(const Vector<T>& v, sim::Device& device) {
+    switch (v.storage()) {
+      case Storage::kDense:
+        values_ = v.dense_values();
+        return;
+      case Storage::kBitmap:
+        values_ = v.dense_values();
+        present_ = v.bitmap_present();
+        return;
+      case Storage::kSparse: break;
+    }
+    const auto n = static_cast<std::size_t>(v.size());
+    scratch_values_.resize(n);
+    scratch_present_.assign(n, 0);
+    const auto indices = v.sparse_indices();
+    const auto values = v.sparse_values();
+    device.parallel_for(
+        static_cast<std::int64_t>(indices.size()), [&](std::int64_t k) {
+          const auto i =
+              static_cast<std::size_t>(indices[static_cast<std::size_t>(k)]);
+          scratch_values_[i] = values[static_cast<std::size_t>(k)];
+          scratch_present_[i] = 1;
+        });
+    values_ = scratch_values_;
+    present_ = scratch_present_;
+  }
+
+  [[nodiscard]] bool has(Index i) const noexcept {
+    return present_.empty() || present_[static_cast<std::size_t>(i)] != 0;
+  }
+
+  /// Value at i; meaningful only when has(i).
+  [[nodiscard]] T operator[](Index i) const noexcept {
+    return values_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::span<const T> values_;
+  std::span<const std::uint8_t> present_;
+  std::vector<T> scratch_values_;
+  std::vector<std::uint8_t> scratch_present_;
+};
+
+/// Applies f(index, value) to every stored entry of `u`, in parallel.
+/// Sparse storage iterates its entry list; dense/bitmap iterate positions.
+template <typename T, typename F>
+void for_each_entry(sim::Device& device, const Vector<T>& u, F f) {
+  switch (u.storage()) {
+    case Storage::kDense: {
+      const auto values = u.dense_values();
+      device.parallel_for(u.size(), [&](std::int64_t i) {
+        f(i, values[static_cast<std::size_t>(i)]);
+      });
+      return;
+    }
+    case Storage::kBitmap: {
+      const auto values = u.dense_values();
+      const auto present = u.bitmap_present();
+      device.parallel_for(u.size(), [&](std::int64_t i) {
+        if (present[static_cast<std::size_t>(i)] != 0) {
+          f(i, values[static_cast<std::size_t>(i)]);
+        }
+      });
+      return;
+    }
+    case Storage::kSparse: {
+      const auto indices = u.sparse_indices();
+      const auto values = u.sparse_values();
+      device.parallel_for(
+          static_cast<std::int64_t>(indices.size()), [&](std::int64_t k) {
+            f(indices[static_cast<std::size_t>(k)],
+              values[static_cast<std::size_t>(k)]);
+          });
+      return;
+    }
+  }
+}
+
+/// Mask wrapper over a DenseView (value or structure semantics, with
+/// complement) so masked inner loops also avoid binary searches.
+template <typename M>
+class FastMaskView {
+ public:
+  FastMaskView(const Vector<M>* mask, const Descriptor& desc,
+               sim::Device& device)
+      : structure_(desc.mask_structure), complement_(desc.mask_complement) {
+    if (mask != nullptr) view_.emplace(*mask, device);
+  }
+
+  [[nodiscard]] bool trivial() const noexcept {
+    return !view_.has_value() && !complement_;
+  }
+
+  [[nodiscard]] bool allows(Index i) const noexcept {
+    if (!view_.has_value()) return !complement_;
+    const bool set =
+        view_->has(i) && (structure_ || (*view_)[i] != M{0});
+    return complement_ ? !set : set;
+  }
+
+ private:
+  std::optional<DenseView<M>> view_;
+  bool structure_;
+  bool complement_;
+};
+
+/// Merges dense (values, present) results into `w` under mask/replace rules.
+/// `all_present` short-circuits the common dense case.
+template <typename W, typename Mask>
+void write_back(sim::Device& device, Vector<W>& w, const Mask& mask,
+                std::vector<W>&& out_values,
+                const std::vector<std::uint8_t>& out_present,
+                bool all_present, bool replace) {
+  const Index n = w.size();
+  const auto un = static_cast<std::size_t>(n);
+  if (all_present && mask.trivial()) {
+    w.adopt_dense(std::move(out_values));
+    return;
+  }
+
+  // final value/presence per position; probe old entries through a dense
+  // view so sparse outputs don't pay a binary search per position.
+  const DenseView<W> old_view(w, device);
+  std::vector<std::uint8_t> final_present(un, 0);
+  device.parallel_for(n, [&](std::int64_t i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const bool produced = all_present || out_present[ui] != 0;
+    if (mask.allows(i) && produced) {
+      final_present[ui] = 1;
+      return;
+    }
+    if (!replace && old_view.has(i)) {
+      final_present[ui] = 1;
+      out_values[ui] = old_view[i];
+    }
+  });
+
+  const std::int64_t kept = sim::count_if<std::uint8_t>(
+      device, final_present, [](std::uint8_t p) { return p != 0; });
+  if (kept == n) {
+    w.adopt_dense(std::move(out_values));
+    return;
+  }
+  // Bitmap install: no compaction — the next operation reads presence in
+  // O(1) through a DenseView.
+  w.adopt_bitmap(std::move(out_values), std::move(final_present), kept);
+}
+
+}  // namespace detail
+
+// ---- GrB_assign (scalar to all positions) --------------------------------
+
+/// w<mask> = value over GrB_ALL. With no mask the vector becomes dense.
+/// Mirrors the paper's `GrB_assign(C, frontier, GrB_NULL, color, GrB_ALL,
+/// nrows(A), desc)`.
+template <typename W, typename M, typename T>
+Info assign(Vector<W>& w, const Vector<M>* mask, T value,
+            const Descriptor& desc = kDefaultDesc) {
+  auto& device = sim::Device::instance();
+  const detail::MaskView<M> view(mask, desc);
+  if (mask != nullptr && mask->size() != w.size()) {
+    return Info::kDimensionMismatch;
+  }
+  if (view.trivial()) {
+    w.fill(static_cast<W>(value));
+    return Info::kSuccess;
+  }
+  std::vector<W> out(static_cast<std::size_t>(w.size()),
+                     static_cast<W>(value));
+  // assign produces an entry at every (masked) position.
+  detail::write_back(device, w, view, std::move(out), {}, /*all_present=*/true,
+                     desc.replace);
+  return Info::kSuccess;
+}
+
+/// Unmasked overload (mask type cannot be deduced from nullptr).
+template <typename W, typename T>
+Info assign(Vector<W>& w, std::nullptr_t, T value,
+            const Descriptor& desc = kDefaultDesc) {
+  return assign(w, static_cast<const Vector<W>*>(nullptr), value, desc);
+}
+
+// ---- GrB_apply -----------------------------------------------------------
+
+/// Extension: f receives (index, value) — needed by the paper's
+/// `set_random()`, which must derive a per-vertex random weight
+/// reproducibly (counter RNG keyed by vertex id).
+template <typename W, typename M, typename U, typename F>
+Info apply_indexed(Vector<W>& w, const Vector<M>* mask, F f,
+                   const Vector<U>& u, const Descriptor& desc = kDefaultDesc) {
+  if (u.size() != w.size()) return Info::kDimensionMismatch;
+  if (mask != nullptr && mask->size() != w.size()) {
+    return Info::kDimensionMismatch;
+  }
+  auto& device = sim::Device::instance();
+  const detail::MaskView<M> view(mask, desc);
+  const Index n = w.size();
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<W> out(un);
+  if (u.is_dense()) {
+    const auto uv = u.dense_values();
+    device.parallel_for(n, [&](std::int64_t i) {
+      out[static_cast<std::size_t>(i)] =
+          static_cast<W>(f(i, uv[static_cast<std::size_t>(i)]));
+    });
+    detail::write_back(device, w, view, std::move(out), {},
+                       /*all_present=*/true, desc.replace);
+    return Info::kSuccess;
+  }
+  std::vector<std::uint8_t> present(un, 0);
+  detail::for_each_entry(device, u, [&](Index i, U value) {
+    out[static_cast<std::size_t>(i)] = static_cast<W>(f(i, value));
+    present[static_cast<std::size_t>(i)] = 1;
+  });
+  detail::write_back(device, w, view, std::move(out), present,
+                     /*all_present=*/false, desc.replace);
+  return Info::kSuccess;
+}
+
+/// w<mask> = f(u), entry-wise over u's stored entries.
+template <typename W, typename M, typename U, typename F>
+Info apply(Vector<W>& w, const Vector<M>* mask, F f, const Vector<U>& u,
+           const Descriptor& desc = kDefaultDesc) {
+  return apply_indexed(
+      w, mask, [&f](Index, U value) { return f(value); }, u, desc);
+}
+
+/// Unmasked overloads (mask type cannot be deduced from a bare nullptr).
+template <typename W, typename U, typename F>
+Info apply_indexed(Vector<W>& w, std::nullptr_t, F f, const Vector<U>& u,
+                   const Descriptor& desc = kDefaultDesc) {
+  return apply_indexed(w, static_cast<const Vector<W>*>(nullptr), f, u, desc);
+}
+
+template <typename W, typename U, typename F>
+Info apply(Vector<W>& w, std::nullptr_t, F f, const Vector<U>& u,
+           const Descriptor& desc = kDefaultDesc) {
+  return apply(w, static_cast<const Vector<W>*>(nullptr), f, u, desc);
+}
+
+// ---- GrB_eWiseAdd / GrB_eWiseMult -----------------------------------------
+
+/// w<mask> = u op v with UNION structure: entry where u or v has one;
+/// op applied only where both do.
+template <typename W, typename M, typename U, typename V, typename Op>
+Info eWiseAdd(Vector<W>& w, const Vector<M>* mask, Op op, const Vector<U>& u,
+              const Vector<V>& v, const Descriptor& desc = kDefaultDesc) {
+  if (u.size() != w.size() || v.size() != w.size()) {
+    return Info::kDimensionMismatch;
+  }
+  if (mask != nullptr && mask->size() != w.size()) {
+    return Info::kDimensionMismatch;
+  }
+  auto& device = sim::Device::instance();
+  const detail::MaskView<M> view(mask, desc);
+  const Index n = w.size();
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<W> out(un);
+  const bool both_dense = u.is_dense() && v.is_dense();
+  if (both_dense) {
+    const auto uv = u.dense_values();
+    const auto vv = v.dense_values();
+    device.parallel_for(n, [&](std::int64_t i) {
+      const auto ui = static_cast<std::size_t>(i);
+      out[ui] = static_cast<W>(
+          op(static_cast<W>(uv[ui]), static_cast<W>(vv[ui])));
+    });
+    detail::write_back(device, w, view, std::move(out), {},
+                       /*all_present=*/true, desc.replace);
+    return Info::kSuccess;
+  }
+  std::vector<std::uint8_t> present(un, 0);
+  const detail::DenseView<U> uview(u, device);
+  const detail::DenseView<V> vview(v, device);
+  device.parallel_for(n, [&](std::int64_t i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const bool has_u = uview.has(i);
+    const bool has_v = vview.has(i);
+    if (has_u && has_v) {
+      out[ui] = static_cast<W>(
+          op(static_cast<W>(uview[i]), static_cast<W>(vview[i])));
+      present[ui] = 1;
+    } else if (has_u) {
+      out[ui] = static_cast<W>(uview[i]);
+      present[ui] = 1;
+    } else if (has_v) {
+      out[ui] = static_cast<W>(vview[i]);
+      present[ui] = 1;
+    }
+  });
+  detail::write_back(device, w, view, std::move(out), present,
+                     /*all_present=*/false, desc.replace);
+  return Info::kSuccess;
+}
+
+/// Unmasked eWiseAdd.
+template <typename W, typename U, typename V, typename Op>
+Info eWiseAdd(Vector<W>& w, std::nullptr_t, Op op, const Vector<U>& u,
+              const Vector<V>& v, const Descriptor& desc = kDefaultDesc) {
+  return eWiseAdd(w, static_cast<const Vector<W>*>(nullptr), op, u, v, desc);
+}
+
+/// w<mask> = u op v with INTERSECTION structure: entry only where both have.
+template <typename W, typename M, typename U, typename V, typename Op>
+Info eWiseMult(Vector<W>& w, const Vector<M>* mask, Op op, const Vector<U>& u,
+               const Vector<V>& v, const Descriptor& desc = kDefaultDesc) {
+  if (u.size() != w.size() || v.size() != w.size()) {
+    return Info::kDimensionMismatch;
+  }
+  if (mask != nullptr && mask->size() != w.size()) {
+    return Info::kDimensionMismatch;
+  }
+  auto& device = sim::Device::instance();
+  const detail::MaskView<M> view(mask, desc);
+  const Index n = w.size();
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<W> out(un);
+  if (u.is_dense() && v.is_dense()) {
+    const auto uv = u.dense_values();
+    const auto vv = v.dense_values();
+    device.parallel_for(n, [&](std::int64_t i) {
+      const auto ui = static_cast<std::size_t>(i);
+      out[ui] = static_cast<W>(
+          op(static_cast<W>(uv[ui]), static_cast<W>(vv[ui])));
+    });
+    detail::write_back(device, w, view, std::move(out), {},
+                       /*all_present=*/true, desc.replace);
+    return Info::kSuccess;
+  }
+  std::vector<std::uint8_t> present(un, 0);
+  const detail::DenseView<U> uview(u, device);
+  const detail::DenseView<V> vview(v, device);
+  device.parallel_for(n, [&](std::int64_t i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (uview.has(i) && vview.has(i)) {
+      out[ui] = static_cast<W>(
+          op(static_cast<W>(uview[i]), static_cast<W>(vview[i])));
+      present[ui] = 1;
+    }
+  });
+  detail::write_back(device, w, view, std::move(out), present,
+                     /*all_present=*/false, desc.replace);
+  return Info::kSuccess;
+}
+
+/// Unmasked eWiseMult.
+template <typename W, typename U, typename V, typename Op>
+Info eWiseMult(Vector<W>& w, std::nullptr_t, Op op, const Vector<U>& u,
+               const Vector<V>& v, const Descriptor& desc = kDefaultDesc) {
+  return eWiseMult(w, static_cast<const Vector<W>*>(nullptr), op, u, v, desc);
+}
+
+// ---- GrB_vxm ----------------------------------------------------------------
+
+/// w<mask> = u ⊕.⊗ A over the given semiring. The Matrix wraps an undirected
+/// graph's CSR (A = Aᵀ), so row j doubles as column j.
+///
+/// Pull: one launch over output positions the mask allows — this is where
+/// masking "avoids many memory accesses" (paper §III-A1). Push: one launch
+/// over u's stored entries, scattering with CAS-loop atomics (integral W
+/// only; other types always pull).
+template <typename W, typename M, typename U, typename A, typename AddMonoid,
+          typename MulOp>
+Info vxm(Vector<W>& w, const Vector<M>* mask,
+         Semiring<AddMonoid, MulOp> semiring, const Vector<U>& u,
+         const Matrix<A>& a, const Descriptor& desc = kDefaultDesc) {
+  if (u.size() != a.nrows() || w.size() != a.ncols()) {
+    return Info::kDimensionMismatch;
+  }
+  if (mask != nullptr && mask->size() != w.size()) {
+    return Info::kDimensionMismatch;
+  }
+  auto& device = sim::Device::instance();
+  const detail::FastMaskView<M> view(mask, desc, device);
+  const Index n = w.size();
+  const auto un = static_cast<std::size_t>(n);
+  const graph::Csr& csr = a.csr();
+
+  bool push;
+  switch (desc.vxm_mode) {
+    case VxmMode::kPush: push = true; break;
+    case VxmMode::kPull: push = false; break;
+    case VxmMode::kAuto:
+    default: {
+      // Direction-optimizing heuristic: push while the frontier's edge work
+      // is smaller than a full pull pass over the masked outputs.
+      const double avg_degree = csr.average_degree();
+      push = !u.is_dense() &&
+             static_cast<double>(u.nvals()) * avg_degree <
+                 static_cast<double>(n);
+      break;
+    }
+  }
+  if constexpr (!(std::is_integral_v<W> &&
+                  (sizeof(W) == 4 || sizeof(W) == 8))) {
+    push = false;  // atomic CAS-combine requires a lock-free integral type
+  }
+
+  const W identity = static_cast<W>(semiring.add.identity);
+  std::vector<W> out(un, identity);
+  std::vector<std::uint8_t> present(un, 0);
+
+  if (push) {
+    detail::for_each_entry(
+        device, u,
+        [&](Index i, U ui_value) {
+          const auto row = static_cast<vid_t>(i);
+          const eid_t begin = csr.row_offsets[static_cast<std::size_t>(row)];
+          const eid_t end = csr.row_offsets[static_cast<std::size_t>(row) + 1];
+          for (eid_t e = begin; e < end; ++e) {
+            const auto j = static_cast<Index>(
+                csr.col_indices[static_cast<std::size_t>(e)]);
+            if (!view.allows(j)) continue;
+            const W product = static_cast<W>(semiring.mul(
+                static_cast<W>(ui_value), static_cast<W>(a.value_at(e))));
+            if constexpr (std::is_integral_v<W>) {
+              // CAS-combine under the add monoid.
+              std::atomic_ref<W> slot(out[static_cast<std::size_t>(j)]);
+              W observed = slot.load(std::memory_order_relaxed);
+              W desired = static_cast<W>(semiring.add(observed, product));
+              while (desired != observed &&
+                     !slot.compare_exchange_weak(observed, desired,
+                                                 std::memory_order_relaxed)) {
+                desired = static_cast<W>(semiring.add(observed, product));
+              }
+              sim::atomic_store(present[static_cast<std::size_t>(j)],
+                                std::uint8_t{1});
+            }
+          }
+        });
+  } else {
+    const detail::DenseView<U> uview(u, device);
+    device.parallel_for(
+        n,
+        [&](std::int64_t j) {
+          if (!view.allows(j)) return;
+          const auto row = static_cast<vid_t>(j);
+          const eid_t begin = csr.row_offsets[static_cast<std::size_t>(row)];
+          const eid_t end = csr.row_offsets[static_cast<std::size_t>(row) + 1];
+          W acc = identity;
+          bool hit = false;
+          for (eid_t e = begin; e < end; ++e) {
+            const auto i = static_cast<Index>(
+                csr.col_indices[static_cast<std::size_t>(e)]);
+            if (!uview.has(i)) continue;
+            acc = static_cast<W>(semiring.add(
+                acc, static_cast<W>(semiring.mul(
+                         static_cast<W>(uview[i]),
+                         static_cast<W>(a.value_at(e))))));
+            hit = true;
+          }
+          if (hit) {
+            out[static_cast<std::size_t>(j)] = acc;
+            present[static_cast<std::size_t>(j)] = 1;
+          }
+        },
+        sim::Schedule::kDynamic);
+  }
+
+  detail::write_back(device, w, view, std::move(out), present,
+                     /*all_present=*/false, desc.replace);
+  return Info::kSuccess;
+}
+
+/// Unmasked vxm.
+template <typename W, typename U, typename A, typename AddMonoid,
+          typename MulOp>
+Info vxm(Vector<W>& w, std::nullptr_t, Semiring<AddMonoid, MulOp> semiring,
+         const Vector<U>& u, const Matrix<A>& a,
+         const Descriptor& desc = kDefaultDesc) {
+  return vxm(w, static_cast<const Vector<W>*>(nullptr), semiring, u, a, desc);
+}
+
+/// GrB_mxv: w<mask> = A (+.x) u. The library's matrices wrap undirected
+/// graphs (A = A^T), so this is vxm with the operands' roles renamed; both
+/// spellings are provided because the two APIs read differently at call
+/// sites transcribed from papers.
+template <typename W, typename M, typename U, typename A, typename AddMonoid,
+          typename MulOp>
+Info mxv(Vector<W>& w, const Vector<M>* mask,
+         Semiring<AddMonoid, MulOp> semiring, const Matrix<A>& a,
+         const Vector<U>& u, const Descriptor& desc = kDefaultDesc) {
+  return vxm(w, mask, semiring, u, a, desc);
+}
+
+template <typename W, typename U, typename A, typename AddMonoid,
+          typename MulOp>
+Info mxv(Vector<W>& w, std::nullptr_t, Semiring<AddMonoid, MulOp> semiring,
+         const Matrix<A>& a, const Vector<U>& u,
+         const Descriptor& desc = kDefaultDesc) {
+  return vxm(w, static_cast<const Vector<W>*>(nullptr), semiring, u, a, desc);
+}
+
+// ---- GrB_reduce ---------------------------------------------------------------
+
+/// *out = monoid-reduction over u's stored entries. Missing positions
+/// contribute the monoid identity, so a single dense pass serves every
+/// storage kind.
+template <typename T, typename U, typename Op>
+Info reduce(T* out, Monoid<Op, T> monoid, const Vector<U>& u,
+            const Descriptor& = kDefaultDesc) {
+  if (out == nullptr) return Info::kInvalidValue;
+  auto& device = sim::Device::instance();
+  if (u.is_sparse()) {
+    const auto values = u.sparse_values();
+    std::vector<T> cast(values.size());
+    device.parallel_for(
+        static_cast<std::int64_t>(values.size()), [&](std::int64_t i) {
+          cast[static_cast<std::size_t>(i)] =
+              static_cast<T>(values[static_cast<std::size_t>(i)]);
+        });
+    *out = sim::reduce<T>(device, cast, monoid.identity,
+                          [&](T x, T y) { return monoid(x, y); });
+    return Info::kSuccess;
+  }
+  const detail::DenseView<U> view(u, device);
+  std::vector<T> cast(static_cast<std::size_t>(u.size()));
+  device.parallel_for(u.size(), [&](std::int64_t i) {
+    cast[static_cast<std::size_t>(i)] =
+        view.has(i) ? static_cast<T>(view[i]) : monoid.identity;
+  });
+  *out = sim::reduce<T>(device, cast, monoid.identity,
+                        [&](T x, T y) { return monoid(x, y); });
+  return Info::kSuccess;
+}
+
+// ---- GxB_scatter (paper extension, §IV-A3) ----------------------------------
+
+/// For every stored entry (i, c) of u with mask allowing position i:
+///   w[static_cast<Index>(c)] = value, when 0 <= c < w.size().
+/// Out-of-range targets are skipped (the paper clamps neighbor colors into
+/// the possible-colors array the same way). w must be dense — the paper
+/// fills `colors` with GrB_assign first. Duplicate targets are benign: all
+/// writers store the same value.
+template <typename W, typename M, typename U, typename T>
+Info scatter(Vector<W>& w, const Vector<M>* mask, const Vector<U>& u, T value,
+             const Descriptor& desc = kDefaultDesc) {
+  if (!w.is_dense()) return Info::kInvalidValue;
+  if (mask != nullptr && mask->size() != u.size()) {
+    return Info::kDimensionMismatch;
+  }
+  auto& device = sim::Device::instance();
+  const detail::MaskView<M> view(mask, desc);
+  auto wv = w.dense_values();
+  const Index bound = w.size();
+  detail::for_each_entry(device, u, [&](Index i, U c) {
+    if (!view.allows(i)) return;
+    const auto target = static_cast<Index>(c);
+    if (target < 0 || target >= bound) return;
+    wv[static_cast<std::size_t>(target)] = static_cast<W>(value);
+  });
+  return Info::kSuccess;
+}
+
+/// Unmasked scatter overload.
+template <typename W, typename U, typename T>
+Info scatter(Vector<W>& w, std::nullptr_t, const Vector<U>& u, T value,
+             const Descriptor& desc = kDefaultDesc) {
+  return scatter(w, static_cast<const Vector<W>*>(nullptr), u, value, desc);
+}
+
+}  // namespace gcol::grb

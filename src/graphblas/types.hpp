@@ -1,0 +1,44 @@
+#pragma once
+// Core GraphBLAS-style types. The C API reports errors through GrB_Info
+// return codes; this C++ port keeps that convention (no exceptions on the
+// hot path) and adds GRB_TRY for call-site chaining like the paper's
+// pseudocode.
+
+#include <cstdint>
+
+namespace gcol::grb {
+
+using Index = std::int64_t;
+
+enum class Info {
+  kSuccess = 0,
+  kUninitializedObject,
+  kDimensionMismatch,
+  kIndexOutOfBounds,
+  kInvalidValue,
+  kNoValue,  ///< extract_element on a position with no stored entry
+};
+
+[[nodiscard]] constexpr const char* to_string(Info info) noexcept {
+  switch (info) {
+    case Info::kSuccess: return "success";
+    case Info::kUninitializedObject: return "uninitialized object";
+    case Info::kDimensionMismatch: return "dimension mismatch";
+    case Info::kIndexOutOfBounds: return "index out of bounds";
+    case Info::kInvalidValue: return "invalid value";
+    case Info::kNoValue: return "no value";
+  }
+  return "unknown";
+}
+
+/// Early-return on failure, mirroring the GraphBLAS C idiom
+/// `GrB_TRY(GrB_vxm(...))`.
+#define GRB_TRY(expr)                                   \
+  do {                                                  \
+    const ::gcol::grb::Info grb_try_info_ = (expr);     \
+    if (grb_try_info_ != ::gcol::grb::Info::kSuccess) { \
+      return grb_try_info_;                             \
+    }                                                   \
+  } while (false)
+
+}  // namespace gcol::grb

@@ -1,0 +1,54 @@
+#pragma once
+// The Gunrock enactor: the bulk-synchronous iteration driver that "calls
+// this compute operator until all vertices are colored" (paper §IV-B1).
+// Algorithms supply a loop body returning whether to continue; the enactor
+// owns iteration counting, an optional iteration cap (runaway protection for
+// randomized heuristics), and bookkeeping that benches report (iterations ==
+// color rounds, launches == global synchronizations).
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/device.hpp"
+
+namespace gcol::gr {
+
+struct EnactorStats {
+  std::int32_t iterations = 0;
+  std::uint64_t kernel_launches = 0;  ///< global-sync proxy for this enact
+  bool hit_iteration_cap = false;
+};
+
+class Enactor {
+ public:
+  explicit Enactor(sim::Device& device, std::int32_t max_iterations = 1 << 20)
+      : device_(device), max_iterations_(max_iterations) {}
+
+  /// Runs body(iteration) until it returns false or the cap is reached.
+  /// The body typically launches one or more compute/advance operators;
+  /// every return is a bulk-synchronous step boundary.
+  template <typename Body>
+  EnactorStats enact(Body body) {
+    EnactorStats stats;
+    const std::uint64_t launches_before = device_.launch_count();
+    for (std::int32_t iteration = 0; iteration < max_iterations_;
+         ++iteration) {
+      ++stats.iterations;
+      if (!body(iteration)) {
+        stats.kernel_launches = device_.launch_count() - launches_before;
+        return stats;
+      }
+    }
+    stats.hit_iteration_cap = true;
+    stats.kernel_launches = device_.launch_count() - launches_before;
+    return stats;
+  }
+
+  [[nodiscard]] sim::Device& device() noexcept { return device_; }
+
+ private:
+  sim::Device& device_;
+  std::int32_t max_iterations_;
+};
+
+}  // namespace gcol::gr

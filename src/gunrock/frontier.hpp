@@ -1,0 +1,76 @@
+#pragma once
+// Vertex frontiers — the central data structure of Gunrock's data-centric
+// abstraction (paper §III-B): "operations on vertex or edge frontiers".
+//
+// A frontier is either the implicit full vertex set (the common case for the
+// coloring algorithms, which keep all vertices active and early-out on
+// colored ones — Algorithm 5 line 18) or an explicit compacted vertex list
+// produced by filter/advance.
+
+#include <cassert>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gcol::gr {
+
+class Frontier {
+ public:
+  /// The implicit frontier containing every vertex of an n-vertex graph.
+  [[nodiscard]] static Frontier all(vid_t num_vertices) {
+    Frontier f;
+    f.num_vertices_ = num_vertices;
+    f.implicit_all_ = true;
+    return f;
+  }
+
+  /// An explicit frontier. `vertices` must contain valid ids < num_vertices.
+  [[nodiscard]] static Frontier of(std::vector<vid_t> vertices,
+                                   vid_t num_vertices) {
+    Frontier f;
+    f.num_vertices_ = num_vertices;
+    f.implicit_all_ = false;
+    f.vertices_ = std::move(vertices);
+    return f;
+  }
+
+  /// An empty frontier over an n-vertex graph.
+  [[nodiscard]] static Frontier empty(vid_t num_vertices) {
+    return of({}, num_vertices);
+  }
+
+  [[nodiscard]] vid_t num_vertices() const noexcept { return num_vertices_; }
+
+  [[nodiscard]] bool is_all() const noexcept { return implicit_all_; }
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return implicit_all_ ? num_vertices_
+                         : static_cast<std::int64_t>(vertices_.size());
+  }
+
+  [[nodiscard]] bool is_empty() const noexcept { return size() == 0; }
+
+  /// The i-th active vertex.
+  [[nodiscard]] vid_t vertex(std::int64_t i) const noexcept {
+    return implicit_all_ ? static_cast<vid_t>(i)
+                         : vertices_[static_cast<std::size_t>(i)];
+  }
+
+  /// Materialized vertex list (allocates for implicit-all frontiers).
+  [[nodiscard]] std::vector<vid_t> to_vector() const {
+    if (!implicit_all_) return vertices_;
+    std::vector<vid_t> v(static_cast<std::size_t>(num_vertices_));
+    std::iota(v.begin(), v.end(), vid_t{0});
+    return v;
+  }
+
+ private:
+  Frontier() = default;
+  vid_t num_vertices_ = 0;
+  bool implicit_all_ = false;
+  std::vector<vid_t> vertices_;
+};
+
+}  // namespace gcol::gr

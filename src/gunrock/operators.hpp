@@ -1,0 +1,143 @@
+#pragma once
+// Gunrock's high-performance operators (paper §III-B), expressed over the
+// virtual-GPU device:
+//
+//   compute        — ComputeOp: a parallel forall over frontier items; the
+//                    workhorse of the IS and Hash coloring kernels. NOT load
+//                    balanced: one work item per vertex regardless of degree,
+//                    exactly the property the paper analyzes ("simply
+//                    assigning each active thread to a vertex").
+//   filter         — compacts a frontier by predicate (scan + scatter).
+//   advance        — generates the neighbor frontier of the input frontier
+//                    with load balancing: degrees are scanned so neighbor
+//                    slots are evenly divided among workers.
+//   neighbor_reduce— AdvanceOp + segmented ReduceOp: per-source reduction
+//                    over the advanced neighborhood (paper §III-B3).
+//
+// Each operator issues a fixed small number of kernel launches; the implied
+// global barriers are what the paper counts as "global synchronizations".
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "gunrock/frontier.hpp"
+#include "sim/compact.hpp"
+#include "sim/device.hpp"
+#include "sim/scan.hpp"
+#include "sim/segmented_reduce.hpp"
+
+namespace gcol::gr {
+
+/// ComputeOp: op(v) for every vertex v in the frontier, in parallel with no
+/// ordering guarantees (paper: "Gunrock performs that operation in parallel
+/// across all elements without regard to order").
+template <typename Op>
+void compute(sim::Device& device, const Frontier& frontier, Op op) {
+  device.parallel_for(frontier.size(), [&](std::int64_t i) {
+    op(frontier.vertex(i));
+  });
+}
+
+/// FilterOp: new frontier containing the input vertices where pred(v) holds.
+template <typename Pred>
+[[nodiscard]] Frontier filter(sim::Device& device, const Frontier& frontier,
+                              Pred pred) {
+  const std::vector<std::int64_t> kept = sim::compact_indices(
+      device, frontier.size(),
+      [&](std::int64_t i) { return pred(frontier.vertex(i)); });
+  std::vector<vid_t> vertices(kept.size());
+  device.parallel_for(
+      static_cast<std::int64_t>(kept.size()), [&](std::int64_t k) {
+        vertices[static_cast<std::size_t>(k)] =
+            frontier.vertex(kept[static_cast<std::size_t>(k)]);
+      });
+  return Frontier::of(std::move(vertices), frontier.num_vertices());
+}
+
+/// The materialized output of an advance: a flat neighbor array partitioned
+/// by source via CSR-style segment offsets (ready for segmented reduction).
+struct AdvanceResult {
+  std::vector<eid_t> segment_offsets;  ///< size frontier.size() + 1
+  std::vector<vid_t> neighbors;        ///< advanced (destination) vertices
+
+  [[nodiscard]] std::int64_t num_segments() const noexcept {
+    return static_cast<std::int64_t>(segment_offsets.size()) - 1;
+  }
+};
+
+/// AdvanceOp: visits the full neighbor list of every frontier vertex and
+/// materializes it (paper: "each input item maps to multiple output items
+/// from the input item's neighbor list"). Load-balanced in the Gunrock
+/// sense: slot counts come from a degree scan, and the fill launch uses
+/// dynamic chunking so high-degree vertices don't serialize on one worker.
+[[nodiscard]] inline AdvanceResult advance(sim::Device& device,
+                                           const graph::Csr& csr,
+                                           const Frontier& frontier) {
+  const std::int64_t fsize = frontier.size();
+  AdvanceResult result;
+  result.segment_offsets.resize(static_cast<std::size_t>(fsize) + 1);
+
+  // Launch 1: per-source degree.
+  std::vector<eid_t> degrees(static_cast<std::size_t>(fsize));
+  device.parallel_for(fsize, [&](std::int64_t i) {
+    degrees[static_cast<std::size_t>(i)] = csr.degree(frontier.vertex(i));
+  });
+  // Launches 2-3: scan to segment offsets.
+  const eid_t total = sim::exclusive_scan<eid_t>(
+      device, degrees, std::span(result.segment_offsets).first(
+                           static_cast<std::size_t>(fsize)));
+  result.segment_offsets[static_cast<std::size_t>(fsize)] = total;
+
+  // Launch 4: balanced neighbor fill.
+  result.neighbors.resize(static_cast<std::size_t>(total));
+  device.parallel_for(
+      fsize,
+      [&](std::int64_t i) {
+        const vid_t v = frontier.vertex(i);
+        const auto out = static_cast<std::size_t>(
+            result.segment_offsets[static_cast<std::size_t>(i)]);
+        const auto adj = csr.neighbors(v);
+        for (std::size_t k = 0; k < adj.size(); ++k) {
+          result.neighbors[out + k] = adj[k];
+        }
+      },
+      sim::Schedule::kDynamic);
+  return result;
+}
+
+/// NeighborReduceOp: advance + segmented reduction. For each frontier vertex
+/// v, reduces map(v, u) over all neighbors u with `reduce_op` starting from
+/// `identity`; writes one result per frontier slot into `out`.
+///
+/// As in Gunrock, the reduce consumes the advanced frontier: a second
+/// reduction (e.g. min after max) requires another full neighbor-reduce —
+/// the structural reason Algorithm 7 cannot do the min-max trick (paper
+/// §IV-B3).
+template <typename T, typename Map, typename ReduceOp>
+void neighbor_reduce(sim::Device& device, const graph::Csr& csr,
+                     const Frontier& frontier, Map map, ReduceOp reduce_op,
+                     T identity, std::span<T> out) {
+  const AdvanceResult advanced = advance(device, csr, frontier);
+  // Map the advanced neighbors to reduction inputs (one launch)...
+  std::vector<T> values(advanced.neighbors.size());
+  device.parallel_for(
+      frontier.size(),
+      [&](std::int64_t i) {
+        const vid_t v = frontier.vertex(i);
+        const auto begin = static_cast<std::size_t>(
+            advanced.segment_offsets[static_cast<std::size_t>(i)]);
+        const auto end = static_cast<std::size_t>(
+            advanced.segment_offsets[static_cast<std::size_t>(i) + 1]);
+        for (std::size_t k = begin; k < end; ++k) {
+          values[k] = map(v, advanced.neighbors[k]);
+        }
+      },
+      sim::Schedule::kDynamic);
+  // ...then segmented-reduce per source (one launch).
+  sim::segmented_reduce<T, eid_t>(device, advanced.segment_offsets, values,
+                                  out, identity, reduce_op);
+}
+
+}  // namespace gcol::gr

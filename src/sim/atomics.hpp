@@ -1,0 +1,68 @@
+#pragma once
+// Device-style atomics over plain arrays, mirroring CUDA's atomicAdd /
+// atomicMin / atomicMax / atomicCAS. Implemented with std::atomic_ref so
+// algorithm code can operate on ordinary std::vector storage, exactly like
+// CUDA kernels operate on raw device pointers.
+//
+// All operations use relaxed ordering: the virtual device's kernel-launch
+// barrier (ThreadPool::run join) is the only synchronization point, which is
+// the same model as a CUDA kernel followed by a device-wide sync.
+
+#include <atomic>
+#include <type_traits>
+
+namespace gcol::sim {
+
+template <typename T>
+inline T atomic_add(T& target, T value) noexcept {
+  static_assert(std::is_integral_v<T>);
+  return std::atomic_ref<T>(target).fetch_add(value,
+                                              std::memory_order_relaxed);
+}
+
+template <typename T>
+inline T atomic_min(T& target, T value) noexcept {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T> ref(target);
+  T current = ref.load(std::memory_order_relaxed);
+  while (value < current &&
+         !ref.compare_exchange_weak(current, value,
+                                    std::memory_order_relaxed)) {
+  }
+  return current;
+}
+
+template <typename T>
+inline T atomic_max(T& target, T value) noexcept {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T> ref(target);
+  T current = ref.load(std::memory_order_relaxed);
+  while (value > current &&
+         !ref.compare_exchange_weak(current, value,
+                                    std::memory_order_relaxed)) {
+  }
+  return current;
+}
+
+/// Compare-and-swap; returns the value observed before the attempt
+/// (CUDA atomicCAS semantics).
+template <typename T>
+inline T atomic_cas(T& target, T expected, T desired) noexcept {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T>(target).compare_exchange_strong(
+      expected, desired, std::memory_order_relaxed);
+  return expected;  // updated to the observed value on failure
+}
+
+/// Plain atomic load/store for flag-style communication between kernels.
+template <typename T>
+inline T atomic_load(const T& target) noexcept {
+  return std::atomic_ref<const T>(target).load(std::memory_order_relaxed);
+}
+
+template <typename T>
+inline void atomic_store(T& target, T value) noexcept {
+  std::atomic_ref<T>(target).store(value, std::memory_order_relaxed);
+}
+
+}  // namespace gcol::sim

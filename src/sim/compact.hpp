@@ -1,0 +1,65 @@
+#pragma once
+// Stream compaction (filter) — the CPU analogue of cub::DeviceSelect, which
+// backs Gunrock's frontier filtering and GraphBLAST's sparse-vector
+// extraction. Built on exclusive_scan, as on the GPU: flag, scan, scatter.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/scan.hpp"
+
+namespace gcol::sim {
+
+/// Returns the indices i in [0, n) for which pred(i) is true, in ascending
+/// order (the scan makes the scatter stable, as on the GPU).
+template <typename Pred>
+[[nodiscard]] std::vector<std::int64_t> compact_indices(Device& device,
+                                                        std::int64_t n,
+                                                        Pred pred) {
+  if (n <= 0) return {};
+  std::vector<std::int64_t> flags(static_cast<std::size_t>(n));
+  device.parallel_for(n, [&](std::int64_t i) {
+    flags[static_cast<std::size_t>(i)] = pred(i) ? 1 : 0;
+  });
+  std::vector<std::int64_t> positions(static_cast<std::size_t>(n));
+  const std::int64_t kept = exclusive_scan<std::int64_t>(
+      device, std::span<const std::int64_t>(flags), std::span(positions));
+  std::vector<std::int64_t> out(static_cast<std::size_t>(kept));
+  device.parallel_for(n, [&](std::int64_t i) {
+    if (flags[static_cast<std::size_t>(i)] != 0) {
+      out[static_cast<std::size_t>(positions[static_cast<std::size_t>(i)])] =
+          i;
+    }
+  });
+  return out;
+}
+
+/// Compacts `values[i]` for which pred(values[i], i) holds into a new vector,
+/// preserving order.
+template <typename T, typename Pred>
+[[nodiscard]] std::vector<T> compact_values(Device& device,
+                                            std::span<const T> values,
+                                            Pred pred) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  if (n == 0) return {};
+  std::vector<std::int64_t> flags(static_cast<std::size_t>(n));
+  device.parallel_for(n, [&](std::int64_t i) {
+    flags[static_cast<std::size_t>(i)] =
+        pred(values[static_cast<std::size_t>(i)], i) ? 1 : 0;
+  });
+  std::vector<std::int64_t> positions(static_cast<std::size_t>(n));
+  const std::int64_t kept = exclusive_scan<std::int64_t>(
+      device, std::span<const std::int64_t>(flags), std::span(positions));
+  std::vector<T> out(static_cast<std::size_t>(kept));
+  device.parallel_for(n, [&](std::int64_t i) {
+    if (flags[static_cast<std::size_t>(i)] != 0) {
+      out[static_cast<std::size_t>(positions[static_cast<std::size_t>(i)])] =
+          values[static_cast<std::size_t>(i)];
+    }
+  });
+  return out;
+}
+
+}  // namespace gcol::sim

@@ -1,0 +1,30 @@
+#include "sim/device.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace gcol::sim {
+
+namespace {
+
+unsigned env_thread_count() {
+  if (const char* env = std::getenv("GCOL_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1 && parsed <= 4096) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+}  // namespace
+
+Device::Device() : pool_(env_thread_count()) {}
+
+Device::Device(unsigned num_workers) : pool_(num_workers) {}
+
+Device& Device::instance() {
+  static Device device;
+  return device;
+}
+
+}  // namespace gcol::sim

@@ -1,0 +1,117 @@
+#pragma once
+// The virtual-GPU "device": kernel launches over index ranges with implicit
+// global barriers, mirroring the bulk-synchronous execution model the paper's
+// GPU implementations run under.
+//
+// Why this exists: the paper's performance analysis is phrased in terms of
+// (a) how many kernel launches / global synchronizations an algorithm needs,
+// (b) whether work inside a launch is load balanced, and (c) whether atomics
+// are used. This façade preserves all three cost sources on a CPU:
+//   - each parallel_for is one "kernel launch" and ends at a barrier
+//     (ThreadPool::run joins all slots),
+//   - static vs. dynamic scheduling exposes the load-balancing axis,
+//   - atomics.hpp provides device-style atomics.
+// A launch counter lets benchmarks report "global syncs" per algorithm.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "sim/thread_pool.hpp"
+
+namespace gcol::sim {
+
+/// Scheduling policy for work items inside one kernel launch.
+enum class Schedule {
+  kStatic,   ///< contiguous blocks, one per worker (thread-per-vertex style)
+  kDynamic,  ///< chunked work queue (load-balanced, advance-operator style)
+};
+
+/// Process-wide virtual device. Thread count comes from GCOL_THREADS if set,
+/// otherwise std::thread::hardware_concurrency().
+class Device {
+ public:
+  /// The global device instance (constructed on first use).
+  static Device& instance();
+
+  /// A device with an explicit worker count (mainly for tests).
+  explicit Device(unsigned num_workers);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] unsigned num_workers() const noexcept { return pool_.size(); }
+
+  /// Launches body(i) for every i in [0, n) and blocks until done (one
+  /// kernel launch + global barrier). `body` must be safe to invoke
+  /// concurrently from different workers for distinct i.
+  template <typename Body>
+  void parallel_for(std::int64_t n, Body&& body,
+                    Schedule schedule = Schedule::kStatic,
+                    std::int64_t chunk = 0) {
+    if (n <= 0) return;
+    launches_.fetch_add(1, std::memory_order_relaxed);
+    const auto workers = static_cast<std::int64_t>(pool_.size());
+    if (workers == 1 || n == 1) {
+      for (std::int64_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    if (schedule == Schedule::kStatic) {
+      const std::function<void(unsigned)> job = [&](unsigned slot) {
+        const std::int64_t per = (n + workers - 1) / workers;
+        const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
+        const std::int64_t end = begin + per < n ? begin + per : n;
+        for (std::int64_t i = begin; i < end; ++i) body(i);
+      };
+      pool_.run(job);
+    } else {
+      if (chunk <= 0) chunk = default_chunk(n, workers);
+      std::atomic<std::int64_t> next{0};
+      const std::function<void(unsigned)> job = [&](unsigned) {
+        for (;;) {
+          const std::int64_t begin =
+              next.fetch_add(chunk, std::memory_order_relaxed);
+          if (begin >= n) return;
+          const std::int64_t end = begin + chunk < n ? begin + chunk : n;
+          for (std::int64_t i = begin; i < end; ++i) body(i);
+        }
+      };
+      pool_.run(job);
+    }
+  }
+
+  /// Launches body(slot, num_slots) once per worker slot — the analogue of a
+  /// cooperative kernel where each block owns a slice it carves out itself.
+  template <typename Body>
+  void parallel_slots(Body&& body) {
+    launches_.fetch_add(1, std::memory_order_relaxed);
+    const unsigned workers = pool_.size();
+    const std::function<void(unsigned)> job = [&](unsigned slot) {
+      body(slot, workers);
+    };
+    pool_.run(job);
+  }
+
+  /// Number of kernel launches since construction or the last
+  /// reset_launch_count(). Benchmarks use this as the "global
+  /// synchronizations" metric the paper reasons about.
+  [[nodiscard]] std::uint64_t launch_count() const noexcept {
+    return launches_.load(std::memory_order_relaxed);
+  }
+  void reset_launch_count() noexcept {
+    launches_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Device();  // reads GCOL_THREADS / hardware_concurrency
+
+  static std::int64_t default_chunk(std::int64_t n, std::int64_t workers) {
+    const std::int64_t chunk = n / (workers * 8);
+    return chunk < 1 ? 1 : chunk;
+  }
+
+  ThreadPool pool_;
+  std::atomic<std::uint64_t> launches_{0};
+};
+
+}  // namespace gcol::sim

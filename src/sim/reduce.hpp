@@ -1,0 +1,84 @@
+#pragma once
+// Parallel reduction over a span — the CPU analogue of cub::DeviceReduce,
+// which backs GrB_reduce and Gunrock's "are we done" checks in the paper's
+// implementations. Two-phase: per-worker partial reduction inside one kernel
+// launch, then a serial combine of one partial per worker.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace gcol::sim {
+
+/// Reduces `values` with `combine` starting from `identity`.
+/// `combine` must be associative and commutative.
+template <typename T, typename Combine>
+[[nodiscard]] T reduce(Device& device, std::span<const T> values, T identity,
+                       Combine combine) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  if (n == 0) return identity;
+  const unsigned workers = device.num_workers();
+  std::vector<T> partials(workers, identity);
+  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+    const std::int64_t per =
+        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
+    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
+    const std::int64_t end = begin + per < n ? begin + per : n;
+    T acc = identity;
+    for (std::int64_t i = begin; i < end; ++i) {
+      acc = combine(acc, values[static_cast<std::size_t>(i)]);
+    }
+    partials[slot] = acc;
+  });
+  T result = identity;
+  for (const T& partial : partials) result = combine(result, partial);
+  return result;
+}
+
+template <typename T>
+[[nodiscard]] T reduce_sum(Device& device, std::span<const T> values) {
+  return reduce<T>(device, values, T{0},
+                   [](T a, T b) { return static_cast<T>(a + b); });
+}
+
+template <typename T>
+[[nodiscard]] T reduce_max(Device& device, std::span<const T> values,
+                           T identity) {
+  return reduce<T>(device, values, identity,
+                   [](T a, T b) { return b > a ? b : a; });
+}
+
+template <typename T>
+[[nodiscard]] T reduce_min(Device& device, std::span<const T> values,
+                           T identity) {
+  return reduce<T>(device, values, identity,
+                   [](T a, T b) { return b < a ? b : a; });
+}
+
+/// Counts elements satisfying `pred` — e.g. "how many vertices are colored",
+/// the loop-termination test in Gunrock's enactor.
+template <typename T, typename Pred>
+[[nodiscard]] std::int64_t count_if(Device& device, std::span<const T> values,
+                                    Pred pred) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  if (n == 0) return 0;
+  std::vector<std::int64_t> partials(device.num_workers(), 0);
+  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+    const std::int64_t per =
+        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
+    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
+    const std::int64_t end = begin + per < n ? begin + per : n;
+    std::int64_t local = 0;
+    for (std::int64_t i = begin; i < end; ++i) {
+      if (pred(values[static_cast<std::size_t>(i)])) ++local;
+    }
+    partials[slot] = local;
+  });
+  std::int64_t total = 0;
+  for (std::int64_t partial : partials) total += partial;
+  return total;
+}
+
+}  // namespace gcol::sim

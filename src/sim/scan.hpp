@@ -1,0 +1,121 @@
+#pragma once
+// Parallel prefix sums — the CPU analogue of cub::DeviceScan. Scans back
+// frontier compaction and CSR construction, just as they do in Gunrock and
+// GraphBLAST on the GPU.
+//
+// Three-phase scheme (the classic GPU decomposition):
+//   1. one launch: each worker sums its block,
+//   2. serial exclusive scan over the per-worker sums,
+//   3. one launch: each worker scans its block seeded with its offset.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace gcol::sim {
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i). `out` may alias `in`.
+/// Returns the total sum of `in`.
+template <typename T>
+T exclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
+  const auto n = static_cast<std::int64_t>(in.size());
+  if (n == 0) return T{0};
+  const unsigned workers = device.num_workers();
+  if (workers == 1 || n < 1024) {
+    T acc{0};
+    for (std::int64_t i = 0; i < n; ++i) {
+      const T value = in[static_cast<std::size_t>(i)];
+      out[static_cast<std::size_t>(i)] = acc;
+      acc = static_cast<T>(acc + value);
+    }
+    return acc;
+  }
+
+  std::vector<T> block_sums(workers, T{0});
+  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+    const std::int64_t per =
+        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
+    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
+    const std::int64_t end = begin + per < n ? begin + per : n;
+    T acc{0};
+    for (std::int64_t i = begin; i < end; ++i) {
+      acc = static_cast<T>(acc + in[static_cast<std::size_t>(i)]);
+    }
+    block_sums[slot] = acc;
+  });
+
+  T total{0};
+  for (unsigned slot = 0; slot < workers; ++slot) {
+    const T sum = block_sums[slot];
+    block_sums[slot] = total;
+    total = static_cast<T>(total + sum);
+  }
+
+  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+    const std::int64_t per =
+        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
+    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
+    const std::int64_t end = begin + per < n ? begin + per : n;
+    T acc = block_sums[slot];
+    for (std::int64_t i = begin; i < end; ++i) {
+      const T value = in[static_cast<std::size_t>(i)];
+      out[static_cast<std::size_t>(i)] = acc;
+      acc = static_cast<T>(acc + value);
+    }
+  });
+  return total;
+}
+
+/// Inclusive prefix sum: out[i] = sum of in[0..i]. `out` may alias `in`.
+/// Same three-phase scheme as exclusive_scan.
+template <typename T>
+T inclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
+  const auto n = static_cast<std::int64_t>(in.size());
+  if (n == 0) return T{0};
+  const unsigned workers = device.num_workers();
+  if (workers == 1 || n < 1024) {
+    T acc{0};
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc = static_cast<T>(acc + in[static_cast<std::size_t>(i)]);
+      out[static_cast<std::size_t>(i)] = acc;
+    }
+    return acc;
+  }
+
+  std::vector<T> block_sums(workers, T{0});
+  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+    const std::int64_t per =
+        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
+    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
+    const std::int64_t end = begin + per < n ? begin + per : n;
+    T acc{0};
+    for (std::int64_t i = begin; i < end; ++i) {
+      acc = static_cast<T>(acc + in[static_cast<std::size_t>(i)]);
+    }
+    block_sums[slot] = acc;
+  });
+
+  T total{0};
+  for (unsigned slot = 0; slot < workers; ++slot) {
+    const T sum = block_sums[slot];
+    block_sums[slot] = total;
+    total = static_cast<T>(total + sum);
+  }
+
+  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+    const std::int64_t per =
+        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
+    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
+    const std::int64_t end = begin + per < n ? begin + per : n;
+    T acc = block_sums[slot];
+    for (std::int64_t i = begin; i < end; ++i) {
+      acc = static_cast<T>(acc + in[static_cast<std::size_t>(i)]);
+      out[static_cast<std::size_t>(i)] = acc;
+    }
+  });
+  return total;
+}
+
+}  // namespace gcol::sim

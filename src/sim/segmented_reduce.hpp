@@ -1,0 +1,75 @@
+#pragma once
+// Segmented reduction — the primitive behind Gunrock's NeighborReduce
+// operator (paper §III-B3 and Algorithm 7). Given CSR-style segment offsets
+// into a flat values array, reduce each segment independently.
+//
+// The GPU version assigns segments to threads, warps or blocks by size; here
+// the analogous axis is static (one contiguous block of segments per worker)
+// versus dynamic chunking, selected by the caller's Schedule. The paper's
+// observation that this load balancing has real overhead survives: the
+// dynamic path costs an atomic fetch per chunk plus worse locality.
+
+#include <cstdint>
+#include <span>
+
+#include "sim/device.hpp"
+
+namespace gcol::sim {
+
+/// For each segment s in [0, num_segments):
+///   out[s] = combine over values[offsets[s] .. offsets[s+1])
+/// starting from `identity`. `offsets` has num_segments + 1 entries.
+template <typename T, typename OffsetT, typename Combine>
+void segmented_reduce(Device& device, std::span<const OffsetT> offsets,
+                      std::span<const T> values, std::span<T> out, T identity,
+                      Combine combine,
+                      Schedule schedule = Schedule::kDynamic) {
+  const auto num_segments = static_cast<std::int64_t>(offsets.size()) - 1;
+  if (num_segments <= 0) return;
+  device.parallel_for(
+      num_segments,
+      [&](std::int64_t s) {
+        const auto begin =
+            static_cast<std::int64_t>(offsets[static_cast<std::size_t>(s)]);
+        const auto end = static_cast<std::int64_t>(
+            offsets[static_cast<std::size_t>(s + 1)]);
+        T acc = identity;
+        for (std::int64_t i = begin; i < end; ++i) {
+          acc = combine(acc, values[static_cast<std::size_t>(i)]);
+        }
+        out[static_cast<std::size_t>(s)] = acc;
+      },
+      schedule);
+}
+
+/// Segmented argmax: for each segment, the index (into `values`) of the
+/// maximum value, or -1 for an empty segment. Ties break toward the lowest
+/// index so results are scheduling-independent. This is exactly the
+/// ReduceMaxOp of Algorithm 7: "which neighbor holds the largest random
+/// number".
+template <typename T, typename OffsetT>
+void segmented_argmax(Device& device, std::span<const OffsetT> offsets,
+                      std::span<const T> values, std::span<std::int64_t> out,
+                      Schedule schedule = Schedule::kDynamic) {
+  const auto num_segments = static_cast<std::int64_t>(offsets.size()) - 1;
+  if (num_segments <= 0) return;
+  device.parallel_for(
+      num_segments,
+      [&](std::int64_t s) {
+        const auto begin =
+            static_cast<std::int64_t>(offsets[static_cast<std::size_t>(s)]);
+        const auto end = static_cast<std::int64_t>(
+            offsets[static_cast<std::size_t>(s + 1)]);
+        std::int64_t best = -1;
+        for (std::int64_t i = begin; i < end; ++i) {
+          if (best < 0 || values[static_cast<std::size_t>(i)] >
+                              values[static_cast<std::size_t>(best)]) {
+            best = i;
+          }
+        }
+        out[static_cast<std::size_t>(s)] = best;
+      },
+      schedule);
+}
+
+}  // namespace gcol::sim

@@ -1,0 +1,76 @@
+#include "sim/thread_pool.hpp"
+
+namespace gcol::sim {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_slots_(num_threads < 1 ? 1u : num_threads) {
+  threads_.reserve(num_slots_ - 1);
+  for (unsigned slot = 1; slot < num_slots_; ++slot) {
+    threads_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& job) {
+  if (num_slots_ == 1) {
+    job(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &job;
+    outstanding_ = num_slots_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  // The calling thread is slot 0.
+  try {
+    job(0);
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(unsigned slot) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(slot);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--outstanding_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace gcol::sim

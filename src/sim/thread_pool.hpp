@@ -1,0 +1,61 @@
+#pragma once
+// Persistent worker pool used by the virtual-GPU device (see device.hpp).
+//
+// The pool models a GPU's resident thread blocks: a fixed set of workers that
+// are woken for every kernel launch and joined at an implicit global barrier
+// when the launch completes. Work distribution inside a launch is the
+// caller's business (device.hpp offers static blocking and dynamic chunking).
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gcol::sim {
+
+/// A fixed-size pool of worker threads that repeatedly execute "jobs".
+///
+/// A job is a callable invoked once per worker slot with the slot id in
+/// [0, size()). run() blocks until every slot has finished — the same
+/// semantics as a CUDA kernel launch followed by cudaDeviceSynchronize().
+/// Slot 0 executes on the calling thread so a 1-worker pool degenerates to
+/// plain serial execution with no synchronization overhead.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` worker slots. Values < 1 are clamped to 1.
+  /// Slot 0 is the caller's thread; only `num_threads - 1` OS threads spawn.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker slots (including the caller's slot 0).
+  [[nodiscard]] unsigned size() const noexcept { return num_slots_; }
+
+  /// Executes job(slot) once for every slot in [0, size()), blocking until
+  /// all slots complete. Exceptions thrown by any slot are captured; the
+  /// first one is rethrown on the calling thread after the barrier.
+  /// Not reentrant: run() must not be called from inside a job.
+  void run(const std::function<void(unsigned)>& job);
+
+ private:
+  void worker_loop(unsigned slot);
+
+  unsigned num_slots_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned outstanding_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace gcol::sim

@@ -1,0 +1,34 @@
+#pragma once
+// Wall-clock timing helper used by every benchmark harness. The paper reports
+// averaged elapsed milliseconds over 10 runs; Stopwatch + time_ms mirror that.
+
+#include <chrono>
+
+namespace gcol::sim {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs `fn()` once and returns its wall-clock duration in milliseconds.
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  Stopwatch watch;
+  fn();
+  return watch.elapsed_ms();
+}
+
+}  // namespace gcol::sim

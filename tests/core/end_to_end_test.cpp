@@ -1,0 +1,88 @@
+// End-to-end pipeline tests: Matrix Market file on disk -> loader ->
+// registry algorithm -> verifier -> post-pass, exercising the same path the
+// color_mtx CLI and a downstream user would.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/gcol.hpp"
+#include "graph/generators/rgg.hpp"
+
+namespace gcol {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("gcol_e2e_" + std::to_string(::getpid()) + ".mtx");
+    // Write a generated graph out through the library's own writer.
+    const graph::Csr csr =
+        graph::build_csr(graph::generate_rgg(8, {.seed = 77}));
+    std::ofstream out(path_);
+    ASSERT_TRUE(out.good());
+    graph::write_matrix_market(out, csr);
+    reference_ = csr;
+  }
+
+  void TearDown() override {
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+
+  std::filesystem::path path_;
+  graph::Csr reference_;
+};
+
+TEST_F(EndToEndTest, LoadRoundTripsExactly) {
+  const graph::Csr loaded = graph::load_matrix_market(path_.string());
+  EXPECT_EQ(loaded.row_offsets, reference_.row_offsets);
+  EXPECT_EQ(loaded.col_indices, reference_.col_indices);
+}
+
+TEST_F(EndToEndTest, EveryRegistryAlgorithmColorsTheLoadedFile) {
+  const graph::Csr loaded = graph::load_matrix_market(path_.string());
+  for (const color::AlgorithmSpec& spec : color::all_algorithms()) {
+    const color::Coloring result = spec.run(loaded, color::Options{});
+    EXPECT_TRUE(color::is_valid_coloring(loaded, result.colors))
+        << spec.name;
+  }
+}
+
+TEST_F(EndToEndTest, FullPipelineWithPostPass) {
+  const graph::Csr loaded = graph::load_matrix_market(path_.string());
+  const color::AlgorithmSpec* spec = color::find_algorithm("gunrock_is");
+  ASSERT_NE(spec, nullptr);
+  const color::Coloring base = spec->run(loaded, color::Options{});
+  const color::Coloring improved =
+      color::iterated_greedy_recolor(loaded, base);
+  const color::Coloring balanced = color::balance_colors(loaded, improved);
+  EXPECT_TRUE(color::is_valid_coloring(loaded, balanced.colors));
+  EXPECT_LE(improved.num_colors, base.num_colors);
+  EXPECT_LE(balanced.num_colors, improved.num_colors);
+  EXPECT_LE(color::class_imbalance(balanced.colors),
+            color::class_imbalance(improved.colors) + 1e-9);
+}
+
+TEST_F(EndToEndTest, DatasetLoaderPrefersRealFileViaEnv) {
+  // GCOL_DATA_DIR pointing at our temp dir with a matching name must win
+  // over the synthetic analogue.
+  const std::filesystem::path dir = path_.parent_path();
+  const std::filesystem::path named = dir / "offshore.mtx";
+  std::filesystem::copy_file(
+      path_, named, std::filesystem::copy_options::overwrite_existing);
+  ::setenv("GCOL_DATA_DIR", dir.string().c_str(), 1);
+  const graph::Csr loaded =
+      graph::build_dataset(*graph::find_dataset("offshore"), 0.5);
+  ::unsetenv("GCOL_DATA_DIR");
+  std::error_code ignored;
+  std::filesystem::remove(named, ignored);
+  EXPECT_EQ(loaded.num_vertices, reference_.num_vertices);
+  EXPECT_EQ(loaded.col_indices, reference_.col_indices);
+}
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.hpp"
+#include "core/gm_speculative.hpp"
+#include "core/greedy.hpp"
+#include "core/jones_plassmann.hpp"
+#include "core/verify.hpp"
+#include "graph/generators/erdos_renyi.hpp"
+#include "graph/generators/rgg.hpp"
+#include "graph/generators/rmat.hpp"
+#include "sim/device.hpp"
+
+namespace gcol::color {
+namespace {
+
+using namespace gcol::testing;
+
+std::vector<graph::Csr> fixture_graphs() {
+  std::vector<graph::Csr> graphs;
+  graphs.push_back(empty_graph(0));
+  graphs.push_back(empty_graph(5));
+  graphs.push_back(path_graph(17));
+  graphs.push_back(cycle_graph(9));
+  graphs.push_back(clique_graph(7));
+  graphs.push_back(star_graph(20));
+  graphs.push_back(petersen_graph());
+  graphs.push_back(disconnected_graph());
+  graphs.push_back(graph::build_csr(graph::generate_rgg(9, {.seed = 4})));
+  return graphs;
+}
+
+class JpPriorityTest : public ::testing::TestWithParam<JpPriority> {};
+
+TEST_P(JpPriorityTest, ValidOnAllFixtures) {
+  for (const auto& csr : fixture_graphs()) {
+    JonesPlassmannOptions options;
+    options.priority = GetParam();
+    EXPECT_TRUE(is_valid_coloring(csr, jones_plassmann_color(csr, options).colors))
+        << "n=" << csr.num_vertices;
+  }
+}
+
+TEST_P(JpPriorityTest, DeterministicForSeed) {
+  const auto csr =
+      graph::build_csr(graph::generate_erdos_renyi(300, 1200, 6));
+  JonesPlassmannOptions options;
+  options.priority = GetParam();
+  options.seed = 11;
+  EXPECT_EQ(jones_plassmann_color(csr, options).colors,
+            jones_plassmann_color(csr, options).colors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Priorities, JpPriorityTest,
+    ::testing::Values(JpPriority::kRandom, JpPriority::kLargestDegreeFirst,
+                      JpPriority::kSmallestDegreeLast,
+                      JpPriority::kHybridDegreeThenRandom),
+    [](const ::testing::TestParamInfo<JpPriority>& param_info) {
+      switch (param_info.param) {
+        case JpPriority::kRandom: return "Random";
+        case JpPriority::kLargestDegreeFirst: return "Ldf";
+        case JpPriority::kSmallestDegreeLast: return "Sdl";
+        case JpPriority::kHybridDegreeThenRandom: return "HybridChe";
+      }
+      return "Unknown";
+    });
+
+TEST(JonesPlassmann, HybridFractionExtremesStillValid) {
+  const auto csr = graph::build_csr(graph::generate_rgg(9, {.seed = 21}));
+  for (const double fraction : {0.0, 0.5, 1.0}) {
+    JonesPlassmannOptions options;
+    options.priority = JpPriority::kHybridDegreeThenRandom;
+    options.hybrid_degree_fraction = fraction;
+    const Coloring result = jones_plassmann_color(csr, options);
+    EXPECT_TRUE(is_valid_coloring(csr, result.colors)) << fraction;
+  }
+}
+
+TEST(JonesPlassmann, HybridColorsHubsEarlyOnPowerLaw) {
+  // The heavy tail must be colored in the first rounds: every vertex in the
+  // degree-first head gets a color no later than round 2 of the BSP loop —
+  // observable as the hybrid needing no more rounds than pure random on a
+  // hub-dominated graph.
+  const auto csr = graph::build_csr(graph::generate_rmat(11, 8));
+  JonesPlassmannOptions random_priority;
+  random_priority.priority = JpPriority::kRandom;
+  JonesPlassmannOptions hybrid;
+  hybrid.priority = JpPriority::kHybridDegreeThenRandom;
+  const Coloring random_result = jones_plassmann_color(csr, random_priority);
+  const Coloring hybrid_result = jones_plassmann_color(csr, hybrid);
+  EXPECT_TRUE(is_valid_coloring(csr, hybrid_result.colors));
+  EXPECT_LE(hybrid_result.num_colors, random_result.num_colors + 2);
+}
+
+TEST(JonesPlassmann, GreedyLikeQualityOnMeshes) {
+  const auto csr = graph::build_csr(graph::generate_rgg(11, {.seed = 17}));
+  const std::int32_t jp_colors = jones_plassmann_color(csr).num_colors;
+  const std::int32_t greedy_colors = greedy_color(csr).num_colors;
+  EXPECT_LE(jp_colors, greedy_colors + 2);
+}
+
+TEST(JonesPlassmann, LdfBeatsRandomOnPowerLaw) {
+  // The paper's conclusion: on power-law graphs random weights should lose
+  // to largest-degree-first ordering (hubs must color early).
+  const auto csr = graph::build_csr(graph::generate_rmat(12, 8));
+  JonesPlassmannOptions random_priority;
+  random_priority.priority = JpPriority::kRandom;
+  JonesPlassmannOptions ldf;
+  ldf.priority = JpPriority::kLargestDegreeFirst;
+  const Coloring random_result = jones_plassmann_color(csr, random_priority);
+  const Coloring ldf_result = jones_plassmann_color(csr, ldf);
+  EXPECT_TRUE(is_valid_coloring(csr, random_result.colors));
+  EXPECT_TRUE(is_valid_coloring(csr, ldf_result.colors));
+  EXPECT_LE(ldf_result.num_colors, random_result.num_colors + 1);
+}
+
+TEST(JonesPlassmann, SdlRespectsDegeneracyQuality) {
+  const auto csr = graph::build_csr(graph::generate_rgg(10, {.seed = 19}));
+  JonesPlassmannOptions sdl;
+  sdl.priority = JpPriority::kSmallestDegreeLast;
+  const Coloring result = jones_plassmann_color(csr, sdl);
+  // SDL-priority JP mirrors SL greedy quality.
+  GreedyOptions greedy_sl;
+  greedy_sl.order = GreedyOrder::kSmallestDegreeLast;
+  EXPECT_LE(result.num_colors, greedy_color(csr, greedy_sl).num_colors + 2);
+}
+
+TEST(GmSpeculative, ValidOnAllFixtures) {
+  for (const auto& csr : fixture_graphs()) {
+    EXPECT_TRUE(is_valid_coloring(csr, gm_speculative_color(csr).colors))
+        << "n=" << csr.num_vertices;
+  }
+}
+
+TEST(GmSpeculative, QualityMatchesGreedyOnSingleWorker) {
+  // With one worker there are no races, no conflicts, and the result is the
+  // natural-order greedy coloring exactly.
+  const auto csr = graph::build_csr(graph::generate_rgg(10, {.seed = 23}));
+  const Coloring speculative = gm_speculative_color(csr);
+  const Coloring greedy = greedy_color(csr);
+  if (sim::Device::instance().num_workers() == 1) {
+    EXPECT_EQ(speculative.colors, greedy.colors);
+    EXPECT_EQ(speculative.conflicts_resolved, 0);
+  } else {
+    EXPECT_LE(speculative.num_colors, greedy.num_colors + 3);
+  }
+}
+
+TEST(GmSpeculative, SequentialThresholdZeroStillTerminates) {
+  GmSpeculativeOptions options;
+  options.sequential_threshold = 0;
+  const auto csr = clique_graph(9);
+  const Coloring result = gm_speculative_color(csr, options);
+  EXPECT_TRUE(is_valid_coloring(csr, result.colors));
+  EXPECT_EQ(result.num_colors, 9);
+}
+
+TEST(GmSpeculative, LargeThresholdFinishesSeriallyFirstRound) {
+  GmSpeculativeOptions options;
+  options.sequential_threshold = 1 << 20;
+  const auto csr = path_graph(100);
+  const Coloring result = gm_speculative_color(csr, options);
+  EXPECT_TRUE(is_valid_coloring(csr, result.colors));
+}
+
+}  // namespace
+}  // namespace gcol::color

@@ -1,0 +1,119 @@
+#include "core/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.hpp"
+#include "core/verify.hpp"
+#include "graph/generators/erdos_renyi.hpp"
+#include "graph/generators/rgg.hpp"
+
+namespace gcol::color {
+namespace {
+
+using namespace gcol::testing;
+
+class GreedyOrderTest : public ::testing::TestWithParam<GreedyOrder> {};
+
+TEST_P(GreedyOrderTest, ValidOnAllFixtures) {
+  const graph::Csr fixtures[] = {
+      empty_graph(0),     empty_graph(7),        path_graph(10),
+      cycle_graph(9),     clique_graph(8),       star_graph(12),
+      bipartite_graph(4, 6), petersen_graph(),   disconnected_graph(),
+  };
+  for (const auto& csr : fixtures) {
+    GreedyOptions options;
+    options.order = GetParam();
+    const Coloring result = greedy_color(csr, options);
+    EXPECT_TRUE(is_valid_coloring(csr, result.colors));
+    EXPECT_LE(result.num_colors, csr.max_degree() + 1);
+  }
+}
+
+TEST_P(GreedyOrderTest, ExactOnCliques) {
+  GreedyOptions options;
+  options.order = GetParam();
+  for (vid_t n : {1, 2, 5, 10}) {
+    const auto csr = clique_graph(n);
+    EXPECT_EQ(greedy_color(csr, options).num_colors, n);
+  }
+}
+
+TEST_P(GreedyOrderTest, DeterministicForSeed) {
+  const auto csr =
+      graph::build_csr(graph::generate_erdos_renyi(500, 2000, 3));
+  GreedyOptions options;
+  options.order = GetParam();
+  options.seed = 77;
+  const Coloring a = greedy_color(csr, options);
+  const Coloring b = greedy_color(csr, options);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrders, GreedyOrderTest,
+    ::testing::Values(GreedyOrder::kNatural, GreedyOrder::kRandom,
+                      GreedyOrder::kLargestDegreeFirst,
+                      GreedyOrder::kSmallestDegreeLast,
+                      GreedyOrder::kIncidenceDegree),
+    [](const ::testing::TestParamInfo<GreedyOrder>& param_info) {
+      switch (param_info.param) {
+        case GreedyOrder::kNatural: return "Natural";
+        case GreedyOrder::kRandom: return "Random";
+        case GreedyOrder::kLargestDegreeFirst: return "LargestFirst";
+        case GreedyOrder::kSmallestDegreeLast: return "SmallestLast";
+        case GreedyOrder::kIncidenceDegree: return "Incidence";
+      }
+      return "Unknown";
+    });
+
+TEST(Greedy, BipartiteUsesTwoColors) {
+  // First-fit in natural order 2-colors complete bipartite graphs.
+  const auto csr = bipartite_graph(5, 7);
+  EXPECT_EQ(greedy_color(csr).num_colors, 2);
+}
+
+TEST(Greedy, PathUsesTwoColors) {
+  EXPECT_EQ(greedy_color(path_graph(50)).num_colors, 2);
+}
+
+TEST(Greedy, OddCycleUsesThreeColors) {
+  EXPECT_EQ(greedy_color(cycle_graph(9)).num_colors, 3);
+}
+
+TEST(Greedy, SingletonGraph) {
+  const auto result = greedy_color(empty_graph(1));
+  EXPECT_EQ(result.num_colors, 1);
+  EXPECT_EQ(result.colors[0], 0);
+}
+
+TEST(Greedy, SmallestLastRespectsDegeneracyBound) {
+  // An RGG has small degeneracy relative to max degree; SL must not exceed
+  // max_degree + 1 and typically beats natural order.
+  const auto csr = graph::build_csr(graph::generate_rgg(10, {.seed = 2}));
+  GreedyOptions sl;
+  sl.order = GreedyOrder::kSmallestDegreeLast;
+  const Coloring sl_result = greedy_color(csr, sl);
+  const Coloring natural_result = greedy_color(csr);
+  EXPECT_TRUE(is_valid_coloring(csr, sl_result.colors));
+  EXPECT_LE(sl_result.num_colors, natural_result.num_colors + 1);
+}
+
+TEST(Greedy, FirstFitUsesSmallestAvailableColor) {
+  // Star center colored after leaves must take color != leaf color; in
+  // natural order the center goes first -> color 0, all leaves color 1.
+  const auto result = greedy_color(star_graph(6));
+  EXPECT_EQ(result.colors[0], 0);
+  for (std::size_t leaf = 1; leaf < 6; ++leaf) {
+    EXPECT_EQ(result.colors[leaf], 1);
+  }
+}
+
+TEST(Greedy, ReportsElapsedAndIterations) {
+  const auto result = greedy_color(path_graph(100));
+  EXPECT_GE(result.elapsed_ms, 0.0);
+  EXPECT_EQ(result.iterations, 1);
+  EXPECT_EQ(result.algorithm, "cpu_greedy_natural");
+}
+
+}  // namespace
+}  // namespace gcol::color

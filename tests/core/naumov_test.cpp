@@ -1,0 +1,102 @@
+#include "core/naumov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.hpp"
+#include "core/verify.hpp"
+#include "graph/generators/erdos_renyi.hpp"
+#include "graph/generators/rgg.hpp"
+
+namespace gcol::color {
+namespace {
+
+using namespace gcol::testing;
+
+std::vector<graph::Csr> fixture_graphs() {
+  std::vector<graph::Csr> graphs;
+  graphs.push_back(empty_graph(0));
+  graphs.push_back(empty_graph(5));
+  graphs.push_back(path_graph(17));
+  graphs.push_back(cycle_graph(9));
+  graphs.push_back(clique_graph(7));
+  graphs.push_back(star_graph(20));
+  graphs.push_back(petersen_graph());
+  graphs.push_back(disconnected_graph());
+  graphs.push_back(graph::build_csr(graph::generate_rgg(9, {.seed = 4})));
+  return graphs;
+}
+
+TEST(NaumovJpl, ValidOnAllFixtures) {
+  for (const auto& csr : fixture_graphs()) {
+    EXPECT_TRUE(is_valid_coloring(csr, naumov_jpl_color(csr).colors))
+        << "n=" << csr.num_vertices;
+  }
+}
+
+TEST(NaumovJpl, OneColorPerIteration) {
+  const auto csr = graph::build_csr(graph::generate_rgg(9, {.seed = 21}));
+  const Coloring result = naumov_jpl_color(csr);
+  EXPECT_EQ(result.num_colors, result.iterations);
+}
+
+TEST(NaumovJpl, RehashingEscapesBadDraws) {
+  // Per-iteration rehash means a vertex unlucky in round k can win round
+  // k+1; the clique still terminates in exactly n rounds.
+  const auto csr = clique_graph(10);
+  const Coloring result = naumov_jpl_color(csr);
+  EXPECT_TRUE(is_valid_coloring(csr, result.colors));
+  EXPECT_EQ(result.num_colors, 10);
+}
+
+TEST(NaumovJpl, DeterministicForSeed) {
+  const auto csr =
+      graph::build_csr(graph::generate_erdos_renyi(300, 1200, 6));
+  NaumovJplOptions options;
+  options.seed = 7;
+  EXPECT_EQ(naumov_jpl_color(csr, options).colors,
+            naumov_jpl_color(csr, options).colors);
+}
+
+TEST(NaumovCc, ValidOnAllFixtures) {
+  for (const auto& csr : fixture_graphs()) {
+    EXPECT_TRUE(is_valid_coloring(csr, naumov_cc_color(csr).colors))
+        << "n=" << csr.num_vertices;
+  }
+}
+
+TEST(NaumovCc, FewerIterationsThanJpl) {
+  const auto csr = graph::build_csr(graph::generate_rgg(10, {.seed = 23}));
+  const Coloring cc = naumov_cc_color(csr);
+  const Coloring jpl = naumov_jpl_color(csr);
+  // Multiple hashes per iteration converge in fewer rounds...
+  EXPECT_LT(cc.iterations, jpl.iterations);
+  // ...at a color-count cost (the paper's CC-vs-everything quality gap).
+  EXPECT_GE(cc.num_colors, jpl.num_colors);
+}
+
+TEST(NaumovCc, HashCountClamped) {
+  const auto csr = cycle_graph(11);
+  NaumovCcOptions options;
+  options.num_hashes = 0;  // clamps to 1
+  EXPECT_TRUE(is_valid_coloring(csr, naumov_cc_color(csr, options).colors));
+  options.num_hashes = 100;  // clamps to 8
+  EXPECT_TRUE(is_valid_coloring(csr, naumov_cc_color(csr, options).colors));
+}
+
+TEST(NaumovCc, MoreHashesFewerIterations) {
+  const auto csr = graph::build_csr(graph::generate_rgg(10, {.seed = 29}));
+  NaumovCcOptions one;
+  one.num_hashes = 1;
+  NaumovCcOptions four;
+  four.num_hashes = 4;
+  EXPECT_LE(naumov_cc_color(csr, four).iterations,
+            naumov_cc_color(csr, one).iterations);
+}
+
+TEST(NaumovCc, DeterministicForSeed) {
+  const auto csr = graph::build_csr(graph::generate_rgg(9, {.seed = 31}));
+  EXPECT_EQ(naumov_cc_color(csr).colors, naumov_cc_color(csr).colors);
+}
+
+}  // namespace
+}  // namespace gcol::color

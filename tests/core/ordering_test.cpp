@@ -1,0 +1,89 @@
+#include "core/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "../testing/fixtures.hpp"
+#include "graph/generators/erdos_renyi.hpp"
+
+namespace gcol::color {
+namespace {
+
+using namespace gcol::testing;
+
+bool is_permutation_of_all(const std::vector<vid_t>& order, vid_t n) {
+  if (order.size() != static_cast<std::size_t>(n)) return false;
+  std::set<vid_t> seen(order.begin(), order.end());
+  return seen.size() == static_cast<std::size_t>(n) && *seen.begin() == 0 &&
+         *seen.rbegin() == n - 1;
+}
+
+TEST(Ordering, NaturalIsIdentity) {
+  const auto order = natural_order(5);
+  for (vid_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Ordering, RandomIsPermutation) {
+  EXPECT_TRUE(is_permutation_of_all(random_order(100, 1), 100));
+}
+
+TEST(Ordering, RandomDeterministicPerSeed) {
+  EXPECT_EQ(random_order(50, 7), random_order(50, 7));
+  EXPECT_NE(random_order(50, 7), random_order(50, 8));
+}
+
+TEST(Ordering, RandomActuallyShuffles) {
+  EXPECT_NE(random_order(100, 3), natural_order(100));
+}
+
+TEST(Ordering, LargestDegreeFirstIsSortedByDegree) {
+  const auto csr = star_graph(6);
+  const auto order = largest_degree_first_order(csr);
+  EXPECT_EQ(order.front(), 0);  // hub has the largest degree
+  EXPECT_TRUE(is_permutation_of_all(order, 6));
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(csr.degree(order[i - 1]), csr.degree(order[i]));
+  }
+}
+
+TEST(Ordering, SmallestDegreeLastIsPermutation) {
+  const auto csr =
+      graph::build_csr(graph::generate_erdos_renyi(300, 900, 5));
+  EXPECT_TRUE(is_permutation_of_all(smallest_degree_last_order(csr), 300));
+}
+
+TEST(Ordering, SmallestDegreeLastPutsCoreFirst) {
+  // A clique with a pendant path: the degeneracy order must place the
+  // clique before the path tail (the tail peels off first, so it colors
+  // last... i.e. appears at the END of the returned coloring order).
+  graph::Coo coo;
+  coo.num_vertices = 7;
+  for (vid_t u = 0; u < 4; ++u) {
+    for (vid_t v = u + 1; v < 4; ++v) coo.add_edge(u, v);
+  }
+  coo.add_edge(3, 4);
+  coo.add_edge(4, 5);
+  coo.add_edge(5, 6);
+  const auto csr = graph::build_csr(coo);
+  const auto order = smallest_degree_last_order(csr);
+  // Vertex 6 (degree 1, peeled first) must come after every clique vertex.
+  const auto pos = [&](vid_t v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  for (vid_t clique_vertex = 0; clique_vertex < 4; ++clique_vertex) {
+    EXPECT_LT(pos(clique_vertex), pos(6));
+  }
+}
+
+TEST(Ordering, SmallestDegreeLastOnEmptyAndTiny) {
+  EXPECT_TRUE(smallest_degree_last_order(empty_graph(0)).empty());
+  EXPECT_EQ(smallest_degree_last_order(empty_graph(3)).size(), 3u);
+  EXPECT_EQ(smallest_degree_last_order(path_graph(2)).size(), 2u);
+}
+
+}  // namespace
+}  // namespace gcol::color

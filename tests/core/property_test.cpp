@@ -1,0 +1,141 @@
+// Property-based sweeps: every registered algorithm must produce a proper,
+// complete coloring on every generator family, size and seed combination,
+// and must respect universal invariants (color bounds, determinism).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/registry.hpp"
+#include "core/verify.hpp"
+#include "graph/build.hpp"
+#include "graph/generators/banded.hpp"
+#include "graph/generators/erdos_renyi.hpp"
+#include "graph/generators/grid.hpp"
+#include "graph/generators/mesh.hpp"
+#include "graph/generators/random_regular.hpp"
+#include "graph/generators/rgg.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/stats.hpp"
+#include "sim/device.hpp"
+
+namespace gcol::color {
+namespace {
+
+enum class Family { kRgg, kGrid, kMesh, kErdosRenyi, kBanded, kRmat, kRegular };
+
+graph::Csr make_graph(Family family, std::uint64_t seed) {
+  switch (family) {
+    case Family::kRgg:
+      return graph::build_csr(graph::generate_rgg(9, {.seed = seed}));
+    case Family::kGrid:
+      return graph::build_csr(
+          graph::generate_grid2d(20, 25, graph::Stencil2d::kNinePoint));
+    case Family::kMesh:
+      return graph::build_csr(graph::generate_mesh2d(
+          22, 22, {.second_ring_probability = 0.3, .seed = seed}));
+    case Family::kErdosRenyi:
+      return graph::build_csr(graph::generate_erdos_renyi(400, 2000, seed));
+    case Family::kBanded:
+      return graph::build_csr(graph::generate_banded(
+          400, {.half_bandwidth = 6, .offband_per_vertex = 1.0, .seed = seed}));
+    case Family::kRmat:
+      return graph::build_csr(graph::generate_rmat(9, 8, {.seed = seed}));
+    case Family::kRegular:
+      return graph::build_csr(graph::generate_random_regular(300, 10, seed));
+  }
+  return {};
+}
+
+const char* family_name(Family family) {
+  switch (family) {
+    case Family::kRgg: return "Rgg";
+    case Family::kGrid: return "Grid";
+    case Family::kMesh: return "Mesh";
+    case Family::kErdosRenyi: return "Gnm";
+    case Family::kBanded: return "Banded";
+    case Family::kRmat: return "Rmat";
+    case Family::kRegular: return "Regular";
+  }
+  return "Unknown";
+}
+
+using Param = std::tuple<std::string, Family, std::uint64_t>;
+
+class ColoringPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ColoringPropertyTest, ProperCompleteAndBounded) {
+  const auto& [algorithm_name, family, seed] = GetParam();
+  const AlgorithmSpec* spec = find_algorithm(algorithm_name);
+  ASSERT_NE(spec, nullptr);
+  const graph::Csr csr = make_graph(family, seed);
+
+  Options options;
+  options.seed = seed * 31 + 7;
+  const Coloring result = spec->run(csr, options);
+
+  // Universal invariants: complete, proper, sane sizes and metadata.
+  ASSERT_EQ(result.colors.size(), static_cast<std::size_t>(csr.num_vertices));
+  const auto violation = find_violation(csr, result.colors);
+  EXPECT_FALSE(violation.has_value())
+      << "violation at vertex " << (violation ? violation->vertex : -1);
+  EXPECT_GT(result.num_colors, 0);
+  EXPECT_EQ(result.num_colors, count_colors(result.colors));
+  EXPECT_GE(result.iterations, 1);
+
+  // Every coloring here is at worst max-degree-bounded times a small
+  // constant: IS-family can exceed Delta+1 but never n; CC's multi-hash can
+  // inflate further but stays within 2 * hashes * (Delta + 1).
+  EXPECT_LE(result.num_colors, csr.num_vertices);
+  if (algorithm_name == "cpu_greedy" || algorithm_name == "jp_random" ||
+      algorithm_name == "gm_speculative") {
+    EXPECT_LE(result.num_colors, csr.max_degree() + 1);
+  }
+}
+
+TEST_P(ColoringPropertyTest, DeterministicForSeed) {
+  const auto& [algorithm_name, family, seed] = GetParam();
+  const AlgorithmSpec* spec = find_algorithm(algorithm_name);
+  ASSERT_NE(spec, nullptr);
+  // Raced proposal/resolution algorithms are only bitwise deterministic on
+  // a single worker; this suite runs under the default device, so restrict
+  // the exact-equality check accordingly.
+  if (sim::Device::instance().num_workers() > 1 &&
+      (algorithm_name == "gunrock_hash" || algorithm_name == "gm_speculative")) {
+    GTEST_SKIP() << "raced algorithm on multi-worker device";
+  }
+  const graph::Csr csr = make_graph(family, seed);
+  Options options;
+  options.seed = 1234;
+  EXPECT_EQ(spec->run(csr, options).colors, spec->run(csr, options).colors);
+}
+
+std::vector<Param> make_params() {
+  std::vector<Param> params;
+  const Family families[] = {Family::kRgg,    Family::kGrid,
+                             Family::kMesh,   Family::kErdosRenyi,
+                             Family::kBanded, Family::kRmat,
+                             Family::kRegular};
+  for (const AlgorithmSpec& spec : all_algorithms()) {
+    for (const Family family : families) {
+      for (const std::uint64_t seed : {1ULL, 2ULL}) {
+        params.emplace_back(spec.name, family, seed);
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllFamilies, ColoringPropertyTest,
+    ::testing::ValuesIn(make_params()),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      // No structured bindings here: the macro would split on their commas.
+      return std::get<0>(param_info.param) + "_" +
+             family_name(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace gcol::color

@@ -1,0 +1,128 @@
+#include "core/recolor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.hpp"
+#include "core/greedy.hpp"
+#include "core/gunrock_is.hpp"
+#include "core/naumov.hpp"
+#include "core/verify.hpp"
+#include "graph/generators/erdos_renyi.hpp"
+#include "graph/generators/rgg.hpp"
+
+namespace gcol::color {
+namespace {
+
+using namespace gcol::testing;
+
+class IteratedGreedyOrderTest : public ::testing::TestWithParam<ClassOrder> {};
+
+TEST_P(IteratedGreedyOrderTest, NeverIncreasesColorsAndStaysValid) {
+  const graph::Csr graphs[] = {
+      path_graph(30),
+      clique_graph(8),
+      petersen_graph(),
+      graph::build_csr(graph::generate_rgg(10, {.seed = 2})),
+      graph::build_csr(graph::generate_erdos_renyi(400, 1600, 5)),
+  };
+  for (const auto& csr : graphs) {
+    // Start from a wasteful coloring (IS-family).
+    const Coloring start = gunrock_is_color(csr);
+    IteratedGreedyOptions options;
+    options.order = GetParam();
+    const Coloring improved = iterated_greedy_recolor(csr, start, options);
+    EXPECT_TRUE(is_valid_coloring(csr, improved.colors));
+    EXPECT_LE(improved.num_colors, start.num_colors);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, IteratedGreedyOrderTest,
+    ::testing::Values(ClassOrder::kReverse, ClassOrder::kLargestFirst,
+                      ClassOrder::kSmallestFirst, ClassOrder::kRandom),
+    [](const ::testing::TestParamInfo<ClassOrder>& p) {
+      switch (p.param) {
+        case ClassOrder::kReverse: return "Reverse";
+        case ClassOrder::kLargestFirst: return "LargestFirst";
+        case ClassOrder::kSmallestFirst: return "SmallestFirst";
+        case ClassOrder::kRandom: return "Random";
+      }
+      return "Unknown";
+    });
+
+TEST(IteratedGreedy, ImprovesWastefulColorings) {
+  // Naumov CC is deliberately color-hungry; Culberson passes should recover
+  // a large part of the gap to greedy.
+  const auto csr = graph::build_csr(graph::generate_rgg(11, {.seed = 7}));
+  const Coloring cc = naumov_cc_color(csr);
+  const Coloring improved = iterated_greedy_recolor(csr, cc);
+  EXPECT_TRUE(is_valid_coloring(csr, improved.colors));
+  EXPECT_LT(improved.num_colors, cc.num_colors);
+}
+
+TEST(IteratedGreedy, FixedPointOnOptimalColoring) {
+  // A 2-coloring of a bipartite graph cannot be improved or broken.
+  const auto csr = bipartite_graph(6, 6);
+  const Coloring two = greedy_color(csr);
+  ASSERT_EQ(two.num_colors, 2);
+  const Coloring after = iterated_greedy_recolor(csr, two);
+  EXPECT_EQ(after.num_colors, 2);
+  EXPECT_TRUE(is_valid_coloring(csr, after.colors));
+}
+
+TEST(IteratedGreedy, ZeroRoundsIsIdentity) {
+  const auto csr = petersen_graph();
+  const Coloring start = greedy_color(csr);
+  IteratedGreedyOptions options;
+  options.rounds = 0;
+  EXPECT_EQ(iterated_greedy_recolor(csr, start, options).colors,
+            start.colors);
+}
+
+TEST(IteratedGreedy, EmptyGraph) {
+  const auto csr = empty_graph(0);
+  Coloring start;
+  const Coloring after = iterated_greedy_recolor(csr, start);
+  EXPECT_EQ(after.num_colors, 0);
+}
+
+TEST(Balance, KeepsValidityAndColorCount) {
+  const auto csr = graph::build_csr(graph::generate_rgg(10, {.seed = 11}));
+  const Coloring start = greedy_color(csr);
+  const Coloring balanced = balance_colors(csr, start);
+  EXPECT_TRUE(is_valid_coloring(csr, balanced.colors));
+  EXPECT_LE(balanced.num_colors, start.num_colors);
+}
+
+TEST(Balance, ReducesImbalance) {
+  // Natural-order greedy heavily overfills color 0; balancing must improve
+  // the largest/average ratio.
+  const auto csr = graph::build_csr(graph::generate_rgg(11, {.seed = 13}));
+  const Coloring start = greedy_color(csr);
+  const double before = class_imbalance(start.colors);
+  const Coloring balanced = balance_colors(csr, start);
+  const double after = class_imbalance(balanced.colors);
+  EXPECT_LE(after, before);
+  EXPECT_GT(before, 1.2);  // the effect only matters if skew existed
+}
+
+TEST(Balance, NoOpOnSingleClass) {
+  const auto csr = empty_graph(10);
+  const Coloring start = greedy_color(csr);
+  ASSERT_EQ(start.num_colors, 1);
+  const Coloring balanced = balance_colors(csr, start);
+  EXPECT_EQ(balanced.colors, start.colors);
+}
+
+TEST(ClassImbalance, ComputesLargestOverAverage) {
+  // sizes {3, 1}: average 2, largest 3.
+  EXPECT_DOUBLE_EQ(class_imbalance(std::vector<std::int32_t>{0, 0, 0, 1}),
+                   1.5);
+  // perfectly balanced
+  EXPECT_DOUBLE_EQ(class_imbalance(std::vector<std::int32_t>{0, 1, 0, 1}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(class_imbalance(std::vector<std::int32_t>{}), 1.0);
+}
+
+}  // namespace
+}  // namespace gcol::color

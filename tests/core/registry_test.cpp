@@ -1,0 +1,68 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../testing/fixtures.hpp"
+#include "core/verify.hpp"
+
+namespace gcol::color {
+namespace {
+
+TEST(Registry, ContainsTheNineFigure1Series) {
+  const auto nine = figure1_algorithms();
+  ASSERT_EQ(nine.size(), 9u);
+  // Paper legend order (alphabetical in the figure).
+  EXPECT_EQ(nine[0]->display_name, "CPU/Color_Greedy");
+  EXPECT_EQ(nine[1]->display_name, "GraphBLAST/Color_IS");
+  EXPECT_EQ(nine[2]->display_name, "GraphBLAST/Color_JPL");
+  EXPECT_EQ(nine[3]->display_name, "GraphBLAST/Color_MIS");
+  EXPECT_EQ(nine[4]->display_name, "Gunrock/Color_AR");
+  EXPECT_EQ(nine[5]->display_name, "Gunrock/Color_Hash");
+  EXPECT_EQ(nine[6]->display_name, "Gunrock/Color_IS");
+  EXPECT_EQ(nine[7]->display_name, "Naumov/Color_CC");
+  EXPECT_EQ(nine[8]->display_name, "Naumov/Color_JPL");
+}
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const AlgorithmSpec& spec : all_algorithms()) {
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate name " << spec.name;
+  }
+}
+
+TEST(Registry, FindRoundTrips) {
+  for (const AlgorithmSpec& spec : all_algorithms()) {
+    const AlgorithmSpec* found = find_algorithm(spec.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->display_name, spec.display_name);
+  }
+  EXPECT_EQ(find_algorithm("definitely_not_registered"), nullptr);
+}
+
+TEST(Registry, EveryEntryIsRunnable) {
+  const auto csr = gcol::testing::petersen_graph();
+  for (const AlgorithmSpec& spec : all_algorithms()) {
+    ASSERT_TRUE(spec.run != nullptr) << spec.name;
+    const Coloring result = spec.run(csr, Options{});
+    EXPECT_TRUE(is_valid_coloring(csr, result.colors)) << spec.name;
+    EXPECT_FALSE(result.algorithm.empty()) << spec.name;
+  }
+}
+
+TEST(Registry, SeedIsForwarded) {
+  // Randomized algorithms must react to the seed passed through the
+  // registry (quality may coincide; the assignment should differ).
+  const auto csr =
+      gcol::testing::bipartite_graph(20, 20);
+  const AlgorithmSpec* spec = find_algorithm("gunrock_is");
+  Options a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(spec->run(csr, a).colors, spec->run(csr, b).colors);
+}
+
+}  // namespace
+}  // namespace gcol::color

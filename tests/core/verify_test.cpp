@@ -1,0 +1,82 @@
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.hpp"
+
+namespace gcol::color {
+namespace {
+
+using gcol::testing::empty_graph;
+using gcol::testing::path_graph;
+
+TEST(Verify, AcceptsProperColoring) {
+  const auto csr = path_graph(4);
+  const std::vector<std::int32_t> colors = {0, 1, 0, 1};
+  EXPECT_TRUE(is_valid_coloring(csr, colors));
+  EXPECT_FALSE(find_violation(csr, colors).has_value());
+}
+
+TEST(Verify, DetectsMonochromaticEdge) {
+  const auto csr = path_graph(4);
+  const std::vector<std::int32_t> colors = {0, 1, 1, 0};
+  EXPECT_FALSE(is_valid_coloring(csr, colors));
+  const auto violation = find_violation(csr, colors);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->color, 1);
+  // The violating edge is (1, 2) in some direction.
+  const bool edge_found = (violation->vertex == 1 && violation->neighbor == 2) ||
+                          (violation->vertex == 2 && violation->neighbor == 1);
+  EXPECT_TRUE(edge_found);
+}
+
+TEST(Verify, DetectsUncoloredVertex) {
+  const auto csr = path_graph(3);
+  const std::vector<std::int32_t> colors = {0, kUncolored, 0};
+  const auto violation = find_violation(csr, colors);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->vertex, 1);
+  EXPECT_EQ(violation->neighbor, kUncolored);
+}
+
+TEST(Verify, RejectsWrongLength) {
+  const auto csr = path_graph(3);
+  const std::vector<std::int32_t> colors = {0, 1};
+  EXPECT_FALSE(is_valid_coloring(csr, colors));
+}
+
+TEST(Verify, EmptyGraphIsTriviallyValid) {
+  const auto csr = empty_graph(0);
+  EXPECT_TRUE(is_valid_coloring(csr, {}));
+}
+
+TEST(Verify, CountColorsDistinct) {
+  EXPECT_EQ(count_colors(std::vector<std::int32_t>{0, 1, 0, 2}), 3);
+  EXPECT_EQ(count_colors(std::vector<std::int32_t>{}), 0);
+  EXPECT_EQ(count_colors(std::vector<std::int32_t>{kUncolored}), 0);
+}
+
+TEST(Verify, CountColorsHandlesGaps) {
+  // Hash/CC colorings can skip color values; count distinct, not max+1.
+  EXPECT_EQ(count_colors(std::vector<std::int32_t>{0, 5, 9}), 3);
+}
+
+TEST(Verify, HistogramSizesAndCounts) {
+  const auto histogram =
+      color_histogram(std::vector<std::int32_t>{0, 1, 0, 2, 0, kUncolored});
+  ASSERT_EQ(histogram.size(), 3u);
+  EXPECT_EQ(histogram[0], 3);
+  EXPECT_EQ(histogram[1], 1);
+  EXPECT_EQ(histogram[2], 1);
+}
+
+TEST(Verify, FinalizeAndVerifySetsNumColors) {
+  const auto csr = path_graph(4);
+  Coloring result;
+  result.colors = {0, 1, 0, 1};
+  EXPECT_TRUE(finalize_and_verify(csr, result));
+  EXPECT_EQ(result.num_colors, 2);
+}
+
+}  // namespace
+}  // namespace gcol::color

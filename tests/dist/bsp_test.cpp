@@ -1,0 +1,120 @@
+#include "dist/bsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gcol::dist {
+namespace {
+
+TEST(Bsp, HaltsWhenAllRanksVoteHaltAndNoMessages) {
+  sim::Device device(2);
+  std::vector<int> states(4, 0);
+  const BspStats stats = run_bsp<int, int>(
+      device, states,
+      [](int& state, Mailbox<int>&, std::int32_t) {
+        ++state;
+        return state < 3;
+      });
+  EXPECT_EQ(stats.supersteps, 3);
+  for (const int s : states) EXPECT_EQ(s, 3);
+  EXPECT_EQ(stats.messages, 0);
+}
+
+TEST(Bsp, MessagesDeliveredNextSuperstepOnly) {
+  sim::Device device(2);
+  struct State {
+    std::vector<int> received;
+  };
+  std::vector<State> states(2);
+  run_bsp<State, int>(
+      device, states,
+      [](State& state, Mailbox<int>& mailbox, std::int32_t superstep) {
+        for (const auto& message : mailbox.inbox()) {
+          state.received.push_back(message.payload);
+        }
+        if (superstep == 0) {
+          // Rank r sends its id to the other rank.
+          mailbox.send(1 - mailbox.rank(), static_cast<int>(mailbox.rank()));
+        }
+        return superstep == 0;  // halt after superstep 1
+      });
+  // Nothing received in superstep 0; each rank got the other's id in 1.
+  ASSERT_EQ(states[0].received.size(), 1u);
+  ASSERT_EQ(states[1].received.size(), 1u);
+  EXPECT_EQ(states[0].received[0], 1);
+  EXPECT_EQ(states[1].received[0], 0);
+}
+
+TEST(Bsp, InFlightMessagesKeepWorldAlive) {
+  sim::Device device(1);
+  // Every rank votes halt immediately, but rank 0 sends one message in
+  // superstep 0: the world must run one more superstep to deliver it.
+  std::vector<int> delivered(2, 0);
+  const BspStats stats = run_bsp<int, int>(
+      device, delivered,
+      [](int& state, Mailbox<int>& mailbox, std::int32_t superstep) {
+        state += static_cast<int>(mailbox.inbox().size());
+        if (superstep == 0 && mailbox.rank() == 0) mailbox.send(1, 42);
+        return false;
+      });
+  EXPECT_EQ(stats.supersteps, 2);
+  EXPECT_EQ(delivered[1], 1);
+  EXPECT_EQ(stats.messages, 1);
+}
+
+TEST(Bsp, MessageCountsAccumulate) {
+  sim::Device device(2);
+  std::vector<int> states(3, 0);
+  const BspStats stats = run_bsp<int, int>(
+      device, states,
+      [](int&, Mailbox<int>& mailbox, std::int32_t superstep) {
+        if (superstep < 2) {
+          for (rank_t r = 0; r < mailbox.size(); ++r) {
+            if (r != mailbox.rank()) mailbox.send(r, 0);
+          }
+        }
+        return superstep < 2;
+      });
+  // 2 supersteps x 3 ranks x 2 destinations.
+  EXPECT_EQ(stats.messages, 12);
+}
+
+TEST(Bsp, MailboxSelfSendAllowed) {
+  sim::Device device(1);
+  std::vector<int> states(1, 0);
+  run_bsp<int, int>(device, states,
+                    [](int& state, Mailbox<int>& mailbox,
+                       std::int32_t superstep) {
+                      state += static_cast<int>(mailbox.inbox().size());
+                      if (superstep == 0) mailbox.send(0, 7);
+                      return superstep == 0;
+                    });
+  EXPECT_EQ(states[0], 1);
+}
+
+TEST(Bsp, DeterministicAcrossDeviceWidths) {
+  // The same program must produce identical states for 1 and 4 workers.
+  auto program = [](unsigned workers) {
+    sim::Device device(workers);
+    std::vector<std::int64_t> states(8, 0);
+    run_bsp<std::int64_t, std::int64_t>(
+        device, states,
+        [](std::int64_t& state, Mailbox<std::int64_t>& mailbox,
+           std::int32_t superstep) {
+          for (const auto& message : mailbox.inbox()) {
+            state = state * 31 + message.payload;
+          }
+          if (superstep < 5) {
+            mailbox.send((mailbox.rank() + 1) % mailbox.size(),
+                         mailbox.rank() * 100 + superstep);
+          }
+          return superstep < 5;
+        });
+    return states;
+  };
+  EXPECT_EQ(program(1), program(4));
+}
+
+}  // namespace
+}  // namespace gcol::dist

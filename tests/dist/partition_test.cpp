@@ -1,0 +1,89 @@
+#include "dist/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.hpp"
+#include "graph/generators/grid.hpp"
+
+namespace gcol::dist {
+namespace {
+
+TEST(Partition, BlocksCoverAllVerticesContiguously) {
+  const Partition p = make_block_partition(10, 3);
+  EXPECT_EQ(p.block_begin(0), 0);
+  EXPECT_EQ(p.block_end(2), 10);
+  vid_t total = 0;
+  for (rank_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(p.block_begin(r), r == 0 ? 0 : p.block_end(r - 1));
+    total += p.block_size(r);
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(Partition, BlocksAreNearEqual) {
+  const Partition p = make_block_partition(1000, 7);
+  for (rank_t r = 0; r < 7; ++r) {
+    EXPECT_NEAR(static_cast<double>(p.block_size(r)), 1000.0 / 7.0, 1.0);
+  }
+}
+
+TEST(Partition, OwnerConsistentWithBlocks) {
+  const Partition p = make_block_partition(997, 5);  // prime: uneven blocks
+  for (vid_t v = 0; v < 997; ++v) {
+    const rank_t r = p.owner(v);
+    EXPECT_GE(v, p.block_begin(r));
+    EXPECT_LT(v, p.block_end(r));
+  }
+}
+
+TEST(Partition, SingleRankOwnsEverything) {
+  const Partition p = make_block_partition(50, 1);
+  for (vid_t v = 0; v < 50; ++v) EXPECT_EQ(p.owner(v), 0);
+}
+
+TEST(Partition, MoreRanksThanVerticesStillValid) {
+  const Partition p = make_block_partition(3, 8);
+  vid_t total = 0;
+  for (rank_t r = 0; r < 8; ++r) total += p.block_size(r);
+  EXPECT_EQ(total, 3);
+}
+
+TEST(Classify, InteriorAndBoundarySplit) {
+  // A 1D path split in half: only the cut endpoints are boundary.
+  const auto csr = gcol::testing::path_graph(10);
+  const Partition p = make_block_partition(10, 2);
+  const RankTopology left = classify_rank(csr, p, 0);
+  const RankTopology right = classify_rank(csr, p, 1);
+  ASSERT_EQ(left.boundary.size(), 1u);
+  EXPECT_EQ(left.boundary[0], 4);
+  EXPECT_EQ(left.interior.size(), 4u);
+  ASSERT_EQ(right.boundary.size(), 1u);
+  EXPECT_EQ(right.boundary[0], 5);
+  EXPECT_EQ(left.neighbor_ranks, (std::vector<rank_t>{1}));
+  EXPECT_EQ(right.neighbor_ranks, (std::vector<rank_t>{0}));
+}
+
+TEST(Classify, GridCutProportions) {
+  // A row-major 16x16 grid cut into 4 blocks of 4 rows: each block has 2
+  // boundary rows (1 for the end blocks).
+  const auto csr = graph::build_csr(graph::generate_grid2d(16, 16));
+  const Partition p = make_block_partition(256, 4);
+  const RankTopology first = classify_rank(csr, p, 0);
+  const RankTopology middle = classify_rank(csr, p, 1);
+  EXPECT_EQ(first.boundary.size(), 16u);
+  EXPECT_EQ(middle.boundary.size(), 32u);
+  EXPECT_EQ(first.interior.size(), 48u);
+  EXPECT_EQ(middle.neighbor_ranks.size(), 2u);
+}
+
+TEST(Classify, IsolatedVerticesAreInterior) {
+  const auto csr = gcol::testing::empty_graph(8);
+  const Partition p = make_block_partition(8, 2);
+  const RankTopology topology = classify_rank(csr, p, 0);
+  EXPECT_TRUE(topology.boundary.empty());
+  EXPECT_EQ(topology.interior.size(), 4u);
+  EXPECT_TRUE(topology.neighbor_ranks.empty());
+}
+
+}  // namespace
+}  // namespace gcol::dist

@@ -1,0 +1,161 @@
+#include "graph/build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gcol::graph {
+namespace {
+
+TEST(Build, EmptyGraph) {
+  Coo coo;
+  coo.num_vertices = 0;
+  const Csr csr = build_csr(coo);
+  EXPECT_EQ(csr.num_vertices, 0);
+  EXPECT_EQ(csr.num_edges(), 0);
+  EXPECT_TRUE(csr.check());
+}
+
+TEST(Build, VerticesWithoutEdges) {
+  Coo coo;
+  coo.num_vertices = 5;
+  const Csr csr = build_csr(coo);
+  EXPECT_EQ(csr.num_vertices, 5);
+  EXPECT_EQ(csr.num_edges(), 0);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(csr.degree(v), 0);
+}
+
+TEST(Build, SymmetrizesSingleEdge) {
+  Coo coo;
+  coo.num_vertices = 3;
+  coo.add_edge(0, 2);
+  const Csr csr = build_csr(coo);
+  EXPECT_EQ(csr.num_edges(), 2);
+  EXPECT_EQ(csr.degree(0), 1);
+  EXPECT_EQ(csr.degree(1), 0);
+  EXPECT_EQ(csr.degree(2), 1);
+  EXPECT_EQ(csr.neighbors(0)[0], 2);
+  EXPECT_EQ(csr.neighbors(2)[0], 0);
+}
+
+TEST(Build, RemovesSelfLoops) {
+  Coo coo;
+  coo.num_vertices = 3;
+  coo.add_edge(1, 1);
+  coo.add_edge(0, 1);
+  const Csr csr = build_csr(coo);
+  EXPECT_EQ(csr.num_edges(), 2);
+  EXPECT_TRUE(csr.check());
+}
+
+TEST(Build, KeepsSelfLoopsWhenDisabled) {
+  Coo coo;
+  coo.num_vertices = 2;
+  coo.add_edge(1, 1);
+  const Csr csr = build_csr(
+      coo, {.symmetrize = false, .remove_self_loops = false});
+  EXPECT_EQ(csr.num_edges(), 1);
+  EXPECT_FALSE(csr.check());  // check() flags self loops by design
+}
+
+TEST(Build, DeduplicatesParallelEdges) {
+  Coo coo;
+  coo.num_vertices = 2;
+  coo.add_edge(0, 1);
+  coo.add_edge(0, 1);
+  coo.add_edge(1, 0);  // reverse duplicate after symmetrization
+  const Csr csr = build_csr(coo);
+  EXPECT_EQ(csr.num_edges(), 2);
+  EXPECT_EQ(csr.degree(0), 1);
+  EXPECT_EQ(csr.degree(1), 1);
+}
+
+TEST(Build, NoSymmetrizeKeepsDirection) {
+  Coo coo;
+  coo.num_vertices = 3;
+  coo.add_edge(0, 1);
+  coo.add_edge(1, 2);
+  const Csr csr = build_csr(coo, {.symmetrize = false});
+  EXPECT_EQ(csr.num_edges(), 2);
+  EXPECT_EQ(csr.degree(0), 1);
+  EXPECT_EQ(csr.degree(1), 1);
+  EXPECT_EQ(csr.degree(2), 0);
+}
+
+TEST(Build, AdjacencyListsSortedAscending) {
+  Coo coo;
+  coo.num_vertices = 6;
+  coo.add_edge(0, 5);
+  coo.add_edge(0, 2);
+  coo.add_edge(0, 4);
+  coo.add_edge(0, 1);
+  const Csr csr = build_csr(coo);
+  const auto adj = csr.neighbors(0);
+  ASSERT_EQ(adj.size(), 4u);
+  EXPECT_EQ(adj[0], 1);
+  EXPECT_EQ(adj[1], 2);
+  EXPECT_EQ(adj[2], 4);
+  EXPECT_EQ(adj[3], 5);
+}
+
+TEST(Build, ThrowsOnOutOfRangeEndpoint) {
+  Coo coo;
+  coo.num_vertices = 2;
+  coo.add_edge(0, 2);
+  EXPECT_THROW(build_csr(coo), std::out_of_range);
+}
+
+TEST(Build, ThrowsOnNegativeEndpoint) {
+  Coo coo;
+  coo.num_vertices = 2;
+  coo.add_edge(-1, 0);
+  EXPECT_THROW(build_csr(coo), std::out_of_range);
+}
+
+TEST(Build, ToCooRoundTrips) {
+  Coo coo;
+  coo.num_vertices = 4;
+  coo.add_edge(0, 1);
+  coo.add_edge(1, 2);
+  coo.add_edge(2, 3);
+  coo.add_edge(3, 0);
+  const Csr csr = build_csr(coo);
+  const Coo extracted = to_coo(csr);
+  const Csr rebuilt = build_csr(extracted, {.symmetrize = false});
+  EXPECT_EQ(rebuilt.row_offsets, csr.row_offsets);
+  EXPECT_EQ(rebuilt.col_indices, csr.col_indices);
+}
+
+TEST(Build, UndirectedEdgeCountHalvesDirected) {
+  Coo coo;
+  coo.num_vertices = 4;
+  coo.add_edge(0, 1);
+  coo.add_edge(2, 3);
+  const Csr csr = build_csr(coo);
+  EXPECT_EQ(csr.num_edges(), 4);
+  EXPECT_EQ(csr.num_undirected_edges(), 2);
+}
+
+TEST(Build, CheckRejectsCorruptedOffsets) {
+  Coo coo;
+  coo.num_vertices = 3;
+  coo.add_edge(0, 1);
+  Csr csr = build_csr(coo);
+  ASSERT_TRUE(csr.check());
+  csr.row_offsets[1] = 99;
+  EXPECT_FALSE(csr.check());
+}
+
+TEST(Build, MaxAndAverageDegree) {
+  Coo coo;
+  coo.num_vertices = 4;
+  coo.add_edge(0, 1);
+  coo.add_edge(0, 2);
+  coo.add_edge(0, 3);
+  const Csr csr = build_csr(coo);
+  EXPECT_EQ(csr.max_degree(), 3);
+  EXPECT_DOUBLE_EQ(csr.average_degree(), 6.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace gcol::graph

@@ -1,0 +1,74 @@
+#include "graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gcol::graph {
+namespace {
+
+TEST(Datasets, RegistryHasTheTwelvePaperRows) {
+  const auto& all = paper_datasets();
+  ASSERT_EQ(all.size(), 12u);
+  EXPECT_EQ(all.front().name, "offshore");
+  EXPECT_EQ(all.back().name, "atmosmodd");
+}
+
+TEST(Datasets, FindByName) {
+  EXPECT_NE(find_dataset("G3_circuit"), nullptr);
+  EXPECT_NE(find_dataset("cage13"), nullptr);
+  EXPECT_EQ(find_dataset("no_such_dataset"), nullptr);
+}
+
+TEST(Datasets, KindsMatchTableOne) {
+  EXPECT_EQ(find_dataset("af_shell3")->kind, "ru");
+  EXPECT_EQ(find_dataset("cage13")->kind, "rd");
+}
+
+/// Every analogue must land near its target average degree — that's the
+/// property the substitution argument rests on.
+class DatasetDegreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetDegreeTest, AnalogueMatchesPaperDegree) {
+  const DatasetInfo& info =
+      paper_datasets()[static_cast<std::size_t>(GetParam())];
+  const Csr csr = build_dataset(info, 0.02);  // tiny scale for test speed
+  ASSERT_GT(csr.num_vertices, 0);
+  EXPECT_TRUE(csr.check());
+  // Small instances have proportionally larger boundaries; 35% tolerance.
+  EXPECT_NEAR(csr.average_degree(), info.paper_avg_degree,
+              0.35 * info.paper_avg_degree)
+      << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, DatasetDegreeTest, ::testing::Range(0, 12));
+
+TEST(Datasets, ScaleShrinksVertexCount) {
+  const DatasetInfo& info = *find_dataset("ecology2");
+  const Csr small = build_dataset(info, 0.01);
+  const Csr larger = build_dataset(info, 0.05);
+  EXPECT_LT(small.num_vertices, larger.num_vertices);
+  EXPECT_NEAR(static_cast<double>(small.num_vertices),
+              0.01 * static_cast<double>(info.paper_vertices),
+              0.2 * 0.01 * static_cast<double>(info.paper_vertices));
+}
+
+TEST(Datasets, RggDatasetMatchesScale) {
+  const DatasetInfo info = rgg_dataset(12);
+  EXPECT_EQ(info.name, "rgg_n_2_12_s0");
+  EXPECT_EQ(info.paper_vertices, 4096);
+  const Csr csr = build_dataset(info, 1.0);
+  EXPECT_EQ(csr.num_vertices, 4096);
+  EXPECT_NEAR(csr.average_degree(),
+              std::log(4096.0), 0.25 * std::log(4096.0));
+}
+
+TEST(Datasets, BuildersAreDeterministic) {
+  const DatasetInfo& info = *find_dataset("offshore");
+  const Csr a = build_dataset(info, 0.02);
+  const Csr b = build_dataset(info, 0.02);
+  EXPECT_EQ(a.col_indices, b.col_indices);
+}
+
+}  // namespace
+}  // namespace gcol::graph

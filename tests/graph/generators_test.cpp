@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/build.hpp"
+#include "graph/generators/banded.hpp"
+#include "graph/generators/erdos_renyi.hpp"
+#include "graph/generators/grid.hpp"
+#include "graph/generators/mesh.hpp"
+#include "graph/generators/random_regular.hpp"
+#include "graph/generators/rgg.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/stats.hpp"
+#include "sim/rng.hpp"
+
+namespace gcol::graph {
+namespace {
+
+// ---- RGG -------------------------------------------------------------
+
+TEST(Rgg, DeterministicForSeed) {
+  const Csr a = build_csr(generate_rgg(10, {.seed = 5}));
+  const Csr b = build_csr(generate_rgg(10, {.seed = 5}));
+  EXPECT_EQ(a.col_indices, b.col_indices);
+  const Csr c = build_csr(generate_rgg(10, {.seed = 6}));
+  EXPECT_NE(a.col_indices, c.col_indices);
+}
+
+TEST(Rgg, AverageDegreeNearLogN) {
+  const Csr csr = build_csr(generate_rgg(13));
+  const double expected = std::log(static_cast<double>(csr.num_vertices));
+  // Boundary effects pull the mean below ln n; allow a generous band.
+  EXPECT_GT(csr.average_degree(), 0.7 * expected);
+  EXPECT_LT(csr.average_degree(), 1.1 * expected);
+}
+
+TEST(Rgg, EdgesRespectRadius) {
+  // Regenerate the same point cloud and verify adjacency against a brute
+  // force O(n^2) check on a small instance.
+  const int scale = 7;
+  const auto n = std::size_t{1} << scale;
+  const sim::CounterRng rng(1);
+  std::vector<float> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(rng.uniform_double(2 * i));
+    y[i] = static_cast<float>(rng.uniform_double(2 * i + 1));
+  }
+  const double radius = std::sqrt(std::log(static_cast<double>(n)) /
+                                  (3.14159265358979323846 * static_cast<double>(n)));
+  const Csr csr = build_csr(generate_rgg(scale, {.seed = 1}));
+  eid_t expected_edges = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double dx = static_cast<double>(x[a]) - static_cast<double>(x[b]);
+      const double dy = static_cast<double>(y[a]) - static_cast<double>(y[b]);
+      if (dx * dx + dy * dy <= radius * radius) expected_edges += 2;
+    }
+  }
+  EXPECT_EQ(csr.num_edges(), expected_edges);
+}
+
+TEST(Rgg, ScaleValidation) {
+  EXPECT_THROW(generate_rgg(0), std::invalid_argument);
+  EXPECT_THROW(generate_rgg(31), std::invalid_argument);
+}
+
+TEST(Rgg, TinyInstances) {
+  EXPECT_EQ(generate_rgg_n(0).num_edges(), 0u);
+  EXPECT_EQ(generate_rgg_n(1).num_edges(), 0u);
+}
+
+// ---- grids -----------------------------------------------------------
+
+TEST(Grid, FivePointDegrees) {
+  const Csr csr = build_csr(generate_grid2d(4, 3));
+  EXPECT_EQ(csr.num_vertices, 12);
+  // corners 2, edges 3, interior 4
+  EXPECT_EQ(csr.degree(0), 2);
+  EXPECT_EQ(csr.degree(1), 3);
+  EXPECT_EQ(csr.degree(5), 4);
+  // |E| for w x h grid: h*(w-1) + w*(h-1) = 3*3 + 4*2 = 17
+  EXPECT_EQ(csr.num_undirected_edges(), 17);
+}
+
+TEST(Grid, NinePointInteriorDegreeIsEight) {
+  const Csr csr = build_csr(generate_grid2d(5, 5, Stencil2d::kNinePoint));
+  EXPECT_EQ(csr.degree(12), 8);  // center vertex
+  EXPECT_EQ(csr.degree(0), 3);   // corner
+}
+
+TEST(Grid, SevenPoint3dInteriorDegreeIsSix) {
+  const Csr csr = build_csr(generate_grid3d(3, 3, 3));
+  EXPECT_EQ(csr.num_vertices, 27);
+  EXPECT_EQ(csr.degree(13), 6);  // center of the cube
+  EXPECT_EQ(csr.degree(0), 3);   // corner
+}
+
+TEST(Grid, TwentySevenPoint3dInteriorDegree) {
+  const Csr csr =
+      build_csr(generate_grid3d(3, 3, 3, Stencil3d::kTwentySevenPoint));
+  EXPECT_EQ(csr.degree(13), 26);
+  EXPECT_EQ(csr.degree(0), 7);
+}
+
+TEST(Grid, DegenerateDimensions) {
+  EXPECT_EQ(build_csr(generate_grid2d(0, 5)).num_vertices, 0);
+  EXPECT_EQ(build_csr(generate_grid2d(1, 5)).num_undirected_edges(), 4);
+  EXPECT_EQ(build_csr(generate_grid3d(1, 1, 1)).num_edges(), 0);
+}
+
+// ---- banded ------------------------------------------------------------
+
+TEST(Banded, InteriorDegreeIsTwiceBandwidth) {
+  const Csr csr = build_csr(
+      generate_banded(100, {.half_bandwidth = 4, .offband_per_vertex = 0.0}));
+  EXPECT_EQ(csr.degree(50), 8);
+  EXPECT_EQ(csr.degree(0), 4);
+}
+
+TEST(Banded, OffbandRaisesAverageDegree) {
+  // Keep the reach well inside the matrix so almost no draw falls off the
+  // trailing boundary; each off-band edge adds 2 to the summed degree.
+  const Csr without = build_csr(generate_banded(
+      5000,
+      {.half_bandwidth = 4, .offband_per_vertex = 0.0, .offband_reach = 64}));
+  const Csr with = build_csr(generate_banded(
+      5000,
+      {.half_bandwidth = 4, .offband_per_vertex = 2.0, .offband_reach = 64}));
+  EXPECT_NEAR(with.average_degree() - without.average_degree(), 4.0, 0.5);
+}
+
+TEST(Banded, Deterministic) {
+  const Csr a = build_csr(generate_banded(1000, {.seed = 3}));
+  const Csr b = build_csr(generate_banded(1000, {.seed = 3}));
+  EXPECT_EQ(a.col_indices, b.col_indices);
+}
+
+// ---- mesh ----------------------------------------------------------------
+
+TEST(Mesh, InteriorDegreeAboutSix) {
+  const Csr csr = build_csr(generate_mesh2d(50, 50));
+  EXPECT_NEAR(csr.average_degree(), 6.0, 0.5);
+}
+
+TEST(Mesh, SecondRingRaisesDegree) {
+  const Csr base = build_csr(generate_mesh2d(50, 50));
+  const Csr enriched = build_csr(
+      generate_mesh2d(50, 50, {.second_ring_probability = 0.5}));
+  EXPECT_GT(enriched.average_degree(), base.average_degree() + 1.0);
+}
+
+TEST(Mesh, ContainsAllLatticeEdges) {
+  const Csr csr = build_csr(generate_mesh2d(4, 4));
+  // Horizontal edge (0,0)-(1,0) and vertical (0,0)-(0,1) must exist.
+  const auto adj = csr.neighbors(0);
+  EXPECT_TRUE(std::find(adj.begin(), adj.end(), 1) != adj.end());
+  EXPECT_TRUE(std::find(adj.begin(), adj.end(), 4) != adj.end());
+}
+
+// ---- Erdos-Renyi --------------------------------------------------------
+
+TEST(ErdosRenyi, RoughEdgeCount) {
+  const Csr csr = build_csr(generate_erdos_renyi(10000, 30000));
+  // Dedup + self-loop removal shaves a little.
+  EXPECT_GT(csr.num_undirected_edges(), 29000);
+  EXPECT_LE(csr.num_undirected_edges(), 30000);
+}
+
+TEST(ErdosRenyi, TinyInstances) {
+  EXPECT_EQ(build_csr(generate_erdos_renyi(0, 0)).num_vertices, 0);
+  EXPECT_EQ(build_csr(generate_erdos_renyi(1, 10)).num_edges(), 0);
+}
+
+// ---- R-MAT -----------------------------------------------------------------
+
+TEST(Rmat, PowerLawSkew) {
+  const Csr csr = build_csr(generate_rmat(12, 8));
+  const DegreeStats stats = degree_stats(csr);
+  // Hubs far above the mean are the signature of the skewed distribution.
+  EXPECT_GT(stats.max_degree, 8 * stats.average_degree);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  EXPECT_THROW(generate_rmat(5, 8, {.a = 0.9, .b = 0.9, .c = 0.9}),
+               std::invalid_argument);
+}
+
+// ---- random regular -------------------------------------------------------
+
+TEST(RandomRegular, DegreesConcentrated) {
+  const Csr csr = build_csr(generate_random_regular(2000, 8));
+  const DegreeStats stats = degree_stats(csr);
+  EXPECT_NEAR(stats.average_degree, 8.0, 0.3);
+  EXPECT_LE(stats.max_degree, 8);  // union of 4 cycles: at most 8
+  EXPECT_GE(stats.min_degree, 4);
+}
+
+TEST(RandomRegular, ZeroDegreeGivesNoEdges) {
+  EXPECT_EQ(build_csr(generate_random_regular(100, 0)).num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace gcol::graph

@@ -1,0 +1,111 @@
+#include "graph/mmio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/build.hpp"
+
+namespace gcol::graph {
+namespace {
+
+TEST(Mmio, ReadsGeneralPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2\n"
+      "2 3\n");
+  const Coo coo = read_matrix_market(in);
+  EXPECT_EQ(coo.num_vertices, 3);
+  EXPECT_EQ(coo.num_edges(), 2u);
+  EXPECT_EQ(coo.src[0], 0);
+  EXPECT_EQ(coo.dst[0], 1);
+}
+
+TEST(Mmio, ExpandsSymmetricStorage) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "2 1 0.5\n"
+      "3 1 1.5\n"
+      "3 3 2.5\n");  // diagonal entry: not duplicated
+  const Coo coo = read_matrix_market(in);
+  // two off-diagonal entries doubled + one diagonal = 5
+  EXPECT_EQ(coo.num_edges(), 5u);
+  const Csr csr = build_csr(coo);  // cleanup drops the self loop
+  EXPECT_EQ(csr.num_edges(), 4);
+}
+
+TEST(Mmio, IgnoresRealValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 2 3.14159\n");
+  const Coo coo = read_matrix_market(in);
+  EXPECT_EQ(coo.num_edges(), 1u);
+}
+
+TEST(Mmio, RejectsRectangular) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 4 1\n"
+      "1 2\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsMissingBanner) {
+  std::istringstream in("3 3 1\n1 2\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsOutOfRangeIndex) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 3\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Mmio, RejectsTruncatedEntryList) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 2\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(Mmio, BannerIsCaseInsensitive) {
+  std::istringstream in(
+      "%%MatrixMarket MATRIX Coordinate Pattern SYMMETRIC\n"
+      "2 2 1\n"
+      "2 1\n");
+  const Coo coo = read_matrix_market(in);
+  EXPECT_EQ(coo.num_edges(), 2u);
+}
+
+TEST(Mmio, WriteReadRoundTrip) {
+  Coo coo;
+  coo.num_vertices = 5;
+  coo.add_edge(0, 1);
+  coo.add_edge(1, 2);
+  coo.add_edge(2, 3);
+  coo.add_edge(3, 4);
+  coo.add_edge(4, 0);
+  coo.add_edge(1, 3);
+  const Csr original = build_csr(coo);
+
+  std::stringstream buffer;
+  write_matrix_market(buffer, original);
+  const Csr reloaded = build_csr(read_matrix_market(buffer));
+  EXPECT_EQ(reloaded.row_offsets, original.row_offsets);
+  EXPECT_EQ(reloaded.col_indices, original.col_indices);
+}
+
+}  // namespace
+}  // namespace gcol::graph

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "../testing/fixtures.hpp"
+#include "graph/build.hpp"
+#include "graph/stats.hpp"
+
+namespace gcol::graph {
+namespace {
+
+using gcol::testing::path_graph;
+using gcol::testing::petersen_graph;
+using gcol::testing::star_graph;
+
+TEST(Permute, IdentityPermutationPreservesGraph) {
+  const Csr csr = petersen_graph();
+  std::vector<vid_t> identity(static_cast<std::size_t>(csr.num_vertices));
+  std::iota(identity.begin(), identity.end(), vid_t{0});
+  const Csr permuted = permute_vertices(csr, identity);
+  EXPECT_EQ(permuted.row_offsets, csr.row_offsets);
+  EXPECT_EQ(permuted.col_indices, csr.col_indices);
+}
+
+TEST(Permute, RelabelsAdjacency) {
+  // Path 0-1-2 with permutation {2,0,1}: new edges 2-0 and 0-1.
+  const Csr csr = path_graph(3);
+  const std::vector<vid_t> perm = {2, 0, 1};
+  const Csr permuted = permute_vertices(csr, perm);
+  EXPECT_EQ(permuted.degree(0), 2);  // old vertex 1 (the middle)
+  EXPECT_EQ(permuted.degree(1), 1);
+  EXPECT_EQ(permuted.degree(2), 1);
+  EXPECT_EQ(permuted.neighbors(2)[0], 0);
+}
+
+TEST(Permute, RejectsWrongSize) {
+  const Csr csr = path_graph(3);
+  const std::vector<vid_t> perm = {0, 1};
+  EXPECT_THROW(permute_vertices(csr, perm), std::invalid_argument);
+}
+
+TEST(Shuffle, PreservesInvariantsAndStatistics) {
+  const Csr csr = star_graph(20);
+  const Csr shuffled = shuffle_vertices(csr, 99);
+  EXPECT_TRUE(shuffled.check());
+  EXPECT_EQ(shuffled.num_vertices, csr.num_vertices);
+  EXPECT_EQ(shuffled.num_edges(), csr.num_edges());
+  EXPECT_EQ(shuffled.max_degree(), csr.max_degree());
+  // Isomorphism invariant: same degree multiset.
+  const DegreeStats a = degree_stats(csr);
+  const DegreeStats b = degree_stats(shuffled);
+  EXPECT_EQ(a.min_degree, b.min_degree);
+  EXPECT_DOUBLE_EQ(a.average_degree, b.average_degree);
+}
+
+TEST(Shuffle, DeterministicPerSeedAndActuallyShuffles) {
+  const Csr csr = path_graph(50);
+  const Csr a = shuffle_vertices(csr, 5);
+  const Csr b = shuffle_vertices(csr, 5);
+  EXPECT_EQ(a.col_indices, b.col_indices);
+  const Csr c = shuffle_vertices(csr, 6);
+  EXPECT_NE(a.col_indices, c.col_indices);
+  EXPECT_NE(a.col_indices, csr.col_indices);
+}
+
+TEST(Shuffle, DiameterIsInvariant) {
+  const Csr csr = path_graph(30);
+  const Csr shuffled = shuffle_vertices(csr, 17);
+  EXPECT_EQ(estimate_diameter(shuffled, 30), 29);
+}
+
+TEST(Shuffle, EmptyAndTinyGraphs) {
+  EXPECT_EQ(shuffle_vertices(gcol::testing::empty_graph(0), 1).num_vertices,
+            0);
+  const Csr one = shuffle_vertices(gcol::testing::empty_graph(1), 1);
+  EXPECT_EQ(one.num_vertices, 1);
+  EXPECT_EQ(one.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace gcol::graph

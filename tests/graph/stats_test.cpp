@@ -1,0 +1,86 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.hpp"
+#include "graph/generators/grid.hpp"
+
+namespace gcol::graph {
+namespace {
+
+using gcol::testing::clique_graph;
+using gcol::testing::cycle_graph;
+using gcol::testing::disconnected_graph;
+using gcol::testing::empty_graph;
+using gcol::testing::path_graph;
+using gcol::testing::star_graph;
+
+TEST(Stats, DegreeStatsOnStar) {
+  const Csr csr = star_graph(10);
+  const DegreeStats stats = degree_stats(csr);
+  EXPECT_EQ(stats.min_degree, 1);
+  EXPECT_EQ(stats.max_degree, 9);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 18.0 / 10.0);
+  EXPECT_EQ(stats.isolated_vertices, 0);
+}
+
+TEST(Stats, DegreeStatsCountsIsolated) {
+  const Csr csr = disconnected_graph();  // 2 triangles + 2 isolated
+  const DegreeStats stats = degree_stats(csr);
+  EXPECT_EQ(stats.isolated_vertices, 2);
+  EXPECT_EQ(stats.min_degree, 0);
+  EXPECT_EQ(stats.max_degree, 2);
+}
+
+TEST(Stats, DegreeStatsUniformOnClique) {
+  const Csr csr = clique_graph(6);
+  const DegreeStats stats = degree_stats(csr);
+  EXPECT_EQ(stats.min_degree, 5);
+  EXPECT_EQ(stats.max_degree, 5);
+  EXPECT_DOUBLE_EQ(stats.degree_stddev, 0.0);
+}
+
+TEST(Stats, EccentricityOnPath) {
+  const Csr csr = path_graph(10);
+  EXPECT_EQ(eccentricity(csr, 0), 9);
+  EXPECT_EQ(eccentricity(csr, 5), 5);
+}
+
+TEST(Stats, DiameterExactWhenSamplingAllVertices) {
+  const Csr csr = path_graph(17);
+  EXPECT_EQ(estimate_diameter(csr, 17), 16);
+}
+
+TEST(Stats, DiameterOnCycle) {
+  const Csr csr = cycle_graph(10);
+  EXPECT_EQ(estimate_diameter(csr, 10), 5);
+}
+
+TEST(Stats, DiameterEstimateIsLowerBound) {
+  const Csr csr = build_csr(to_coo(path_graph(100)), {.symmetrize = false});
+  const vid_t sampled = estimate_diameter(csr, 5);
+  EXPECT_LE(sampled, 99);
+  EXPECT_GE(sampled, 50);  // any endpoint BFS reaches >= half the path
+}
+
+TEST(Stats, DiameterOfGrid) {
+  const Csr csr = build_csr(generate_grid2d(8, 8));
+  EXPECT_EQ(estimate_diameter(csr, 64), 14);  // Manhattan corner-to-corner
+}
+
+TEST(Stats, ComponentsCounted) {
+  EXPECT_EQ(count_components(disconnected_graph()), 4);  // 2 triangles + 2 isolated
+  EXPECT_EQ(count_components(path_graph(5)), 1);
+  EXPECT_EQ(count_components(empty_graph(3)), 3);
+  EXPECT_EQ(count_components(empty_graph(0)), 0);
+}
+
+TEST(Stats, EmptyGraphEdgeCases) {
+  const Csr csr = empty_graph(0);
+  const DegreeStats stats = degree_stats(csr);
+  EXPECT_EQ(stats.max_degree, 0);
+  EXPECT_EQ(estimate_diameter(csr, 10), 0);
+}
+
+}  // namespace
+}  // namespace gcol::graph

@@ -1,0 +1,127 @@
+// Integration tests for the paper's Algorithm 3 (MIS inner loop) and
+// Algorithm 4 (Jones-Plassmann min-color helper), transcribed step by step
+// against the grb API on hand-checkable graphs — the companions to
+// algorithm2_integration_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "../testing/fixtures.hpp"
+#include "graphblas/grb.hpp"
+
+namespace gcol::grb {
+namespace {
+
+using Weight = std::int64_t;
+
+TEST(Algorithm3Integration, MisInnerLoopGrowsToMaximalSet) {
+  // Path 0-1-2-3-4 with weights 50, 10, 40, 20, 30.
+  // Round 1 of the inner loop: local maxima among candidates = {0, 2, 4}
+  // (50 > 10; 40 > 10, 20; 30 > 20). Their neighbors {1, 3} are knocked
+  // out; round 2 finds no candidates; the set {0, 2, 4} is maximal.
+  const graph::Csr csr = gcol::testing::path_graph(5);
+  const Matrix<Weight> a(csr);
+  Vector<Weight> cand(5), mis(5), max(5), frontier(5), nbr(5);
+  cand.adopt_dense({50, 10, 40, 20, 30});
+  ASSERT_EQ(assign(mis, nullptr, Weight{0}), Info::kSuccess);
+
+  // ---- inner round 1 ----
+  max.clear();
+  ASSERT_EQ(vxm(max, &cand, max_times_semiring<Weight>(), cand, a),
+            Info::kSuccess);
+  ASSERT_EQ(eWiseAdd(frontier, nullptr, Greater{}, cand, max),
+            Info::kSuccess);
+  Weight succ = 0;
+  ASSERT_EQ(reduce(&succ, plus_monoid<Weight>(), frontier), Info::kSuccess);
+  EXPECT_EQ(succ, 3);  // vertices 0, 2, 4
+  ASSERT_EQ(assign(mis, &frontier, Weight{1}), Info::kSuccess);
+  ASSERT_EQ(assign(cand, &frontier, Weight{0}), Info::kSuccess);
+  // Remove the new members' neighbors from the candidates (l.19-20).
+  nbr.clear();
+  ASSERT_EQ(vxm(nbr, &cand, boolean_semiring<Weight>(), frontier, a),
+            Info::kSuccess);
+  ASSERT_EQ(assign(cand, &nbr, Weight{0}), Info::kSuccess);
+  Weight remaining = 0;
+  ASSERT_EQ(reduce(&remaining, lor_monoid<Weight>(), cand), Info::kSuccess);
+  EXPECT_EQ(remaining, 0);  // no candidates left: set already maximal
+
+  // ---- inner round 2 terminates with an empty frontier ----
+  max.clear();
+  ASSERT_EQ(vxm(max, &cand, max_times_semiring<Weight>(), cand, a),
+            Info::kSuccess);
+  ASSERT_EQ(eWiseAdd(frontier, nullptr, Greater{}, cand, max),
+            Info::kSuccess);
+  ASSERT_EQ(reduce(&succ, plus_monoid<Weight>(), frontier), Info::kSuccess);
+  EXPECT_EQ(succ, 0);
+
+  // The MIS is {0, 2, 4} — independent AND maximal.
+  Weight value = 0;
+  for (const Index member : {Index{0}, Index{2}, Index{4}}) {
+    ASSERT_EQ(mis.extract_element(&value, member), Info::kSuccess);
+    EXPECT_EQ(value, 1) << "vertex " << member;
+  }
+  for (const Index outside : {Index{1}, Index{3}}) {
+    ASSERT_EQ(mis.extract_element(&value, outside), Info::kSuccess);
+    EXPECT_EQ(value, 0) << "vertex " << outside;
+  }
+}
+
+TEST(Algorithm4Integration, MinColorHelperFindsSmallestUnusedColor) {
+  // Star with center 0; leaves 1..4. Colors so far (1-based): center
+  // uncolored, leaves colored 1, 2, 4, 2. Frontier = {0}. The helper must
+  // report min available color 3 (1, 2, 4 are taken by neighbors).
+  const graph::Csr csr = gcol::testing::star_graph(5);
+  const Matrix<Weight> a(csr);
+  Vector<std::int32_t> c(5);
+  c.adopt_dense({0, 1, 2, 4, 2});
+  Vector<Weight> frontier(5);
+  frontier.fill(0);
+  ASSERT_EQ(frontier.set_element(0, 1), Info::kSuccess);
+
+  // l.3: colored neighbors of the frontier (mask = C, value semantics).
+  Vector<Weight> nbr(5);
+  ASSERT_EQ(vxm(nbr, &c, boolean_semiring<Weight>(), frontier, a),
+            Info::kSuccess);
+  // l.5: map indicator to neighbor colors.
+  Vector<Weight> used(5);
+  ASSERT_EQ(eWiseMult(used, nullptr, Times{}, nbr, c), Info::kSuccess);
+  // l.7-9: scatter into the possible-colors array.
+  constexpr Index kPalette = 7;
+  Vector<Weight> palette(kPalette), ascending(kPalette), min_array(kPalette);
+  ASSERT_EQ(assign(palette, nullptr, Weight{0}), Info::kSuccess);
+  ASSERT_EQ(scatter(palette, nullptr, used, Weight{1}), Info::kSuccess);
+  Weight flag = 0;
+  ASSERT_EQ(palette.extract_element(&flag, 1), Info::kSuccess);
+  EXPECT_EQ(flag, 1);
+  ASSERT_EQ(palette.extract_element(&flag, 2), Info::kSuccess);
+  EXPECT_EQ(flag, 1);
+  ASSERT_EQ(palette.extract_element(&flag, 3), Info::kSuccess);
+  EXPECT_EQ(flag, 0);  // 3 unused
+  ASSERT_EQ(palette.extract_element(&flag, 4), Info::kSuccess);
+  EXPECT_EQ(flag, 1);
+
+  // l.11-14: compare against the ascending ramp and min-reduce.
+  ascending.fill(0);
+  ASSERT_EQ(apply_indexed(
+                ascending, nullptr,
+                [](Index i, Weight) { return static_cast<Weight>(i); },
+                ascending),
+            Info::kSuccess);
+  constexpr Weight kNoColor = std::numeric_limits<Weight>::max();
+  ASSERT_EQ(eWiseMult(
+                min_array, nullptr,
+                [](Weight used_flag, Weight index) {
+                  return used_flag == 0 ? index : kNoColor;
+                },
+                palette, ascending),
+            Info::kSuccess);
+  ASSERT_EQ(min_array.set_element(0, kNoColor), Info::kSuccess);
+  Weight min_color = 0;
+  ASSERT_EQ(reduce(&min_color, min_monoid<Weight>(), min_array),
+            Info::kSuccess);
+  EXPECT_EQ(min_color, 3);
+}
+
+}  // namespace
+}  // namespace gcol::grb

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "graphblas/grb.hpp"
+
+namespace gcol::grb {
+namespace {
+
+TEST(Assign, UnmaskedScalarDensifies) {
+  Vector<int> w(5);
+  EXPECT_EQ(assign(w, nullptr, 9), Info::kSuccess);
+  EXPECT_TRUE(w.is_dense());
+  for (Index i = 0; i < 5; ++i) {
+    int out = 0;
+    w.extract_element(&out, i);
+    EXPECT_EQ(out, 9);
+  }
+}
+
+TEST(Assign, ValueMaskWritesOnlyNonzeroPositions) {
+  Vector<int> w(4);
+  w.fill(0);
+  Vector<int> mask(4);
+  mask.fill(0);
+  mask.set_element(1, 1);
+  mask.set_element(3, 5);  // any nonzero counts
+  EXPECT_EQ(assign(w, &mask, 7), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[0], 0);
+  EXPECT_EQ(dv[1], 7);
+  EXPECT_EQ(dv[2], 0);
+  EXPECT_EQ(dv[3], 7);
+}
+
+TEST(Assign, SparseMaskStructureMode) {
+  Vector<int> w(4);
+  w.fill(0);
+  Vector<int> mask(4);
+  mask.set_element(2, 0);  // entry present with value 0
+  Descriptor desc;
+  desc.mask_structure = true;
+  EXPECT_EQ(assign(w, &mask, 7, desc), Info::kSuccess);
+  int out = 0;
+  w.extract_element(&out, 2);
+  EXPECT_EQ(out, 7);  // structure mode: presence is enough
+  w.extract_element(&out, 1);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(Assign, ValueMaskIgnoresZeroValuedEntries) {
+  Vector<int> w(4);
+  w.fill(1);
+  Vector<int> mask(4);
+  mask.set_element(2, 0);  // present but zero: not writable in value mode
+  EXPECT_EQ(assign(w, &mask, 7), Info::kSuccess);
+  int out = 0;
+  w.extract_element(&out, 2);
+  EXPECT_EQ(out, 1);
+}
+
+TEST(Assign, ComplementMask) {
+  Vector<int> w(4);
+  w.fill(0);
+  Vector<int> mask(4);
+  mask.fill(0);
+  mask.set_element(1, 1);
+  Descriptor desc;
+  desc.mask_complement = true;
+  EXPECT_EQ(assign(w, &mask, 7, desc), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[0], 7);
+  EXPECT_EQ(dv[1], 0);  // masked OUT by complement
+  EXPECT_EQ(dv[2], 7);
+}
+
+TEST(Assign, MaskedAssignOnSparseOutputMergesEntries) {
+  Vector<int> w(6);
+  w.set_element(0, 100);
+  Vector<int> mask(6);
+  mask.set_element(4, 1);
+  EXPECT_EQ(assign(w, &mask, 7), Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 2);
+  int out = 0;
+  EXPECT_EQ(w.extract_element(&out, 0), Info::kSuccess);
+  EXPECT_EQ(out, 100);  // untouched old entry survives
+  EXPECT_EQ(w.extract_element(&out, 4), Info::kSuccess);
+  EXPECT_EQ(out, 7);
+}
+
+TEST(Assign, ReplaceDropsUnwrittenEntries) {
+  Vector<int> w(6);
+  w.set_element(0, 100);
+  w.set_element(5, 500);
+  Vector<int> mask(6);
+  mask.set_element(4, 1);
+  Descriptor desc;
+  desc.replace = true;
+  EXPECT_EQ(assign(w, &mask, 7, desc), Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 1);
+  EXPECT_FALSE(w.has(0));
+  EXPECT_TRUE(w.has(4));
+}
+
+TEST(Assign, MaskDimensionMismatchRejected) {
+  Vector<int> w(4);
+  Vector<int> mask(5);
+  EXPECT_EQ(assign(w, &mask, 7), Info::kDimensionMismatch);
+}
+
+TEST(Apply, DenseUnaryFunction) {
+  Vector<int> u(4);
+  u.fill(3);
+  Vector<int> w(4);
+  EXPECT_EQ(apply(w, nullptr, [](int x) { return x * x; }, u),
+            Info::kSuccess);
+  const auto dv = w.dense_values();
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(dv[static_cast<std::size_t>(i)], 9);
+}
+
+TEST(Apply, SparseInputKeepsStructure) {
+  Vector<int> u(6);
+  u.set_element(2, 10);
+  u.set_element(5, 20);
+  Vector<int> w(6);
+  EXPECT_EQ(apply(w, nullptr, [](int x) { return x + 1; }, u),
+            Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 2);
+  int out = 0;
+  w.extract_element(&out, 2);
+  EXPECT_EQ(out, 11);
+  EXPECT_FALSE(w.has(0));
+}
+
+TEST(ApplyIndexed, ReceivesIndices) {
+  Vector<int> u(5);
+  u.fill(0);
+  Vector<int> w(5);
+  EXPECT_EQ(apply_indexed(
+                w, nullptr,
+                [](Index i, int) { return static_cast<int>(i * 10); }, u),
+            Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[3], 30);
+}
+
+TEST(Apply, InPlaceOnSelf) {
+  Vector<int> v(4);
+  v.fill(2);
+  EXPECT_EQ(apply(v, nullptr, [](int x) { return x * 5; }, v),
+            Info::kSuccess);
+  const auto dv = v.dense_values();
+  EXPECT_EQ(dv[0], 10);
+}
+
+TEST(Apply, DimensionMismatchRejected) {
+  Vector<int> u(4), w(5);
+  EXPECT_EQ(apply(w, nullptr, [](int x) { return x; }, u),
+            Info::kDimensionMismatch);
+}
+
+}  // namespace
+}  // namespace gcol::grb

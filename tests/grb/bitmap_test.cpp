@@ -1,0 +1,147 @@
+// Tests targeting the bitmap representation specifically: masked operations
+// install bitmap outputs (no compaction), and every op must read bitmap
+// inputs correctly.
+
+#include <gtest/gtest.h>
+
+#include "graphblas/grb.hpp"
+
+namespace gcol::grb {
+namespace {
+
+/// Produces a bitmap vector with entries at even positions via a masked op.
+Vector<int> make_bitmap(Index n) {
+  Vector<int> w(n);
+  Vector<int> mask(n);
+  mask.fill(0);
+  for (Index i = 0; i < n; i += 2) mask.set_element(i, 1);
+  Descriptor desc;
+  desc.replace = true;
+  EXPECT_EQ(assign(w, &mask, 7, desc), Info::kSuccess);
+  return w;
+}
+
+TEST(Bitmap, MaskedAssignInstallsBitmap) {
+  Vector<int> w = make_bitmap(10);
+  EXPECT_EQ(w.storage(), Storage::kBitmap);
+  EXPECT_EQ(w.nvals(), 5);
+  EXPECT_TRUE(w.has(0));
+  EXPECT_FALSE(w.has(1));
+  int out = 0;
+  EXPECT_EQ(w.extract_element(&out, 4), Info::kSuccess);
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(w.extract_element(&out, 5), Info::kNoValue);
+}
+
+TEST(Bitmap, SetElementUpdatesPresenceAndCount) {
+  Vector<int> w = make_bitmap(10);
+  EXPECT_EQ(w.set_element(1, 99), Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 6);
+  EXPECT_TRUE(w.has(1));
+  // Overwriting an existing entry must not change nvals.
+  EXPECT_EQ(w.set_element(0, 3), Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 6);
+}
+
+TEST(Bitmap, DensifyFillsMissing) {
+  Vector<int> w = make_bitmap(6);
+  w.densify(-1);
+  EXPECT_TRUE(w.is_dense());
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[0], 7);
+  EXPECT_EQ(dv[1], -1);
+  EXPECT_EQ(dv[5], -1);
+}
+
+TEST(Bitmap, ReduceSkipsMissingPositions) {
+  Vector<int> w = make_bitmap(10);  // five 7s
+  int total = 0;
+  EXPECT_EQ(reduce(&total, plus_monoid<int>(), w), Info::kSuccess);
+  EXPECT_EQ(total, 35);
+}
+
+TEST(Bitmap, EWiseAddUnionWithBitmapInput) {
+  Vector<int> a = make_bitmap(6);  // entries at 0,2,4 (value 7)
+  Vector<int> b(6);
+  b.set_element(1, 10);
+  b.set_element(2, 20);
+  Vector<int> w(6);
+  EXPECT_EQ(eWiseAdd(w, nullptr, Plus{}, a, b), Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 4);
+  int out = 0;
+  w.extract_element(&out, 0);
+  EXPECT_EQ(out, 7);
+  w.extract_element(&out, 1);
+  EXPECT_EQ(out, 10);
+  w.extract_element(&out, 2);
+  EXPECT_EQ(out, 27);
+  EXPECT_FALSE(w.has(3));
+}
+
+TEST(Bitmap, EWiseMultIntersectionWithBitmapInput) {
+  Vector<int> a = make_bitmap(6);
+  Vector<int> b(6);
+  b.fill(3);
+  Vector<int> w(6);
+  EXPECT_EQ(eWiseMult(w, nullptr, Times{}, a, b), Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 3);
+  int out = 0;
+  w.extract_element(&out, 2);
+  EXPECT_EQ(out, 21);
+}
+
+TEST(Bitmap, ApplyPreservesBitmapStructure) {
+  Vector<int> a = make_bitmap(8);
+  Vector<int> w(8);
+  EXPECT_EQ(apply(w, nullptr, [](int x) { return x * 2; }, a),
+            Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 4);
+  int out = 0;
+  w.extract_element(&out, 6);
+  EXPECT_EQ(out, 14);
+  EXPECT_FALSE(w.has(7));
+}
+
+TEST(Bitmap, UsableAsValueMask) {
+  Vector<int> mask = make_bitmap(6);  // nonzero at even positions
+  Vector<int> w(6);
+  w.fill(0);
+  EXPECT_EQ(assign(w, &mask, 9), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[0], 9);
+  EXPECT_EQ(dv[1], 0);
+  EXPECT_EQ(dv[2], 9);
+}
+
+TEST(Bitmap, ScatterReadsBitmapEntries) {
+  Vector<int> u = make_bitmap(6);  // value 7 at 0,2,4
+  Vector<int> w(10);
+  w.fill(0);
+  EXPECT_EQ(scatter(w, nullptr, u, 1), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[7], 1);  // all entries scatter to target 7
+  int written = 0;
+  for (const int x : dv) written += (x != 0);
+  EXPECT_EQ(written, 1);
+}
+
+TEST(Bitmap, ClearResetsToEmptySparse) {
+  Vector<int> w = make_bitmap(6);
+  w.clear();
+  EXPECT_EQ(w.storage(), Storage::kSparse);
+  EXPECT_EQ(w.nvals(), 0);
+}
+
+TEST(Bitmap, AdoptBitmapDirect) {
+  Vector<int> w(4);
+  w.adopt_bitmap({1, 2, 3, 4}, {1, 0, 0, 1}, 2);
+  EXPECT_EQ(w.nvals(), 2);
+  EXPECT_TRUE(w.has(0));
+  EXPECT_FALSE(w.has(2));
+  int out = 0;
+  EXPECT_EQ(w.extract_element(&out, 3), Info::kSuccess);
+  EXPECT_EQ(out, 4);
+}
+
+}  // namespace
+}  // namespace gcol::grb

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "graphblas/grb.hpp"
+
+namespace gcol::grb {
+namespace {
+
+TEST(EWiseAdd, DenseDenseAppliesOpEverywhere) {
+  Vector<int> u(4), v(4), w(4);
+  u.fill(3);
+  v.fill(4);
+  EXPECT_EQ(eWiseAdd(w, nullptr, Plus{}, u, v), Info::kSuccess);
+  const auto dv = w.dense_values();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dv[static_cast<std::size_t>(i)], 7);
+}
+
+TEST(EWiseAdd, UnionSemanticsCopySingleOperand) {
+  Vector<int> u(5), v(5), w(5);
+  u.set_element(0, 10);
+  u.set_element(2, 20);
+  v.set_element(2, 5);
+  v.set_element(4, 40);
+  EXPECT_EQ(eWiseAdd(w, nullptr, Plus{}, u, v), Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 3);
+  int out = 0;
+  w.extract_element(&out, 0);
+  EXPECT_EQ(out, 10);  // only u
+  w.extract_element(&out, 2);
+  EXPECT_EQ(out, 25);  // both -> op
+  w.extract_element(&out, 4);
+  EXPECT_EQ(out, 40);  // only v
+  EXPECT_FALSE(w.has(1));
+}
+
+TEST(EWiseAdd, GreaterProducesIndicator) {
+  Vector<int> u(3), v(3), w(3);
+  u.adopt_dense({5, 2, 7});
+  v.adopt_dense({3, 9, 7});
+  EXPECT_EQ(eWiseAdd(w, nullptr, Greater{}, u, v), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[0], 1);
+  EXPECT_EQ(dv[1], 0);
+  EXPECT_EQ(dv[2], 0);  // strict comparison
+}
+
+TEST(EWiseMult, IntersectionSemantics) {
+  Vector<int> u(5), v(5), w(5);
+  u.set_element(0, 10);
+  u.set_element(2, 20);
+  v.set_element(2, 5);
+  v.set_element(4, 40);
+  EXPECT_EQ(eWiseMult(w, nullptr, Times{}, u, v), Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 1);
+  int out = 0;
+  w.extract_element(&out, 2);
+  EXPECT_EQ(out, 100);
+}
+
+TEST(EWiseMult, DenseDense) {
+  Vector<int> u(3), v(3), w(3);
+  u.adopt_dense({1, 2, 3});
+  v.adopt_dense({4, 5, 6});
+  EXPECT_EQ(eWiseMult(w, nullptr, Times{}, u, v), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[0], 4);
+  EXPECT_EQ(dv[1], 10);
+  EXPECT_EQ(dv[2], 18);
+}
+
+TEST(EWiseAdd, MaskFiltersOutput) {
+  Vector<int> u(4), v(4), w(4), mask(4);
+  u.fill(1);
+  v.fill(1);
+  w.fill(-1);
+  mask.adopt_dense({0, 1, 0, 1});
+  EXPECT_EQ(eWiseAdd(w, &mask, Plus{}, u, v), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[0], -1);  // mask 0: old value kept
+  EXPECT_EQ(dv[1], 2);
+  EXPECT_EQ(dv[2], -1);
+  EXPECT_EQ(dv[3], 2);
+}
+
+TEST(EWiseMult, MixedValueTypesCastToOutput) {
+  Vector<std::int64_t> u(3);
+  Vector<std::int32_t> v(3);
+  Vector<std::int64_t> w(3);
+  u.adopt_dense({1LL << 40, 2, 3});
+  v.adopt_dense({2, 3, 4});
+  EXPECT_EQ(eWiseMult(w, nullptr, Times{}, u, v), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[0], 1LL << 41);
+}
+
+TEST(EWiseAdd, DimensionMismatchRejected) {
+  Vector<int> u(3), v(4), w(3);
+  EXPECT_EQ(eWiseAdd(w, nullptr, Plus{}, u, v), Info::kDimensionMismatch);
+}
+
+TEST(EWiseAdd, EmptyInputsGiveEmptyOutput) {
+  Vector<int> u(5), v(5), w(5);
+  w.set_element(1, 99);
+  Descriptor desc;
+  desc.replace = true;
+  EXPECT_EQ(eWiseAdd(w, nullptr, Plus{}, u, v, desc), Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 0);
+}
+
+TEST(Operators, MonoidIdentities) {
+  EXPECT_EQ(plus_monoid<int>().identity, 0);
+  EXPECT_EQ(max_monoid<int>().identity, std::numeric_limits<int>::lowest());
+  EXPECT_EQ(min_monoid<int>().identity, std::numeric_limits<int>::max());
+  EXPECT_EQ(lor_monoid<int>().identity, 0);
+}
+
+TEST(Operators, SemiringComponents) {
+  const auto s = max_times_semiring<int>();
+  EXPECT_EQ(s.add(3, 5), 5);
+  EXPECT_EQ(s.mul(3, 5), 15);
+  const auto b = boolean_semiring<int>();
+  EXPECT_EQ(b.add(0, 1), 1);
+  EXPECT_EQ(b.mul(2, 0), 0);
+  EXPECT_EQ(b.mul(2, 3), 1);
+}
+
+}  // namespace
+}  // namespace gcol::grb

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "graphblas/grb.hpp"
+
+namespace gcol::grb {
+namespace {
+
+TEST(Reduce, SumOverDense) {
+  Vector<int> u(100);
+  u.fill(3);
+  int total = 0;
+  EXPECT_EQ(reduce(&total, plus_monoid<int>(), u), Info::kSuccess);
+  EXPECT_EQ(total, 300);
+}
+
+TEST(Reduce, SumOverSparseSkipsMissing) {
+  Vector<int> u(100);
+  u.set_element(3, 10);
+  u.set_element(50, 20);
+  int total = 0;
+  EXPECT_EQ(reduce(&total, plus_monoid<int>(), u), Info::kSuccess);
+  EXPECT_EQ(total, 30);
+}
+
+TEST(Reduce, EmptyVectorGivesIdentity) {
+  Vector<int> u(10);
+  int total = -1;
+  EXPECT_EQ(reduce(&total, plus_monoid<int>(), u), Info::kSuccess);
+  EXPECT_EQ(total, 0);
+  int max_value = 0;
+  EXPECT_EQ(reduce(&max_value, max_monoid<int>(), u), Info::kSuccess);
+  EXPECT_EQ(max_value, std::numeric_limits<int>::lowest());
+}
+
+TEST(Reduce, MinAndMaxMonoids) {
+  Vector<int> u(5);
+  u.adopt_dense({4, -2, 9, 0, 7});
+  int lo = 0, hi = 0;
+  EXPECT_EQ(reduce(&lo, min_monoid<int>(), u), Info::kSuccess);
+  EXPECT_EQ(reduce(&hi, max_monoid<int>(), u), Info::kSuccess);
+  EXPECT_EQ(lo, -2);
+  EXPECT_EQ(hi, 9);
+}
+
+TEST(Reduce, LorMonoidDetectsAnyNonzero) {
+  Vector<int> u(5);
+  u.fill(0);
+  int any = -1;
+  EXPECT_EQ(reduce(&any, lor_monoid<int>(), u), Info::kSuccess);
+  EXPECT_EQ(any, 0);
+  u.set_element(3, 42);
+  EXPECT_EQ(reduce(&any, lor_monoid<int>(), u), Info::kSuccess);
+  EXPECT_EQ(any, 1);
+}
+
+TEST(Reduce, NullOutputRejected) {
+  Vector<int> u(5);
+  EXPECT_EQ(reduce(static_cast<int*>(nullptr), plus_monoid<int>(), u),
+            Info::kInvalidValue);
+}
+
+TEST(Reduce, CrossTypeCast) {
+  Vector<std::int64_t> u(3);
+  u.adopt_dense({1LL << 33, 1, 1});
+  std::int64_t total = 0;
+  EXPECT_EQ(reduce(&total, plus_monoid<std::int64_t>(), u), Info::kSuccess);
+  EXPECT_EQ(total, (1LL << 33) + 2);
+}
+
+TEST(Scatter, WritesValueAtTargets) {
+  Vector<int> w(10);
+  w.fill(0);
+  Vector<int> u(4);
+  u.adopt_dense({2, 5, 5, 9});  // values are TARGET indices
+  EXPECT_EQ(scatter(w, nullptr, u, 1), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[2], 1);
+  EXPECT_EQ(dv[5], 1);  // duplicate targets benign
+  EXPECT_EQ(dv[9], 1);
+  EXPECT_EQ(dv[0], 0);
+}
+
+TEST(Scatter, SparseInputScattersStoredEntriesOnly) {
+  Vector<int> w(10);
+  w.fill(0);
+  Vector<int> u(4);
+  u.set_element(1, 7);
+  EXPECT_EQ(scatter(w, nullptr, u, 3), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[7], 3);
+  int written = 0;
+  for (const int x : dv) written += (x != 0);
+  EXPECT_EQ(written, 1);
+}
+
+TEST(Scatter, OutOfRangeTargetsSkipped) {
+  Vector<int> w(4);
+  w.fill(0);
+  Vector<int> u(3);
+  u.adopt_dense({-1, 99, 2});
+  EXPECT_EQ(scatter(w, nullptr, u, 1), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[2], 1);
+  EXPECT_EQ(dv[0] + dv[1] + dv[3], 0);
+}
+
+TEST(Scatter, MaskFiltersSourcePositions) {
+  Vector<int> w(10);
+  w.fill(0);
+  Vector<int> u(3);
+  u.adopt_dense({4, 5, 6});
+  Vector<int> mask(3);
+  mask.adopt_dense({1, 0, 1});
+  EXPECT_EQ(scatter(w, &mask, u, 1), Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[4], 1);
+  EXPECT_EQ(dv[5], 0);  // source position 1 masked out
+  EXPECT_EQ(dv[6], 1);
+}
+
+TEST(Scatter, RequiresDenseOutput) {
+  Vector<int> w(4);  // sparse (empty)
+  Vector<int> u(2);
+  u.fill(1);
+  EXPECT_EQ(scatter(w, nullptr, u, 1), Info::kInvalidValue);
+}
+
+}  // namespace
+}  // namespace gcol::grb

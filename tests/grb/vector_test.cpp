@@ -1,0 +1,151 @@
+#include "graphblas/vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gcol::grb {
+namespace {
+
+TEST(Vector, FreshVectorIsEmptySparse) {
+  Vector<int> v(10);
+  EXPECT_EQ(v.size(), 10);
+  EXPECT_EQ(v.nvals(), 0);
+  EXPECT_FALSE(v.is_dense());
+  EXPECT_FALSE(v.has(3));
+}
+
+TEST(Vector, FillMakesDense) {
+  Vector<int> v(5);
+  v.fill(7);
+  EXPECT_TRUE(v.is_dense());
+  EXPECT_EQ(v.nvals(), 5);
+  int out = 0;
+  EXPECT_EQ(v.extract_element(&out, 4), Info::kSuccess);
+  EXPECT_EQ(out, 7);
+}
+
+TEST(Vector, SetAndExtractSparse) {
+  Vector<int> v(10);
+  EXPECT_EQ(v.set_element(3, 30), Info::kSuccess);
+  EXPECT_EQ(v.set_element(7, 70), Info::kSuccess);
+  EXPECT_EQ(v.set_element(1, 10), Info::kSuccess);  // out-of-order insert
+  EXPECT_EQ(v.nvals(), 3);
+  int out = 0;
+  EXPECT_EQ(v.extract_element(&out, 3), Info::kSuccess);
+  EXPECT_EQ(out, 30);
+  EXPECT_EQ(v.extract_element(&out, 1), Info::kSuccess);
+  EXPECT_EQ(out, 10);
+  EXPECT_EQ(v.extract_element(&out, 2), Info::kNoValue);
+}
+
+TEST(Vector, SetOverwritesExisting) {
+  Vector<int> v(4);
+  v.set_element(2, 1);
+  v.set_element(2, 9);
+  EXPECT_EQ(v.nvals(), 1);
+  int out = 0;
+  v.extract_element(&out, 2);
+  EXPECT_EQ(out, 9);
+}
+
+TEST(Vector, BoundsChecking) {
+  Vector<int> v(4);
+  EXPECT_EQ(v.set_element(-1, 0), Info::kIndexOutOfBounds);
+  EXPECT_EQ(v.set_element(4, 0), Info::kIndexOutOfBounds);
+  int out = 0;
+  EXPECT_EQ(v.extract_element(&out, 4), Info::kIndexOutOfBounds);
+}
+
+TEST(Vector, ClearRemovesEverything) {
+  Vector<int> v(4);
+  v.fill(1);
+  v.clear();
+  EXPECT_EQ(v.nvals(), 0);
+  EXPECT_FALSE(v.is_dense());
+  EXPECT_FALSE(v.has(0));
+}
+
+TEST(Vector, BuildSortsIndices) {
+  Vector<int> v(10);
+  const std::vector<Index> indices = {7, 2, 5};
+  const std::vector<int> values = {70, 20, 50};
+  EXPECT_EQ(v.build(indices, values), Info::kSuccess);
+  EXPECT_EQ(v.nvals(), 3);
+  const auto si = v.sparse_indices();
+  EXPECT_EQ(si[0], 2);
+  EXPECT_EQ(si[1], 5);
+  EXPECT_EQ(si[2], 7);
+  int out = 0;
+  v.extract_element(&out, 5);
+  EXPECT_EQ(out, 50);
+}
+
+TEST(Vector, BuildRejectsDuplicates) {
+  Vector<int> v(10);
+  const std::vector<Index> indices = {1, 1};
+  const std::vector<int> values = {1, 2};
+  EXPECT_EQ(v.build(indices, values), Info::kInvalidValue);
+}
+
+TEST(Vector, BuildRejectsMismatchedLengths) {
+  Vector<int> v(10);
+  const std::vector<Index> indices = {1};
+  const std::vector<int> values = {1, 2};
+  EXPECT_EQ(v.build(indices, values), Info::kDimensionMismatch);
+}
+
+TEST(Vector, BuildRejectsOutOfRange) {
+  Vector<int> v(3);
+  const std::vector<Index> indices = {5};
+  const std::vector<int> values = {1};
+  EXPECT_EQ(v.build(indices, values), Info::kIndexOutOfBounds);
+}
+
+TEST(Vector, DensifyFillsMissing) {
+  Vector<int> v(5);
+  v.set_element(1, 11);
+  v.set_element(3, 33);
+  v.densify(-1);
+  EXPECT_TRUE(v.is_dense());
+  const auto dv = v.dense_values();
+  EXPECT_EQ(dv[0], -1);
+  EXPECT_EQ(dv[1], 11);
+  EXPECT_EQ(dv[2], -1);
+  EXPECT_EQ(dv[3], 33);
+}
+
+TEST(Vector, AdoptSparseInstallsRepresentation) {
+  Vector<int> v(10);
+  v.adopt_sparse({1, 4, 9}, {10, 40, 90});
+  EXPECT_EQ(v.nvals(), 3);
+  EXPECT_TRUE(v.has(4));
+  EXPECT_FALSE(v.has(5));
+}
+
+TEST(Vector, AdoptDenseInstallsRepresentation) {
+  Vector<int> v(3);
+  v.adopt_dense({5, 6, 7});
+  EXPECT_TRUE(v.is_dense());
+  int out = 0;
+  v.extract_element(&out, 2);
+  EXPECT_EQ(out, 7);
+}
+
+TEST(Vector, ZeroSizeVector) {
+  Vector<int> v(0);
+  EXPECT_EQ(v.size(), 0);
+  v.fill(1);
+  EXPECT_EQ(v.nvals(), 0);
+}
+
+TEST(Vector, AppendFastPathKeepsSortedOrder) {
+  Vector<int> v(100);
+  for (Index i = 0; i < 100; i += 2) v.set_element(i, static_cast<int>(i));
+  EXPECT_EQ(v.nvals(), 50);
+  const auto si = v.sparse_indices();
+  for (std::size_t k = 1; k < si.size(); ++k) EXPECT_LT(si[k - 1], si[k]);
+}
+
+}  // namespace
+}  // namespace gcol::grb

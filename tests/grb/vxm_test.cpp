@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "../testing/fixtures.hpp"
+#include "graph/generators/erdos_renyi.hpp"
+#include "graphblas/grb.hpp"
+
+namespace gcol::grb {
+namespace {
+
+using gcol::graph::Csr;
+
+/// Serial reference: w[j] = add over neighbors i of mul(u[i], 1), entries
+/// only where at least one stored u entry contributes.
+template <typename AddMonoid, typename MulOp>
+void reference_vxm(const Csr& csr, const Vector<std::int64_t>& u,
+                   Semiring<AddMonoid, MulOp> s,
+                   std::vector<std::int64_t>& out_values,
+                   std::vector<bool>& out_present) {
+  const auto n = static_cast<std::size_t>(csr.num_vertices);
+  out_values.assign(n, s.add.identity);
+  out_present.assign(n, false);
+  for (vid_t j = 0; j < csr.num_vertices; ++j) {
+    for (const vid_t i : csr.neighbors(j)) {
+      std::int64_t value = 0;
+      if (u.extract_element(&value, i) != Info::kSuccess) continue;
+      out_values[static_cast<std::size_t>(j)] =
+          s.add(out_values[static_cast<std::size_t>(j)],
+                s.mul(value, std::int64_t{1}));
+      out_present[static_cast<std::size_t>(j)] = true;
+    }
+  }
+}
+
+void expect_matches_reference(const Csr& csr, const Vector<std::int64_t>& u,
+                              VxmMode mode) {
+  const Matrix<std::int64_t> a(csr);
+  Vector<std::int64_t> w(csr.num_vertices);
+  Descriptor desc;
+  desc.vxm_mode = mode;
+  ASSERT_EQ(vxm(w, nullptr, max_times_semiring<std::int64_t>(), u, a, desc),
+            Info::kSuccess);
+
+  std::vector<std::int64_t> expected_values;
+  std::vector<bool> expected_present;
+  reference_vxm(csr, u, max_times_semiring<std::int64_t>(), expected_values,
+                expected_present);
+  for (vid_t j = 0; j < csr.num_vertices; ++j) {
+    std::int64_t value = 0;
+    const bool present = w.extract_element(&value, j) == Info::kSuccess;
+    EXPECT_EQ(present, static_cast<bool>(expected_present[
+                           static_cast<std::size_t>(j)]))
+        << "presence mismatch at " << j;
+    if (present && expected_present[static_cast<std::size_t>(j)]) {
+      EXPECT_EQ(value, expected_values[static_cast<std::size_t>(j)])
+          << "value mismatch at " << j;
+    }
+  }
+}
+
+TEST(Vxm, PullMatchesReferenceOnDenseInput) {
+  const Csr csr = gcol::testing::petersen_graph();
+  Vector<std::int64_t> u(csr.num_vertices);
+  u.adopt_dense({5, 3, 8, 1, 9, 2, 7, 6, 4, 10});
+  expect_matches_reference(csr, u, VxmMode::kPull);
+}
+
+TEST(Vxm, PushAndPullAgreeOnSparseInput) {
+  const Csr csr = gcol::testing::cycle_graph(12);
+  Vector<std::int64_t> u(csr.num_vertices);
+  u.set_element(0, 100);
+  u.set_element(6, 50);
+  expect_matches_reference(csr, u, VxmMode::kPull);
+  expect_matches_reference(csr, u, VxmMode::kPush);
+}
+
+TEST(Vxm, PushPullAgreeOnRandomGraph) {
+  const Csr csr = gcol::graph::build_csr(
+      gcol::graph::generate_erdos_renyi(300, 1200, 77));
+  Vector<std::int64_t> u(csr.num_vertices);
+  for (Index i = 0; i < csr.num_vertices; i += 3) {
+    u.set_element(i, (i * 37) % 1000 + 1);
+  }
+  expect_matches_reference(csr, u, VxmMode::kPull);
+  expect_matches_reference(csr, u, VxmMode::kPush);
+
+  // Auto mode must agree with both.
+  const Matrix<std::int64_t> a(csr);
+  Vector<std::int64_t> w_auto(csr.num_vertices), w_pull(csr.num_vertices);
+  Descriptor pull;
+  pull.vxm_mode = VxmMode::kPull;
+  ASSERT_EQ(vxm(w_auto, nullptr, max_times_semiring<std::int64_t>(), u, a),
+            Info::kSuccess);
+  ASSERT_EQ(
+      vxm(w_pull, nullptr, max_times_semiring<std::int64_t>(), u, a, pull),
+      Info::kSuccess);
+  for (vid_t j = 0; j < csr.num_vertices; ++j) {
+    std::int64_t va = -1, vp = -1;
+    const bool ha = w_auto.extract_element(&va, j) == Info::kSuccess;
+    const bool hp = w_pull.extract_element(&vp, j) == Info::kSuccess;
+    EXPECT_EQ(ha, hp);
+    if (ha && hp) {
+      EXPECT_EQ(va, vp);
+    }
+  }
+}
+
+TEST(Vxm, MaskRestrictsComputedOutputs) {
+  const Csr csr = gcol::testing::clique_graph(5);
+  const Matrix<std::int64_t> a(csr);
+  Vector<std::int64_t> u(5);
+  u.adopt_dense({1, 2, 3, 4, 5});
+  Vector<std::int64_t> mask(5);
+  mask.adopt_dense({1, 0, 1, 0, 0});
+  Vector<std::int64_t> w(5);
+  ASSERT_EQ(vxm(w, &mask, max_times_semiring<std::int64_t>(), u, a),
+            Info::kSuccess);
+  std::int64_t out = 0;
+  EXPECT_EQ(w.extract_element(&out, 0), Info::kSuccess);
+  EXPECT_EQ(out, 5);  // max of neighbors {2,3,4,5}
+  EXPECT_EQ(w.extract_element(&out, 2), Info::kSuccess);
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(w.extract_element(&out, 1), Info::kNoValue);  // masked out
+}
+
+TEST(Vxm, BooleanSemiringGivesReachabilityIndicator) {
+  const Csr csr = gcol::testing::path_graph(5);
+  const Matrix<std::int64_t> a(csr);
+  Vector<std::int64_t> frontier(5);
+  frontier.set_element(2, 1);
+  Vector<std::int64_t> w(5);
+  ASSERT_EQ(vxm(w, nullptr, boolean_semiring<std::int64_t>(), frontier, a),
+            Info::kSuccess);
+  std::int64_t out = 0;
+  EXPECT_EQ(w.extract_element(&out, 1), Info::kSuccess);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(w.extract_element(&out, 3), Info::kSuccess);
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(w.has(0));
+  EXPECT_FALSE(w.has(2));  // no self loop
+}
+
+TEST(Vxm, IsolatedVerticesProduceNoEntry) {
+  const Csr csr = gcol::testing::empty_graph(4);
+  const Matrix<std::int64_t> a(csr);
+  Vector<std::int64_t> u(4);
+  u.fill(9);
+  Vector<std::int64_t> w(4);
+  ASSERT_EQ(vxm(w, nullptr, max_times_semiring<std::int64_t>(), u, a),
+            Info::kSuccess);
+  EXPECT_EQ(w.nvals(), 0);
+}
+
+TEST(Vxm, DimensionMismatchRejected) {
+  const Csr csr = gcol::testing::path_graph(4);
+  const Matrix<std::int64_t> a(csr);
+  Vector<std::int64_t> u(5), w(4);
+  EXPECT_EQ(vxm(w, nullptr, max_times_semiring<std::int64_t>(), u, a),
+            Info::kDimensionMismatch);
+}
+
+TEST(Vxm, ReplaceDropsStaleEntries) {
+  const Csr csr = gcol::testing::path_graph(4);
+  const Matrix<std::int64_t> a(csr);
+  Vector<std::int64_t> u(4);
+  u.adopt_dense({1, 2, 3, 4});
+  Vector<std::int64_t> w(4);
+  w.fill(-99);
+  Vector<std::int64_t> mask(4);
+  mask.adopt_dense({1, 1, 0, 0});
+  Descriptor desc;
+  desc.replace = true;
+  ASSERT_EQ(vxm(w, &mask, max_times_semiring<std::int64_t>(), u, a, desc),
+            Info::kSuccess);
+  // Only masked positions survive; the old -99 entries are gone.
+  EXPECT_EQ(w.nvals(), 2);
+  std::int64_t out = 0;
+  EXPECT_EQ(w.extract_element(&out, 0), Info::kSuccess);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(w.extract_element(&out, 1), Info::kSuccess);
+  EXPECT_EQ(out, 3);  // max(1, 3)
+  EXPECT_FALSE(w.has(2));
+  EXPECT_FALSE(w.has(3));
+}
+
+TEST(Vxm, ComplementMaskComputesOnlyUnsetPositions) {
+  const Csr csr = gcol::testing::cycle_graph(4);
+  const Matrix<std::int64_t> a(csr);
+  Vector<std::int64_t> u(4);
+  u.adopt_dense({10, 20, 30, 40});
+  Vector<std::int64_t> w(4);
+  w.fill(0);
+  Vector<std::int64_t> mask(4);
+  mask.adopt_dense({1, 0, 1, 0});
+  Descriptor desc;
+  desc.mask_complement = true;
+  ASSERT_EQ(vxm(w, &mask, max_times_semiring<std::int64_t>(), u, a, desc),
+            Info::kSuccess);
+  const auto dv = w.dense_values();
+  EXPECT_EQ(dv[0], 0);   // masked out by complement
+  EXPECT_EQ(dv[1], 30);  // max of neighbors {0, 2} -> max(10, 30)
+  EXPECT_EQ(dv[2], 0);
+  EXPECT_EQ(dv[3], 30);  // neighbors {2, 0}
+}
+
+TEST(Vxm, StructureMaskIgnoresValues) {
+  const Csr csr = gcol::testing::path_graph(3);
+  const Matrix<std::int64_t> a(csr);
+  Vector<std::int64_t> u(3);
+  u.adopt_dense({5, 6, 7});
+  Vector<std::int64_t> w(3);
+  Vector<std::int64_t> mask(3);
+  mask.set_element(1, 0);  // present but ZERO-valued entry
+  Descriptor desc;
+  desc.mask_structure = true;
+  ASSERT_EQ(vxm(w, &mask, max_times_semiring<std::int64_t>(), u, a, desc),
+            Info::kSuccess);
+  std::int64_t out = 0;
+  EXPECT_EQ(w.extract_element(&out, 1), Info::kSuccess);  // structure allows
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(w.has(0));
+}
+
+TEST(Mxv, AgreesWithVxmOnSymmetricMatrix) {
+  const Csr csr = gcol::testing::petersen_graph();
+  const Matrix<std::int64_t> a(csr);
+  Vector<std::int64_t> u(csr.num_vertices);
+  u.adopt_dense({5, 3, 8, 1, 9, 2, 7, 6, 4, 10});
+  Vector<std::int64_t> via_vxm(csr.num_vertices), via_mxv(csr.num_vertices);
+  ASSERT_EQ(vxm(via_vxm, nullptr, max_times_semiring<std::int64_t>(), u, a),
+            Info::kSuccess);
+  ASSERT_EQ(mxv(via_mxv, nullptr, max_times_semiring<std::int64_t>(), a, u),
+            Info::kSuccess);
+  for (vid_t j = 0; j < csr.num_vertices; ++j) {
+    std::int64_t x = -1, y = -2;
+    EXPECT_EQ(via_vxm.extract_element(&x, j),
+              via_mxv.extract_element(&y, j));
+    EXPECT_EQ(x, y);
+  }
+}
+
+TEST(Matrix, WrapsCsrPattern) {
+  const Csr csr = gcol::testing::cycle_graph(6);
+  const Matrix<int> a(csr);
+  EXPECT_EQ(a.nrows(), 6);
+  EXPECT_EQ(a.nvals(), 12);
+  EXPECT_TRUE(a.is_pattern());
+  EXPECT_EQ(a.value_at(0), 1);
+}
+
+TEST(Matrix, ExplicitValues) {
+  const Csr csr = gcol::testing::path_graph(3);
+  std::vector<int> values(static_cast<std::size_t>(csr.num_edges()), 7);
+  const Matrix<int> a(csr, std::move(values));
+  EXPECT_FALSE(a.is_pattern());
+  EXPECT_EQ(a.value_at(1), 7);
+}
+
+}  // namespace
+}  // namespace gcol::grb

@@ -1,0 +1,57 @@
+#include "gunrock/enactor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcol::gr {
+namespace {
+
+TEST(Enactor, StopsWhenBodyReturnsFalse) {
+  sim::Device device(2);
+  Enactor enactor(device);
+  const EnactorStats stats =
+      enactor.enact([](std::int32_t iteration) { return iteration < 4; });
+  EXPECT_EQ(stats.iterations, 5);  // 0..4 inclusive; 4 returns false
+  EXPECT_FALSE(stats.hit_iteration_cap);
+}
+
+TEST(Enactor, SingleIteration) {
+  sim::Device device(1);
+  Enactor enactor(device);
+  const EnactorStats stats = enactor.enact([](std::int32_t) { return false; });
+  EXPECT_EQ(stats.iterations, 1);
+}
+
+TEST(Enactor, IterationCapTriggers) {
+  sim::Device device(1);
+  Enactor enactor(device, 10);
+  const EnactorStats stats = enactor.enact([](std::int32_t) { return true; });
+  EXPECT_EQ(stats.iterations, 10);
+  EXPECT_TRUE(stats.hit_iteration_cap);
+}
+
+TEST(Enactor, CountsKernelLaunchesInsideBody) {
+  sim::Device device(2);
+  Enactor enactor(device);
+  const EnactorStats stats = enactor.enact([&](std::int32_t iteration) {
+    device.parallel_for(8, [](std::int64_t) {});
+    device.parallel_for(8, [](std::int64_t) {});
+    return iteration < 2;
+  });
+  EXPECT_EQ(stats.iterations, 3);
+  EXPECT_EQ(stats.kernel_launches, 6u);
+}
+
+TEST(Enactor, BodyReceivesAscendingIterationNumbers) {
+  sim::Device device(1);
+  Enactor enactor(device);
+  std::int32_t last = -1;
+  enactor.enact([&](std::int32_t iteration) {
+    EXPECT_EQ(iteration, last + 1);
+    last = iteration;
+    return iteration < 7;
+  });
+  EXPECT_EQ(last, 7);
+}
+
+}  // namespace
+}  // namespace gcol::gr

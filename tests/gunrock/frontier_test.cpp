@@ -1,0 +1,55 @@
+#include "gunrock/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcol::gr {
+namespace {
+
+TEST(Frontier, AllIsImplicit) {
+  const Frontier f = Frontier::all(100);
+  EXPECT_TRUE(f.is_all());
+  EXPECT_EQ(f.size(), 100);
+  EXPECT_FALSE(f.is_empty());
+  EXPECT_EQ(f.vertex(0), 0);
+  EXPECT_EQ(f.vertex(99), 99);
+}
+
+TEST(Frontier, ExplicitList) {
+  const Frontier f = Frontier::of({5, 2, 9}, 10);
+  EXPECT_FALSE(f.is_all());
+  EXPECT_EQ(f.size(), 3);
+  EXPECT_EQ(f.vertex(0), 5);
+  EXPECT_EQ(f.vertex(2), 9);
+  EXPECT_EQ(f.num_vertices(), 10);
+}
+
+TEST(Frontier, EmptyFrontier) {
+  const Frontier f = Frontier::empty(10);
+  EXPECT_TRUE(f.is_empty());
+  EXPECT_EQ(f.size(), 0);
+}
+
+TEST(Frontier, AllOfZeroVerticesIsEmpty) {
+  const Frontier f = Frontier::all(0);
+  EXPECT_TRUE(f.is_empty());
+}
+
+TEST(Frontier, ToVectorMaterializesImplicit) {
+  const Frontier f = Frontier::all(5);
+  const auto v = f.to_vector();
+  ASSERT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(v[i], static_cast<vid_t>(i));
+  }
+}
+
+TEST(Frontier, ToVectorReturnsExplicitCopy) {
+  const Frontier f = Frontier::of({3, 1}, 4);
+  const auto v = f.to_vector();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 3);
+  EXPECT_EQ(v[1], 1);
+}
+
+}  // namespace
+}  // namespace gcol::gr

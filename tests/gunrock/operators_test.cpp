@@ -1,0 +1,143 @@
+#include "gunrock/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "../testing/fixtures.hpp"
+
+namespace gcol::gr {
+namespace {
+
+using gcol::testing::cycle_graph;
+using gcol::testing::path_graph;
+using gcol::testing::star_graph;
+
+class OperatorsTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  sim::Device device{GetParam()};
+};
+
+TEST_P(OperatorsTest, ComputeVisitsEveryFrontierVertexOnce) {
+  std::vector<std::atomic<int>> hits(50);
+  compute(device, Frontier::all(50),
+          [&](vid_t v) { hits[static_cast<std::size_t>(v)].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST_P(OperatorsTest, ComputeOnExplicitFrontier) {
+  std::vector<std::atomic<int>> hits(10);
+  compute(device, Frontier::of({1, 3, 5}, 10),
+          [&](vid_t v) { hits[static_cast<std::size_t>(v)].fetch_add(1); });
+  EXPECT_EQ(hits[1].load(), 1);
+  EXPECT_EQ(hits[3].load(), 1);
+  EXPECT_EQ(hits[5].load(), 1);
+  EXPECT_EQ(hits[0].load(), 0);
+}
+
+TEST_P(OperatorsTest, FilterKeepsMatchingInOrder) {
+  const Frontier f = filter(device, Frontier::all(20),
+                            [](vid_t v) { return v % 4 == 0; });
+  ASSERT_EQ(f.size(), 5);
+  for (std::int64_t i = 0; i < f.size(); ++i) {
+    EXPECT_EQ(f.vertex(i), static_cast<vid_t>(4 * i));
+  }
+  EXPECT_EQ(f.num_vertices(), 20);
+}
+
+TEST_P(OperatorsTest, FilterOfNothing) {
+  const Frontier f =
+      filter(device, Frontier::all(10), [](vid_t) { return false; });
+  EXPECT_TRUE(f.is_empty());
+}
+
+TEST_P(OperatorsTest, AdvanceOnStarFromCenter) {
+  const auto csr = star_graph(6);
+  const AdvanceResult result =
+      advance(device, csr, Frontier::of({0}, csr.num_vertices));
+  ASSERT_EQ(result.num_segments(), 1);
+  EXPECT_EQ(result.segment_offsets[0], 0);
+  EXPECT_EQ(result.segment_offsets[1], 5);
+  std::vector<vid_t> sorted(result.neighbors);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<vid_t>{1, 2, 3, 4, 5}));
+}
+
+TEST_P(OperatorsTest, AdvanceSegmentsMatchDegrees) {
+  const auto csr = path_graph(6);
+  const AdvanceResult result =
+      advance(device, csr, Frontier::all(csr.num_vertices));
+  ASSERT_EQ(result.num_segments(), 6);
+  for (vid_t v = 0; v < 6; ++v) {
+    const auto begin = result.segment_offsets[static_cast<std::size_t>(v)];
+    const auto end = result.segment_offsets[static_cast<std::size_t>(v) + 1];
+    EXPECT_EQ(end - begin, csr.degree(v));
+    // Segment contents equal the adjacency list (order preserved).
+    const auto adj = csr.neighbors(v);
+    for (eid_t k = begin; k < end; ++k) {
+      EXPECT_EQ(result.neighbors[static_cast<std::size_t>(k)],
+                adj[static_cast<std::size_t>(k - begin)]);
+    }
+  }
+}
+
+TEST_P(OperatorsTest, AdvanceEmptyFrontier) {
+  const auto csr = path_graph(6);
+  const AdvanceResult result =
+      advance(device, csr, Frontier::empty(csr.num_vertices));
+  EXPECT_EQ(result.num_segments(), 0);
+  EXPECT_TRUE(result.neighbors.empty());
+}
+
+TEST_P(OperatorsTest, NeighborReduceMaxMatchesSerial) {
+  const auto csr = cycle_graph(10);
+  std::vector<std::int32_t> weight(10);
+  for (int i = 0; i < 10; ++i) weight[static_cast<std::size_t>(i)] = (i * 7) % 10;
+  std::vector<std::int32_t> out(10);
+  neighbor_reduce<std::int32_t>(
+      device, csr, Frontier::all(10),
+      [&](vid_t, vid_t u) { return weight[static_cast<std::size_t>(u)]; },
+      [](std::int32_t a, std::int32_t b) { return b > a ? b : a; },
+      std::int32_t{-1}, out);
+  for (vid_t v = 0; v < 10; ++v) {
+    std::int32_t expected = -1;
+    for (const vid_t u : csr.neighbors(v)) {
+      expected = std::max(expected, weight[static_cast<std::size_t>(u)]);
+    }
+    EXPECT_EQ(out[static_cast<std::size_t>(v)], expected) << "vertex " << v;
+  }
+}
+
+TEST_P(OperatorsTest, NeighborReduceIdentityForIsolatedVertices) {
+  const auto csr = gcol::testing::disconnected_graph();  // has isolated 6, 7
+  std::vector<std::int32_t> out(static_cast<std::size_t>(csr.num_vertices));
+  neighbor_reduce<std::int32_t>(
+      device, csr, Frontier::all(csr.num_vertices),
+      [](vid_t, vid_t) { return 1; },
+      [](std::int32_t a, std::int32_t b) { return a + b; }, std::int32_t{0},
+      out);
+  EXPECT_EQ(out[6], 0);
+  EXPECT_EQ(out[7], 0);
+  EXPECT_EQ(out[0], 2);  // triangle vertex: two neighbors
+}
+
+TEST_P(OperatorsTest, NeighborReduceMapSeesSource) {
+  const auto csr = path_graph(3);
+  std::vector<std::int32_t> out(3);
+  neighbor_reduce<std::int32_t>(
+      device, csr, Frontier::all(3),
+      [](vid_t src, vid_t dst) { return src * 10 + dst; },
+      [](std::int32_t a, std::int32_t b) { return a + b; }, std::int32_t{0},
+      out);
+  EXPECT_EQ(out[0], 1);        // 0*10+1
+  EXPECT_EQ(out[1], 10 + 12);  // neighbors 0 and 2
+  EXPECT_EQ(out[2], 21);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, OperatorsTest,
+                         ::testing::Values(1u, 2u, 4u));
+
+}  // namespace
+}  // namespace gcol::gr

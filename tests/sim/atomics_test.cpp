@@ -1,0 +1,85 @@
+#include "sim/atomics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace gcol::sim {
+namespace {
+
+TEST(Atomics, AddReturnsPreviousValue) {
+  std::int32_t x = 10;
+  EXPECT_EQ(atomic_add(x, 5), 10);
+  EXPECT_EQ(x, 15);
+}
+
+TEST(Atomics, MinOnlyDecreases) {
+  std::int32_t x = 10;
+  atomic_min(x, 20);
+  EXPECT_EQ(x, 10);
+  atomic_min(x, 3);
+  EXPECT_EQ(x, 3);
+}
+
+TEST(Atomics, MaxOnlyIncreases) {
+  std::int64_t x = -5;
+  atomic_max(x, std::int64_t{-10});
+  EXPECT_EQ(x, -5);
+  atomic_max(x, std::int64_t{7});
+  EXPECT_EQ(x, 7);
+}
+
+TEST(Atomics, CasSucceedsOnMatchAndReturnsObserved) {
+  std::int32_t x = 42;
+  EXPECT_EQ(atomic_cas(x, 42, 99), 42);
+  EXPECT_EQ(x, 99);
+}
+
+TEST(Atomics, CasFailsOnMismatchWithoutWriting) {
+  std::int32_t x = 42;
+  EXPECT_EQ(atomic_cas(x, 7, 99), 42);  // observed value, not 7
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Atomics, LoadStoreRoundTrip) {
+  std::int32_t x = 0;
+  atomic_store(x, 123);
+  EXPECT_EQ(atomic_load(x), 123);
+}
+
+TEST(Atomics, ConcurrentAddsAreLossless) {
+  Device device(4);
+  std::int64_t counter = 0;
+  device.parallel_for(10000, [&](std::int64_t) {
+    atomic_add(counter, std::int64_t{1});
+  });
+  EXPECT_EQ(counter, 10000);
+}
+
+TEST(Atomics, ConcurrentMaxFindsGlobalMax) {
+  Device device(4);
+  std::int32_t best = 0;
+  device.parallel_for(10000, [&](std::int64_t i) {
+    atomic_max(best, static_cast<std::int32_t>((i * 37) % 9973));
+  });
+  std::int32_t expected = 0;
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    expected = std::max(expected, static_cast<std::int32_t>((i * 37) % 9973));
+  }
+  EXPECT_EQ(best, expected);
+}
+
+TEST(Atomics, ConcurrentMinFindsGlobalMin) {
+  Device device(4);
+  std::int32_t best = 1 << 30;
+  device.parallel_for(10000, [&](std::int64_t i) {
+    atomic_min(best, static_cast<std::int32_t>((i * 37) % 9973 + 1));
+  });
+  EXPECT_EQ(best, 1);  // i = 0 gives 0 % 9973 + 1 = 1
+}
+
+}  // namespace
+}  // namespace gcol::sim

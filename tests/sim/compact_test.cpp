@@ -1,0 +1,69 @@
+#include "sim/compact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gcol::sim {
+namespace {
+
+class CompactTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CompactTest, IndicesSelectsMatchingAscending) {
+  Device device(GetParam());
+  const auto kept =
+      compact_indices(device, 100, [](std::int64_t i) { return i % 3 == 0; });
+  ASSERT_EQ(kept.size(), 34u);
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    EXPECT_EQ(kept[k], static_cast<std::int64_t>(3 * k));
+  }
+}
+
+TEST_P(CompactTest, IndicesNoneMatch) {
+  Device device(GetParam());
+  EXPECT_TRUE(
+      compact_indices(device, 1000, [](std::int64_t) { return false; })
+          .empty());
+}
+
+TEST_P(CompactTest, IndicesAllMatch) {
+  Device device(GetParam());
+  const auto kept =
+      compact_indices(device, 257, [](std::int64_t) { return true; });
+  ASSERT_EQ(kept.size(), 257u);
+  EXPECT_EQ(kept.front(), 0);
+  EXPECT_EQ(kept.back(), 256);
+}
+
+TEST_P(CompactTest, ValuesPreservesOrderAndValues) {
+  Device device(GetParam());
+  std::vector<std::int32_t> values;
+  for (int i = 0; i < 500; ++i) values.push_back(i * 7 % 100);
+  const auto kept = compact_values<std::int32_t>(
+      device, values, [](std::int32_t v, std::int64_t) { return v >= 50; });
+  std::vector<std::int32_t> expected;
+  for (const std::int32_t v : values) {
+    if (v >= 50) expected.push_back(v);
+  }
+  EXPECT_EQ(kept, expected);
+}
+
+TEST_P(CompactTest, ValuesPredicateSeesIndex) {
+  Device device(GetParam());
+  std::vector<std::int32_t> values(100, 1);
+  const auto kept = compact_values<std::int32_t>(
+      device, values, [](std::int32_t, std::int64_t i) { return i < 10; });
+  EXPECT_EQ(kept.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, CompactTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Compact, EmptyRange) {
+  Device device(2);
+  EXPECT_TRUE(
+      compact_indices(device, 0, [](std::int64_t) { return true; }).empty());
+}
+
+}  // namespace
+}  // namespace gcol::sim

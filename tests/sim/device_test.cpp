@@ -1,0 +1,79 @@
+#include "sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gcol::sim {
+namespace {
+
+TEST(Device, ParallelForCoversRangeExactlyOnce) {
+  Device device(4);
+  std::vector<std::atomic<int>> hits(1000);
+  device.parallel_for(1000, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(Device, ParallelForDynamicCoversRangeExactlyOnce) {
+  Device device(4);
+  std::vector<std::atomic<int>> hits(1000);
+  device.parallel_for(
+      1000,
+      [&](std::int64_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); },
+      Schedule::kDynamic, 7);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(Device, ParallelForEmptyAndNegativeRangesAreNoOps) {
+  Device device(2);
+  int calls = 0;
+  device.parallel_for(0, [&](std::int64_t) { ++calls; });
+  device.parallel_for(-5, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Device, LaunchCountIncrementsPerParallelFor) {
+  Device device(2);
+  device.reset_launch_count();
+  device.parallel_for(10, [](std::int64_t) {});
+  device.parallel_for(10, [](std::int64_t) {}, Schedule::kDynamic);
+  device.parallel_slots([](unsigned, unsigned) {});
+  EXPECT_EQ(device.launch_count(), 3u);
+  // Empty launches don't count: nothing was synchronized.
+  device.parallel_for(0, [](std::int64_t) {});
+  EXPECT_EQ(device.launch_count(), 3u);
+}
+
+TEST(Device, ParallelSlotsSeesConsistentSlotCount) {
+  Device device(3);
+  std::vector<unsigned> counts(3, 0);
+  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+    counts[slot] = num_slots;
+  });
+  for (const unsigned count : counts) EXPECT_EQ(count, 3u);
+}
+
+TEST(Device, SingleWorkerDeviceIsSerial) {
+  Device device(1);
+  // Order must be strictly ascending when only one worker exists.
+  std::vector<std::int64_t> order;
+  device.parallel_for(100, [&](std::int64_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(Device, GlobalInstanceIsStable) {
+  Device& a = Device::instance();
+  Device& b = Device::instance();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace gcol::sim

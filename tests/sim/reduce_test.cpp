@@ -1,0 +1,90 @@
+#include "sim/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace gcol::sim {
+namespace {
+
+class ReduceTest : public ::testing::TestWithParam<std::pair<unsigned, int>> {
+ protected:
+  unsigned workers() const { return GetParam().first; }
+  int size() const { return GetParam().second; }
+
+  std::vector<std::int64_t> make_input() const {
+    const CounterRng rng(11);
+    std::vector<std::int64_t> in(static_cast<std::size_t>(size()));
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<std::int64_t>(rng.uniform_below(i, 1000)) - 500;
+    }
+    return in;
+  }
+};
+
+TEST_P(ReduceTest, SumMatchesSerial) {
+  Device device(workers());
+  const auto in = make_input();
+  EXPECT_EQ(reduce_sum<std::int64_t>(device, in),
+            std::accumulate(in.begin(), in.end(), std::int64_t{0}));
+}
+
+TEST_P(ReduceTest, MaxMatchesSerial) {
+  Device device(workers());
+  const auto in = make_input();
+  const std::int64_t expected =
+      in.empty() ? -1000 : *std::max_element(in.begin(), in.end());
+  EXPECT_EQ(reduce_max<std::int64_t>(device, in, std::int64_t{-1000}),
+            expected);
+}
+
+TEST_P(ReduceTest, MinMatchesSerial) {
+  Device device(workers());
+  const auto in = make_input();
+  const std::int64_t expected =
+      in.empty() ? 1000 : *std::min_element(in.begin(), in.end());
+  EXPECT_EQ(reduce_min<std::int64_t>(device, in, std::int64_t{1000}),
+            expected);
+}
+
+TEST_P(ReduceTest, CountIfMatchesSerial) {
+  Device device(workers());
+  const auto in = make_input();
+  const auto pred = [](std::int64_t x) { return x > 0; };
+  EXPECT_EQ(count_if<std::int64_t>(device, in, pred),
+            std::count_if(in.begin(), in.end(), pred));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndSizes, ReduceTest,
+    ::testing::Values(std::pair{1u, 0}, std::pair{1u, 1}, std::pair{2u, 2},
+                      std::pair{4u, 3}, std::pair{4u, 1000},
+                      std::pair{8u, 65536}, std::pair{3u, 12345}));
+
+TEST(Reduce, CustomCombineRuns) {
+  Device device(4);
+  std::vector<std::int64_t> in(100);
+  std::iota(in.begin(), in.end(), 1);
+  // Product mod a prime via custom combine (associative, commutative).
+  const std::int64_t result = reduce<std::int64_t>(
+      device, in, std::int64_t{1},
+      [](std::int64_t a, std::int64_t b) { return (a * b) % 1000003; });
+  std::int64_t expected = 1;
+  for (const std::int64_t x : in) expected = (expected * x) % 1000003;
+  EXPECT_EQ(result, expected);
+}
+
+TEST(Reduce, IdentityReturnedForEmptyInput) {
+  Device device(4);
+  std::vector<std::int64_t> in;
+  EXPECT_EQ(reduce<std::int64_t>(device, in, std::int64_t{42},
+                                 [](std::int64_t a, std::int64_t) { return a; }),
+            42);
+}
+
+}  // namespace
+}  // namespace gcol::sim

@@ -1,0 +1,104 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gcol::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeedAndCounter) {
+  const CounterRng a(12345);
+  const CounterRng b(12345);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.bits(i), b.bits(i));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  const CounterRng a(1);
+  const CounterRng b(2);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.bits(i) == b.bits(i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  const CounterRng a(7, 0);
+  const CounterRng b(7, 1);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.bits(i) == b.bits(i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, Int31IsNonNegative) {
+  const CounterRng rng(99);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.uniform_int31(i), 0);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  const CounterRng rng(99);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_double(i);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanIsRoughlyHalf) {
+  const CounterRng rng(4242);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (std::uint64_t i = 0; i < kSamples; ++i) sum += rng.uniform_double(i);
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  const CounterRng rng(5);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(i, 17), 17u);
+  }
+}
+
+TEST(Rng, UniformBelowHitsAllResidues) {
+  const CounterRng rng(5);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(i, 7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, Int31CollisionsAreRareAcrossCounters) {
+  const CounterRng rng(31337);
+  std::set<std::int32_t> seen;
+  constexpr int kSamples = 10000;
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    seen.insert(rng.uniform_int31(i));
+  }
+  // Birthday bound: expected collisions ~ 1e8/2^32 < 0.03; allow a couple.
+  EXPECT_GE(seen.size(), static_cast<std::size_t>(kSamples - 2));
+}
+
+TEST(Rng, IterationHashChangesWithIterationAndVertex) {
+  const auto h00 = iteration_hash(1, 0, 0);
+  const auto h10 = iteration_hash(1, 1, 0);
+  const auto h01 = iteration_hash(1, 0, 1);
+  EXPECT_NE(h00, h10);
+  EXPECT_NE(h00, h01);
+  EXPECT_EQ(h00, iteration_hash(1, 0, 0));
+}
+
+TEST(Rng, Mix64IsInjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 10000; ++x) seen.insert(mix64(x));
+  EXPECT_EQ(seen.size(), 10000u);  // bijective finalizer: no collisions
+}
+
+}  // namespace
+}  // namespace gcol::sim

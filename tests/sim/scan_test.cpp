@@ -1,0 +1,88 @@
+#include "sim/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace gcol::sim {
+namespace {
+
+class ScanTest : public ::testing::TestWithParam<std::pair<unsigned, int>> {
+ protected:
+  unsigned workers() const { return GetParam().first; }
+  int size() const { return GetParam().second; }
+
+  std::vector<std::int64_t> make_input() const {
+    const CounterRng rng(7);
+    std::vector<std::int64_t> in(static_cast<std::size_t>(size()));
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<std::int64_t>(rng.uniform_below(i, 100));
+    }
+    return in;
+  }
+};
+
+TEST_P(ScanTest, ExclusiveMatchesSerialReference) {
+  Device device(workers());
+  const auto in = make_input();
+  std::vector<std::int64_t> out(in.size());
+  const std::int64_t total =
+      exclusive_scan<std::int64_t>(device, in, std::span(out));
+
+  std::vector<std::int64_t> expected(in.size());
+  std::exclusive_scan(in.begin(), in.end(), expected.begin(), std::int64_t{0});
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(total, std::accumulate(in.begin(), in.end(), std::int64_t{0}));
+}
+
+TEST_P(ScanTest, InclusiveMatchesSerialReference) {
+  Device device(workers());
+  const auto in = make_input();
+  std::vector<std::int64_t> out(in.size());
+  const std::int64_t total =
+      inclusive_scan<std::int64_t>(device, in, std::span(out));
+
+  std::vector<std::int64_t> expected(in.size());
+  std::inclusive_scan(in.begin(), in.end(), expected.begin());
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(total, std::accumulate(in.begin(), in.end(), std::int64_t{0}));
+}
+
+TEST_P(ScanTest, ExclusiveScanInPlaceAliasing) {
+  Device device(workers());
+  auto data = make_input();
+  std::vector<std::int64_t> expected(data.size());
+  std::exclusive_scan(data.begin(), data.end(), expected.begin(),
+                      std::int64_t{0});
+  exclusive_scan<std::int64_t>(device, data, std::span(data));
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(ScanTest, InclusiveScanInPlaceAliasing) {
+  Device device(workers());
+  auto data = make_input();
+  std::vector<std::int64_t> expected(data.size());
+  std::inclusive_scan(data.begin(), data.end(), expected.begin());
+  inclusive_scan<std::int64_t>(device, data, std::span(data));
+  EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndSizes, ScanTest,
+    ::testing::Values(std::pair{1u, 0}, std::pair{1u, 1}, std::pair{1u, 100},
+                      std::pair{2u, 1023}, std::pair{4u, 1024},
+                      std::pair{4u, 4097}, std::pair{8u, 50000},
+                      std::pair{3u, 999}));
+
+TEST(Scan, EmptyInputReturnsZero) {
+  Device device(2);
+  std::vector<std::int32_t> in, out;
+  EXPECT_EQ(exclusive_scan<std::int32_t>(device, in, std::span(out)), 0);
+  EXPECT_EQ(inclusive_scan<std::int32_t>(device, in, std::span(out)), 0);
+}
+
+}  // namespace
+}  // namespace gcol::sim

@@ -1,0 +1,110 @@
+#include "sim/segmented_reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace gcol::sim {
+namespace {
+
+struct Segments {
+  std::vector<std::int64_t> offsets;
+  std::vector<std::int32_t> values;
+};
+
+Segments make_segments(int num_segments, std::uint64_t seed) {
+  const CounterRng rng(seed);
+  Segments s;
+  s.offsets.push_back(0);
+  for (int i = 0; i < num_segments; ++i) {
+    // Segment lengths 0..9, including empties.
+    const auto len = rng.uniform_below(static_cast<std::uint64_t>(i), 10);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      s.values.push_back(static_cast<std::int32_t>(
+          rng.uniform_below(1000 + 10 * static_cast<std::uint64_t>(i) + k,
+                            1000)));
+    }
+    s.offsets.push_back(static_cast<std::int64_t>(s.values.size()));
+  }
+  return s;
+}
+
+class SegmentedReduceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SegmentedReduceTest, SumMatchesSerialPerSegment) {
+  Device device(GetParam());
+  const Segments s = make_segments(200, 3);
+  std::vector<std::int32_t> out(200);
+  segmented_reduce<std::int32_t, std::int64_t>(
+      device, s.offsets, s.values, out, 0,
+      [](std::int32_t a, std::int32_t b) { return a + b; });
+  for (int seg = 0; seg < 200; ++seg) {
+    std::int32_t expected = 0;
+    for (auto i = s.offsets[static_cast<std::size_t>(seg)];
+         i < s.offsets[static_cast<std::size_t>(seg) + 1]; ++i) {
+      expected += s.values[static_cast<std::size_t>(i)];
+    }
+    EXPECT_EQ(out[static_cast<std::size_t>(seg)], expected) << "segment " << seg;
+  }
+}
+
+TEST_P(SegmentedReduceTest, MaxWithIdentityOnEmptySegments) {
+  Device device(GetParam());
+  const Segments s = make_segments(100, 9);
+  std::vector<std::int32_t> out(100);
+  segmented_reduce<std::int32_t, std::int64_t>(
+      device, s.offsets, s.values, out, -1,
+      [](std::int32_t a, std::int32_t b) { return b > a ? b : a; });
+  for (int seg = 0; seg < 100; ++seg) {
+    std::int32_t expected = -1;
+    for (auto i = s.offsets[static_cast<std::size_t>(seg)];
+         i < s.offsets[static_cast<std::size_t>(seg) + 1]; ++i) {
+      expected = std::max(expected, s.values[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(out[static_cast<std::size_t>(seg)], expected);
+  }
+}
+
+TEST_P(SegmentedReduceTest, StaticAndDynamicSchedulesAgree) {
+  Device device(GetParam());
+  const Segments s = make_segments(300, 17);
+  std::vector<std::int32_t> out_static(300), out_dynamic(300);
+  const auto max_op = [](std::int32_t a, std::int32_t b) {
+    return b > a ? b : a;
+  };
+  segmented_reduce<std::int32_t, std::int64_t>(
+      device, s.offsets, s.values, out_static, 0, max_op, Schedule::kStatic);
+  segmented_reduce<std::int32_t, std::int64_t>(
+      device, s.offsets, s.values, out_dynamic, 0, max_op, Schedule::kDynamic);
+  EXPECT_EQ(out_static, out_dynamic);
+}
+
+TEST_P(SegmentedReduceTest, ArgmaxPicksLowestIndexOnTies) {
+  Device device(GetParam());
+  const std::vector<std::int64_t> offsets = {0, 4, 4, 7};
+  const std::vector<std::int32_t> values = {3, 9, 9, 1, 5, 5, 5};
+  std::vector<std::int64_t> out(3);
+  segmented_argmax<std::int32_t, std::int64_t>(device, offsets, values, out);
+  EXPECT_EQ(out[0], 1);   // first 9
+  EXPECT_EQ(out[1], -1);  // empty segment
+  EXPECT_EQ(out[2], 4);   // first 5 of the tied run
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, SegmentedReduceTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(SegmentedReduce, ZeroSegmentsIsNoOp) {
+  Device device(2);
+  const std::vector<std::int64_t> offsets = {0};
+  const std::vector<std::int32_t> values;
+  std::vector<std::int32_t> out;
+  segmented_reduce<std::int32_t, std::int64_t>(
+      device, offsets, values, out, 0,
+      [](std::int32_t a, std::int32_t b) { return a + b; });
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace gcol::sim

@@ -1,0 +1,78 @@
+#include "sim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gcol::sim {
+namespace {
+
+TEST(ThreadPool, SizeClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ReportsRequestedSize) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, RunsJobOncePerSlot) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](unsigned slot) { hits[slot].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id executed;
+  pool.run([&](unsigned) { executed = std::this_thread::get_id(); });
+  EXPECT_EQ(executed, caller);
+}
+
+TEST(ThreadPool, ManySequentialJobsAccumulate) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.run([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 300);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([](unsigned slot) {
+                 if (slot == 2) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // The pool must survive a failed job.
+  std::atomic<int> total{0};
+  pool.run([&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadPool, PropagatesCallerSlotException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run([](unsigned slot) {
+                 if (slot == 0) throw std::logic_error("slot0");
+               }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, BarrierSemanticsAllSlotsFinishBeforeReturn) {
+  ThreadPool pool(4);
+  std::vector<int> data(1000, 0);
+  pool.run([&](unsigned slot) {
+    for (std::size_t i = slot; i < data.size(); i += 4) data[i] = 1;
+  });
+  // If run() returned early, some entries would still be 0.
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 1000);
+}
+
+}  // namespace
+}  // namespace gcol::sim

@@ -1,0 +1,90 @@
+#pragma once
+// Shared graph fixtures for the test suite: small graphs with known
+// chromatic numbers and structural corner cases.
+
+#include <vector>
+
+#include "graph/build.hpp"
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace gcol::testing {
+
+/// n isolated vertices, no edges. Chromatic number 1 (or 0 when n == 0).
+inline graph::Csr empty_graph(vid_t n) {
+  graph::Coo coo;
+  coo.num_vertices = n;
+  return graph::build_csr(coo);
+}
+
+/// Path v0 - v1 - ... - v{n-1}. Chromatic number 2 for n >= 2.
+inline graph::Csr path_graph(vid_t n) {
+  graph::Coo coo;
+  coo.num_vertices = n;
+  for (vid_t v = 0; v + 1 < n; ++v) coo.add_edge(v, v + 1);
+  return graph::build_csr(coo);
+}
+
+/// Cycle of n vertices. Chromatic number 2 (even n) or 3 (odd n >= 3).
+inline graph::Csr cycle_graph(vid_t n) {
+  graph::Coo coo;
+  coo.num_vertices = n;
+  for (vid_t v = 0; v < n; ++v) coo.add_edge(v, (v + 1) % n);
+  return graph::build_csr(coo);
+}
+
+/// Complete graph K_n. Chromatic number n.
+inline graph::Csr clique_graph(vid_t n) {
+  graph::Coo coo;
+  coo.num_vertices = n;
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) coo.add_edge(u, v);
+  }
+  return graph::build_csr(coo);
+}
+
+/// Star: center 0 connected to 1..n-1. Chromatic number 2 for n >= 2.
+inline graph::Csr star_graph(vid_t n) {
+  graph::Coo coo;
+  coo.num_vertices = n;
+  for (vid_t v = 1; v < n; ++v) coo.add_edge(0, v);
+  return graph::build_csr(coo);
+}
+
+/// Complete bipartite K_{a,b}. Chromatic number 2.
+inline graph::Csr bipartite_graph(vid_t a, vid_t b) {
+  graph::Coo coo;
+  coo.num_vertices = a + b;
+  for (vid_t u = 0; u < a; ++u) {
+    for (vid_t v = 0; v < b; ++v) coo.add_edge(u, a + v);
+  }
+  return graph::build_csr(coo);
+}
+
+/// The Petersen graph: 10 vertices, 15 edges, chromatic number 3.
+inline graph::Csr petersen_graph() {
+  graph::Coo coo;
+  coo.num_vertices = 10;
+  // Outer 5-cycle, inner 5-star (pentagram), spokes.
+  for (vid_t v = 0; v < 5; ++v) {
+    coo.add_edge(v, (v + 1) % 5);
+    coo.add_edge(5 + v, 5 + (v + 2) % 5);
+    coo.add_edge(v, 5 + v);
+  }
+  return graph::build_csr(coo);
+}
+
+/// Two disjoint triangles plus two isolated vertices. Chromatic number 3.
+inline graph::Csr disconnected_graph() {
+  graph::Coo coo;
+  coo.num_vertices = 8;
+  coo.add_edge(0, 1);
+  coo.add_edge(1, 2);
+  coo.add_edge(2, 0);
+  coo.add_edge(3, 4);
+  coo.add_edge(4, 5);
+  coo.add_edge(5, 3);
+  return graph::build_csr(coo);
+}
+
+}  // namespace gcol::testing
