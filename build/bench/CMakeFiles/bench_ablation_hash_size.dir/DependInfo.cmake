@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_hash_size.cpp" "bench/CMakeFiles/bench_ablation_hash_size.dir/bench_ablation_hash_size.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_hash_size.dir/bench_ablation_hash_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gcol_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/gcol_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gcol_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_recolor.dir/bench_ablation_recolor.cpp.o"
+  "CMakeFiles/bench_ablation_recolor.dir/bench_ablation_recolor.cpp.o.d"
+  "bench_ablation_recolor"
+  "bench_ablation_recolor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recolor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

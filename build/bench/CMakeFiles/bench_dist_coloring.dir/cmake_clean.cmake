@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dist_coloring.dir/bench_dist_coloring.cpp.o"
+  "CMakeFiles/bench_dist_coloring.dir/bench_dist_coloring.cpp.o.d"
+  "bench_dist_coloring"
+  "bench_dist_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dist_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

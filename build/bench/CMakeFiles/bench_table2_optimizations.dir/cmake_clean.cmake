@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_optimizations.dir/bench_table2_optimizations.cpp.o"
+  "CMakeFiles/bench_table2_optimizations.dir/bench_table2_optimizations.cpp.o.d"
+  "bench_table2_optimizations"
+  "bench_table2_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

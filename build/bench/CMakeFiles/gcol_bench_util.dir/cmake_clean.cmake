@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcol_bench_util.dir/common/bench_util.cpp.o"
+  "CMakeFiles/gcol_bench_util.dir/common/bench_util.cpp.o.d"
+  "libgcol_bench_util.a"
+  "libgcol_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcol_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chromatic_scheduling.dir/chromatic_scheduling.cpp.o"
+  "CMakeFiles/chromatic_scheduling.dir/chromatic_scheduling.cpp.o.d"
+  "chromatic_scheduling"
+  "chromatic_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chromatic_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/color_mtx.dir/color_mtx.cpp.o"
+  "CMakeFiles/color_mtx.dir/color_mtx.cpp.o.d"
+  "color_mtx"
+  "color_mtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/color_mtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exam_scheduling.dir/exam_scheduling.cpp.o"
+  "CMakeFiles/exam_scheduling.dir/exam_scheduling.cpp.o.d"
+  "exam_scheduling"
+  "exam_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exam_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

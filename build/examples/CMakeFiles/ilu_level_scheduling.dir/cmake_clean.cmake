@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilu_level_scheduling.dir/ilu_level_scheduling.cpp.o"
+  "CMakeFiles/ilu_level_scheduling.dir/ilu_level_scheduling.cpp.o.d"
+  "ilu_level_scheduling"
+  "ilu_level_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilu_level_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

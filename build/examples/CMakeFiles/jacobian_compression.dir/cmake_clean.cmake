@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobian_compression.dir/jacobian_compression.cpp.o"
+  "CMakeFiles/jacobian_compression.dir/jacobian_compression.cpp.o.d"
+  "jacobian_compression"
+  "jacobian_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobian_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicolor_gauss_seidel.dir/multicolor_gauss_seidel.cpp.o"
+  "CMakeFiles/multicolor_gauss_seidel.dir/multicolor_gauss_seidel.cpp.o.d"
+  "multicolor_gauss_seidel"
+  "multicolor_gauss_seidel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicolor_gauss_seidel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

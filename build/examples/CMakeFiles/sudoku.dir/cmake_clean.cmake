@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku.dir/sudoku.cpp.o"
+  "CMakeFiles/sudoku.dir/sudoku.cpp.o.d"
+  "sudoku"
+  "sudoku.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "gcol::gcol_sim" for configuration "Release"
+set_property(TARGET gcol::gcol_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(gcol::gcol_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgcol_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets gcol::gcol_sim )
+list(APPEND _cmake_import_check_files_for_gcol::gcol_sim "${_IMPORT_PREFIX}/lib/libgcol_sim.a" )
+
+# Import target "gcol::gcol_graph" for configuration "Release"
+set_property(TARGET gcol::gcol_graph APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(gcol::gcol_graph PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgcol_graph.a"
+  )
+
+list(APPEND _cmake_import_check_targets gcol::gcol_graph )
+list(APPEND _cmake_import_check_files_for_gcol::gcol_graph "${_IMPORT_PREFIX}/lib/libgcol_graph.a" )
+
+# Import target "gcol::gcol_core" for configuration "Release"
+set_property(TARGET gcol::gcol_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(gcol::gcol_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgcol_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets gcol::gcol_core )
+list(APPEND _cmake_import_check_files_for_gcol::gcol_core "${_IMPORT_PREFIX}/lib/libgcol_core.a" )
+
+# Import target "gcol::gcol_dist" for configuration "Release"
+set_property(TARGET gcol::gcol_dist APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(gcol::gcol_dist PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgcol_dist.a"
+  )
+
+list(APPEND _cmake_import_check_targets gcol::gcol_dist )
+list(APPEND _cmake_import_check_files_for_gcol::gcol_dist "${_IMPORT_PREFIX}/lib/libgcol_dist.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

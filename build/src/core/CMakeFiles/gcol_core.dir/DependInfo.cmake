@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distance2.cpp" "src/core/CMakeFiles/gcol_core.dir/distance2.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/distance2.cpp.o.d"
+  "/root/repo/src/core/dsatur.cpp" "src/core/CMakeFiles/gcol_core.dir/dsatur.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/dsatur.cpp.o.d"
+  "/root/repo/src/core/gm_speculative.cpp" "src/core/CMakeFiles/gcol_core.dir/gm_speculative.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/gm_speculative.cpp.o.d"
+  "/root/repo/src/core/grb_is.cpp" "src/core/CMakeFiles/gcol_core.dir/grb_is.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/grb_is.cpp.o.d"
+  "/root/repo/src/core/grb_jpl.cpp" "src/core/CMakeFiles/gcol_core.dir/grb_jpl.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/grb_jpl.cpp.o.d"
+  "/root/repo/src/core/grb_mis.cpp" "src/core/CMakeFiles/gcol_core.dir/grb_mis.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/grb_mis.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/gcol_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/gunrock_ar.cpp" "src/core/CMakeFiles/gcol_core.dir/gunrock_ar.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/gunrock_ar.cpp.o.d"
+  "/root/repo/src/core/gunrock_hash.cpp" "src/core/CMakeFiles/gcol_core.dir/gunrock_hash.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/gunrock_hash.cpp.o.d"
+  "/root/repo/src/core/gunrock_is.cpp" "src/core/CMakeFiles/gcol_core.dir/gunrock_is.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/gunrock_is.cpp.o.d"
+  "/root/repo/src/core/jones_plassmann.cpp" "src/core/CMakeFiles/gcol_core.dir/jones_plassmann.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/jones_plassmann.cpp.o.d"
+  "/root/repo/src/core/naumov.cpp" "src/core/CMakeFiles/gcol_core.dir/naumov.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/naumov.cpp.o.d"
+  "/root/repo/src/core/ordering.cpp" "src/core/CMakeFiles/gcol_core.dir/ordering.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/ordering.cpp.o.d"
+  "/root/repo/src/core/recolor.cpp" "src/core/CMakeFiles/gcol_core.dir/recolor.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/recolor.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/gcol_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/gcol_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/gcol_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gcol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gcol_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

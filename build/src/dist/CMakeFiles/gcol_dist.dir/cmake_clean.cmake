@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcol_dist.dir/coloring.cpp.o"
+  "CMakeFiles/gcol_dist.dir/coloring.cpp.o.d"
+  "libgcol_dist.a"
+  "libgcol_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcol_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

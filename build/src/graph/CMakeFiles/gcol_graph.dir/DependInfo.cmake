@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/build.cpp" "src/graph/CMakeFiles/gcol_graph.dir/build.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/build.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/graph/CMakeFiles/gcol_graph.dir/datasets.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/datasets.cpp.o.d"
+  "/root/repo/src/graph/generators/banded.cpp" "src/graph/CMakeFiles/gcol_graph.dir/generators/banded.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/generators/banded.cpp.o.d"
+  "/root/repo/src/graph/generators/erdos_renyi.cpp" "src/graph/CMakeFiles/gcol_graph.dir/generators/erdos_renyi.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/generators/erdos_renyi.cpp.o.d"
+  "/root/repo/src/graph/generators/grid.cpp" "src/graph/CMakeFiles/gcol_graph.dir/generators/grid.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/generators/grid.cpp.o.d"
+  "/root/repo/src/graph/generators/mesh.cpp" "src/graph/CMakeFiles/gcol_graph.dir/generators/mesh.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/generators/mesh.cpp.o.d"
+  "/root/repo/src/graph/generators/random_regular.cpp" "src/graph/CMakeFiles/gcol_graph.dir/generators/random_regular.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/generators/random_regular.cpp.o.d"
+  "/root/repo/src/graph/generators/rgg.cpp" "src/graph/CMakeFiles/gcol_graph.dir/generators/rgg.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/generators/rgg.cpp.o.d"
+  "/root/repo/src/graph/generators/rmat.cpp" "src/graph/CMakeFiles/gcol_graph.dir/generators/rmat.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/generators/rmat.cpp.o.d"
+  "/root/repo/src/graph/mmio.cpp" "src/graph/CMakeFiles/gcol_graph.dir/mmio.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/mmio.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/gcol_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/gcol_graph.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gcol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcol_graph.dir/build.cpp.o"
+  "CMakeFiles/gcol_graph.dir/build.cpp.o.d"
+  "CMakeFiles/gcol_graph.dir/datasets.cpp.o"
+  "CMakeFiles/gcol_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/gcol_graph.dir/generators/banded.cpp.o"
+  "CMakeFiles/gcol_graph.dir/generators/banded.cpp.o.d"
+  "CMakeFiles/gcol_graph.dir/generators/erdos_renyi.cpp.o"
+  "CMakeFiles/gcol_graph.dir/generators/erdos_renyi.cpp.o.d"
+  "CMakeFiles/gcol_graph.dir/generators/grid.cpp.o"
+  "CMakeFiles/gcol_graph.dir/generators/grid.cpp.o.d"
+  "CMakeFiles/gcol_graph.dir/generators/mesh.cpp.o"
+  "CMakeFiles/gcol_graph.dir/generators/mesh.cpp.o.d"
+  "CMakeFiles/gcol_graph.dir/generators/random_regular.cpp.o"
+  "CMakeFiles/gcol_graph.dir/generators/random_regular.cpp.o.d"
+  "CMakeFiles/gcol_graph.dir/generators/rgg.cpp.o"
+  "CMakeFiles/gcol_graph.dir/generators/rgg.cpp.o.d"
+  "CMakeFiles/gcol_graph.dir/generators/rmat.cpp.o"
+  "CMakeFiles/gcol_graph.dir/generators/rmat.cpp.o.d"
+  "CMakeFiles/gcol_graph.dir/mmio.cpp.o"
+  "CMakeFiles/gcol_graph.dir/mmio.cpp.o.d"
+  "CMakeFiles/gcol_graph.dir/stats.cpp.o"
+  "CMakeFiles/gcol_graph.dir/stats.cpp.o.d"
+  "libgcol_graph.a"
+  "libgcol_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcol_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcol_sim.dir/device.cpp.o"
+  "CMakeFiles/gcol_sim.dir/device.cpp.o.d"
+  "CMakeFiles/gcol_sim.dir/thread_pool.cpp.o"
+  "CMakeFiles/gcol_sim.dir/thread_pool.cpp.o.d"
+  "libgcol_sim.a"
+  "libgcol_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcol_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/distance2_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/distance2_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/distance2_test.cpp.o.d"
+  "/root/repo/tests/core/dsatur_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/dsatur_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/dsatur_test.cpp.o.d"
+  "/root/repo/tests/core/end_to_end_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/grb_coloring_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/grb_coloring_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/grb_coloring_test.cpp.o.d"
+  "/root/repo/tests/core/greedy_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/greedy_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/greedy_test.cpp.o.d"
+  "/root/repo/tests/core/gunrock_coloring_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/gunrock_coloring_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/gunrock_coloring_test.cpp.o.d"
+  "/root/repo/tests/core/naumov_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/naumov_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/naumov_test.cpp.o.d"
+  "/root/repo/tests/core/ordering_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/ordering_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/ordering_test.cpp.o.d"
+  "/root/repo/tests/core/property_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/property_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/property_test.cpp.o.d"
+  "/root/repo/tests/core/quality_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/quality_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/quality_test.cpp.o.d"
+  "/root/repo/tests/core/recolor_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/recolor_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/recolor_test.cpp.o.d"
+  "/root/repo/tests/core/registry_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/registry_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/registry_test.cpp.o.d"
+  "/root/repo/tests/core/verify_test.cpp" "tests/CMakeFiles/gcol_core_tests.dir/core/verify_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_core_tests.dir/core/verify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/gcol_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gcol_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcol_core_tests.dir/core/distance2_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/distance2_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/dsatur_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/dsatur_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/end_to_end_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/end_to_end_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/extensions_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/extensions_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/grb_coloring_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/grb_coloring_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/greedy_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/greedy_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/gunrock_coloring_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/gunrock_coloring_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/naumov_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/naumov_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/ordering_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/ordering_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/property_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/property_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/quality_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/quality_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/recolor_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/recolor_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/registry_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/registry_test.cpp.o.d"
+  "CMakeFiles/gcol_core_tests.dir/core/verify_test.cpp.o"
+  "CMakeFiles/gcol_core_tests.dir/core/verify_test.cpp.o.d"
+  "gcol_core_tests"
+  "gcol_core_tests.pdb"
+  "gcol_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcol_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

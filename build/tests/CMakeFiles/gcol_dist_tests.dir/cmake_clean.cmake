@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcol_dist_tests.dir/dist/bsp_test.cpp.o"
+  "CMakeFiles/gcol_dist_tests.dir/dist/bsp_test.cpp.o.d"
+  "CMakeFiles/gcol_dist_tests.dir/dist/coloring_test.cpp.o"
+  "CMakeFiles/gcol_dist_tests.dir/dist/coloring_test.cpp.o.d"
+  "CMakeFiles/gcol_dist_tests.dir/dist/partition_test.cpp.o"
+  "CMakeFiles/gcol_dist_tests.dir/dist/partition_test.cpp.o.d"
+  "gcol_dist_tests"
+  "gcol_dist_tests.pdb"
+  "gcol_dist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcol_dist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

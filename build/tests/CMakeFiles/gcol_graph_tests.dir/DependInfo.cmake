@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/build_test.cpp" "tests/CMakeFiles/gcol_graph_tests.dir/graph/build_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_graph_tests.dir/graph/build_test.cpp.o.d"
+  "/root/repo/tests/graph/datasets_test.cpp" "tests/CMakeFiles/gcol_graph_tests.dir/graph/datasets_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_graph_tests.dir/graph/datasets_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/gcol_graph_tests.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_graph_tests.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/mmio_test.cpp" "tests/CMakeFiles/gcol_graph_tests.dir/graph/mmio_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_graph_tests.dir/graph/mmio_test.cpp.o.d"
+  "/root/repo/tests/graph/permute_test.cpp" "tests/CMakeFiles/gcol_graph_tests.dir/graph/permute_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_graph_tests.dir/graph/permute_test.cpp.o.d"
+  "/root/repo/tests/graph/stats_test.cpp" "tests/CMakeFiles/gcol_graph_tests.dir/graph/stats_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_graph_tests.dir/graph/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/gcol_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gcol_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcol_graph_tests.dir/graph/build_test.cpp.o"
+  "CMakeFiles/gcol_graph_tests.dir/graph/build_test.cpp.o.d"
+  "CMakeFiles/gcol_graph_tests.dir/graph/datasets_test.cpp.o"
+  "CMakeFiles/gcol_graph_tests.dir/graph/datasets_test.cpp.o.d"
+  "CMakeFiles/gcol_graph_tests.dir/graph/generators_test.cpp.o"
+  "CMakeFiles/gcol_graph_tests.dir/graph/generators_test.cpp.o.d"
+  "CMakeFiles/gcol_graph_tests.dir/graph/mmio_test.cpp.o"
+  "CMakeFiles/gcol_graph_tests.dir/graph/mmio_test.cpp.o.d"
+  "CMakeFiles/gcol_graph_tests.dir/graph/permute_test.cpp.o"
+  "CMakeFiles/gcol_graph_tests.dir/graph/permute_test.cpp.o.d"
+  "CMakeFiles/gcol_graph_tests.dir/graph/stats_test.cpp.o"
+  "CMakeFiles/gcol_graph_tests.dir/graph/stats_test.cpp.o.d"
+  "gcol_graph_tests"
+  "gcol_graph_tests.pdb"
+  "gcol_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcol_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

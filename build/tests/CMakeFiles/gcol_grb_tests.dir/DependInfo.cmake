@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grb/algorithm2_integration_test.cpp" "tests/CMakeFiles/gcol_grb_tests.dir/grb/algorithm2_integration_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_grb_tests.dir/grb/algorithm2_integration_test.cpp.o.d"
+  "/root/repo/tests/grb/algorithm34_integration_test.cpp" "tests/CMakeFiles/gcol_grb_tests.dir/grb/algorithm34_integration_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_grb_tests.dir/grb/algorithm34_integration_test.cpp.o.d"
+  "/root/repo/tests/grb/assign_apply_test.cpp" "tests/CMakeFiles/gcol_grb_tests.dir/grb/assign_apply_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_grb_tests.dir/grb/assign_apply_test.cpp.o.d"
+  "/root/repo/tests/grb/bitmap_test.cpp" "tests/CMakeFiles/gcol_grb_tests.dir/grb/bitmap_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_grb_tests.dir/grb/bitmap_test.cpp.o.d"
+  "/root/repo/tests/grb/ewise_test.cpp" "tests/CMakeFiles/gcol_grb_tests.dir/grb/ewise_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_grb_tests.dir/grb/ewise_test.cpp.o.d"
+  "/root/repo/tests/grb/model_check_test.cpp" "tests/CMakeFiles/gcol_grb_tests.dir/grb/model_check_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_grb_tests.dir/grb/model_check_test.cpp.o.d"
+  "/root/repo/tests/grb/reduce_scatter_test.cpp" "tests/CMakeFiles/gcol_grb_tests.dir/grb/reduce_scatter_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_grb_tests.dir/grb/reduce_scatter_test.cpp.o.d"
+  "/root/repo/tests/grb/vector_test.cpp" "tests/CMakeFiles/gcol_grb_tests.dir/grb/vector_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_grb_tests.dir/grb/vector_test.cpp.o.d"
+  "/root/repo/tests/grb/vxm_test.cpp" "tests/CMakeFiles/gcol_grb_tests.dir/grb/vxm_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_grb_tests.dir/grb/vxm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/gcol_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gcol_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcol_grb_tests.dir/grb/algorithm2_integration_test.cpp.o"
+  "CMakeFiles/gcol_grb_tests.dir/grb/algorithm2_integration_test.cpp.o.d"
+  "CMakeFiles/gcol_grb_tests.dir/grb/algorithm34_integration_test.cpp.o"
+  "CMakeFiles/gcol_grb_tests.dir/grb/algorithm34_integration_test.cpp.o.d"
+  "CMakeFiles/gcol_grb_tests.dir/grb/assign_apply_test.cpp.o"
+  "CMakeFiles/gcol_grb_tests.dir/grb/assign_apply_test.cpp.o.d"
+  "CMakeFiles/gcol_grb_tests.dir/grb/bitmap_test.cpp.o"
+  "CMakeFiles/gcol_grb_tests.dir/grb/bitmap_test.cpp.o.d"
+  "CMakeFiles/gcol_grb_tests.dir/grb/ewise_test.cpp.o"
+  "CMakeFiles/gcol_grb_tests.dir/grb/ewise_test.cpp.o.d"
+  "CMakeFiles/gcol_grb_tests.dir/grb/model_check_test.cpp.o"
+  "CMakeFiles/gcol_grb_tests.dir/grb/model_check_test.cpp.o.d"
+  "CMakeFiles/gcol_grb_tests.dir/grb/reduce_scatter_test.cpp.o"
+  "CMakeFiles/gcol_grb_tests.dir/grb/reduce_scatter_test.cpp.o.d"
+  "CMakeFiles/gcol_grb_tests.dir/grb/vector_test.cpp.o"
+  "CMakeFiles/gcol_grb_tests.dir/grb/vector_test.cpp.o.d"
+  "CMakeFiles/gcol_grb_tests.dir/grb/vxm_test.cpp.o"
+  "CMakeFiles/gcol_grb_tests.dir/grb/vxm_test.cpp.o.d"
+  "gcol_grb_tests"
+  "gcol_grb_tests.pdb"
+  "gcol_grb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcol_grb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

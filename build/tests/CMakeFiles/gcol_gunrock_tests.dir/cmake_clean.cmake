@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcol_gunrock_tests.dir/gunrock/enactor_test.cpp.o"
+  "CMakeFiles/gcol_gunrock_tests.dir/gunrock/enactor_test.cpp.o.d"
+  "CMakeFiles/gcol_gunrock_tests.dir/gunrock/frontier_test.cpp.o"
+  "CMakeFiles/gcol_gunrock_tests.dir/gunrock/frontier_test.cpp.o.d"
+  "CMakeFiles/gcol_gunrock_tests.dir/gunrock/operators_test.cpp.o"
+  "CMakeFiles/gcol_gunrock_tests.dir/gunrock/operators_test.cpp.o.d"
+  "gcol_gunrock_tests"
+  "gcol_gunrock_tests.pdb"
+  "gcol_gunrock_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcol_gunrock_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/atomics_test.cpp" "tests/CMakeFiles/gcol_sim_tests.dir/sim/atomics_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_sim_tests.dir/sim/atomics_test.cpp.o.d"
+  "/root/repo/tests/sim/compact_test.cpp" "tests/CMakeFiles/gcol_sim_tests.dir/sim/compact_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_sim_tests.dir/sim/compact_test.cpp.o.d"
+  "/root/repo/tests/sim/device_test.cpp" "tests/CMakeFiles/gcol_sim_tests.dir/sim/device_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_sim_tests.dir/sim/device_test.cpp.o.d"
+  "/root/repo/tests/sim/reduce_test.cpp" "tests/CMakeFiles/gcol_sim_tests.dir/sim/reduce_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_sim_tests.dir/sim/reduce_test.cpp.o.d"
+  "/root/repo/tests/sim/rng_test.cpp" "tests/CMakeFiles/gcol_sim_tests.dir/sim/rng_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_sim_tests.dir/sim/rng_test.cpp.o.d"
+  "/root/repo/tests/sim/scan_test.cpp" "tests/CMakeFiles/gcol_sim_tests.dir/sim/scan_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_sim_tests.dir/sim/scan_test.cpp.o.d"
+  "/root/repo/tests/sim/segmented_reduce_test.cpp" "tests/CMakeFiles/gcol_sim_tests.dir/sim/segmented_reduce_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_sim_tests.dir/sim/segmented_reduce_test.cpp.o.d"
+  "/root/repo/tests/sim/thread_pool_test.cpp" "tests/CMakeFiles/gcol_sim_tests.dir/sim/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/gcol_sim_tests.dir/sim/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/gcol_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gcol_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

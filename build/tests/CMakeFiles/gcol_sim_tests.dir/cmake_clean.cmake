@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcol_sim_tests.dir/sim/atomics_test.cpp.o"
+  "CMakeFiles/gcol_sim_tests.dir/sim/atomics_test.cpp.o.d"
+  "CMakeFiles/gcol_sim_tests.dir/sim/compact_test.cpp.o"
+  "CMakeFiles/gcol_sim_tests.dir/sim/compact_test.cpp.o.d"
+  "CMakeFiles/gcol_sim_tests.dir/sim/device_test.cpp.o"
+  "CMakeFiles/gcol_sim_tests.dir/sim/device_test.cpp.o.d"
+  "CMakeFiles/gcol_sim_tests.dir/sim/reduce_test.cpp.o"
+  "CMakeFiles/gcol_sim_tests.dir/sim/reduce_test.cpp.o.d"
+  "CMakeFiles/gcol_sim_tests.dir/sim/rng_test.cpp.o"
+  "CMakeFiles/gcol_sim_tests.dir/sim/rng_test.cpp.o.d"
+  "CMakeFiles/gcol_sim_tests.dir/sim/scan_test.cpp.o"
+  "CMakeFiles/gcol_sim_tests.dir/sim/scan_test.cpp.o.d"
+  "CMakeFiles/gcol_sim_tests.dir/sim/segmented_reduce_test.cpp.o"
+  "CMakeFiles/gcol_sim_tests.dir/sim/segmented_reduce_test.cpp.o.d"
+  "CMakeFiles/gcol_sim_tests.dir/sim/thread_pool_test.cpp.o"
+  "CMakeFiles/gcol_sim_tests.dir/sim/thread_pool_test.cpp.o.d"
+  "gcol_sim_tests"
+  "gcol_sim_tests.pdb"
+  "gcol_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcol_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gcol_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/gcol_graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/gcol_grb_tests[1]_include.cmake")
+include("/root/repo/build/tests/gcol_gunrock_tests[1]_include.cmake")
+include("/root/repo/build/tests/gcol_dist_tests[1]_include.cmake")
+include("/root/repo/build/tests/gcol_core_tests[1]_include.cmake")
+add_test(gcol_sim_tests_mt4 "/root/repo/build/tests/gcol_sim_tests")
+set_tests_properties(gcol_sim_tests_mt4 PROPERTIES  ENVIRONMENT "GCOL_THREADS=4" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gcol_grb_tests_mt4 "/root/repo/build/tests/gcol_grb_tests")
+set_tests_properties(gcol_grb_tests_mt4 PROPERTIES  ENVIRONMENT "GCOL_THREADS=4" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gcol_gunrock_tests_mt4 "/root/repo/build/tests/gcol_gunrock_tests")
+set_tests_properties(gcol_gunrock_tests_mt4 PROPERTIES  ENVIRONMENT "GCOL_THREADS=4" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gcol_core_tests_mt4 "/root/repo/build/tests/gcol_core_tests")
+set_tests_properties(gcol_core_tests_mt4 PROPERTIES  ENVIRONMENT "GCOL_THREADS=4" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gcol_dist_tests_mt4 "/root/repo/build/tests/gcol_dist_tests")
+set_tests_properties(gcol_dist_tests_mt4 PROPERTIES  ENVIRONMENT "GCOL_THREADS=4" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
