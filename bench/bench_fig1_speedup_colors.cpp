@@ -22,6 +22,7 @@ using namespace gcol;
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
   const auto algorithms = color::figure1_algorithms();
+  bench::JsonReport report("fig1_speedup_colors", args);
 
   std::printf("== Figure 1: speedup vs Naumov/Color_JPL and color counts "
               "(scale=%.3f, runs=%d) ==\n\n",
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   std::vector<double> mis_runtime_vs_is, jpl_runtime_vs_is;
 
   for (const graph::DatasetInfo& info : graph::paper_datasets()) {
+    if (!bench::dataset_selected(args, info.name)) continue;
     const graph::Csr csr = graph::build_dataset(info, args.scale);
     std::map<std::string, bench::Measurement> results;
     for (const auto* spec : algorithms) {
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
                      spec->name.c_str(), info.name.c_str());
         return 1;
       }
+      report.add_measurement(info.name, results[spec->name]);
     }
 
     const double baseline_ms = results["naumov_jpl"].ms_avg;
@@ -112,5 +115,9 @@ int main(int argc, char** argv) {
               "MIS %.2fx slower (paper 3x)\n",
               bench::geomean(jpl_runtime_vs_is),
               bench::geomean(mis_runtime_vs_is));
+  if (!report.write()) {
+    std::fprintf(stderr, "FAILED to write JSON report\n");
+    return 1;
+  }
   return 0;
 }

@@ -14,12 +14,21 @@ namespace {
 
 using namespace gcol;
 
-void add_dataset_row(bench::TablePrinter& table,
+void add_dataset_row(bench::TablePrinter& table, bench::JsonReport& report,
                      const graph::DatasetInfo& info, const graph::Csr& csr,
                      vid_t diameter_samples) {
   const graph::DegreeStats stats = graph::degree_stats(csr);
   const bool sampled = diameter_samples < csr.num_vertices;
   const vid_t diameter = graph::estimate_diameter(csr, diameter_samples);
+  obs::Json record = obs::Json::object();
+  record.set("dataset", info.name);
+  record.set("vertices", static_cast<std::int64_t>(csr.num_vertices));
+  record.set("edges", static_cast<std::int64_t>(csr.num_undirected_edges()));
+  record.set("avg_degree", stats.average_degree);
+  record.set("diameter", static_cast<std::int64_t>(diameter));
+  record.set("diameter_sampled", sampled);
+  record.set("kind", info.kind);
+  report.add_record(std::move(record));
   table.add_row({
       info.name,
       std::to_string(csr.num_vertices),
@@ -40,6 +49,7 @@ void add_dataset_row(bench::TablePrinter& table,
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
+  bench::JsonReport report("table1_datasets", args);
 
   std::printf("== Table I: Dataset Description (generated analogues at "
               "scale=%.3f vs paper) ==\n",
@@ -53,21 +63,27 @@ int main(int argc, char** argv) {
       args.csv);
 
   for (const graph::DatasetInfo& info : graph::paper_datasets()) {
+    if (!bench::dataset_selected(args, info.name)) continue;
     const graph::Csr csr = graph::build_dataset(info, args.scale);
     // The paper samples up to 10,000 sources; scale the sample count with
     // the shrunken graphs so runtime stays bounded.
     const vid_t samples =
         csr.num_vertices > 20000 ? 64 : csr.num_vertices;
-    add_dataset_row(table, info, csr, samples);
+    add_dataset_row(table, report, info, csr, samples);
   }
 
   for (int scale = args.min_rgg_scale; scale <= args.max_rgg_scale; ++scale) {
     const graph::DatasetInfo info = graph::rgg_dataset(scale);
+    if (!bench::dataset_selected(args, info.name)) continue;
     const graph::Csr csr = graph::build_dataset(info, 1.0);
     const vid_t samples = csr.num_vertices > 20000 ? 64 : csr.num_vertices;
-    add_dataset_row(table, info, csr, samples);
+    add_dataset_row(table, report, info, csr, samples);
   }
 
   table.print();
+  if (!report.write()) {
+    std::fprintf(stderr, "FAILED to write JSON report\n");
+    return 1;
+  }
   return 0;
 }

@@ -31,6 +31,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
+  bench::JsonReport report("table2_optimizations", args);
 
   const graph::DatasetInfo* info = graph::find_dataset("G3_circuit");
   const graph::Csr csr = graph::build_dataset(*info, args.scale);
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "INVALID coloring from %s\n", row.algorithm);
       return 1;
     }
+    report.add_measurement(info->name, m);
     const double speedup = previous_ms > 0.0 ? previous_ms / m.ms_avg : 0.0;
     const double paper_speedup =
         previous_paper > 0.0 ? previous_paper / row.paper_ms : 0.0;
@@ -79,5 +81,9 @@ int main(int argc, char** argv) {
     previous_paper = row.paper_ms;
   }
   table.print();
+  if (!report.write()) {
+    std::fprintf(stderr, "FAILED to write JSON report\n");
+    return 1;
+  }
   return 0;
 }

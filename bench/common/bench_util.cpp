@@ -16,7 +16,7 @@ namespace {
 [[noreturn]] void usage_and_exit(const char* program) {
   std::printf(
       "usage: %s [--scale=F] [--runs=N] [--csv] [--min-rgg=N] [--max-rgg=N] "
-      "[--seed=N]\n"
+      "[--seed=N] [--json PATH] [--datasets=A,B]\n"
       "  --scale=F    dataset size as a fraction of the paper's (default "
       "0.03; 1.0 = full size)\n"
       "  --runs=N     timed repetitions to average (default 3; paper used "
@@ -26,7 +26,9 @@ namespace {
       "12)\n"
       "  --max-rgg=N  largest RGG scale for the Figure 3 sweep (default 17; "
       "paper used 24)\n"
-      "  --seed=N     RNG seed (default 1)\n",
+      "  --seed=N     RNG seed (default 1)\n"
+      "  --json PATH  also write a gcol-bench-v1 JSON report to PATH\n"
+      "  --datasets=A,B  only run the named datasets (default: all)\n",
       program);
   std::exit(2);
 }
@@ -44,6 +46,11 @@ bool parse_kv(const char* arg, const char* key, const char** value) {
 
 Args parse_args(int argc, char** argv) {
   Args args;
+  // Flags taking a value accept both --flag=value and --flag value.
+  auto next_value = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) usage_and_exit(argv[0]);
+    return argv[++*i];
+  };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* value = nullptr;
@@ -59,6 +66,14 @@ Args parse_args(int argc, char** argv) {
       args.max_rgg_scale = std::atoi(value);
     } else if (parse_kv(arg, "--seed", &value)) {
       args.seed = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (parse_kv(arg, "--json", &value)) {
+      args.json_path = value;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      args.json_path = next_value(&i);
+    } else if (parse_kv(arg, "--datasets", &value)) {
+      args.datasets = value;
+    } else if (std::strcmp(arg, "--datasets") == 0) {
+      args.datasets = next_value(&i);
     } else {
       usage_and_exit(argv[0]);
     }
@@ -69,6 +84,19 @@ Args parse_args(int argc, char** argv) {
     usage_and_exit(argv[0]);
   }
   return args;
+}
+
+bool dataset_selected(const Args& args, std::string_view name) {
+  if (args.datasets.empty()) return true;
+  const std::string_view filter = args.datasets;
+  std::size_t begin = 0;
+  while (begin <= filter.size()) {
+    std::size_t end = filter.find(',', begin);
+    if (end == std::string_view::npos) end = filter.size();
+    if (filter.substr(begin, end - begin) == name) return true;
+    begin = end + 1;
+  }
+  return false;
 }
 
 Measurement run_averaged(const color::AlgorithmSpec& spec,
@@ -148,6 +176,46 @@ std::string fmt(double value, int precision) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
   return buffer;
+}
+
+JsonReport::JsonReport(std::string bench_name, const Args& args)
+    : path_(args.json_path),
+      header_(obs::Json::object()),
+      records_(obs::Json::array()) {
+  header_.set("schema", "gcol-bench-v1");
+  header_.set("bench", std::move(bench_name));
+  header_.set("scale", args.scale);
+  header_.set("runs", args.runs);
+  header_.set("seed", static_cast<std::int64_t>(args.seed));
+}
+
+void JsonReport::add_measurement(std::string_view dataset,
+                                 const Measurement& m) {
+  if (!enabled()) return;
+  obs::Json record = obs::Json::object();
+  record.set("dataset", dataset);
+  record.set("algorithm", m.result.algorithm);
+  record.set("ms", m.ms_avg);
+  record.set("ms_min", m.ms_min);
+  record.set("colors", m.result.num_colors);
+  record.set("iterations", m.result.iterations);
+  record.set("kernel_launches", m.result.kernel_launches);
+  record.set("conflicts_resolved", m.result.conflicts_resolved);
+  record.set("valid", m.valid);
+  record.set("metrics", m.result.metrics.to_json());
+  add_record(std::move(record));
+}
+
+void JsonReport::add_record(obs::Json record) {
+  if (!enabled()) return;
+  records_.push_back(std::move(record));
+}
+
+bool JsonReport::write() const {
+  if (!enabled()) return true;
+  obs::Json document = header_;
+  document.set("records", records_);
+  return obs::write_json_file(path_, document);
 }
 
 }  // namespace gcol::bench

@@ -8,11 +8,13 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/registry.hpp"
 #include "core/result.hpp"
 #include "graph/csr.hpp"
+#include "obs/json.hpp"
 
 namespace gcol::bench {
 
@@ -26,11 +28,18 @@ struct Args {
   int min_rgg_scale = 12; ///< Figure 3 sweep lower bound (paper: 15)
   int max_rgg_scale = 17; ///< Figure 3 sweep upper bound (paper: 24)
   std::uint64_t seed = 1;
+  std::string json_path;  ///< --json: write a machine-readable report here
+  std::string datasets;   ///< --datasets: comma-separated name filter
 };
 
-/// Parses --scale=0.1 --runs=10 --csv --min-rgg=15 --max-rgg=20 --seed=7.
+/// Parses --scale=0.1 --runs=10 --csv --min-rgg=15 --max-rgg=20 --seed=7
+/// --json out.json (or --json=out.json) --datasets=offshore,G3_circuit.
 /// Prints usage and exits on --help or unknown arguments.
 [[nodiscard]] Args parse_args(int argc, char** argv);
+
+/// True when `name` passes the --datasets filter (an empty filter passes
+/// everything). Matching is exact per comma-separated token.
+[[nodiscard]] bool dataset_selected(const Args& args, std::string_view name);
 
 struct Measurement {
   double ms_avg = 0.0;
@@ -63,5 +72,41 @@ class TablePrinter {
 
 /// Formats a double with fixed precision.
 [[nodiscard]] std::string fmt(double value, int precision = 2);
+
+/// Accumulates one schema-stable JSON record per (dataset, algorithm) data
+/// point and writes the whole report on demand:
+///
+///   {"schema": "gcol-bench-v1", "bench": <name>, "scale": F, "runs": N,
+///    "seed": N, "records": [{"dataset": ..., "algorithm": ..., "ms": F,
+///    "ms_min": F, "colors": N, "iterations": N, "kernel_launches": N,
+///    "conflicts_resolved": N, "valid": B, "display_name": ...,
+///    "metrics": {...}}, ...]}
+///
+/// Key order is fixed by construction (obs::Json preserves insertion order),
+/// so reports diff cleanly across runs and CI can validate them against a
+/// fixed schema.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, const Args& args);
+
+  /// True when --json was passed; harnesses skip reporting otherwise.
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Appends the standard record for one measured (dataset, algorithm) cell.
+  void add_measurement(std::string_view dataset, const Measurement& m);
+
+  /// Appends a custom record (dataset statistics, ablation rows, ...).
+  /// The caller owns the schema of these; "dataset" should still lead.
+  void add_record(obs::Json record);
+
+  /// Writes the report to the --json path. No-op (returns true) when
+  /// disabled; returns false on I/O failure.
+  [[nodiscard]] bool write() const;
+
+ private:
+  std::string path_;
+  obs::Json header_;   ///< top-level fields, in schema order
+  obs::Json records_;  ///< accumulated record array
+};
 
 }  // namespace gcol::bench

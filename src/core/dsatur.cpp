@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/verify.hpp"
+#include "obs/metrics.hpp"
+#include "sim/device.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::color {
@@ -36,8 +38,14 @@ Coloring dsatur_color(const graph::Csr& csr, const DsaturOptions&) {
   result.algorithm = "dsatur";
   result.colors.assign(un, kUncolored);
   if (n == 0) return result;
+  // Sequential baseline, but still observable: the whole color phase runs
+  // as one host_pass so it appears in the kernel stream (and in
+  // kernel_launches) alongside the parallel algorithms.
+  auto& device = sim::Device::instance();
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
   const sim::Stopwatch watch;
+  const std::uint64_t launches_before = device.launch_count();
 
   // Per-vertex set of distinct neighbor colors (saturation = size). A flat
   // sorted set per vertex is fine at mesh degrees.
@@ -50,6 +58,7 @@ Coloring dsatur_color(const graph::Csr& csr, const DsaturOptions&) {
   std::vector<vid_t> forbidden(un + 1, -1);
   vid_t colored = 0;
   vid_t stamp = 0;
+  device.host_pass("dsatur_color", [&] {
   while (colored < n) {
     const Key top = queue.top();
     queue.pop();
@@ -81,9 +90,13 @@ Coloring dsatur_color(const graph::Csr& csr, const DsaturOptions&) {
       }
     }
   }
+  });
 
   result.elapsed_ms = watch.elapsed_ms();
   result.iterations = 1;
+  result.kernel_launches = device.launch_count() - launches_before;
+  result.metrics.push("frontier", n);
+  result.metrics.push("colored", n);
   result.num_colors = count_colors(result.colors);
   return result;
 }

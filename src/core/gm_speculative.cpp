@@ -7,6 +7,7 @@
 #include "gunrock/enactor.hpp"
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
+#include "obs/metrics.hpp"
 #include "sim/atomics.hpp"
 #include "sim/timer.hpp"
 
@@ -48,10 +49,12 @@ Coloring gm_speculative_color(const graph::Csr& csr,
   result.algorithm = "gm_speculative";
   result.colors.assign(un, kUncolored);
   if (n == 0) return result;
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
   std::int32_t* colors = result.colors.data();
   gr::Frontier active = gr::Frontier::all(n);
   std::atomic<std::int64_t> conflicts_total{0};
+  std::int64_t prev_conflicts = 0;
 
   const sim::Stopwatch watch;
   const std::uint64_t launches_before = device.launch_count();
@@ -60,13 +63,19 @@ Coloring gm_speculative_color(const graph::Csr& csr,
     // Sequential tail: below the threshold the coordination cost of two
     // more parallel launches exceeds just finishing the stragglers.
     if (!active.is_all() && active.size() <= options.sequential_threshold) {
-      for (std::int64_t i = 0; i < active.size(); ++i) {
-        const vid_t v = active.vertex(i);
-        colors[static_cast<std::size_t>(v)] = min_available(csr, colors, v);
-      }
+      result.metrics.push("frontier", active.size());
+      device.host_pass("gm::sequential_tail", [&] {
+        for (std::int64_t i = 0; i < active.size(); ++i) {
+          const vid_t v = active.vertex(i);
+          colors[static_cast<std::size_t>(v)] = min_available(csr, colors, v);
+        }
+      });
+      result.metrics.push("colored", n);
+      result.metrics.push("conflicts", 0);
       return false;
     }
 
+    result.metrics.push("frontier", active.size());
     // Phase 1: optimistic (speculative) coloring.
     gr::compute(device, active, [&](vid_t v) {
       sim::atomic_store(colors[static_cast<std::size_t>(v)],
@@ -95,6 +104,11 @@ Coloring gm_speculative_color(const graph::Csr& csr,
       }
       return false;
     });
+    result.metrics.push("colored", n - active.size());
+    const std::int64_t conflicts_now =
+        conflicts_total.load(std::memory_order_relaxed);
+    result.metrics.push("conflicts", conflicts_now - prev_conflicts);
+    prev_conflicts = conflicts_now;
     return !active.is_empty();
   });
 

@@ -2,6 +2,7 @@
 
 #include "core/grb_common.hpp"
 #include "core/verify.hpp"
+#include "obs/metrics.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::color {
@@ -16,6 +17,7 @@ Coloring grb_is_color(const graph::Csr& csr, const GrbIsOptions& options) {
   if (n == 0) return result;
 
   auto& device = sim::Device::instance();
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
   const grb::Matrix<Weight> a(csr);
   grb::Vector<std::int32_t> c(n);
   grb::Vector<Weight> weight(n);
@@ -29,6 +31,7 @@ Coloring grb_is_color(const graph::Csr& csr, const GrbIsOptions& options) {
   grb::assign(c, nullptr, std::int32_t{0});
   detail::set_random_weights(weight, options.seed);
 
+  std::int64_t colored_total = 0;
   for (std::int32_t color = 1; color <= options.max_iterations; ++color) {
     // Find max of neighbors (l.8).
     grb::vxm(max, nullptr, grb::max_times_semiring<Weight>(), weight, a);
@@ -36,10 +39,15 @@ Coloring grb_is_color(const graph::Csr& csr, const GrbIsOptions& options) {
     // neighborless candidates (missing max entry) members automatically.
     grb::eWiseAdd(frontier, nullptr, grb::Greater{}, weight, max);
     detail::booleanize(frontier);
-    // Stop when the frontier is empty (l.11-15).
+    // Stop when the frontier is empty (l.11-15). The plus-reduce over the
+    // 0/1 frontier doubles as the independent-set size for the metrics.
     Weight succ = 0;
     grb::reduce(&succ, grb::plus_monoid<Weight>(), frontier);
     if (succ == 0) break;
+    result.metrics.push("frontier", n - colored_total);
+    colored_total += static_cast<std::int64_t>(succ);
+    result.metrics.push("colored", colored_total);
+    result.metrics.push("colors_opened", color);
     // Assign new color; remove colored nodes from candidates (l.17-19).
     grb::assign(c, &frontier, color);
     grb::assign(weight, &frontier, Weight{0});

@@ -4,6 +4,7 @@
 
 #include "core/grb_common.hpp"
 #include "core/verify.hpp"
+#include "obs/metrics.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::color {
@@ -62,6 +63,7 @@ Coloring grb_jpl_color(const graph::Csr& csr, const GrbJplOptions& options) {
   if (n == 0) return result;
 
   auto& device = sim::Device::instance();
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
   const grb::Matrix<Weight> a(csr);
   grb::Vector<std::int32_t> c(n);
   grb::Vector<Weight> weight(n), max(n), frontier(n), nbr(n), used(n);
@@ -82,6 +84,8 @@ Coloring grb_jpl_color(const graph::Csr& csr, const GrbJplOptions& options) {
   grb::assign(c, nullptr, std::int32_t{0});
   detail::set_random_weights(weight, options.seed);
 
+  std::int64_t colored_total = 0;
+  std::int32_t max_color = 0;
   for (std::int32_t round = 1; round <= options.max_iterations; ++round) {
     // Select the independent set exactly as Algorithm 2 does.
     grb::vxm(max, nullptr, grb::max_times_semiring<Weight>(), weight, a);
@@ -95,6 +99,11 @@ Coloring grb_jpl_color(const graph::Csr& csr, const GrbJplOptions& options) {
         jp_min_color(a, c, frontier, nbr, used, palette, ascending, min_array);
     grb::assign(c, &frontier, min_color);
     grb::assign(weight, &frontier, Weight{0});
+    result.metrics.push("frontier", n - colored_total);
+    colored_total += static_cast<std::int64_t>(succ);
+    result.metrics.push("colored", colored_total);
+    if (min_color > max_color) max_color = min_color;
+    result.metrics.push("colors_opened", max_color);
     ++result.iterations;
   }
 

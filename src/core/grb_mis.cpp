@@ -2,6 +2,7 @@
 
 #include "core/grb_common.hpp"
 #include "core/verify.hpp"
+#include "obs/metrics.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::color {
@@ -50,6 +51,7 @@ Coloring grb_mis_color(const graph::Csr& csr, const GrbMisOptions& options) {
   if (n == 0) return result;
 
   auto& device = sim::Device::instance();
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
   const grb::Matrix<Weight> a(csr);
   grb::Vector<std::int32_t> c(n);
   grb::Vector<Weight> weight(n), cand(n), mis(n), max(n), frontier(n), nbr(n);
@@ -60,15 +62,21 @@ Coloring grb_mis_color(const graph::Csr& csr, const GrbMisOptions& options) {
   grb::assign(c, nullptr, std::int32_t{0});
   detail::set_random_weights(weight, options.seed);
 
+  std::int64_t colored_total = 0;
   for (std::int32_t color = 1; color <= options.max_iterations; ++color) {
     // Inner loop operates on a copy: knocked-out neighbors must stay
     // colorable in later outer rounds.
     cand = weight;
     mis_inner(a, cand, mis, max, frontier, nbr);
-    // The MIS is empty only when no uncolored vertices remain.
-    Weight any = 0;
-    grb::reduce(&any, grb::lor_monoid<Weight>(), mis);
-    if (any == 0) break;
+    // The MIS is empty only when no uncolored vertices remain. Summing the
+    // 0/1 set vector gives the emptiness test and the set size in one pass.
+    Weight size = 0;
+    grb::reduce(&size, grb::plus_monoid<Weight>(), mis);
+    if (size == 0) break;
+    result.metrics.push("frontier", n - colored_total);
+    colored_total += static_cast<std::int64_t>(size);
+    result.metrics.push("colored", colored_total);
+    result.metrics.push("colors_opened", color);
     grb::assign(c, &mis, color);
     grb::assign(weight, &mis, Weight{0});
     ++result.iterations;

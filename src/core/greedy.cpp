@@ -5,6 +5,8 @@
 
 #include "core/ordering.hpp"
 #include "core/verify.hpp"
+#include "obs/metrics.hpp"
+#include "sim/device.hpp"
 #include "sim/rng.hpp"
 #include "sim/timer.hpp"
 
@@ -27,8 +29,14 @@ Coloring greedy_color(const graph::Csr& csr, const GreedyOptions& options) {
   Coloring result;
   result.algorithm = std::string("cpu_greedy_") + to_string(options.order);
   result.colors.assign(un, kUncolored);
+  // Sequential baseline, but still observable: the whole color phase runs
+  // as one host_pass so it appears in the kernel stream (and in
+  // kernel_launches) alongside the parallel algorithms.
+  auto& device = sim::Device::instance();
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
   const sim::Stopwatch watch;
+  const std::uint64_t launches_before = device.launch_count();
 
   // `forbidden[c] == stamp` means color c is used by a neighbor of the
   // vertex currently being colored — O(1) reset between vertices.
@@ -43,6 +51,7 @@ Coloring greedy_color(const graph::Csr& csr, const GreedyOptions& options) {
     result.colors[static_cast<std::size_t>(v)] = color;
   };
 
+  device.host_pass("greedy_color", [&] {
   if (options.order == GreedyOrder::kIncidenceDegree) {
     // Dynamic ordering: always color the vertex with the most colored
     // neighbors (saturation by incidence count); bucket queue keyed by
@@ -88,9 +97,13 @@ Coloring greedy_color(const graph::Csr& csr, const GreedyOptions& options) {
       first_fit(order[static_cast<std::size_t>(k)], k);
     }
   }
+  });
 
   result.elapsed_ms = watch.elapsed_ms();
   result.iterations = 1;
+  result.kernel_launches = device.launch_count() - launches_before;
+  result.metrics.push("frontier", n);
+  result.metrics.push("colored", n);
   result.num_colors = count_colors(result.colors);
   return result;
 }

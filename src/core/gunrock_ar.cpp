@@ -8,6 +8,7 @@
 #include "gunrock/enactor.hpp"
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/timer.hpp"
 
@@ -42,6 +43,7 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
   result.algorithm = options.fused_minmax ? "gunrock_ar_fused" : "gunrock_ar";
   result.colors.assign(un, kUncolored);
   if (n == 0) return result;
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
   std::vector<std::int32_t> random(un);
   const sim::CounterRng rng(options.seed);
@@ -61,6 +63,7 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
   const std::uint64_t launches_before = device.launch_count();
   gr::Enactor enactor(device, options.max_iterations);
   const gr::EnactorStats stats = enactor.enact([&](std::int32_t iteration) {
+    result.metrics.push("frontier", frontier.size());
     if (options.fused_minmax) {
       // Fused future-work variant: ONE segmented reduction produces both
       // extremes, so two mutually-exclusive independent sets color per
@@ -84,7 +87,7 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
           MinMaxPair{kNoNeighbor, kNoNeighborMin}, extremes);
 
       const std::int32_t color = 2 * iteration;
-      device.parallel_for(frontier.size(), [&](std::int64_t i) {
+      device.launch("ar::color_fused", frontier.size(), [&](std::int64_t i) {
         const vid_t v = frontier.vertex(i);
         const auto uv = static_cast<std::size_t>(v);
         const std::int64_t mine = packed_priority(random[uv], v);
@@ -114,7 +117,8 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
 
       // ColorRemovedOp: frontier vertices beating their whole neighborhood
       // take this iteration's color.
-      device.parallel_for(frontier.size(), [&](std::int64_t i) {
+      device.launch("ar::color_removed", frontier.size(),
+                    [&](std::int64_t i) {
         const vid_t v = frontier.vertex(i);
         const auto uv = static_cast<std::size_t>(v);
         if (packed_priority(random[uv], v) >
@@ -128,6 +132,10 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
     frontier = gr::filter(device, frontier, [&](vid_t v) {
       return colors[static_cast<std::size_t>(v)] == kUncolored;
     });
+    result.metrics.push("colored", n - frontier.size());
+    result.metrics.push("colors_opened",
+                        options.fused_minmax ? 2 * (iteration + 1)
+                                             : iteration + 1);
     return !frontier.is_empty();
   });
 

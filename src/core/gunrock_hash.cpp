@@ -7,6 +7,7 @@
 #include "gunrock/enactor.hpp"
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
+#include "obs/metrics.hpp"
 #include "sim/atomics.hpp"
 #include "sim/reduce.hpp"
 #include "sim/rng.hpp"
@@ -33,6 +34,7 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
   result.algorithm = "gunrock_hash";
   result.colors.assign(un, kUncolored);
   if (n == 0) return result;
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
   const std::int32_t hash_size =
       options.hash_size < 1 ? 1 : options.hash_size;
@@ -57,6 +59,8 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
   std::vector<std::uint8_t> lost_conflict(un, 0);
 
   std::atomic<std::int64_t> conflicts{0};
+  std::int64_t prev_colored = 0;
+  std::int64_t prev_conflicts = 0;
   const gr::Frontier frontier = gr::Frontier::all(n);
 
   // Checks the per-vertex table; colors not found may still conflict — the
@@ -178,6 +182,14 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
 
     const std::int64_t colored = sim::count_if<std::int32_t>(
         device, result.colors, [](std::int32_t c) { return c != kUncolored; });
+    const std::int64_t conflicts_now =
+        conflicts.load(std::memory_order_relaxed);
+    result.metrics.push("frontier", n - prev_colored);
+    result.metrics.push("colored", colored);
+    result.metrics.push("colors_opened", 2 * (iteration + 1));
+    result.metrics.push("conflicts", conflicts_now - prev_conflicts);
+    prev_colored = colored;
+    prev_conflicts = conflicts_now;
     return colored < n;
   });
 

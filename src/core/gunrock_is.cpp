@@ -7,6 +7,7 @@
 #include "gunrock/enactor.hpp"
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
+#include "obs/metrics.hpp"
 #include "sim/atomics.hpp"
 #include "sim/reduce.hpp"
 #include "sim/rng.hpp"
@@ -38,6 +39,7 @@ Coloring gunrock_is_color(const graph::Csr& csr,
                                            : "gunrock_is";
   result.colors.assign(un, kUncolored);
   if (n == 0) return result;
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
   // Initialize R <- generateRandomNumbers (Algorithm 5 line 7).
   std::vector<std::int32_t> random(un);
@@ -50,6 +52,7 @@ Coloring gunrock_is_color(const graph::Csr& csr,
   std::int32_t* colors = result.colors.data();
   const gr::Frontier frontier = gr::Frontier::all(n);
   std::atomic<std::int64_t> colored_total{0};
+  std::int64_t prev_colored = 0;
 
   const sim::Stopwatch watch;
   const std::uint64_t launches_before = device.launch_count();
@@ -89,12 +92,19 @@ Coloring gunrock_is_color(const graph::Csr& csr,
 
     // Stop when all vertices hold a valid color (Algorithm 5 line 9). The
     // atomics variant reads the in-kernel counter; the no-atomics variant
-    // pays a separate count launch instead.
-    if (options.use_atomics) {
-      return colored_total.load(std::memory_order_relaxed) < n;
-    }
-    const std::int64_t colored = sim::count_if<std::int32_t>(
-        device, result.colors, [](std::int32_t c) { return c != kUncolored; });
+    // pays a separate count launch instead. Either way the stop check hands
+    // the iteration series its "colored so far" value for free.
+    const std::int64_t colored =
+        options.use_atomics
+            ? colored_total.load(std::memory_order_relaxed)
+            : sim::count_if<std::int32_t>(device, result.colors,
+                                          [](std::int32_t c) {
+                                            return c != kUncolored;
+                                          });
+    result.metrics.push("frontier", n - prev_colored);
+    result.metrics.push("colored", colored);
+    result.metrics.push("colors_opened", 2 * (iteration + 1));
+    prev_colored = colored;
     return colored < n;
   });
 

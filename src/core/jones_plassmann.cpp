@@ -7,6 +7,7 @@
 #include "gunrock/enactor.hpp"
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
+#include "obs/metrics.hpp"
 #include "sim/atomics.hpp"
 #include "sim/reduce.hpp"
 #include "sim/rng.hpp"
@@ -35,6 +36,7 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
       std::string("jones_plassmann_") + to_string(options.priority);
   result.colors.assign(un, kUncolored);
   if (n == 0) return result;
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
   // Priorities: a strict total order packed into int64. Higher priority
   // colors earlier; random bits break structural ties.
@@ -112,6 +114,7 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
   const std::uint64_t launches_before = device.launch_count();
   gr::Enactor enactor(device, options.max_iterations);
   const gr::EnactorStats stats = enactor.enact([&](std::int32_t) {
+    result.metrics.push("frontier", frontier.size());
     // A vertex colors itself with its minimum available color once no
     // snapshot-uncolored neighbor outranks it. Two adjacent vertices can
     // never color in the same round (one outranks the other in the shared
@@ -155,6 +158,7 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
     frontier = gr::filter(device, frontier, [&](vid_t v) {
       return colors[static_cast<std::size_t>(v)] == kUncolored;
     });
+    result.metrics.push("colored", n - frontier.size());
     return !frontier.is_empty();
   });
 

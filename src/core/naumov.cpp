@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/verify.hpp"
+#include "obs/metrics.hpp"
 #include "sim/atomics.hpp"
 #include "sim/device.hpp"
 #include "sim/reduce.hpp"
@@ -35,8 +36,10 @@ Coloring naumov_jpl_color(const graph::Csr& csr,
   result.algorithm = "naumov_jpl";
   result.colors.assign(un, kUncolored);
   if (n == 0) return result;
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
   std::int32_t* colors = result.colors.data();
+  std::int64_t prev_colored = 0;
 
   const sim::Stopwatch watch;
   const std::uint64_t launches_before = device.launch_count();
@@ -44,7 +47,7 @@ Coloring naumov_jpl_color(const graph::Csr& csr,
        ++iteration) {
     // One kernel: every uncolored vertex checks whether it holds the local
     // hash maximum among uncolored neighbors; re-randomized every iteration.
-    device.parallel_for(n, [&](std::int64_t vi) {
+    device.launch("naumov::jpl_color", n, [&](std::int64_t vi) {
       const auto v = static_cast<vid_t>(vi);
       const auto uv = static_cast<std::size_t>(v);
       if (colors[uv] != kUncolored) return;
@@ -68,6 +71,10 @@ Coloring naumov_jpl_color(const graph::Csr& csr,
 
     const std::int64_t uncolored = sim::count_if<std::int32_t>(
         device, result.colors, [](std::int32_t c) { return c == kUncolored; });
+    result.metrics.push("frontier", n - prev_colored);
+    result.metrics.push("colored", n - uncolored);
+    result.metrics.push("colors_opened", iteration + 1);
+    prev_colored = n - uncolored;
     if (uncolored == 0) break;
   }
 
@@ -94,14 +101,16 @@ Coloring naumov_cc_color(const graph::Csr& csr,
           ? 1
           : (options.num_hashes > kMaxHashes ? kMaxHashes
                                              : options.num_hashes);
+  const obs::ScopedDeviceMetrics scoped(device, result.metrics);
   std::int32_t* colors = result.colors.data();
+  std::int64_t prev_colored = 0;
 
   const sim::Stopwatch watch;
   const std::uint64_t launches_before = device.launch_count();
   for (std::int32_t iteration = 0; iteration < options.max_iterations;
        ++iteration) {
     const std::int32_t color_base = iteration * 2 * num_hashes;
-    device.parallel_for(n, [&](std::int64_t vi) {
+    device.launch("naumov::cc_color", n, [&](std::int64_t vi) {
       const auto v = static_cast<vid_t>(vi);
       const auto uv = static_cast<std::size_t>(v);
       if (colors[uv] != kUncolored) return;
@@ -149,6 +158,10 @@ Coloring naumov_cc_color(const graph::Csr& csr,
 
     const std::int64_t uncolored = sim::count_if<std::int32_t>(
         device, result.colors, [](std::int32_t c) { return c == kUncolored; });
+    result.metrics.push("frontier", n - prev_colored);
+    result.metrics.push("colored", n - uncolored);
+    result.metrics.push("colors_opened", (iteration + 1) * 2 * num_hashes);
+    prev_colored = n - uncolored;
     if (uncolored == 0) break;
   }
 

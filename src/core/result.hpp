@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace gcol::color {
 
@@ -26,6 +27,10 @@ struct Coloring {
   double elapsed_ms = 0.0;           ///< wall clock of the color phase only
   std::uint64_t kernel_launches = 0; ///< global-synchronization proxy
   std::int64_t conflicts_resolved = 0;  ///< hash/speculative variants only
+  /// Per-run observability payload: per-kernel launch aggregates plus
+  /// per-iteration series ("frontier", "colored", ...). Filled by every
+  /// algorithm; serialized by the harnesses' --json mode.
+  obs::Metrics metrics;
 };
 
 /// Options shared by the parallel heuristics. Each algorithm header extends

@@ -100,8 +100,9 @@ class DenseView {
     scratch_present_.assign(n, 0);
     const auto indices = v.sparse_indices();
     const auto values = v.sparse_values();
-    device.parallel_for(
-        static_cast<std::int64_t>(indices.size()), [&](std::int64_t k) {
+    device.launch(
+        "grb::densify", static_cast<std::int64_t>(indices.size()),
+        [&](std::int64_t k) {
           const auto i =
               static_cast<std::size_t>(indices[static_cast<std::size_t>(k)]);
           scratch_values_[i] = values[static_cast<std::size_t>(k)];
@@ -129,12 +130,14 @@ class DenseView {
 
 /// Applies f(index, value) to every stored entry of `u`, in parallel.
 /// Sparse storage iterates its entry list; dense/bitmap iterate positions.
+/// `name` labels the kernel launch for the observability layer.
 template <typename T, typename F>
-void for_each_entry(sim::Device& device, const Vector<T>& u, F f) {
+void for_each_entry(sim::Device& device, const Vector<T>& u, F f,
+                    const char* name = "grb::for_each_entry") {
   switch (u.storage()) {
     case Storage::kDense: {
       const auto values = u.dense_values();
-      device.parallel_for(u.size(), [&](std::int64_t i) {
+      device.launch(name, u.size(), [&](std::int64_t i) {
         f(i, values[static_cast<std::size_t>(i)]);
       });
       return;
@@ -142,7 +145,7 @@ void for_each_entry(sim::Device& device, const Vector<T>& u, F f) {
     case Storage::kBitmap: {
       const auto values = u.dense_values();
       const auto present = u.bitmap_present();
-      device.parallel_for(u.size(), [&](std::int64_t i) {
+      device.launch(name, u.size(), [&](std::int64_t i) {
         if (present[static_cast<std::size_t>(i)] != 0) {
           f(i, values[static_cast<std::size_t>(i)]);
         }
@@ -152,8 +155,9 @@ void for_each_entry(sim::Device& device, const Vector<T>& u, F f) {
     case Storage::kSparse: {
       const auto indices = u.sparse_indices();
       const auto values = u.sparse_values();
-      device.parallel_for(
-          static_cast<std::int64_t>(indices.size()), [&](std::int64_t k) {
+      device.launch(
+          name, static_cast<std::int64_t>(indices.size()),
+          [&](std::int64_t k) {
             f(indices[static_cast<std::size_t>(k)],
               values[static_cast<std::size_t>(k)]);
           });
@@ -208,7 +212,7 @@ void write_back(sim::Device& device, Vector<W>& w, const Mask& mask,
   // view so sparse outputs don't pay a binary search per position.
   const DenseView<W> old_view(w, device);
   std::vector<std::uint8_t> final_present(un, 0);
-  device.parallel_for(n, [&](std::int64_t i) {
+  device.launch("grb::write_back", n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     const bool produced = all_present || out_present[ui] != 0;
     if (mask.allows(i) && produced) {
@@ -285,7 +289,7 @@ Info apply_indexed(Vector<W>& w, const Vector<M>* mask, F f,
   std::vector<W> out(un);
   if (u.is_dense()) {
     const auto uv = u.dense_values();
-    device.parallel_for(n, [&](std::int64_t i) {
+    device.launch("grb::apply", n, [&](std::int64_t i) {
       out[static_cast<std::size_t>(i)] =
           static_cast<W>(f(i, uv[static_cast<std::size_t>(i)]));
     });
@@ -294,10 +298,13 @@ Info apply_indexed(Vector<W>& w, const Vector<M>* mask, F f,
     return Info::kSuccess;
   }
   std::vector<std::uint8_t> present(un, 0);
-  detail::for_each_entry(device, u, [&](Index i, U value) {
-    out[static_cast<std::size_t>(i)] = static_cast<W>(f(i, value));
-    present[static_cast<std::size_t>(i)] = 1;
-  });
+  detail::for_each_entry(
+      device, u,
+      [&](Index i, U value) {
+        out[static_cast<std::size_t>(i)] = static_cast<W>(f(i, value));
+        present[static_cast<std::size_t>(i)] = 1;
+      },
+      "grb::apply");
   detail::write_back(device, w, view, std::move(out), present,
                      /*all_present=*/false, desc.replace);
   return Info::kSuccess;
@@ -346,7 +353,7 @@ Info eWiseAdd(Vector<W>& w, const Vector<M>* mask, Op op, const Vector<U>& u,
   if (both_dense) {
     const auto uv = u.dense_values();
     const auto vv = v.dense_values();
-    device.parallel_for(n, [&](std::int64_t i) {
+    device.launch("grb::eWiseAdd", n, [&](std::int64_t i) {
       const auto ui = static_cast<std::size_t>(i);
       out[ui] = static_cast<W>(
           op(static_cast<W>(uv[ui]), static_cast<W>(vv[ui])));
@@ -358,7 +365,7 @@ Info eWiseAdd(Vector<W>& w, const Vector<M>* mask, Op op, const Vector<U>& u,
   std::vector<std::uint8_t> present(un, 0);
   const detail::DenseView<U> uview(u, device);
   const detail::DenseView<V> vview(v, device);
-  device.parallel_for(n, [&](std::int64_t i) {
+  device.launch("grb::eWiseAdd", n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     const bool has_u = uview.has(i);
     const bool has_v = vview.has(i);
@@ -404,7 +411,7 @@ Info eWiseMult(Vector<W>& w, const Vector<M>* mask, Op op, const Vector<U>& u,
   if (u.is_dense() && v.is_dense()) {
     const auto uv = u.dense_values();
     const auto vv = v.dense_values();
-    device.parallel_for(n, [&](std::int64_t i) {
+    device.launch("grb::eWiseMult", n, [&](std::int64_t i) {
       const auto ui = static_cast<std::size_t>(i);
       out[ui] = static_cast<W>(
           op(static_cast<W>(uv[ui]), static_cast<W>(vv[ui])));
@@ -416,7 +423,7 @@ Info eWiseMult(Vector<W>& w, const Vector<M>* mask, Op op, const Vector<U>& u,
   std::vector<std::uint8_t> present(un, 0);
   const detail::DenseView<U> uview(u, device);
   const detail::DenseView<V> vview(v, device);
-  device.parallel_for(n, [&](std::int64_t i) {
+  device.launch("grb::eWiseMult", n, [&](std::int64_t i) {
     const auto ui = static_cast<std::size_t>(i);
     if (uview.has(i) && vview.has(i)) {
       out[ui] = static_cast<W>(
@@ -513,11 +520,12 @@ Info vxm(Vector<W>& w, const Vector<M>* mask,
                                 std::uint8_t{1});
             }
           }
-        });
+        },
+        "grb::vxm_push");
   } else {
     const detail::DenseView<U> uview(u, device);
-    device.parallel_for(
-        n,
+    device.launch(
+        "grb::vxm_pull", n,
         [&](std::int64_t j) {
           if (!view.allows(j)) return;
           const auto row = static_cast<vid_t>(j);
@@ -590,8 +598,9 @@ Info reduce(T* out, Monoid<Op, T> monoid, const Vector<U>& u,
   if (u.is_sparse()) {
     const auto values = u.sparse_values();
     std::vector<T> cast(values.size());
-    device.parallel_for(
-        static_cast<std::int64_t>(values.size()), [&](std::int64_t i) {
+    device.launch(
+        "grb::reduce_cast", static_cast<std::int64_t>(values.size()),
+        [&](std::int64_t i) {
           cast[static_cast<std::size_t>(i)] =
               static_cast<T>(values[static_cast<std::size_t>(i)]);
         });
@@ -601,7 +610,7 @@ Info reduce(T* out, Monoid<Op, T> monoid, const Vector<U>& u,
   }
   const detail::DenseView<U> view(u, device);
   std::vector<T> cast(static_cast<std::size_t>(u.size()));
-  device.parallel_for(u.size(), [&](std::int64_t i) {
+  device.launch("grb::reduce_cast", u.size(), [&](std::int64_t i) {
     cast[static_cast<std::size_t>(i)] =
         view.has(i) ? static_cast<T>(view[i]) : monoid.identity;
   });
@@ -629,12 +638,15 @@ Info scatter(Vector<W>& w, const Vector<M>* mask, const Vector<U>& u, T value,
   const detail::MaskView<M> view(mask, desc);
   auto wv = w.dense_values();
   const Index bound = w.size();
-  detail::for_each_entry(device, u, [&](Index i, U c) {
-    if (!view.allows(i)) return;
-    const auto target = static_cast<Index>(c);
-    if (target < 0 || target >= bound) return;
-    wv[static_cast<std::size_t>(target)] = static_cast<W>(value);
-  });
+  detail::for_each_entry(
+      device, u,
+      [&](Index i, U c) {
+        if (!view.allows(i)) return;
+        const auto target = static_cast<Index>(c);
+        if (target < 0 || target >= bound) return;
+        wv[static_cast<std::size_t>(target)] = static_cast<W>(value);
+      },
+      "grb::scatter");
   return Info::kSuccess;
 }
 

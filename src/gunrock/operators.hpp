@@ -35,7 +35,7 @@ namespace gcol::gr {
 /// across all elements without regard to order").
 template <typename Op>
 void compute(sim::Device& device, const Frontier& frontier, Op op) {
-  device.parallel_for(frontier.size(), [&](std::int64_t i) {
+  device.launch("gr::compute", frontier.size(), [&](std::int64_t i) {
     op(frontier.vertex(i));
   });
 }
@@ -48,8 +48,9 @@ template <typename Pred>
       device, frontier.size(),
       [&](std::int64_t i) { return pred(frontier.vertex(i)); });
   std::vector<vid_t> vertices(kept.size());
-  device.parallel_for(
-      static_cast<std::int64_t>(kept.size()), [&](std::int64_t k) {
+  device.launch(
+      "gr::filter_gather", static_cast<std::int64_t>(kept.size()),
+      [&](std::int64_t k) {
         vertices[static_cast<std::size_t>(k)] =
             frontier.vertex(kept[static_cast<std::size_t>(k)]);
       });
@@ -81,7 +82,7 @@ struct AdvanceResult {
 
   // Launch 1: per-source degree.
   std::vector<eid_t> degrees(static_cast<std::size_t>(fsize));
-  device.parallel_for(fsize, [&](std::int64_t i) {
+  device.launch("gr::advance_degrees", fsize, [&](std::int64_t i) {
     degrees[static_cast<std::size_t>(i)] = csr.degree(frontier.vertex(i));
   });
   // Launches 2-3: scan to segment offsets.
@@ -92,8 +93,8 @@ struct AdvanceResult {
 
   // Launch 4: balanced neighbor fill.
   result.neighbors.resize(static_cast<std::size_t>(total));
-  device.parallel_for(
-      fsize,
+  device.launch(
+      "gr::advance_fill", fsize,
       [&](std::int64_t i) {
         const vid_t v = frontier.vertex(i);
         const auto out = static_cast<std::size_t>(
@@ -122,8 +123,8 @@ void neighbor_reduce(sim::Device& device, const graph::Csr& csr,
   const AdvanceResult advanced = advance(device, csr, frontier);
   // Map the advanced neighbors to reduction inputs (one launch)...
   std::vector<T> values(advanced.neighbors.size());
-  device.parallel_for(
-      frontier.size(),
+  device.launch(
+      "gr::neighbor_map", frontier.size(),
       [&](std::int64_t i) {
         const vid_t v = frontier.vertex(i);
         const auto begin = static_cast<std::size_t>(

@@ -1,0 +1,158 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gcol::obs {
+
+namespace {
+
+void append_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+Json& Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  values_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::set(std::string_view key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) {
+      values_[i] = std::move(value);
+      return *this;
+    }
+  }
+  keys_.emplace_back(key);
+  values_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return &values_[i];
+  }
+  return nullptr;
+}
+
+const Json* Json::at(std::size_t index) const {
+  if (type_ != Type::kArray || index >= values_.size()) return nullptr;
+  return &values_[index];
+}
+
+std::string Json::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kInt: {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%lld",
+                    static_cast<long long>(int_));
+      out += buffer;
+      return;
+    }
+    case Type::kDouble: {
+      // JSON has no NaN/Inf; emit null so consumers never see invalid text.
+      if (!std::isfinite(double_)) {
+        out += "null";
+        return;
+      }
+      char buffer[40];
+      std::snprintf(buffer, sizeof(buffer), "%.12g", double_);
+      out += buffer;
+      return;
+    }
+    case Type::kString:
+      out.push_back('"');
+      out += escape(string_);
+      out.push_back('"');
+      return;
+    case Type::kArray: {
+      if (values_.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        append_indent(out, indent, depth + 1);
+        values_[i].dump_to(out, indent, depth + 1);
+      }
+      append_indent(out, indent, depth);
+      out.push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (values_.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        append_indent(out, indent, depth + 1);
+        out.push_back('"');
+        out += escape(keys_[i]);
+        out += indent < 0 ? "\":" : "\": ";
+        values_[i].dump_to(out, indent, depth + 1);
+      }
+      append_indent(out, indent, depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+bool write_json_file(const std::string& path, const Json& document,
+                     int indent) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = document.dump(indent);
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
+      std::fputc('\n', file) != EOF;
+  const bool closed = std::fclose(file) == 0;
+  return wrote && closed;
+}
+
+}  // namespace gcol::obs

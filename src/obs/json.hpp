@@ -1,0 +1,111 @@
+#pragma once
+// Minimal JSON document model + writer for the observability layer and the
+// bench `--json` pipeline. Insertion order of object keys is preserved so
+// emitted records are schema-stable (the same harness always writes the same
+// key sequence), which keeps BENCH_*.json diffs meaningful across runs.
+//
+// Deliberately small: build documents, serialize them, nothing else. No
+// parsing (CI validates the output with an independent reader).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gcol::obs {
+
+/// A JSON value: null, bool, integer, double, string, array or object.
+/// Objects preserve insertion order and reject duplicate keys by replacing
+/// the previous value (last write wins), matching typical writer behavior.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(std::int64_t value) : type_(Type::kInt), int_(value) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::uint64_t value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(double value) : type_(Type::kDouble), double_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(std::string_view value) : Json(std::string(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type_ == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Number of elements (array) or members (object); 0 for scalars.
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// Appends to an array (the value must be an array).
+  Json& push_back(Json value);
+
+  /// Sets a member on an object (the value must be an object). Replaces an
+  /// existing member in place, preserving its original position.
+  Json& set(std::string_view key, Json value);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Array element access; nullptr when out of range or not an array.
+  [[nodiscard]] const Json* at(std::size_t index) const;
+
+  /// Object keys in insertion order (empty for non-objects).
+  [[nodiscard]] const std::vector<std::string>& keys() const noexcept {
+    return keys_;
+  }
+
+  /// Scalar accessors; only meaningful for the matching type.
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const noexcept { return int_; }
+  [[nodiscard]] double as_double() const noexcept { return double_; }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    return string_;
+  }
+
+  /// Serializes the document. indent < 0 emits compact single-line JSON;
+  /// indent >= 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// RFC 8259 string escaping of `raw` (quotes not included): ", \ and
+  /// control characters are escaped; everything else (including UTF-8
+  /// multibyte sequences) passes through untouched.
+  [[nodiscard]] static std::string escape(std::string_view raw);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  // Array: values_ only. Object: keys_[i] names values_[i]. Two parallel
+  // vectors because std::pair of an incomplete type is not portable.
+  std::vector<std::string> keys_;
+  std::vector<Json> values_;
+};
+
+/// Writes `document.dump(indent)` plus a trailing newline to `path`.
+/// Returns false on any I/O failure.
+bool write_json_file(const std::string& path, const Json& document,
+                     int indent = 2);
+
+}  // namespace gcol::obs

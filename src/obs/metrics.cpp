@@ -1,0 +1,147 @@
+#include "obs/metrics.hpp"
+
+namespace gcol::obs {
+
+namespace {
+
+/// Index of `name` in `names`, or names.size() when absent.
+std::size_t find_name(const std::vector<std::string>& names,
+                      std::string_view name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  return names.size();
+}
+
+}  // namespace
+
+void Metrics::add_counter(std::string_view name, std::int64_t delta) {
+  const std::size_t i = find_name(counter_names_, name);
+  if (i == counter_names_.size()) {
+    counter_names_.emplace_back(name);
+    counter_values_.push_back(delta);
+    return;
+  }
+  counter_values_[i] += delta;
+}
+
+std::int64_t Metrics::counter(std::string_view name) const {
+  const std::size_t i = find_name(counter_names_, name);
+  return i == counter_names_.size() ? 0 : counter_values_[i];
+}
+
+void Metrics::push(std::string_view series, std::int64_t value) {
+  const std::size_t i = find_name(series_names_, series);
+  if (i == series_names_.size()) {
+    series_names_.emplace_back(series);
+    series_values_.push_back({value});
+    return;
+  }
+  series_values_[i].push_back(value);
+}
+
+const std::vector<std::int64_t>* Metrics::series(std::string_view name) const {
+  const std::size_t i = find_name(series_names_, name);
+  return i == series_names_.size() ? nullptr : &series_values_[i];
+}
+
+void Metrics::record_kernel(std::string_view name, std::int64_t items,
+                            double ms) {
+  const std::size_t i = find_name(kernel_names_, name);
+  if (i == kernel_names_.size()) {
+    kernel_names_.emplace_back(name);
+    kernel_stats_.push_back({1, items, ms});
+    return;
+  }
+  KernelStat& stat = kernel_stats_[i];
+  ++stat.launches;
+  stat.items += items;
+  stat.total_ms += ms;
+}
+
+const KernelStat* Metrics::kernel(std::string_view name) const {
+  const std::size_t i = find_name(kernel_names_, name);
+  return i == kernel_names_.size() ? nullptr : &kernel_stats_[i];
+}
+
+std::uint64_t Metrics::total_kernel_launches() const {
+  std::uint64_t total = 0;
+  for (const KernelStat& stat : kernel_stats_) total += stat.launches;
+  return total;
+}
+
+double Metrics::total_kernel_ms() const {
+  double total = 0.0;
+  for (const KernelStat& stat : kernel_stats_) total += stat.total_ms;
+  return total;
+}
+
+void Metrics::clear() {
+  counter_names_.clear();
+  counter_values_.clear();
+  series_names_.clear();
+  series_values_.clear();
+  kernel_names_.clear();
+  kernel_stats_.clear();
+}
+
+void Metrics::merge(const Metrics& other) {
+  for (std::size_t i = 0; i < other.counter_names_.size(); ++i) {
+    add_counter(other.counter_names_[i], other.counter_values_[i]);
+  }
+  for (std::size_t i = 0; i < other.series_names_.size(); ++i) {
+    for (const std::int64_t value : other.series_values_[i]) {
+      push(other.series_names_[i], value);
+    }
+  }
+  for (std::size_t i = 0; i < other.kernel_names_.size(); ++i) {
+    const KernelStat& theirs = other.kernel_stats_[i];
+    const std::size_t k = find_name(kernel_names_, other.kernel_names_[i]);
+    if (k == kernel_names_.size()) {
+      kernel_names_.push_back(other.kernel_names_[i]);
+      kernel_stats_.push_back(theirs);
+      continue;
+    }
+    KernelStat& mine = kernel_stats_[k];
+    mine.launches += theirs.launches;
+    mine.items += theirs.items;
+    mine.total_ms += theirs.total_ms;
+  }
+}
+
+Json Metrics::to_json() const {
+  Json out = Json::object();
+  if (!counter_names_.empty()) {
+    Json counters = Json::object();
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      counters.set(counter_names_[i], counter_values_[i]);
+    }
+    out.set("counters", std::move(counters));
+  }
+  if (!series_names_.empty()) {
+    Json series = Json::object();
+    for (std::size_t i = 0; i < series_names_.size(); ++i) {
+      Json samples = Json::array();
+      for (const std::int64_t value : series_values_[i]) {
+        samples.push_back(value);
+      }
+      series.set(series_names_[i], std::move(samples));
+    }
+    out.set("series", std::move(series));
+  }
+  if (!kernel_names_.empty()) {
+    Json kernels = Json::object();
+    for (std::size_t i = 0; i < kernel_names_.size(); ++i) {
+      const KernelStat& stat = kernel_stats_[i];
+      Json entry = Json::object();
+      entry.set("launches", stat.launches);
+      entry.set("items", stat.items);
+      entry.set("total_ms", stat.total_ms);
+      kernels.set(kernel_names_[i], std::move(entry));
+    }
+    out.set("kernels", std::move(kernels));
+  }
+  return out;
+}
+
+}  // namespace gcol::obs

@@ -1,0 +1,121 @@
+#pragma once
+// Per-run observability: a metrics payload every coloring algorithm fills in
+// and every harness can serialize. Three kinds of measurements, mirroring
+// what the paper's comparative analysis needs (and what Gunrock's own
+// methodology records):
+//
+//   counters — scalar totals ("conflicts", "recolor_passes");
+//   series   — one value per outer iteration ("frontier", "colored",
+//              "colors_opened"): the per-round trajectory behind Figure 1's
+//              endpoint numbers;
+//   kernels  — per-kernel-name launch aggregates (count, work items, wall
+//              time) captured from the virtual device, the CPU analogue of a
+//              per-kernel profiler timeline.
+//
+// All three preserve first-insertion order so serialized output is
+// schema-stable. Recording is host-thread-only and O(1) amortized per call,
+// cheap enough to stay enabled inside timed benchmark regions.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/device.hpp"
+
+namespace gcol::obs {
+
+/// Aggregate over every launch of one named kernel.
+struct KernelStat {
+  std::uint64_t launches = 0;  ///< times this kernel was launched
+  std::int64_t items = 0;      ///< total work items across launches
+  double total_ms = 0.0;       ///< total wall time including barriers
+};
+
+class Metrics {
+ public:
+  // ---- scalar counters ----------------------------------------------------
+  void add_counter(std::string_view name, std::int64_t delta = 1);
+  /// Current value; 0 when the counter was never touched.
+  [[nodiscard]] std::int64_t counter(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::string>& counter_names() const noexcept {
+    return counter_names_;
+  }
+
+  // ---- per-iteration series -----------------------------------------------
+  /// Appends one sample to the named series (creating it on first use).
+  void push(std::string_view series, std::int64_t value);
+  /// The series' samples; nullptr when it was never pushed to.
+  [[nodiscard]] const std::vector<std::int64_t>* series(
+      std::string_view name) const;
+  [[nodiscard]] const std::vector<std::string>& series_names() const noexcept {
+    return series_names_;
+  }
+
+  // ---- per-kernel launch aggregates ---------------------------------------
+  void record_kernel(std::string_view name, std::int64_t items, double ms);
+  [[nodiscard]] const KernelStat* kernel(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::string>& kernel_names() const noexcept {
+    return kernel_names_;
+  }
+  /// Sum of KernelStat::launches over every recorded kernel.
+  [[nodiscard]] std::uint64_t total_kernel_launches() const;
+  /// Sum of KernelStat::total_ms over every recorded kernel.
+  [[nodiscard]] double total_kernel_ms() const;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counter_names_.empty() && series_names_.empty() &&
+           kernel_names_.empty();
+  }
+  void clear();
+
+  /// Accumulates `other` into this: counters add, kernel stats add, series
+  /// append sample-wise (used when aggregating repeated runs).
+  void merge(const Metrics& other);
+
+  /// Stable schema: {"counters": {...}, "series": {...}, "kernels":
+  /// {name: {"launches": N, "items": N, "total_ms": F}}}. Empty sections are
+  /// omitted so untouched metrics serialize as {}.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  // Insertion-ordered maps as parallel vectors; the handful of distinct
+  // names per run makes linear lookup faster than hashing.
+  std::vector<std::string> counter_names_;
+  std::vector<std::int64_t> counter_values_;
+  std::vector<std::string> series_names_;
+  std::vector<std::vector<std::int64_t>> series_values_;
+  std::vector<std::string> kernel_names_;
+  std::vector<KernelStat> kernel_stats_;
+};
+
+/// RAII capture of a device's kernel-launch stream into a Metrics: installs
+/// itself as the device's launch listener on construction and restores the
+/// previously installed listener on destruction, so scopes nest (an
+/// algorithm invoked from inside another records into its own payload).
+/// Launch notifications arrive on the host thread after each launch's
+/// barrier, so no synchronization is needed.
+class ScopedDeviceMetrics final : public sim::LaunchListener {
+ public:
+  ScopedDeviceMetrics(sim::Device& device, Metrics& metrics)
+      : device_(device),
+        metrics_(metrics),
+        previous_(device.set_launch_listener(this)) {}
+
+  ~ScopedDeviceMetrics() override { device_.set_launch_listener(previous_); }
+
+  ScopedDeviceMetrics(const ScopedDeviceMetrics&) = delete;
+  ScopedDeviceMetrics& operator=(const ScopedDeviceMetrics&) = delete;
+
+  void on_kernel_launch(const sim::LaunchInfo& info) override {
+    metrics_.record_kernel(info.name, info.items, info.elapsed_ms);
+  }
+
+ private:
+  sim::Device& device_;
+  Metrics& metrics_;
+  sim::LaunchListener* previous_;
+};
+
+}  // namespace gcol::obs

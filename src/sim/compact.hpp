@@ -20,14 +20,14 @@ template <typename Pred>
                                                         Pred pred) {
   if (n <= 0) return {};
   std::vector<std::int64_t> flags(static_cast<std::size_t>(n));
-  device.parallel_for(n, [&](std::int64_t i) {
+  device.launch("sim::compact_flag", n, [&](std::int64_t i) {
     flags[static_cast<std::size_t>(i)] = pred(i) ? 1 : 0;
   });
   std::vector<std::int64_t> positions(static_cast<std::size_t>(n));
   const std::int64_t kept = exclusive_scan<std::int64_t>(
       device, std::span<const std::int64_t>(flags), std::span(positions));
   std::vector<std::int64_t> out(static_cast<std::size_t>(kept));
-  device.parallel_for(n, [&](std::int64_t i) {
+  device.launch("sim::compact_scatter", n, [&](std::int64_t i) {
     if (flags[static_cast<std::size_t>(i)] != 0) {
       out[static_cast<std::size_t>(positions[static_cast<std::size_t>(i)])] =
           i;
@@ -45,7 +45,7 @@ template <typename T, typename Pred>
   const auto n = static_cast<std::int64_t>(values.size());
   if (n == 0) return {};
   std::vector<std::int64_t> flags(static_cast<std::size_t>(n));
-  device.parallel_for(n, [&](std::int64_t i) {
+  device.launch("sim::compact_flag", n, [&](std::int64_t i) {
     flags[static_cast<std::size_t>(i)] =
         pred(values[static_cast<std::size_t>(i)], i) ? 1 : 0;
   });
@@ -53,7 +53,7 @@ template <typename T, typename Pred>
   const std::int64_t kept = exclusive_scan<std::int64_t>(
       device, std::span<const std::int64_t>(flags), std::span(positions));
   std::vector<T> out(static_cast<std::size_t>(kept));
-  device.parallel_for(n, [&](std::int64_t i) {
+  device.launch("sim::compact_scatter", n, [&](std::int64_t i) {
     if (flags[static_cast<std::size_t>(i)] != 0) {
       out[static_cast<std::size_t>(positions[static_cast<std::size_t>(i)])] =
           values[static_cast<std::size_t>(i)];

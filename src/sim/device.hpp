@@ -12,12 +12,20 @@
 //   - static vs. dynamic scheduling exposes the load-balancing axis,
 //   - atomics.hpp provides device-style atomics.
 // A launch counter lets benchmarks report "global syncs" per algorithm.
+//
+// Observability: every launch can carry a static kernel name (launch /
+// launch_slots / host_pass), and an installed LaunchListener receives a
+// LaunchInfo record — name, work items, worker slots, wall time — after each
+// launch's barrier. obs::ScopedDeviceMetrics adapts this stream into the
+// per-algorithm Metrics payload. When no listener is installed the only cost
+// over the bare dispatch is one relaxed atomic load per launch.
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 
 #include "sim/thread_pool.hpp"
+#include "sim/timer.hpp"
 
 namespace gcol::sim {
 
@@ -25,6 +33,23 @@ namespace gcol::sim {
 enum class Schedule {
   kStatic,   ///< contiguous blocks, one per worker (thread-per-vertex style)
   kDynamic,  ///< chunked work queue (load-balanced, advance-operator style)
+};
+
+/// One completed kernel launch, as reported to a LaunchListener.
+struct LaunchInfo {
+  const char* name;       ///< static kernel name ("jpl_color", "scan", ...)
+  std::int64_t items;     ///< work items (n, or slot count for slot kernels)
+  unsigned slots;         ///< worker slots that participated
+  double elapsed_ms;      ///< wall time of the launch including its barrier
+};
+
+/// Receives a LaunchInfo after every kernel launch completes. Notifications
+/// arrive on the host (launching) thread, post-barrier, so implementations
+/// need no synchronization of their own for same-device use.
+class LaunchListener {
+ public:
+  virtual ~LaunchListener() = default;
+  virtual void on_kernel_launch(const LaunchInfo& info) = 0;
 };
 
 /// Process-wide virtual device. Thread count comes from GCOL_THREADS if set,
@@ -42,15 +67,101 @@ class Device {
 
   [[nodiscard]] unsigned num_workers() const noexcept { return pool_.size(); }
 
-  /// Launches body(i) for every i in [0, n) and blocks until done (one
-  /// kernel launch + global barrier). `body` must be safe to invoke
-  /// concurrently from different workers for distinct i.
+  /// Installs `listener` (nullptr to disable) and returns the previously
+  /// installed one, so scoped instrumentation can nest and restore.
+  LaunchListener* set_launch_listener(LaunchListener* listener) noexcept {
+    return listener_.exchange(listener, std::memory_order_acq_rel);
+  }
+  [[nodiscard]] LaunchListener* launch_listener() const noexcept {
+    return listener_.load(std::memory_order_acquire);
+  }
+
+  /// Named kernel launch: body(i) for every i in [0, n), blocking until done
+  /// (one kernel launch + global barrier). `body` must be safe to invoke
+  /// concurrently from different workers for distinct i. The name must be a
+  /// statically-allocated string (it is retained only for the duration of
+  /// the listener callback).
+  template <typename Body>
+  void launch(const char* name, std::int64_t n, Body&& body,
+              Schedule schedule = Schedule::kStatic, std::int64_t chunk = 0) {
+    if (n <= 0) return;
+    launches_.fetch_add(1, std::memory_order_relaxed);
+    LaunchListener* listener = launch_listener();
+    if (listener == nullptr) {
+      dispatch(n, body, schedule, chunk);
+      return;
+    }
+    const Stopwatch watch;
+    dispatch(n, body, schedule, chunk);
+    listener->on_kernel_launch(
+        {name, n, pool_.size(), watch.elapsed_ms()});
+  }
+
+  /// Unnamed compatibility spelling of launch().
   template <typename Body>
   void parallel_for(std::int64_t n, Body&& body,
                     Schedule schedule = Schedule::kStatic,
                     std::int64_t chunk = 0) {
-    if (n <= 0) return;
+    launch("parallel_for", n, std::forward<Body>(body), schedule, chunk);
+  }
+
+  /// Named slot kernel: body(slot, num_slots) once per worker slot — the
+  /// analogue of a cooperative kernel where each block owns a slice it
+  /// carves out itself.
+  template <typename Body>
+  void launch_slots(const char* name, Body&& body) {
     launches_.fetch_add(1, std::memory_order_relaxed);
+    const unsigned workers = pool_.size();
+    LaunchListener* listener = launch_listener();
+    if (listener == nullptr) {
+      dispatch_slots(body, workers);
+      return;
+    }
+    const Stopwatch watch;
+    dispatch_slots(body, workers);
+    listener->on_kernel_launch({name, static_cast<std::int64_t>(workers),
+                                workers, watch.elapsed_ms()});
+  }
+
+  /// Unnamed compatibility spelling of launch_slots().
+  template <typename Body>
+  void parallel_slots(Body&& body) {
+    launch_slots("parallel_slots", std::forward<Body>(body));
+  }
+
+  /// A sequential pass on the host thread, accounted as one kernel launch
+  /// with a single slot. Sequential baselines (greedy, DSATUR) run their
+  /// color phase through this so "kernel launches" and per-kernel timings
+  /// stay comparable across every algorithm the harnesses report.
+  template <typename Fn>
+  void host_pass(const char* name, Fn&& fn) {
+    launches_.fetch_add(1, std::memory_order_relaxed);
+    LaunchListener* listener = launch_listener();
+    if (listener == nullptr) {
+      fn();
+      return;
+    }
+    const Stopwatch watch;
+    fn();
+    listener->on_kernel_launch({name, 1, 1u, watch.elapsed_ms()});
+  }
+
+  /// Number of kernel launches since construction or the last
+  /// reset_launch_count(). Benchmarks use this as the "global
+  /// synchronizations" metric the paper reasons about.
+  [[nodiscard]] std::uint64_t launch_count() const noexcept {
+    return launches_.load(std::memory_order_relaxed);
+  }
+  void reset_launch_count() noexcept {
+    launches_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Device();  // reads GCOL_THREADS / hardware_concurrency
+
+  template <typename Body>
+  void dispatch(std::int64_t n, Body& body, Schedule schedule,
+                std::int64_t chunk) {
     const auto workers = static_cast<std::int64_t>(pool_.size());
     if (workers == 1 || n == 1) {
       for (std::int64_t i = 0; i < n; ++i) body(i);
@@ -80,30 +191,13 @@ class Device {
     }
   }
 
-  /// Launches body(slot, num_slots) once per worker slot — the analogue of a
-  /// cooperative kernel where each block owns a slice it carves out itself.
   template <typename Body>
-  void parallel_slots(Body&& body) {
-    launches_.fetch_add(1, std::memory_order_relaxed);
-    const unsigned workers = pool_.size();
+  void dispatch_slots(Body& body, unsigned workers) {
     const std::function<void(unsigned)> job = [&](unsigned slot) {
       body(slot, workers);
     };
     pool_.run(job);
   }
-
-  /// Number of kernel launches since construction or the last
-  /// reset_launch_count(). Benchmarks use this as the "global
-  /// synchronizations" metric the paper reasons about.
-  [[nodiscard]] std::uint64_t launch_count() const noexcept {
-    return launches_.load(std::memory_order_relaxed);
-  }
-  void reset_launch_count() noexcept {
-    launches_.store(0, std::memory_order_relaxed);
-  }
-
- private:
-  Device();  // reads GCOL_THREADS / hardware_concurrency
 
   static std::int64_t default_chunk(std::int64_t n, std::int64_t workers) {
     const std::int64_t chunk = n / (workers * 8);
@@ -112,6 +206,7 @@ class Device {
 
   ThreadPool pool_;
   std::atomic<std::uint64_t> launches_{0};
+  std::atomic<LaunchListener*> listener_{nullptr};
 };
 
 }  // namespace gcol::sim

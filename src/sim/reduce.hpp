@@ -21,7 +21,7 @@ template <typename T, typename Combine>
   if (n == 0) return identity;
   const unsigned workers = device.num_workers();
   std::vector<T> partials(workers, identity);
-  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+  device.launch_slots("sim::reduce", [&](unsigned slot, unsigned num_slots) {
     const std::int64_t per =
         (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
     const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
@@ -65,7 +65,7 @@ template <typename T, typename Pred>
   const auto n = static_cast<std::int64_t>(values.size());
   if (n == 0) return 0;
   std::vector<std::int64_t> partials(device.num_workers(), 0);
-  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+  device.launch_slots("sim::count_if", [&](unsigned slot, unsigned num_slots) {
     const std::int64_t per =
         (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
     const std::int64_t begin = static_cast<std::int64_t>(slot) * per;

@@ -34,7 +34,7 @@ T exclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
   }
 
   std::vector<T> block_sums(workers, T{0});
-  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+  device.launch_slots("sim::scan", [&](unsigned slot, unsigned num_slots) {
     const std::int64_t per =
         (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
     const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
@@ -53,7 +53,7 @@ T exclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
     total = static_cast<T>(total + sum);
   }
 
-  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+  device.launch_slots("sim::scan", [&](unsigned slot, unsigned num_slots) {
     const std::int64_t per =
         (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
     const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
@@ -85,7 +85,7 @@ T inclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
   }
 
   std::vector<T> block_sums(workers, T{0});
-  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+  device.launch_slots("sim::scan", [&](unsigned slot, unsigned num_slots) {
     const std::int64_t per =
         (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
     const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
@@ -104,7 +104,7 @@ T inclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
     total = static_cast<T>(total + sum);
   }
 
-  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+  device.launch_slots("sim::scan", [&](unsigned slot, unsigned num_slots) {
     const std::int64_t per =
         (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
     const std::int64_t begin = static_cast<std::int64_t>(slot) * per;

@@ -26,8 +26,8 @@ void segmented_reduce(Device& device, std::span<const OffsetT> offsets,
                       Schedule schedule = Schedule::kDynamic) {
   const auto num_segments = static_cast<std::int64_t>(offsets.size()) - 1;
   if (num_segments <= 0) return;
-  device.parallel_for(
-      num_segments,
+  device.launch(
+      "sim::segmented_reduce", num_segments,
       [&](std::int64_t s) {
         const auto begin =
             static_cast<std::int64_t>(offsets[static_cast<std::size_t>(s)]);
@@ -53,8 +53,8 @@ void segmented_argmax(Device& device, std::span<const OffsetT> offsets,
                       Schedule schedule = Schedule::kDynamic) {
   const auto num_segments = static_cast<std::int64_t>(offsets.size()) - 1;
   if (num_segments <= 0) return;
-  device.parallel_for(
-      num_segments,
+  device.launch(
+      "sim::segmented_argmax", num_segments,
       [&](std::int64_t s) {
         const auto begin =
             static_cast<std::int64_t>(offsets[static_cast<std::size_t>(s)]);

@@ -1,0 +1,151 @@
+// Unit tests for the observability JSON writer: escaping, insertion-order
+// stability (the property the gcol-bench-v1 schema relies on), compact vs
+// pretty serialization, and the file writer.
+
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace gcol::obs {
+namespace {
+
+TEST(Json, ScalarsSerialize) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(Json(7).dump(), "7");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, EscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(Json::escape("plain"), "plain");
+  EXPECT_EQ(Json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Json::escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(Json::escape(std::string_view("\r\b\f", 3)), "\\r\\b\\f");
+  // Control characters without a short form use \u00XX.
+  EXPECT_EQ(Json::escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  // UTF-8 multibyte sequences pass through untouched.
+  EXPECT_EQ(Json::escape("π"), "π");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j.set("zebra", 1);
+  j.set("apple", 2);
+  j.set("mango", 3);
+  ASSERT_EQ(j.keys().size(), 3u);
+  EXPECT_EQ(j.keys()[0], "zebra");
+  EXPECT_EQ(j.keys()[1], "apple");
+  EXPECT_EQ(j.keys()[2], "mango");
+  EXPECT_EQ(j.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(Json, SetReplacesInPlaceWithoutReordering) {
+  Json j = Json::object();
+  j.set("first", 1);
+  j.set("second", 2);
+  j.set("first", 10);  // replace, not append
+  ASSERT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.dump(), "{\"first\":10,\"second\":2}");
+  ASSERT_NE(j.find("first"), nullptr);
+  EXPECT_EQ(j.find("first")->as_int(), 10);
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, NestedStructuresSerializeCompact) {
+  Json inner = Json::object();
+  inner.set("colors", 4);
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(2);
+  inner.set("series", std::move(arr));
+  Json doc = Json::object();
+  doc.set("dataset", "offshore");
+  doc.set("metrics", std::move(inner));
+  EXPECT_EQ(doc.dump(),
+            "{\"dataset\":\"offshore\","
+            "\"metrics\":{\"colors\":4,\"series\":[1,2]}}");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json doc = Json::object();
+  doc.set("a", 1);
+  Json arr = Json::array();
+  arr.push_back("x");
+  doc.set("b", std::move(arr));
+  EXPECT_EQ(doc.dump(2),
+            "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+  EXPECT_EQ(Json::array().dump(2), "[]");
+}
+
+TEST(Json, ArrayAccessors) {
+  Json arr = Json::array();
+  arr.push_back(5);
+  arr.push_back("s");
+  ASSERT_EQ(arr.size(), 2u);
+  ASSERT_NE(arr.at(0), nullptr);
+  EXPECT_EQ(arr.at(0)->as_int(), 5);
+  EXPECT_EQ(arr.at(1)->as_string(), "s");
+  EXPECT_EQ(arr.at(2), nullptr);
+}
+
+TEST(Json, BenchSchemaKeysComeOutInSchemaOrder) {
+  // The exact key sequence gcol-bench-v1 records promise; a regression here
+  // breaks downstream consumers that diff reports across runs.
+  Json record = Json::object();
+  record.set("dataset", "offshore");
+  record.set("algorithm", "gunrock_is");
+  record.set("ms", 1.25);
+  record.set("ms_min", 1.0);
+  record.set("colors", 12);
+  record.set("iterations", 7);
+  record.set("kernel_launches", std::uint64_t{42});
+  record.set("conflicts_resolved", std::int64_t{0});
+  record.set("valid", true);
+  record.set("metrics", Json::object());
+  const std::vector<std::string> expected = {
+      "dataset", "algorithm",      "ms",
+      "ms_min",  "colors",         "iterations",
+      "kernel_launches", "conflicts_resolved", "valid",
+      "metrics"};
+  EXPECT_EQ(record.keys(), expected);
+}
+
+TEST(Json, WriteJsonFileRoundTrips) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("gcol_json_test_" + std::to_string(::getpid()) + ".json");
+  Json doc = Json::object();
+  doc.set("schema", "gcol-bench-v1");
+  doc.set("records", Json::array());
+  ASSERT_TRUE(write_json_file(path.string(), doc));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), doc.dump(2) + "\n");
+  std::error_code ignored;
+  std::filesystem::remove(path, ignored);
+}
+
+TEST(Json, WriteJsonFileReportsFailure) {
+  EXPECT_FALSE(write_json_file("/nonexistent_dir_zz/out.json", Json()));
+}
+
+}  // namespace
+}  // namespace gcol::obs

@@ -1,0 +1,166 @@
+// Unit tests for the Metrics payload and the device launch-listener capture:
+// counters, per-iteration series, per-kernel aggregates, merge semantics and
+// the RAII ScopedDeviceMetrics scope nesting.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+
+namespace gcol::obs {
+namespace {
+
+TEST(Metrics, CountersAccumulate) {
+  Metrics m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.counter("conflicts"), 0);
+  m.add_counter("conflicts");
+  m.add_counter("conflicts", 4);
+  m.add_counter("rounds", 2);
+  EXPECT_EQ(m.counter("conflicts"), 5);
+  EXPECT_EQ(m.counter("rounds"), 2);
+  ASSERT_EQ(m.counter_names().size(), 2u);
+  EXPECT_EQ(m.counter_names()[0], "conflicts");
+  EXPECT_FALSE(m.empty());
+}
+
+TEST(Metrics, SeriesAppendInOrder) {
+  Metrics m;
+  EXPECT_EQ(m.series("frontier"), nullptr);
+  m.push("frontier", 100);
+  m.push("colored", 40);
+  m.push("frontier", 60);
+  const auto* frontier = m.series("frontier");
+  ASSERT_NE(frontier, nullptr);
+  EXPECT_EQ(*frontier, (std::vector<std::int64_t>{100, 60}));
+  ASSERT_EQ(m.series_names().size(), 2u);
+  EXPECT_EQ(m.series_names()[0], "frontier");
+  EXPECT_EQ(m.series_names()[1], "colored");
+}
+
+TEST(Metrics, KernelStatsAggregatePerName) {
+  Metrics m;
+  m.record_kernel("gr::compute", 100, 0.5);
+  m.record_kernel("gr::filter_gather", 100, 0.25);
+  m.record_kernel("gr::compute", 60, 0.5);
+  const KernelStat* compute = m.kernel("gr::compute");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_EQ(compute->launches, 2u);
+  EXPECT_EQ(compute->items, 160);
+  EXPECT_DOUBLE_EQ(compute->total_ms, 1.0);
+  EXPECT_EQ(m.total_kernel_launches(), 3u);
+  EXPECT_DOUBLE_EQ(m.total_kernel_ms(), 1.25);
+  EXPECT_EQ(m.kernel("unknown"), nullptr);
+}
+
+TEST(Metrics, MergeAddsCountersAndKernelsAndAppendsSeries) {
+  Metrics a;
+  a.add_counter("conflicts", 2);
+  a.push("frontier", 10);
+  a.record_kernel("k", 10, 1.0);
+  Metrics b;
+  b.add_counter("conflicts", 3);
+  b.push("frontier", 5);
+  b.record_kernel("k", 10, 0.5);
+  a.merge(b);
+  EXPECT_EQ(a.counter("conflicts"), 5);
+  EXPECT_EQ(*a.series("frontier"), (std::vector<std::int64_t>{10, 5}));
+  EXPECT_EQ(a.kernel("k")->launches, 2u);
+}
+
+TEST(Metrics, ClearEmptiesEverything) {
+  Metrics m;
+  m.add_counter("c");
+  m.push("s", 1);
+  m.record_kernel("k", 1, 0.0);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.to_json().dump(), "{}");
+}
+
+TEST(Metrics, ToJsonOmitsEmptySectionsAndKeepsOrder) {
+  Metrics m;
+  m.push("frontier", 8);
+  m.push("frontier", 3);
+  m.record_kernel("gr::compute", 8, 0.0);
+  const Json j = m.to_json();
+  // No counters were touched, so no "counters" section.
+  EXPECT_EQ(j.find("counters"), nullptr);
+  const Json* series = j.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_NE(series->find("frontier"), nullptr);
+  EXPECT_EQ(series->find("frontier")->size(), 2u);
+  const Json* kernels = j.find("kernels");
+  ASSERT_NE(kernels, nullptr);
+  const Json* compute = kernels->find("gr::compute");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_EQ(compute->find("launches")->as_int(), 1);
+  EXPECT_EQ(compute->find("items")->as_int(), 8);
+}
+
+TEST(ScopedDeviceMetrics, CapturesNamedLaunchesSlotsAndHostPasses) {
+  sim::Device device(2);
+  Metrics m;
+  {
+    const ScopedDeviceMetrics scoped(device, m);
+    device.launch("test::kernel", 64, [](std::int64_t) {});
+    device.launch("test::kernel", 36, [](std::int64_t) {});
+    device.launch_slots("test::slots", [](unsigned, unsigned) {});
+    device.host_pass("test::host", [] {});
+    device.parallel_for(10, [](std::int64_t) {});
+    // Empty launches don't notify: nothing ran, nothing synchronized.
+    device.launch("test::empty", 0, [](std::int64_t) {});
+  }
+  const KernelStat* kernel = m.kernel("test::kernel");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->launches, 2u);
+  EXPECT_EQ(kernel->items, 100);
+  ASSERT_NE(m.kernel("test::slots"), nullptr);
+  EXPECT_EQ(m.kernel("test::slots")->items, 2);  // one item per slot
+  ASSERT_NE(m.kernel("test::host"), nullptr);
+  EXPECT_EQ(m.kernel("test::host")->launches, 1u);
+  ASSERT_NE(m.kernel("parallel_for"), nullptr);
+  EXPECT_EQ(m.kernel("test::empty"), nullptr);
+  EXPECT_EQ(m.total_kernel_launches(), 5u);
+}
+
+TEST(ScopedDeviceMetrics, ScopesNestAndRestore) {
+  sim::Device device(2);
+  Metrics outer;
+  Metrics inner;
+  {
+    const ScopedDeviceMetrics outer_scope(device, outer);
+    device.launch("outer::before", 4, [](std::int64_t) {});
+    {
+      const ScopedDeviceMetrics inner_scope(device, inner);
+      device.launch("inner::only", 4, [](std::int64_t) {});
+    }
+    device.launch("outer::after", 4, [](std::int64_t) {});
+  }
+  // After all scopes unwind the device has no listener again.
+  device.launch("unobserved", 4, [](std::int64_t) {});
+  EXPECT_EQ(device.launch_listener(), nullptr);
+
+  EXPECT_NE(outer.kernel("outer::before"), nullptr);
+  EXPECT_NE(outer.kernel("outer::after"), nullptr);
+  EXPECT_EQ(outer.kernel("inner::only"), nullptr);
+  EXPECT_EQ(outer.kernel("unobserved"), nullptr);
+  EXPECT_EQ(inner.total_kernel_launches(), 1u);
+  EXPECT_NE(inner.kernel("inner::only"), nullptr);
+}
+
+TEST(ScopedDeviceMetrics, ElapsedTimeIsRecordedWhileListening) {
+  sim::Device device(1);
+  Metrics m;
+  {
+    const ScopedDeviceMetrics scoped(device, m);
+    device.launch("timed", 1000, [](std::int64_t) {});
+  }
+  ASSERT_NE(m.kernel("timed"), nullptr);
+  EXPECT_GE(m.kernel("timed")->total_ms, 0.0);
+  EXPECT_GE(m.total_kernel_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace gcol::obs
