@@ -10,7 +10,10 @@
 
 #include "graph/build.hpp"
 #include "graph/generators/rgg.hpp"
+#include "graph/generators/rmat.hpp"
 #include "graphblas/grb.hpp"
+#include "gunrock/frontier.hpp"
+#include "gunrock/operators.hpp"
 #include "sim/compact.hpp"
 #include "sim/device.hpp"
 #include "sim/reduce.hpp"
@@ -30,6 +33,29 @@ std::vector<std::int64_t> make_values(std::int64_t n) {
   }
   return values;
 }
+
+// Per-launch overhead: the cost of one kernel launch + global barrier when
+// the kernel body is (nearly) free. This is the paper's fixed "global
+// synchronization" cost — the quantity the launch fast path (inline small
+// grids, sense-reversing barrier above them) exists to shrink. n = 4 hits
+// the inline path; n just above sim::kInlineLaunchItems pays the full
+// barrier, so the pair brackets both regimes.
+void BM_LaunchOverhead(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  const std::int64_t n = state.range(0);
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    device.launch("bench::noop", n, [&](std::int64_t i) {
+      benchmark::DoNotOptimize(sink += i);
+    });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LaunchOverhead)
+    ->Arg(4)
+    ->Arg(sim::kInlineLaunchItems)
+    ->Arg(sim::kInlineLaunchItems + 1)
+    ->Arg(1024);
 
 void BM_ExclusiveScan(benchmark::State& state) {
   auto& device = sim::Device::instance();
@@ -73,6 +99,56 @@ void BM_CompactIndices(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CompactIndices)->Range(1 << 10, 1 << 20);
+
+// Fused compaction over a skewed predicate: nearly everything kept. The
+// flag+count/scatter fusion (two launches instead of flag, scan, scatter)
+// shows up here as launch-overhead savings on top of the removed scan pass.
+void BM_CompactValues(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  const auto values = make_values(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::compact_values<std::int64_t>(
+        device, values, [](std::int64_t x, std::int64_t) { return x != 0; }));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompactValues)->Range(1 << 10, 1 << 20);
+
+// Advance schedule ablation (paper Table II axis): vertex-chunked dynamic
+// scheduling vs the edge-balanced merge-path fill, on a near-uniform RGG
+// (balanced degrees — little for edge-balancing to fix) and a skewed R-MAT
+// (power-law degrees — the case vertex granularity starves on).
+template <gr::AdvancePolicy policy>
+void BM_AdvanceRgg(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  const auto csr = graph::build_csr(graph::generate_rgg(
+      static_cast<int>(state.range(0)), {.seed = 1}));
+  const gr::Frontier frontier = gr::Frontier::all(csr.num_vertices);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gr::advance(device, csr, frontier, policy));
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_edges());
+}
+BENCHMARK(BM_AdvanceRgg<gr::AdvancePolicy::kVertexChunked>)
+    ->DenseRange(12, 16, 2);
+BENCHMARK(BM_AdvanceRgg<gr::AdvancePolicy::kEdgeBalanced>)
+    ->DenseRange(12, 16, 2);
+
+template <gr::AdvancePolicy policy>
+void BM_AdvanceRmat(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  const auto csr = graph::build_csr(graph::generate_rmat(
+      static_cast<int>(state.range(0)), 16, {.seed = 17}));
+  const gr::Frontier frontier = gr::Frontier::all(csr.num_vertices);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gr::advance(device, csr, frontier, policy));
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_edges());
+}
+BENCHMARK(BM_AdvanceRmat<gr::AdvancePolicy::kVertexChunked>)
+    ->DenseRange(12, 16, 2);
+BENCHMARK(BM_AdvanceRmat<gr::AdvancePolicy::kEdgeBalanced>)
+    ->DenseRange(12, 16, 2);
 
 void BM_SegmentedReduce(benchmark::State& state) {
   auto& device = sim::Device::instance();

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Diff two gcol-bench-v1 JSON reports (see bench/common/bench_util.hpp).
+
+Compares records keyed by (dataset, algorithm) and reports, per pair:
+runtime (ms), kernel-launch count, and color count deltas. Wall time is
+noisy, so ms movements within --ms-tolerance (relative) are not called
+regressions; kernel_launches and colors are deterministic for a fixed seed,
+so ANY increase is flagged.
+
+Exit status is 0 unless --gate is passed, in which case regressions fail the
+run — CI uses the non-gating default so perf noise on shared runners never
+blocks a merge, while the table still lands in the job log.
+
+Usage:
+  bench_diff.py BASELINE.json AFTER.json [--ms-tolerance 0.25] [--gate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_records(path: str) -> dict[tuple[str, str], dict]:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "gcol-bench-v1":
+        sys.exit(f"{path}: not a gcol-bench-v1 report "
+                 f"(schema={doc.get('schema')!r})")
+    records = {}
+    for r in doc.get("records", []):
+        records[(r["dataset"], r["algorithm"])] = r
+    if not records:
+        sys.exit(f"{path}: no records")
+    return records
+
+
+def fmt_delta(before: float, after: float) -> str:
+    if before == 0:
+        return "n/a"
+    pct = 100.0 * (after - before) / before
+    return f"{pct:+.1f}%"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("after")
+    parser.add_argument("--ms-tolerance", type=float, default=0.25,
+                        help="relative ms increase tolerated as noise "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit non-zero when regressions are found")
+    args = parser.parse_args()
+
+    base = load_records(args.baseline)
+    after = load_records(args.after)
+    common = sorted(set(base) & set(after))
+    only_base = sorted(set(base) - set(after))
+    only_after = sorted(set(after) - set(base))
+
+    if not common:
+        sys.exit("no (dataset, algorithm) pairs in common")
+
+    header = (f"{'dataset':<12} {'algorithm':<28} "
+              f"{'ms before':>10} {'ms after':>10} {'Δms':>8} "
+              f"{'launches':>14} {'colors':>11}  flags")
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for key in common:
+        b, a = base[key], after[key]
+        flags = []
+        if not a.get("valid", False):
+            flags.append("INVALID")
+        launches_cell = f"{b['kernel_launches']:>6}->{a['kernel_launches']:<6}"
+        colors_cell = f"{b['colors']:>4}->{a['colors']:<4}"
+        if a["kernel_launches"] > b["kernel_launches"]:
+            flags.append("LAUNCHES+")
+        if a["colors"] > b["colors"]:
+            flags.append("COLORS+")
+        if b["ms"] > 0 and (a["ms"] - b["ms"]) / b["ms"] > args.ms_tolerance:
+            flags.append("SLOWER")
+        print(f"{key[0]:<12} {key[1]:<28} "
+              f"{b['ms']:>10.3f} {a['ms']:>10.3f} "
+              f"{fmt_delta(b['ms'], a['ms']):>8} "
+              f"{launches_cell:>14} {colors_cell:>11}  "
+              f"{' '.join(flags)}")
+        if flags:
+            regressions.append((key, flags))
+
+    for key in only_base:
+        print(f"{key[0]:<12} {key[1]:<28} (only in baseline)")
+    for key in only_after:
+        print(f"{key[0]:<12} {key[1]:<28} (only in after)")
+
+    print()
+    if regressions:
+        print(f"{len(regressions)} regression(s) of {len(common)} pairs:")
+        for key, flags in regressions:
+            print(f"  {key[0]}/{key[1]}: {', '.join(flags)}")
+    else:
+        print(f"no regressions across {len(common)} pairs "
+              f"(ms tolerance {args.ms_tolerance:.0%})")
+    if args.gate and regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,12 +26,20 @@
 #include "graphblas/operators.hpp"
 #include "graphblas/types.hpp"
 #include "graphblas/vector.hpp"
+#include "sim/advance.hpp"
 #include "sim/atomics.hpp"
 #include "sim/compact.hpp"
 #include "sim/device.hpp"
 #include "sim/reduce.hpp"
+#include "sim/scan.hpp"
+#include "sim/scratch.hpp"
 
 namespace gcol::grb {
+
+/// Below this many frontier edges-worth of entries, push vxm's one-row-per-
+/// entry launch beats paying a degree scan for edge balance (the extra
+/// launches dominate exactly where imbalance cannot: tiny frontiers).
+inline constexpr std::int64_t kPushEdgeBalanceMinEntries = 4096;
 
 namespace detail {
 
@@ -494,34 +502,85 @@ Info vxm(Vector<W>& w, const Vector<M>* mask,
   std::vector<std::uint8_t> present(un, 0);
 
   if (push) {
-    detail::for_each_entry(
-        device, u,
-        [&](Index i, U ui_value) {
-          const auto row = static_cast<vid_t>(i);
-          const eid_t begin = csr.row_offsets[static_cast<std::size_t>(row)];
-          const eid_t end = csr.row_offsets[static_cast<std::size_t>(row) + 1];
-          for (eid_t e = begin; e < end; ++e) {
-            const auto j = static_cast<Index>(
-                csr.col_indices[static_cast<std::size_t>(e)]);
-            if (!view.allows(j)) continue;
-            const W product = static_cast<W>(semiring.mul(
-                static_cast<W>(ui_value), static_cast<W>(a.value_at(e))));
-            if constexpr (std::is_integral_v<W>) {
-              // CAS-combine under the add monoid.
-              std::atomic_ref<W> slot(out[static_cast<std::size_t>(j)]);
-              W observed = slot.load(std::memory_order_relaxed);
-              W desired = static_cast<W>(semiring.add(observed, product));
-              while (desired != observed &&
-                     !slot.compare_exchange_weak(observed, desired,
-                                                 std::memory_order_relaxed)) {
-                desired = static_cast<W>(semiring.add(observed, product));
-              }
-              sim::atomic_store(present[static_cast<std::size_t>(j)],
-                                std::uint8_t{1});
+    // Per-edge combine shared by both push schedules: CAS under the add
+    // monoid (integral W only — non-integral W was forced to pull above).
+    const auto combine_edge = [&](Index j, U ui_value, eid_t e) {
+      if (!view.allows(j)) return;
+      const W product = static_cast<W>(semiring.mul(
+          static_cast<W>(ui_value), static_cast<W>(a.value_at(e))));
+      if constexpr (std::is_integral_v<W>) {
+        std::atomic_ref<W> slot(out[static_cast<std::size_t>(j)]);
+        W observed = slot.load(std::memory_order_relaxed);
+        W desired = static_cast<W>(semiring.add(observed, product));
+        while (desired != observed &&
+               !slot.compare_exchange_weak(observed, desired,
+                                           std::memory_order_relaxed)) {
+          desired = static_cast<W>(semiring.add(observed, product));
+        }
+        sim::atomic_store(present[static_cast<std::size_t>(j)],
+                          std::uint8_t{1});
+      } else {
+        (void)product;
+      }
+    };
+
+    // Edge-balanced push (merge-path over a frontier degree scan): a hub
+    // row's scatter splits across workers instead of serializing on the one
+    // that drew the entry — the Gunrock-advance treatment applied to the
+    // GraphBLAST push traversal. Only once the frontier is large enough to
+    // amortize the scan's extra launches; small frontiers keep the
+    // single-launch row walk.
+    const bool balanced =
+        desc.push_edge_balanced && u.is_sparse() &&
+        static_cast<std::int64_t>(u.nvals()) >= kPushEdgeBalanceMinEntries;
+    if (balanced) {
+      const auto indices = u.sparse_indices();
+      const auto uvals = u.sparse_values();
+      const auto nvals = static_cast<std::int64_t>(indices.size());
+      const std::span<eid_t> offsets = device.scratch().get<eid_t>(
+          sim::ScratchLane::kDegrees, static_cast<std::size_t>(nvals) + 1);
+      device.launch("grb::vxm_degrees", nvals, [&](std::int64_t k) {
+        const auto row = static_cast<std::size_t>(
+            indices[static_cast<std::size_t>(k)]);
+        offsets[static_cast<std::size_t>(k)] =
+            csr.row_offsets[row + 1] - csr.row_offsets[row];
+      });
+      const eid_t total = sim::exclusive_scan<eid_t>(
+          device, offsets.first(static_cast<std::size_t>(nvals)),
+          offsets.first(static_cast<std::size_t>(nvals)));
+      offsets[static_cast<std::size_t>(nvals)] = total;
+      sim::for_each_segment_range<eid_t>(
+          device, "grb::vxm_push", offsets,
+          [&](std::int64_t s, std::int64_t local_begin,
+              std::int64_t local_end, std::int64_t /*global_begin*/) {
+            const auto su = static_cast<std::size_t>(s);
+            const auto row = static_cast<std::size_t>(indices[su]);
+            const U ui_value = uvals[su];
+            const eid_t row_begin = csr.row_offsets[row];
+            for (std::int64_t k = local_begin; k < local_end; ++k) {
+              const auto e = static_cast<eid_t>(
+                  row_begin + static_cast<eid_t>(k));
+              combine_edge(static_cast<Index>(
+                               csr.col_indices[static_cast<std::size_t>(e)]),
+                           ui_value, e);
             }
-          }
-        },
-        "grb::vxm_push");
+          });
+    } else {
+      detail::for_each_entry(
+          device, u,
+          [&](Index i, U ui_value) {
+            const auto row = static_cast<vid_t>(i);
+            const eid_t begin = csr.row_offsets[static_cast<std::size_t>(row)];
+            const eid_t end =
+                csr.row_offsets[static_cast<std::size_t>(row) + 1];
+            for (eid_t e = begin; e < end; ++e) {
+              combine_edge(static_cast<Index>(
+                               csr.col_indices[static_cast<std::size_t>(e)]),
+                           ui_value, e);
+            }
+          },
+          "grb::vxm_push");
+    }
   } else {
     const detail::DenseView<U> uview(u, device);
     device.launch(

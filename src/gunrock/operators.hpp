@@ -10,7 +10,11 @@
 //   filter         — compacts a frontier by predicate (scan + scatter).
 //   advance        — generates the neighbor frontier of the input frontier
 //                    with load balancing: degrees are scanned so neighbor
-//                    slots are evenly divided among workers.
+//                    slots are evenly divided among workers. Two schedules:
+//                    edge-balanced (merge-path over the scanned offsets, the
+//                    default — Gunrock's TWC/merge-path analogue) and
+//                    vertex-chunked (dynamic chunks of sources, kept
+//                    selectable for the Table II schedule ablation).
 //   neighbor_reduce— AdvanceOp + segmented ReduceOp: per-source reduction
 //                    over the advanced neighborhood (paper §III-B3).
 //
@@ -23,12 +27,20 @@
 
 #include "graph/csr.hpp"
 #include "gunrock/frontier.hpp"
+#include "sim/advance.hpp"
 #include "sim/compact.hpp"
 #include "sim/device.hpp"
 #include "sim/scan.hpp"
+#include "sim/scratch.hpp"
 #include "sim/segmented_reduce.hpp"
 
 namespace gcol::gr {
+
+/// How advance (and neighbor_reduce) spread neighbor work over workers.
+enum class AdvancePolicy {
+  kEdgeBalanced,   ///< merge-path over scanned degrees: equal edges per worker
+  kVertexChunked,  ///< dynamic chunks of source vertices (degree-oblivious)
+};
 
 /// ComputeOp: op(v) for every vertex v in the frontier, in parallel with no
 /// ordering guarantees (paper: "Gunrock performs that operation in parallel
@@ -71,17 +83,21 @@ struct AdvanceResult {
 /// AdvanceOp: visits the full neighbor list of every frontier vertex and
 /// materializes it (paper: "each input item maps to multiple output items
 /// from the input item's neighbor list"). Load-balanced in the Gunrock
-/// sense: slot counts come from a degree scan, and the fill launch uses
-/// dynamic chunking so high-degree vertices don't serialize on one worker.
-[[nodiscard]] inline AdvanceResult advance(sim::Device& device,
-                                           const graph::Csr& csr,
-                                           const Frontier& frontier) {
+/// sense: slot counts come from a degree scan, and the fill launch is
+/// edge-balanced by default (merge-path over the scanned offsets), so
+/// high-degree vertices split across every worker instead of serializing on
+/// one. The degree-oblivious vertex-chunked fill remains selectable for the
+/// schedule ablation.
+[[nodiscard]] inline AdvanceResult advance(
+    sim::Device& device, const graph::Csr& csr, const Frontier& frontier,
+    AdvancePolicy policy = AdvancePolicy::kEdgeBalanced) {
   const std::int64_t fsize = frontier.size();
   AdvanceResult result;
   result.segment_offsets.resize(static_cast<std::size_t>(fsize) + 1);
 
-  // Launch 1: per-source degree.
-  std::vector<eid_t> degrees(static_cast<std::size_t>(fsize));
+  // Launch 1: per-source degree (scratch arena — no allocation per call).
+  const std::span<eid_t> degrees = device.scratch().get<eid_t>(
+      sim::ScratchLane::kDegrees, static_cast<std::size_t>(fsize));
   device.launch("gr::advance_degrees", fsize, [&](std::int64_t i) {
     degrees[static_cast<std::size_t>(i)] = csr.degree(frontier.vertex(i));
   });
@@ -93,18 +109,32 @@ struct AdvanceResult {
 
   // Launch 4: balanced neighbor fill.
   result.neighbors.resize(static_cast<std::size_t>(total));
-  device.launch(
-      "gr::advance_fill", fsize,
-      [&](std::int64_t i) {
-        const vid_t v = frontier.vertex(i);
-        const auto out = static_cast<std::size_t>(
-            result.segment_offsets[static_cast<std::size_t>(i)]);
-        const auto adj = csr.neighbors(v);
-        for (std::size_t k = 0; k < adj.size(); ++k) {
-          result.neighbors[out + k] = adj[k];
-        }
-      },
-      sim::Schedule::kDynamic);
+  if (policy == AdvancePolicy::kEdgeBalanced) {
+    sim::for_each_segment_range<eid_t>(
+        device, "gr::advance_fill", result.segment_offsets,
+        [&](std::int64_t s, std::int64_t local_begin, std::int64_t local_end,
+            std::int64_t global_begin) {
+          const auto adj = csr.neighbors(frontier.vertex(s));
+          for (std::int64_t k = local_begin; k < local_end; ++k) {
+            result.neighbors[static_cast<std::size_t>(
+                global_begin + (k - local_begin))] =
+                adj[static_cast<std::size_t>(k)];
+          }
+        });
+  } else {
+    device.launch(
+        "gr::advance_fill", fsize,
+        [&](std::int64_t i) {
+          const vid_t v = frontier.vertex(i);
+          const auto out = static_cast<std::size_t>(
+              result.segment_offsets[static_cast<std::size_t>(i)]);
+          const auto adj = csr.neighbors(v);
+          for (std::size_t k = 0; k < adj.size(); ++k) {
+            result.neighbors[out + k] = adj[k];
+          }
+        },
+        sim::Schedule::kDynamic);
+  }
   return result;
 }
 
@@ -119,23 +149,38 @@ struct AdvanceResult {
 template <typename T, typename Map, typename ReduceOp>
 void neighbor_reduce(sim::Device& device, const graph::Csr& csr,
                      const Frontier& frontier, Map map, ReduceOp reduce_op,
-                     T identity, std::span<T> out) {
-  const AdvanceResult advanced = advance(device, csr, frontier);
+                     T identity, std::span<T> out,
+                     AdvancePolicy policy = AdvancePolicy::kEdgeBalanced) {
+  const AdvanceResult advanced = advance(device, csr, frontier, policy);
   // Map the advanced neighbors to reduction inputs (one launch)...
   std::vector<T> values(advanced.neighbors.size());
-  device.launch(
-      "gr::neighbor_map", frontier.size(),
-      [&](std::int64_t i) {
-        const vid_t v = frontier.vertex(i);
-        const auto begin = static_cast<std::size_t>(
-            advanced.segment_offsets[static_cast<std::size_t>(i)]);
-        const auto end = static_cast<std::size_t>(
-            advanced.segment_offsets[static_cast<std::size_t>(i) + 1]);
-        for (std::size_t k = begin; k < end; ++k) {
-          values[k] = map(v, advanced.neighbors[k]);
-        }
-      },
-      sim::Schedule::kDynamic);
+  if (policy == AdvancePolicy::kEdgeBalanced) {
+    sim::for_each_segment_range<eid_t>(
+        device, "gr::neighbor_map", advanced.segment_offsets,
+        [&](std::int64_t s, std::int64_t local_begin, std::int64_t local_end,
+            std::int64_t global_begin) {
+          const vid_t v = frontier.vertex(s);
+          for (std::int64_t k = local_begin; k < local_end; ++k) {
+            const auto p =
+                static_cast<std::size_t>(global_begin + (k - local_begin));
+            values[p] = map(v, advanced.neighbors[p]);
+          }
+        });
+  } else {
+    device.launch(
+        "gr::neighbor_map", frontier.size(),
+        [&](std::int64_t i) {
+          const vid_t v = frontier.vertex(i);
+          const auto begin = static_cast<std::size_t>(
+              advanced.segment_offsets[static_cast<std::size_t>(i)]);
+          const auto end = static_cast<std::size_t>(
+              advanced.segment_offsets[static_cast<std::size_t>(i) + 1]);
+          for (std::size_t k = begin; k < end; ++k) {
+            values[k] = map(v, advanced.neighbors[k]);
+          }
+        },
+        sim::Schedule::kDynamic);
+  }
   // ...then segmented-reduce per source (one launch).
   sim::segmented_reduce<T, eid_t>(device, advanced.segment_offsets, values,
                                   out, identity, reduce_op);

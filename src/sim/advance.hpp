@@ -1,0 +1,113 @@
+#pragma once
+// Edge-balanced traversal over CSR-style segments — the CPU analogue of
+// Gunrock's merge-path / TWC advance load balancing (Wang et al., "Gunrock:
+// GPU Graph Analytics"; Merrill & Garland's merge-path SpMV). The
+// vertex-granularity schedules (static blocks or dynamic chunks of
+// *segments*) starve on power-law degree distributions: one worker drags a
+// hub vertex's whole adjacency while the rest idle. Here each worker owns an
+// equal share of *positions* (edges): it finds its first segment with one
+// binary search over the prefix-summed offsets (the merge-path diagonal) and
+// walks forward, so a hub's adjacency splits across every worker.
+//
+// One kernel launch, no atomics, deterministic partition — the balanced
+// counterpart to Device's Schedule::kDynamic chunking, for the common case
+// where per-item work is known from a degree scan.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "sim/device.hpp"
+#include "sim/slot_range.hpp"
+
+namespace gcol::sim {
+
+/// For every segment s in [0, offsets.size() - 2] and every position p in
+/// [offsets[s], offsets[s+1]), calls
+///
+///   visit(s, local_begin, local_end, global_begin)
+///
+/// covering local ranks [local_begin, local_end) of segment s, where local
+/// rank k corresponds to global position global_begin + (k - local_begin).
+/// A segment overlapping several workers' position ranges is visited once
+/// per overlap; callers hoist per-segment state into the range body, which
+/// is why the callback is range- rather than item-granular.
+///
+/// Work is partitioned over workers by *position*, not by segment. Issues a
+/// single kernel launch (named `name`); skips the launch entirely when there
+/// are no positions.
+template <typename OffsetT, typename VisitRange>
+void for_each_segment_range(Device& device, const char* name,
+                            std::span<const OffsetT> offsets,
+                            VisitRange visit) {
+  const auto num_segments = static_cast<std::int64_t>(offsets.size()) - 1;
+  if (num_segments <= 0) return;
+  const auto base = static_cast<std::int64_t>(offsets[0]);
+  const std::int64_t total =
+      static_cast<std::int64_t>(offsets[static_cast<std::size_t>(
+          num_segments)]) -
+      base;
+  if (total <= 0) return;
+
+  if (device.num_workers() == 1) {
+    // One worker owns every position: no diagonal search, no range
+    // clipping — just one whole-segment visit per non-empty segment.
+    device.launch_slots(name, [&](unsigned, unsigned) {
+      for (std::int64_t s = 0; s < num_segments; ++s) {
+        const auto seg_begin =
+            static_cast<std::int64_t>(offsets[static_cast<std::size_t>(s)]);
+        const auto seg_end = static_cast<std::int64_t>(
+            offsets[static_cast<std::size_t>(s) + 1]);
+        if (seg_begin < seg_end) visit(s, 0, seg_end - seg_begin, seg_begin);
+      }
+    });
+    return;
+  }
+
+  device.launch_slots(name, [&](unsigned slot, unsigned num_slots) {
+    const auto [work_begin, work_end] = slot_range(slot, num_slots, total);
+    if (work_begin >= work_end) return;
+    // Merge-path diagonal: the segment containing our first position.
+    const auto it = std::upper_bound(
+        offsets.begin(), offsets.end(),
+        static_cast<OffsetT>(base + work_begin));
+    std::int64_t s = (it - offsets.begin()) - 1;
+    std::int64_t w = work_begin;
+    while (w < work_end) {
+      // Skip empty segments (offsets[s] == offsets[s+1]).
+      while (static_cast<std::int64_t>(
+                 offsets[static_cast<std::size_t>(s) + 1]) -
+                 base <=
+             w) {
+        ++s;
+      }
+      const std::int64_t seg_begin =
+          static_cast<std::int64_t>(offsets[static_cast<std::size_t>(s)]) -
+          base;
+      const std::int64_t seg_end = std::min(
+          static_cast<std::int64_t>(
+              offsets[static_cast<std::size_t>(s) + 1]) -
+              base,
+          work_end);
+      visit(s, w - seg_begin, seg_end - seg_begin, base + w);
+      w = seg_end;
+    }
+  });
+}
+
+/// Item-granular convenience wrapper:
+///   visit(s, k, p) for every local rank k / global position p of segment s.
+template <typename OffsetT, typename VisitItem>
+void for_each_segment_item(Device& device, const char* name,
+                           std::span<const OffsetT> offsets, VisitItem visit) {
+  for_each_segment_range<OffsetT>(
+      device, name, offsets,
+      [&](std::int64_t s, std::int64_t local_begin, std::int64_t local_end,
+          std::int64_t global_begin) {
+        for (std::int64_t k = local_begin; k < local_end; ++k) {
+          visit(s, k, global_begin + (k - local_begin));
+        }
+      });
+}
+
+}  // namespace gcol::sim

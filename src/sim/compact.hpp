@@ -1,38 +1,90 @@
 #pragma once
 // Stream compaction (filter) — the CPU analogue of cub::DeviceSelect, which
 // backs Gunrock's frontier filtering and GraphBLAST's sparse-vector
-// extraction. Built on exclusive_scan, as on the GPU: flag, scan, scatter.
+// extraction.
+//
+// Fused two-launch scheme (was flag + full scan + scatter, up to four
+// launches): launch 1 evaluates the predicate over each worker's contiguous
+// block, caching the flags and counting slot-local keeps; the host then
+// exclusive-scans the per-slot counts (one tiny serial pass — the "single
+// block" of the classic GPU decomposition); launch 2 re-walks the cached
+// flags and scatters each slot's keeps at its precomputed offset. Slot
+// blocks are contiguous and ascending, so the output stays stable exactly as
+// the full-scan version was. Flags and slot counts live in the device
+// scratch arena — no allocation besides the result itself.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "sim/device.hpp"
-#include "sim/scan.hpp"
+#include "sim/scratch.hpp"
+#include "sim/slot_range.hpp"
 
 namespace gcol::sim {
 
+namespace detail {
+
+/// Shared engine: flag+count launch, serial slot-offset scan, scatter
+/// launch. `emit(i, pos)` writes element i to output position pos.
+template <typename Pred, typename Resize, typename Emit>
+void fused_compact(Device& device, std::int64_t n, Pred pred, Resize resize,
+                   Emit emit) {
+  const unsigned workers = device.num_workers();
+  const std::span<std::uint8_t> flags =
+      device.scratch().get<std::uint8_t>(ScratchLane::kFlags,
+                                         static_cast<std::size_t>(n));
+  const std::span<std::int64_t> slot_counts =
+      device.scratch().get<std::int64_t>(ScratchLane::kSlotCounts, workers);
+
+  device.launch_slots("sim::compact_flag_count",
+                      [&](unsigned slot, unsigned num_slots) {
+                        const auto [begin, end] = slot_range(slot, num_slots, n);
+                        std::int64_t local = 0;
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          const bool keep = pred(i);
+                          flags[static_cast<std::size_t>(i)] = keep ? 1 : 0;
+                          local += keep ? 1 : 0;
+                        }
+                        slot_counts[slot] = local;
+                      });
+
+  std::int64_t total = 0;
+  for (unsigned slot = 0; slot < workers; ++slot) {
+    const std::int64_t count = slot_counts[slot];
+    slot_counts[slot] = total;
+    total += count;
+  }
+  resize(total);
+
+  device.launch_slots("sim::compact_scatter",
+                      [&](unsigned slot, unsigned num_slots) {
+                        const auto [begin, end] = slot_range(slot, num_slots, n);
+                        std::int64_t pos = slot_counts[slot];
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          if (flags[static_cast<std::size_t>(i)] != 0) {
+                            emit(i, pos++);
+                          }
+                        }
+                      });
+}
+
+}  // namespace detail
+
 /// Returns the indices i in [0, n) for which pred(i) is true, in ascending
-/// order (the scan makes the scatter stable, as on the GPU).
+/// order (contiguous slot blocks keep the scatter stable, as on the GPU).
 template <typename Pred>
 [[nodiscard]] std::vector<std::int64_t> compact_indices(Device& device,
                                                         std::int64_t n,
                                                         Pred pred) {
   if (n <= 0) return {};
-  std::vector<std::int64_t> flags(static_cast<std::size_t>(n));
-  device.launch("sim::compact_flag", n, [&](std::int64_t i) {
-    flags[static_cast<std::size_t>(i)] = pred(i) ? 1 : 0;
-  });
-  std::vector<std::int64_t> positions(static_cast<std::size_t>(n));
-  const std::int64_t kept = exclusive_scan<std::int64_t>(
-      device, std::span<const std::int64_t>(flags), std::span(positions));
-  std::vector<std::int64_t> out(static_cast<std::size_t>(kept));
-  device.launch("sim::compact_scatter", n, [&](std::int64_t i) {
-    if (flags[static_cast<std::size_t>(i)] != 0) {
-      out[static_cast<std::size_t>(positions[static_cast<std::size_t>(i)])] =
-          i;
-    }
-  });
+  std::vector<std::int64_t> out;
+  detail::fused_compact(
+      device, n, [&](std::int64_t i) { return static_cast<bool>(pred(i)); },
+      [&](std::int64_t total) { out.resize(static_cast<std::size_t>(total)); },
+      [&](std::int64_t i, std::int64_t pos) {
+        out[static_cast<std::size_t>(pos)] = i;
+      });
   return out;
 }
 
@@ -44,21 +96,17 @@ template <typename T, typename Pred>
                                             Pred pred) {
   const auto n = static_cast<std::int64_t>(values.size());
   if (n == 0) return {};
-  std::vector<std::int64_t> flags(static_cast<std::size_t>(n));
-  device.launch("sim::compact_flag", n, [&](std::int64_t i) {
-    flags[static_cast<std::size_t>(i)] =
-        pred(values[static_cast<std::size_t>(i)], i) ? 1 : 0;
-  });
-  std::vector<std::int64_t> positions(static_cast<std::size_t>(n));
-  const std::int64_t kept = exclusive_scan<std::int64_t>(
-      device, std::span<const std::int64_t>(flags), std::span(positions));
-  std::vector<T> out(static_cast<std::size_t>(kept));
-  device.launch("sim::compact_scatter", n, [&](std::int64_t i) {
-    if (flags[static_cast<std::size_t>(i)] != 0) {
-      out[static_cast<std::size_t>(positions[static_cast<std::size_t>(i)])] =
-          values[static_cast<std::size_t>(i)];
-    }
-  });
+  std::vector<T> out;
+  detail::fused_compact(
+      device, n,
+      [&](std::int64_t i) {
+        return static_cast<bool>(pred(values[static_cast<std::size_t>(i)], i));
+      },
+      [&](std::int64_t total) { out.resize(static_cast<std::size_t>(total)); },
+      [&](std::int64_t i, std::int64_t pos) {
+        out[static_cast<std::size_t>(pos)] =
+            values[static_cast<std::size_t>(i)];
+      });
   return out;
 }
 

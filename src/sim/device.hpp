@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "sim/scratch.hpp"
+#include "sim/slot_range.hpp"
 #include "sim/thread_pool.hpp"
 #include "sim/timer.hpp"
 
@@ -34,6 +36,16 @@ enum class Schedule {
   kStatic,   ///< contiguous blocks, one per worker (thread-per-vertex style)
   kDynamic,  ///< chunked work queue (load-balanced, advance-operator style)
 };
+
+/// Grids at or below this many work items execute inline on the host thread
+/// instead of crossing the worker barrier. A real GPU pays the launch cost
+/// regardless of grid size, but on the virtual device the barrier IS the
+/// launch cost — and a grid this small cannot amortize it (nor even occupy
+/// the workers). Tiny launches dominate the tail iterations of the paper's
+/// iterative algorithms (frontiers shrink toward a handful of vertices), so
+/// this is the launch fast path where it matters most. Launch count and
+/// listener reporting are unaffected.
+inline constexpr std::int64_t kInlineLaunchItems = 16;
 
 /// One completed kernel launch, as reported to a LaunchListener.
 struct LaunchInfo {
@@ -67,6 +79,10 @@ class Device {
 
   [[nodiscard]] unsigned num_workers() const noexcept { return pool_.size(); }
 
+  /// Reusable scratch memory for the substrate primitives (see scratch.hpp).
+  /// Host-thread-only, like the launch API itself.
+  [[nodiscard]] ScratchArena& scratch() noexcept { return scratch_; }
+
   /// Installs `listener` (nullptr to disable) and returns the previously
   /// installed one, so scoped instrumentation can nest and restore.
   LaunchListener* set_launch_listener(LaunchListener* listener) noexcept {
@@ -93,8 +109,8 @@ class Device {
     }
     const Stopwatch watch;
     dispatch(n, body, schedule, chunk);
-    listener->on_kernel_launch(
-        {name, n, pool_.size(), watch.elapsed_ms()});
+    const unsigned slots = n <= kInlineLaunchItems ? 1u : pool_.size();
+    listener->on_kernel_launch({name, n, slots, watch.elapsed_ms()});
   }
 
   /// Unnamed compatibility spelling of launch().
@@ -163,22 +179,21 @@ class Device {
   void dispatch(std::int64_t n, Body& body, Schedule schedule,
                 std::int64_t chunk) {
     const auto workers = static_cast<std::int64_t>(pool_.size());
-    if (workers == 1 || n == 1) {
+    if (workers == 1 || n <= kInlineLaunchItems) {
       for (std::int64_t i = 0; i < n; ++i) body(i);
       return;
     }
     if (schedule == Schedule::kStatic) {
-      const std::function<void(unsigned)> job = [&](unsigned slot) {
-        const std::int64_t per = (n + workers - 1) / workers;
-        const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
-        const std::int64_t end = begin + per < n ? begin + per : n;
+      // The lambda is borrowed by FunctionRef for the (blocking) run call —
+      // no std::function, no allocation on the launch path.
+      pool_.run([&](unsigned slot) {
+        const auto [begin, end] = slot_range(slot, pool_.size(), n);
         for (std::int64_t i = begin; i < end; ++i) body(i);
-      };
-      pool_.run(job);
+      });
     } else {
       if (chunk <= 0) chunk = default_chunk(n, workers);
       std::atomic<std::int64_t> next{0};
-      const std::function<void(unsigned)> job = [&](unsigned) {
+      pool_.run([&](unsigned) {
         for (;;) {
           const std::int64_t begin =
               next.fetch_add(chunk, std::memory_order_relaxed);
@@ -186,17 +201,13 @@ class Device {
           const std::int64_t end = begin + chunk < n ? begin + chunk : n;
           for (std::int64_t i = begin; i < end; ++i) body(i);
         }
-      };
-      pool_.run(job);
+      });
     }
   }
 
   template <typename Body>
   void dispatch_slots(Body& body, unsigned workers) {
-    const std::function<void(unsigned)> job = [&](unsigned slot) {
-      body(slot, workers);
-    };
-    pool_.run(job);
+    pool_.run([&](unsigned slot) { body(slot, workers); });
   }
 
   static std::int64_t default_chunk(std::int64_t n, std::int64_t workers) {
@@ -205,6 +216,7 @@ class Device {
   }
 
   ThreadPool pool_;
+  ScratchArena scratch_;
   std::atomic<std::uint64_t> launches_{0};
   std::atomic<LaunchListener*> listener_{nullptr};
 };

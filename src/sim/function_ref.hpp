@@ -1,0 +1,53 @@
+#pragma once
+// Non-owning type-erased callable reference — the launch path's alternative
+// to std::function, whose construction heap-allocates once the capture list
+// outgrows the small-buffer optimization (every [&] kernel body does). A
+// FunctionRef is two words (context pointer + invoke thunk), costs nothing to
+// build, and is safe here because ThreadPool::run blocks until every slot
+// has finished with it: the referenced callable always outlives the call.
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace gcol::sim {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// An empty reference; calling it is undefined. Exists so owners (the
+  /// thread pool's job slot) can be default-constructed.
+  constexpr FunctionRef() noexcept = default;
+
+  /// Implicitly binds any callable. The callable is NOT copied: it must
+  /// outlive every invocation through this reference.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FunctionRef(F&& f) noexcept
+      : context_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* context, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(context))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(context_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+ private:
+  void* context_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace gcol::sim

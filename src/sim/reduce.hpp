@@ -2,13 +2,15 @@
 // Parallel reduction over a span — the CPU analogue of cub::DeviceReduce,
 // which backs GrB_reduce and Gunrock's "are we done" checks in the paper's
 // implementations. Two-phase: per-worker partial reduction inside one kernel
-// launch, then a serial combine of one partial per worker.
+// launch, then a serial combine of one partial per worker. Partials live in
+// the device scratch arena — no allocation per call.
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "sim/device.hpp"
+#include "sim/scratch.hpp"
+#include "sim/slot_range.hpp"
 
 namespace gcol::sim {
 
@@ -20,12 +22,10 @@ template <typename T, typename Combine>
   const auto n = static_cast<std::int64_t>(values.size());
   if (n == 0) return identity;
   const unsigned workers = device.num_workers();
-  std::vector<T> partials(workers, identity);
+  const std::span<T> partials =
+      device.scratch().template get<T>(ScratchLane::kPartials, workers);
   device.launch_slots("sim::reduce", [&](unsigned slot, unsigned num_slots) {
-    const std::int64_t per =
-        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
-    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
-    const std::int64_t end = begin + per < n ? begin + per : n;
+    const auto [begin, end] = slot_range(slot, num_slots, n);
     T acc = identity;
     for (std::int64_t i = begin; i < end; ++i) {
       acc = combine(acc, values[static_cast<std::size_t>(i)]);
@@ -64,12 +64,11 @@ template <typename T, typename Pred>
                                     Pred pred) {
   const auto n = static_cast<std::int64_t>(values.size());
   if (n == 0) return 0;
-  std::vector<std::int64_t> partials(device.num_workers(), 0);
+  const std::span<std::int64_t> partials =
+      device.scratch().template get<std::int64_t>(ScratchLane::kPartials,
+                                                  device.num_workers());
   device.launch_slots("sim::count_if", [&](unsigned slot, unsigned num_slots) {
-    const std::int64_t per =
-        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
-    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
-    const std::int64_t end = begin + per < n ? begin + per : n;
+    const auto [begin, end] = slot_range(slot, num_slots, n);
     std::int64_t local = 0;
     for (std::int64_t i = begin; i < end; ++i) {
       if (pred(values[static_cast<std::size_t>(i)])) ++local;
@@ -77,7 +76,7 @@ template <typename T, typename Pred>
     partials[slot] = local;
   });
   std::int64_t total = 0;
-  for (std::int64_t partial : partials) total += partial;
+  for (const std::int64_t partial : partials) total += partial;
   return total;
 }
 

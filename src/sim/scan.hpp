@@ -4,15 +4,19 @@
 // GraphBLAST on the GPU.
 //
 // Three-phase scheme (the classic GPU decomposition):
-//   1. one launch: each worker sums its block,
+//   1. one launch ("sim::scan_partials"): each worker sums its block,
 //   2. serial exclusive scan over the per-worker sums,
-//   3. one launch: each worker scans its block seeded with its offset.
+//   3. one launch ("sim::scan_apply"): each worker scans its block seeded
+//      with its offset.
+// The per-worker block sums live in the device scratch arena, so a scan in a
+// hot loop performs no allocation.
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "sim/device.hpp"
+#include "sim/scratch.hpp"
+#include "sim/slot_range.hpp"
 
 namespace gcol::sim {
 
@@ -33,18 +37,18 @@ T exclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
     return acc;
   }
 
-  std::vector<T> block_sums(workers, T{0});
-  device.launch_slots("sim::scan", [&](unsigned slot, unsigned num_slots) {
-    const std::int64_t per =
-        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
-    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
-    const std::int64_t end = begin + per < n ? begin + per : n;
-    T acc{0};
-    for (std::int64_t i = begin; i < end; ++i) {
-      acc = static_cast<T>(acc + in[static_cast<std::size_t>(i)]);
-    }
-    block_sums[slot] = acc;
-  });
+  const std::span<T> block_sums =
+      device.scratch().template get<T>(ScratchLane::kBlockSums, workers);
+  device.launch_slots("sim::scan_partials",
+                      [&](unsigned slot, unsigned num_slots) {
+                        const auto [begin, end] = slot_range(slot, num_slots, n);
+                        T acc{0};
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          acc = static_cast<T>(
+                              acc + in[static_cast<std::size_t>(i)]);
+                        }
+                        block_sums[slot] = acc;
+                      });
 
   T total{0};
   for (unsigned slot = 0; slot < workers; ++slot) {
@@ -53,18 +57,16 @@ T exclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
     total = static_cast<T>(total + sum);
   }
 
-  device.launch_slots("sim::scan", [&](unsigned slot, unsigned num_slots) {
-    const std::int64_t per =
-        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
-    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
-    const std::int64_t end = begin + per < n ? begin + per : n;
-    T acc = block_sums[slot];
-    for (std::int64_t i = begin; i < end; ++i) {
-      const T value = in[static_cast<std::size_t>(i)];
-      out[static_cast<std::size_t>(i)] = acc;
-      acc = static_cast<T>(acc + value);
-    }
-  });
+  device.launch_slots("sim::scan_apply",
+                      [&](unsigned slot, unsigned num_slots) {
+                        const auto [begin, end] = slot_range(slot, num_slots, n);
+                        T acc = block_sums[slot];
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          const T value = in[static_cast<std::size_t>(i)];
+                          out[static_cast<std::size_t>(i)] = acc;
+                          acc = static_cast<T>(acc + value);
+                        }
+                      });
   return total;
 }
 
@@ -84,18 +86,18 @@ T inclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
     return acc;
   }
 
-  std::vector<T> block_sums(workers, T{0});
-  device.launch_slots("sim::scan", [&](unsigned slot, unsigned num_slots) {
-    const std::int64_t per =
-        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
-    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
-    const std::int64_t end = begin + per < n ? begin + per : n;
-    T acc{0};
-    for (std::int64_t i = begin; i < end; ++i) {
-      acc = static_cast<T>(acc + in[static_cast<std::size_t>(i)]);
-    }
-    block_sums[slot] = acc;
-  });
+  const std::span<T> block_sums =
+      device.scratch().template get<T>(ScratchLane::kBlockSums, workers);
+  device.launch_slots("sim::scan_partials",
+                      [&](unsigned slot, unsigned num_slots) {
+                        const auto [begin, end] = slot_range(slot, num_slots, n);
+                        T acc{0};
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          acc = static_cast<T>(
+                              acc + in[static_cast<std::size_t>(i)]);
+                        }
+                        block_sums[slot] = acc;
+                      });
 
   T total{0};
   for (unsigned slot = 0; slot < workers; ++slot) {
@@ -104,17 +106,16 @@ T inclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
     total = static_cast<T>(total + sum);
   }
 
-  device.launch_slots("sim::scan", [&](unsigned slot, unsigned num_slots) {
-    const std::int64_t per =
-        (n + static_cast<std::int64_t>(num_slots) - 1) / num_slots;
-    const std::int64_t begin = static_cast<std::int64_t>(slot) * per;
-    const std::int64_t end = begin + per < n ? begin + per : n;
-    T acc = block_sums[slot];
-    for (std::int64_t i = begin; i < end; ++i) {
-      acc = static_cast<T>(acc + in[static_cast<std::size_t>(i)]);
-      out[static_cast<std::size_t>(i)] = acc;
-    }
-  });
+  device.launch_slots("sim::scan_apply",
+                      [&](unsigned slot, unsigned num_slots) {
+                        const auto [begin, end] = slot_range(slot, num_slots, n);
+                        T acc = block_sums[slot];
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          acc = static_cast<T>(
+                              acc + in[static_cast<std::size_t>(i)]);
+                          out[static_cast<std::size_t>(i)] = acc;
+                        }
+                      });
   return total;
 }
 

@@ -1,0 +1,75 @@
+#pragma once
+// Reusable per-device scratch memory for the substrate primitives — the CPU
+// analogue of cub's pre-allocated d_temp_storage. Before this arena existed,
+// every exclusive_scan / compaction / reduction call allocated (and freed)
+// its flags / positions / block_sums vectors, so the per-iteration hot loop
+// of every coloring algorithm paid malloc traffic per kernel launch. The
+// arena keeps one growing byte buffer per *lane*; a primitive re-types its
+// lane on each call and nested primitives use distinct lanes, so a scan
+// running inside a compaction (or an advance) never aliases its caller's
+// scratch.
+//
+// Thread-safety contract: same as Device's launch API — scratch is acquired
+// on the host thread between launches; workers may read/write the spans
+// inside a launch (the launch barrier orders those accesses, exactly as it
+// did for the per-call vectors this replaces). Concurrent host-side use of
+// one Device was never supported and still is not.
+
+#include <bit>
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace gcol::sim {
+
+/// Fixed lane assignments. Two primitives may share a lane only if one can
+/// never run while the other still needs its scratch.
+enum class ScratchLane : unsigned {
+  kBlockSums = 0,  ///< scan: per-slot block sums
+  kPartials,       ///< reduce / count_if: per-slot partials
+  kFlags,          ///< compaction: per-item predicate flags
+  kSlotCounts,     ///< compaction: per-slot kept counts
+  kDegrees,        ///< advance / push vxm: per-item degrees -> offsets
+  kLaneCount,
+};
+
+class ScratchArena {
+ public:
+  /// A span of `n` Ts backed by the lane's buffer, grown (never shrunk) as
+  /// needed. Contents are uninitialized — lanes are freely re-typed between
+  /// calls, so only trivial element types are allowed.
+  template <typename T>
+  [[nodiscard]] std::span<T> get(ScratchLane lane, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_default_constructible_v<T>,
+                  "scratch lanes hold raw re-typeable storage");
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned types need a dedicated allocation");
+    auto& buffer = buffers_[static_cast<unsigned>(lane)];
+    const std::size_t bytes = n * sizeof(T);
+    if (buffer.size() < bytes) buffer.resize(std::bit_ceil(bytes));
+    return {reinterpret_cast<T*>(buffer.data()), n};
+  }
+
+  /// Bytes currently retained across all lanes (for tests / introspection).
+  [[nodiscard]] std::size_t retained_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& buffer : buffers_) total += buffer.size();
+    return total;
+  }
+
+  /// Releases every lane's memory (e.g. between benchmark configurations).
+  void release() noexcept {
+    for (auto& buffer : buffers_) {
+      buffer.clear();
+      buffer.shrink_to_fit();
+    }
+  }
+
+ private:
+  std::vector<std::byte> buffers_[static_cast<unsigned>(
+      ScratchLane::kLaneCount)];
+};
+
+}  // namespace gcol::sim

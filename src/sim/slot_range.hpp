@@ -1,0 +1,31 @@
+#pragma once
+// The one definition of "which contiguous [begin, end) block of n work items
+// does worker `slot` own". Every statically-blocked kernel (device static
+// dispatch, scan, reduce, compaction, edge-balanced advance) must partition
+// identically so multi-launch primitives like scan can revisit exactly the
+// elements they summed in an earlier phase.
+
+#include <cstdint>
+
+namespace gcol::sim {
+
+struct SlotRange {
+  std::int64_t begin;
+  std::int64_t end;  ///< one past the last owned item; begin == end when empty
+};
+
+/// Contiguous block of [0, n) owned by `slot` out of `slots` workers:
+/// ceil(n / slots) items per slot, trailing slots possibly empty. Always
+/// returns a well-formed (begin <= end <= n) range.
+[[nodiscard]] constexpr SlotRange slot_range(unsigned slot, unsigned slots,
+                                             std::int64_t n) noexcept {
+  const auto num_slots = static_cast<std::int64_t>(slots == 0 ? 1u : slots);
+  const std::int64_t per = (n + num_slots - 1) / num_slots;
+  std::int64_t begin = static_cast<std::int64_t>(slot) * per;
+  if (begin > n) begin = n;
+  std::int64_t end = begin + per;
+  if (end > n) end = n;
+  return {begin, end};
+}
+
+}  // namespace gcol::sim

@@ -2,8 +2,38 @@
 
 namespace gcol::sim {
 
+namespace {
+
+// Spin-then-park tuning. The pause phase covers back-to-back launches (the
+// benchmark / tight-iteration case); the yield phase covers oversubscribed
+// boxes where the peer needs the core to make progress (sched_yield hands it
+// over without a futex round-trip); parking covers idle gaps so an idle pool
+// consumes no CPU. When the pool is oversubscribed (more slots than cores —
+// the single-core-container case) pause spinning is strictly
+// counterproductive: the peer we are waiting on needs the core we are
+// burning, so the pause phase is skipped and parking comes sooner.
+constexpr int kPauseSpins = 128;
+constexpr int kYieldSpins = 32;
+constexpr int kOversubscribedYieldSpins = 16;
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned num_threads)
-    : num_slots_(num_threads < 1 ? 1u : num_threads) {
+    : num_slots_(num_threads < 1 ? 1u : num_threads), errors_(num_slots_) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool oversubscribed = cores != 0 && num_slots_ > cores;
+  pause_spins_ = oversubscribed ? 0 : kPauseSpins;
+  yield_spins_ = oversubscribed ? kOversubscribedYieldSpins : kYieldSpins;
   threads_.reserve(num_slots_ - 1);
   for (unsigned slot = 1; slot < num_slots_; ++slot) {
     threads_.emplace_back([this, slot] { worker_loop(slot); });
@@ -11,64 +41,118 @@ ThreadPool::ThreadPool(unsigned num_threads)
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lock(mutex_);
-    shutdown_ = true;
-  }
-  work_ready_.notify_all();
+  shutdown_.store(true, std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_seq_cst);
+  generation_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::run(const std::function<void(unsigned)>& job) {
+void ThreadPool::run(FunctionRef<void(unsigned)> job) {
   if (num_slots_ == 1) {
     job(0);
     return;
   }
-  {
-    std::lock_guard lock(mutex_);
-    job_ = &job;
-    outstanding_ = num_slots_ - 1;
-    first_error_ = nullptr;
-    ++generation_;
-  }
-  work_ready_.notify_all();
+
+  // Publish the job, then open the barrier. The seq_cst generation bump
+  // orders the job_/remaining_ stores before any worker's acquire load of
+  // generation_, and orders the bump against the parked_ read below
+  // (Dekker-style: a worker either sees the new generation before parking or
+  // is counted in parked_ before we read it).
+  job_ = job;
+  remaining_.store(num_slots_ - 1, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst) != 0) generation_.notify_all();
 
   // The calling thread is slot 0.
   try {
     job(0);
   } catch (...) {
-    std::lock_guard lock(mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+    errors_[0] = std::current_exception();
+    had_error_.store(true, std::memory_order_relaxed);
   }
 
-  std::unique_lock lock(mutex_);
-  work_done_.wait(lock, [this] { return outstanding_ == 0; });
-  job_ = nullptr;
-  if (first_error_) std::rethrow_exception(first_error_);
+  // Join: spin, yield, then park until every slot has checked out. The
+  // acquire loads pair with the workers' release decrements, making all
+  // job side effects (and error captures) visible before we return.
+  if (remaining_.load(std::memory_order_acquire) != 0) {
+    for (int i = 0; i < pause_spins_; ++i) {
+      cpu_relax();
+      if (remaining_.load(std::memory_order_acquire) == 0) break;
+    }
+  }
+  if (remaining_.load(std::memory_order_acquire) != 0) {
+    for (int i = 0; i < yield_spins_; ++i) {
+      std::this_thread::yield();
+      if (remaining_.load(std::memory_order_acquire) == 0) break;
+    }
+  }
+  if (remaining_.load(std::memory_order_acquire) != 0) {
+    host_parked_.store(true, std::memory_order_seq_cst);
+    for (;;) {
+      const unsigned left = remaining_.load(std::memory_order_acquire);
+      if (left == 0) break;
+      remaining_.wait(left, std::memory_order_acquire);
+    }
+    host_parked_.store(false, std::memory_order_relaxed);
+  }
+
+  if (had_error_.load(std::memory_order_relaxed)) rethrow_first_error();
+}
+
+void ThreadPool::rethrow_first_error() {
+  had_error_.store(false, std::memory_order_relaxed);
+  std::exception_ptr first;
+  for (auto& error : errors_) {
+    if (error != nullptr && first == nullptr) first = error;
+    error = nullptr;
+  }
+  if (first != nullptr) std::rethrow_exception(first);
 }
 
 void ThreadPool::worker_loop(unsigned slot) {
-  std::uint64_t seen_generation = 0;
+  std::uint32_t seen = 0;
   for (;;) {
-    const std::function<void(unsigned)>* job = nullptr;
-    {
-      std::unique_lock lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
-      if (shutdown_) return;
-      seen_generation = generation_;
-      job = job_;
+    // Wait for a new generation: spin, yield, then park on the futex. The
+    // parked_ increment is seq_cst so the host's "anyone parked?" check
+    // cannot miss us while we miss its generation bump.
+    std::uint32_t gen = generation_.load(std::memory_order_acquire);
+    if (gen == seen) {
+      for (int i = 0; i < pause_spins_; ++i) {
+        cpu_relax();
+        gen = generation_.load(std::memory_order_acquire);
+        if (gen != seen) break;
+      }
     }
+    if (gen == seen) {
+      for (int i = 0; i < yield_spins_; ++i) {
+        std::this_thread::yield();
+        gen = generation_.load(std::memory_order_acquire);
+        if (gen != seen) break;
+      }
+    }
+    if (gen == seen) {
+      parked_.fetch_add(1, std::memory_order_seq_cst);
+      for (;;) {
+        gen = generation_.load(std::memory_order_acquire);
+        if (gen != seen) break;
+        generation_.wait(seen, std::memory_order_relaxed);
+      }
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    seen = gen;
+    if (shutdown_.load(std::memory_order_acquire)) return;
+
     try {
-      (*job)(slot);
+      job_(slot);
     } catch (...) {
-      std::lock_guard lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      errors_[slot] = std::current_exception();
+      had_error_.store(true, std::memory_order_relaxed);
     }
-    {
-      std::lock_guard lock(mutex_);
-      if (--outstanding_ == 0) work_done_.notify_one();
+
+    // Check out of the barrier; wake the host only if it really parked.
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        host_parked_.load(std::memory_order_seq_cst)) {
+      remaining_.notify_all();
     }
   }
 }

@@ -5,14 +5,26 @@
 // are woken for every kernel launch and joined at an implicit global barrier
 // when the launch completes. Work distribution inside a launch is the
 // caller's business (device.hpp offers static blocking and dynamic chunking).
+//
+// Launch fast path: dispatch is a sense-reversing barrier. The host publishes
+// the job and bumps an atomic generation counter; workers spin on the
+// counter (pause, then yield), parking on the futex (std::atomic::wait) only
+// when a launch doesn't arrive promptly. Completion is the mirror image: the
+// host spins on the outstanding-slot count and parks only as a last resort.
+// In a launch-dense phase — every coloring iteration is one — neither side
+// touches a mutex, a condition variable, or the allocator: the job travels
+// as a two-word FunctionRef, and wake syscalls happen only when a peer
+// actually parked. This is what makes per-launch overhead (the paper's
+// "kernel launch / global sync" cost) small enough that launch *count*
+// differences between algorithms, not launch bookkeeping, dominate.
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <exception>
-#include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/function_ref.hpp"
 
 namespace gcol::sim {
 
@@ -37,25 +49,46 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const noexcept { return num_slots_; }
 
   /// Executes job(slot) once for every slot in [0, size()), blocking until
-  /// all slots complete. Exceptions thrown by any slot are captured; the
-  /// first one is rethrown on the calling thread after the barrier.
-  /// Not reentrant: run() must not be called from inside a job.
-  void run(const std::function<void(unsigned)>& job);
+  /// all slots complete. The callable is borrowed, not copied — it must stay
+  /// alive until run() returns (always true for the lambda-argument idiom).
+  /// Exceptions thrown by any slot are captured; the lowest-slot one is
+  /// rethrown on the calling thread after the barrier. Not reentrant: run()
+  /// must not be called from inside a job, nor from two threads at once.
+  void run(FunctionRef<void(unsigned)> job);
 
  private:
   void worker_loop(unsigned slot);
+  /// Rethrows the lowest-slot captured exception and resets error state.
+  void rethrow_first_error();
 
   unsigned num_slots_;
+  // Spin budgets chosen at construction: oversubscribed pools (more slots
+  // than cores) skip pause spinning and park sooner — see thread_pool.cpp.
+  int pause_spins_ = 0;
+  int yield_spins_ = 0;
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  const std::function<void(unsigned)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  unsigned outstanding_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  // Launch side. generation_ is the barrier's sense: workers sleep while it
+  // equals the value they last served. 32-bit so std::atomic::wait maps to a
+  // bare futex (wraparound is harmless — equality is all that matters, and a
+  // worker can never fall a full 2^32 launches behind because the host joins
+  // every launch). job_ is plain data published by the generation bump
+  // (release) and read under the workers' acquire load.
+  std::atomic<std::uint32_t> generation_{0};
+  FunctionRef<void(unsigned)> job_;
+  std::atomic<bool> shutdown_{false};
+  // Workers parked on generation_; the host skips the wake syscall when 0.
+  std::atomic<unsigned> parked_{0};
+
+  // Completion side: slots still running the current job. The last worker
+  // issues a wake only when the host actually parked.
+  std::atomic<unsigned> remaining_{0};
+  std::atomic<bool> host_parked_{false};
+
+  // Per-slot exception capture: no lock needed, each slot owns its entry;
+  // publication rides the remaining_ release/acquire edge.
+  std::atomic<bool> had_error_{false};
+  std::vector<std::exception_ptr> errors_;
 };
 
 }  // namespace gcol::sim

@@ -136,6 +136,45 @@ TEST_P(OperatorsTest, NeighborReduceMapSeesSource) {
   EXPECT_EQ(out[2], 21);
 }
 
+TEST_P(OperatorsTest, AdvancePoliciesProduceIdenticalResults) {
+  // The edge-balanced fill must be byte-identical to the vertex-chunked one
+  // — same segment offsets, same neighbor order — so Table II ablations
+  // compare schedules, not outputs. The star graph is the adversarial case:
+  // one hub segment holds nearly every position.
+  for (const auto& csr : {star_graph(64), cycle_graph(40), path_graph(17)}) {
+    const Frontier frontier = Frontier::all(csr.num_vertices);
+    const AdvanceResult balanced =
+        advance(device, csr, frontier, AdvancePolicy::kEdgeBalanced);
+    const AdvanceResult chunked =
+        advance(device, csr, frontier, AdvancePolicy::kVertexChunked);
+    EXPECT_EQ(balanced.segment_offsets, chunked.segment_offsets);
+    EXPECT_EQ(balanced.neighbors, chunked.neighbors);
+  }
+}
+
+TEST_P(OperatorsTest, NeighborReducePoliciesAgree) {
+  const auto csr = star_graph(32);
+  std::vector<std::int32_t> weight(32);
+  for (int i = 0; i < 32; ++i) {
+    weight[static_cast<std::size_t>(i)] = (i * 13) % 32;
+  }
+  const auto map = [&](vid_t, vid_t u) {
+    return weight[static_cast<std::size_t>(u)];
+  };
+  const auto max_op = [](std::int32_t a, std::int32_t b) {
+    return b > a ? b : a;
+  };
+  std::vector<std::int32_t> balanced(32);
+  std::vector<std::int32_t> chunked(32);
+  neighbor_reduce<std::int32_t>(device, csr, Frontier::all(32), map, max_op,
+                                std::int32_t{-1}, balanced,
+                                AdvancePolicy::kEdgeBalanced);
+  neighbor_reduce<std::int32_t>(device, csr, Frontier::all(32), map, max_op,
+                                std::int32_t{-1}, chunked,
+                                AdvancePolicy::kVertexChunked);
+  EXPECT_EQ(balanced, chunked);
+}
+
 INSTANTIATE_TEST_SUITE_P(Workers, OperatorsTest,
                          ::testing::Values(1u, 2u, 4u));
 

@@ -1,0 +1,184 @@
+#include "sim/advance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace gcol::sim {
+namespace {
+
+/// Serial oracle: every (segment, local rank, global position) triple in
+/// order, as flat vectors keyed by global position.
+struct Oracle {
+  std::vector<std::int64_t> segment;
+  std::vector<std::int64_t> rank;
+};
+
+Oracle oracle_of(std::span<const std::int64_t> offsets) {
+  Oracle o;
+  const auto num_segments = static_cast<std::int64_t>(offsets.size()) - 1;
+  for (std::int64_t s = 0; s < num_segments; ++s) {
+    for (std::int64_t p = offsets[static_cast<std::size_t>(s)];
+         p < offsets[static_cast<std::size_t>(s) + 1]; ++p) {
+      o.segment.push_back(s);
+      o.rank.push_back(p - offsets[static_cast<std::size_t>(s)]);
+    }
+  }
+  return o;
+}
+
+void expect_matches_oracle(Device& device,
+                           const std::vector<std::int64_t>& offsets) {
+  const Oracle want = oracle_of(offsets);
+  const auto base = offsets.empty() ? 0 : offsets.front();
+  const auto total = static_cast<std::size_t>(want.segment.size());
+
+  // Item-granular: record (s, k) at each global position, check each visited
+  // exactly once.
+  std::vector<std::int64_t> got_segment(total, -1);
+  std::vector<std::int64_t> got_rank(total, -1);
+  std::vector<int> visits(total, 0);
+  for_each_segment_item<std::int64_t>(
+      device, "test::items", offsets,
+      [&](std::int64_t s, std::int64_t k, std::int64_t p) {
+        const auto slot = static_cast<std::size_t>(p - base);
+        got_segment[slot] = s;
+        got_rank[slot] = k;
+        ++visits[slot];
+      });
+  EXPECT_EQ(got_segment, want.segment);
+  EXPECT_EQ(got_rank, want.rank);
+  for (std::size_t i = 0; i < total; ++i) ASSERT_EQ(visits[i], 1) << i;
+
+  // Range-granular: ranges must tile each segment's positions exactly and be
+  // internally consistent (global_begin matches local_begin).
+  std::vector<int> covered(total, 0);
+  for_each_segment_range<std::int64_t>(
+      device, "test::ranges", offsets,
+      [&](std::int64_t s, std::int64_t local_begin, std::int64_t local_end,
+          std::int64_t global_begin) {
+        ASSERT_LT(local_begin, local_end);
+        const std::int64_t seg_begin = offsets[static_cast<std::size_t>(s)];
+        const std::int64_t seg_len =
+            offsets[static_cast<std::size_t>(s) + 1] - seg_begin;
+        ASSERT_GE(local_begin, 0);
+        ASSERT_LE(local_end, seg_len);
+        ASSERT_EQ(global_begin, seg_begin + local_begin);
+        for (std::int64_t k = local_begin; k < local_end; ++k) {
+          ++covered[static_cast<std::size_t>(seg_begin + k - base)];
+        }
+      });
+  for (std::size_t i = 0; i < total; ++i) ASSERT_EQ(covered[i], 1) << i;
+}
+
+TEST(ForEachSegment, UniformSegments) {
+  Device device(4);
+  std::vector<std::int64_t> offsets = {0, 5, 10, 15, 20, 25, 30, 35, 40};
+  expect_matches_oracle(device, offsets);
+}
+
+TEST(ForEachSegment, OneHubSegmentDominates) {
+  Device device(4);
+  // A power-law caricature: one segment holds nearly all positions, so it
+  // must split across every worker.
+  std::vector<std::int64_t> offsets = {0, 2, 3, 1000, 1001, 1002};
+  expect_matches_oracle(device, offsets);
+}
+
+TEST(ForEachSegment, EmptySegmentsEverywhere) {
+  Device device(4);
+  std::vector<std::int64_t> offsets = {0, 0, 0, 3, 3, 3, 7, 7, 7, 7, 9, 9};
+  expect_matches_oracle(device, offsets);
+}
+
+TEST(ForEachSegment, AllSegmentsEmptySkipsLaunch) {
+  Device device(4);
+  std::vector<std::int64_t> offsets = {0, 0, 0, 0};
+  const auto before = device.launch_count();
+  std::int64_t calls = 0;
+  for_each_segment_item<std::int64_t>(
+      device, "test::empty", offsets,
+      [&](std::int64_t, std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(device.launch_count(), before);
+}
+
+TEST(ForEachSegment, NoSegmentsSkipsLaunch) {
+  Device device(4);
+  const auto before = device.launch_count();
+  std::vector<std::int64_t> empty_offsets;
+  std::vector<std::int64_t> one_offset = {0};
+  for_each_segment_item<std::int64_t>(
+      device, "test::none", empty_offsets,
+      [&](std::int64_t, std::int64_t, std::int64_t) { FAIL(); });
+  for_each_segment_item<std::int64_t>(
+      device, "test::none", one_offset,
+      [&](std::int64_t, std::int64_t, std::int64_t) { FAIL(); });
+  EXPECT_EQ(device.launch_count(), before);
+}
+
+TEST(ForEachSegment, NonZeroBaseOffsets) {
+  Device device(4);
+  // Offsets need not start at zero (e.g. a sub-range of a larger CSR).
+  std::vector<std::int64_t> offsets = {100, 103, 103, 120, 140};
+  expect_matches_oracle(device, offsets);
+}
+
+TEST(ForEachSegment, IssuesExactlyOneLaunch) {
+  Device device(4);
+  std::vector<std::int64_t> offsets = {0, 64, 128, 4096};
+  const auto before = device.launch_count();
+  for_each_segment_range<std::int64_t>(
+      device, "test::one_launch", offsets,
+      [&](std::int64_t, std::int64_t, std::int64_t, std::int64_t) {});
+  EXPECT_EQ(device.launch_count(), before + 1);
+}
+
+TEST(ForEachSegment, RandomizedAgainstOracle) {
+  Device device(4);
+  std::mt19937 rng(12345);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int num_segments = 1 + static_cast<int>(rng() % 64);
+    std::vector<std::int64_t> offsets(static_cast<std::size_t>(num_segments) +
+                                      1);
+    offsets[0] = 0;
+    for (int s = 0; s < num_segments; ++s) {
+      // Skewed sizes: mostly tiny, occasionally huge.
+      const std::int64_t len =
+          (rng() % 8 == 0) ? static_cast<std::int64_t>(rng() % 500)
+                           : static_cast<std::int64_t>(rng() % 4);
+      offsets[static_cast<std::size_t>(s) + 1] =
+          offsets[static_cast<std::size_t>(s)] + len;
+    }
+    expect_matches_oracle(device, offsets);
+  }
+}
+
+TEST(ForEachSegment, SingleWorkerMatchesOracle) {
+  Device device(1);
+  std::vector<std::int64_t> offsets = {0, 2, 3, 1000, 1001, 1002};
+  expect_matches_oracle(device, offsets);
+}
+
+TEST(ForEachSegment, NarrowOffsetType) {
+  Device device(4);
+  // eid_t-style 32-bit offsets must work through the OffsetT parameter.
+  std::vector<std::int32_t> offsets = {0, 7, 7, 30, 41};
+  std::vector<int> covered(41, 0);
+  for_each_segment_item<std::int32_t>(
+      device, "test::narrow", offsets,
+      [&](std::int64_t, std::int64_t, std::int64_t p) {
+        ++covered[static_cast<std::size_t>(p)];
+      });
+  EXPECT_EQ(std::accumulate(covered.begin(), covered.end(), 0), 41);
+  for (int c : covered) EXPECT_EQ(c, 1);
+}
+
+}  // namespace
+}  // namespace gcol::sim

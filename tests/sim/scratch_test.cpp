@@ -1,0 +1,94 @@
+#include "sim/scratch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "sim/device.hpp"
+#include "sim/scan.hpp"
+#include "sim/slot_range.hpp"
+
+namespace gcol::sim {
+namespace {
+
+TEST(SlotRange, PartitionsExactlyAndInOrder) {
+  for (unsigned slots : {1u, 2u, 3u, 4u, 7u, 16u}) {
+    for (std::int64_t n : {0, 1, 2, 5, 16, 17, 1000}) {
+      std::int64_t covered = 0;
+      std::int64_t prev_end = 0;
+      for (unsigned slot = 0; slot < slots; ++slot) {
+        const auto [begin, end] = slot_range(slot, slots, n);
+        ASSERT_LE(begin, end);
+        ASSERT_EQ(begin, prev_end) << "gap/overlap at slot " << slot;
+        ASSERT_LE(end, n);
+        covered += end - begin;
+        prev_end = end;
+      }
+      ASSERT_EQ(covered, n) << "slots=" << slots << " n=" << n;
+      ASSERT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(SlotRange, SmallNLeavesTrailingSlotsEmpty) {
+  // 3 items over 4 slots: ceil-div gives 1 per slot, slot 3 empty.
+  EXPECT_EQ(slot_range(0, 4, 3).begin, 0);
+  EXPECT_EQ(slot_range(0, 4, 3).end, 1);
+  EXPECT_EQ(slot_range(3, 4, 3).begin, 3);
+  EXPECT_EQ(slot_range(3, 4, 3).end, 3);
+}
+
+TEST(ScratchArena, GrowsAndRetainsAcrossCalls) {
+  ScratchArena arena;
+  EXPECT_EQ(arena.retained_bytes(), 0u);
+
+  auto a = arena.get<std::int64_t>(ScratchLane::kPartials, 100);
+  EXPECT_EQ(a.size(), 100u);
+  const std::size_t after_first = arena.retained_bytes();
+  EXPECT_GE(after_first, 100 * sizeof(std::int64_t));
+
+  // Smaller request: no shrink, same backing.
+  auto b = arena.get<std::int64_t>(ScratchLane::kPartials, 10);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(arena.retained_bytes(), after_first);
+  EXPECT_EQ(static_cast<void*>(b.data()), static_cast<void*>(a.data()));
+
+  arena.release();
+  EXPECT_EQ(arena.retained_bytes(), 0u);
+}
+
+TEST(ScratchArena, LanesAreIndependent) {
+  ScratchArena arena;
+  auto flags = arena.get<std::uint8_t>(ScratchLane::kFlags, 64);
+  auto counts = arena.get<std::int64_t>(ScratchLane::kSlotCounts, 64);
+  for (auto& f : flags) f = 1;
+  for (auto& c : counts) c = -7;
+  // Writing one lane must not disturb the other.
+  for (auto f : flags) EXPECT_EQ(f, 1);
+  for (auto c : counts) EXPECT_EQ(c, -7);
+}
+
+TEST(ScratchArena, RetypingALaneReusesItsBuffer) {
+  ScratchArena arena;
+  auto wide = arena.get<std::int64_t>(ScratchLane::kDegrees, 32);
+  const std::size_t retained = arena.retained_bytes();
+  auto narrow = arena.get<std::uint32_t>(ScratchLane::kDegrees, 32);
+  EXPECT_EQ(arena.retained_bytes(), retained);
+  EXPECT_EQ(static_cast<void*>(narrow.data()), static_cast<void*>(wide.data()));
+}
+
+TEST(ScratchArena, PrimitivesStopAllocatingAfterWarmup) {
+  // The point of the arena: a second identical scan must not grow scratch.
+  Device device(4);
+  std::vector<std::int64_t> in(10000, 1);
+  std::vector<std::int64_t> out(in.size());
+  exclusive_scan<std::int64_t>(device, in, out);
+  const std::size_t warm = device.scratch().retained_bytes();
+  for (int i = 0; i < 5; ++i) exclusive_scan<std::int64_t>(device, in, out);
+  EXPECT_EQ(device.scratch().retained_bytes(), warm);
+  EXPECT_EQ(out[9999], 9999);
+}
+
+}  // namespace
+}  // namespace gcol::sim
