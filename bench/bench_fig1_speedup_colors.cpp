@@ -21,7 +21,19 @@ using namespace gcol;
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
-  const auto algorithms = color::figure1_algorithms();
+  const auto algorithms = bench::selected_algorithms(args);
+  const auto selected = [&](const char* name) {
+    return std::any_of(algorithms.begin(), algorithms.end(),
+                       [&](const auto* spec) { return spec->name == name; });
+  };
+  // The paper's summary statistics compare specific series; a custom
+  // --algorithms list that omits one simply skips the stats that need it.
+  const bool have_baseline = selected("naumov_jpl");
+  const bool have_is_summary = have_baseline && selected("gunrock_is");
+  const bool have_mis_summary = selected("grb_mis") && selected("cpu_greedy") &&
+                                selected("naumov_jpl") && selected("naumov_cc");
+  const bool have_grb_summary =
+      selected("grb_is") && selected("grb_mis") && selected("grb_jpl");
   bench::JsonReport report("fig1_speedup_colors", args);
 
   std::printf("== Figure 1: speedup vs Naumov/Color_JPL and color counts "
@@ -56,13 +68,15 @@ int main(int argc, char** argv) {
       report.add_measurement(info.name, results[spec->name]);
     }
 
-    const double baseline_ms = results["naumov_jpl"].ms_avg;
+    const double baseline_ms =
+        have_baseline ? results["naumov_jpl"].ms_avg : 0.0;
     std::vector<std::string> speedup_row = {info.name};
     std::vector<std::string> colors_row = {info.name};
     std::vector<std::string> runtime_row = {info.name};
     for (const auto* spec : algorithms) {
       const bench::Measurement& m = results[spec->name];
-      speedup_row.push_back(bench::fmt(baseline_ms / m.ms_avg));
+      speedup_row.push_back(have_baseline ? bench::fmt(baseline_ms / m.ms_avg)
+                                          : "-");
       colors_row.push_back(std::to_string(m.result.num_colors));
       runtime_row.push_back(bench::fmt(m.ms_avg));
     }
@@ -70,23 +84,30 @@ int main(int argc, char** argv) {
     colors_table.add_row(std::move(colors_row));
     runtime_table.add_row(std::move(runtime_row));
 
-    const double is_speedup = baseline_ms / results["gunrock_is"].ms_avg;
-    gunrock_is_speedups.push_back(is_speedup);
-    if (is_speedup > gunrock_is_peak) {
-      gunrock_is_peak = is_speedup;
-      gunrock_is_peak_dataset = info.name;
+    if (have_is_summary) {
+      const double is_speedup = baseline_ms / results["gunrock_is"].ms_avg;
+      gunrock_is_speedups.push_back(is_speedup);
+      if (is_speedup > gunrock_is_peak) {
+        gunrock_is_peak = is_speedup;
+        gunrock_is_peak_dataset = info.name;
+      }
     }
     const auto colors_of = [&](const char* name) {
       return static_cast<double>(results[name].result.num_colors);
     };
-    mis_vs_greedy.push_back(colors_of("cpu_greedy") / colors_of("grb_mis"));
-    mis_vs_naumov_jpl.push_back(colors_of("naumov_jpl") /
-                                colors_of("grb_mis"));
-    mis_vs_naumov_cc.push_back(colors_of("naumov_cc") / colors_of("grb_mis"));
-    mis_runtime_vs_is.push_back(results["grb_mis"].ms_avg /
-                                results["grb_is"].ms_avg);
-    jpl_runtime_vs_is.push_back(results["grb_jpl"].ms_avg /
-                                results["grb_is"].ms_avg);
+    if (have_mis_summary) {
+      mis_vs_greedy.push_back(colors_of("cpu_greedy") / colors_of("grb_mis"));
+      mis_vs_naumov_jpl.push_back(colors_of("naumov_jpl") /
+                                  colors_of("grb_mis"));
+      mis_vs_naumov_cc.push_back(colors_of("naumov_cc") /
+                                 colors_of("grb_mis"));
+    }
+    if (have_grb_summary) {
+      mis_runtime_vs_is.push_back(results["grb_mis"].ms_avg /
+                                  results["grb_is"].ms_avg);
+      jpl_runtime_vs_is.push_back(results["grb_jpl"].ms_avg /
+                                  results["grb_is"].ms_avg);
+    }
   }
 
   std::printf("-- Fig 1a: speedup vs Naumov/Color_JPL (higher is better) "
@@ -98,23 +119,33 @@ int main(int argc, char** argv) {
   runtime_table.print();
 
   std::printf("\n== summary vs paper claims ==\n");
-  std::printf("Gunrock IS vs Naumov JPL speedup: geomean %.2fx (paper 1.3x), "
-              "peak %.2fx on %s (paper 2x on parabolic_fem)\n",
-              bench::geomean(gunrock_is_speedups), gunrock_is_peak,
-              gunrock_is_peak_dataset.c_str());
-  std::printf("GraphBLAST MIS colors vs greedy: geomean ratio %.3fx fewer "
-              "(paper 1.014x)\n",
-              bench::geomean(mis_vs_greedy));
-  std::printf("GraphBLAST MIS colors vs Naumov JPL: geomean %.2fx fewer "
-              "(paper 1.9x)\n",
-              bench::geomean(mis_vs_naumov_jpl));
-  std::printf("GraphBLAST MIS colors vs Naumov CC: geomean %.2fx fewer "
-              "(paper 5.0x)\n",
-              bench::geomean(mis_vs_naumov_cc));
-  std::printf("GraphBLAST runtime vs its IS: JPL %.2fx slower (paper 1.98x), "
-              "MIS %.2fx slower (paper 3x)\n",
-              bench::geomean(jpl_runtime_vs_is),
-              bench::geomean(mis_runtime_vs_is));
+  if (have_is_summary) {
+    std::printf("Gunrock IS vs Naumov JPL speedup: geomean %.2fx (paper "
+                "1.3x), peak %.2fx on %s (paper 2x on parabolic_fem)\n",
+                bench::geomean(gunrock_is_speedups), gunrock_is_peak,
+                gunrock_is_peak_dataset.c_str());
+  }
+  if (have_mis_summary) {
+    std::printf("GraphBLAST MIS colors vs greedy: geomean ratio %.3fx fewer "
+                "(paper 1.014x)\n",
+                bench::geomean(mis_vs_greedy));
+    std::printf("GraphBLAST MIS colors vs Naumov JPL: geomean %.2fx fewer "
+                "(paper 1.9x)\n",
+                bench::geomean(mis_vs_naumov_jpl));
+    std::printf("GraphBLAST MIS colors vs Naumov CC: geomean %.2fx fewer "
+                "(paper 5.0x)\n",
+                bench::geomean(mis_vs_naumov_cc));
+  }
+  if (have_grb_summary) {
+    std::printf("GraphBLAST runtime vs its IS: JPL %.2fx slower (paper "
+                "1.98x), MIS %.2fx slower (paper 3x)\n",
+                bench::geomean(jpl_runtime_vs_is),
+                bench::geomean(mis_runtime_vs_is));
+  }
+  if (!have_is_summary && !have_mis_summary && !have_grb_summary) {
+    std::printf("(custom --algorithms list: paper summary series not all "
+                "present)\n");
+  }
   if (!report.write()) {
     std::fprintf(stderr, "FAILED to write JSON report\n");
     return 1;

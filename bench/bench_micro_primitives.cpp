@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/palette.hpp"
 #include "graph/build.hpp"
 #include "graph/generators/rgg.hpp"
 #include "graph/generators/rmat.hpp"
@@ -149,6 +150,56 @@ BENCHMARK(BM_AdvanceRmat<gr::AdvancePolicy::kVertexChunked>)
     ->DenseRange(12, 16, 2);
 BENCHMARK(BM_AdvanceRmat<gr::AdvancePolicy::kEdgeBalanced>)
     ->DenseRange(12, 16, 2);
+
+// Palette representations (DESIGN.md "Palette representations"): the
+// min-color kernel run per vertex per round by every first-fit algorithm,
+// dense array vs bit-packed windowed, as a function of degree. The dense
+// formulation pays an O(degree)-entry used[] array (store per edge + linear
+// scan); the windowed bit palette pays (degree/64 + 1) register windows and
+// a countr_one each — no memory traffic beyond the neighbor colors.
+std::vector<std::int32_t> make_neighbor_colors(std::int64_t degree) {
+  const sim::CounterRng rng(11);
+  std::vector<std::int32_t> colors(static_cast<std::size_t>(degree));
+  for (std::size_t k = 0; k < colors.size(); ++k) {
+    // First-fit neighborhoods concentrate at the low end of the palette;
+    // every fourth neighbor is still uncolored (-1), as mid-round.
+    colors[k] = rng.uniform_below(k, 4) == 0
+                    ? -1
+                    : static_cast<std::int32_t>(rng.uniform_below(
+                          k ^ 0x5bd1e995u, static_cast<std::uint32_t>(
+                                               colors.size() + 1)));
+  }
+  return colors;
+}
+
+void BM_MinColorDense(benchmark::State& state) {
+  const std::int64_t degree = state.range(0);
+  const auto colors = make_neighbor_colors(degree);
+  std::vector<std::uint8_t> used(static_cast<std::size_t>(degree) + 2);
+  for (auto _ : state) {
+    std::fill(used.begin(), used.end(), 0);
+    for (const std::int32_t c : colors) {
+      if (c >= 0 && c <= degree) used[static_cast<std::size_t>(c)] = 1;
+    }
+    std::int32_t min_color = 0;
+    while (used[static_cast<std::size_t>(min_color)] != 0) ++min_color;
+    benchmark::DoNotOptimize(min_color);
+  }
+  state.SetItemsProcessed(state.iterations() * degree);
+}
+BENCHMARK(BM_MinColorDense)->Arg(8)->Arg(32)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MinColorBitPacked(benchmark::State& state) {
+  const std::int64_t degree = state.range(0);
+  const auto colors = make_neighbor_colors(degree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(color::palette::first_fit_windowed(
+        degree,
+        [&](std::int64_t k) { return colors[static_cast<std::size_t>(k)]; }));
+  }
+  state.SetItemsProcessed(state.iterations() * degree);
+}
+BENCHMARK(BM_MinColorBitPacked)->Arg(8)->Arg(32)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_SegmentedReduce(benchmark::State& state) {
   auto& device = sim::Device::instance();

@@ -81,6 +81,37 @@ int main(int argc, char** argv) {
     previous_paper = row.paper_ms;
   }
   table.print();
+
+  // Palette-representation ablation in the same spirit: the pure-GraphBLAS
+  // JPL min-color chain (vxm + eWiseMult + assign + scatter + eWiseMult +
+  // reduce per round) vs the fused bit-packed palette path, same dataset.
+  std::printf("\n== Palette ablation: GraphBLAST JPL min-color kernel ==\n\n");
+  const Row palette_rows[] = {
+      {"Pure GraphBLAS chain (grb_jpl_pure)", "grb_jpl_pure", 0.0},
+      {"Bit-packed fused palette (grb_jpl)", "grb_jpl", 0.0},
+  };
+  bench::TablePrinter palette_table(
+      {"palette", "ms", "speedup_vs_prev", "colors", "launches"}, args.csv);
+  previous_ms = 0.0;
+  for (const Row& row : palette_rows) {
+    const color::AlgorithmSpec* spec = color::find_algorithm(row.algorithm);
+    const bench::Measurement m =
+        bench::run_averaged(*spec, csr, args.seed, args.runs);
+    if (!m.valid) {
+      std::fprintf(stderr, "INVALID coloring from %s\n", row.algorithm);
+      return 1;
+    }
+    report.add_measurement(info->name, m);
+    const double speedup = previous_ms > 0.0 ? previous_ms / m.ms_avg : 0.0;
+    palette_table.add_row({row.label, bench::fmt(m.ms_avg),
+                           previous_ms > 0.0 ? bench::fmt(speedup) + "x"
+                                             : "--",
+                           std::to_string(m.result.num_colors),
+                           std::to_string(m.result.kernel_launches)});
+    previous_ms = m.ms_avg;
+  }
+  palette_table.print();
+
   if (!report.write()) {
     std::fprintf(stderr, "FAILED to write JSON report\n");
     return 1;

@@ -28,7 +28,9 @@ namespace {
       "paper used 24)\n"
       "  --seed=N     RNG seed (default 1)\n"
       "  --json PATH  also write a gcol-bench-v1 JSON report to PATH\n"
-      "  --datasets=A,B  only run the named datasets (default: all)\n",
+      "  --datasets=A,B  only run the named datasets (default: all)\n"
+      "  --algorithms=A,B  run the named registry algorithms (default: the "
+      "paper's nine Figure-1 series)\n",
       program);
   std::exit(2);
 }
@@ -74,6 +76,10 @@ Args parse_args(int argc, char** argv) {
       args.datasets = value;
     } else if (std::strcmp(arg, "--datasets") == 0) {
       args.datasets = next_value(&i);
+    } else if (parse_kv(arg, "--algorithms", &value)) {
+      args.algorithms = value;
+    } else if (std::strcmp(arg, "--algorithms") == 0) {
+      args.algorithms = next_value(&i);
     } else {
       usage_and_exit(argv[0]);
     }
@@ -97,6 +103,33 @@ bool dataset_selected(const Args& args, std::string_view name) {
     begin = end + 1;
   }
   return false;
+}
+
+std::vector<const color::AlgorithmSpec*> selected_algorithms(
+    const Args& args) {
+  if (args.algorithms.empty()) return color::figure1_algorithms();
+  std::vector<const color::AlgorithmSpec*> selected;
+  const std::string_view filter = args.algorithms;
+  std::size_t begin = 0;
+  while (begin <= filter.size()) {
+    std::size_t end = filter.find(',', begin);
+    if (end == std::string_view::npos) end = filter.size();
+    const std::string name(filter.substr(begin, end - begin));
+    if (!name.empty()) {
+      const color::AlgorithmSpec* spec = color::find_algorithm(name);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
+        std::exit(2);
+      }
+      selected.push_back(spec);
+    }
+    begin = end + 1;
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "--algorithms selected nothing\n");
+    std::exit(2);
+  }
+  return selected;
 }
 
 Measurement run_averaged(const color::AlgorithmSpec& spec,

@@ -30,6 +30,7 @@ struct Args {
   std::uint64_t seed = 1;
   std::string json_path;  ///< --json: write a machine-readable report here
   std::string datasets;   ///< --datasets: comma-separated name filter
+  std::string algorithms; ///< --algorithms: comma-separated registry names
 };
 
 /// Parses --scale=0.1 --runs=10 --csv --min-rgg=15 --max-rgg=20 --seed=7
@@ -40,6 +41,13 @@ struct Args {
 /// True when `name` passes the --datasets filter (an empty filter passes
 /// everything). Matching is exact per comma-separated token.
 [[nodiscard]] bool dataset_selected(const Args& args, std::string_view name);
+
+/// The algorithms a Figure-1-style harness should run: the paper's nine
+/// when --algorithms is empty, otherwise the named registry entries (any
+/// registered algorithm — ablation variants and the JP priority family
+/// included). Prints an error and exits on an unknown name.
+[[nodiscard]] std::vector<const color::AlgorithmSpec*> selected_algorithms(
+    const Args& args);
 
 struct Measurement {
   double ms_avg = 0.0;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <vector>
 
+#include "core/palette.hpp"
 #include "core/verify.hpp"
 #include "gunrock/enactor.hpp"
 #include "gunrock/frontier.hpp"
@@ -15,26 +16,17 @@ namespace gcol::color {
 
 namespace {
 
-/// Minimum color absent from v's currently-colored neighborhood.
+/// Minimum color absent from v's currently-colored neighborhood, via the
+/// zero-allocation windowed bit palette (the speculative kernel runs this
+/// per vertex per round — a heap allocation here was the hot-loop malloc).
 std::int32_t min_available(const graph::Csr& csr, const std::int32_t* colors,
                            vid_t v) {
   const auto adj = csr.neighbors(v);
-  const std::size_t words = adj.size() / 64 + 1;
-  std::vector<std::uint64_t> forbidden(words, 0);
-  for (const vid_t u : adj) {
-    const std::int32_t c = sim::atomic_load(colors[static_cast<std::size_t>(u)]);
-    if (c >= 0 && static_cast<std::size_t>(c) < words * 64) {
-      forbidden[static_cast<std::size_t>(c) / 64] |=
-          std::uint64_t{1} << (static_cast<std::size_t>(c) % 64);
-    }
-  }
-  std::int32_t color = 0;
-  while (forbidden[static_cast<std::size_t>(color) / 64] >>
-             (static_cast<std::size_t>(color) % 64) &
-         1u) {
-    ++color;
-  }
-  return color;
+  return palette::first_fit_windowed(
+      static_cast<std::int64_t>(adj.size()), [&](std::int64_t k) {
+        return sim::atomic_load(colors[static_cast<std::size_t>(
+            adj[static_cast<std::size_t>(k)])]);
+      });
 }
 
 }  // namespace

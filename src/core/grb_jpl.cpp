@@ -1,10 +1,15 @@
 #include "core/grb_jpl.hpp"
 
-#include <limits>
+#include <algorithm>
+#include <optional>
+#include <span>
 
 #include "core/grb_common.hpp"
 #include "core/verify.hpp"
 #include "obs/metrics.hpp"
+#include "sim/advance.hpp"
+#include "sim/bitops.hpp"
+#include "sim/scratch.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::color {
@@ -13,8 +18,6 @@ namespace {
 
 using detail::Weight;
 
-constexpr Weight kNoColor = std::numeric_limits<Weight>::max();
-
 /// colors_array[i] == 0 ? candidate color i : not available.
 struct SelectUnused {
   Weight operator()(Weight used_flag, Weight index) const noexcept {
@@ -22,34 +25,123 @@ struct SelectUnused {
   }
 };
 
-/// Algorithm 4: minimum color (>= 1) not used by any colored neighbor of
-/// the frontier. `c` is the current coloring (0 = uncolored), `palette` and
-/// `ascending` are scratch vectors of size palette_size.
-std::int32_t jp_min_color(const grb::Matrix<Weight>& a,
-                          const grb::Vector<std::int32_t>& c,
-                          const grb::Vector<Weight>& frontier,
-                          grb::Vector<Weight>& nbr, grb::Vector<Weight>& used,
-                          grb::Vector<Weight>& palette,
-                          const grb::Vector<Weight>& ascending,
-                          grb::Vector<Weight>& min_array) {
+/// Scratch of the pure-GraphBLAS min-color chain: three (n+2)-wide vectors,
+/// only materialized when the Table-II ablation selects that path (the
+/// default bit-packed path draws its mask words from the device scratch
+/// arena instead).
+struct PureScratch {
+  grb::Vector<Weight> nbr, used, palette, ascending, min_array;
+
+  explicit PureScratch(grb::Index n)
+      : nbr(n),
+        used(n),
+        palette(n + 2),
+        ascending(n + 2),
+        min_array(n + 2) {
+    ascending.fill(Weight{0});
+    grb::apply_indexed(
+        ascending, nullptr,
+        [](grb::Index i, Weight) { return static_cast<Weight>(i); },
+        ascending);
+  }
+};
+
+/// Algorithm 4's min-color the paper's way: minimum color (>= 1) not used
+/// by any colored neighbor of the frontier, via the vxm + eWiseMult +
+/// scatter + ramp-compare + min-reduce chain. `c` is the current coloring
+/// (0 = uncolored).
+std::int32_t jp_min_color_pure(const grb::Matrix<Weight>& a,
+                               const grb::Vector<std::int32_t>& c,
+                               const grb::Vector<Weight>& frontier,
+                               PureScratch& s) {
   // Find the frontier's COLORED neighbors: Boolean vxm masked by the color
   // vector (value mask: nonzero == colored), Alg. 4 l.3.
-  nbr.clear();
-  grb::vxm(nbr, &c, grb::boolean_semiring<Weight>(), frontier, a);
+  s.nbr.clear();
+  grb::vxm(s.nbr, &c, grb::boolean_semiring<Weight>(), frontier, a);
   // Map the indicator to the neighbors' colors (l.5).
-  used.clear();
-  grb::eWiseMult(used, nullptr, grb::Times{}, nbr, c);
+  s.used.clear();
+  grb::eWiseMult(s.used, nullptr, grb::Times{}, s.nbr, c);
   // Fill the possible-colors array and scatter used colors into it (l.7-9).
-  grb::assign(palette, nullptr, Weight{0});
-  grb::scatter(palette, nullptr, used, Weight{1});
+  grb::assign(s.palette, nullptr, Weight{0});
+  grb::scatter(s.palette, nullptr, s.used, Weight{1});
   // Unused slots map to their own index, used ones to +inf (l.11).
-  grb::eWiseMult(min_array, nullptr, SelectUnused{}, palette, ascending);
+  grb::eWiseMult(s.min_array, nullptr, SelectUnused{}, s.palette, s.ascending);
   // Color 0 means "uncolored" and is never available (l.12).
-  min_array.set_element(0, kNoColor);
+  s.min_array.set_element(0, kNoColor);
   // Min-reduce yields the minimum available color (l.14).
   Weight min_color = kNoColor;
-  grb::reduce(&min_color, grb::min_monoid<Weight>(), min_array);
+  grb::reduce(&min_color, grb::min_monoid<Weight>(), s.min_array);
   return static_cast<std::int32_t>(min_color);
+}
+
+/// The same scalar, fused: ONE edge-balanced launch ORs the colors of the
+/// frontier's colored neighbors into per-worker bit masks (64 colors per
+/// word, scratch-arena backed), then the serial slot combine — the exact
+/// shape of every reduce — takes the lowest zero bit >= 1. Colors assigned
+/// so far are <= max_color, so a window of max_color + 2 bits always
+/// contains the answer; scratch is O(workers * max_color / 64) words
+/// instead of the pure path's three O(n) vectors.
+std::int32_t jp_min_color_fused(sim::Device& device, const graph::Csr& csr,
+                                const grb::Vector<std::int32_t>& c,
+                                const grb::Vector<Weight>& frontier,
+                                std::int32_t max_color) {
+  const std::span<const std::int32_t> cv = c.dense_values();
+  const std::size_t words =
+      sim::word_index(static_cast<std::int64_t>(max_color) + 1) + 1;
+  const unsigned workers = device.num_workers();
+  const std::span<std::uint64_t> masks = device.scratch().get<std::uint64_t>(
+      sim::ScratchLane::kPalette, words * workers);
+  std::fill(masks.begin(), masks.end(), std::uint64_t{0});
+
+  // Frontier membership by VALUE (Boolean semiring semantics: a 0-valued
+  // entry contributes nothing), across any storage representation.
+  const bool f_sparse = frontier.is_sparse();
+  const bool f_bitmap = frontier.is_bitmap();
+  const std::span<const Weight> f_vals =
+      f_sparse ? frontier.sparse_values() : frontier.dense_values();
+  const std::span<const grb::Index> f_idx =
+      f_sparse ? frontier.sparse_indices() : std::span<const grb::Index>{};
+  const std::span<const std::uint8_t> f_present =
+      f_bitmap ? frontier.bitmap_present() : std::span<const std::uint8_t>{};
+  const auto active = [&](std::int64_t v) noexcept {
+    if (f_sparse) {
+      const auto it = std::lower_bound(f_idx.begin(), f_idx.end(),
+                                       static_cast<grb::Index>(v));
+      return it != f_idx.end() && *it == static_cast<grb::Index>(v) &&
+             f_vals[static_cast<std::size_t>(it - f_idx.begin())] != 0;
+    }
+    if (f_bitmap && f_present[static_cast<std::size_t>(v)] == 0) return false;
+    return f_vals[static_cast<std::size_t>(v)] != 0;
+  };
+
+  sim::for_each_segment_range_slotted<eid_t>(
+      device, "grb::jpl_forbidden", csr.row_offsets,
+      [&](unsigned slot, std::int64_t s, std::int64_t local_begin,
+          std::int64_t local_end, std::int64_t global_begin) {
+        if (!active(s)) return;
+        std::uint64_t* mask = masks.data() + slot * words;
+        for (std::int64_t k = local_begin; k < local_end; ++k) {
+          const vid_t u = csr.col_indices[static_cast<std::size_t>(
+              global_begin + (k - local_begin))];
+          const std::int32_t cu = cv[static_cast<std::size_t>(u)];
+          if (cu > 0) sim::set_bit(mask, cu);
+        }
+      });
+
+  for (std::size_t w = 0; w < words; ++w) {
+    // Bit 0 = color 0 = "uncolored", never available (Alg. 4 l.12).
+    std::uint64_t word = w == 0 ? std::uint64_t{1} : std::uint64_t{0};
+    for (unsigned slot = 0; slot < workers; ++slot) {
+      word |= masks[slot * words + w];
+    }
+    if (word != sim::kFullWord) {
+      return static_cast<std::int32_t>(w) * sim::kBitsPerWord +
+             sim::min_unset_bit(word);
+    }
+  }
+  // Unreachable: neighbor colors are <= max_color, so bit max_color + 1
+  // of the window is always free.
+  return max_color + 1;
 }
 
 }  // namespace
@@ -58,7 +150,7 @@ Coloring grb_jpl_color(const graph::Csr& csr, const GrbJplOptions& options) {
   const auto n = static_cast<grb::Index>(csr.num_vertices);
 
   Coloring result;
-  result.algorithm = "grb_jpl";
+  result.algorithm = options.bit_packed_palette ? "grb_jpl" : "grb_jpl_pure";
   result.colors.assign(static_cast<std::size_t>(n), kUncolored);
   if (n == 0) return result;
 
@@ -66,17 +158,10 @@ Coloring grb_jpl_color(const graph::Csr& csr, const GrbJplOptions& options) {
   const obs::ScopedDeviceMetrics scoped(device, result.metrics);
   const grb::Matrix<Weight> a(csr);
   grb::Vector<std::int32_t> c(n);
-  grb::Vector<Weight> weight(n), max(n), frontier(n), nbr(n), used(n);
+  grb::Vector<Weight> weight(n), max(n), frontier(n);
 
-  // Possible-colors scratch: the minimum available color never exceeds the
-  // number of rounds + 1 <= n + 1.
-  const grb::Index palette_size = n + 2;
-  grb::Vector<Weight> palette(palette_size), ascending(palette_size),
-      min_array(palette_size);
-  ascending.fill(Weight{0});
-  grb::apply_indexed(
-      ascending, nullptr,
-      [](grb::Index i, Weight) { return static_cast<Weight>(i); }, ascending);
+  std::optional<PureScratch> pure;
+  if (!options.bit_packed_palette) pure.emplace(n);
 
   const sim::Stopwatch watch;
   const std::uint64_t launches_before = device.launch_count();
@@ -96,7 +181,9 @@ Coloring grb_jpl_color(const graph::Csr& csr, const GrbJplOptions& options) {
     if (succ == 0) break;
     // GRAPHBLASJPINNER replaces the fresh color with the minimum available.
     const std::int32_t min_color =
-        jp_min_color(a, c, frontier, nbr, used, palette, ascending, min_array);
+        options.bit_packed_palette
+            ? jp_min_color_fused(device, csr, c, frontier, max_color)
+            : jp_min_color_pure(a, c, frontier, *pure);
     grb::assign(c, &frontier, min_color);
     grb::assign(weight, &frontier, Weight{0});
     result.metrics.push("frontier", n - colored_total);

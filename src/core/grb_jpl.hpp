@@ -6,16 +6,28 @@
 // the whole frontier with it — enabling color reuse across rounds.
 //
 // The minimum-available-color search is the part that "could not be done
-// within the confines of the GraphBLAS API" (§IV-A3): neighbor colors are
-// scattered into a possible-colors array with the GxB_scatter extension,
-// compared against an ascending ramp, and min-reduced.
+// within the confines of the GraphBLAS API" (§IV-A3). Two implementations:
+//
+//   - bit-packed (default): one edge-balanced pass ORs the frontier's
+//     colored-neighbor colors into per-worker mask words (64 colors/word,
+//     device scratch arena) and a countr_one scan yields the minimum free
+//     color — one fused kernel launch per round.
+//   - pure GraphBLAS (bit_packed_palette = false): the paper's chain —
+//     neighbor colors scattered into an (n+2)-wide possible-colors array
+//     with the GxB_scatter extension, compared against an ascending ramp,
+//     and min-reduced. Kept selectable for the Table II ablation.
 
 #include "core/result.hpp"
 #include "graph/csr.hpp"
 
 namespace gcol::color {
 
-using GrbJplOptions = Options;
+struct GrbJplOptions : Options {
+  /// Bit-packed fused min-color search (default) vs the pure-GraphBLAS
+  /// scatter/ramp/min-reduce chain. Both produce identical colorings; the
+  /// flag only changes launch count and scratch shape.
+  bool bit_packed_palette = true;
+};
 
 [[nodiscard]] Coloring grb_jpl_color(const graph::Csr& csr,
                                      const GrbJplOptions& options = {});

@@ -9,6 +9,7 @@
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
 #include "obs/metrics.hpp"
+#include "sim/atomics.hpp"
 #include "sim/rng.hpp"
 #include "sim/timer.hpp"
 
@@ -53,27 +54,32 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
   });
 
   constexpr std::int64_t kNoNeighbor = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kNoNeighborMin = kNoColor;  // +inf: min identity
   std::int32_t* colors = result.colors.data();
   gr::Frontier frontier = gr::Frontier::all(n);
-
-  constexpr std::int64_t kNoNeighborMin =
-      std::numeric_limits<std::int64_t>::max();
+  std::vector<vid_t> spare;  // double buffer for the filtered frontier
 
   const sim::Stopwatch watch;
   const std::uint64_t launches_before = device.launch_count();
   gr::Enactor enactor(device, options.max_iterations);
   const gr::EnactorStats stats = enactor.enact([&](std::int32_t iteration) {
     result.metrics.push("frontier", frontier.size());
+    // The fused neighbor-reduce colors sources inline while other workers
+    // are still reading their neighborhoods, so (as in Algorithm 5 line 26)
+    // a neighbor racily colored THIS iteration must still contribute its
+    // priority — it was uncolored when the iteration began — or two
+    // adjacent extrema could both claim a color. Only earlier iterations'
+    // colors remove a neighbor from the comparison.
     if (options.fused_minmax) {
-      // Fused future-work variant: ONE segmented reduction produces both
-      // extremes, so two mutually-exclusive independent sets color per
-      // iteration without a second neighbor-reduce.
-      std::vector<MinMaxPair> extremes(
-          static_cast<std::size_t>(frontier.size()));
-      gr::neighbor_reduce<MinMaxPair>(
+      // ONE fused pass produces both extremes AND assigns the two mutually-
+      // exclusive independent sets' colors in its finalize.
+      const std::int32_t color = 2 * iteration;
+      gr::neighbor_reduce_fused<MinMaxPair>(
           device, csr, frontier,
           [&](vid_t /*src*/, vid_t u) {
-            if (colors[static_cast<std::size_t>(u)] != kUncolored) {
+            const std::int32_t cu =
+                sim::atomic_load(colors[static_cast<std::size_t>(u)]);
+            if (cu != kUncolored && cu != color && cu != color + 1) {
               return MinMaxPair{kNoNeighbor, kNoNeighborMin};
             }
             const std::int64_t p =
@@ -84,54 +90,49 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
             return MinMaxPair{b.max > a.max ? b.max : a.max,
                               b.min < a.min ? b.min : a.min};
           },
-          MinMaxPair{kNoNeighbor, kNoNeighborMin}, extremes);
-
-      const std::int32_t color = 2 * iteration;
-      device.launch("ar::color_fused", frontier.size(), [&](std::int64_t i) {
-        const vid_t v = frontier.vertex(i);
-        const auto uv = static_cast<std::size_t>(v);
-        const std::int64_t mine = packed_priority(random[uv], v);
-        const MinMaxPair extreme = extremes[static_cast<std::size_t>(i)];
-        if (mine > extreme.max) {
-          colors[uv] = color;
-        } else if (mine < extreme.min) {
-          colors[uv] = color + 1;
-        }
-      });
+          MinMaxPair{kNoNeighbor, kNoNeighborMin},
+          [&](std::int64_t i, MinMaxPair extreme) {
+            const vid_t v = frontier.vertex(i);
+            const auto uv = static_cast<std::size_t>(v);
+            const std::int64_t mine = packed_priority(random[uv], v);
+            if (mine > extreme.max) {
+              sim::atomic_store(colors[uv], color);
+            } else if (mine < extreme.min) {
+              sim::atomic_store(colors[uv], color + 1);
+            }
+          });
     } else {
-      // NeighborReduceOp: advance to the full (non-Removed, i.e. uncolored)
-      // neighborhood and segment-max the packed priorities.
-      std::vector<std::int64_t> neighbor_max(
-          static_cast<std::size_t>(frontier.size()));
-      gr::neighbor_reduce<std::int64_t>(
+      // Same fusion, single extremum: segment-max the packed priorities and
+      // color the local maxima in the finalize (ColorRemovedOp inlined).
+      gr::neighbor_reduce_fused<std::int64_t>(
           device, csr, frontier,
           [&](vid_t /*src*/, vid_t u) {
-            // Removed (colored) neighbors contribute the identity.
-            return colors[static_cast<std::size_t>(u)] == kUncolored
+            const std::int32_t cu =
+                sim::atomic_load(colors[static_cast<std::size_t>(u)]);
+            return cu == kUncolored || cu == iteration
                        ? packed_priority(random[static_cast<std::size_t>(u)],
                                          u)
                        : kNoNeighbor;
           },
           [](std::int64_t a, std::int64_t b) { return b > a ? b : a; },
-          kNoNeighbor, neighbor_max);
-
-      // ColorRemovedOp: frontier vertices beating their whole neighborhood
-      // take this iteration's color.
-      device.launch("ar::color_removed", frontier.size(),
-                    [&](std::int64_t i) {
-        const vid_t v = frontier.vertex(i);
-        const auto uv = static_cast<std::size_t>(v);
-        if (packed_priority(random[uv], v) >
-            neighbor_max[static_cast<std::size_t>(i)]) {
-          colors[uv] = iteration;
-        }
-      });
+          kNoNeighbor,
+          [&](std::int64_t i, std::int64_t neighbor_max) {
+            const vid_t v = frontier.vertex(i);
+            const auto uv = static_cast<std::size_t>(v);
+            if (packed_priority(random[uv], v) > neighbor_max) {
+              sim::atomic_store(colors[uv], iteration);
+            }
+          });
     }
 
-    // Rebuild the frontier from still-uncolored vertices; Removed grows.
-    frontier = gr::filter(device, frontier, [&](vid_t v) {
-      return colors[static_cast<std::size_t>(v)] == kUncolored;
-    });
+    // Rebuild the frontier from still-uncolored vertices into the recycled
+    // buffer; Removed grows, and the compaction pays no gather launch.
+    gr::Frontier next =
+        gr::filter_into(device, frontier, std::move(spare), [&](vid_t v) {
+          return colors[static_cast<std::size_t>(v)] == kUncolored;
+        });
+    spare = frontier.release_vertices();
+    frontier = std::move(next);
     result.metrics.push("colored", n - frontier.size());
     result.metrics.push("colors_opened",
                         options.fused_minmax ? 2 * (iteration + 1)

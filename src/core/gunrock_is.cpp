@@ -9,7 +9,6 @@
 #include "gunrock/operators.hpp"
 #include "obs/metrics.hpp"
 #include "sim/atomics.hpp"
-#include "sim/reduce.hpp"
 #include "sim/rng.hpp"
 #include "sim/timer.hpp"
 
@@ -61,7 +60,7 @@ Coloring gunrock_is_color(const graph::Csr& csr,
     // ColorOp (Algorithm 5 lines 15-43): one thread per vertex, serial
     // neighbor loop — deliberately NOT load balanced.
     const std::int32_t color = 2 * iteration;
-    gr::compute(device, frontier, [&](vid_t v) {
+    const auto color_op = [&](vid_t v) {
       const auto uv = static_cast<std::size_t>(v);
       if (colors[uv] != kUncolored) return;  // already colored
       bool colormax = true;
@@ -88,19 +87,23 @@ Coloring gunrock_is_color(const graph::Csr& csr,
       if (options.use_atomics) {
         colored_total.fetch_add(1, std::memory_order_relaxed);
       }
-    });
+    };
 
     // Stop when all vertices hold a valid color (Algorithm 5 line 9). The
-    // atomics variant reads the in-kernel counter; the no-atomics variant
-    // pays a separate count launch instead. Either way the stop check hands
+    // atomics variant reads its in-kernel counter after a plain compute;
+    // the no-atomics variants fuse the count into the SAME launch via the
+    // per-slot tally (exact: colors[v] is written only by v's own work
+    // item). Either way one launch per iteration, and the stop check hands
     // the iteration series its "colored so far" value for free.
-    const std::int64_t colored =
-        options.use_atomics
-            ? colored_total.load(std::memory_order_relaxed)
-            : sim::count_if<std::int32_t>(device, result.colors,
-                                          [](std::int32_t c) {
-                                            return c != kUncolored;
-                                          });
+    std::int64_t colored;
+    if (options.use_atomics) {
+      gr::compute(device, frontier, color_op);
+      colored = colored_total.load(std::memory_order_relaxed);
+    } else {
+      colored = gr::compute_count(device, frontier, color_op, [&](vid_t v) {
+        return colors[static_cast<std::size_t>(v)] != kUncolored;
+      });
+    }
     result.metrics.push("frontier", n - prev_colored);
     result.metrics.push("colored", colored);
     result.metrics.push("colors_opened", 2 * (iteration + 1));

@@ -3,13 +3,13 @@
 #include <vector>
 
 #include "core/ordering.hpp"
+#include "core/palette.hpp"
 #include "core/verify.hpp"
 #include "gunrock/enactor.hpp"
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
 #include "obs/metrics.hpp"
 #include "sim/atomics.hpp"
-#include "sim/reduce.hpp"
 #include "sim/rng.hpp"
 #include "sim/timer.hpp"
 
@@ -109,6 +109,7 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
   // how workers interleave — the bulk-synchronous JP formulation.
   std::vector<std::int32_t> snapshot(result.colors);
   gr::Frontier frontier = gr::Frontier::all(n);
+  std::vector<vid_t> spare;  // double buffer for the filtered frontier
 
   const sim::Stopwatch watch;
   const std::uint64_t launches_before = device.launch_count();
@@ -130,34 +131,29 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
           return;
         }
       }
-      // Minimum color absent from the colored neighborhood; a degree-d
-      // vertex always finds one in [0, d], so a d+1-word bitmap suffices.
-      const std::size_t words = adj.size() / 64 + 1;
-      std::vector<std::uint64_t> forbidden(words, 0);
-      for (const vid_t u : adj) {
-        const std::int32_t c = snapshot[static_cast<std::size_t>(u)];
-        if (c >= 0 && static_cast<std::size_t>(c) < words * 64) {
-          forbidden[static_cast<std::size_t>(c) / 64] |=
-              std::uint64_t{1} << (static_cast<std::size_t>(c) % 64);
-        }
-      }
-      std::int32_t color = 0;
-      while (forbidden[static_cast<std::size_t>(color) / 64] >>
-                 (static_cast<std::size_t>(color) % 64) &
-             1u) {
-        ++color;
-      }
-      colors[uv] = color;
+      // Minimum color absent from the colored neighborhood, via the zero-
+      // scratch windowed bit palette (a degree-d vertex always first-fits
+      // within [0, d], so the sweep stays register-resident).
+      colors[uv] = palette::first_fit_windowed(
+          static_cast<std::int64_t>(adj.size()), [&](std::int64_t k) {
+            return snapshot[static_cast<std::size_t>(
+                adj[static_cast<std::size_t>(k)])];
+          });
     });
 
-    // Publish this round's colors to the next round's snapshot.
-    device.parallel_for(n, [&](std::int64_t i) {
-      snapshot[static_cast<std::size_t>(i)] =
-          colors[static_cast<std::size_t>(i)];
-    });
-    frontier = gr::filter(device, frontier, [&](vid_t v) {
-      return colors[static_cast<std::size_t>(v)] == kUncolored;
-    });
+    // Filter with the snapshot publish fused into its flag pass: only
+    // frontier vertices can have changed color this round (everyone else's
+    // snapshot entry is already final), so publishing v while flagging it
+    // covers the whole graph. The survivors compact into the recycled
+    // buffer — two launches per round instead of publish + flag + gather.
+    gr::Frontier next =
+        gr::filter_into(device, frontier, std::move(spare), [&](vid_t v) {
+          const std::int32_t cv = colors[static_cast<std::size_t>(v)];
+          snapshot[static_cast<std::size_t>(v)] = cv;
+          return cv == kUncolored;
+        });
+    spare = frontier.release_vertices();
+    frontier = std::move(next);
     result.metrics.push("colored", n - frontier.size());
     return !frontier.is_empty();
   });

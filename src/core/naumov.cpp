@@ -7,8 +7,9 @@
 #include "obs/metrics.hpp"
 #include "sim/atomics.hpp"
 #include "sim/device.hpp"
-#include "sim/reduce.hpp"
 #include "sim/rng.hpp"
+#include "sim/scratch.hpp"
+#include "sim/slot_range.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::color {
@@ -22,6 +23,33 @@ inline std::int64_t hash_priority(std::uint64_t seed, std::uint32_t iteration,
   return (static_cast<std::int64_t>(sim::iteration_hash(seed, iteration, v))
           << 32) |
          static_cast<std::int64_t>(static_cast<std::uint32_t>(v));
+}
+
+/// Runs `body(v)` for every vertex and returns how many vertices remain
+/// uncolored — fused into the SAME launch, so each iteration pays one
+/// global synchronization instead of a color kernel plus a count_if.
+/// Exact because colors[v] is written only by v's own work item: after
+/// body(v) returns, colors[v] is final for this iteration, and the
+/// per-slot tallies combine serially like any reduce.
+template <typename Body>
+std::int64_t color_pass_count_uncolored(sim::Device& device, const char* name,
+                                        vid_t n, const std::int32_t* colors,
+                                        Body&& body) {
+  const unsigned workers = device.num_workers();
+  const std::span<std::int64_t> partials =
+      device.scratch().get<std::int64_t>(sim::ScratchLane::kPartials, workers);
+  device.launch_slots(name, [&](unsigned slot, unsigned num_slots) {
+    const auto [begin, end] = sim::slot_range(slot, num_slots, n);
+    std::int64_t local = 0;
+    for (std::int64_t vi = begin; vi < end; ++vi) {
+      body(vi);
+      if (colors[static_cast<std::size_t>(vi)] == kUncolored) ++local;
+    }
+    partials[slot] = local;
+  });
+  std::int64_t uncolored = 0;
+  for (unsigned slot = 0; slot < workers; ++slot) uncolored += partials[slot];
+  return uncolored;
 }
 
 }  // namespace
@@ -47,30 +75,31 @@ Coloring naumov_jpl_color(const graph::Csr& csr,
        ++iteration) {
     // One kernel: every uncolored vertex checks whether it holds the local
     // hash maximum among uncolored neighbors; re-randomized every iteration.
-    device.launch("naumov::jpl_color", n, [&](std::int64_t vi) {
-      const auto v = static_cast<vid_t>(vi);
-      const auto uv = static_cast<std::size_t>(v);
-      if (colors[uv] != kUncolored) return;
-      const std::int64_t mine = hash_priority(
-          options.seed, static_cast<std::uint32_t>(iteration), v);
-      for (const vid_t u : csr.neighbors(v)) {
-        // Skip only neighbors finalized in EARLIER iterations; a neighbor
-        // racily colored this iteration must still be compared, or two
-        // adjacent local maxima could both claim this iteration's color.
-        const std::int32_t cu = sim::atomic_load(
-            colors[static_cast<std::size_t>(u)]);
-        if (cu != kUncolored && cu != iteration) continue;
-        if (hash_priority(options.seed, static_cast<std::uint32_t>(iteration),
-                          u) > mine) {
-          return;
-        }
-      }
-      sim::atomic_store(colors[uv], iteration);
-    });
+    // The loop-termination count rides in the same launch.
+    const std::int64_t uncolored = color_pass_count_uncolored(
+        device, "naumov::jpl_color", n, colors, [&](std::int64_t vi) {
+          const auto v = static_cast<vid_t>(vi);
+          const auto uv = static_cast<std::size_t>(v);
+          if (colors[uv] != kUncolored) return;
+          const std::int64_t mine = hash_priority(
+              options.seed, static_cast<std::uint32_t>(iteration), v);
+          for (const vid_t u : csr.neighbors(v)) {
+            // Skip only neighbors finalized in EARLIER iterations; a
+            // neighbor racily colored this iteration must still be
+            // compared, or two adjacent local maxima could both claim this
+            // iteration's color.
+            const std::int32_t cu = sim::atomic_load(
+                colors[static_cast<std::size_t>(u)]);
+            if (cu != kUncolored && cu != iteration) continue;
+            if (hash_priority(options.seed,
+                              static_cast<std::uint32_t>(iteration),
+                              u) > mine) {
+              return;
+            }
+          }
+          sim::atomic_store(colors[uv], iteration);
+        });
     ++result.iterations;
-
-    const std::int64_t uncolored = sim::count_if<std::int32_t>(
-        device, result.colors, [](std::int32_t c) { return c == kUncolored; });
     result.metrics.push("frontier", n - prev_colored);
     result.metrics.push("colored", n - uncolored);
     result.metrics.push("colors_opened", iteration + 1);
@@ -110,7 +139,8 @@ Coloring naumov_cc_color(const graph::Csr& csr,
   for (std::int32_t iteration = 0; iteration < options.max_iterations;
        ++iteration) {
     const std::int32_t color_base = iteration * 2 * num_hashes;
-    device.launch("naumov::cc_color", n, [&](std::int64_t vi) {
+    const std::int64_t uncolored = color_pass_count_uncolored(
+        device, "naumov::cc_color", n, colors, [&](std::int64_t vi) {
       const auto v = static_cast<vid_t>(vi);
       const auto uv = static_cast<std::size_t>(v);
       if (colors[uv] != kUncolored) return;
@@ -155,9 +185,6 @@ Coloring naumov_cc_color(const graph::Csr& csr,
       }
     });
     ++result.iterations;
-
-    const std::int64_t uncolored = sim::count_if<std::int32_t>(
-        device, result.colors, [](std::int32_t c) { return c == kUncolored; });
     result.metrics.push("frontier", n - prev_colored);
     result.metrics.push("colored", n - uncolored);
     result.metrics.push("colors_opened", (iteration + 1) * 2 * num_hashes);

@@ -32,7 +32,9 @@ std::vector<AlgorithmSpec> make_registry() {
                  }});
   all.push_back({"grb_jpl", "GraphBLAST/Color_JPL", true,
                  [](const graph::Csr& csr, const Options& base) {
-                   return grb_jpl_color(csr, base);
+                   GrbJplOptions options;
+                   static_cast<Options&>(options) = base;
+                   return grb_jpl_color(csr, options);
                  }});
   all.push_back({"grb_mis", "GraphBLAST/Color_MIS", true,
                  [](const graph::Csr& csr, const Options& base) {
@@ -67,7 +69,14 @@ std::vector<AlgorithmSpec> make_registry() {
                    return naumov_jpl_color(csr, base);
                  }});
 
-  // ---- Table II ablation variants of Gunrock IS ------------------------
+  // ---- Table II ablation variants ---------------------------------------
+  all.push_back({"grb_jpl_pure", "GraphBLAST/Color_JPL(pure-GrB)", false,
+                 [](const graph::Csr& csr, const Options& base) {
+                   GrbJplOptions options;
+                   static_cast<Options&>(options) = base;
+                   options.bit_packed_palette = false;
+                   return grb_jpl_color(csr, options);
+                 }});
   all.push_back({"gunrock_is_atomics", "Gunrock/Color_IS(atomics)", false,
                  [](const graph::Csr& csr, const Options& base) {
                    GunrockIsOptions options;

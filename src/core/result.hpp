@@ -6,6 +6,7 @@
 // Table II metrics.
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,12 @@ namespace gcol::color {
 /// vertex no color has been assigned to (only valid mid-algorithm — every
 /// algorithm's output colors all vertices).
 inline constexpr std::int32_t kUncolored = -1;
+
+/// "No color available here" in the 64-bit packed color/weight domain the
+/// GraphBLAST formulations reduce over: +inf for min-reductions, so a used
+/// palette slot can never win. Shared by the Algorithm-4 implementations
+/// (previously re-declared per translation unit).
+inline constexpr std::int64_t kNoColor = std::numeric_limits<std::int64_t>::max();
 
 struct Coloring {
   std::string algorithm;             ///< registry name of the producer

@@ -684,8 +684,9 @@ Info reduce(T* out, Monoid<Op, T> monoid, const Vector<U>& u,
 ///   w[static_cast<Index>(c)] = value, when 0 <= c < w.size().
 /// Out-of-range targets are skipped (the paper clamps neighbor colors into
 /// the possible-colors array the same way). w must be dense — the paper
-/// fills `colors` with GrB_assign first. Duplicate targets are benign: all
-/// writers store the same value.
+/// fills `colors` with GrB_assign first. Duplicate targets are benign (all
+/// writers store the same value) but must still be relaxed atomic stores,
+/// as on the GPU, or concurrent workers race on the shared slot.
 template <typename W, typename M, typename U, typename T>
 Info scatter(Vector<W>& w, const Vector<M>* mask, const Vector<U>& u, T value,
              const Descriptor& desc = kDefaultDesc) {
@@ -703,7 +704,8 @@ Info scatter(Vector<W>& w, const Vector<M>* mask, const Vector<U>& u, T value,
         if (!view.allows(i)) return;
         const auto target = static_cast<Index>(c);
         if (target < 0 || target >= bound) return;
-        wv[static_cast<std::size_t>(target)] = static_cast<W>(value);
+        sim::atomic_store(wv[static_cast<std::size_t>(target)],
+                          static_cast<W>(value));
       },
       "grb::scatter");
   return Info::kSuccess;

@@ -58,6 +58,17 @@ class Frontier {
                          : vertices_[static_cast<std::size_t>(i)];
   }
 
+  /// Steals the vertex buffer, leaving the frontier empty — the double-
+  /// buffering handshake: a filter loop recycles the outgoing frontier's
+  /// allocation as the next compaction's output buffer. Implicit-all
+  /// frontiers own no buffer and yield an empty vector.
+  [[nodiscard]] std::vector<vid_t> release_vertices() noexcept {
+    implicit_all_ = false;
+    std::vector<vid_t> buffer = std::move(vertices_);
+    vertices_.clear();
+    return buffer;
+  }
+
   /// Materialized vertex list (allocates for implicit-all frontiers).
   [[nodiscard]] std::vector<vid_t> to_vector() const {
     if (!implicit_all_) return vertices_;

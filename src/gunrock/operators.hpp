@@ -21,6 +21,7 @@
 // Each operator issues a fixed small number of kernel launches; the implied
 // global barriers are what the paper counts as "global synchronizations".
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "sim/scan.hpp"
 #include "sim/scratch.hpp"
 #include "sim/segmented_reduce.hpp"
+#include "sim/slot_range.hpp"
 
 namespace gcol::gr {
 
@@ -52,6 +54,39 @@ void compute(sim::Device& device, const Frontier& frontier, Op op) {
   });
 }
 
+/// ComputeOp fused with the enactor's "are we done" reduction: runs op over
+/// every frontier vertex and returns how many vertices satisfy `count`
+/// AFTER their op ran — one launch instead of compute + count_if. Exact
+/// when the counted state of vertex v is written only by v's own work item
+/// (the owner-writes discipline all the IS/Hash kernels follow): the
+/// per-slot tallies then combine serially like any reduce.
+template <typename Op, typename Count>
+[[nodiscard]] std::int64_t compute_count(sim::Device& device,
+                                         const Frontier& frontier, Op op,
+                                         Count count) {
+  const std::int64_t n = frontier.size();
+  if (n == 0) return 0;
+  const unsigned workers = device.num_workers();
+  const std::span<std::int64_t> partials =
+      device.scratch().get<std::int64_t>(sim::ScratchLane::kPartials,
+                                         workers);
+  device.launch_slots("gr::compute_count",
+                      [&](unsigned slot, unsigned num_slots) {
+                        const auto [begin, end] =
+                            sim::slot_range(slot, num_slots, n);
+                        std::int64_t local = 0;
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          const vid_t v = frontier.vertex(i);
+                          op(v);
+                          if (count(v)) ++local;
+                        }
+                        partials[slot] = local;
+                      });
+  std::int64_t total = 0;
+  for (unsigned slot = 0; slot < workers; ++slot) total += partials[slot];
+  return total;
+}
+
 /// FilterOp: new frontier containing the input vertices where pred(v) holds.
 template <typename Pred>
 [[nodiscard]] Frontier filter(sim::Device& device, const Frontier& frontier,
@@ -67,6 +102,35 @@ template <typename Pred>
             frontier.vertex(kept[static_cast<std::size_t>(k)]);
       });
   return Frontier::of(std::move(vertices), frontier.num_vertices());
+}
+
+/// Double-buffered FilterOp: compacts surviving VERTEX IDS straight into
+/// `buffer` (typically the previous frontier's released allocation), so the
+/// per-iteration compaction is two launches — flag+count and scatter — with
+/// no separate gather launch and no allocation once the buffers are warm.
+/// `pred(v)` may carry side effects (e.g. publishing a color snapshot); it
+/// runs exactly once per frontier vertex, in the flag pass.
+template <typename Pred>
+[[nodiscard]] Frontier filter_into(sim::Device& device,
+                                   const Frontier& frontier,
+                                   std::vector<vid_t>&& buffer, Pred pred) {
+  std::vector<vid_t> out = std::move(buffer);
+  if (frontier.is_empty()) {
+    out.clear();
+    return Frontier::of(std::move(out), frontier.num_vertices());
+  }
+  sim::detail::fused_compact(
+      device, frontier.size(),
+      [&](std::int64_t i) {
+        return static_cast<bool>(pred(frontier.vertex(i)));
+      },
+      [&](std::int64_t total) {
+        out.resize(static_cast<std::size_t>(total));
+      },
+      [&](std::int64_t i, std::int64_t pos) {
+        out[static_cast<std::size_t>(pos)] = frontier.vertex(i);
+      });
+  return Frontier::of(std::move(out), frontier.num_vertices());
 }
 
 /// The materialized output of an advance: a flat neighbor array partitioned
@@ -184,6 +248,103 @@ void neighbor_reduce(sim::Device& device, const graph::Csr& csr,
   // ...then segmented-reduce per source (one launch).
   sim::segmented_reduce<T, eid_t>(device, advanced.segment_offsets, values,
                                   out, identity, reduce_op);
+}
+
+/// Fused NeighborReduceOp: the advance, map, segmented reduction AND the
+/// per-source consumer collapse into one edge-balanced pass. For each
+/// frontier slot i with vertex v, reduces map(v, u) over v's neighbors u
+/// with `reduce_op` (associative AND commutative) from `identity`, then
+/// calls finalize(i, total) exactly once — inline in the kernel when one
+/// worker covers the whole neighborhood (the overwhelmingly common case),
+/// otherwise on the host after combining the <= 2-per-worker boundary
+/// carries, the same serial-combine discipline every reduce uses.
+///
+/// Neighbor lists are never materialized: no advance_fill, no values array.
+/// Launches: degrees (which also finalizes degree-0 sources) + in-place
+/// scan (0 or 2) + one fused walk — 2-4 per call instead of 7 for
+/// neighbor_reduce + a separate consumer launch. This is what lifts the
+/// §IV-B3 restriction that "a second reduction requires another full
+/// neighbor-reduce": a pair-valued reduce_op (e.g. min-max) plus an inline
+/// finalize does the compare-and-color in the same pass.
+template <typename T, typename Map, typename ReduceOp, typename Finalize>
+void neighbor_reduce_fused(sim::Device& device, const graph::Csr& csr,
+                           const Frontier& frontier, Map map,
+                           ReduceOp reduce_op, T identity, Finalize finalize) {
+  const std::int64_t fsize = frontier.size();
+  if (fsize == 0) return;
+
+  // Launch 1: per-source degrees, sized +1 so the scan can run in place and
+  // the offsets stay in the same scratch lane. Degree-0 sources have no
+  // edge positions (the walk never visits them) — finalize them here, fused.
+  const std::span<eid_t> offsets = device.scratch().get<eid_t>(
+      sim::ScratchLane::kDegrees, static_cast<std::size_t>(fsize) + 1);
+  device.launch("gr::nr_degrees", fsize, [&](std::int64_t i) {
+    const eid_t degree = csr.degree(frontier.vertex(i));
+    offsets[static_cast<std::size_t>(i)] = degree;
+    if (degree == 0) finalize(i, identity);
+  });
+  // Launches 2-3 (elided for small frontiers): offsets, in place.
+  const std::span<eid_t> degrees_in =
+      offsets.first(static_cast<std::size_t>(fsize));
+  const eid_t total =
+      sim::exclusive_scan<eid_t>(device, degrees_in, degrees_in);
+  offsets[static_cast<std::size_t>(fsize)] = total;
+  if (total == 0) return;
+
+  // Boundary carries: a worker's position range touches at most two
+  // partial segments (its first and its last), so 2 records per worker.
+  struct Carry {
+    std::int64_t segment;
+    T value;
+  };
+  const unsigned workers = device.num_workers();
+  const std::span<Carry> carries = device.scratch().get<Carry>(
+      sim::ScratchLane::kCarries, 2 * static_cast<std::size_t>(workers));
+  for (auto& carry : carries) carry.segment = -1;
+
+  // Launch 4: merge-path walk; map and reduce fuse into the visit, and a
+  // worker covering local ranks [0, degree) finalizes its source inline —
+  // exclusive ownership, since position ranges partition the edge space.
+  sim::for_each_segment_range_slotted<eid_t>(
+      device, "gr::nr_reduce", offsets,
+      [&](unsigned slot, std::int64_t s, std::int64_t local_begin,
+          std::int64_t local_end, std::int64_t /*global_begin*/) {
+        const vid_t v = frontier.vertex(s);
+        const auto adj = csr.neighbors(v);
+        T acc = identity;
+        for (std::int64_t k = local_begin; k < local_end; ++k) {
+          acc = reduce_op(acc, map(v, adj[static_cast<std::size_t>(k)]));
+        }
+        if (local_begin == 0 &&
+            local_end == static_cast<std::int64_t>(adj.size())) {
+          finalize(s, acc);
+          return;
+        }
+        Carry& carry = carries[2 * slot +
+                               (carries[2 * slot].segment == -1 ? 0 : 1)];
+        carry.segment = s;
+        carry.value = acc;
+      });
+
+  // Serial combine of the boundary partials (ascending segment order after
+  // the sort; reduce_op commutes, so grouping order is immaterial).
+  Carry* const begin = carries.data();
+  Carry* const end = begin + carries.size();
+  std::sort(begin, end, [](const Carry& a, const Carry& b) {
+    return a.segment < b.segment;
+  });
+  for (Carry* it = begin; it != end;) {
+    const std::int64_t s = it->segment;
+    if (s == -1) {  // unused records sort first
+      ++it;
+      continue;
+    }
+    T acc = identity;
+    for (; it != end && it->segment == s; ++it) {
+      acc = reduce_op(acc, it->value);
+    }
+    finalize(s, acc);
+  }
 }
 
 }  // namespace gcol::gr

@@ -22,24 +22,18 @@
 
 namespace gcol::sim {
 
-/// For every segment s in [0, offsets.size() - 2] and every position p in
-/// [offsets[s], offsets[s+1]), calls
+/// Slot-aware variant of for_each_segment_range (below): calls
 ///
-///   visit(s, local_begin, local_end, global_begin)
+///   visit(slot, s, local_begin, local_end, global_begin)
 ///
-/// covering local ranks [local_begin, local_end) of segment s, where local
-/// rank k corresponds to global position global_begin + (k - local_begin).
-/// A segment overlapping several workers' position ranges is visited once
-/// per overlap; callers hoist per-segment state into the range body, which
-/// is why the callback is range- rather than item-granular.
-///
-/// Work is partitioned over workers by *position*, not by segment. Issues a
-/// single kernel launch (named `name`); skips the launch entirely when there
-/// are no positions.
+/// so range bodies can index slot-local scratch (per-worker palette masks,
+/// reduction carries) without atomics. Slots visit their position ranges in
+/// ascending segment order, and a segment is split across at most the two
+/// slots adjacent to each partition boundary.
 template <typename OffsetT, typename VisitRange>
-void for_each_segment_range(Device& device, const char* name,
-                            std::span<const OffsetT> offsets,
-                            VisitRange visit) {
+void for_each_segment_range_slotted(Device& device, const char* name,
+                                    std::span<const OffsetT> offsets,
+                                    VisitRange visit) {
   const auto num_segments = static_cast<std::int64_t>(offsets.size()) - 1;
   if (num_segments <= 0) return;
   const auto base = static_cast<std::int64_t>(offsets[0]);
@@ -58,7 +52,9 @@ void for_each_segment_range(Device& device, const char* name,
             static_cast<std::int64_t>(offsets[static_cast<std::size_t>(s)]);
         const auto seg_end = static_cast<std::int64_t>(
             offsets[static_cast<std::size_t>(s) + 1]);
-        if (seg_begin < seg_end) visit(s, 0, seg_end - seg_begin, seg_begin);
+        if (seg_begin < seg_end) {
+          visit(0u, s, 0, seg_end - seg_begin, seg_begin);
+        }
       }
     });
     return;
@@ -89,10 +85,36 @@ void for_each_segment_range(Device& device, const char* name,
               offsets[static_cast<std::size_t>(s) + 1]) -
               base,
           work_end);
-      visit(s, w - seg_begin, seg_end - seg_begin, base + w);
+      visit(slot, s, w - seg_begin, seg_end - seg_begin, base + w);
       w = seg_end;
     }
   });
+}
+
+/// For every segment s in [0, offsets.size() - 2] and every position p in
+/// [offsets[s], offsets[s+1]), calls
+///
+///   visit(s, local_begin, local_end, global_begin)
+///
+/// covering local ranks [local_begin, local_end) of segment s, where local
+/// rank k corresponds to global position global_begin + (k - local_begin).
+/// A segment overlapping several workers' position ranges is visited once
+/// per overlap; callers hoist per-segment state into the range body, which
+/// is why the callback is range- rather than item-granular.
+///
+/// Work is partitioned over workers by *position*, not by segment. Issues a
+/// single kernel launch (named `name`); skips the launch entirely when there
+/// are no positions.
+template <typename OffsetT, typename VisitRange>
+void for_each_segment_range(Device& device, const char* name,
+                            std::span<const OffsetT> offsets,
+                            VisitRange visit) {
+  for_each_segment_range_slotted<OffsetT>(
+      device, name, offsets,
+      [&](unsigned, std::int64_t s, std::int64_t local_begin,
+          std::int64_t local_end, std::int64_t global_begin) {
+        visit(s, local_begin, local_end, global_begin);
+      });
 }
 
 /// Item-granular convenience wrapper:

@@ -1,0 +1,64 @@
+#pragma once
+// Word-granular bit operations for bit-packed color palettes (and any other
+// dense bitset the substrate grows). The GPU coloring literature (cuSPARSE
+// csrcolor; Chen et al., "Efficient and High-quality Sparse Graph Coloring
+// on the GPU") represents "forbidden colors" as 32/64-bit mask words so that
+// marking a neighbor's color is one OR and finding the minimum available
+// color is one ffs/popc instruction instead of a scan over an O(palette)
+// array. These helpers are the CPU spellings of those instructions
+// (std::countr_one == __ffs(~w) - 1), shared by core/palette.hpp and the
+// fused coloring kernels.
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+namespace gcol::sim {
+
+/// Colors per mask word. 64 matches the widest single-instruction ffs the
+/// host offers; a window of W words covers colors [base, base + 64*W).
+inline constexpr std::int32_t kBitsPerWord = 64;
+
+/// All bits set: a word with no free color.
+inline constexpr std::uint64_t kFullWord = ~std::uint64_t{0};
+
+[[nodiscard]] constexpr std::size_t word_index(std::int64_t bit) noexcept {
+  return static_cast<std::size_t>(bit) / kBitsPerWord;
+}
+
+[[nodiscard]] constexpr std::uint64_t bit_mask(std::int64_t bit) noexcept {
+  return std::uint64_t{1} << (static_cast<std::uint64_t>(bit) %
+                              kBitsPerWord);
+}
+
+/// Sets bit `bit` in a word array (no bounds check — caller clamps).
+constexpr void set_bit(std::uint64_t* words, std::int64_t bit) noexcept {
+  words[word_index(bit)] |= bit_mask(bit);
+}
+
+[[nodiscard]] constexpr bool test_bit(const std::uint64_t* words,
+                                      std::int64_t bit) noexcept {
+  return (words[word_index(bit)] & bit_mask(bit)) != 0;
+}
+
+/// Index of the lowest zero bit of `word` (64 when the word is full):
+/// the "minimum unset color" instruction, one countr_one on hardware.
+[[nodiscard]] constexpr std::int32_t min_unset_bit(std::uint64_t word)
+    noexcept {
+  return std::countr_one(word);
+}
+
+/// Lowest zero bit across a word span, or -1 when every bit is set.
+/// Words are scanned in order, so the result is the global minimum.
+[[nodiscard]] constexpr std::int64_t min_unset_bit(
+    std::span<const std::uint64_t> words) noexcept {
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    if (words[w] != kFullWord) {
+      return static_cast<std::int64_t>(w) * kBitsPerWord +
+             min_unset_bit(words[w]);
+    }
+  }
+  return -1;
+}
+
+}  // namespace gcol::sim

@@ -31,6 +31,8 @@ enum class ScratchLane : unsigned {
   kFlags,          ///< compaction: per-item predicate flags
   kSlotCounts,     ///< compaction: per-slot kept counts
   kDegrees,        ///< advance / push vxm: per-item degrees -> offsets
+  kCarries,        ///< fused segmented reduce: per-slot boundary carries
+  kPalette,        ///< bit-packed forbidden-color masks (per-slot words)
   kLaneCount,
 };
 

@@ -1,0 +1,155 @@
+// Unit tests for the bit-packed palette subsystem: the word-level bit ops in
+// sim/bitops.hpp, the zero-scratch windowed first-fit, and the per-vertex
+// ForbiddenPalette slices — checked against a brute-force dense reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "../testing/fixtures.hpp"
+#include "core/palette.hpp"
+#include "graph/build.hpp"
+#include "graph/generators/erdos_renyi.hpp"
+#include "sim/bitops.hpp"
+#include "sim/device.hpp"
+
+namespace gcol::color::palette {
+namespace {
+
+/// Dense reference: smallest color >= 0 missing from `taken`.
+std::int32_t reference_min_free(const std::vector<std::int32_t>& taken) {
+  std::vector<std::int32_t> sorted = taken;
+  std::sort(sorted.begin(), sorted.end());
+  std::int32_t next = 0;
+  for (const std::int32_t c : sorted) {
+    if (c == next) ++next;
+  }
+  return next;
+}
+
+TEST(Bitops, WordIndexAndMask) {
+  EXPECT_EQ(sim::word_index(0), 0u);
+  EXPECT_EQ(sim::word_index(63), 0u);
+  EXPECT_EQ(sim::word_index(64), 1u);
+  EXPECT_EQ(sim::bit_mask(0), 1ULL);
+  EXPECT_EQ(sim::bit_mask(63), 1ULL << 63);
+  EXPECT_EQ(sim::bit_mask(64), 1ULL);  // wraps within the next word
+}
+
+TEST(Bitops, SetAndTestAcrossWords) {
+  std::uint64_t words[3] = {0, 0, 0};
+  for (const std::int64_t bit : {0, 1, 63, 64, 100, 191}) {
+    EXPECT_FALSE(sim::test_bit(words, bit));
+    sim::set_bit(words, bit);
+    EXPECT_TRUE(sim::test_bit(words, bit));
+  }
+  EXPECT_FALSE(sim::test_bit(words, 2));
+  EXPECT_FALSE(sim::test_bit(words, 65));
+}
+
+TEST(Bitops, MinUnsetBitWord) {
+  EXPECT_EQ(sim::min_unset_bit(std::uint64_t{0}), 0);
+  EXPECT_EQ(sim::min_unset_bit(std::uint64_t{1}), 1);
+  EXPECT_EQ(sim::min_unset_bit(std::uint64_t{0b1011}), 2);
+  EXPECT_EQ(sim::min_unset_bit(sim::kFullWord >> 1), 63);
+  EXPECT_EQ(sim::min_unset_bit(sim::kFullWord), 64);
+}
+
+TEST(Bitops, MinUnsetBitSpan) {
+  const std::uint64_t some[] = {sim::kFullWord, 0b111, 0};
+  EXPECT_EQ(sim::min_unset_bit(std::span<const std::uint64_t>(some)), 67);
+  const std::uint64_t full[] = {sim::kFullWord, sim::kFullWord};
+  EXPECT_EQ(sim::min_unset_bit(std::span<const std::uint64_t>(full)), -1);
+  EXPECT_EQ(sim::min_unset_bit(std::span<const std::uint64_t>()), -1);
+}
+
+TEST(FirstFitWindowed, MatchesDenseReferenceRandomized) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto degree = static_cast<std::int64_t>(rng() % 150);
+    std::vector<std::int32_t> colors(static_cast<std::size_t>(degree));
+    std::vector<std::int32_t> taken;
+    for (auto& c : colors) {
+      // Mix of uncolored (-1) and colors clustered near the low end, with
+      // occasional far outliers to cross window boundaries.
+      const std::uint64_t roll = rng() % 10;
+      if (roll == 0) {
+        c = -1;
+      } else if (roll == 1) {
+        c = static_cast<std::int32_t>(rng() % 300);
+      } else {
+        c = static_cast<std::int32_t>(rng() % 70);
+      }
+      if (c >= 0) taken.push_back(c);
+    }
+    const std::int32_t expected = reference_min_free(taken);
+    EXPECT_EQ(first_fit_windowed(
+                  degree,
+                  [&](std::int64_t k) {
+                    return colors[static_cast<std::size_t>(k)];
+                  }),
+              expected)
+        << "trial " << trial;
+  }
+}
+
+TEST(FirstFitWindowed, DenseLowWindowForcesSecondWindow) {
+  // Neighbors take every color in [0, 64): the answer must come from the
+  // second 64-wide window.
+  std::vector<std::int32_t> colors(64);
+  for (std::int32_t c = 0; c < 64; ++c) colors[static_cast<std::size_t>(c)] = c;
+  EXPECT_EQ(first_fit_windowed(64,
+                               [&](std::int64_t k) {
+                                 return colors[static_cast<std::size_t>(k)];
+                               }),
+            64);
+}
+
+TEST(FirstFitWindowed, ZeroDegreeGetsColorZero) {
+  EXPECT_EQ(first_fit_windowed(0, [](std::int64_t) { return 0; }), 0);
+}
+
+TEST(WordsForDegree, Boundaries) {
+  EXPECT_EQ(words_for_degree(0), 1u);
+  EXPECT_EQ(words_for_degree(63), 1u);
+  EXPECT_EQ(words_for_degree(64), 2u);
+  EXPECT_EQ(words_for_degree(128), 3u);
+}
+
+TEST(ForbiddenPalette, SlicesAreDisjointAndSized) {
+  const graph::Csr csr =
+      graph::build_csr(graph::generate_erdos_renyi(200, 900, 3));
+  auto& device = sim::Device::instance();
+  ForbiddenPalette masks(device, csr);
+
+  std::size_t total = 0;
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    const auto slice = masks.slice(v);
+    EXPECT_EQ(slice.size(), words_for_degree(csr.degree(v))) << "vertex " << v;
+    total += slice.size();
+  }
+  EXPECT_EQ(total, masks.total_words());
+}
+
+TEST(ForbiddenPalette, MarkMinFreeResetRoundTrip) {
+  const graph::Csr csr = gcol::testing::star_graph(80);
+  auto& device = sim::Device::instance();
+  ForbiddenPalette masks(device, csr);
+
+  const auto slice = masks.slice(0);  // center: degree 79, two words
+  ASSERT_EQ(slice.size(), 2u);
+  for (std::int32_t c = 0; c <= 70; ++c) ForbiddenPalette::mark(slice, c);
+  EXPECT_EQ(ForbiddenPalette::min_free(slice), 71);
+  // Out-of-window colors (uncolored sentinel, beyond the slice) are ignored.
+  ForbiddenPalette::mark(slice, -1);
+  ForbiddenPalette::mark(slice, 1000);
+  EXPECT_EQ(ForbiddenPalette::min_free(slice), 71);
+  ForbiddenPalette::reset(slice);
+  EXPECT_EQ(ForbiddenPalette::min_free(slice), 0);
+}
+
+}  // namespace
+}  // namespace gcol::color::palette

@@ -5,9 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include <limits>
-
 #include "../testing/fixtures.hpp"
+#include "core/result.hpp"
 #include "graphblas/grb.hpp"
 
 namespace gcol::grb {
@@ -108,7 +107,7 @@ TEST(Algorithm4Integration, MinColorHelperFindsSmallestUnusedColor) {
                 [](Index i, Weight) { return static_cast<Weight>(i); },
                 ascending),
             Info::kSuccess);
-  constexpr Weight kNoColor = std::numeric_limits<Weight>::max();
+  constexpr Weight kNoColor = color::kNoColor;
   ASSERT_EQ(eWiseMult(
                 min_array, nullptr,
                 [](Weight used_flag, Weight index) {
