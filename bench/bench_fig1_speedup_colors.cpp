@@ -7,11 +7,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/bench_util.hpp"
 #include "graph/datasets.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -35,6 +37,12 @@ int main(int argc, char** argv) {
   const bool have_grb_summary =
       selected("grb_is") && selected("grb_mis") && selected("grb_jpl");
   bench::JsonReport report("fig1_speedup_colors", args);
+  // --trace: record the whole run (every algorithm, every dataset) into one
+  // Chrome trace-event timeline. The session installs itself as the
+  // device's tracer slot, so the per-run ScopedDeviceMetrics inside each
+  // algorithm does not mask it.
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!args.trace_path.empty()) trace = std::make_unique<obs::TraceSession>();
 
   std::printf("== Figure 1: speedup vs Naumov/Color_JPL and color counts "
               "(scale=%.3f, runs=%d) ==\n\n",
@@ -56,6 +64,7 @@ int main(int argc, char** argv) {
   for (const graph::DatasetInfo& info : graph::paper_datasets()) {
     if (!bench::dataset_selected(args, info.name)) continue;
     const graph::Csr csr = graph::build_dataset(info, args.scale);
+    const obs::ScopedPhase dataset_phase(info.name);
     std::map<std::string, bench::Measurement> results;
     for (const auto* spec : algorithms) {
       results[spec->name] =
@@ -149,6 +158,14 @@ int main(int argc, char** argv) {
   if (!report.write()) {
     std::fprintf(stderr, "FAILED to write JSON report\n");
     return 1;
+  }
+  if (trace != nullptr) {
+    if (!trace->write(args.trace_path)) {
+      std::fprintf(stderr, "FAILED to write trace\n");
+      return 1;
+    }
+    std::printf("\ntrace: %s (%zu events; open in ui.perfetto.dev)\n",
+                args.trace_path.c_str(), trace->event_count());
   }
   return 0;
 }

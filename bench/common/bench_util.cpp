@@ -7,6 +7,8 @@
 #include <string>
 
 #include "core/verify.hpp"
+#include "obs/trace.hpp"
+#include "sim/device.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::bench {
@@ -16,7 +18,7 @@ namespace {
 [[noreturn]] void usage_and_exit(const char* program) {
   std::printf(
       "usage: %s [--scale=F] [--runs=N] [--csv] [--min-rgg=N] [--max-rgg=N] "
-      "[--seed=N] [--json PATH] [--datasets=A,B]\n"
+      "[--seed=N] [--json PATH] [--trace PATH] [--datasets=A,B]\n"
       "  --scale=F    dataset size as a fraction of the paper's (default "
       "0.03; 1.0 = full size)\n"
       "  --runs=N     timed repetitions to average (default 3; paper used "
@@ -27,12 +29,41 @@ namespace {
       "  --max-rgg=N  largest RGG scale for the Figure 3 sweep (default 17; "
       "paper used 24)\n"
       "  --seed=N     RNG seed (default 1)\n"
-      "  --json PATH  also write a gcol-bench-v1 JSON report to PATH\n"
+      "  --json PATH  also write a gcol-bench-v2 JSON report to PATH\n"
+      "  --trace PATH also write a Chrome trace-event JSON (open in "
+      "ui.perfetto.dev)\n"
       "  --datasets=A,B  only run the named datasets (default: all)\n"
       "  --algorithms=A,B  run the named registry algorithms (default: the "
       "paper's nine Figure-1 series)\n",
       program);
   std::exit(2);
+}
+
+/// The run-environment block of the gcol-bench-v2 header: enough to tell two
+/// BENCH_*.json files measured different machines/configs apart before
+/// comparing their numbers. Git SHA and build type are baked in at configure
+/// time (see bench/CMakeLists.txt); worker count and GCOL_THREADS are read
+/// live so the report reflects the actual run.
+obs::Json run_meta() {
+  obs::Json meta = obs::Json::object();
+  meta.set("workers",
+           static_cast<std::int64_t>(sim::Device::instance().num_workers()));
+  const char* threads_env = std::getenv("GCOL_THREADS");
+  meta.set("gcol_threads", threads_env == nullptr ? "" : threads_env);
+#ifdef GCOL_GIT_SHA
+  meta.set("git_sha", GCOL_GIT_SHA);
+#else
+  meta.set("git_sha", "unknown");
+#endif
+#ifdef GCOL_BUILD_TYPE
+  meta.set("build_type", GCOL_BUILD_TYPE);
+#else
+  meta.set("build_type", "unknown");
+#endif
+  // The substrate's default advance policy (gr::AdvancePolicy); recorded so
+  // scheduling changes across PRs are visible in the trajectory.
+  meta.set("advance_policy", "edge_balanced");
+  return meta;
 }
 
 bool parse_kv(const char* arg, const char* key, const char** value) {
@@ -72,6 +103,10 @@ Args parse_args(int argc, char** argv) {
       args.json_path = value;
     } else if (std::strcmp(arg, "--json") == 0) {
       args.json_path = next_value(&i);
+    } else if (parse_kv(arg, "--trace", &value)) {
+      args.trace_path = value;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      args.trace_path = next_value(&i);
     } else if (parse_kv(arg, "--datasets", &value)) {
       args.datasets = value;
     } else if (std::strcmp(arg, "--datasets") == 0) {
@@ -139,7 +174,9 @@ Measurement run_averaged(const color::AlgorithmSpec& spec,
   m.valid = true;
   double total = 0.0;
   double best = 0.0;
+  const std::string run_phase = "run:" + spec.name;
   for (int r = 0; r < runs; ++r) {
+    const obs::ScopedPhase phase(run_phase);
     color::Options options;
     options.seed = seed;
     sim::Stopwatch watch;
@@ -215,11 +252,12 @@ JsonReport::JsonReport(std::string bench_name, const Args& args)
     : path_(args.json_path),
       header_(obs::Json::object()),
       records_(obs::Json::array()) {
-  header_.set("schema", "gcol-bench-v1");
+  header_.set("schema", "gcol-bench-v2");
   header_.set("bench", std::move(bench_name));
   header_.set("scale", args.scale);
   header_.set("runs", args.runs);
   header_.set("seed", static_cast<std::int64_t>(args.seed));
+  header_.set("meta", run_meta());
 }
 
 void JsonReport::add_measurement(std::string_view dataset,

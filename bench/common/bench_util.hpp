@@ -29,12 +29,14 @@ struct Args {
   int max_rgg_scale = 17; ///< Figure 3 sweep upper bound (paper: 24)
   std::uint64_t seed = 1;
   std::string json_path;  ///< --json: write a machine-readable report here
+  std::string trace_path; ///< --trace: write a Chrome trace-event JSON here
   std::string datasets;   ///< --datasets: comma-separated name filter
   std::string algorithms; ///< --algorithms: comma-separated registry names
 };
 
 /// Parses --scale=0.1 --runs=10 --csv --min-rgg=15 --max-rgg=20 --seed=7
-/// --json out.json (or --json=out.json) --datasets=offshore,G3_circuit.
+/// --json out.json (or --json=out.json) --trace out.trace.json
+/// --datasets=offshore,G3_circuit.
 /// Prints usage and exits on --help or unknown arguments.
 [[nodiscard]] Args parse_args(int argc, char** argv);
 
@@ -57,7 +59,8 @@ struct Measurement {
 };
 
 /// Runs `spec` on `csr` `runs` times, verifying each output, and returns the
-/// averaged wall time plus the final coloring.
+/// averaged wall time plus the final coloring. When a TraceSession is active
+/// each timed run appears as a "run:<algorithm>" phase span on its timeline.
 [[nodiscard]] Measurement run_averaged(const color::AlgorithmSpec& spec,
                                        const graph::Csr& csr,
                                        std::uint64_t seed, int runs);
@@ -84,11 +87,19 @@ class TablePrinter {
 /// Accumulates one schema-stable JSON record per (dataset, algorithm) data
 /// point and writes the whole report on demand:
 ///
-///   {"schema": "gcol-bench-v1", "bench": <name>, "scale": F, "runs": N,
-///    "seed": N, "records": [{"dataset": ..., "algorithm": ..., "ms": F,
+///   {"schema": "gcol-bench-v2", "bench": <name>, "scale": F, "runs": N,
+///    "seed": N, "meta": {"workers": N, "gcol_threads": S, "git_sha": S,
+///    "build_type": S, "advance_policy": S},
+///    "records": [{"dataset": ..., "algorithm": ..., "ms": F,
 ///    "ms_min": F, "colors": N, "iterations": N, "kernel_launches": N,
 ///    "conflicts_resolved": N, "valid": B, "display_name": ...,
 ///    "metrics": {...}}, ...]}
+///
+/// v2 over v1: the "meta" run-environment header, plus per-kernel imbalance
+/// fields (busy_max_over_mean, barrier_wait_share, items_cov) inside each
+/// record's metrics.kernels entries — populated because the measured runs
+/// execute under a ScopedDeviceMetrics, whose listener turns on the
+/// device's per-slot telemetry.
 ///
 /// Key order is fixed by construction (obs::Json preserves insertion order),
 /// so reports diff cleanly across runs and CI can validate them against a

@@ -47,7 +47,8 @@ std::vector<double> run_chromatic(const graph::Csr& csr,
   }
   for (int round = 0; round < rounds; ++round) {
     for (const auto& color_class : classes) {
-      device.parallel_for(
+      device.launch(
+          "chromatic::relax_class",
           static_cast<std::int64_t>(color_class.size()),
           [&](std::int64_t k) {
             const vid_t v = color_class[static_cast<std::size_t>(k)];

@@ -59,7 +59,8 @@ void gs_sweep_multicolor(
     const std::vector<std::vector<vid_t>>& classes) {
   auto& device = sim::Device::instance();
   for (const auto& color_class : classes) {
-    device.parallel_for(
+    device.launch(
+        "mgs::sweep_class",
         static_cast<std::int64_t>(color_class.size()), [&](std::int64_t k) {
           const vid_t v = color_class[static_cast<std::size_t>(k)];
           double acc = b[static_cast<std::size_t>(v)];

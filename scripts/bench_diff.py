@@ -1,20 +1,30 @@
 #!/usr/bin/env python3
-"""Diff two gcol-bench-v1 JSON reports (see bench/common/bench_util.hpp).
+"""Diff two gcol-bench JSON reports (see bench/common/bench_util.hpp).
 
-Compares records keyed by (dataset, algorithm) and reports, per pair:
-runtime (ms), kernel-launch count, and color count deltas. Wall time is
+Accepts gcol-bench-v1 and gcol-bench-v2 reports (v2 adds a "meta"
+run-environment header and per-kernel imbalance fields). Compares records
+keyed by (dataset, algorithm) and reports, per pair: runtime (ms),
+kernel-launch count, color count deltas, and — when both sides carry
+telemetry — the time-weighted per-kernel load-imbalance delta. Wall time is
 noisy, so ms movements within --ms-tolerance (relative) are not called
 regressions; kernel_launches and colors are deterministic for a fixed seed
 on a single worker, so ANY increase is flagged.
 
+When the two reports' meta headers differ (different worker count, build
+type, ...) the mismatch is printed up front: the numbers may not be
+comparable.
+
 Exit status is 0 unless --gate is passed, in which case the DETERMINISTIC
-regressions (LAUNCHES+, COLORS+, INVALID) fail the run. SLOWER is always
-advisory — shared CI runners are too noisy to gate on wall time — but the
-flag still lands in the table and the summary so a real slowdown is visible
-in the job log.
+regressions (LAUNCHES+, COLORS+, INVALID) fail the run. SLOWER and
+IMBALANCE+ are always advisory — shared CI runners are too noisy to gate on
+wall time, and imbalance is a timing-derived ratio — but the flags still
+land in the table and the summary so real movement is visible in the job
+log.
 
 Usage:
-  bench_diff.py BASELINE.json AFTER.json [--ms-tolerance 0.25] [--gate]
+  bench_diff.py BASELINE.json AFTER.json [--ms-tolerance 0.25]
+                [--imbalance-tolerance 0.25] [--gate]
+  bench_diff.py --self-test
 """
 
 from __future__ import annotations
@@ -23,13 +33,23 @@ import argparse
 import json
 import sys
 
+ACCEPTED_SCHEMAS = ("gcol-bench-v1", "gcol-bench-v2")
 
-def load_records(path: str) -> dict[tuple[str, str], dict]:
+# Flags that fail a --gate run; everything else is advisory.
+GATING_FLAGS = ("INVALID", "LAUNCHES+", "COLORS+")
+
+
+def load_doc(path: str) -> dict:
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "gcol-bench-v1":
-        sys.exit(f"{path}: not a gcol-bench-v1 report "
-                 f"(schema={doc.get('schema')!r})")
+    if doc.get("schema") not in ACCEPTED_SCHEMAS:
+        sys.exit(f"{path}: not a gcol-bench report "
+                 f"(schema={doc.get('schema')!r}, "
+                 f"accepted: {', '.join(ACCEPTED_SCHEMAS)})")
+    return doc
+
+
+def index_records(doc: dict, path: str) -> dict[tuple[str, str], dict]:
     records = {}
     for r in doc.get("records", []):
         records[(r["dataset"], r["algorithm"])] = r
@@ -38,28 +58,48 @@ def load_records(path: str) -> dict[tuple[str, str], dict]:
     return records
 
 
-def fmt_delta(before: float, after: float) -> str:
-    if before == 0:
-        return "n/a"
-    pct = 100.0 * (after - before) / before
-    return f"{pct:+.1f}%"
+def record_imbalance(record: dict) -> float | None:
+    """Time-weighted mean of per-kernel busy_max_over_mean for one record.
+
+    Weighted by each kernel's total_ms so a tiny perfectly-balanced setup
+    kernel cannot mask a skewed hot kernel. None when no kernel in the
+    record carries telemetry (v1 reports, or a run with no listener).
+    """
+    kernels = (record.get("metrics") or {}).get("kernels") or {}
+    weight_sum = 0.0
+    weighted = 0.0
+    for stat in kernels.values():
+        ratio = stat.get("busy_max_over_mean")
+        if ratio is None:
+            continue
+        weight = stat.get("total_ms", 0.0)
+        if weight <= 0.0:
+            continue
+        weighted += weight * ratio
+        weight_sum += weight
+    if weight_sum == 0.0:
+        return None
+    return weighted / weight_sum
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("after")
-    parser.add_argument("--ms-tolerance", type=float, default=0.25,
-                        help="relative ms increase tolerated as noise "
-                             "(default 0.25 = 25%%)")
-    parser.add_argument("--gate", action="store_true",
-                        help="exit non-zero on deterministic regressions "
-                             "(LAUNCHES+/COLORS+/INVALID; SLOWER stays "
-                             "advisory)")
-    args = parser.parse_args()
+def diff_meta(base_doc: dict, after_doc: dict) -> list[str]:
+    """Human-readable mismatch lines between the two meta headers."""
+    base_meta = base_doc.get("meta") or {}
+    after_meta = after_doc.get("meta") or {}
+    lines = []
+    for key in sorted(set(base_meta) | set(after_meta)):
+        b = base_meta.get(key, "<absent>")
+        a = after_meta.get(key, "<absent>")
+        if b != a:
+            lines.append(f"  meta.{key}: {b!r} -> {a!r}")
+    return lines
 
-    base = load_records(args.baseline)
-    after = load_records(args.after)
+
+def compare(base_doc: dict, after_doc: dict, base_path: str, after_path: str,
+            ms_tolerance: float, imbalance_tolerance: float,
+            gate: bool) -> int:
+    base = index_records(base_doc, base_path)
+    after = index_records(after_doc, after_path)
     common = sorted(set(base) & set(after))
     only_base = sorted(set(base) - set(after))
     only_after = sorted(set(after) - set(base))
@@ -67,9 +107,17 @@ def main() -> int:
     if not common:
         sys.exit("no (dataset, algorithm) pairs in common")
 
+    meta_mismatch = diff_meta(base_doc, after_doc)
+    if meta_mismatch:
+        print("WARNING: run environments differ — numbers may not be "
+              "comparable:")
+        for line in meta_mismatch:
+            print(line)
+        print()
+
     header = (f"{'dataset':<12} {'algorithm':<28} "
               f"{'ms before':>10} {'ms after':>10} {'Δms':>8} "
-              f"{'launches':>14} {'colors':>11}  flags")
+              f"{'launches':>14} {'colors':>11} {'imbal':>12}  flags")
     print(header)
     print("-" * len(header))
 
@@ -85,12 +133,20 @@ def main() -> int:
             flags.append("LAUNCHES+")
         if a["colors"] > b["colors"]:
             flags.append("COLORS+")
-        if b["ms"] > 0 and (a["ms"] - b["ms"]) / b["ms"] > args.ms_tolerance:
+        if b["ms"] > 0 and (a["ms"] - b["ms"]) / b["ms"] > ms_tolerance:
             flags.append("SLOWER")
+        b_imbal = record_imbalance(b)
+        a_imbal = record_imbalance(a)
+        if b_imbal is not None and a_imbal is not None:
+            imbal_cell = f"{b_imbal:>5.2f}->{a_imbal:<5.2f}"
+            if (a_imbal - b_imbal) / b_imbal > imbalance_tolerance:
+                flags.append("IMBALANCE+")
+        else:
+            imbal_cell = "-"
         print(f"{key[0]:<12} {key[1]:<28} "
               f"{b['ms']:>10.3f} {a['ms']:>10.3f} "
               f"{fmt_delta(b['ms'], a['ms']):>8} "
-              f"{launches_cell:>14} {colors_cell:>11}  "
+              f"{launches_cell:>14} {colors_cell:>11} {imbal_cell:>12}  "
               f"{' '.join(flags)}")
         if flags:
             regressions.append((key, flags))
@@ -101,7 +157,7 @@ def main() -> int:
         print(f"{key[0]:<12} {key[1]:<28} (only in after)")
 
     print()
-    gating = [(key, [f for f in flags if f != "SLOWER"])
+    gating = [(key, [f for f in flags if f in GATING_FLAGS])
               for key, flags in regressions]
     gating = [(key, flags) for key, flags in gating if flags]
     if regressions:
@@ -111,10 +167,169 @@ def main() -> int:
             print(f"  {key[0]}/{key[1]}: {', '.join(flags)}")
     else:
         print(f"no regressions across {len(common)} pairs "
-              f"(ms tolerance {args.ms_tolerance:.0%})")
-    if args.gate and gating:
+              f"(ms tolerance {ms_tolerance:.0%})")
+    if gate and gating:
         return 1
     return 0
+
+
+def fmt_delta(before: float, after: float) -> str:
+    if before == 0:
+        return "n/a"
+    pct = 100.0 * (after - before) / before
+    return f"{pct:+.1f}%"
+
+
+# ---------------------------------------------------------------------------
+# --self-test: exercise the flag/gate logic on synthetic reports so CI tests
+# the gate script itself, not just the reports it reads.
+# ---------------------------------------------------------------------------
+
+def _record(dataset="d", algorithm="a", ms=10.0, launches=5, colors=4,
+            valid=True, kernels=None) -> dict:
+    return {
+        "dataset": dataset, "algorithm": algorithm, "ms": ms, "ms_min": ms,
+        "colors": colors, "iterations": 3, "kernel_launches": launches,
+        "conflicts_resolved": 0, "valid": valid,
+        "metrics": {"kernels": kernels or {}},
+    }
+
+
+def _doc(records, schema="gcol-bench-v2", meta=None) -> dict:
+    doc = {"schema": schema, "bench": "self_test", "scale": 0.01, "runs": 1,
+           "seed": 1, "records": records}
+    if meta is not None:
+        doc["meta"] = meta
+    return doc
+
+
+def _run_compare(base_doc, after_doc, gate=True, capture=None):
+    import contextlib
+    import io
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = compare(base_doc, after_doc, "<base>", "<after>",
+                       ms_tolerance=0.25, imbalance_tolerance=0.25,
+                       gate=gate)
+    if capture is not None:
+        capture.append(out.getvalue())
+    return code
+
+
+def self_test() -> int:
+    failures = []
+
+    def check(name, condition):
+        print(f"  {'ok' if condition else 'FAIL'}: {name}")
+        if not condition:
+            failures.append(name)
+
+    print("bench_diff --self-test")
+
+    # Identical reports pass the gate.
+    base = _doc([_record()])
+    check("identical reports gate clean",
+          _run_compare(base, _doc([_record()])) == 0)
+
+    # Each deterministic regression fails the gate.
+    check("LAUNCHES+ gates",
+          _run_compare(base, _doc([_record(launches=6)])) == 1)
+    check("COLORS+ gates",
+          _run_compare(base, _doc([_record(colors=5)])) == 1)
+    check("INVALID gates",
+          _run_compare(base, _doc([_record(valid=False)])) == 1)
+
+    # Launch/color DECREASES are improvements, not regressions.
+    check("fewer launches/colors gate clean",
+          _run_compare(base, _doc([_record(launches=4, colors=3)])) == 0)
+
+    # SLOWER is advisory: flagged in output, exit 0 under --gate.
+    out = []
+    code = _run_compare(base, _doc([_record(ms=100.0)]), capture=out)
+    check("SLOWER stays advisory", code == 0 and "SLOWER" in out[0])
+
+    # Without --gate even deterministic regressions exit 0.
+    check("no --gate never fails",
+          _run_compare(base, _doc([_record(valid=False)]), gate=False) == 0)
+
+    # IMBALANCE+ is advisory and fires only on a real worsening.
+    def with_imbalance(ratio):
+        return _doc([_record(kernels={
+            "k": {"launches": 5, "items": 100, "total_ms": 9.0,
+                  "busy_max_over_mean": ratio}})])
+    out = []
+    code = _run_compare(with_imbalance(1.0), with_imbalance(2.0), capture=out)
+    check("IMBALANCE+ flagged advisory",
+          code == 0 and "IMBALANCE+" in out[0])
+    out = []
+    code = _run_compare(with_imbalance(1.0), with_imbalance(1.1), capture=out)
+    check("imbalance within tolerance unflagged",
+          code == 0 and "IMBALANCE+" not in out[0])
+    out = []
+    code = _run_compare(base, with_imbalance(3.0), capture=out)
+    check("imbalance skipped when baseline lacks telemetry",
+          code == 0 and "IMBALANCE+" not in out[0])
+
+    # Time-weighting: a skewed hot kernel dominates a balanced cold one.
+    hot_cold = _doc([_record(kernels={
+        "hot": {"launches": 1, "items": 10, "total_ms": 99.0,
+                "busy_max_over_mean": 4.0},
+        "cold": {"launches": 1, "items": 10, "total_ms": 1.0,
+                 "busy_max_over_mean": 1.0}})])
+    imbal = record_imbalance(hot_cold["records"][0])
+    check("record imbalance is time-weighted",
+          imbal is not None and 3.9 < imbal < 4.0)
+
+    # Meta mismatch is reported.
+    out = []
+    _run_compare(_doc([_record()], meta={"workers": 1}),
+                 _doc([_record()], meta={"workers": 4}), capture=out)
+    check("meta mismatch printed", "meta.workers" in out[0])
+    out = []
+    _run_compare(_doc([_record()], meta={"workers": 4}),
+                 _doc([_record()], meta={"workers": 4}), capture=out)
+    check("matching meta silent", "meta.workers" not in out[0])
+
+    # v1 reports (no meta, no imbalance fields) still compare.
+    v1 = _doc([_record()], schema="gcol-bench-v1")
+    check("v1 vs v2 compares", _run_compare(v1, base) == 0)
+
+    if failures:
+        print(f"self-test FAILED: {len(failures)} case(s)")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("after", nargs="?")
+    parser.add_argument("--ms-tolerance", type=float, default=0.25,
+                        help="relative ms increase tolerated as noise "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--imbalance-tolerance", type=float, default=0.25,
+                        help="relative per-record imbalance increase "
+                             "tolerated before the advisory IMBALANCE+ flag "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit non-zero on deterministic regressions "
+                             "(LAUNCHES+/COLORS+/INVALID; SLOWER and "
+                             "IMBALANCE+ stay advisory)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the script's own unit tests and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.after is None:
+        parser.error("baseline and after reports are required "
+                     "(or pass --self-test)")
+
+    base_doc = load_doc(args.baseline)
+    after_doc = load_doc(args.after)
+    return compare(base_doc, after_doc, args.baseline, args.after,
+                   args.ms_tolerance, args.imbalance_tolerance, args.gate)
 
 
 if __name__ == "__main__":

@@ -7,6 +7,7 @@
 #include "gunrock/enactor.hpp"
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
+#include "obs/trace.hpp"
 #include "sim/atomics.hpp"
 #include "sim/rng.hpp"
 #include "sim/timer.hpp"
@@ -101,7 +102,7 @@ Coloring distance2_color(const graph::Csr& csr,
   } else {
     std::vector<std::int64_t> priority(un);
     const sim::CounterRng rng(options.seed, 0xD257);
-    device.parallel_for(n, [&](std::int64_t v) {
+    device.launch("distance2::priority_init", n, [&](std::int64_t v) {
       priority[static_cast<std::size_t>(v)] =
           (static_cast<std::int64_t>(
                rng.uniform_int31(static_cast<std::uint64_t>(v)))
@@ -116,6 +117,7 @@ Coloring distance2_color(const graph::Csr& csr,
     const std::uint64_t launches_before = device.launch_count();
     gr::Enactor enactor(device, options.max_iterations);
     const gr::EnactorStats stats = enactor.enact([&](std::int32_t) {
+      const obs::ScopedPhase phase("distance2::round");
       gr::compute(device, frontier, [&](vid_t v) {
         const auto uv = static_cast<std::size_t>(v);
         if (snapshot[uv] != kUncolored) return;
@@ -131,7 +133,7 @@ Coloring distance2_color(const graph::Csr& csr,
         if (blocked) return;
         colors[uv] = min_available(v, snapshot.data());
       });
-      device.parallel_for(n, [&](std::int64_t i) {
+      device.launch("distance2::publish_snapshot", n, [&](std::int64_t i) {
         snapshot[static_cast<std::size_t>(i)] =
             colors[static_cast<std::size_t>(i)];
       });

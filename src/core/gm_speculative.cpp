@@ -9,6 +9,7 @@
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/atomics.hpp"
 #include "sim/timer.hpp"
 
@@ -52,6 +53,7 @@ Coloring gm_speculative_color(const graph::Csr& csr,
   const std::uint64_t launches_before = device.launch_count();
   gr::Enactor enactor(device, options.max_iterations);
   const gr::EnactorStats stats = enactor.enact([&](std::int32_t) {
+    const obs::ScopedPhase phase("gm::round");
     // Sequential tail: below the threshold the coordination cost of two
     // more parallel launches exceeds just finishing the stragglers.
     if (!active.is_all() && active.size() <= options.sequential_threshold) {

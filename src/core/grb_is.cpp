@@ -3,6 +3,7 @@
 #include "core/grb_common.hpp"
 #include "core/verify.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::color {
@@ -33,6 +34,7 @@ Coloring grb_is_color(const graph::Csr& csr, const GrbIsOptions& options) {
 
   std::int64_t colored_total = 0;
   for (std::int32_t color = 1; color <= options.max_iterations; ++color) {
+    const obs::ScopedPhase phase("grb_is::round");
     // Find max of neighbors (l.8).
     grb::vxm(max, nullptr, grb::max_times_semiring<Weight>(), weight, a);
     // Find all largest uncolored nodes (l.9); union semantics make
@@ -59,7 +61,7 @@ Coloring grb_is_color(const graph::Csr& csr, const GrbIsOptions& options) {
 
   // Export: paper colors are 1-based with 0 = uncolored.
   const auto cv = c.dense_values();
-  device.parallel_for(n, [&](std::int64_t i) {
+  device.launch("grb_is::export_colors", n, [&](std::int64_t i) {
     const std::int32_t paper_color = cv[static_cast<std::size_t>(i)];
     result.colors[static_cast<std::size_t>(i)] =
         paper_color == 0 ? kUncolored : paper_color - 1;

@@ -7,6 +7,7 @@
 #include "core/grb_common.hpp"
 #include "core/verify.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/advance.hpp"
 #include "sim/bitops.hpp"
 #include "sim/scratch.hpp"
@@ -172,6 +173,7 @@ Coloring grb_jpl_color(const graph::Csr& csr, const GrbJplOptions& options) {
   std::int64_t colored_total = 0;
   std::int32_t max_color = 0;
   for (std::int32_t round = 1; round <= options.max_iterations; ++round) {
+    const obs::ScopedPhase phase("grb_jpl::round");
     // Select the independent set exactly as Algorithm 2 does.
     grb::vxm(max, nullptr, grb::max_times_semiring<Weight>(), weight, a);
     grb::eWiseAdd(frontier, nullptr, grb::Greater{}, weight, max);
@@ -198,7 +200,7 @@ Coloring grb_jpl_color(const graph::Csr& csr, const GrbJplOptions& options) {
   result.kernel_launches = device.launch_count() - launches_before;
 
   const auto cv = c.dense_values();
-  device.parallel_for(n, [&](std::int64_t i) {
+  device.launch("grb_jpl::export_colors", n, [&](std::int64_t i) {
     const std::int32_t paper_color = cv[static_cast<std::size_t>(i)];
     result.colors[static_cast<std::size_t>(i)] =
         paper_color == 0 ? kUncolored : paper_color - 1;

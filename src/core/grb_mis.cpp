@@ -3,6 +3,7 @@
 #include "core/grb_common.hpp"
 #include "core/verify.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::color {
@@ -64,6 +65,7 @@ Coloring grb_mis_color(const graph::Csr& csr, const GrbMisOptions& options) {
 
   std::int64_t colored_total = 0;
   for (std::int32_t color = 1; color <= options.max_iterations; ++color) {
+    const obs::ScopedPhase phase("grb_mis::round");
     // Inner loop operates on a copy: knocked-out neighbors must stay
     // colorable in later outer rounds.
     cand = weight;
@@ -86,7 +88,7 @@ Coloring grb_mis_color(const graph::Csr& csr, const GrbMisOptions& options) {
   result.kernel_launches = device.launch_count() - launches_before;
 
   const auto cv = c.dense_values();
-  device.parallel_for(n, [&](std::int64_t i) {
+  device.launch("grb_mis::export_colors", n, [&](std::int64_t i) {
     const std::int32_t paper_color = cv[static_cast<std::size_t>(i)];
     result.colors[static_cast<std::size_t>(i)] =
         paper_color == 0 ? kUncolored : paper_color - 1;

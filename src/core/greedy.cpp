@@ -6,6 +6,7 @@
 #include "core/ordering.hpp"
 #include "core/verify.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "sim/rng.hpp"
 #include "sim/timer.hpp"
@@ -51,6 +52,7 @@ Coloring greedy_color(const graph::Csr& csr, const GreedyOptions& options) {
     result.colors[static_cast<std::size_t>(v)] = color;
   };
 
+  const obs::ScopedPhase phase("greedy::color");
   device.host_pass("greedy_color", [&] {
   if (options.order == GreedyOrder::kIncidenceDegree) {
     // Dynamic ordering: always color the vertex with the most colored

@@ -9,6 +9,7 @@
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/atomics.hpp"
 #include "sim/rng.hpp"
 #include "sim/timer.hpp"
@@ -48,7 +49,7 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
 
   std::vector<std::int32_t> random(un);
   const sim::CounterRng rng(options.seed);
-  device.parallel_for(n, [&](std::int64_t v) {
+  device.launch("gunrock_ar::init_random", n, [&](std::int64_t v) {
     random[static_cast<std::size_t>(v)] =
         rng.uniform_int31(static_cast<std::uint64_t>(v));
   });
@@ -63,6 +64,7 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
   const std::uint64_t launches_before = device.launch_count();
   gr::Enactor enactor(device, options.max_iterations);
   const gr::EnactorStats stats = enactor.enact([&](std::int32_t iteration) {
+    const obs::ScopedPhase phase("gunrock_ar::round");
     result.metrics.push("frontier", frontier.size());
     // The fused neighbor-reduce colors sources inline while other workers
     // are still reading their neighborhoods, so (as in Algorithm 5 line 26)

@@ -8,6 +8,7 @@
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/atomics.hpp"
 #include "sim/reduce.hpp"
 #include "sim/rng.hpp"
@@ -41,7 +42,7 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
 
   std::vector<std::int32_t> random(un);
   const sim::CounterRng rng(options.seed);
-  device.parallel_for(n, [&](std::int64_t v) {
+  device.launch("gunrock_hash::init_random", n, [&](std::int64_t v) {
     random[static_cast<std::size_t>(v)] =
         rng.uniform_int31(static_cast<std::uint64_t>(v));
   });
@@ -93,6 +94,7 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
   const std::uint64_t launches_before = device.launch_count();
   gr::Enactor enactor(device, options.max_iterations);
   const gr::EnactorStats stats = enactor.enact([&](std::int32_t iteration) {
+    const obs::ScopedPhase phase("gunrock_hash::round");
     // HashColorOp (Algorithm 6): every uncolored vertex proposes colors for
     // the max- and min-priority members of {itself} U uncolored neighbors.
     gr::compute(device, frontier, [&](vid_t v) {

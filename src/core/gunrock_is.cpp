@@ -8,6 +8,7 @@
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/atomics.hpp"
 #include "sim/rng.hpp"
 #include "sim/timer.hpp"
@@ -43,7 +44,7 @@ Coloring gunrock_is_color(const graph::Csr& csr,
   // Initialize R <- generateRandomNumbers (Algorithm 5 line 7).
   std::vector<std::int32_t> random(un);
   const sim::CounterRng rng(options.seed);
-  device.parallel_for(n, [&](std::int64_t v) {
+  device.launch("gunrock_is::init_random", n, [&](std::int64_t v) {
     random[static_cast<std::size_t>(v)] =
         rng.uniform_int31(static_cast<std::uint64_t>(v));
   });
@@ -57,6 +58,7 @@ Coloring gunrock_is_color(const graph::Csr& csr,
   const std::uint64_t launches_before = device.launch_count();
   gr::Enactor enactor(device, options.max_iterations);
   const gr::EnactorStats stats = enactor.enact([&](std::int32_t iteration) {
+    const obs::ScopedPhase phase("gunrock_is::round");
     // ColorOp (Algorithm 5 lines 15-43): one thread per vertex, serial
     // neighbor loop — deliberately NOT load balanced.
     const std::int32_t color = 2 * iteration;

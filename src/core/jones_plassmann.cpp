@@ -9,6 +9,7 @@
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/atomics.hpp"
 #include "sim/rng.hpp"
 #include "sim/timer.hpp"
@@ -44,7 +45,7 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
   const sim::CounterRng rng(options.seed);
   switch (options.priority) {
     case JpPriority::kRandom:
-      device.parallel_for(n, [&](std::int64_t v) {
+      device.launch("jp::priority_random", n, [&](std::int64_t v) {
         priority[static_cast<std::size_t>(v)] =
             (static_cast<std::int64_t>(
                  rng.uniform_int31(static_cast<std::uint64_t>(v)))
@@ -53,7 +54,7 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
       });
       break;
     case JpPriority::kLargestDegreeFirst:
-      device.parallel_for(n, [&](std::int64_t v) {
+      device.launch("jp::priority_degree", n, [&](std::int64_t v) {
         priority[static_cast<std::size_t>(v)] =
             (static_cast<std::int64_t>(csr.degree(static_cast<vid_t>(v)))
              << 32) |
@@ -88,7 +89,7 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
               ? csr.max_degree() + 1
               : csr.degree(by_degree[std::min(
                     cutoff_index, static_cast<std::size_t>(n) - 1)]);
-      device.parallel_for(n, [&](std::int64_t v) {
+      device.launch("jp::priority_hybrid", n, [&](std::int64_t v) {
         const vid_t degree = csr.degree(static_cast<vid_t>(v));
         const std::int64_t head =
             degree >= threshold ? static_cast<std::int64_t>(degree) + 1 : 0;
@@ -115,6 +116,7 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
   const std::uint64_t launches_before = device.launch_count();
   gr::Enactor enactor(device, options.max_iterations);
   const gr::EnactorStats stats = enactor.enact([&](std::int32_t) {
+    const obs::ScopedPhase phase("jp::round");
     result.metrics.push("frontier", frontier.size());
     // A vertex colors itself with its minimum available color once no
     // snapshot-uncolored neighbor outranks it. Two adjacent vertices can

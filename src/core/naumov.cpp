@@ -5,6 +5,7 @@
 
 #include "core/verify.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/atomics.hpp"
 #include "sim/device.hpp"
 #include "sim/rng.hpp"
@@ -73,6 +74,7 @@ Coloring naumov_jpl_color(const graph::Csr& csr,
   const std::uint64_t launches_before = device.launch_count();
   for (std::int32_t iteration = 0; iteration < options.max_iterations;
        ++iteration) {
+    const obs::ScopedPhase phase("naumov::jpl_round");
     // One kernel: every uncolored vertex checks whether it holds the local
     // hash maximum among uncolored neighbors; re-randomized every iteration.
     // The loop-termination count rides in the same launch.
@@ -138,6 +140,7 @@ Coloring naumov_cc_color(const graph::Csr& csr,
   const std::uint64_t launches_before = device.launch_count();
   for (std::int32_t iteration = 0; iteration < options.max_iterations;
        ++iteration) {
+    const obs::ScopedPhase phase("naumov::cc_round");
     const std::int32_t color_base = iteration * 2 * num_hashes;
     const std::int64_t uncolored = color_pass_count_uncolored(
         device, "naumov::cc_color", n, colors, [&](std::int64_t vi) {

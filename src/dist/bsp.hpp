@@ -87,7 +87,7 @@ BspStats run_bsp(sim::Device& device, std::vector<State>& states, Step step,
   std::vector<std::uint8_t> active(unum_ranks, 1);
   for (std::int32_t superstep = 0; superstep < max_supersteps; ++superstep) {
     ++stats.supersteps;
-    device.parallel_for(num_ranks, [&](std::int64_t r) {
+    device.launch("bsp::superstep", num_ranks, [&](std::int64_t r) {
       const auto ur = static_cast<std::size_t>(r);
       Mailbox<Payload> mailbox(static_cast<rank_t>(r), num_ranks,
                                &inboxes[ur], &outboxes[ur]);

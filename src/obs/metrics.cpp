@@ -1,5 +1,9 @@
 #include "obs/metrics.hpp"
 
+#include <cmath>
+
+#include "obs/trace.hpp"
+
 namespace gcol::obs {
 
 namespace {
@@ -14,6 +18,37 @@ std::size_t find_name(const std::vector<std::string>& names,
 }
 
 }  // namespace
+
+double KernelStat::items_cov() const noexcept {
+  if (slot_samples == 0) return 0.0;
+  const double n = static_cast<double>(slot_samples);
+  const double mean = static_cast<double>(telemetry_items) / n;
+  if (mean <= 0.0) return 0.0;
+  const double variance = telemetry_items_sq / n - mean * mean;
+  return variance > 0.0 ? std::sqrt(variance) / mean : 0.0;
+}
+
+void KernelStat::accumulate_telemetry(const sim::LaunchInfo& info) {
+  ++telemetry_launches;
+  slot_samples += info.slots;
+  double launch_busy = 0.0;
+  double launch_max = 0.0;
+  for (unsigned s = 0; s < info.slots; ++s) {
+    const sim::SlotTelemetry& t = info.slot_telemetry[s];
+    telemetry_items += t.items;
+    const double slot_items = static_cast<double>(t.items);
+    telemetry_items_sq += slot_items * slot_items;
+    const double busy = t.end_ms - t.start_ms;
+    launch_busy += busy;
+    if (busy > launch_max) launch_max = busy;
+    const double wait = info.elapsed_ms - t.end_ms;
+    if (wait > 0.0) wait_ms += wait;
+  }
+  busy_ms += launch_busy;
+  busy_max_ms += launch_max;
+  busy_mean_ms += launch_busy / static_cast<double>(info.slots);
+  span_ms += static_cast<double>(info.slots) * info.elapsed_ms;
+}
 
 void Metrics::add_counter(std::string_view name, std::int64_t delta) {
   const std::size_t i = find_name(counter_names_, name);
@@ -31,6 +66,7 @@ std::int64_t Metrics::counter(std::string_view name) const {
 }
 
 void Metrics::push(std::string_view series, std::int64_t value) {
+  trace_counter(series, value);
   const std::size_t i = find_name(series_names_, series);
   if (i == series_names_.size()) {
     series_names_.emplace_back(series);
@@ -57,6 +93,24 @@ void Metrics::record_kernel(std::string_view name, std::int64_t items,
   ++stat.launches;
   stat.items += items;
   stat.total_ms += ms;
+}
+
+void Metrics::record_kernel(const sim::LaunchInfo& info) {
+  const std::size_t i = find_name(kernel_names_, info.name);
+  KernelStat* stat;
+  if (i == kernel_names_.size()) {
+    kernel_names_.emplace_back(info.name);
+    kernel_stats_.push_back({});
+    stat = &kernel_stats_.back();
+  } else {
+    stat = &kernel_stats_[i];
+  }
+  ++stat->launches;
+  stat->items += info.items;
+  stat->total_ms += info.elapsed_ms;
+  if (info.slot_telemetry != nullptr && info.slots > 0) {
+    stat->accumulate_telemetry(info);
+  }
 }
 
 const KernelStat* Metrics::kernel(std::string_view name) const {
@@ -90,9 +144,18 @@ void Metrics::merge(const Metrics& other) {
     add_counter(other.counter_names_[i], other.counter_values_[i]);
   }
   for (std::size_t i = 0; i < other.series_names_.size(); ++i) {
-    for (const std::int64_t value : other.series_values_[i]) {
-      push(other.series_names_[i], value);
+    // Appends directly instead of via push(): a merge replays recorded
+    // samples, it is not a live measurement, so nothing is forwarded to an
+    // active trace's counter tracks.
+    const std::size_t k = find_name(series_names_, other.series_names_[i]);
+    if (k == series_names_.size()) {
+      series_names_.push_back(other.series_names_[i]);
+      series_values_.push_back(other.series_values_[i]);
+      continue;
     }
+    std::vector<std::int64_t>& mine = series_values_[k];
+    mine.insert(mine.end(), other.series_values_[i].begin(),
+                other.series_values_[i].end());
   }
   for (std::size_t i = 0; i < other.kernel_names_.size(); ++i) {
     const KernelStat& theirs = other.kernel_stats_[i];
@@ -106,6 +169,15 @@ void Metrics::merge(const Metrics& other) {
     mine.launches += theirs.launches;
     mine.items += theirs.items;
     mine.total_ms += theirs.total_ms;
+    mine.telemetry_launches += theirs.telemetry_launches;
+    mine.slot_samples += theirs.slot_samples;
+    mine.telemetry_items += theirs.telemetry_items;
+    mine.telemetry_items_sq += theirs.telemetry_items_sq;
+    mine.busy_ms += theirs.busy_ms;
+    mine.busy_max_ms += theirs.busy_max_ms;
+    mine.busy_mean_ms += theirs.busy_mean_ms;
+    mine.wait_ms += theirs.wait_ms;
+    mine.span_ms += theirs.span_ms;
   }
 }
 
@@ -137,6 +209,12 @@ Json Metrics::to_json() const {
       entry.set("launches", stat.launches);
       entry.set("items", stat.items);
       entry.set("total_ms", stat.total_ms);
+      if (stat.telemetry_launches > 0) {
+        entry.set("busy_ms", stat.busy_ms);
+        entry.set("busy_max_over_mean", stat.busy_max_over_mean());
+        entry.set("barrier_wait_share", stat.barrier_wait_share());
+        entry.set("items_cov", stat.items_cov());
+      }
       kernels.set(kernel_names_[i], std::move(entry));
     }
     out.set("kernels", std::move(kernels));

@@ -26,11 +26,48 @@
 
 namespace gcol::obs {
 
-/// Aggregate over every launch of one named kernel.
+/// Aggregate over every launch of one named kernel. Besides the original
+/// launch/item/time totals, launches observed with per-slot telemetry fold in
+/// the sums needed to derive the three load-imbalance metrics the paper's
+/// comparative analysis turns on (see DESIGN.md §3c):
+///   max/mean busy ratio  — how much slower the straggler slot is than the
+///                          average slot (1.0 = perfectly balanced);
+///   barrier-wait share   — fraction of aggregate slot-time spent waiting at
+///                          the launch barrier for stragglers;
+///   items CoV            — coefficient of variation of per-slot item counts
+///                          (work-distribution skew independent of timing).
+/// All are accumulated as plain sums so KernelStats merge losslessly.
 struct KernelStat {
   std::uint64_t launches = 0;  ///< times this kernel was launched
   std::int64_t items = 0;      ///< total work items across launches
   double total_ms = 0.0;       ///< total wall time including barriers
+
+  // ---- per-slot telemetry sums (only launches that carried telemetry) ----
+  std::uint64_t telemetry_launches = 0;  ///< launches with slot telemetry
+  std::uint64_t slot_samples = 0;        ///< Σ slots over those launches
+  std::int64_t telemetry_items = 0;      ///< Σ per-slot items
+  double telemetry_items_sq = 0.0;       ///< Σ per-slot items² (for CoV)
+  double busy_ms = 0.0;          ///< Σ per-slot busy time (end - start)
+  double busy_max_ms = 0.0;      ///< Σ per-launch max slot busy time
+  double busy_mean_ms = 0.0;     ///< Σ per-launch mean slot busy time
+  double wait_ms = 0.0;          ///< Σ per-slot barrier wait (T - end)
+  double span_ms = 0.0;          ///< Σ per-launch slots × T (wait denominator)
+
+  /// Max/mean busy-time ratio across telemetered launches, time-weighted by
+  /// launch (Σ max) / (Σ mean); 1.0 when no telemetry or perfectly balanced.
+  [[nodiscard]] double busy_max_over_mean() const noexcept {
+    return busy_mean_ms > 0.0 ? busy_max_ms / busy_mean_ms : 1.0;
+  }
+  /// Fraction of aggregate slot-time spent waiting at launch barriers.
+  [[nodiscard]] double barrier_wait_share() const noexcept {
+    return span_ms > 0.0 ? wait_ms / span_ms : 0.0;
+  }
+  /// Coefficient of variation (stddev/mean) of per-slot item counts.
+  [[nodiscard]] double items_cov() const noexcept;
+
+  /// Folds one telemetered launch into the aggregates. `info.slot_telemetry`
+  /// must be non-null.
+  void accumulate_telemetry(const sim::LaunchInfo& info);
 };
 
 class Metrics {
@@ -44,7 +81,10 @@ class Metrics {
   }
 
   // ---- per-iteration series -----------------------------------------------
-  /// Appends one sample to the named series (creating it on first use).
+  /// Appends one sample to the named series (creating it on first use). When
+  /// a TraceSession is active the sample is also forwarded as a counter-track
+  /// event, so frontier/colored trajectories appear on the trace timeline
+  /// without extra instrumentation (merge() replay does NOT re-forward).
   void push(std::string_view series, std::int64_t value);
   /// The series' samples; nullptr when it was never pushed to.
   [[nodiscard]] const std::vector<std::int64_t>* series(
@@ -55,6 +95,9 @@ class Metrics {
 
   // ---- per-kernel launch aggregates ---------------------------------------
   void record_kernel(std::string_view name, std::int64_t items, double ms);
+  /// Records a launch from the device listener stream, folding per-slot
+  /// telemetry into the imbalance aggregates when the info carries it.
+  void record_kernel(const sim::LaunchInfo& info);
   [[nodiscard]] const KernelStat* kernel(std::string_view name) const;
   [[nodiscard]] const std::vector<std::string>& kernel_names() const noexcept {
     return kernel_names_;
@@ -75,8 +118,10 @@ class Metrics {
   void merge(const Metrics& other);
 
   /// Stable schema: {"counters": {...}, "series": {...}, "kernels":
-  /// {name: {"launches": N, "items": N, "total_ms": F}}}. Empty sections are
-  /// omitted so untouched metrics serialize as {}.
+  /// {name: {"launches": N, "items": N, "total_ms": F, ...}}}. Kernels with
+  /// telemetry additionally carry "busy_max_over_mean", "barrier_wait_share"
+  /// and "items_cov" (the gcol-bench-v2 imbalance triple). Empty sections
+  /// are omitted so untouched metrics serialize as {}.
   [[nodiscard]] Json to_json() const;
 
  private:
@@ -109,7 +154,7 @@ class ScopedDeviceMetrics final : public sim::LaunchListener {
   ScopedDeviceMetrics& operator=(const ScopedDeviceMetrics&) = delete;
 
   void on_kernel_launch(const sim::LaunchInfo& info) override {
-    metrics_.record_kernel(info.name, info.items, info.elapsed_ms);
+    metrics_.record_kernel(info);
   }
 
  private:

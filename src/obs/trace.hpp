@@ -1,0 +1,142 @@
+#pragma once
+// Execution tracing for the virtual-GPU substrate: a TraceSession records
+// kernel launches (with per-worker-slot spans from the device's slot
+// telemetry), algorithm phases, and counter samples, and exports the Chrome
+// trace-event JSON flavor that ui.perfetto.dev and chrome://tracing load
+// directly. This is the timeline view of the same evidence obs::Metrics
+// aggregates: where one launch's time went across workers, how barrier waits
+// stack up in the tail iterations, and how the frontier/colored trajectories
+// line up against the kernel stream.
+//
+// Track layout (one process, synthetic thread ids):
+//   tid 0      — "kernels": one span per launch, args carry items/slots and
+//                the launch's imbalance numbers;
+//   tid 1      — "phases": spans opened by ScopedPhase (outer iterations,
+//                datasets, algorithm runs); they nest like a call stack;
+//   tid 2 + s  — "worker s": the busy span of worker slot s inside each
+//                launch (empty slots are omitted);
+//   counters   — "C" events (frontier, colored, ...) forwarded automatically
+//                from Metrics::push while a session is active.
+//
+// A session installs itself as the device's *tracer* listener slot — the one
+// ScopedDeviceMetrics never swaps out — so a harness-level session observes
+// every launch of every algorithm run underneath it, while each run's scoped
+// Metrics still captures its own exclusive per-run aggregates. Sessions nest
+// (the inner one wins) and restore on destruction.
+//
+// All recording is host-thread-only, same as the device launch API itself.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/device.hpp"
+#include "sim/timer.hpp"
+
+namespace gcol::obs {
+
+class TraceSession final : public sim::LaunchListener {
+ public:
+  /// Starts the session clock and installs this session as `device`'s tracer
+  /// and as the process-current session (TraceSession::current()).
+  explicit TraceSession(sim::Device& device);
+  /// Convenience spelling for the global device.
+  TraceSession();
+  ~TraceSession() override;
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The innermost live session, or nullptr when tracing is off. One relaxed
+  /// atomic load — callers on the no-session path pay nothing else.
+  [[nodiscard]] static TraceSession* current() noexcept;
+
+  /// Opens / closes a phase span on the phase track. Phases close in LIFO
+  /// order (they are a call stack); end_phase with no open phase is a no-op.
+  /// Prefer the ScopedPhase RAII wrapper.
+  void begin_phase(std::string_view name);
+  void end_phase();
+
+  /// Records one sample of a named counter track at the current session time.
+  void counter(std::string_view name, std::int64_t value);
+
+  /// Device tracer callback: records the launch span plus one busy span per
+  /// participating worker slot.
+  void on_kernel_launch(const sim::LaunchInfo& info) override;
+
+  /// Events recorded so far (spans + counters, metadata excluded).
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return events_.size();
+  }
+
+  /// Milliseconds since the session started.
+  [[nodiscard]] double now_ms() const noexcept { return clock_.elapsed_ms(); }
+
+  /// The Chrome trace-event document: {"displayTimeUnit": "ms",
+  /// "traceEvents": [...]}, timestamps in microseconds. Phases still open at
+  /// export time are emitted as if they ended now (without closing them).
+  [[nodiscard]] Json to_json() const;
+
+  /// Serializes to_json() compactly to `path`; false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  struct Event {
+    enum class Kind : std::uint8_t { kSpan, kCounter };
+    Kind kind;
+    bool has_launch_args = false;  ///< span carries items/slots/imbalance
+    unsigned slots = 0;
+    std::int64_t tid = 0;
+    std::string name;
+    double begin_ms = 0.0;
+    double dur_ms = 0.0;          ///< spans only
+    std::int64_t value = 0;       ///< counters: sample; launch spans: items
+    double imbalance = 0.0;       ///< launch spans: max/mean slot busy time
+    double wait_share = 0.0;      ///< launch spans: barrier-wait share
+  };
+
+  struct OpenPhase {
+    std::string name;
+    double begin_ms;
+  };
+
+  static void append_event(Json& trace_events, const Event& event);
+
+  sim::Device& device_;
+  sim::Stopwatch clock_;
+  sim::LaunchListener* previous_tracer_;
+  TraceSession* previous_session_;
+  std::vector<Event> events_;
+  std::vector<OpenPhase> open_phases_;
+  std::int64_t max_worker_tid_ = 1;  ///< highest worker track emitted so far
+};
+
+/// RAII phase marker: opens a span on the phase track of the current
+/// TraceSession for the enclosing scope. When no session is active the cost
+/// is one relaxed atomic load — algorithms annotate their outer iterations
+/// unconditionally and pay nothing in untraced runs.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string_view name)
+      : session_(TraceSession::current()) {
+    if (session_ != nullptr) session_->begin_phase(name);
+  }
+  ~ScopedPhase() {
+    if (session_ != nullptr) session_->end_phase();
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  TraceSession* session_;
+};
+
+/// Records one counter sample on the current session; no-op (one relaxed
+/// load) when tracing is off. Metrics::push routes through this so series
+/// become counter tracks for free.
+void trace_counter(std::string_view name, std::int64_t value);
+
+}  // namespace gcol::obs

@@ -18,9 +18,13 @@ unsigned env_thread_count() {
 
 }  // namespace
 
-Device::Device() : pool_(env_thread_count()) {}
+Device::Device()
+    : pool_(env_thread_count()),
+      telemetry_(std::make_unique<SlotTelemetry[]>(pool_.size())) {}
 
-Device::Device(unsigned num_workers) : pool_(num_workers) {}
+Device::Device(unsigned num_workers)
+    : pool_(num_workers),
+      telemetry_(std::make_unique<SlotTelemetry[]>(pool_.size())) {}
 
 Device& Device::instance() {
   static Device device;

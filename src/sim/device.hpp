@@ -16,9 +16,16 @@
 // Observability: every launch can carry a static kernel name (launch /
 // launch_slots / host_pass), and an installed LaunchListener receives a
 // LaunchInfo record — name, work items, worker slots, wall time — after each
-// launch's barrier. obs::ScopedDeviceMetrics adapts this stream into the
-// per-algorithm Metrics payload. When no listener is installed the only cost
-// over the bare dispatch is one relaxed atomic load per launch.
+// launch's barrier. Two independent listener slots exist: the *metrics
+// listener* (scoped, exclusive — obs::ScopedDeviceMetrics swaps it per
+// algorithm run) and the *tracer* (long-lived — obs::TraceSession observes a
+// whole benchmark run without being masked by nested metric scopes). While
+// either is installed, launches additionally capture per-slot telemetry —
+// items processed, work-span start/end per worker slot — into a fixed
+// per-device scratch array (no allocation on the hot path; the load-balance
+// evidence behind the paper's Fig. 1 / Table II analysis). When neither is
+// installed the only cost over the bare dispatch is two relaxed atomic loads
+// per launch.
 
 #include <atomic>
 #include <cstdint>
@@ -47,12 +54,28 @@ enum class Schedule {
 /// listener reporting are unaffected.
 inline constexpr std::int64_t kInlineLaunchItems = 16;
 
+/// What one worker slot did inside one observed launch. Timestamps are
+/// milliseconds relative to the launch's start; `end_ms` is the slot's
+/// barrier-arrival time, so `launch elapsed - end_ms` is the time the slot
+/// spent waiting on stragglers and `end_ms - start_ms` is its busy span.
+/// Cache-line aligned so concurrent per-slot writes never false-share.
+struct alignas(64) SlotTelemetry {
+  std::int64_t items = 0;  ///< work items this slot processed
+  double start_ms = 0.0;   ///< slot began its work, relative to launch start
+  double end_ms = 0.0;     ///< slot finished its work (barrier arrival)
+};
+
 /// One completed kernel launch, as reported to a LaunchListener.
 struct LaunchInfo {
   const char* name;       ///< static kernel name ("jpl_color", "scan", ...)
   std::int64_t items;     ///< work items (n, or slot count for slot kernels)
   unsigned slots;         ///< worker slots that participated
   double elapsed_ms;      ///< wall time of the launch including its barrier
+  /// Per-slot telemetry records, indexable in [0, slots); nullptr when the
+  /// launch was not observed (synthetic LaunchInfo built by tests). The
+  /// array is the device's reusable scratch: valid only for the duration of
+  /// the listener callback.
+  const SlotTelemetry* slot_telemetry = nullptr;
 };
 
 /// Receives a LaunchInfo after every kernel launch completes. Notifications
@@ -92,6 +115,18 @@ class Device {
     return listener_.load(std::memory_order_acquire);
   }
 
+  /// Installs the tracer (nullptr to disable) and returns the previous one.
+  /// The tracer is a second, independent listener slot: it is notified after
+  /// the metrics listener and is NOT swapped out by ScopedDeviceMetrics, so
+  /// a TraceSession installed at harness level sees every launch of every
+  /// algorithm run underneath it.
+  LaunchListener* set_trace_listener(LaunchListener* tracer) noexcept {
+    return tracer_.exchange(tracer, std::memory_order_acq_rel);
+  }
+  [[nodiscard]] LaunchListener* trace_listener() const noexcept {
+    return tracer_.load(std::memory_order_acquire);
+  }
+
   /// Named kernel launch: body(i) for every i in [0, n), blocking until done
   /// (one kernel launch + global barrier). `body` must be safe to invoke
   /// concurrently from different workers for distinct i. The name must be a
@@ -103,17 +138,23 @@ class Device {
     if (n <= 0) return;
     launches_.fetch_add(1, std::memory_order_relaxed);
     LaunchListener* listener = launch_listener();
-    if (listener == nullptr) {
+    LaunchListener* tracer = trace_listener();
+    if (listener == nullptr && tracer == nullptr) {
       dispatch(n, body, schedule, chunk);
       return;
     }
     const Stopwatch watch;
-    dispatch(n, body, schedule, chunk);
+    dispatch_observed(n, body, schedule, chunk, watch);
     const unsigned slots = n <= kInlineLaunchItems ? 1u : pool_.size();
-    listener->on_kernel_launch({name, n, slots, watch.elapsed_ms()});
+    LaunchInfo info{name, n, slots, watch.elapsed_ms(), telemetry_.get()};
+    notify(listener, tracer, info);
   }
 
-  /// Unnamed compatibility spelling of launch().
+  /// Unnamed compatibility spelling of launch(). DEPRECATED: prefer a named
+  /// launch(...) — unnamed launches all aggregate under one "parallel_for"
+  /// placeholder in per-kernel tables and trace timelines, which defeats the
+  /// per-kernel attribution the profiler exists for. Kept only so external
+  /// callers and the listener-compat tests keep compiling.
   template <typename Body>
   void parallel_for(std::int64_t n, Body&& body,
                     Schedule schedule = Schedule::kStatic,
@@ -129,17 +170,28 @@ class Device {
     launches_.fetch_add(1, std::memory_order_relaxed);
     const unsigned workers = pool_.size();
     LaunchListener* listener = launch_listener();
-    if (listener == nullptr) {
+    LaunchListener* tracer = trace_listener();
+    if (listener == nullptr && tracer == nullptr) {
       dispatch_slots(body, workers);
       return;
     }
     const Stopwatch watch;
-    dispatch_slots(body, workers);
-    listener->on_kernel_launch({name, static_cast<std::int64_t>(workers),
-                                workers, watch.elapsed_ms()});
+    pool_.run([&](unsigned slot) {
+      SlotTelemetry& t = telemetry_[slot];
+      t.start_ms = watch.elapsed_ms();
+      body(slot, workers);
+      // The device cannot see how a slot kernel divides its work, so each
+      // participating slot counts as one item (summing to LaunchInfo.items).
+      t.items = 1;
+      t.end_ms = watch.elapsed_ms();
+    });
+    LaunchInfo info{name, static_cast<std::int64_t>(workers), workers,
+                    watch.elapsed_ms(), telemetry_.get()};
+    notify(listener, tracer, info);
   }
 
-  /// Unnamed compatibility spelling of launch_slots().
+  /// Unnamed compatibility spelling of launch_slots(). DEPRECATED: prefer a
+  /// named launch_slots(...) (see parallel_for).
   template <typename Body>
   void parallel_slots(Body&& body) {
     launch_slots("parallel_slots", std::forward<Body>(body));
@@ -153,13 +205,17 @@ class Device {
   void host_pass(const char* name, Fn&& fn) {
     launches_.fetch_add(1, std::memory_order_relaxed);
     LaunchListener* listener = launch_listener();
-    if (listener == nullptr) {
+    LaunchListener* tracer = trace_listener();
+    if (listener == nullptr && tracer == nullptr) {
       fn();
       return;
     }
     const Stopwatch watch;
     fn();
-    listener->on_kernel_launch({name, 1, 1u, watch.elapsed_ms()});
+    const double elapsed = watch.elapsed_ms();
+    telemetry_[0] = SlotTelemetry{1, 0.0, elapsed};
+    LaunchInfo info{name, 1, 1u, elapsed, telemetry_.get()};
+    notify(listener, tracer, info);
   }
 
   /// Number of kernel launches since construction or the last
@@ -174,6 +230,12 @@ class Device {
 
  private:
   Device();  // reads GCOL_THREADS / hardware_concurrency
+
+  static void notify(LaunchListener* listener, LaunchListener* tracer,
+                     const LaunchInfo& info) {
+    if (listener != nullptr) listener->on_kernel_launch(info);
+    if (tracer != nullptr) tracer->on_kernel_launch(info);
+  }
 
   template <typename Body>
   void dispatch(std::int64_t n, Body& body, Schedule schedule,
@@ -205,6 +267,54 @@ class Device {
     }
   }
 
+  /// The observed twin of dispatch(): identical work distribution, plus each
+  /// slot stamps {items, start, end} into its own telemetry entry. Telemetry
+  /// writes ride the pool barrier's release/acquire edge (and `watch` is
+  /// read-only after construction), so the host may read the whole array
+  /// race-free as soon as the launch returns. The unobserved path never
+  /// touches a clock or the telemetry array.
+  template <typename Body>
+  void dispatch_observed(std::int64_t n, Body& body, Schedule schedule,
+                         std::int64_t chunk, const Stopwatch& watch) {
+    const auto workers = static_cast<std::int64_t>(pool_.size());
+    if (workers == 1 || n <= kInlineLaunchItems) {
+      SlotTelemetry& t = telemetry_[0];
+      t.start_ms = watch.elapsed_ms();
+      for (std::int64_t i = 0; i < n; ++i) body(i);
+      t.items = n;
+      t.end_ms = watch.elapsed_ms();
+      return;
+    }
+    if (schedule == Schedule::kStatic) {
+      pool_.run([&](unsigned slot) {
+        SlotTelemetry& t = telemetry_[slot];
+        t.start_ms = watch.elapsed_ms();
+        const auto [begin, end] = slot_range(slot, pool_.size(), n);
+        for (std::int64_t i = begin; i < end; ++i) body(i);
+        t.items = end - begin;
+        t.end_ms = watch.elapsed_ms();
+      });
+    } else {
+      if (chunk <= 0) chunk = default_chunk(n, workers);
+      std::atomic<std::int64_t> next{0};
+      pool_.run([&](unsigned slot) {
+        SlotTelemetry& t = telemetry_[slot];
+        t.start_ms = watch.elapsed_ms();
+        std::int64_t claimed = 0;
+        for (;;) {
+          const std::int64_t begin =
+              next.fetch_add(chunk, std::memory_order_relaxed);
+          if (begin >= n) break;
+          const std::int64_t end = begin + chunk < n ? begin + chunk : n;
+          for (std::int64_t i = begin; i < end; ++i) body(i);
+          claimed += end - begin;
+        }
+        t.items = claimed;
+        t.end_ms = watch.elapsed_ms();
+      });
+    }
+  }
+
   template <typename Body>
   void dispatch_slots(Body& body, unsigned workers) {
     pool_.run([&](unsigned slot) { body(slot, workers); });
@@ -219,6 +329,12 @@ class Device {
   ScratchArena scratch_;
   std::atomic<std::uint64_t> launches_{0};
   std::atomic<LaunchListener*> listener_{nullptr};
+  std::atomic<LaunchListener*> tracer_{nullptr};
+  /// Fixed per-slot telemetry scratch, one entry per worker slot, reused by
+  /// every observed launch (the launch API is host-thread-only, so launches
+  /// never overlap). Heap-allocated once at construction; the hot path only
+  /// ever indexes it.
+  std::unique_ptr<SlotTelemetry[]> telemetry_;
 };
 
 }  // namespace gcol::sim

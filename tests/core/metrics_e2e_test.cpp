@@ -5,10 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "core/registry.hpp"
 #include "core/verify.hpp"
 #include "graph/build.hpp"
 #include "graph/generators/rgg.hpp"
+#include "obs/metrics.hpp"
+#include "sim/device.hpp"
 
 namespace gcol {
 namespace {
@@ -68,6 +73,93 @@ TEST_F(MetricsEndToEndTest, EveryFigure1AlgorithmReportsConsistentSeries) {
     // Each iteration of the outer loop pushes exactly one sample.
     EXPECT_EQ(frontier->size(), colored->size()) << spec->name;
     EXPECT_GE(static_cast<std::int64_t>(frontier->size()), 1) << spec->name;
+  }
+}
+
+/// Tracer-slot listener that checks, for every observed launch, that the
+/// per-slot telemetry is internally consistent: slot item counts sum to the
+/// launch's item total and every slot's busy window fits inside the launch.
+/// Installed on the tracer slot so the algorithms' own ScopedDeviceMetrics
+/// (which swaps the exclusive metrics-listener slot) cannot mask it.
+class TelemetryAuditor final : public sim::LaunchListener {
+ public:
+  explicit TelemetryAuditor(sim::Device& device)
+      : device_(device), previous_(device.set_trace_listener(this)) {}
+  ~TelemetryAuditor() override { device_.set_trace_listener(previous_); }
+
+  TelemetryAuditor(const TelemetryAuditor&) = delete;
+  TelemetryAuditor& operator=(const TelemetryAuditor&) = delete;
+
+  void on_kernel_launch(const sim::LaunchInfo& info) override {
+    ++launches_;
+    ASSERT_NE(info.slot_telemetry, nullptr) << info.name;
+    ASSERT_GE(info.slots, 1u) << info.name;
+    ASSERT_LE(info.slots, device_.num_workers()) << info.name;
+    std::int64_t slot_items = 0;
+    for (unsigned s = 0; s < info.slots; ++s) {
+      const sim::SlotTelemetry& t = info.slot_telemetry[s];
+      slot_items += t.items;
+      EXPECT_GE(t.items, 0) << info.name << " slot " << s;
+      EXPECT_GE(t.start_ms, 0.0) << info.name << " slot " << s;
+      EXPECT_GE(t.end_ms, t.start_ms) << info.name << " slot " << s;
+      EXPECT_LE(t.end_ms, info.elapsed_ms) << info.name << " slot " << s;
+    }
+    // The invariant the imbalance metrics rest on: no work item is lost or
+    // double-counted across slots, on any schedule, at any worker count.
+    EXPECT_EQ(slot_items, info.items) << info.name;
+  }
+
+  [[nodiscard]] std::uint64_t launches() const noexcept { return launches_; }
+
+ private:
+  sim::Device& device_;
+  sim::LaunchListener* previous_;
+  std::uint64_t launches_ = 0;
+};
+
+TEST_F(MetricsEndToEndTest, PerSlotTelemetrySumsMatchLaunchItemTotals) {
+  // Runs under the suite's worker matrix: the plain ctest entry exercises
+  // GCOL_THREADS=1 (inline/1-worker telemetry path) and the _mt4 entry
+  // GCOL_THREADS=4 (static, dynamic and slot-kernel paths).
+  auto& device = sim::Device::instance();
+  TelemetryAuditor auditor(device);
+  for (const color::AlgorithmSpec* spec : color::figure1_algorithms()) {
+    const std::uint64_t before = device.launch_count();
+    const color::Coloring result = spec->run(csr_, color::Options{});
+    ASSERT_TRUE(color::is_valid_coloring(csr_, result.colors)) << spec->name;
+    // Every counted launch was audited (HasFatalFailure surfaces per-launch
+    // assertion failures from inside the listener).
+    ASSERT_FALSE(::testing::Test::HasFatalFailure()) << spec->name;
+    EXPECT_GE(auditor.launches(), device.launch_count() - before)
+        << spec->name;
+  }
+  EXPECT_GT(auditor.launches(), 0u);
+}
+
+TEST_F(MetricsEndToEndTest, Figure1AlgorithmsReportImbalanceAggregates) {
+  // The gcol-bench-v2 contract: every Figure-1 algorithm's per-kernel stats
+  // carry the telemetry aggregates (the bench JSON derives its imbalance
+  // triple from them) because the run executed under a metrics listener.
+  for (const color::AlgorithmSpec* spec : color::figure1_algorithms()) {
+    const color::Coloring result = spec->run(csr_, color::Options{});
+    std::uint64_t telemetered = 0;
+    for (const std::string& name : result.metrics.kernel_names()) {
+      const obs::KernelStat* stat = result.metrics.kernel(name);
+      ASSERT_NE(stat, nullptr) << spec->name;
+      telemetered += stat->telemetry_launches;
+      if (stat->telemetry_launches == 0) continue;
+      EXPECT_EQ(stat->telemetry_launches, stat->launches)
+          << spec->name << "/" << name;
+      EXPECT_EQ(stat->telemetry_items, stat->items)
+          << spec->name << "/" << name;
+      EXPECT_GE(stat->slot_samples, stat->telemetry_launches)
+          << spec->name << "/" << name;
+      EXPECT_GE(stat->busy_max_over_mean(), 1.0) << spec->name << "/" << name;
+      EXPECT_GE(stat->barrier_wait_share(), 0.0) << spec->name << "/" << name;
+      EXPECT_LE(stat->barrier_wait_share(), 1.0) << spec->name << "/" << name;
+      EXPECT_GE(stat->items_cov(), 0.0) << spec->name << "/" << name;
+    }
+    EXPECT_GT(telemetered, 0u) << spec->name;
   }
 }
 
