@@ -151,6 +151,80 @@ BENCHMARK(BM_AdvanceRmat<gr::AdvancePolicy::kVertexChunked>)
 BENCHMARK(BM_AdvanceRmat<gr::AdvancePolicy::kEdgeBalanced>)
     ->DenseRange(12, 16, 2);
 
+// Frontier-rebuild representations (DESIGN.md §3d): the per-round frontier
+// compaction every frontier-driven algorithm pays. The sparse list goes
+// through the fused flag+count/scatter compaction (two launches, a scan and
+// a gather); the bitmap rebuild is ONE word-owner launch writing 64
+// membership decisions per word with no scatter at all.
+void BM_FrontierCompactList(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  const auto n = static_cast<vid_t>(state.range(0));
+  const gr::Frontier frontier = gr::Frontier::all(n);
+  std::vector<vid_t> spare;
+  for (auto _ : state) {
+    gr::Frontier next = gr::filter_into(
+        device, frontier, std::move(spare),
+        [](vid_t v) { return (v & 1) == 0; });
+    benchmark::DoNotOptimize(next.size());
+    spare = next.release_vertices();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrontierCompactList)->Range(1 << 12, 1 << 20);
+
+void BM_FrontierBitmapUpdate(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  const auto n = static_cast<vid_t>(state.range(0));
+  const gr::Frontier frontier =
+      gr::Frontier::all_bits(n, gr::FrontierMode::kAuto);
+  std::vector<std::uint64_t> spare;
+  for (auto _ : state) {
+    gr::Frontier next = gr::filter_bits(
+        device, frontier, std::move(spare),
+        [](vid_t v) { return (v & 1) == 0; });
+    benchmark::DoNotOptimize(next.size());
+    spare = next.release_words();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrontierBitmapUpdate)->Range(1 << 12, 1 << 20);
+
+// Push/pull crossover sweep (the gr::resolve_direction heuristic's subject):
+// bitmap advance over frontiers of density 1/k on a mid-size RGG, forced
+// push (word-skipping set-bit iteration + scattered atomic ORs) vs forced
+// pull (dense candidate pass with adjacency early-exit). Dense frontiers
+// (k small) should favor pull, sparse ones (k large) push; kAuto's
+// edge-work-vs-full-pass rule picks per launch.
+template <gr::FrontierMode mode>
+void BM_BitmapAdvance(benchmark::State& state) {
+  auto& device = sim::Device::instance();
+  const auto csr =
+      graph::build_csr(graph::generate_rgg(14, {.seed = 1}));
+  const vid_t n = csr.num_vertices;
+  std::vector<std::uint64_t> words(sim::words_for_bits(n), 0);
+  std::int64_t count = 0;
+  for (vid_t v = 0; v < n; v += static_cast<vid_t>(state.range(0))) {
+    words[static_cast<std::size_t>(v / 64)] |= std::uint64_t{1} << (v % 64);
+    ++count;
+  }
+  const gr::Frontier frontier =
+      gr::Frontier::bits(std::move(words), count, n, mode);
+  std::vector<std::uint64_t> buffer;
+  for (auto _ : state) {
+    gr::Frontier out =
+        gr::advance_bits(device, csr, frontier, std::move(buffer));
+    benchmark::DoNotOptimize(out.size());
+    buffer = out.release_words();
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_BitmapAdvance<gr::FrontierMode::kBitmapPush>)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_BitmapAdvance<gr::FrontierMode::kBitmapPull>)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_BitmapAdvance<gr::FrontierMode::kAuto>)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
 // Palette representations (DESIGN.md "Palette representations"): the
 // min-color kernel run per vertex per round by every first-fit algorithm,
 // dense array vs bit-packed windowed, as a function of degree. The dense

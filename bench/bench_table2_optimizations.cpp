@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     const color::AlgorithmSpec* spec = color::find_algorithm(row.algorithm);
     const bench::Measurement m =
-        bench::run_averaged(*spec, csr, args.seed, args.runs);
+        bench::run_averaged(*spec, csr, args.seed, args.runs, args.frontier_mode);
     if (!m.valid) {
       std::fprintf(stderr, "INVALID coloring from %s\n", row.algorithm);
       return 1;
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
   for (const Row& row : palette_rows) {
     const color::AlgorithmSpec* spec = color::find_algorithm(row.algorithm);
     const bench::Measurement m =
-        bench::run_averaged(*spec, csr, args.seed, args.runs);
+        bench::run_averaged(*spec, csr, args.seed, args.runs, args.frontier_mode);
     if (!m.valid) {
       std::fprintf(stderr, "INVALID coloring from %s\n", row.algorithm);
       return 1;
@@ -111,6 +111,53 @@ int main(int argc, char** argv) {
     previous_ms = m.ms_avg;
   }
   palette_table.print();
+
+  // Frontier-representation ablation (DESIGN.md §3d): the four
+  // frontier-driven algorithms under the sparse compact-list engine (the
+  // pre-bitmap behavior, what BENCH_baseline.json records) vs the
+  // direction-optimized bitmap engine under kAuto (the default, what
+  // BENCH_after.json records). The bitmap rows should win on launches —
+  // the rebuild is one word-owner kernel instead of a flag/scan/scatter
+  // chain — with byte-identical colors at 1 worker.
+  std::printf("\n== Frontier ablation: sparse list vs direction-optimized "
+              "bitmap ==\n\n");
+  const char* frontier_algos[] = {"jp_random", "gunrock_is", "gunrock_hash",
+                                  "gunrock_ar"};
+  const struct {
+    const char* label;
+    gr::FrontierMode mode;
+  } frontier_modes[] = {
+      {"sparse", gr::FrontierMode::kSparse},
+      {"bitmap-push", gr::FrontierMode::kBitmapPush},
+      {"bitmap-pull", gr::FrontierMode::kBitmapPull},
+      {"auto", gr::FrontierMode::kAuto},
+  };
+  bench::TablePrinter frontier_table(
+      {"algorithm", "frontier", "ms", "colors", "launches"}, args.csv);
+  for (const char* name : frontier_algos) {
+    const color::AlgorithmSpec* spec = color::find_algorithm(name);
+    for (const auto& fm : frontier_modes) {
+      const bench::Measurement m =
+          bench::run_averaged(*spec, csr, args.seed, args.runs, fm.mode);
+      if (!m.valid) {
+        std::fprintf(stderr, "INVALID coloring from %s (%s)\n", name,
+                     fm.label);
+        return 1;
+      }
+      frontier_table.add_row({name, fm.label, bench::fmt(m.ms_avg),
+                              std::to_string(m.result.num_colors),
+                              std::to_string(m.result.kernel_launches)});
+      obs::Json record = obs::Json::object();
+      record.set("dataset", info->name);
+      record.set("algorithm", std::string(name) + "/frontier=" + fm.label);
+      record.set("ms", m.ms_avg);
+      record.set("colors", m.result.num_colors);
+      record.set("kernel_launches", m.result.kernel_launches);
+      record.set("valid", m.valid);
+      report.add_record(std::move(record));
+    }
+  }
+  frontier_table.print();
 
   if (!report.write()) {
     std::fprintf(stderr, "FAILED to write JSON report\n");

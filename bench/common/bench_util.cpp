@@ -34,7 +34,9 @@ namespace {
       "ui.perfetto.dev)\n"
       "  --datasets=A,B  only run the named datasets (default: all)\n"
       "  --algorithms=A,B  run the named registry algorithms (default: the "
-      "paper's nine Figure-1 series)\n",
+      "paper's nine Figure-1 series)\n"
+      "  --frontier=M frontier policy for the frontier-driven algorithms: "
+      "sparse | bitmap-push | bitmap-pull | auto (default auto)\n",
       program);
   std::exit(2);
 }
@@ -44,7 +46,7 @@ namespace {
 /// comparing their numbers. Git SHA and build type are baked in at configure
 /// time (see bench/CMakeLists.txt); worker count and GCOL_THREADS are read
 /// live so the report reflects the actual run.
-obs::Json run_meta() {
+obs::Json run_meta(gr::FrontierMode frontier_mode) {
   obs::Json meta = obs::Json::object();
   meta.set("workers",
            static_cast<std::int64_t>(sim::Device::instance().num_workers()));
@@ -63,6 +65,10 @@ obs::Json run_meta() {
   // The substrate's default advance policy (gr::AdvancePolicy); recorded so
   // scheduling changes across PRs are visible in the trajectory.
   meta.set("advance_policy", "edge_balanced");
+  // The frontier representation/direction policy of the measured runs —
+  // BENCH_baseline.json (sparse) vs BENCH_after.json (auto) differ exactly
+  // here, and bench_diff keys its per-direction breakdown off it.
+  meta.set("frontier_mode", gr::to_string(frontier_mode));
   return meta;
 }
 
@@ -115,6 +121,13 @@ Args parse_args(int argc, char** argv) {
       args.algorithms = value;
     } else if (std::strcmp(arg, "--algorithms") == 0) {
       args.algorithms = next_value(&i);
+    } else if (parse_kv(arg, "--frontier", &value) ||
+               (std::strcmp(arg, "--frontier") == 0 &&
+                (value = next_value(&i)) != nullptr)) {
+      if (!gr::parse_frontier_mode(value, args.frontier_mode)) {
+        std::fprintf(stderr, "unknown frontier mode: %s\n", value);
+        usage_and_exit(argv[0]);
+      }
     } else {
       usage_and_exit(argv[0]);
     }
@@ -168,8 +181,8 @@ std::vector<const color::AlgorithmSpec*> selected_algorithms(
 }
 
 Measurement run_averaged(const color::AlgorithmSpec& spec,
-                         const graph::Csr& csr, std::uint64_t seed,
-                         int runs) {
+                         const graph::Csr& csr, std::uint64_t seed, int runs,
+                         gr::FrontierMode mode) {
   Measurement m;
   m.valid = true;
   double total = 0.0;
@@ -179,6 +192,7 @@ Measurement run_averaged(const color::AlgorithmSpec& spec,
     const obs::ScopedPhase phase(run_phase);
     color::Options options;
     options.seed = seed;
+    options.frontier_mode = mode;
     sim::Stopwatch watch;
     color::Coloring result = spec.run(csr, options);
     const double ms = watch.elapsed_ms();
@@ -257,7 +271,7 @@ JsonReport::JsonReport(std::string bench_name, const Args& args)
   header_.set("scale", args.scale);
   header_.set("runs", args.runs);
   header_.set("seed", static_cast<std::int64_t>(args.seed));
-  header_.set("meta", run_meta());
+  header_.set("meta", run_meta(args.frontier_mode));
 }
 
 void JsonReport::add_measurement(std::string_view dataset,

@@ -14,6 +14,7 @@
 #include "core/registry.hpp"
 #include "core/result.hpp"
 #include "graph/csr.hpp"
+#include "gunrock/frontier.hpp"
 #include "obs/json.hpp"
 
 namespace gcol::bench {
@@ -32,6 +33,9 @@ struct Args {
   std::string trace_path; ///< --trace: write a Chrome trace-event JSON here
   std::string datasets;   ///< --datasets: comma-separated name filter
   std::string algorithms; ///< --algorithms: comma-separated registry names
+  /// --frontier: frontier representation / direction policy handed to every
+  /// measured run (sparse | bitmap-push | bitmap-pull | auto).
+  gr::FrontierMode frontier_mode = gr::FrontierMode::kAuto;
 };
 
 /// Parses --scale=0.1 --runs=10 --csv --min-rgg=15 --max-rgg=20 --seed=7
@@ -61,9 +65,12 @@ struct Measurement {
 /// Runs `spec` on `csr` `runs` times, verifying each output, and returns the
 /// averaged wall time plus the final coloring. When a TraceSession is active
 /// each timed run appears as a "run:<algorithm>" phase span on its timeline.
-[[nodiscard]] Measurement run_averaged(const color::AlgorithmSpec& spec,
-                                       const graph::Csr& csr,
-                                       std::uint64_t seed, int runs);
+/// `mode` is the frontier policy for the frontier-driven algorithms (others
+/// ignore it); harnesses pass Args::frontier_mode.
+[[nodiscard]] Measurement run_averaged(
+    const color::AlgorithmSpec& spec, const graph::Csr& csr,
+    std::uint64_t seed, int runs,
+    gr::FrontierMode mode = gr::FrontierMode::kAuto);
 
 /// Geometric mean (the paper's summary statistic for speedups).
 [[nodiscard]] double geomean(std::span<const double> values);
@@ -89,7 +96,7 @@ class TablePrinter {
 ///
 ///   {"schema": "gcol-bench-v2", "bench": <name>, "scale": F, "runs": N,
 ///    "seed": N, "meta": {"workers": N, "gcol_threads": S, "git_sha": S,
-///    "build_type": S, "advance_policy": S},
+///    "build_type": S, "advance_policy": S, "frontier_mode": S},
 ///    "records": [{"dataset": ..., "algorithm": ..., "ms": F,
 ///    "ms_min": F, "colors": N, "iterations": N, "kernel_launches": N,
 ///    "conflicts_resolved": N, "valid": B, "display_name": ...,

@@ -82,6 +82,38 @@ def record_imbalance(record: dict) -> float | None:
     return weighted / weight_sum
 
 
+def direction_launches(record: dict) -> dict[str, int]:
+    """Launch counts per traversal direction for one record.
+
+    Reads each kernel stat's "direction" field, stamped by the launch since
+    the direction-optimized frontier engine (bench_util meta.frontier_mode
+    says which policy produced it). Kernels predating the stamp fall back to
+    a name-suffix heuristic (..._push / ..._pull); everything else counts as
+    "none" (direction-less kernels: scans, rebuilds, setup).
+    """
+    kernels = (record.get("metrics") or {}).get("kernels") or {}
+    totals = {"push": 0, "pull": 0, "none": 0}
+    for name, stat in kernels.items():
+        direction = stat.get("direction")
+        if direction not in ("push", "pull"):
+            if name.endswith("_push"):
+                direction = "push"
+            elif name.endswith("_pull"):
+                direction = "pull"
+            else:
+                direction = "none"
+        totals[direction] += stat.get("launches", 0)
+    return totals
+
+
+def sum_directions(records: list[dict]) -> dict[str, int]:
+    totals = {"push": 0, "pull": 0, "none": 0}
+    for record in records:
+        for direction, count in direction_launches(record).items():
+            totals[direction] += count
+    return totals
+
+
 def diff_meta(base_doc: dict, after_doc: dict) -> list[str]:
     """Human-readable mismatch lines between the two meta headers."""
     base_meta = base_doc.get("meta") or {}
@@ -155,6 +187,15 @@ def compare(base_doc: dict, after_doc: dict, base_path: str, after_path: str,
         print(f"{key[0]:<12} {key[1]:<28} (only in baseline)")
     for key in only_after:
         print(f"{key[0]:<12} {key[1]:<28} (only in after)")
+
+    base_dirs = sum_directions([base[k] for k in common])
+    after_dirs = sum_directions([after[k] for k in common])
+    if any(base_dirs[d] or after_dirs[d] for d in ("push", "pull")):
+        print()
+        print("per-direction kernel launches (common pairs): "
+              f"push {base_dirs['push']}->{after_dirs['push']}  "
+              f"pull {base_dirs['pull']}->{after_dirs['pull']}  "
+              f"direction-less {base_dirs['none']}->{after_dirs['none']}")
 
     print()
     gating = [(key, [f for f in flags if f in GATING_FLAGS])
@@ -279,6 +320,29 @@ def self_test() -> int:
     imbal = record_imbalance(hot_cold["records"][0])
     check("record imbalance is time-weighted",
           imbal is not None and 3.9 < imbal < 4.0)
+
+    # Per-direction launch accounting: "direction" field wins, name-suffix
+    # fallback covers stamps from before the field existed, the rest lands
+    # in the direction-less bucket.
+    directed = _record(kernels={
+        "gr::compute": {"launches": 7, "items": 10, "total_ms": 1.0,
+                        "direction": "push"},
+        "legacy_pull": {"launches": 3, "items": 10, "total_ms": 1.0},
+        "gr::scan": {"launches": 2, "items": 10, "total_ms": 1.0},
+    })
+    dirs = direction_launches(directed)
+    check("direction field counted", dirs["push"] == 7)
+    check("name-suffix fallback counted", dirs["pull"] == 3)
+    check("direction-less bucketed", dirs["none"] == 2)
+    out = []
+    _run_compare(_doc([_record()]), _doc([directed]), capture=out)
+    check("per-direction summary printed",
+          "per-direction kernel launches" in out[0]
+          and "push 0->7" in out[0] and "pull 0->3" in out[0])
+    out = []
+    _run_compare(base, _doc([_record()]), capture=out)
+    check("per-direction summary omitted without directions",
+          "per-direction kernel launches" not in out[0])
 
     # Meta mismatch is reported.
     out = []

@@ -7,9 +7,13 @@ out.json`) and prints three tables:
   1. top-N kernels by total time — launches, items, total/mean ms, and the
      imbalance pair (max/mean busy ratio, barrier-wait share) aggregated
      over every launch of that kernel;
-  2. imbalance table — kernels ranked by time-weighted max/mean busy ratio,
+  2. per-direction breakdown — launches, items, and time attributed to
+     push vs pull vs direction-less kernels (the "direction" launch arg the
+     direction-optimized frontier engine stamps), showing what the
+     occupancy-adaptive heuristic actually chose over the run;
+  3. imbalance table — kernels ranked by time-weighted max/mean busy ratio,
      the straggler evidence behind the paper's load-balancing argument;
-  3. per-phase breakdown — total time and span count per phase name
+  4. per-phase breakdown — total time and span count per phase name
      (ScopedPhase annotations: algorithm rounds, datasets, runs), computed
      on self time so nested phases don't double-count their parents.
 
@@ -120,6 +124,8 @@ def report(path: str, top: int) -> int:
         lambda: {"launches": 0, "items": 0, "ms": 0.0,
                  "imbal_weighted": 0.0, "wait_weighted": 0.0,
                  "imbal_weight": 0.0})
+    directions: dict[str, dict] = defaultdict(
+        lambda: {"launches": 0, "items": 0, "ms": 0.0})
     phase_spans: list[tuple[str, float, float]] = []  # (name, ts, dur)
 
     for e in events:
@@ -133,6 +139,13 @@ def report(path: str, top: int) -> int:
             k["launches"] += 1
             k["items"] += args.get("items", 0)
             k["ms"] += dur_ms
+            direction = args.get("direction")
+            if direction not in ("push", "pull"):
+                direction = "direction-less"
+            d = directions[direction]
+            d["launches"] += 1
+            d["items"] += args.get("items", 0)
+            d["ms"] += dur_ms
             if "busy_max_over_mean" in args and dur_ms > 0:
                 k["imbal_weighted"] += dur_ms * args["busy_max_over_mean"]
                 k["wait_weighted"] += dur_ms * args.get(
@@ -169,6 +182,20 @@ def report(path: str, top: int) -> int:
               f"{100.0 * k['ms'] / total_ms if total_ms else 0.0:>5.1f}% "
               f"{ratio if ratio is not None else float('nan'):>8.2f} "
               f"{100.0 * wait if wait is not None else float('nan'):>5.1f}%")
+
+    if any(d in directions for d in ("push", "pull")):
+        print(f"\n== time by traversal direction ==")
+        header = (f"{'direction':<16} {'launches':>8} {'items':>12} "
+                  f"{'total ms':>9} {'% time':>6}")
+        print(header)
+        print("-" * len(header))
+        for name in ("push", "pull", "direction-less"):
+            if name not in directions:
+                continue
+            d = directions[name]
+            print(f"{name:<16} {d['launches']:>8} {d['items']:>12} "
+                  f"{d['ms']:>9.2f} "
+                  f"{100.0 * d['ms'] / total_ms if total_ms else 0.0:>5.1f}%")
 
     with_imbal = [(name, k, *imbal(k)) for name, k in kernels.items()]
     with_imbal = [(n, k, r, w) for n, k, r, w in with_imbal if r is not None]

@@ -57,8 +57,17 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
   constexpr std::int64_t kNoNeighbor = std::numeric_limits<std::int64_t>::min();
   constexpr std::int64_t kNoNeighborMin = kNoColor;  // +inf: min identity
   std::int32_t* colors = result.colors.data();
-  gr::Frontier frontier = gr::Frontier::all(n);
-  std::vector<vid_t> spare;  // double buffer for the filtered frontier
+  // Bitmap modes route the segment reduction through neighbor_reduce_bits,
+  // whose finalize is keyed by vertex id instead of frontier slot — the
+  // coloring decision only ever touches per-vertex state, so push, pull and
+  // the sparse merge path all finalize each frontier member exactly once
+  // with the identical full-neighborhood extreme.
+  const bool bitmap = options.frontier_mode != gr::FrontierMode::kSparse;
+  gr::Frontier frontier = bitmap
+                              ? gr::Frontier::all_bits(n, options.frontier_mode)
+                              : gr::Frontier::all(n);
+  std::vector<vid_t> spare;  // sparse-list double buffer
+  std::vector<std::uint64_t> spare_words;  // bitmap double buffer
 
   const sim::Stopwatch watch;
   const std::uint64_t launches_before = device.launch_count();
@@ -76,65 +85,88 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
       // ONE fused pass produces both extremes AND assigns the two mutually-
       // exclusive independent sets' colors in its finalize.
       const std::int32_t color = 2 * iteration;
-      gr::neighbor_reduce_fused<MinMaxPair>(
-          device, csr, frontier,
-          [&](vid_t /*src*/, vid_t u) {
-            const std::int32_t cu =
-                sim::atomic_load(colors[static_cast<std::size_t>(u)]);
-            if (cu != kUncolored && cu != color && cu != color + 1) {
-              return MinMaxPair{kNoNeighbor, kNoNeighborMin};
-            }
-            const std::int64_t p =
-                packed_priority(random[static_cast<std::size_t>(u)], u);
-            return MinMaxPair{p, p};
-          },
-          [](MinMaxPair a, MinMaxPair b) {
-            return MinMaxPair{b.max > a.max ? b.max : a.max,
-                              b.min < a.min ? b.min : a.min};
-          },
-          MinMaxPair{kNoNeighbor, kNoNeighborMin},
-          [&](std::int64_t i, MinMaxPair extreme) {
-            const vid_t v = frontier.vertex(i);
-            const auto uv = static_cast<std::size_t>(v);
-            const std::int64_t mine = packed_priority(random[uv], v);
-            if (mine > extreme.max) {
-              sim::atomic_store(colors[uv], color);
-            } else if (mine < extreme.min) {
-              sim::atomic_store(colors[uv], color + 1);
-            }
-          });
+      const auto map = [&](vid_t /*src*/, vid_t u) {
+        const std::int32_t cu =
+            sim::atomic_load(colors[static_cast<std::size_t>(u)]);
+        if (cu != kUncolored && cu != color && cu != color + 1) {
+          return MinMaxPair{kNoNeighbor, kNoNeighborMin};
+        }
+        const std::int64_t p =
+            packed_priority(random[static_cast<std::size_t>(u)], u);
+        return MinMaxPair{p, p};
+      };
+      const auto reduce = [](MinMaxPair a, MinMaxPair b) {
+        return MinMaxPair{b.max > a.max ? b.max : a.max,
+                          b.min < a.min ? b.min : a.min};
+      };
+      constexpr MinMaxPair identity{kNoNeighbor, kNoNeighborMin};
+      const auto finalize = [&](vid_t v, MinMaxPair extreme) {
+        const auto uv = static_cast<std::size_t>(v);
+        const std::int64_t mine = packed_priority(random[uv], v);
+        if (mine > extreme.max) {
+          sim::atomic_store(colors[uv], color);
+        } else if (mine < extreme.min) {
+          sim::atomic_store(colors[uv], color + 1);
+        }
+      };
+      if (bitmap) {
+        gr::neighbor_reduce_bits<MinMaxPair>(device, csr, frontier, map,
+                                             reduce, identity, finalize);
+      } else {
+        gr::neighbor_reduce_fused<MinMaxPair>(
+            device, csr, frontier, map, reduce, identity,
+            [&](std::int64_t i, MinMaxPair extreme) {
+              finalize(frontier.vertex(i), extreme);
+            });
+      }
     } else {
       // Same fusion, single extremum: segment-max the packed priorities and
       // color the local maxima in the finalize (ColorRemovedOp inlined).
-      gr::neighbor_reduce_fused<std::int64_t>(
-          device, csr, frontier,
-          [&](vid_t /*src*/, vid_t u) {
-            const std::int32_t cu =
-                sim::atomic_load(colors[static_cast<std::size_t>(u)]);
-            return cu == kUncolored || cu == iteration
-                       ? packed_priority(random[static_cast<std::size_t>(u)],
-                                         u)
-                       : kNoNeighbor;
-          },
-          [](std::int64_t a, std::int64_t b) { return b > a ? b : a; },
-          kNoNeighbor,
-          [&](std::int64_t i, std::int64_t neighbor_max) {
-            const vid_t v = frontier.vertex(i);
-            const auto uv = static_cast<std::size_t>(v);
-            if (packed_priority(random[uv], v) > neighbor_max) {
-              sim::atomic_store(colors[uv], iteration);
-            }
-          });
+      const auto map = [&](vid_t /*src*/, vid_t u) {
+        const std::int32_t cu =
+            sim::atomic_load(colors[static_cast<std::size_t>(u)]);
+        return cu == kUncolored || cu == iteration
+                   ? packed_priority(random[static_cast<std::size_t>(u)], u)
+                   : kNoNeighbor;
+      };
+      const auto reduce = [](std::int64_t a, std::int64_t b) {
+        return b > a ? b : a;
+      };
+      const auto finalize = [&](vid_t v, std::int64_t neighbor_max) {
+        const auto uv = static_cast<std::size_t>(v);
+        if (packed_priority(random[uv], v) > neighbor_max) {
+          sim::atomic_store(colors[uv], iteration);
+        }
+      };
+      if (bitmap) {
+        gr::neighbor_reduce_bits<std::int64_t>(device, csr, frontier, map,
+                                               reduce, kNoNeighbor, finalize);
+      } else {
+        gr::neighbor_reduce_fused<std::int64_t>(
+            device, csr, frontier, map, reduce, kNoNeighbor,
+            [&](std::int64_t i, std::int64_t neighbor_max) {
+              finalize(frontier.vertex(i), neighbor_max);
+            });
+      }
     }
 
     // Rebuild the frontier from still-uncolored vertices into the recycled
-    // buffer; Removed grows, and the compaction pays no gather launch.
-    gr::Frontier next =
-        gr::filter_into(device, frontier, std::move(spare), [&](vid_t v) {
-          return colors[static_cast<std::size_t>(v)] == kUncolored;
-        });
-    spare = frontier.release_vertices();
-    frontier = std::move(next);
+    // buffer; Removed grows, and the compaction pays no gather launch (and
+    // collapses to one word-owner pass in bitmap modes).
+    const auto survive_op = [&](vid_t v) {
+      return colors[static_cast<std::size_t>(v)] == kUncolored;
+    };
+    if (bitmap) {
+      gr::Frontier next = gr::filter_bits(device, frontier,
+                                          std::move(spare_words), survive_op);
+      spare_words = frontier.release_words();
+      frontier = std::move(next);
+    } else {
+      gr::Frontier next =
+          gr::filter_into(device, frontier, std::move(spare), survive_op);
+      spare = frontier.release_vertices();
+      frontier = std::move(next);
+    }
     result.metrics.push("colored", n - frontier.size());
     result.metrics.push("colors_opened",
                         options.fused_minmax ? 2 * (iteration + 1)

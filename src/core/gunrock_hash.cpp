@@ -62,7 +62,17 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
   std::atomic<std::int64_t> conflicts{0};
   std::int64_t prev_colored = 0;
   std::int64_t prev_conflicts = 0;
-  const gr::Frontier frontier = gr::Frontier::all(n);
+  // Bitmap modes keep the round-start uncolored set as a bitmap frontier.
+  // Every operator below already early-outs on vertices outside that set
+  // (colored, or not tentative this round), so iterating only the members
+  // is behavior-identical to the implicit-all sweep — tentative colors and
+  // conflict losers all live inside the round-start uncolored set.
+  const bool bitmap = options.frontier_mode != gr::FrontierMode::kSparse;
+  gr::Frontier frontier = bitmap
+                              ? gr::Frontier::all_bits(n, options.frontier_mode)
+                              : gr::Frontier::all(n);
+  std::vector<std::uint64_t> spare_words;  // bitmap double buffer
+  const double avg_degree = csr.average_degree();
 
   // Checks the per-vertex table; colors not found may still conflict — the
   // table is bounded and lossy by design.
@@ -128,7 +138,7 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
         sim::atomic_store(colored_iter[static_cast<std::size_t>(cand_min)],
                           iteration);
       }
-    });
+    }, avg_degree);
 
     // Conflict-resolution operator: tentative vertices re-check their
     // neighborhood; the lower-priority endpoint of a monochromatic edge
@@ -152,11 +162,11 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
           return;
         }
       }
-    });
+    }, avg_degree);
 
     // Hash-generation operator: still-uncolored vertices record their
     // neighbors' colors as prohibited (bounded table; overflow ignored).
-    gr::compute(device, frontier, [&](vid_t v) {
+    const auto hashgen_op = [&](vid_t v) {
       const auto uv = static_cast<std::size_t>(v);
       if (colors[uv] != kUncolored) return;
       const std::size_t base =
@@ -180,10 +190,29 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
           hash_table[base + static_cast<std::size_t>(free_slot)] = cu;
         }
       }
-    });
+    };
 
-    const std::int64_t colored = sim::count_if<std::int32_t>(
-        device, result.colors, [](std::int32_t c) { return c != kUncolored; });
+    // Bitmap modes fuse hash generation, the frontier rebuild AND the
+    // stop-check count into one word-owner filter_bits launch (survivor =
+    // still uncolored); the sparse path pays a compute plus a count_if.
+    std::int64_t colored;
+    if (bitmap) {
+      gr::Frontier next = gr::filter_bits(
+          device, frontier, std::move(spare_words),
+          [&](vid_t v) {
+            hashgen_op(v);
+            return colors[static_cast<std::size_t>(v)] == kUncolored;
+          },
+          avg_degree);
+      spare_words = frontier.release_words();
+      frontier = std::move(next);
+      colored = n - frontier.size();
+    } else {
+      gr::compute(device, frontier, hashgen_op, avg_degree);
+      colored = sim::count_if<std::int32_t>(
+          device, result.colors,
+          [](std::int32_t c) { return c != kUncolored; });
+    }
     const std::int64_t conflicts_now =
         conflicts.load(std::memory_order_relaxed);
     result.metrics.push("frontier", n - prev_colored);

@@ -41,16 +41,31 @@ Coloring gunrock_is_color(const graph::Csr& csr,
   if (n == 0) return result;
   const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
-  // Initialize R <- generateRandomNumbers (Algorithm 5 line 7).
-  std::vector<std::int32_t> random(un);
+  // Initialize R <- generateRandomNumbers (Algorithm 5 line 7). The bitmap
+  // modes skip the materialization launch and draw the same counter-based
+  // values on the fly — rng.uniform_int31(v) is a pure function of (seed,
+  // v), so every access sees exactly the number the array would hold.
+  const bool bitmap = options.frontier_mode != gr::FrontierMode::kSparse;
+  std::vector<std::int32_t> random;
   const sim::CounterRng rng(options.seed);
-  device.launch("gunrock_is::init_random", n, [&](std::int64_t v) {
-    random[static_cast<std::size_t>(v)] =
-        rng.uniform_int31(static_cast<std::uint64_t>(v));
-  });
+  if (!bitmap) {
+    random.resize(un);
+    device.launch("gunrock_is::init_random", n, [&](std::int64_t v) {
+      random[static_cast<std::size_t>(v)] =
+          rng.uniform_int31(static_cast<std::uint64_t>(v));
+    });
+  }
+  const auto rand_of = [&](vid_t v) {
+    return bitmap ? rng.uniform_int31(static_cast<std::uint64_t>(v))
+                  : random[static_cast<std::size_t>(v)];
+  };
 
   std::int32_t* colors = result.colors.data();
-  const gr::Frontier frontier = gr::Frontier::all(n);
+  gr::Frontier frontier = bitmap
+                              ? gr::Frontier::all_bits(n, options.frontier_mode)
+                              : gr::Frontier::all(n);
+  std::vector<std::uint64_t> spare_words;  // bitmap double buffer
+  const double avg_degree = csr.average_degree();
   std::atomic<std::int64_t> colored_total{0};
   std::int64_t prev_colored = 0;
 
@@ -67,7 +82,7 @@ Coloring gunrock_is_color(const graph::Csr& csr,
       if (colors[uv] != kUncolored) return;  // already colored
       bool colormax = true;
       bool colormin = options.min_max;
-      const std::int32_t rv = random[uv];
+      const std::int32_t rv = rand_of(v);
       for (const vid_t u : csr.neighbors(v)) {
         const auto uu = static_cast<std::size_t>(u);
         // Skip neighbors finalized in earlier iterations; neighbors that
@@ -75,8 +90,9 @@ Coloring gunrock_is_color(const graph::Csr& csr,
         // comparison (Algorithm 5 line 26).
         const std::int32_t cu = sim::atomic_load(colors[uu]);
         if (cu != kUncolored && cu != color + 1 && cu != color + 2) continue;
-        if (!priority_less(random[uu], u, rv, v)) colormax = false;
-        if (!priority_less(rv, v, random[uu], u)) colormin = false;
+        const std::int32_t ru = rand_of(u);
+        if (!priority_less(ru, u, rv, v)) colormax = false;
+        if (!priority_less(rv, v, ru, u)) colormin = false;
         if (!colormax && !colormin) break;
       }
       if (colormax) {
@@ -97,16 +113,37 @@ Coloring gunrock_is_color(const graph::Csr& csr,
     // per-slot tally (exact: colors[v] is written only by v's own work
     // item). Either way one launch per iteration, and the stop check hands
     // the iteration series its "colored so far" value for free.
+    //
+    // Bitmap modes keep only the still-uncolored vertices in the frontier:
+    // the color attempt AND the frontier rebuild fuse into one word-owner
+    // filter_bits launch, and "colored so far" falls out of the bitmap's
+    // popcount (the atomics variant still exercises its counter).
     std::int64_t colored;
-    if (options.use_atomics) {
+    if (bitmap) {
+      const std::int64_t active = frontier.size();
+      gr::Frontier next = gr::filter_bits(
+          device, frontier, std::move(spare_words),
+          [&](vid_t v) {
+            color_op(v);
+            return colors[static_cast<std::size_t>(v)] == kUncolored;
+          },
+          avg_degree);
+      spare_words = frontier.release_words();
+      frontier = std::move(next);
+      colored = options.use_atomics
+                    ? colored_total.load(std::memory_order_relaxed)
+                    : n - frontier.size();
+      result.metrics.push("frontier", active);
+    } else if (options.use_atomics) {
       gr::compute(device, frontier, color_op);
       colored = colored_total.load(std::memory_order_relaxed);
+      result.metrics.push("frontier", n - prev_colored);
     } else {
       colored = gr::compute_count(device, frontier, color_op, [&](vid_t v) {
         return colors[static_cast<std::size_t>(v)] != kUncolored;
       });
+      result.metrics.push("frontier", n - prev_colored);
     }
-    result.metrics.push("frontier", n - prev_colored);
     result.metrics.push("colored", colored);
     result.metrics.push("colors_opened", 2 * (iteration + 1));
     prev_colored = colored;

@@ -1,5 +1,6 @@
 #include "core/jones_plassmann.hpp"
 
+#include <cstdint>
 #include <vector>
 
 #include "core/ordering.hpp"
@@ -107,10 +108,51 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
   std::int32_t* colors = result.colors.data();
   // Per-round snapshot: decisions read the PREVIOUS round's colors only, so
   // the result is a deterministic function of (graph, priorities) no matter
-  // how workers interleave — the bulk-synchronous JP formulation.
+  // how workers interleave — the bulk-synchronous JP formulation. The
+  // frontier representation (sparse list vs. bitmap) therefore never changes
+  // the colors, only the launch structure.
   std::vector<std::int32_t> snapshot(result.colors);
-  gr::Frontier frontier = gr::Frontier::all(n);
-  std::vector<vid_t> spare;  // double buffer for the filtered frontier
+  const bool bitmap = options.frontier_mode != gr::FrontierMode::kSparse;
+  gr::Frontier frontier = bitmap
+                              ? gr::Frontier::all_bits(n, options.frontier_mode)
+                              : gr::Frontier::all(n);
+  std::vector<vid_t> spare;                // sparse-list double buffer
+  std::vector<std::uint64_t> spare_words;  // bitmap double buffer
+  const double avg_degree = csr.average_degree();
+
+  // A vertex colors itself with its minimum available color once no
+  // snapshot-uncolored neighbor outranks it. Two adjacent vertices can
+  // never color in the same round (one outranks the other in the shared
+  // snapshot), so writes to `colors` never race with the reads below.
+  const auto color_op = [&](vid_t v) {
+    const auto uv = static_cast<std::size_t>(v);
+    if (snapshot[uv] != kUncolored) return;
+    const std::int64_t mine = priority[uv];
+    const auto adj = csr.neighbors(v);
+    for (const vid_t u : adj) {
+      if (snapshot[static_cast<std::size_t>(u)] == kUncolored &&
+          priority[static_cast<std::size_t>(u)] > mine) {
+        return;
+      }
+    }
+    // Minimum color absent from the colored neighborhood, via the zero-
+    // scratch windowed bit palette (a degree-d vertex always first-fits
+    // within [0, d], so the sweep stays register-resident).
+    colors[uv] = palette::first_fit_windowed(
+        static_cast<std::int64_t>(adj.size()), [&](std::int64_t k) {
+          return snapshot[static_cast<std::size_t>(
+              adj[static_cast<std::size_t>(k)])];
+        });
+  };
+  // Filter with the snapshot publish fused into its flag pass: only
+  // frontier vertices can have changed color this round (everyone else's
+  // snapshot entry is already final), so publishing v while flagging it
+  // covers the whole graph.
+  const auto survive_op = [&](vid_t v) {
+    const std::int32_t cv = colors[static_cast<std::size_t>(v)];
+    snapshot[static_cast<std::size_t>(v)] = cv;
+    return cv == kUncolored;
+  };
 
   const sim::Stopwatch watch;
   const std::uint64_t launches_before = device.launch_count();
@@ -118,44 +160,24 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
   const gr::EnactorStats stats = enactor.enact([&](std::int32_t) {
     const obs::ScopedPhase phase("jp::round");
     result.metrics.push("frontier", frontier.size());
-    // A vertex colors itself with its minimum available color once no
-    // snapshot-uncolored neighbor outranks it. Two adjacent vertices can
-    // never color in the same round (one outranks the other in the shared
-    // snapshot), so writes to `colors` never race with the reads below.
-    gr::compute(device, frontier, [&](vid_t v) {
-      const auto uv = static_cast<std::size_t>(v);
-      if (snapshot[uv] != kUncolored) return;
-      const std::int64_t mine = priority[uv];
-      const auto adj = csr.neighbors(v);
-      for (const vid_t u : adj) {
-        if (snapshot[static_cast<std::size_t>(u)] == kUncolored &&
-            priority[static_cast<std::size_t>(u)] > mine) {
-          return;
-        }
-      }
-      // Minimum color absent from the colored neighborhood, via the zero-
-      // scratch windowed bit palette (a degree-d vertex always first-fits
-      // within [0, d], so the sweep stays register-resident).
-      colors[uv] = palette::first_fit_windowed(
-          static_cast<std::int64_t>(adj.size()), [&](std::int64_t k) {
-            return snapshot[static_cast<std::size_t>(
-                adj[static_cast<std::size_t>(k)])];
-          });
-    });
+    gr::compute(device, frontier, color_op, avg_degree);
 
-    // Filter with the snapshot publish fused into its flag pass: only
-    // frontier vertices can have changed color this round (everyone else's
-    // snapshot entry is already final), so publishing v while flagging it
-    // covers the whole graph. The survivors compact into the recycled
-    // buffer — two launches per round instead of publish + flag + gather.
-    gr::Frontier next =
-        gr::filter_into(device, frontier, std::move(spare), [&](vid_t v) {
-          const std::int32_t cv = colors[static_cast<std::size_t>(v)];
-          snapshot[static_cast<std::size_t>(v)] = cv;
-          return cv == kUncolored;
-        });
-    spare = frontier.release_vertices();
-    frontier = std::move(next);
+    if (bitmap) {
+      // Word-wise frontier rebuild: the compaction the sparse path pays two
+      // launches for (flag+count, scatter) is one word-owner pass here.
+      gr::Frontier next = gr::filter_bits(device, frontier,
+                                          std::move(spare_words), survive_op,
+                                          avg_degree);
+      spare_words = frontier.release_words();
+      frontier = std::move(next);
+    } else {
+      // The survivors compact into the recycled buffer — two launches per
+      // round instead of publish + flag + gather.
+      gr::Frontier next =
+          gr::filter_into(device, frontier, std::move(spare), survive_op);
+      spare = frontier.release_vertices();
+      frontier = std::move(next);
+    }
     result.metrics.push("colored", n - frontier.size());
     return !frontier.is_empty();
   });

@@ -108,6 +108,7 @@ void Metrics::record_kernel(const sim::LaunchInfo& info) {
   ++stat->launches;
   stat->items += info.items;
   stat->total_ms += info.elapsed_ms;
+  if (info.direction != nullptr) stat->direction = info.direction;
   if (info.slot_telemetry != nullptr && info.slots > 0) {
     stat->accumulate_telemetry(info);
   }
@@ -169,6 +170,7 @@ void Metrics::merge(const Metrics& other) {
     mine.launches += theirs.launches;
     mine.items += theirs.items;
     mine.total_ms += theirs.total_ms;
+    if (theirs.direction != nullptr) mine.direction = theirs.direction;
     mine.telemetry_launches += theirs.telemetry_launches;
     mine.slot_samples += theirs.slot_samples;
     mine.telemetry_items += theirs.telemetry_items;
@@ -209,6 +211,9 @@ Json Metrics::to_json() const {
       entry.set("launches", stat.launches);
       entry.set("items", stat.items);
       entry.set("total_ms", stat.total_ms);
+      if (stat.direction != nullptr) {
+        entry.set("direction", std::string(stat.direction));
+      }
       if (stat.telemetry_launches > 0) {
         entry.set("busy_ms", stat.busy_ms);
         entry.set("busy_max_over_mean", stat.busy_max_over_mean());

@@ -41,6 +41,11 @@ struct KernelStat {
   std::uint64_t launches = 0;  ///< times this kernel was launched
   std::int64_t items = 0;      ///< total work items across launches
   double total_ms = 0.0;       ///< total wall time including barriers
+  /// Traversal direction stamped by the launch ("push"/"pull"), nullptr for
+  /// direction-less kernels. Points at a string literal; when a kernel name
+  /// is launched under both directions the last observed one wins (only
+  /// "gr::compute_count" shares a name across directions today).
+  const char* direction = nullptr;
 
   // ---- per-slot telemetry sums (only launches that carried telemetry) ----
   std::uint64_t telemetry_launches = 0;  ///< launches with slot telemetry

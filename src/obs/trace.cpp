@@ -84,6 +84,7 @@ void TraceSession::on_kernel_launch(const sim::LaunchInfo& info) {
   Event launch;
   launch.kind = Event::Kind::kSpan;
   launch.has_launch_args = true;
+  launch.direction = info.direction;
   launch.slots = info.slots;
   launch.tid = 0;
   launch.name = info.name;
@@ -136,6 +137,9 @@ void TraceSession::append_event(Json& trace_events, const Event& event) {
       args.set("slots", static_cast<std::int64_t>(event.slots));
       args.set("busy_max_over_mean", event.imbalance);
       args.set("barrier_wait_share", event.wait_share);
+      if (event.direction != nullptr) {
+        args.set("direction", std::string(event.direction));
+      }
     } else if (event.tid >= 2) {
       args.set("items", event.value);
     }

@@ -87,6 +87,9 @@ class TraceSession final : public sim::LaunchListener {
     enum class Kind : std::uint8_t { kSpan, kCounter };
     Kind kind;
     bool has_launch_args = false;  ///< span carries items/slots/imbalance
+    /// Launch spans: "push"/"pull" (string literal) or nullptr when the
+    /// kernel has no traversal direction.
+    const char* direction = nullptr;
     unsigned slots = 0;
     std::int64_t tid = 0;
     std::string name;

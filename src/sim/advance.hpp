@@ -33,7 +33,8 @@ namespace gcol::sim {
 template <typename OffsetT, typename VisitRange>
 void for_each_segment_range_slotted(Device& device, const char* name,
                                     std::span<const OffsetT> offsets,
-                                    VisitRange visit) {
+                                    VisitRange visit,
+                                    const char* direction = nullptr) {
   const auto num_segments = static_cast<std::int64_t>(offsets.size()) - 1;
   if (num_segments <= 0) return;
   const auto base = static_cast<std::int64_t>(offsets[0]);
@@ -56,7 +57,7 @@ void for_each_segment_range_slotted(Device& device, const char* name,
           visit(0u, s, 0, seg_end - seg_begin, seg_begin);
         }
       }
-    });
+    }, direction);
     return;
   }
 
@@ -88,7 +89,7 @@ void for_each_segment_range_slotted(Device& device, const char* name,
       visit(slot, s, w - seg_begin, seg_end - seg_begin, base + w);
       w = seg_end;
     }
-  });
+  }, direction);
 }
 
 /// For every segment s in [0, offsets.size() - 2] and every position p in
@@ -108,13 +109,15 @@ void for_each_segment_range_slotted(Device& device, const char* name,
 template <typename OffsetT, typename VisitRange>
 void for_each_segment_range(Device& device, const char* name,
                             std::span<const OffsetT> offsets,
-                            VisitRange visit) {
+                            VisitRange visit,
+                            const char* direction = nullptr) {
   for_each_segment_range_slotted<OffsetT>(
       device, name, offsets,
       [&](unsigned, std::int64_t s, std::int64_t local_begin,
           std::int64_t local_end, std::int64_t global_begin) {
         visit(s, local_begin, local_end, global_begin);
-      });
+      },
+      direction);
 }
 
 /// Item-granular convenience wrapper:

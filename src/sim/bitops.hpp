@@ -61,4 +61,24 @@ constexpr void set_bit(std::uint64_t* words, std::int64_t bit) noexcept {
   return -1;
 }
 
+/// Number of 64-bit words needed to hold `bits` bits.
+[[nodiscard]] constexpr std::size_t words_for_bits(std::int64_t bits)
+    noexcept {
+  return (static_cast<std::size_t>(bits) + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+/// Calls visit(bit_index) for every set bit of `word`, ascending, where
+/// bit_index is `base + <bit position>`. The word-skipping inner loop of a
+/// bitmap-push traversal: one countr_zero (__ffs on hardware) per set bit,
+/// zero words cost a single compare.
+template <typename Visit>
+constexpr void visit_set_bits(std::uint64_t word, std::int64_t base,
+                              Visit&& visit) {
+  while (word != 0) {
+    const int bit = std::countr_zero(word);
+    visit(base + bit);
+    word &= word - 1;  // clear lowest set bit
+  }
+}
+
 }  // namespace gcol::sim

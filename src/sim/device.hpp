@@ -76,6 +76,11 @@ struct LaunchInfo {
   /// array is the device's reusable scratch: valid only for the duration of
   /// the listener callback.
   const SlotTelemetry* slot_telemetry = nullptr;
+  /// Traversal direction chosen for this launch ("push" / "pull"), or
+  /// nullptr for kernels where the axis does not apply. Statically
+  /// allocated, like `name`. Direction-optimized operators stamp this so
+  /// per-kernel tables and traces can attribute time per direction.
+  const char* direction = nullptr;
 };
 
 /// Receives a LaunchInfo after every kernel launch completes. Notifications
@@ -131,10 +136,12 @@ class Device {
   /// (one kernel launch + global barrier). `body` must be safe to invoke
   /// concurrently from different workers for distinct i. The name must be a
   /// statically-allocated string (it is retained only for the duration of
-  /// the listener callback).
+  /// the listener callback); `direction` likewise ("push"/"pull" for
+  /// direction-optimized operators, nullptr elsewhere).
   template <typename Body>
   void launch(const char* name, std::int64_t n, Body&& body,
-              Schedule schedule = Schedule::kStatic, std::int64_t chunk = 0) {
+              Schedule schedule = Schedule::kStatic, std::int64_t chunk = 0,
+              const char* direction = nullptr) {
     if (n <= 0) return;
     launches_.fetch_add(1, std::memory_order_relaxed);
     LaunchListener* listener = launch_listener();
@@ -146,27 +153,18 @@ class Device {
     const Stopwatch watch;
     dispatch_observed(n, body, schedule, chunk, watch);
     const unsigned slots = n <= kInlineLaunchItems ? 1u : pool_.size();
-    LaunchInfo info{name, n, slots, watch.elapsed_ms(), telemetry_.get()};
+    LaunchInfo info{name,      n,
+                    slots,     watch.elapsed_ms(),
+                    telemetry_.get(), direction};
     notify(listener, tracer, info);
-  }
-
-  /// Unnamed compatibility spelling of launch(). DEPRECATED: prefer a named
-  /// launch(...) — unnamed launches all aggregate under one "parallel_for"
-  /// placeholder in per-kernel tables and trace timelines, which defeats the
-  /// per-kernel attribution the profiler exists for. Kept only so external
-  /// callers and the listener-compat tests keep compiling.
-  template <typename Body>
-  void parallel_for(std::int64_t n, Body&& body,
-                    Schedule schedule = Schedule::kStatic,
-                    std::int64_t chunk = 0) {
-    launch("parallel_for", n, std::forward<Body>(body), schedule, chunk);
   }
 
   /// Named slot kernel: body(slot, num_slots) once per worker slot — the
   /// analogue of a cooperative kernel where each block owns a slice it
   /// carves out itself.
   template <typename Body>
-  void launch_slots(const char* name, Body&& body) {
+  void launch_slots(const char* name, Body&& body,
+                    const char* direction = nullptr) {
     launches_.fetch_add(1, std::memory_order_relaxed);
     const unsigned workers = pool_.size();
     LaunchListener* listener = launch_listener();
@@ -185,16 +183,13 @@ class Device {
       t.items = 1;
       t.end_ms = watch.elapsed_ms();
     });
-    LaunchInfo info{name, static_cast<std::int64_t>(workers), workers,
-                    watch.elapsed_ms(), telemetry_.get()};
+    LaunchInfo info{name,
+                    static_cast<std::int64_t>(workers),
+                    workers,
+                    watch.elapsed_ms(),
+                    telemetry_.get(),
+                    direction};
     notify(listener, tracer, info);
-  }
-
-  /// Unnamed compatibility spelling of launch_slots(). DEPRECATED: prefer a
-  /// named launch_slots(...) (see parallel_for).
-  template <typename Body>
-  void parallel_slots(Body&& body) {
-    launch_slots("parallel_slots", std::forward<Body>(body));
   }
 
   /// A sequential pass on the host thread, accounted as one kernel launch

@@ -33,6 +33,7 @@ enum class ScratchLane : unsigned {
   kDegrees,        ///< advance / push vxm: per-item degrees -> offsets
   kCarries,        ///< fused segmented reduce: per-slot boundary carries
   kPalette,        ///< bit-packed forbidden-color masks (per-slot words)
+  kFrontier,       ///< bitmap push: materialized set-bit vertex list
   kLaneCount,
 };
 

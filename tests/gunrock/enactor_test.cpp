@@ -33,8 +33,8 @@ TEST(Enactor, CountsKernelLaunchesInsideBody) {
   sim::Device device(2);
   Enactor enactor(device);
   const EnactorStats stats = enactor.enact([&](std::int32_t iteration) {
-    device.parallel_for(8, [](std::int64_t) {});
-    device.parallel_for(8, [](std::int64_t) {});
+    device.launch("test::a", 8, [](std::int64_t) {});
+    device.launch("test::b", 8, [](std::int64_t) {});
     return iteration < 2;
   });
   EXPECT_EQ(stats.iterations, 3);

@@ -108,7 +108,8 @@ TEST(ScopedDeviceMetrics, CapturesNamedLaunchesSlotsAndHostPasses) {
     device.launch("test::kernel", 36, [](std::int64_t) {});
     device.launch_slots("test::slots", [](unsigned, unsigned) {});
     device.host_pass("test::host", [] {});
-    device.parallel_for(10, [](std::int64_t) {});
+    device.launch("test::direction", 10, [](std::int64_t) {}, sim::Schedule::kStatic,
+                  0, "pull");
     // Empty launches don't notify: nothing ran, nothing synchronized.
     device.launch("test::empty", 0, [](std::int64_t) {});
   }
@@ -120,7 +121,9 @@ TEST(ScopedDeviceMetrics, CapturesNamedLaunchesSlotsAndHostPasses) {
   EXPECT_EQ(m.kernel("test::slots")->items, 2);  // one item per slot
   ASSERT_NE(m.kernel("test::host"), nullptr);
   EXPECT_EQ(m.kernel("test::host")->launches, 1u);
-  ASSERT_NE(m.kernel("parallel_for"), nullptr);
+  ASSERT_NE(m.kernel("test::direction"), nullptr);
+  EXPECT_STREQ(m.kernel("test::direction")->direction, "pull");
+  EXPECT_EQ(m.kernel("test::kernel")->direction, nullptr);
   EXPECT_EQ(m.kernel("test::empty"), nullptr);
   EXPECT_EQ(m.total_kernel_launches(), 5u);
 }

@@ -53,7 +53,7 @@ TEST(Atomics, LoadStoreRoundTrip) {
 TEST(Atomics, ConcurrentAddsAreLossless) {
   Device device(4);
   std::int64_t counter = 0;
-  device.parallel_for(10000, [&](std::int64_t) {
+  device.launch("test::adds", 10000, [&](std::int64_t) {
     atomic_add(counter, std::int64_t{1});
   });
   EXPECT_EQ(counter, 10000);
@@ -62,7 +62,7 @@ TEST(Atomics, ConcurrentAddsAreLossless) {
 TEST(Atomics, ConcurrentMaxFindsGlobalMax) {
   Device device(4);
   std::int32_t best = 0;
-  device.parallel_for(10000, [&](std::int64_t i) {
+  device.launch("test::max", 10000, [&](std::int64_t i) {
     atomic_max(best, static_cast<std::int32_t>((i * 37) % 9973));
   });
   std::int32_t expected = 0;
@@ -75,7 +75,7 @@ TEST(Atomics, ConcurrentMaxFindsGlobalMax) {
 TEST(Atomics, ConcurrentMinFindsGlobalMin) {
   Device device(4);
   std::int32_t best = 1 << 30;
-  device.parallel_for(10000, [&](std::int64_t i) {
+  device.launch("test::min", 10000, [&](std::int64_t i) {
     atomic_min(best, static_cast<std::int32_t>((i * 37) % 9973 + 1));
   });
   EXPECT_EQ(best, 1);  // i = 0 gives 0 % 9973 + 1 = 1

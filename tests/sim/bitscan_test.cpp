@@ -1,0 +1,109 @@
+#include "sim/bitscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sim/bitops.hpp"
+#include "sim/device.hpp"
+
+namespace gcol::sim {
+namespace {
+
+TEST(Bitops, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+}
+
+TEST(Bitops, VisitSetBitsExtractsAscending) {
+  std::vector<std::int64_t> seen;
+  visit_set_bits((std::uint64_t{1} << 0) | (std::uint64_t{1} << 7) |
+                     (std::uint64_t{1} << 63),
+                 128, [&](std::int64_t bit) { seen.push_back(bit); });
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{128, 135, 191}));
+  visit_set_bits(0, 0, [&](std::int64_t) { FAIL() << "zero word visited"; });
+}
+
+class BitscanTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  Device device{GetParam()};
+};
+
+TEST_P(BitscanTest, VisitsExactlyTheSetBits) {
+  // Deterministic pseudo-random pattern across several words, including a
+  // zero word that must be skipped.
+  std::vector<std::uint64_t> words(5, 0);
+  std::vector<int> expected(5 * 64, 0);
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (int v = 0; v < 5 * 64; ++v) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    if (v >= 64 && v < 128) continue;  // words[1] stays zero
+    if ((state >> 60) & 1) {
+      words[static_cast<std::size_t>(v / 64)] |= std::uint64_t{1} << (v % 64);
+      expected[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  std::vector<std::atomic<int>> hits(5 * 64);
+  for_each_set_bit(device, "test::scan", words,
+                   [&](std::int64_t bit) {
+                     hits[static_cast<std::size_t>(bit)].fetch_add(1);
+                   });
+  for (int v = 0; v < 5 * 64; ++v) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(v)].load(),
+              expected[static_cast<std::size_t>(v)])
+        << "bit " << v;
+  }
+}
+
+TEST_P(BitscanTest, SingleWorkerTraversalIsAscending) {
+  if (device.num_workers() != 1) GTEST_SKIP();
+  std::vector<std::uint64_t> words(3, 0);
+  for (const int v : {5, 63, 64, 130}) {
+    words[static_cast<std::size_t>(v / 64)] |= std::uint64_t{1} << (v % 64);
+  }
+  std::vector<std::int64_t> order;
+  for_each_set_bit(device, "test::ascending", words,
+                   [&](std::int64_t bit) { order.push_back(bit); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{5, 63, 64, 130}));
+}
+
+TEST_P(BitscanTest, CountsOneLaunchOverWordsAndSkipsEmptySpans) {
+  std::vector<std::uint64_t> words(4, 1);
+  device.reset_launch_count();
+  for_each_set_bit(device, "test::one_launch", words, [](std::int64_t) {});
+  EXPECT_EQ(device.launch_count(), 1u);
+  // An empty span launches nothing: no work, no synchronization.
+  for_each_set_bit(device, "test::none", std::span<const std::uint64_t>{},
+                   [](std::int64_t) {});
+  for_each_set_bit_slotted(device, "test::none_slotted",
+                           std::span<const std::uint64_t>{},
+                           [](unsigned, std::int64_t) {});
+  EXPECT_EQ(device.launch_count(), 1u);
+}
+
+TEST_P(BitscanTest, SlottedVariantCoversBitsWithValidSlots) {
+  std::vector<std::uint64_t> words(6, 0);
+  for (int v = 0; v < 6 * 64; v += 3) {
+    words[static_cast<std::size_t>(v / 64)] |= std::uint64_t{1} << (v % 64);
+  }
+  std::vector<std::atomic<int>> hits(6 * 64);
+  const unsigned workers = device.num_workers();
+  for_each_set_bit_slotted(device, "test::slotted", words,
+                           [&](unsigned slot, std::int64_t bit) {
+                             EXPECT_LT(slot, workers);
+                             hits[static_cast<std::size_t>(bit)].fetch_add(1);
+                           });
+  for (int v = 0; v < 6 * 64; ++v) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(v)].load(), v % 3 == 0 ? 1 : 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, BitscanTest, ::testing::Values(1u, 2u, 4u));
+
+}  // namespace
+}  // namespace gcol::sim

@@ -9,49 +9,49 @@
 namespace gcol::sim {
 namespace {
 
-TEST(Device, ParallelForCoversRangeExactlyOnce) {
+TEST(Device, LaunchCoversRangeExactlyOnce) {
   Device device(4);
   std::vector<std::atomic<int>> hits(1000);
-  device.parallel_for(1000, [&](std::int64_t i) {
+  device.launch("test::cover", 1000, [&](std::int64_t i) {
     hits[static_cast<std::size_t>(i)].fetch_add(1);
   });
   for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
 }
 
-TEST(Device, ParallelForDynamicCoversRangeExactlyOnce) {
+TEST(Device, LaunchDynamicCoversRangeExactlyOnce) {
   Device device(4);
   std::vector<std::atomic<int>> hits(1000);
-  device.parallel_for(
-      1000,
+  device.launch(
+      "test::cover_dynamic", 1000,
       [&](std::int64_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); },
       Schedule::kDynamic, 7);
   for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
 }
 
-TEST(Device, ParallelForEmptyAndNegativeRangesAreNoOps) {
+TEST(Device, LaunchEmptyAndNegativeRangesAreNoOps) {
   Device device(2);
   int calls = 0;
-  device.parallel_for(0, [&](std::int64_t) { ++calls; });
-  device.parallel_for(-5, [&](std::int64_t) { ++calls; });
+  device.launch("test::empty", 0, [&](std::int64_t) { ++calls; });
+  device.launch("test::negative", -5, [&](std::int64_t) { ++calls; });
   EXPECT_EQ(calls, 0);
 }
 
-TEST(Device, LaunchCountIncrementsPerParallelFor) {
+TEST(Device, LaunchCountIncrementsPerLaunch) {
   Device device(2);
   device.reset_launch_count();
-  device.parallel_for(10, [](std::int64_t) {});
-  device.parallel_for(10, [](std::int64_t) {}, Schedule::kDynamic);
-  device.parallel_slots([](unsigned, unsigned) {});
+  device.launch("test::a", 10, [](std::int64_t) {});
+  device.launch("test::b", 10, [](std::int64_t) {}, Schedule::kDynamic);
+  device.launch_slots("test::c", [](unsigned, unsigned) {});
   EXPECT_EQ(device.launch_count(), 3u);
   // Empty launches don't count: nothing was synchronized.
-  device.parallel_for(0, [](std::int64_t) {});
+  device.launch("test::d", 0, [](std::int64_t) {});
   EXPECT_EQ(device.launch_count(), 3u);
 }
 
-TEST(Device, ParallelSlotsSeesConsistentSlotCount) {
+TEST(Device, LaunchSlotsSeesConsistentSlotCount) {
   Device device(3);
   std::vector<unsigned> counts(3, 0);
-  device.parallel_slots([&](unsigned slot, unsigned num_slots) {
+  device.launch_slots("test::slots", [&](unsigned slot, unsigned num_slots) {
     counts[slot] = num_slots;
   });
   for (const unsigned count : counts) EXPECT_EQ(count, 3u);
@@ -61,7 +61,8 @@ TEST(Device, SingleWorkerDeviceIsSerial) {
   Device device(1);
   // Order must be strictly ascending when only one worker exists.
   std::vector<std::int64_t> order;
-  device.parallel_for(100, [&](std::int64_t i) { order.push_back(i); });
+  device.launch("test::serial", 100,
+                [&](std::int64_t i) { order.push_back(i); });
   ASSERT_EQ(order.size(), 100u);
   for (std::size_t i = 0; i < order.size(); ++i) {
     EXPECT_EQ(order[i], static_cast<std::int64_t>(i));
