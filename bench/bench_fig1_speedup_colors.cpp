@@ -5,6 +5,9 @@
 // and MIS-vs-Naumov color ratios.
 
 #include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -12,18 +15,177 @@
 #include <vector>
 
 #include "common/bench_util.hpp"
+#include "core/batch.hpp"
+#include "core/verify.hpp"
 #include "graph/datasets.hpp"
 #include "obs/trace.hpp"
+#include "sim/device.hpp"
+#include "sim/timer.hpp"
 
 namespace {
 
 using namespace gcol;
+
+/// --batch=N: batched-throughput mode. For every (dataset, algorithm) cell,
+/// time N sequential single-graph runs on the full device, then one N-graph
+/// color::Batch (averaged over --runs passes after a warmup pass), and
+/// report throughput plus batch-vs-sequential speedup. The warm batch must
+/// never touch the upstream allocator (the streams' pooled scratch lanes
+/// reach their high-water sizes during warmup), and every batched coloring
+/// must be byte-identical to the sequential reference for the deterministic
+/// algorithms — both are hard failures, so CI catches regressions in the
+/// stream/pool layer the moment this mode runs.
+int run_batch_mode(const bench::Args& args,
+                   const std::vector<const color::AlgorithmSpec*>& algorithms) {
+  sim::Device& device = sim::Device::instance();
+  const unsigned full_width = device.num_workers();
+  unsigned streams = 0;
+  unsigned stream_width = 0;
+  {
+    // Probe the stream topology a default-constructed batch would use; the
+    // measurement loop constructs a fresh Batch per cell so the sequential
+    // reference keeps the whole device (no lanes leased while it runs).
+    const color::Batch probe(device);
+    streams = probe.num_streams();
+    stream_width = probe.stream_width();
+  }
+  bench::JsonReport report("fig1_speedup_colors", args, streams);
+  // The racy proposal/resolution algorithms are not run-to-run
+  // deterministic at any width > 1, so byte-identity is only checked for
+  // the rest (mirrors tests/core/batch_test.cpp).
+  const bool any_parallel = full_width > 1 || stream_width > 1;
+  const auto raced = [&](const std::string& name) {
+    return any_parallel && (name == "gunrock_hash" || name == "gm_speculative");
+  };
+
+  std::printf("== Figure 1 batched mode: %d-graph batches on %u streams x "
+              "width %u, vs %d sequential runs (scale=%.3f, runs=%d) ==\n\n",
+              args.batch, streams, stream_width, args.batch, args.scale,
+              args.runs);
+
+  std::vector<std::string> headers = {"dataset"};
+  for (const auto* spec : algorithms) headers.push_back(spec->display_name);
+  bench::TablePrinter throughput_table(headers, args.csv);
+  bench::TablePrinter speedup_table(headers, args.csv);
+  std::vector<double> speedups;
+
+  for (const graph::DatasetInfo& info : graph::paper_datasets()) {
+    if (!bench::dataset_selected(args, info.name)) continue;
+    const graph::Csr csr = graph::build_dataset(info, args.scale);
+    std::vector<std::string> throughput_row = {info.name};
+    std::vector<std::string> speedup_row = {info.name};
+    for (const auto* spec : algorithms) {
+      color::Options options;
+      options.seed = args.seed;
+      options.frontier_mode = args.frontier_mode;
+
+      // Sequential reference: N back-to-back single-graph runs with the
+      // full device (the batch below leases its lanes only after this).
+      sim::Stopwatch seq_watch;
+      color::Coloring reference;
+      for (int n = 0; n < args.batch; ++n) {
+        color::Coloring run = spec->run(csr, options);
+        if (n == 0) reference = std::move(run);
+      }
+      const double seq_ms = seq_watch.elapsed_ms();
+
+      const std::vector<color::BatchItem> items(
+          static_cast<std::size_t>(args.batch),
+          color::BatchItem{&csr, options});
+      std::atomic<std::uint64_t> upstream{0};
+      std::vector<color::Coloring> batched;
+      double batch_ms = 0.0;
+      {
+        color::Batch batch(device);
+        (void)batch.run(*spec, items);  // warmup: pooled lanes reach size
+        device.memory_pool().set_alloc_hook([&upstream](std::size_t) {
+          upstream.fetch_add(1, std::memory_order_relaxed);
+        });
+        device.memory_pool().reset_stats();
+        double total = 0.0;
+        for (int r = 0; r < args.runs; ++r) {
+          sim::Stopwatch watch;
+          batched = batch.run(*spec, items);
+          total += watch.elapsed_ms();
+        }
+        device.memory_pool().set_alloc_hook({});
+        batch_ms = total / args.runs;
+      }
+      const std::uint64_t pool_allocs = upstream.load();
+      if (pool_allocs != 0) {
+        std::fprintf(stderr,
+                     "POOL MISS: %s on %s hit the upstream allocator %llu "
+                     "times after warmup\n",
+                     spec->name.c_str(), info.name.c_str(),
+                     static_cast<unsigned long long>(pool_allocs));
+        return 1;
+      }
+      bool identical = true;
+      for (std::size_t g = 0; g < batched.size(); ++g) {
+        if (!color::is_valid_coloring(csr, batched[g].colors)) {
+          std::fprintf(stderr, "INVALID batched coloring: %s on %s graph %zu\n",
+                       spec->name.c_str(), info.name.c_str(), g);
+          return 1;
+        }
+        identical = identical && batched[g].colors == reference.colors;
+      }
+      if (!identical && !raced(spec->name)) {
+        std::fprintf(stderr,
+                     "DIVERGED: %s on %s batched coloring differs from the "
+                     "sequential path\n",
+                     spec->name.c_str(), info.name.c_str());
+        return 1;
+      }
+
+      const double throughput = args.batch * 1000.0 / batch_ms;
+      const double speedup = seq_ms / batch_ms;
+      speedups.push_back(speedup);
+      throughput_row.push_back(bench::fmt(throughput, 1));
+      speedup_row.push_back(bench::fmt(speedup));
+
+      obs::Json record = obs::Json::object();
+      record.set("dataset", info.name);
+      record.set("algorithm", spec->name);
+      record.set("kind", "batch");
+      record.set("batch", static_cast<std::int64_t>(args.batch));
+      record.set("streams", static_cast<std::int64_t>(streams));
+      record.set("ms", batch_ms);
+      record.set("seq_ms", seq_ms);
+      record.set("graphs_per_s", throughput);
+      record.set("speedup_vs_sequential", speedup);
+      record.set("colors", batched.empty() ? 0 : batched[0].num_colors);
+      record.set("pool_allocations", static_cast<std::int64_t>(pool_allocs));
+      record.set("identical", identical);
+      record.set("valid", true);
+      report.add_record(std::move(record));
+    }
+    throughput_table.add_row(std::move(throughput_row));
+    speedup_table.add_row(std::move(speedup_row));
+  }
+
+  std::printf("-- batched throughput (graphs/s, higher is better) --\n");
+  throughput_table.print();
+  std::printf("\n-- batch speedup vs %d sequential runs (higher is better) "
+              "--\n",
+              args.batch);
+  speedup_table.print();
+  std::printf("\n== summary ==\n");
+  std::printf("batch-vs-sequential speedup: geomean %.2fx over %zu cells "
+              "(zero upstream allocations after warmup on every cell)\n",
+              bench::geomean(speedups), speedups.size());
+  if (!report.write()) {
+    std::fprintf(stderr, "FAILED to write JSON report\n");
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv);
   const auto algorithms = bench::selected_algorithms(args);
+  if (args.batch > 0) return run_batch_mode(args, algorithms);
   const auto selected = [&](const char* name) {
     return std::any_of(algorithms.begin(), algorithms.end(),
                        [&](const auto* spec) { return spec->name == name; });

@@ -29,7 +29,10 @@ namespace {
       "  --max-rgg=N  largest RGG scale for the Figure 3 sweep (default 17; "
       "paper used 24)\n"
       "  --seed=N     RNG seed (default 1)\n"
-      "  --json PATH  also write a gcol-bench-v2 JSON report to PATH\n"
+      "  --batch=N    batched-throughput mode: color N copies of each graph "
+      "as one multi-stream batch and compare against N sequential runs "
+      "(default 0 = classic mode)\n"
+      "  --json PATH  also write a gcol-bench-v3 JSON report to PATH\n"
       "  --trace PATH also write a Chrome trace-event JSON (open in "
       "ui.perfetto.dev)\n"
       "  --datasets=A,B  only run the named datasets (default: all)\n"
@@ -41,12 +44,14 @@ namespace {
   std::exit(2);
 }
 
-/// The run-environment block of the gcol-bench-v2 header: enough to tell two
+/// The run-environment block of the gcol-bench-v3 header: enough to tell two
 /// BENCH_*.json files measured different machines/configs apart before
 /// comparing their numbers. Git SHA and build type are baked in at configure
 /// time (see bench/CMakeLists.txt); worker count and GCOL_THREADS are read
-/// live so the report reflects the actual run.
-obs::Json run_meta(gr::FrontierMode frontier_mode) {
+/// live so the report reflects the actual run. `streams` is the number of
+/// device streams the harness scheduled measured work onto (0 for a classic
+/// host-only run).
+obs::Json run_meta(gr::FrontierMode frontier_mode, unsigned streams) {
   obs::Json meta = obs::Json::object();
   meta.set("workers",
            static_cast<std::int64_t>(sim::Device::instance().num_workers()));
@@ -69,6 +74,10 @@ obs::Json run_meta(gr::FrontierMode frontier_mode) {
   // BENCH_baseline.json (sparse) vs BENCH_after.json (auto) differ exactly
   // here, and bench_diff keys its per-direction breakdown off it.
   meta.set("frontier_mode", gr::to_string(frontier_mode));
+  // v3: how many device streams the measured runs were scheduled onto.
+  // 0 marks a classic run (everything on the host's default context), so
+  // bench_diff can refuse to compare batched against classic numbers.
+  meta.set("streams", static_cast<std::int64_t>(streams));
   return meta;
 }
 
@@ -105,6 +114,8 @@ Args parse_args(int argc, char** argv) {
       args.max_rgg_scale = std::atoi(value);
     } else if (parse_kv(arg, "--seed", &value)) {
       args.seed = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (parse_kv(arg, "--batch", &value)) {
+      args.batch = std::atoi(value);
     } else if (parse_kv(arg, "--json", &value)) {
       args.json_path = value;
     } else if (std::strcmp(arg, "--json") == 0) {
@@ -134,7 +145,7 @@ Args parse_args(int argc, char** argv) {
   }
   if (args.scale <= 0.0 || args.scale > 1.0 || args.runs < 1 ||
       args.min_rgg_scale < 5 || args.max_rgg_scale > 24 ||
-      args.min_rgg_scale > args.max_rgg_scale) {
+      args.min_rgg_scale > args.max_rgg_scale || args.batch < 0) {
     usage_and_exit(argv[0]);
   }
   return args;
@@ -262,16 +273,17 @@ std::string fmt(double value, int precision) {
   return buffer;
 }
 
-JsonReport::JsonReport(std::string bench_name, const Args& args)
+JsonReport::JsonReport(std::string bench_name, const Args& args,
+                       unsigned streams)
     : path_(args.json_path),
       header_(obs::Json::object()),
       records_(obs::Json::array()) {
-  header_.set("schema", "gcol-bench-v2");
+  header_.set("schema", "gcol-bench-v3");
   header_.set("bench", std::move(bench_name));
   header_.set("scale", args.scale);
   header_.set("runs", args.runs);
   header_.set("seed", static_cast<std::int64_t>(args.seed));
-  header_.set("meta", run_meta(args.frontier_mode));
+  header_.set("meta", run_meta(args.frontier_mode, streams));
 }
 
 void JsonReport::add_measurement(std::string_view dataset,

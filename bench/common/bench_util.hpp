@@ -36,6 +36,11 @@ struct Args {
   /// --frontier: frontier representation / direction policy handed to every
   /// measured run (sparse | bitmap-push | bitmap-pull | auto).
   gr::FrontierMode frontier_mode = gr::FrontierMode::kAuto;
+  /// --batch: number of graph copies colored per batched cell. 0 (the
+  /// default) keeps the harness in classic single-graph mode; N > 0 switches
+  /// supporting harnesses into batched-throughput mode, comparing one
+  /// N-graph color::Batch against N sequential single-graph runs.
+  int batch = 0;
 };
 
 /// Parses --scale=0.1 --runs=10 --csv --min-rgg=15 --max-rgg=20 --seed=7
@@ -94,13 +99,21 @@ class TablePrinter {
 /// Accumulates one schema-stable JSON record per (dataset, algorithm) data
 /// point and writes the whole report on demand:
 ///
-///   {"schema": "gcol-bench-v2", "bench": <name>, "scale": F, "runs": N,
+///   {"schema": "gcol-bench-v3", "bench": <name>, "scale": F, "runs": N,
 ///    "seed": N, "meta": {"workers": N, "gcol_threads": S, "git_sha": S,
-///    "build_type": S, "advance_policy": S, "frontier_mode": S},
+///    "build_type": S, "advance_policy": S, "frontier_mode": S,
+///    "streams": N},
 ///    "records": [{"dataset": ..., "algorithm": ..., "ms": F,
 ///    "ms_min": F, "colors": N, "iterations": N, "kernel_launches": N,
 ///    "conflicts_resolved": N, "valid": B, "display_name": ...,
 ///    "metrics": {...}}, ...]}
+///
+/// v3 over v2: the trailing "streams" meta key — the number of device
+/// streams the harness scheduled work onto (0 for a classic host-only run),
+/// plus the optional per-kernel "streams" count inside metrics.kernels
+/// entries whenever a kernel ran on a non-default stream. Batched harnesses
+/// (--batch) also append records with "kind": "batch" carrying throughput
+/// and batch-vs-sequential speedup; classic records are unchanged.
 ///
 /// v2 over v1: the "meta" run-environment header, plus per-kernel imbalance
 /// fields (busy_max_over_mean, barrier_wait_share, items_cov) inside each
@@ -113,7 +126,9 @@ class TablePrinter {
 /// fixed schema.
 class JsonReport {
  public:
-  JsonReport(std::string bench_name, const Args& args);
+  /// `streams` is the device-stream count the measured runs were scheduled
+  /// onto, recorded as meta.streams; classic single-graph harnesses pass 0.
+  JsonReport(std::string bench_name, const Args& args, unsigned streams = 0);
 
   /// True when --json was passed; harnesses skip reporting otherwise.
   [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }

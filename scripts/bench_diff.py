@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
 """Diff two gcol-bench JSON reports (see bench/common/bench_util.hpp).
 
-Accepts gcol-bench-v1 and gcol-bench-v2 reports (v2 adds a "meta"
-run-environment header and per-kernel imbalance fields). Compares records
+Accepts gcol-bench-v1, -v2, and -v3 reports (v2 adds a "meta"
+run-environment header and per-kernel imbalance fields; v3 adds the
+meta.streams key and optional batched-throughput records, which carry
+"kind": "batch" and are skipped here — batch throughput is compared by eye,
+not gated). Compares records
 keyed by (dataset, algorithm) and reports, per pair: runtime (ms),
 kernel-launch count, color count deltas, and — when both sides carry
 telemetry — the time-weighted per-kernel load-imbalance delta. Wall time is
@@ -33,7 +36,7 @@ import argparse
 import json
 import sys
 
-ACCEPTED_SCHEMAS = ("gcol-bench-v1", "gcol-bench-v2")
+ACCEPTED_SCHEMAS = ("gcol-bench-v1", "gcol-bench-v2", "gcol-bench-v3")
 
 # Flags that fail a --gate run; everything else is advisory.
 GATING_FLAGS = ("INVALID", "LAUNCHES+", "COLORS+")
@@ -52,6 +55,11 @@ def load_doc(path: str) -> dict:
 def index_records(doc: dict, path: str) -> dict[tuple[str, str], dict]:
     records = {}
     for r in doc.get("records", []):
+        # v3 batched-throughput records measure a different quantity
+        # (N-graph batch wall time) and carry none of the per-run fields
+        # this diff keys on; only classic records are compared.
+        if r.get("kind") == "batch":
+            continue
         records[(r["dataset"], r["algorithm"])] = r
     if not records:
         sys.exit(f"{path}: no records")
@@ -257,6 +265,18 @@ def _run_compare(base_doc, after_doc, gate=True, capture=None):
     return code
 
 
+def _batch_only_exits(v3_doc: dict) -> bool:
+    """True when a batch-records-only report makes index_records bail out."""
+    batch_only = dict(v3_doc)
+    batch_only["records"] = [r for r in v3_doc["records"]
+                             if r.get("kind") == "batch"]
+    try:
+        index_records(batch_only, "<batch-only>")
+    except SystemExit:
+        return True
+    return False
+
+
 def self_test() -> int:
     failures = []
 
@@ -357,6 +377,19 @@ def self_test() -> int:
     # v1 reports (no meta, no imbalance fields) still compare.
     v1 = _doc([_record()], schema="gcol-bench-v1")
     check("v1 vs v2 compares", _run_compare(v1, base) == 0)
+
+    # v3 reports compare, and their batched-throughput records are ignored
+    # (different quantity: batch wall time, no per-run launch/color fields).
+    batch_record = {"dataset": "d", "algorithm": "a", "kind": "batch",
+                    "batch": 8, "streams": 4, "ms": 5.0, "seq_ms": 10.0,
+                    "graphs_per_s": 1600.0, "speedup_vs_sequential": 2.0,
+                    "colors": 4, "pool_allocations": 0, "identical": True,
+                    "valid": True}
+    v3 = _doc([_record(), batch_record], schema="gcol-bench-v3",
+              meta={"workers": 1, "streams": 4})
+    check("v3 vs v2 compares, batch records skipped",
+          _run_compare(base, v3) == 0)
+    check("batch-only report refuses to diff", _batch_only_exits(v3))
 
     if failures:
         print(f"self-test FAILED: {len(failures)} case(s)")

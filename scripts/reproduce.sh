@@ -1,28 +1,76 @@
 #!/usr/bin/env bash
 # One-command reproduction of the paper's evaluation: build, test, run every
-# table/figure harness, and archive the outputs next to EXPERIMENTS.md.
+# table/figure harness through the current bench interface (--frontier /
+# --json / --trace / --batch), and archive the outputs under reproduce-out/.
 #
-#   scripts/reproduce.sh [--scale=F] [--runs=N] ...   (flags forwarded to
-#   every table harness; bench_micro_primitives takes google-benchmark
-#   flags and is run without them)
+#   scripts/reproduce.sh [--smoke] [FLAGS...]
+#
+#   --smoke    CI mode: tiny scale, one run, two datasets, micro-benchmarks
+#              skipped. Everything else (JSON reports, the Figure 1 trace,
+#              the batched multi-stream leg) still runs, so the whole
+#              pipeline is exercised in a couple of minutes.
+#   FLAGS...   forwarded verbatim to every table/figure harness after the
+#              mode defaults (so e.g. --runs=10 --scale=1.0 overrides them;
+#              bench_micro_primitives takes google-benchmark flags and is
+#              run without any).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+SMOKE=0
+FORWARD=()
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) FORWARD+=("$arg") ;;
+  esac
+done
+
+OUT=reproduce-out
+mkdir -p "$OUT"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j 2>&1 | tee "$OUT/test_output.txt"
+
+# The measured runs use the direction-optimized auto frontier policy (the
+# default, stated explicitly so the reports' meta.frontier_mode is
+# self-documenting). Smoke mode shrinks the workload; user flags come last
+# and win.
+FLAGS=(--frontier=auto)
+BATCH=8
+if [ "$SMOKE" -eq 1 ]; then
+  FLAGS+=(--scale=0.01 --runs=1 --datasets=offshore,ecology2)
+  BATCH=4
+fi
+FLAGS+=(${FORWARD[@]+"${FORWARD[@]}"})
 
 {
   for b in build/bench/bench_*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
-    echo "===== $(basename "$b") ====="
-    if [ "$(basename "$b")" = "bench_micro_primitives" ]; then
-      "$b"
+    name=$(basename "$b")
+    echo "===== $name ====="
+    if [ "$name" = "bench_micro_primitives" ]; then
+      if [ "$SMOKE" -eq 1 ]; then
+        echo "(skipped in --smoke mode)"
+      else
+        "$b"
+      fi
+    elif [ "$name" = "bench_fig1_speedup_colors" ]; then
+      # Figure 1 doubles as the trace exemplar and the batched-throughput
+      # harness: one classic pass with a Chrome trace, one --batch pass
+      # driving the multi-stream executor (zero-allocation steady state and
+      # batch-vs-sequential identity are asserted inside the harness).
+      "$b" "${FLAGS[@]}" \
+        --json "$OUT/$name.json" --trace "$OUT/$name.trace.json"
+      echo "----- $name --batch=$BATCH -----"
+      "$b" "${FLAGS[@]}" --batch="$BATCH" --json "$OUT/${name}_batch.json"
     else
-      "$b" "$@"
+      "$b" "${FLAGS[@]}" --json "$OUT/$name.json"
     fi
     echo
   done
-} 2>&1 | tee bench_output.txt
+} 2>&1 | tee "$OUT/bench_output.txt"
 
-echo "done: see test_output.txt and bench_output.txt"
+python3 scripts/trace_report.py "$OUT/bench_fig1_speedup_colors.trace.json" --check
+
+echo "done: reports, traces, and logs are under $OUT/"

@@ -1,0 +1,54 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace gcol::color {
+
+Batch::Batch(sim::Device& device, unsigned num_streams) : device_(device) {
+  const unsigned workers = device.num_workers();
+  const unsigned count =
+      num_streams != 0 ? num_streams : std::clamp(workers / 4u, 1u, 8u);
+  const unsigned width = std::max(1u, workers / count);
+  streams_.reserve(count);
+  for (unsigned s = 0; s < count; ++s) {
+    streams_.push_back(std::make_unique<sim::Stream>(device_, width));
+  }
+}
+
+Batch::~Batch() = default;
+
+std::vector<Coloring> Batch::run(const AlgorithmSpec& spec,
+                                 const std::vector<BatchItem>& items) {
+  std::vector<Coloring> results(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    sim::Stream& stream = *streams_[i % streams_.size()];
+    const BatchItem item = items[i];
+    Coloring* out = &results[i];
+    // The task runs on the stream's thread under its execution context, so
+    // every device call inside the algorithm — launches, scratch, launch
+    // counter, scoped metrics — resolves to this stream's lane.
+    stream.submit([&spec, item, out] { *out = spec.run(*item.graph, item.options); });
+  }
+  std::exception_ptr first_error;
+  for (const auto& stream : streams_) {
+    try {
+      stream->synchronize();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<Coloring> Batch::run(const AlgorithmSpec& spec,
+                                 const std::vector<const graph::Csr*>& graphs,
+                                 const Options& options) {
+  std::vector<BatchItem> items;
+  items.reserve(graphs.size());
+  for (const graph::Csr* graph : graphs) items.push_back({graph, options});
+  return run(spec, items);
+}
+
+}  // namespace gcol::color

@@ -1,0 +1,80 @@
+#pragma once
+// Batched multi-graph coloring over device streams. A Batch owns a small
+// fleet of sim::Streams — each with its own worker lane, scratch arena and
+// launch counter — and round-robins N independent coloring problems across
+// them, so the colorings execute concurrently on disjoint slices of the
+// worker pool instead of time-slicing the whole pool one graph at a time.
+// This is the host-side pattern the paper's setting implies for coloring
+// many small/medium graphs (one cuSPARSE/Gunrock call per graph, streams for
+// overlap): per-graph kernel launches are cheap, so the win comes from
+// keeping every SM busy while any one graph is in a narrow tail iteration.
+//
+// Determinism: every registered algorithm is seed-deterministic for a fixed
+// worker-slot count EXCEPT the intentionally racy speculative variants
+// (gunrock_hash, gm_speculative — see tests/core/frontier_mode_test.cpp).
+// A stream's lane width generally differs from the full pool's width, but
+// algorithm results are width-independent (width only affects scratch sizing
+// and scheduling), so batched colorings are byte-identical to single-graph
+// runs of the same options — the property tests/core/batch_test.cpp pins.
+//
+// Errors: a failing coloring does not abort its siblings; run() completes
+// every graph it can, then rethrows the first captured error.
+
+#include <memory>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/result.hpp"
+#include "graph/csr.hpp"
+#include "sim/stream.hpp"
+
+namespace gcol::color {
+
+/// One coloring problem inside a batch.
+struct BatchItem {
+  const graph::Csr* graph = nullptr;  ///< must outlive the run() call
+  Options options;
+};
+
+class Batch {
+ public:
+  /// Creates `num_streams` streams on `device`, each as wide as an even
+  /// split of the device's workers allows. `num_streams == 0` picks a
+  /// default: one stream per four workers, clamped to [1, 8] — wide enough
+  /// lanes that per-graph kernels still parallelize, enough streams that
+  /// tail iterations overlap. Streams (and their leased lanes) live for the
+  /// Batch's lifetime, so back-to-back run() calls reuse warm scratch.
+  explicit Batch(sim::Device& device, unsigned num_streams = 0);
+  ~Batch();
+
+  Batch(const Batch&) = delete;
+  Batch& operator=(const Batch&) = delete;
+
+  [[nodiscard]] unsigned num_streams() const noexcept {
+    return static_cast<unsigned>(streams_.size());
+  }
+  /// Worker slots per stream lane (streams may degrade to narrower lanes
+  /// when the pool is small; all streams of a batch share one width).
+  [[nodiscard]] unsigned stream_width() const noexcept {
+    return streams_.front()->width();
+  }
+
+  /// Colors every item with `spec`, one coloring per item in item order,
+  /// scheduling item i on stream i % num_streams(). Blocks until the whole
+  /// batch completes; rethrows the first error after all streams drain.
+  /// `spec` and every item's graph must outlive the call (trivially true —
+  /// the call blocks).
+  std::vector<Coloring> run(const AlgorithmSpec& spec,
+                            const std::vector<BatchItem>& items);
+
+  /// Convenience: the same options for every graph.
+  std::vector<Coloring> run(const AlgorithmSpec& spec,
+                            const std::vector<const graph::Csr*>& graphs,
+                            const Options& options = {});
+
+ private:
+  sim::Device& device_;
+  std::vector<std::unique_ptr<sim::Stream>> streams_;
+};
+
+}  // namespace gcol::color

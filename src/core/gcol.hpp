@@ -3,6 +3,7 @@
 // the full public API (graphs, generators, all coloring algorithms,
 // verification, and the algorithm registry).
 
+#include "core/batch.hpp"            // IWYU pragma: export
 #include "core/distance2.hpp"        // IWYU pragma: export
 #include "core/dsatur.hpp"           // IWYU pragma: export
 #include "core/gm_speculative.hpp"   // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "obs/trace.hpp"
@@ -109,6 +110,7 @@ void Metrics::record_kernel(const sim::LaunchInfo& info) {
   stat->items += info.items;
   stat->total_ms += info.elapsed_ms;
   if (info.direction != nullptr) stat->direction = info.direction;
+  stat->stream_mask |= std::uint64_t{1} << (info.stream < 63 ? info.stream : 63);
   if (info.slot_telemetry != nullptr && info.slots > 0) {
     stat->accumulate_telemetry(info);
   }
@@ -180,6 +182,7 @@ void Metrics::merge(const Metrics& other) {
     mine.busy_mean_ms += theirs.busy_mean_ms;
     mine.wait_ms += theirs.wait_ms;
     mine.span_ms += theirs.span_ms;
+    mine.stream_mask |= theirs.stream_mask;
   }
 }
 
@@ -219,6 +222,13 @@ Json Metrics::to_json() const {
         entry.set("busy_max_over_mean", stat.busy_max_over_mean());
         entry.set("barrier_wait_share", stat.barrier_wait_share());
         entry.set("items_cov", stat.items_cov());
+      }
+      // Launches confined to the default stream serialize exactly as before
+      // (gcol-bench-v2 compatible); only genuinely streamed kernels grow a
+      // "streams" key with the number of distinct streams observed.
+      if (stat.stream_mask != 0 && stat.stream_mask != 1) {
+        entry.set("streams",
+                  static_cast<std::uint64_t>(std::popcount(stat.stream_mask)));
       }
       kernels.set(kernel_names_[i], std::move(entry));
     }

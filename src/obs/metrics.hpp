@@ -46,6 +46,11 @@ struct KernelStat {
   /// is launched under both directions the last observed one wins (only
   /// "gr::compute_count" shares a name across directions today).
   const char* direction = nullptr;
+  /// Bitmask of stream ids this kernel launched on (bit min(stream, 63));
+  /// 0 when only the name/items/ms overload recorded. Serialized as a
+  /// "streams" population count only when a non-default stream appears, so
+  /// classic single-stream payloads are byte-identical to gcol-bench-v2.
+  std::uint64_t stream_mask = 0;
 
   // ---- per-slot telemetry sums (only launches that carried telemetry) ----
   std::uint64_t telemetry_launches = 0;  ///< launches with slot telemetry

@@ -7,9 +7,10 @@ namespace gcol::obs {
 
 namespace {
 
-/// The innermost live session. Sessions are host-thread-only, but the
-/// pointer is atomic so the disabled-path check in trace_counter/ScopedPhase
-/// is a data-race-free relaxed load even if a stray thread probes it.
+/// The innermost live session. Sessions are constructed/destroyed on the
+/// host thread; the atomic makes the disabled-path check in
+/// trace_counter/ScopedPhase a data-race-free relaxed load from any thread
+/// (stream threads probe it on every counter push and phase marker).
 std::atomic<TraceSession*> g_current{nullptr};
 
 }  // namespace
@@ -19,12 +20,20 @@ TraceSession::TraceSession(sim::Device& device)
       previous_tracer_(device.set_trace_listener(this)),
       previous_session_(g_current.exchange(this, std::memory_order_acq_rel)) {
   events_.reserve(1024);
+  // The default stream's tracks exist even in an empty trace, and its worker
+  // sentinel (tid 1 == its phase track) reproduces the classic layout.
+  streams_.push_back(StreamState{0, {}, 1});
 }
 
 TraceSession::TraceSession() : TraceSession(sim::Device::instance()) {}
 
 TraceSession::~TraceSession() {
-  while (!open_phases_.empty()) end_phase();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (StreamState& state : streams_) {
+      while (!state.open_phases.empty()) close_phase_locked(state);
+    }
+  }
   g_current.store(previous_session_, std::memory_order_release);
   device_.set_trace_listener(previous_tracer_);
 }
@@ -33,27 +42,57 @@ TraceSession* TraceSession::current() noexcept {
   return g_current.load(std::memory_order_relaxed);
 }
 
-void TraceSession::begin_phase(std::string_view name) {
-  open_phases_.push_back({std::string(name), clock_.elapsed_ms()});
+TraceSession::StreamState& TraceSession::state_for_locked(unsigned stream) {
+  for (StreamState& state : streams_) {
+    if (state.stream == stream) return state;
+  }
+  streams_.push_back(StreamState{stream, {}, track_base(stream) + 1});
+  return streams_.back();
 }
 
-void TraceSession::end_phase() {
-  if (open_phases_.empty()) return;
-  OpenPhase phase = std::move(open_phases_.back());
-  open_phases_.pop_back();
+void TraceSession::begin_phase(std::string_view name) {
+  const unsigned stream = sim::current_stream_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_for_locked(stream).open_phases.push_back(
+      {std::string(name), clock_.elapsed_ms()});
+}
+
+void TraceSession::close_phase_locked(StreamState& state) {
+  OpenPhase phase = std::move(state.open_phases.back());
+  state.open_phases.pop_back();
   Event event;
   event.kind = Event::Kind::kSpan;
-  event.tid = 1;
+  event.tid = track_base(state.stream) + 1;
   event.name = std::move(phase.name);
   event.begin_ms = phase.begin_ms;
   event.dur_ms = clock_.elapsed_ms() - phase.begin_ms;
   events_.push_back(std::move(event));
 }
 
+void TraceSession::end_phase() {
+  const unsigned stream = sim::current_stream_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  StreamState& state = state_for_locked(stream);
+  if (state.open_phases.empty()) return;
+  close_phase_locked(state);
+}
+
 void TraceSession::counter(std::string_view name, std::int64_t value) {
+  const unsigned stream = sim::current_stream_id();
   Event event;
   event.kind = Event::Kind::kCounter;
-  event.name = std::string(name);
+  // Counter tracks are keyed by name alone in the trace format, so samples
+  // recorded on a stream thread get a stream prefix — concurrent frontier /
+  // colored trajectories must not interleave on one track.
+  if (stream == 0) {
+    event.name.assign(name);
+  } else {
+    event.name = "s";
+    event.name += std::to_string(stream);
+    event.name += ':';
+    event.name += name;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   event.begin_ms = clock_.elapsed_ms();
   event.value = value;
   events_.push_back(std::move(event));
@@ -64,6 +103,7 @@ void TraceSession::on_kernel_launch(const sim::LaunchInfo& info) {
   // began `elapsed_ms` ago on the session clock. Slot telemetry timestamps
   // are relative to that same origin.
   const double launch_begin = clock_.elapsed_ms() - info.elapsed_ms;
+  const std::int64_t base = track_base(info.stream);
 
   double busy_sum = 0.0;
   double busy_max = 0.0;
@@ -86,13 +126,17 @@ void TraceSession::on_kernel_launch(const sim::LaunchInfo& info) {
   launch.has_launch_args = true;
   launch.direction = info.direction;
   launch.slots = info.slots;
-  launch.tid = 0;
+  launch.stream = info.stream;
+  launch.tid = base;
   launch.name = info.name;
   launch.begin_ms = launch_begin;
   launch.dur_ms = info.elapsed_ms;
   launch.value = info.items;
   launch.imbalance = busy_mean > 0.0 ? busy_max / busy_mean : 1.0;
   launch.wait_share = span > 0.0 ? wait_sum / span : 0.0;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  StreamState& state = state_for_locked(info.stream);
   events_.push_back(std::move(launch));
 
   if (info.slot_telemetry == nullptr) return;
@@ -103,13 +147,15 @@ void TraceSession::on_kernel_launch(const sim::LaunchInfo& info) {
     if (t.items == 0 && t.end_ms - t.start_ms <= 0.0) continue;
     Event slot_span;
     slot_span.kind = Event::Kind::kSpan;
-    slot_span.tid = 2 + static_cast<std::int64_t>(s);
+    slot_span.tid = base + 2 + static_cast<std::int64_t>(s);
     slot_span.name = info.name;
     slot_span.begin_ms = launch_begin + t.start_ms;
     slot_span.dur_ms = t.end_ms - t.start_ms;
     slot_span.value = t.items;
     events_.push_back(std::move(slot_span));
-    if (slot_span.tid > max_worker_tid_) max_worker_tid_ = slot_span.tid;
+    if (slot_span.tid > state.max_worker_tid) {
+      state.max_worker_tid = slot_span.tid;
+    }
   }
 }
 
@@ -140,7 +186,10 @@ void TraceSession::append_event(Json& trace_events, const Event& event) {
       if (event.direction != nullptr) {
         args.set("direction", std::string(event.direction));
       }
-    } else if (event.tid >= 2) {
+      if (event.stream != 0) {
+        args.set("stream", static_cast<std::int64_t>(event.stream));
+      }
+    } else if (event.tid % 4096 >= 2) {
       args.set("items", event.value);
     }
     if (args.size() > 0) out.set("args", std::move(args));
@@ -149,9 +198,11 @@ void TraceSession::append_event(Json& trace_events, const Event& event) {
 }
 
 Json TraceSession::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   Json trace_events = Json::array();
 
-  // Thread-name metadata first so viewers label the tracks.
+  // Thread-name metadata first so viewers label the tracks: one
+  // kernels/phases/worker-N group per stream, in first-use order.
   const auto name_track = [&trace_events](std::int64_t tid,
                                           const std::string& name) {
     Json meta = Json::object();
@@ -164,10 +215,19 @@ Json TraceSession::to_json() const {
     meta.set("args", std::move(args));
     trace_events.push_back(std::move(meta));
   };
-  name_track(0, "kernels");
-  name_track(1, "phases");
-  for (std::int64_t tid = 2; tid <= max_worker_tid_; ++tid) {
-    name_track(tid, "worker " + std::to_string(tid - 2));
+  for (const StreamState& state : streams_) {
+    const std::int64_t base = track_base(state.stream);
+    std::string prefix;
+    if (state.stream != 0) {
+      prefix = "s";
+      prefix += std::to_string(state.stream);
+      prefix += ' ';
+    }
+    name_track(base, prefix + "kernels");
+    name_track(base + 1, prefix + "phases");
+    for (std::int64_t tid = base + 2; tid <= state.max_worker_tid; ++tid) {
+      name_track(tid, prefix + "worker " + std::to_string(tid - base - 2));
+    }
   }
 
   for (const Event& event : events_) append_event(trace_events, event);
@@ -175,14 +235,16 @@ Json TraceSession::to_json() const {
   // Phases still open when the trace is exported (a session dumped
   // mid-flight) are shown as if they ended now.
   const double now = clock_.elapsed_ms();
-  for (const OpenPhase& phase : open_phases_) {
-    Event event;
-    event.kind = Event::Kind::kSpan;
-    event.tid = 1;
-    event.name = phase.name;
-    event.begin_ms = phase.begin_ms;
-    event.dur_ms = now - phase.begin_ms;
-    append_event(trace_events, event);
+  for (const StreamState& state : streams_) {
+    for (const OpenPhase& phase : state.open_phases) {
+      Event event;
+      event.kind = Event::Kind::kSpan;
+      event.tid = track_base(state.stream) + 1;
+      event.name = phase.name;
+      event.begin_ms = phase.begin_ms;
+      event.dur_ms = now - phase.begin_ms;
+      append_event(trace_events, event);
+    }
   }
 
   Json doc = Json::object();

@@ -8,15 +8,21 @@
 // stack up in the tail iterations, and how the frontier/colored trajectories
 // line up against the kernel stream.
 //
-// Track layout (one process, synthetic thread ids):
+// Track layout (one process, synthetic thread ids). The default stream keeps
+// its classic tids; every other stream gets its own group of tracks at base
+// `stream * 4096`, so a batched run reads as one timeline lane per stream:
 //   tid 0      — "kernels": one span per launch, args carry items/slots and
 //                the launch's imbalance numbers;
 //   tid 1      — "phases": spans opened by ScopedPhase (outer iterations,
 //                datasets, algorithm runs); they nest like a call stack;
 //   tid 2 + s  — "worker s": the busy span of worker slot s inside each
 //                launch (empty slots are omitted);
+//   tid k*4096 + {0, 1, 2+s} — the same three-track group for stream k >= 1
+//                ("s<k> kernels" / "s<k> phases" / "s<k> worker <s>");
 //   counters   — "C" events (frontier, colored, ...) forwarded automatically
-//                from Metrics::push while a session is active.
+//                from Metrics::push while a session is active; samples pushed
+//                on a stream thread get an "s<k>:" name prefix so concurrent
+//                trajectories stay separate tracks.
 //
 // A session installs itself as the device's *tracer* listener slot — the one
 // ScopedDeviceMetrics never swaps out — so a harness-level session observes
@@ -24,9 +30,12 @@
 // Metrics still captures its own exclusive per-run aggregates. Sessions nest
 // (the inner one wins) and restore on destruction.
 //
-// All recording is host-thread-only, same as the device launch API itself.
+// Recording is thread-safe (one mutex around the event log): launches,
+// phases and counters arrive concurrently from stream threads. Phase stacks
+// are kept per stream, keyed by the recording thread's stream id.
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,9 +62,10 @@ class TraceSession final : public sim::LaunchListener {
   /// atomic load — callers on the no-session path pay nothing else.
   [[nodiscard]] static TraceSession* current() noexcept;
 
-  /// Opens / closes a phase span on the phase track. Phases close in LIFO
-  /// order (they are a call stack); end_phase with no open phase is a no-op.
-  /// Prefer the ScopedPhase RAII wrapper.
+  /// Opens / closes a phase span on the calling thread's stream's phase
+  /// track. Phases close in LIFO order per stream (each stream's stack is a
+  /// call stack); end_phase with no open phase is a no-op. Prefer the
+  /// ScopedPhase RAII wrapper.
   void begin_phase(std::string_view name);
   void end_phase();
 
@@ -68,6 +78,7 @@ class TraceSession final : public sim::LaunchListener {
 
   /// Events recorded so far (spans + counters, metadata excluded).
   [[nodiscard]] std::size_t event_count() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
     return events_.size();
   }
 
@@ -91,6 +102,7 @@ class TraceSession final : public sim::LaunchListener {
     /// kernel has no traversal direction.
     const char* direction = nullptr;
     unsigned slots = 0;
+    unsigned stream = 0;  ///< launch spans: stream id (arg emitted when != 0)
     std::int64_t tid = 0;
     std::string name;
     double begin_ms = 0.0;
@@ -105,15 +117,33 @@ class TraceSession final : public sim::LaunchListener {
     double begin_ms;
   };
 
+  /// Per-stream trace state, created on a stream's first recorded event (the
+  /// default stream's entry exists from construction). Order of first use is
+  /// the track-metadata emission order.
+  struct StreamState {
+    unsigned stream = 0;
+    std::vector<OpenPhase> open_phases;
+    /// Highest worker tid emitted on this stream's track group so far;
+    /// `track_base + 1` (the phase tid) means "no worker spans yet".
+    std::int64_t max_worker_tid = 0;
+  };
+
+  /// First tid of `stream`'s track group (0 for the default stream).
+  [[nodiscard]] static std::int64_t track_base(unsigned stream) noexcept {
+    return static_cast<std::int64_t>(stream) * 4096;
+  }
+
+  StreamState& state_for_locked(unsigned stream);
+  void close_phase_locked(StreamState& state);
   static void append_event(Json& trace_events, const Event& event);
 
   sim::Device& device_;
   sim::Stopwatch clock_;
   sim::LaunchListener* previous_tracer_;
   TraceSession* previous_session_;
+  mutable std::mutex mutex_;
   std::vector<Event> events_;
-  std::vector<OpenPhase> open_phases_;
-  std::int64_t max_worker_tid_ = 1;  ///< highest worker track emitted so far
+  std::vector<StreamState> streams_;
 };
 
 /// RAII phase marker: opens a span on the phase track of the current

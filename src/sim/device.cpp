@@ -1,5 +1,6 @@
 #include "sim/device.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
@@ -16,19 +17,95 @@ unsigned env_thread_count() {
   return hw == 0 ? 1u : hw;
 }
 
+// The calling thread's installed execution context. A plain thread_local
+// pointer (not per-device) — a thread belongs to at most one stream, and
+// Device::context() ignores contexts owned by other devices.
+thread_local ExecContext* t_context = nullptr;
+
 }  // namespace
 
 Device::Device()
     : pool_(env_thread_count()),
-      telemetry_(std::make_unique<SlotTelemetry[]>(pool_.size())) {}
+      default_width_(pool_.size()),
+      default_ctx_(this, /*stream_id=*/0, /*first=*/1, /*lane_width=*/0,
+                   pool_.size(), &memory_pool_),
+      leased_(pool_.size(), false) {}
 
 Device::Device(unsigned num_workers)
     : pool_(num_workers),
-      telemetry_(std::make_unique<SlotTelemetry[]>(pool_.size())) {}
+      default_width_(pool_.size()),
+      default_ctx_(this, /*stream_id=*/0, /*first=*/1, /*lane_width=*/0,
+                   pool_.size(), &memory_pool_),
+      leased_(pool_.size(), false) {}
+
+Device::~Device() = default;
 
 Device& Device::instance() {
   static Device device;
   return device;
+}
+
+ExecContext* Device::thread_context() noexcept { return t_context; }
+
+ExecContext* Device::set_thread_context(ExecContext* ctx) noexcept {
+  ExecContext* previous = t_context;
+  t_context = ctx;
+  return previous;
+}
+
+unsigned Device::lease_workers(unsigned count) {
+  if (count == 0) return 0;
+  std::lock_guard<std::mutex> lock(lane_mutex_);
+  const unsigned n = pool_.size();
+  // Top-down contiguous first fit: lanes pack at the high end of the pool so
+  // the default context keeps the longest possible low prefix.
+  unsigned run = 0;
+  for (unsigned w = n; w-- > 1;) {
+    if (leased_[w]) {
+      run = 0;
+      continue;
+    }
+    ++run;
+    if (run == count) {
+      for (unsigned i = w; i < w + count; ++i) leased_[i] = true;
+      recompute_default_width_locked();
+      return w;
+    }
+  }
+  return 0;
+}
+
+void Device::release_workers(unsigned first, unsigned count) noexcept {
+  if (count == 0) return;
+  std::lock_guard<std::mutex> lock(lane_mutex_);
+  for (unsigned i = first; i < first + count; ++i) leased_[i] = false;
+  recompute_default_width_locked();
+}
+
+void Device::recompute_default_width_locked() noexcept {
+  // Width = launching thread + the contiguous unleased OS-worker prefix.
+  unsigned width = 1;
+  for (unsigned w = 1; w < pool_.size(); ++w) {
+    if (leased_[w]) break;
+    ++width;
+  }
+  default_width_.store(width, std::memory_order_relaxed);
+}
+
+void Device::register_stream(Stream* stream) {
+  std::lock_guard<std::mutex> lock(lane_mutex_);
+  streams_.push_back(stream);
+}
+
+void Device::unregister_stream(Stream* stream) noexcept {
+  std::lock_guard<std::mutex> lock(lane_mutex_);
+  auto it = std::find(streams_.begin(), streams_.end(), stream);
+  if (it != streams_.end()) streams_.erase(it);
+}
+
+unsigned current_stream_id() noexcept {
+  const ExecContext* ctx = Device::thread_context();
+  return ctx != nullptr ? ctx->stream : 0u;
 }
 
 }  // namespace gcol::sim

@@ -1,36 +1,52 @@
 #pragma once
 // The virtual-GPU "device": kernel launches over index ranges with implicit
-// global barriers, mirroring the bulk-synchronous execution model the paper's
-// GPU implementations run under.
+// barriers, mirroring the bulk-synchronous execution model the paper's GPU
+// implementations run under.
 //
 // Why this exists: the paper's performance analysis is phrased in terms of
 // (a) how many kernel launches / global synchronizations an algorithm needs,
 // (b) whether work inside a launch is load balanced, and (c) whether atomics
 // are used. This façade preserves all three cost sources on a CPU:
 //   - each parallel_for is one "kernel launch" and ends at a barrier
-//     (ThreadPool::run joins all slots),
+//     (ThreadPool::run_on joins all participating slots),
 //   - static vs. dynamic scheduling exposes the load-balancing axis,
 //   - atomics.hpp provides device-style atomics.
 // A launch counter lets benchmarks report "global syncs" per algorithm.
 //
+// Streams: every launch executes under an *execution context* (ExecContext)
+// — a worker lane, a scratch arena, a launch counter and a metrics-listener
+// slot. Ordinary host threads use the device's default context, which spans
+// the whole worker pool: the classic single-stream behavior. A Stream
+// (stream.hpp) owns its own context over a leased, disjoint worker lane and
+// a dedicated submission thread, so independent streams interleave their
+// kernels across the pool exactly like CUDA streams share a GPU's SMs. The
+// default context shrinks to the unleased worker prefix while streams hold
+// lanes, keeping every concurrent barrier range disjoint.
+//
 // Observability: every launch can carry a static kernel name (launch /
 // launch_slots / host_pass), and an installed LaunchListener receives a
-// LaunchInfo record — name, work items, worker slots, wall time — after each
-// launch's barrier. Two independent listener slots exist: the *metrics
-// listener* (scoped, exclusive — obs::ScopedDeviceMetrics swaps it per
-// algorithm run) and the *tracer* (long-lived — obs::TraceSession observes a
-// whole benchmark run without being masked by nested metric scopes). While
-// either is installed, launches additionally capture per-slot telemetry —
-// items processed, work-span start/end per worker slot — into a fixed
-// per-device scratch array (no allocation on the hot path; the load-balance
-// evidence behind the paper's Fig. 1 / Table II analysis). When neither is
-// installed the only cost over the bare dispatch is two relaxed atomic loads
-// per launch.
+// LaunchInfo record — name, work items, worker slots, wall time, stream id —
+// after each launch's barrier. Two independent listener slots exist: the
+// *metrics listener* (context-scoped, exclusive — obs::ScopedDeviceMetrics
+// swaps it per algorithm run, so each stream's runs record into their own
+// payload) and the *tracer* (device-global, long-lived — obs::TraceSession
+// observes every stream of a whole benchmark run without being masked by
+// nested metric scopes; its callbacks arrive on the launching thread, so a
+// tracer over a streamed run must be thread-safe). While either is
+// installed, launches additionally capture per-slot telemetry — items
+// processed, work-span start/end per worker slot — into the context's fixed
+// telemetry array (no allocation on the hot path; the load-balance evidence
+// behind the paper's Fig. 1 / Table II analysis). When neither is installed
+// the only cost over the bare dispatch is two relaxed atomic loads per
+// launch.
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <vector>
 
+#include "sim/device_pool.hpp"
 #include "sim/scratch.hpp"
 #include "sim/slot_range.hpp"
 #include "sim/thread_pool.hpp"
@@ -38,20 +54,23 @@
 
 namespace gcol::sim {
 
+class Device;
+class Stream;
+
 /// Scheduling policy for work items inside one kernel launch.
 enum class Schedule {
   kStatic,   ///< contiguous blocks, one per worker (thread-per-vertex style)
   kDynamic,  ///< chunked work queue (load-balanced, advance-operator style)
 };
 
-/// Grids at or below this many work items execute inline on the host thread
-/// instead of crossing the worker barrier. A real GPU pays the launch cost
-/// regardless of grid size, but on the virtual device the barrier IS the
-/// launch cost — and a grid this small cannot amortize it (nor even occupy
-/// the workers). Tiny launches dominate the tail iterations of the paper's
-/// iterative algorithms (frontiers shrink toward a handful of vertices), so
-/// this is the launch fast path where it matters most. Launch count and
-/// listener reporting are unaffected.
+/// Grids at or below this many work items execute inline on the launching
+/// thread instead of crossing the worker barrier. A real GPU pays the launch
+/// cost regardless of grid size, but on the virtual device the barrier IS
+/// the launch cost — and a grid this small cannot amortize it (nor even
+/// occupy the workers). Tiny launches dominate the tail iterations of the
+/// paper's iterative algorithms (frontiers shrink toward a handful of
+/// vertices), so this is the launch fast path where it matters most. Launch
+/// count and listener reporting are unaffected.
 inline constexpr std::int64_t kInlineLaunchItems = 16;
 
 /// What one worker slot did inside one observed launch. Timestamps are
@@ -63,6 +82,7 @@ struct alignas(64) SlotTelemetry {
   std::int64_t items = 0;  ///< work items this slot processed
   double start_ms = 0.0;   ///< slot began its work, relative to launch start
   double end_ms = 0.0;     ///< slot finished its work (barrier arrival)
+  unsigned stream = 0;     ///< stream the launch ran on (0 = default)
 };
 
 /// One completed kernel launch, as reported to a LaunchListener.
@@ -73,7 +93,7 @@ struct LaunchInfo {
   double elapsed_ms;      ///< wall time of the launch including its barrier
   /// Per-slot telemetry records, indexable in [0, slots); nullptr when the
   /// launch was not observed (synthetic LaunchInfo built by tests). The
-  /// array is the device's reusable scratch: valid only for the duration of
+  /// array is the context's reusable scratch: valid only for the duration of
   /// the listener callback.
   const SlotTelemetry* slot_telemetry = nullptr;
   /// Traversal direction chosen for this launch ("push" / "pull"), or
@@ -81,15 +101,52 @@ struct LaunchInfo {
   /// allocated, like `name`. Direction-optimized operators stamp this so
   /// per-kernel tables and traces can attribute time per direction.
   const char* direction = nullptr;
+  /// Stream the launch executed on: 0 for the default context, a Stream's
+  /// id() otherwise. Profilers key per-stream tracks and aggregates off it.
+  unsigned stream = 0;
 };
 
 /// Receives a LaunchInfo after every kernel launch completes. Notifications
-/// arrive on the host (launching) thread, post-barrier, so implementations
-/// need no synchronization of their own for same-device use.
+/// arrive on the launching thread, post-barrier — the host thread for
+/// default-context launches, a stream's thread for stream launches. The
+/// context-scoped metrics listener therefore never needs synchronization of
+/// its own; a device-global tracer observing multiple streams does.
 class LaunchListener {
  public:
   virtual ~LaunchListener() = default;
   virtual void on_kernel_launch(const LaunchInfo& info) = 0;
+};
+
+/// Everything one stream of execution needs from the device: the worker lane
+/// its launches barrier over, its scratch arena, telemetry array, launch
+/// counter and metrics-listener slot. The device owns the default context
+/// (stream 0, whole pool); each Stream owns one over a leased lane and
+/// installs it as its thread's context, so every existing Device API —
+/// launch, scratch(), num_workers(), launch_count(), set_launch_listener —
+/// transparently resolves per stream.
+struct ExecContext {
+  ExecContext(Device* owner, unsigned stream_id, unsigned first,
+              unsigned lane_width, unsigned telemetry_slots, DevicePool* pool)
+      : device(owner),
+        stream(stream_id),
+        first_worker(first),
+        width(lane_width),
+        scratch(pool),
+        telemetry(std::make_unique<SlotTelemetry[]>(telemetry_slots)) {}
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  Device* device;         ///< owning device (contexts never migrate)
+  unsigned stream;        ///< stream id; 0 = the default context
+  unsigned first_worker;  ///< first OS worker of the lane (ignored, width<=1)
+  /// Worker slots including the launching thread; 0 = dynamic (the default
+  /// context resolves to the unleased worker prefix at each launch).
+  unsigned width;
+  ScratchArena scratch;
+  std::unique_ptr<SlotTelemetry[]> telemetry;
+  std::atomic<LaunchListener*> listener{nullptr};
+  std::atomic<std::uint64_t> launches{0};
 };
 
 /// Process-wide virtual device. Thread count comes from GCOL_THREADS if set,
@@ -101,30 +158,50 @@ class Device {
 
   /// A device with an explicit worker count (mainly for tests).
   explicit Device(unsigned num_workers);
+  ~Device();
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
-  [[nodiscard]] unsigned num_workers() const noexcept { return pool_.size(); }
+  /// Worker slots of the calling thread's execution context: a stream's lane
+  /// width on its thread, the default context's current width elsewhere
+  /// (the whole pool unless streams hold lanes). Primitives size per-slot
+  /// scratch off this, so it always matches what the next launch uses.
+  [[nodiscard]] unsigned num_workers() const noexcept {
+    return context_width(context());
+  }
 
-  /// Reusable scratch memory for the substrate primitives (see scratch.hpp).
-  /// Host-thread-only, like the launch API itself.
-  [[nodiscard]] ScratchArena& scratch() noexcept { return scratch_; }
+  /// The calling thread's context, installed by Stream threads; nullptr on
+  /// ordinary host threads (which use the owning device's default context).
+  [[nodiscard]] static ExecContext* thread_context() noexcept;
+  /// Installs `ctx` as the calling thread's context and returns the previous
+  /// one. Stream threads call this; test harnesses may too.
+  static ExecContext* set_thread_context(ExecContext* ctx) noexcept;
 
-  /// Installs `listener` (nullptr to disable) and returns the previously
-  /// installed one, so scoped instrumentation can nest and restore.
+  /// Reusable scratch memory for the substrate primitives (see scratch.hpp),
+  /// resolved per execution context: each stream gets its own lanes.
+  [[nodiscard]] ScratchArena& scratch() noexcept { return context().scratch; }
+
+  /// The size-bucketed allocator behind every context's scratch arena (see
+  /// device_pool.hpp). Thread-safe; benchmarks read stats() off it to prove
+  /// steady-state batched runs allocate nothing.
+  [[nodiscard]] DevicePool& memory_pool() noexcept { return memory_pool_; }
+
+  /// Installs `listener` (nullptr to disable) on the calling thread's
+  /// context and returns the previously installed one, so scoped
+  /// instrumentation can nest and restore — independently per stream.
   LaunchListener* set_launch_listener(LaunchListener* listener) noexcept {
-    return listener_.exchange(listener, std::memory_order_acq_rel);
+    return context().listener.exchange(listener, std::memory_order_acq_rel);
   }
   [[nodiscard]] LaunchListener* launch_listener() const noexcept {
-    return listener_.load(std::memory_order_acquire);
+    return context().listener.load(std::memory_order_acquire);
   }
 
   /// Installs the tracer (nullptr to disable) and returns the previous one.
-  /// The tracer is a second, independent listener slot: it is notified after
-  /// the metrics listener and is NOT swapped out by ScopedDeviceMetrics, so
-  /// a TraceSession installed at harness level sees every launch of every
-  /// algorithm run underneath it.
+  /// The tracer is a second, independent, device-global listener slot: it is
+  /// notified after the metrics listener and is NOT swapped out by
+  /// ScopedDeviceMetrics, so a TraceSession installed at harness level sees
+  /// every launch of every algorithm run — on every stream — underneath it.
   LaunchListener* set_trace_listener(LaunchListener* tracer) noexcept {
     return tracer_.exchange(tracer, std::memory_order_acq_rel);
   }
@@ -133,73 +210,92 @@ class Device {
   }
 
   /// Named kernel launch: body(i) for every i in [0, n), blocking until done
-  /// (one kernel launch + global barrier). `body` must be safe to invoke
-  /// concurrently from different workers for distinct i. The name must be a
-  /// statically-allocated string (it is retained only for the duration of
-  /// the listener callback); `direction` likewise ("push"/"pull" for
-  /// direction-optimized operators, nullptr elsewhere).
+  /// (one kernel launch + barrier over the context's lane). `body` must be
+  /// safe to invoke concurrently from different workers for distinct i. The
+  /// name must be a statically-allocated string (it is retained only for the
+  /// duration of the listener callback); `direction` likewise ("push"/"pull"
+  /// for direction-optimized operators, nullptr elsewhere).
   template <typename Body>
   void launch(const char* name, std::int64_t n, Body&& body,
               Schedule schedule = Schedule::kStatic, std::int64_t chunk = 0,
               const char* direction = nullptr) {
     if (n <= 0) return;
-    launches_.fetch_add(1, std::memory_order_relaxed);
-    LaunchListener* listener = launch_listener();
+    ExecContext& ctx = context();
+    ctx.launches.fetch_add(1, std::memory_order_relaxed);
+    LaunchListener* listener = ctx.listener.load(std::memory_order_acquire);
     LaunchListener* tracer = trace_listener();
+    const unsigned width = context_width(ctx);
     if (listener == nullptr && tracer == nullptr) {
-      dispatch(n, body, schedule, chunk);
+      dispatch(ctx, width, n, body, schedule, chunk);
       return;
     }
     const Stopwatch watch;
-    dispatch_observed(n, body, schedule, chunk, watch);
-    const unsigned slots = n <= kInlineLaunchItems ? 1u : pool_.size();
-    LaunchInfo info{name,      n,
-                    slots,     watch.elapsed_ms(),
-                    telemetry_.get(), direction};
+    dispatch_observed(ctx, width, n, body, schedule, chunk, watch);
+    const unsigned slots = n <= kInlineLaunchItems ? 1u : width;
+    LaunchInfo info{name,
+                    n,
+                    slots,
+                    watch.elapsed_ms(),
+                    ctx.telemetry.get(),
+                    direction,
+                    ctx.stream};
     notify(listener, tracer, info);
   }
 
-  /// Named slot kernel: body(slot, num_slots) once per worker slot — the
-  /// analogue of a cooperative kernel where each block owns a slice it
-  /// carves out itself.
+  /// Enqueues the same launch on `stream` (FIFO relative to the stream's
+  /// other work) and returns immediately; the body is copied into the
+  /// stream's queue. Defined in stream.hpp.
+  template <typename Body>
+  void launch(Stream& stream, const char* name, std::int64_t n, Body&& body,
+              Schedule schedule = Schedule::kStatic, std::int64_t chunk = 0,
+              const char* direction = nullptr);
+
+  /// Named slot kernel: body(slot, num_slots) once per worker slot of the
+  /// context's lane — the analogue of a cooperative kernel where each block
+  /// owns a slice it carves out itself.
   template <typename Body>
   void launch_slots(const char* name, Body&& body,
                     const char* direction = nullptr) {
-    launches_.fetch_add(1, std::memory_order_relaxed);
-    const unsigned workers = pool_.size();
-    LaunchListener* listener = launch_listener();
+    ExecContext& ctx = context();
+    ctx.launches.fetch_add(1, std::memory_order_relaxed);
+    const unsigned workers = context_width(ctx);
+    LaunchListener* listener = ctx.listener.load(std::memory_order_acquire);
     LaunchListener* tracer = trace_listener();
     if (listener == nullptr && tracer == nullptr) {
-      dispatch_slots(body, workers);
+      pool_.run_on(ctx.first_worker, workers,
+                   [&](unsigned slot) { body(slot, workers); });
       return;
     }
     const Stopwatch watch;
-    pool_.run([&](unsigned slot) {
-      SlotTelemetry& t = telemetry_[slot];
+    pool_.run_on(ctx.first_worker, workers, [&](unsigned slot) {
+      SlotTelemetry& t = ctx.telemetry[slot];
       t.start_ms = watch.elapsed_ms();
       body(slot, workers);
       // The device cannot see how a slot kernel divides its work, so each
       // participating slot counts as one item (summing to LaunchInfo.items).
       t.items = 1;
       t.end_ms = watch.elapsed_ms();
+      t.stream = ctx.stream;
     });
     LaunchInfo info{name,
                     static_cast<std::int64_t>(workers),
                     workers,
                     watch.elapsed_ms(),
-                    telemetry_.get(),
-                    direction};
+                    ctx.telemetry.get(),
+                    direction,
+                    ctx.stream};
     notify(listener, tracer, info);
   }
 
-  /// A sequential pass on the host thread, accounted as one kernel launch
-  /// with a single slot. Sequential baselines (greedy, DSATUR) run their
-  /// color phase through this so "kernel launches" and per-kernel timings
-  /// stay comparable across every algorithm the harnesses report.
+  /// A sequential pass on the launching thread, accounted as one kernel
+  /// launch with a single slot. Sequential baselines (greedy, DSATUR) run
+  /// their color phase through this so "kernel launches" and per-kernel
+  /// timings stay comparable across every algorithm the harnesses report.
   template <typename Fn>
   void host_pass(const char* name, Fn&& fn) {
-    launches_.fetch_add(1, std::memory_order_relaxed);
-    LaunchListener* listener = launch_listener();
+    ExecContext& ctx = context();
+    ctx.launches.fetch_add(1, std::memory_order_relaxed);
+    LaunchListener* listener = ctx.listener.load(std::memory_order_acquire);
     LaunchListener* tracer = trace_listener();
     if (listener == nullptr && tracer == nullptr) {
       fn();
@@ -208,23 +304,52 @@ class Device {
     const Stopwatch watch;
     fn();
     const double elapsed = watch.elapsed_ms();
-    telemetry_[0] = SlotTelemetry{1, 0.0, elapsed};
-    LaunchInfo info{name, 1, 1u, elapsed, telemetry_.get()};
+    ctx.telemetry[0] = SlotTelemetry{1, 0.0, elapsed, ctx.stream};
+    LaunchInfo info{name,    1, 1u, elapsed, ctx.telemetry.get(),
+                    nullptr, ctx.stream};
     notify(listener, tracer, info);
   }
 
-  /// Number of kernel launches since construction or the last
-  /// reset_launch_count(). Benchmarks use this as the "global
-  /// synchronizations" metric the paper reasons about.
+  /// Number of kernel launches on the calling thread's context since
+  /// construction or the last reset_launch_count(). Benchmarks use this as
+  /// the "global synchronizations" metric the paper reasons about; because
+  /// the counter is per context, concurrent streams never pollute each
+  /// other's counts.
   [[nodiscard]] std::uint64_t launch_count() const noexcept {
-    return launches_.load(std::memory_order_relaxed);
+    return context().launches.load(std::memory_order_relaxed);
   }
   void reset_launch_count() noexcept {
-    launches_.store(0, std::memory_order_relaxed);
+    context().launches.store(0, std::memory_order_relaxed);
   }
 
+  /// Blocks until every task enqueued on `stream` so far has completed
+  /// (rethrows the stream's first captured error). Defined in stream.cpp.
+  void sync(Stream& stream);
+  /// Full-device sync: drains every registered stream. Streams must not be
+  /// constructed or destroyed concurrently with this call.
+  void sync();
+
  private:
+  friend class Stream;
+
   Device();  // reads GCOL_THREADS / hardware_concurrency
+
+  /// The calling thread's effective context on THIS device: its installed
+  /// stream context when that context belongs to this device, the default
+  /// context otherwise.
+  [[nodiscard]] ExecContext& context() noexcept {
+    ExecContext* tls = thread_context();
+    return tls != nullptr && tls->device == this ? *tls : default_ctx_;
+  }
+  [[nodiscard]] const ExecContext& context() const noexcept {
+    const ExecContext* tls = thread_context();
+    return tls != nullptr && tls->device == this ? *tls : default_ctx_;
+  }
+
+  [[nodiscard]] unsigned context_width(const ExecContext& ctx) const noexcept {
+    return ctx.width != 0 ? ctx.width
+                          : default_width_.load(std::memory_order_relaxed);
+  }
 
   static void notify(LaunchListener* listener, LaunchListener* tracer,
                      const LaunchInfo& info) {
@@ -233,9 +358,9 @@ class Device {
   }
 
   template <typename Body>
-  void dispatch(std::int64_t n, Body& body, Schedule schedule,
-                std::int64_t chunk) {
-    const auto workers = static_cast<std::int64_t>(pool_.size());
+  void dispatch(ExecContext& ctx, unsigned width, std::int64_t n, Body& body,
+                Schedule schedule, std::int64_t chunk) {
+    const auto workers = static_cast<std::int64_t>(width);
     if (workers == 1 || n <= kInlineLaunchItems) {
       for (std::int64_t i = 0; i < n; ++i) body(i);
       return;
@@ -243,14 +368,14 @@ class Device {
     if (schedule == Schedule::kStatic) {
       // The lambda is borrowed by FunctionRef for the (blocking) run call —
       // no std::function, no allocation on the launch path.
-      pool_.run([&](unsigned slot) {
-        const auto [begin, end] = slot_range(slot, pool_.size(), n);
+      pool_.run_on(ctx.first_worker, width, [&](unsigned slot) {
+        const auto [begin, end] = slot_range(slot, width, n);
         for (std::int64_t i = begin; i < end; ++i) body(i);
       });
     } else {
       if (chunk <= 0) chunk = default_chunk(n, workers);
       std::atomic<std::int64_t> next{0};
-      pool_.run([&](unsigned) {
+      pool_.run_on(ctx.first_worker, width, [&](unsigned) {
         for (;;) {
           const std::int64_t begin =
               next.fetch_add(chunk, std::memory_order_relaxed);
@@ -263,37 +388,40 @@ class Device {
   }
 
   /// The observed twin of dispatch(): identical work distribution, plus each
-  /// slot stamps {items, start, end} into its own telemetry entry. Telemetry
-  /// writes ride the pool barrier's release/acquire edge (and `watch` is
-  /// read-only after construction), so the host may read the whole array
-  /// race-free as soon as the launch returns. The unobserved path never
-  /// touches a clock or the telemetry array.
+  /// slot stamps {items, start, end, stream} into its own telemetry entry.
+  /// Telemetry writes ride the lane barrier's release/acquire edge (and
+  /// `watch` is read-only after construction), so the launching thread may
+  /// read the whole array race-free as soon as the launch returns. The
+  /// unobserved path never touches a clock or the telemetry array.
   template <typename Body>
-  void dispatch_observed(std::int64_t n, Body& body, Schedule schedule,
-                         std::int64_t chunk, const Stopwatch& watch) {
-    const auto workers = static_cast<std::int64_t>(pool_.size());
+  void dispatch_observed(ExecContext& ctx, unsigned width, std::int64_t n,
+                         Body& body, Schedule schedule, std::int64_t chunk,
+                         const Stopwatch& watch) {
+    const auto workers = static_cast<std::int64_t>(width);
     if (workers == 1 || n <= kInlineLaunchItems) {
-      SlotTelemetry& t = telemetry_[0];
+      SlotTelemetry& t = ctx.telemetry[0];
       t.start_ms = watch.elapsed_ms();
       for (std::int64_t i = 0; i < n; ++i) body(i);
       t.items = n;
       t.end_ms = watch.elapsed_ms();
+      t.stream = ctx.stream;
       return;
     }
     if (schedule == Schedule::kStatic) {
-      pool_.run([&](unsigned slot) {
-        SlotTelemetry& t = telemetry_[slot];
+      pool_.run_on(ctx.first_worker, width, [&](unsigned slot) {
+        SlotTelemetry& t = ctx.telemetry[slot];
         t.start_ms = watch.elapsed_ms();
-        const auto [begin, end] = slot_range(slot, pool_.size(), n);
+        const auto [begin, end] = slot_range(slot, width, n);
         for (std::int64_t i = begin; i < end; ++i) body(i);
         t.items = end - begin;
         t.end_ms = watch.elapsed_ms();
+        t.stream = ctx.stream;
       });
     } else {
       if (chunk <= 0) chunk = default_chunk(n, workers);
       std::atomic<std::int64_t> next{0};
-      pool_.run([&](unsigned slot) {
-        SlotTelemetry& t = telemetry_[slot];
+      pool_.run_on(ctx.first_worker, width, [&](unsigned slot) {
+        SlotTelemetry& t = ctx.telemetry[slot];
         t.start_ms = watch.elapsed_ms();
         std::int64_t claimed = 0;
         for (;;) {
@@ -306,13 +434,9 @@ class Device {
         }
         t.items = claimed;
         t.end_ms = watch.elapsed_ms();
+        t.stream = ctx.stream;
       });
     }
-  }
-
-  template <typename Body>
-  void dispatch_slots(Body& body, unsigned workers) {
-    pool_.run([&](unsigned slot) { body(slot, workers); });
   }
 
   static std::int64_t default_chunk(std::int64_t n, std::int64_t workers) {
@@ -320,16 +444,37 @@ class Device {
     return chunk < 1 ? 1 : chunk;
   }
 
+  // ---- stream support (used by Stream; see stream.hpp) --------------------
+  /// Leases a contiguous run of `count` OS workers (top-down first fit) for
+  /// a stream lane; returns the first worker, or 0 when no run is free.
+  /// Shrinks the default context's width to the unleased prefix. Must not
+  /// race with launches on the default context (same single-launcher
+  /// contract the launch API itself has always had).
+  unsigned lease_workers(unsigned count);
+  void release_workers(unsigned first, unsigned count) noexcept;
+  void recompute_default_width_locked() noexcept;
+  void register_stream(Stream* stream);
+  void unregister_stream(Stream* stream) noexcept;
+  [[nodiscard]] unsigned next_stream_id() noexcept {
+    return stream_ids_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   ThreadPool pool_;
-  ScratchArena scratch_;
-  std::atomic<std::uint64_t> launches_{0};
-  std::atomic<LaunchListener*> listener_{nullptr};
+  DevicePool memory_pool_;
   std::atomic<LaunchListener*> tracer_{nullptr};
-  /// Fixed per-slot telemetry scratch, one entry per worker slot, reused by
-  /// every observed launch (the launch API is host-thread-only, so launches
-  /// never overlap). Heap-allocated once at construction; the hot path only
-  /// ever indexes it.
-  std::unique_ptr<SlotTelemetry[]> telemetry_;
+  /// Width the default context resolves to: the whole pool minus any leased
+  /// stream lanes (recomputed under lane_mutex_, read on the launch path).
+  std::atomic<unsigned> default_width_;
+  ExecContext default_ctx_;
+  std::mutex lane_mutex_;
+  std::vector<bool> leased_;      ///< per OS worker; [0] unused
+  std::vector<Stream*> streams_;  ///< registered live streams
+  std::atomic<unsigned> stream_ids_{1};
 };
+
+/// Stream id of the calling thread's installed context, 0 on ordinary host
+/// threads (the default stream). TraceSession keys per-stream phase and
+/// counter tracks off this.
+[[nodiscard]] unsigned current_stream_id() noexcept;
 
 }  // namespace gcol::sim

@@ -1,0 +1,87 @@
+#include "sim/device_pool.hpp"
+
+#include <bit>
+#include <new>
+#include <utility>
+
+namespace gcol::sim {
+
+DevicePool::~DevicePool() { trim(); }
+
+std::size_t DevicePool::bucket_bytes(std::size_t bytes) noexcept {
+  if (bytes < kMinBlockBytes) return kMinBlockBytes;
+  return std::bit_ceil(bytes);
+}
+
+std::size_t DevicePool::bucket_index(std::size_t bucket) noexcept {
+  // bucket is a power of two >= kMinBlockBytes; index 0 = kMinBlockBytes.
+  return static_cast<std::size_t>(std::countr_zero(bucket)) -
+         static_cast<std::size_t>(std::countr_zero(kMinBlockBytes));
+}
+
+void* DevicePool::allocate(std::size_t bytes) {
+  const std::size_t bucket = bucket_bytes(bytes);
+  const std::size_t index = bucket_index(bucket);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index < buckets_.size() && !buckets_[index].empty()) {
+      void* p = buckets_[index].back();
+      buckets_[index].pop_back();
+      ++stats_.hits;
+      stats_.retained_bytes -= bucket;
+      stats_.outstanding_bytes += bucket;
+      return p;
+    }
+    ++stats_.allocations;
+    stats_.outstanding_bytes += bucket;
+    if (alloc_hook_) alloc_hook_(bucket);
+  }
+  return ::operator new(bucket);
+}
+
+void DevicePool::deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  const std::size_t bucket = bucket_bytes(bytes);
+  const std::size_t index = bucket_index(bucket);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (buckets_.size() <= index) buckets_.resize(index + 1);
+  buckets_[index].push_back(p);
+  ++stats_.releases;
+  stats_.retained_bytes += bucket;
+  stats_.outstanding_bytes -= bucket;
+}
+
+DevicePool::Stats DevicePool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void DevicePool::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.allocations = 0;
+  stats_.hits = 0;
+  stats_.releases = 0;
+}
+
+std::size_t DevicePool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t freed = 0;
+  std::size_t bucket = kMinBlockBytes;
+  for (auto& blocks : buckets_) {
+    for (void* p : blocks) {
+      ::operator delete(p);
+      freed += bucket;
+    }
+    blocks.clear();
+    bucket <<= 1;
+  }
+  stats_.retained_bytes -= freed;
+  return freed;
+}
+
+void DevicePool::set_alloc_hook(std::function<void(std::size_t)> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alloc_hook_ = std::move(hook);
+}
+
+}  // namespace gcol::sim

@@ -1,0 +1,87 @@
+#pragma once
+// Size-bucketed device memory pool — the CPU substrate's analogue of a CUDA
+// stream-ordered memory pool (cudaMemPool / cub::CachingDeviceAllocator).
+// Freed blocks are cached in power-of-two buckets and handed back on the
+// next allocation of the same bucket, so steady-state batched coloring runs
+// (N graphs over reused streams, each stream's ScratchArena returning its
+// lanes here between runs) hit the upstream allocator exactly zero times.
+//
+// Thread-safety: fully thread-safe (one mutex); streams allocate and release
+// concurrently. The pool is NOT on the per-launch hot path — the ScratchArena
+// in front of it caches its lanes per stream and only touches the pool when
+// a lane grows or a stream retires — so one uncontended lock per (rare)
+// pool call is noise next to a kernel launch.
+//
+// Observability: Stats counts upstream allocations, bucket hits, releases
+// and retained bytes; tests assert the zero-allocation steady state through
+// them (or through the allocation hook, which fires on every upstream
+// allocation and makes "no alloc after warmup" a one-line assertion).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace gcol::sim {
+
+class DevicePool {
+ public:
+  /// Smallest bucket: sub-64B requests round up to one cache line, which
+  /// keeps the bucket count tiny and stops 1-byte lanes from fragmenting.
+  static constexpr std::size_t kMinBlockBytes = 64;
+
+  DevicePool() = default;
+  ~DevicePool();
+
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  /// Counters since construction or the last reset_stats(). retained_bytes /
+  /// outstanding_bytes are live gauges (reset does not touch them).
+  struct Stats {
+    std::uint64_t allocations = 0;  ///< upstream (operator new) calls
+    std::uint64_t hits = 0;         ///< requests served from a bucket
+    std::uint64_t releases = 0;     ///< blocks returned to the pool
+    std::size_t retained_bytes = 0;    ///< bytes cached in buckets
+    std::size_t outstanding_bytes = 0; ///< bytes handed out, not yet returned
+  };
+
+  /// The bucket a request of `bytes` maps to: bit_ceil, floored at
+  /// kMinBlockBytes. Callers may over-use the extra capacity.
+  [[nodiscard]] static std::size_t bucket_bytes(std::size_t bytes) noexcept;
+
+  /// Returns a block of at least `bytes` (rounded up to bucket_bytes),
+  /// reusing a cached block when one exists. Never returns nullptr for
+  /// bytes == 0 (rounds up to the minimum bucket).
+  [[nodiscard]] void* allocate(std::size_t bytes);
+
+  /// Returns a block to its bucket. `bytes` must be the size passed to the
+  /// allocate() that produced `p` (any value with the same bucket works).
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  [[nodiscard]] Stats stats() const;
+  /// Zeroes the event counters (allocations/hits/releases); the byte gauges
+  /// keep tracking live state.
+  void reset_stats();
+
+  /// Frees every cached block back upstream; returns the bytes freed.
+  /// Outstanding blocks are unaffected.
+  std::size_t trim();
+
+  /// Installs a hook invoked (under the pool lock — keep it trivial) on
+  /// every *upstream* allocation with the bucket size. Tests use this as the
+  /// allocation counter proving pooled steady states allocate nothing.
+  /// Pass an empty function to uninstall.
+  void set_alloc_hook(std::function<void(std::size_t)> hook);
+
+ private:
+  [[nodiscard]] static std::size_t bucket_index(std::size_t bucket) noexcept;
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<void*>> buckets_;
+  Stats stats_;
+  std::function<void(std::size_t)> alloc_hook_;
+};
+
+}  // namespace gcol::sim

@@ -1,25 +1,36 @@
 #pragma once
-// Reusable per-device scratch memory for the substrate primitives — the CPU
+// Reusable per-context scratch memory for the substrate primitives — the CPU
 // analogue of cub's pre-allocated d_temp_storage. Before this arena existed,
 // every exclusive_scan / compaction / reduction call allocated (and freed)
 // its flags / positions / block_sums vectors, so the per-iteration hot loop
 // of every coloring algorithm paid malloc traffic per kernel launch. The
-// arena keeps one growing byte buffer per *lane*; a primitive re-types its
+// arena keeps one growing byte block per *lane*; a primitive re-types its
 // lane on each call and nested primitives use distinct lanes, so a scan
 // running inside a compaction (or an advance) never aliases its caller's
 // scratch.
 //
-// Thread-safety contract: same as Device's launch API — scratch is acquired
-// on the host thread between launches; workers may read/write the spans
-// inside a launch (the launch barrier orders those accesses, exactly as it
-// did for the per-call vectors this replaces). Concurrent host-side use of
-// one Device was never supported and still is not.
+// Pool backing: an arena constructed over a DevicePool draws its blocks from
+// the pool's size buckets and returns them there on release()/destruction.
+// Each stream's execution context owns one such arena, so a retired stream's
+// lanes are recycled by the next stream instead of hitting the allocator —
+// the "scratch lanes per stream" half of the zero-steady-state-allocation
+// story (see device_pool.hpp). A default-constructed arena owns its blocks
+// directly; the observable behavior (growth, retention, pointers) is
+// identical either way.
+//
+// Thread-safety contract: same as a context's launch API — scratch is
+// acquired on the launching thread between launches; workers may read/write
+// the spans inside a launch (the launch barrier orders those accesses).
+// Distinct streams use distinct arenas; concurrent use of ONE arena was
+// never supported and still is not.
 
 #include <bit>
 #include <cstddef>
+#include <new>
 #include <span>
 #include <type_traits>
-#include <vector>
+
+#include "sim/device_pool.hpp"
 
 namespace gcol::sim {
 
@@ -39,7 +50,17 @@ enum class ScratchLane : unsigned {
 
 class ScratchArena {
  public:
-  /// A span of `n` Ts backed by the lane's buffer, grown (never shrunk) as
+  /// Self-owned arena: blocks come straight from operator new.
+  ScratchArena() = default;
+  /// Pool-backed arena: blocks are drawn from (and returned to) `pool`,
+  /// which must outlive the arena. nullptr behaves like the default ctor.
+  explicit ScratchArena(DevicePool* pool) noexcept : pool_(pool) {}
+  ~ScratchArena() { release(); }
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// A span of `n` Ts backed by the lane's block, grown (never shrunk) as
   /// needed. Contents are uninitialized — lanes are freely re-typed between
   /// calls, so only trivial element types are allowed.
   template <typename T>
@@ -49,30 +70,55 @@ class ScratchArena {
                   "scratch lanes hold raw re-typeable storage");
     static_assert(alignof(T) <= alignof(std::max_align_t),
                   "over-aligned types need a dedicated allocation");
-    auto& buffer = buffers_[static_cast<unsigned>(lane)];
+    Block& block = blocks_[static_cast<unsigned>(lane)];
     const std::size_t bytes = n * sizeof(T);
-    if (buffer.size() < bytes) buffer.resize(std::bit_ceil(bytes));
-    return {reinterpret_cast<T*>(buffer.data()), n};
+    if (block.size < bytes) grow(block, std::bit_ceil(bytes));
+    return {reinterpret_cast<T*>(block.data), n};
   }
 
   /// Bytes currently retained across all lanes (for tests / introspection).
   [[nodiscard]] std::size_t retained_bytes() const noexcept {
     std::size_t total = 0;
-    for (const auto& buffer : buffers_) total += buffer.size();
+    for (const Block& block : blocks_) total += block.size;
     return total;
   }
 
-  /// Releases every lane's memory (e.g. between benchmark configurations).
+  /// Releases every lane's block — to the backing pool when one is set
+  /// (e.g. a stream retiring its context), upstream otherwise.
   void release() noexcept {
-    for (auto& buffer : buffers_) {
-      buffer.clear();
-      buffer.shrink_to_fit();
+    for (Block& block : blocks_) {
+      free_block(block);
+      block = Block{};
     }
   }
 
  private:
-  std::vector<std::byte> buffers_[static_cast<unsigned>(
-      ScratchLane::kLaneCount)];
+  struct Block {
+    std::byte* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  void grow(Block& block, std::size_t new_size) {
+    free_block(block);
+    block.data = static_cast<std::byte*>(
+        pool_ != nullptr ? pool_->allocate(new_size)
+                         : ::operator new(new_size));
+    // A pool bucket may be larger than asked; the lane may use all of it.
+    block.size = pool_ != nullptr ? DevicePool::bucket_bytes(new_size)
+                                  : new_size;
+  }
+
+  void free_block(Block& block) noexcept {
+    if (block.data == nullptr) return;
+    if (pool_ != nullptr) {
+      pool_->deallocate(block.data, block.size);
+    } else {
+      ::operator delete(block.data);
+    }
+  }
+
+  Block blocks_[static_cast<unsigned>(ScratchLane::kLaneCount)];
+  DevicePool* pool_ = nullptr;
 };
 
 }  // namespace gcol::sim

@@ -1,0 +1,108 @@
+#include "sim/stream.hpp"
+
+#include <vector>
+
+namespace gcol::sim {
+
+Stream::Stream(Device& device, unsigned width)
+    : device_(device),
+      // Telemetry is sized for the whole pool so a lane of any width (and a
+      // later re-lease policy) can never write out of bounds.
+      ctx_(&device, device.next_stream_id(), /*first=*/1, /*lane_width=*/1,
+           device.pool_.size(), &device.memory_pool_) {
+  unsigned count = width > 1 ? width - 1 : 0;
+  for (; count > 0; --count) {
+    const unsigned first = device.lease_workers(count);
+    if (first != 0) {
+      leased_first_ = first;
+      leased_count_ = count;
+      break;
+    }
+  }
+  if (leased_count_ > 0) ctx_.first_worker = leased_first_;
+  ctx_.width = leased_count_ + 1;
+  device.register_stream(this);
+  thread_ = std::thread([this] { thread_loop(); });
+}
+
+Stream::~Stream() {
+  // Unregister first so a concurrent Device::sync() cannot pick up a stream
+  // that is shutting down (stream lifetime is host-serialized regardless).
+  device_.unregister_stream(this);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+  // Return the lane and the context's pooled scratch (ExecContext member
+  // destruction releases the arena into the device pool).
+  ctx_.scratch.release();
+  if (leased_count_ > 0) device_.release_workers(leased_first_, leased_count_);
+}
+
+void Stream::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void Stream::record(Event event) {
+  submit([event] { event.signal(); });
+}
+
+void Stream::wait(Event event) {
+  submit([event] { event.wait(); });
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+  if (error_ != nullptr) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void Stream::thread_loop() {
+  ExecContext* previous = Device::set_thread_context(&ctx_);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stop requested and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+  Device::set_thread_context(previous);
+}
+
+void Device::sync(Stream& stream) { stream.synchronize(); }
+
+void Device::sync() {
+  std::vector<Stream*> streams;
+  {
+    std::lock_guard<std::mutex> lock(lane_mutex_);
+    streams = streams_;
+  }
+  for (Stream* stream : streams) stream->synchronize();
+}
+
+}  // namespace gcol::sim

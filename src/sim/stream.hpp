@@ -1,0 +1,152 @@
+#pragma once
+// Streams and events for the virtual device — the CUDA async execution model
+// on the CPU substrate. A Stream is a FIFO of device work with its own
+// submission thread and its own ExecContext over a leased, disjoint worker
+// lane: work on one stream runs in submission order; work on different
+// streams runs concurrently, interleaving kernels across the device's worker
+// pool the way CUDA streams share SMs. Events are the cross-stream
+// dependency primitive: `a.record(e); b.wait(e);` orders everything
+// submitted to `b` after the wait behind everything submitted to `a` before
+// the record — without blocking the host.
+//
+// Width and lanes: a Stream asks the device for `width-1` OS workers
+// (top-down contiguous lease; the stream's own thread is slot 0). When no
+// contiguous run of that size is free the stream degrades gracefully to the
+// widest lane available — down to width 1, where every kernel simply runs
+// serial on the stream thread. Launches inside the stream's tasks barrier
+// only over the leased lane, so concurrent streams never contend on each
+// other's barriers. The lane (and the context's pooled scratch) is released
+// on destruction.
+//
+// Host contract (mirrors CUDA): submitting to a stream, recording events and
+// synchronizing are thread-safe; constructing/destroying streams must not
+// race with launches on the *default* context or with Device::sync() — the
+// same host-serialization rule CUDA applies to stream lifetime.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "sim/device.hpp"
+
+namespace gcol::sim {
+
+/// A one-shot completion flag shared between streams (copyable handle,
+/// shared state). Record it on the producing stream; wait on it from the
+/// consuming stream (Stream::wait — async, stalls only that stream) or from
+/// the host (Event::wait — blocking).
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  /// Marks the event complete and wakes every waiter. Idempotent. Streams
+  /// call this via Stream::record; tests may signal manually.
+  void signal() const {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->signaled = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  /// Blocks the calling thread until the event is signaled.
+  void wait() const {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->signaled; });
+  }
+
+  /// True once signaled (non-blocking poll).
+  [[nodiscard]] bool query() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->signaled;
+  }
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool signaled = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  /// Creates a stream on `device` with (at most) `width` worker slots,
+  /// including the stream's own thread. The lane lease degrades to the
+  /// widest contiguous run available (possibly width 1) rather than failing.
+  explicit Stream(Device& device, unsigned width = 1);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Device-unique stream id (>= 1; 0 is the default context). This is the
+  /// value stamped into LaunchInfo.stream and used for trace tracks.
+  [[nodiscard]] unsigned id() const noexcept { return ctx_.stream; }
+  /// Worker slots this stream's launches barrier over.
+  [[nodiscard]] unsigned width() const noexcept { return ctx_.width; }
+
+  /// Enqueues an arbitrary host task (runs on the stream thread, in FIFO
+  /// order, under this stream's execution context).
+  void submit(std::function<void()> task);
+
+  /// Enqueues a kernel launch (same semantics as Device::launch, async).
+  /// The body is copied into the queue; it must stay valid by value.
+  template <typename Body>
+  void launch(const char* name, std::int64_t n, Body&& body,
+              Schedule schedule = Schedule::kStatic, std::int64_t chunk = 0,
+              const char* direction = nullptr) {
+    submit([this, name, n, body = std::decay_t<Body>(std::forward<Body>(body)),
+            schedule, chunk, direction]() mutable {
+      device_.launch(name, n, body, schedule, chunk, direction);
+    });
+  }
+
+  /// Enqueues "signal `event`": fires once everything submitted before it
+  /// has completed.
+  void record(Event event);
+
+  /// Enqueues "block until `event` is signaled": everything submitted after
+  /// the wait runs only once the event fires. Only this stream stalls.
+  void wait(Event event);
+
+  /// Blocks the host until the queue is drained and the in-flight task (if
+  /// any) finished; rethrows the stream's first captured error (then clears
+  /// it — the stream remains usable).
+  void synchronize();
+
+ private:
+  void thread_loop();
+
+  Device& device_;
+  ExecContext ctx_;
+  unsigned leased_first_ = 0;
+  unsigned leased_count_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< queue push / stop
+  std::condition_variable idle_cv_;  ///< queue drained + not busy
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  bool busy_ = false;
+  std::exception_ptr error_;
+  std::thread thread_;
+};
+
+// Defined here (not device.hpp) so device.hpp need not see Stream's body.
+template <typename Body>
+void Device::launch(Stream& stream, const char* name, std::int64_t n,
+                    Body&& body, Schedule schedule, std::int64_t chunk,
+                    const char* direction) {
+  stream.launch(name, n, std::forward<Body>(body), schedule, chunk, direction);
+}
+
+}  // namespace gcol::sim

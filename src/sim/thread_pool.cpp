@@ -1,5 +1,7 @@
 #include "sim/thread_pool.hpp"
 
+#include <cassert>
+
 namespace gcol::sim {
 
 namespace {
@@ -29,21 +31,26 @@ inline void cpu_relax() noexcept {
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads)
-    : num_slots_(num_threads < 1 ? 1u : num_threads), errors_(num_slots_) {
+    : num_slots_(num_threads < 1 ? 1u : num_threads),
+      mailboxes_(std::make_unique<Mailbox[]>(num_slots_)),
+      tasks_(std::make_unique<TaskSlot[]>(num_slots_)),
+      errors_(num_slots_) {
   const unsigned cores = std::thread::hardware_concurrency();
   const bool oversubscribed = cores != 0 && num_slots_ > cores;
   pause_spins_ = oversubscribed ? 0 : kPauseSpins;
   yield_spins_ = oversubscribed ? kOversubscribedYieldSpins : kYieldSpins;
   threads_.reserve(num_slots_ - 1);
-  for (unsigned slot = 1; slot < num_slots_; ++slot) {
-    threads_.emplace_back([this, slot] { worker_loop(slot); });
+  for (unsigned worker = 1; worker < num_slots_; ++worker) {
+    threads_.emplace_back([this, worker] { worker_loop(worker); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   shutdown_.store(true, std::memory_order_release);
-  generation_.fetch_add(1, std::memory_order_seq_cst);
-  generation_.notify_all();
+  for (unsigned worker = 1; worker < num_slots_; ++worker) {
+    mailboxes_[worker].gen.fetch_add(1, std::memory_order_seq_cst);
+    mailboxes_[worker].gen.notify_all();
+  }
   for (auto& t : threads_) t.join();
 }
 
@@ -52,107 +59,133 @@ void ThreadPool::run(FunctionRef<void(unsigned)> job) {
     job(0);
     return;
   }
+  run_on(1, num_slots_, job);
+}
 
-  // Publish the job, then open the barrier. The seq_cst generation bump
-  // orders the job_/remaining_ stores before any worker's acquire load of
-  // generation_, and orders the bump against the parked_ read below
+void ThreadPool::run_on(unsigned first, unsigned count,
+                        FunctionRef<void(unsigned)> job) {
+  if (count <= 1) {
+    job(0);
+    return;
+  }
+  assert(first >= 1 && first + count - 1 <= num_slots_);
+
+  // Publish the job, then open each participating worker's mailbox. The
+  // seq_cst generation bump orders the task/local stores before the worker's
+  // acquire load of gen, and orders the bump against the parked read below
   // (Dekker-style: a worker either sees the new generation before parking or
-  // is counted in parked_ before we read it).
-  job_ = job;
-  remaining_.store(num_slots_ - 1, std::memory_order_relaxed);
-  generation_.fetch_add(1, std::memory_order_seq_cst);
-  if (parked_.load(std::memory_order_seq_cst) != 0) generation_.notify_all();
+  // is counted in parked before we read it).
+  TaskSlot& task = tasks_[first];
+  task.job = job;
+  task.had_error.store(false, std::memory_order_relaxed);
+  task.remaining.store(count - 1, std::memory_order_relaxed);
+  for (unsigned local = 1; local < count; ++local) {
+    Mailbox& mb = mailboxes_[first + local - 1];
+    mb.task = &task;
+    mb.local = local;
+    mb.gen.fetch_add(1, std::memory_order_seq_cst);
+    if (mb.parked.load(std::memory_order_seq_cst) != 0) mb.gen.notify_all();
+  }
 
-  // The calling thread is slot 0.
+  // The calling thread is local slot 0.
+  std::exception_ptr caller_error;
   try {
     job(0);
   } catch (...) {
-    errors_[0] = std::current_exception();
-    had_error_.store(true, std::memory_order_relaxed);
+    caller_error = std::current_exception();
   }
 
   // Join: spin, yield, then park until every slot has checked out. The
   // acquire loads pair with the workers' release decrements, making all
   // job side effects (and error captures) visible before we return.
-  if (remaining_.load(std::memory_order_acquire) != 0) {
+  if (task.remaining.load(std::memory_order_acquire) != 0) {
     for (int i = 0; i < pause_spins_; ++i) {
       cpu_relax();
-      if (remaining_.load(std::memory_order_acquire) == 0) break;
+      if (task.remaining.load(std::memory_order_acquire) == 0) break;
     }
   }
-  if (remaining_.load(std::memory_order_acquire) != 0) {
+  if (task.remaining.load(std::memory_order_acquire) != 0) {
     for (int i = 0; i < yield_spins_; ++i) {
       std::this_thread::yield();
-      if (remaining_.load(std::memory_order_acquire) == 0) break;
+      if (task.remaining.load(std::memory_order_acquire) == 0) break;
     }
   }
-  if (remaining_.load(std::memory_order_acquire) != 0) {
-    host_parked_.store(true, std::memory_order_seq_cst);
+  if (task.remaining.load(std::memory_order_acquire) != 0) {
+    task.launcher_parked.store(true, std::memory_order_seq_cst);
     for (;;) {
-      const unsigned left = remaining_.load(std::memory_order_acquire);
+      const unsigned left = task.remaining.load(std::memory_order_acquire);
       if (left == 0) break;
-      remaining_.wait(left, std::memory_order_acquire);
+      task.remaining.wait(left, std::memory_order_acquire);
     }
-    host_parked_.store(false, std::memory_order_relaxed);
+    task.launcher_parked.store(false, std::memory_order_relaxed);
   }
 
-  if (had_error_.load(std::memory_order_relaxed)) rethrow_first_error();
+  if (caller_error != nullptr ||
+      task.had_error.load(std::memory_order_relaxed)) {
+    rethrow_first_error(first, count, caller_error);
+  }
 }
 
-void ThreadPool::rethrow_first_error() {
-  had_error_.store(false, std::memory_order_relaxed);
-  std::exception_ptr first;
-  for (auto& error : errors_) {
-    if (error != nullptr && first == nullptr) first = error;
+void ThreadPool::rethrow_first_error(unsigned first, unsigned count,
+                                     std::exception_ptr caller_error) {
+  // Local slot 0 (the launcher) is the lowest slot; workers follow in local
+  // order, which is their OS-worker order within the range.
+  std::exception_ptr chosen = caller_error;
+  for (unsigned worker = first; worker < first + count - 1; ++worker) {
+    std::exception_ptr& error = errors_[worker];
+    if (error != nullptr && chosen == nullptr) chosen = error;
     error = nullptr;
   }
-  if (first != nullptr) std::rethrow_exception(first);
+  if (chosen != nullptr) std::rethrow_exception(chosen);
 }
 
-void ThreadPool::worker_loop(unsigned slot) {
+void ThreadPool::worker_loop(unsigned worker) {
+  Mailbox& mb = mailboxes_[worker];
   std::uint32_t seen = 0;
   for (;;) {
-    // Wait for a new generation: spin, yield, then park on the futex. The
-    // parked_ increment is seq_cst so the host's "anyone parked?" check
-    // cannot miss us while we miss its generation bump.
-    std::uint32_t gen = generation_.load(std::memory_order_acquire);
+    // Wait for a new generation on our own mailbox: spin, yield, then park
+    // on the futex. The parked increment is seq_cst so the launcher's
+    // "parked?" check cannot miss us while we miss its generation bump.
+    std::uint32_t gen = mb.gen.load(std::memory_order_acquire);
     if (gen == seen) {
       for (int i = 0; i < pause_spins_; ++i) {
         cpu_relax();
-        gen = generation_.load(std::memory_order_acquire);
+        gen = mb.gen.load(std::memory_order_acquire);
         if (gen != seen) break;
       }
     }
     if (gen == seen) {
       for (int i = 0; i < yield_spins_; ++i) {
         std::this_thread::yield();
-        gen = generation_.load(std::memory_order_acquire);
+        gen = mb.gen.load(std::memory_order_acquire);
         if (gen != seen) break;
       }
     }
     if (gen == seen) {
-      parked_.fetch_add(1, std::memory_order_seq_cst);
+      mb.parked.fetch_add(1, std::memory_order_seq_cst);
       for (;;) {
-        gen = generation_.load(std::memory_order_acquire);
+        gen = mb.gen.load(std::memory_order_acquire);
         if (gen != seen) break;
-        generation_.wait(seen, std::memory_order_relaxed);
+        mb.gen.wait(seen, std::memory_order_relaxed);
       }
-      parked_.fetch_sub(1, std::memory_order_relaxed);
+      mb.parked.fetch_sub(1, std::memory_order_relaxed);
     }
     seen = gen;
     if (shutdown_.load(std::memory_order_acquire)) return;
 
+    TaskSlot* task = mb.task;
+    const unsigned local = mb.local;
     try {
-      job_(slot);
+      task->job(local);
     } catch (...) {
-      errors_[slot] = std::current_exception();
-      had_error_.store(true, std::memory_order_relaxed);
+      errors_[worker] = std::current_exception();
+      task->had_error.store(true, std::memory_order_relaxed);
     }
 
-    // Check out of the barrier; wake the host only if it really parked.
-    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
-        host_parked_.load(std::memory_order_seq_cst)) {
-      remaining_.notify_all();
+    // Check out of the barrier; wake the launcher only if it really parked.
+    if (task->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        task->launcher_parked.load(std::memory_order_seq_cst)) {
+      task->remaining.notify_all();
     }
   }
 }

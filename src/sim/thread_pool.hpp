@@ -2,16 +2,24 @@
 // Persistent worker pool used by the virtual-GPU device (see device.hpp).
 //
 // The pool models a GPU's resident thread blocks: a fixed set of workers that
-// are woken for every kernel launch and joined at an implicit global barrier
-// when the launch completes. Work distribution inside a launch is the
-// caller's business (device.hpp offers static blocking and dynamic chunking).
+// are woken for kernel launches and joined at an implicit barrier when the
+// launch completes. Work distribution inside a launch is the caller's
+// business (device.hpp offers static blocking and dynamic chunking).
 //
-// Launch fast path: dispatch is a sense-reversing barrier. The host publishes
-// the job and bumps an atomic generation counter; workers spin on the
-// counter (pause, then yield), parking on the futex (std::atomic::wait) only
-// when a launch doesn't arrive promptly. Completion is the mirror image: the
-// host spins on the outstanding-slot count and parks only as a last resort.
-// In a launch-dense phase — every coloring iteration is one — neither side
+// Since the stream layer (stream.hpp) the pool supports *partitioned*
+// launches: run_on(first, count) wakes only the OS workers in the contiguous
+// range [first, first + count - 1) and barriers with just them, so several
+// host threads (one per stream) can run disjoint launches concurrently —
+// the CPU analogue of independent CUDA streams time-sharing one device's
+// SMs. The classic whole-pool run() is the run_on over every worker.
+//
+// Launch fast path: each OS worker owns a cache-line-aligned mailbox with
+// its own generation counter. The launching thread publishes the task and
+// bumps the mailbox generations; workers spin on their own counter (pause,
+// then yield), parking on the futex (std::atomic::wait) only when a launch
+// doesn't arrive promptly. Completion is the mirror image: a per-task
+// remaining-count the launcher spins on, parking only as a last resort. In a
+// launch-dense phase — every coloring iteration is one — neither side
 // touches a mutex, a condition variable, or the allocator: the job travels
 // as a two-word FunctionRef, and wake syscalls happen only when a peer
 // actually parked. This is what makes per-launch overhead (the paper's
@@ -21,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -30,11 +39,11 @@ namespace gcol::sim {
 
 /// A fixed-size pool of worker threads that repeatedly execute "jobs".
 ///
-/// A job is a callable invoked once per worker slot with the slot id in
-/// [0, size()). run() blocks until every slot has finished — the same
-/// semantics as a CUDA kernel launch followed by cudaDeviceSynchronize().
-/// Slot 0 executes on the calling thread so a 1-worker pool degenerates to
-/// plain serial execution with no synchronization overhead.
+/// A job is a callable invoked once per participating slot with a local slot
+/// id; slot 0 always executes on the calling thread, so a 1-slot launch
+/// degenerates to plain serial execution with no synchronization overhead.
+/// run()/run_on() block until every slot has finished — the same semantics
+/// as a CUDA kernel launch followed by a stream synchronize.
 class ThreadPool {
  public:
   /// Creates `num_threads` worker slots. Values < 1 are clamped to 1.
@@ -53,42 +62,69 @@ class ThreadPool {
   /// alive until run() returns (always true for the lambda-argument idiom).
   /// Exceptions thrown by any slot are captured; the lowest-slot one is
   /// rethrown on the calling thread after the barrier. Not reentrant: run()
-  /// must not be called from inside a job, nor from two threads at once.
+  /// must not be called from inside a job, and whole-pool runs must not
+  /// overlap each other or any run_on.
   void run(FunctionRef<void(unsigned)> job);
 
+  /// Partitioned launch: executes job(local) for local in [0, count) where
+  /// local 0 runs on the calling thread and local i (i >= 1) runs on OS
+  /// worker `first + i - 1`. Blocks until all `count` slots complete and
+  /// rethrows the lowest-local-slot exception, exactly like run().
+  ///
+  /// Concurrency contract: run_on calls whose worker ranges are DISJOINT may
+  /// execute concurrently from different calling threads (each range
+  /// barriers independently); calls sharing any worker must be serialized by
+  /// the caller. `first` must be >= 1 and `first + count - 1 <= size()`
+  /// whenever count > 1; count <= 1 runs inline and ignores `first`.
+  void run_on(unsigned first, unsigned count, FunctionRef<void(unsigned)> job);
+
  private:
-  void worker_loop(unsigned slot);
-  /// Rethrows the lowest-slot captured exception and resets error state.
-  void rethrow_first_error();
+  /// Per-launch completion state, owned by the pool and indexed by the first
+  /// OS worker of the launch's range. Disjoint concurrent ranges have
+  /// distinct first workers, so they never share a slot; reusing a slot
+  /// across back-to-back launches is safe because the launcher only returns
+  /// once remaining hits 0 — a straggling worker can at most issue a
+  /// harmless spurious notify on the successor task's atomics.
+  struct alignas(64) TaskSlot {
+    FunctionRef<void(unsigned)> job;
+    std::atomic<unsigned> remaining{0};
+    std::atomic<bool> launcher_parked{false};
+    std::atomic<bool> had_error{false};
+  };
+
+  /// Per-OS-worker launch mailbox. gen is the worker's private
+  /// sense-reversing barrier: the worker sleeps while it equals the value it
+  /// last served. 32-bit so std::atomic::wait maps to a bare futex
+  /// (wraparound is harmless — equality is all that matters, and a worker
+  /// can never fall a full 2^32 launches behind because its launcher joins
+  /// every launch). task/local are plain data published by the generation
+  /// bump (release) and read under the worker's acquire load.
+  struct alignas(64) Mailbox {
+    std::atomic<std::uint32_t> gen{0};
+    /// Worker parked on gen; the launcher skips the wake syscall when 0.
+    std::atomic<std::uint32_t> parked{0};
+    TaskSlot* task = nullptr;
+    unsigned local = 0;
+  };
+
+  void worker_loop(unsigned worker);
+  /// Rethrows the lowest-slot captured exception for a finished launch and
+  /// resets its error state. `caller_error` is local slot 0's exception.
+  void rethrow_first_error(unsigned first, unsigned count,
+                           std::exception_ptr caller_error);
 
   unsigned num_slots_;
   // Spin budgets chosen at construction: oversubscribed pools (more slots
   // than cores) skip pause spinning and park sooner — see thread_pool.cpp.
   int pause_spins_ = 0;
   int yield_spins_ = 0;
-  std::vector<std::thread> threads_;
-
-  // Launch side. generation_ is the barrier's sense: workers sleep while it
-  // equals the value they last served. 32-bit so std::atomic::wait maps to a
-  // bare futex (wraparound is harmless — equality is all that matters, and a
-  // worker can never fall a full 2^32 launches behind because the host joins
-  // every launch). job_ is plain data published by the generation bump
-  // (release) and read under the workers' acquire load.
-  std::atomic<std::uint32_t> generation_{0};
-  FunctionRef<void(unsigned)> job_;
   std::atomic<bool> shutdown_{false};
-  // Workers parked on generation_; the host skips the wake syscall when 0.
-  std::atomic<unsigned> parked_{0};
-
-  // Completion side: slots still running the current job. The last worker
-  // issues a wake only when the host actually parked.
-  std::atomic<unsigned> remaining_{0};
-  std::atomic<bool> host_parked_{false};
-
-  // Per-slot exception capture: no lock needed, each slot owns its entry;
-  // publication rides the remaining_ release/acquire edge.
-  std::atomic<bool> had_error_{false};
+  std::unique_ptr<Mailbox[]> mailboxes_;  ///< indexed by OS worker [1, size)
+  std::unique_ptr<TaskSlot[]> tasks_;     ///< indexed by range-first worker
+  // Per-worker exception capture: no lock needed, each worker owns its
+  // entry; publication rides the task's remaining release/acquire edge.
   std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace gcol::sim

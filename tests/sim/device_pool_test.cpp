@@ -1,0 +1,148 @@
+// DevicePool semantics: power-of-two bucketing, freed-block reuse, stats
+// counters and gauges, trim, and the upstream-allocation hook that lets
+// tests assert the zero-allocation steady state. Plus the ScratchArena
+// integration: pool-backed arenas draw lanes from (and return them to) the
+// pool, which is what makes stream scratch recyclable across runs.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/device_pool.hpp"
+#include "sim/scratch.hpp"
+
+namespace gcol::sim {
+namespace {
+
+TEST(DevicePoolTest, BucketBytesRoundsUpToPowersOfTwo) {
+  EXPECT_EQ(DevicePool::bucket_bytes(0), DevicePool::kMinBlockBytes);
+  EXPECT_EQ(DevicePool::bucket_bytes(1), DevicePool::kMinBlockBytes);
+  EXPECT_EQ(DevicePool::bucket_bytes(64), 64u);
+  EXPECT_EQ(DevicePool::bucket_bytes(65), 128u);
+  EXPECT_EQ(DevicePool::bucket_bytes(1000), 1024u);
+  EXPECT_EQ(DevicePool::bucket_bytes(1024), 1024u);
+}
+
+TEST(DevicePoolTest, ReusesFreedBlockOfSameBucket) {
+  DevicePool pool;
+  void* first = pool.allocate(100);  // bucket 128
+  ASSERT_NE(first, nullptr);
+  pool.deallocate(first, 100);
+  // Any request mapping to the same bucket gets the cached block back.
+  void* second = pool.allocate(128);
+  EXPECT_EQ(second, first);
+  const DevicePool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.releases, 1u);
+  pool.deallocate(second, 128);
+}
+
+TEST(DevicePoolTest, GaugesTrackRetainedAndOutstandingBytes) {
+  DevicePool pool;
+  void* a = pool.allocate(100);   // bucket 128
+  void* b = pool.allocate(1000);  // bucket 1024
+  EXPECT_EQ(pool.stats().outstanding_bytes, 128u + 1024u);
+  EXPECT_EQ(pool.stats().retained_bytes, 0u);
+  pool.deallocate(a, 100);
+  EXPECT_EQ(pool.stats().outstanding_bytes, 1024u);
+  EXPECT_EQ(pool.stats().retained_bytes, 128u);
+  pool.deallocate(b, 1000);
+  EXPECT_EQ(pool.stats().outstanding_bytes, 0u);
+  EXPECT_EQ(pool.stats().retained_bytes, 128u + 1024u);
+}
+
+TEST(DevicePoolTest, TrimFreesEveryCachedBlock) {
+  DevicePool pool;
+  void* a = pool.allocate(64);
+  void* b = pool.allocate(500);  // bucket 512
+  pool.deallocate(a, 64);
+  pool.deallocate(b, 500);
+  EXPECT_EQ(pool.trim(), 64u + 512u);
+  EXPECT_EQ(pool.stats().retained_bytes, 0u);
+  // The next request of a trimmed bucket goes upstream again.
+  void* c = pool.allocate(64);
+  EXPECT_EQ(pool.stats().allocations, 3u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  pool.deallocate(c, 64);
+}
+
+TEST(DevicePoolTest, AllocHookFiresOnUpstreamAllocationsOnly) {
+  DevicePool pool;
+  std::vector<std::size_t> upstream;
+  pool.set_alloc_hook([&upstream](std::size_t bytes) {
+    upstream.push_back(bytes);
+  });
+  void* a = pool.allocate(100);
+  ASSERT_EQ(upstream.size(), 1u);
+  EXPECT_EQ(upstream[0], 128u);
+  pool.deallocate(a, 100);
+  void* b = pool.allocate(120);  // same bucket: served from cache, no hook
+  EXPECT_EQ(upstream.size(), 1u);
+  void* c = pool.allocate(4096);  // new bucket: upstream again
+  ASSERT_EQ(upstream.size(), 2u);
+  EXPECT_EQ(upstream[1], 4096u);
+  pool.set_alloc_hook({});
+  pool.deallocate(b, 120);
+  pool.deallocate(c, 4096);
+  void* d = pool.allocate(1u << 20);  // hook uninstalled: no record
+  EXPECT_EQ(upstream.size(), 2u);
+  pool.deallocate(d, 1u << 20);
+}
+
+TEST(DevicePoolTest, ResetStatsZeroesCountersButKeepsGauges) {
+  DevicePool pool;
+  void* a = pool.allocate(64);
+  pool.deallocate(a, 64);
+  pool.reset_stats();
+  const DevicePool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.allocations, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.releases, 0u);
+  EXPECT_EQ(stats.retained_bytes, 64u);  // the gauge survives
+}
+
+TEST(ScratchPoolTest, PooledArenaReturnsLanesToThePool) {
+  DevicePool pool;
+  {
+    ScratchArena arena(&pool);
+    auto ints = arena.get<int>(ScratchLane::kFlags, 100);  // 400B -> 512
+    ASSERT_EQ(ints.size(), 100u);
+    EXPECT_EQ(arena.retained_bytes(), 512u);
+    EXPECT_EQ(pool.stats().outstanding_bytes, 512u);
+  }
+  // Arena destruction released the lane into the pool, not upstream.
+  EXPECT_EQ(pool.stats().retained_bytes, 512u);
+  EXPECT_EQ(pool.stats().outstanding_bytes, 0u);
+  EXPECT_EQ(pool.stats().releases, 1u);
+}
+
+TEST(ScratchPoolTest, SuccessorArenaReusesRetiredLanes) {
+  DevicePool pool;
+  int* first_data = nullptr;
+  {
+    ScratchArena arena(&pool);
+    first_data = arena.get<int>(ScratchLane::kDegrees, 64).data();
+  }
+  ScratchArena next(&pool);
+  int* second_data = next.get<int>(ScratchLane::kDegrees, 64).data();
+  EXPECT_EQ(second_data, first_data);
+  EXPECT_EQ(pool.stats().allocations, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(ScratchPoolTest, PooledGrowthFollowsBucketSizes) {
+  DevicePool pool;
+  ScratchArena arena(&pool);
+  (void)arena.get<std::byte>(ScratchLane::kPalette, 100);  // bucket 128
+  EXPECT_EQ(arena.retained_bytes(), 128u);
+  // A request fitting the bucket's real capacity does not grow the lane.
+  (void)arena.get<std::byte>(ScratchLane::kPalette, 128);
+  EXPECT_EQ(pool.stats().allocations, 1u);
+  (void)arena.get<std::byte>(ScratchLane::kPalette, 129);  // grows to 256
+  EXPECT_EQ(arena.retained_bytes(), 256u);
+}
+
+}  // namespace
+}  // namespace gcol::sim

@@ -1,0 +1,211 @@
+// Stream/event semantics on the virtual device: per-stream FIFO ordering,
+// event-based cross-stream dependency edges, lane leasing (and the default
+// context shrinking around leased lanes), per-stream launch counters /
+// scratch arenas / listener slots, error capture, and host-side sync.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/stream.hpp"
+
+namespace gcol::sim {
+namespace {
+
+std::size_t idx(std::int64_t i) { return static_cast<std::size_t>(i); }
+
+TEST(StreamTest, TasksRunInSubmissionOrder) {
+  Device device(4);
+  Stream stream(device, 2);
+  std::vector<int> order;  // touched only by the stream thread until sync
+  for (int i = 0; i < 100; ++i) {
+    stream.submit([&order, i] { order.push_back(i); });
+  }
+  stream.synchronize();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[idx(i)], i);
+}
+
+TEST(StreamTest, LaunchesRunInFifoOrderWithinAStream) {
+  Device device(4);
+  Stream stream(device, 4);
+  std::vector<std::int64_t> data(1000, 0);
+  // Two dependent kernels: the second reads what the first wrote. FIFO
+  // ordering within the stream makes this safe without any event.
+  stream.launch("fill", 1000, [&data](std::int64_t i) { data[idx(i)] = i; });
+  stream.launch("double", 1000, [&data](std::int64_t i) { data[idx(i)] *= 2; });
+  device.sync(stream);
+  for (std::int64_t i = 0; i < 1000; ++i) ASSERT_EQ(data[idx(i)], 2 * i);
+}
+
+TEST(StreamTest, DeviceLaunchOverloadEnqueuesOnStream) {
+  Device device(4);
+  Stream stream(device, 2);
+  std::atomic<std::int64_t> sum{0};
+  device.launch(stream, "sum", 100, [&sum](std::int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  device.sync(stream);
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(StreamTest, StreamIdsAreUniqueAndNonZero) {
+  Device device(4);
+  Stream a(device, 1);
+  Stream b(device, 1);
+  EXPECT_GE(a.id(), 1u);
+  EXPECT_GE(b.id(), 1u);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(StreamTest, LanesAreLeasedAndDefaultContextShrinks) {
+  Device device(8);
+  EXPECT_EQ(device.num_workers(), 8u);
+  {
+    Stream a(device, 4);
+    EXPECT_EQ(a.width(), 4u);  // leased 3 OS workers (top of the pool)
+    EXPECT_EQ(device.num_workers(), 5u);
+    Stream b(device, 4);
+    EXPECT_EQ(b.width(), 4u);
+    EXPECT_EQ(device.num_workers(), 2u);
+    // Only one OS worker remains; the lease degrades to the widest fit.
+    Stream c(device, 4);
+    EXPECT_EQ(c.width(), 2u);
+    EXPECT_EQ(device.num_workers(), 1u);
+  }
+  // Every lane returned: the default context spans the pool again.
+  EXPECT_EQ(device.num_workers(), 8u);
+}
+
+TEST(StreamTest, NumWorkersInsideAStreamIsItsLaneWidth) {
+  Device device(8);
+  Stream stream(device, 4);
+  unsigned inside = 0;
+  stream.submit([&device, &inside] { inside = device.num_workers(); });
+  stream.synchronize();
+  EXPECT_EQ(inside, 4u);
+}
+
+TEST(StreamTest, EventOrdersWorkAcrossStreams) {
+  Device device(4);
+  Stream producer(device, 2);
+  Stream consumer(device, 2);
+  std::vector<std::int64_t> data(512, 0);
+  std::vector<std::int64_t> out(512, 0);
+  Event ready;
+  producer.launch("produce", 512, [&data](std::int64_t i) { data[idx(i)] = i + 1; });
+  producer.record(ready);
+  consumer.wait(ready);
+  consumer.launch("consume", 512, [&data, &out](std::int64_t i) {
+    out[idx(i)] = data[idx(i)] * 10;
+  });
+  consumer.synchronize();
+  for (std::int64_t i = 0; i < 512; ++i) ASSERT_EQ(out[idx(i)], (i + 1) * 10);
+}
+
+TEST(StreamTest, EventQueryAndHostWait) {
+  Device device(2);
+  Event event;
+  EXPECT_FALSE(event.query());
+  Stream stream(device, 1);
+  stream.record(event);
+  event.wait();  // host-side block until the stream reaches the record
+  EXPECT_TRUE(event.query());
+}
+
+TEST(StreamTest, LaunchCountersAreIsolatedPerStream) {
+  Device device(4);
+  device.reset_launch_count();
+  Stream stream(device, 2);
+  std::uint64_t stream_count = 0;
+  stream.submit([&device, &stream_count] {
+    device.launch("a", 32, [](std::int64_t) {});
+    device.launch("b", 32, [](std::int64_t) {});
+    stream_count = device.launch_count();
+  });
+  device.launch("host", 32, [](std::int64_t) {});
+  stream.synchronize();
+  EXPECT_EQ(stream_count, 2u);
+  EXPECT_EQ(device.launch_count(), 1u);  // the stream never polluted it
+}
+
+TEST(StreamTest, ScratchArenasAreIsolatedPerStream) {
+  Device device(4);
+  Stream stream(device, 2);
+  ScratchArena* stream_arena = nullptr;
+  stream.submit([&device, &stream_arena] { stream_arena = &device.scratch(); });
+  stream.synchronize();
+  ASSERT_NE(stream_arena, nullptr);
+  EXPECT_NE(stream_arena, &device.scratch());
+}
+
+TEST(StreamTest, CurrentStreamIdTracksTheExecutingThread) {
+  Device device(4);
+  EXPECT_EQ(current_stream_id(), 0u);
+  Stream stream(device, 2);
+  unsigned inside = 0;
+  stream.submit([&inside] { inside = current_stream_id(); });
+  stream.synchronize();
+  EXPECT_EQ(inside, stream.id());
+  EXPECT_EQ(current_stream_id(), 0u);
+}
+
+TEST(StreamTest, SynchronizeRethrowsFirstErrorAndStreamSurvives) {
+  Device device(4);
+  Stream stream(device, 2);
+  bool later_ran = false;
+  stream.submit([] { throw std::runtime_error("first"); });
+  stream.submit([] { throw std::runtime_error("second"); });
+  stream.submit([&later_ran] { later_ran = true; });
+  try {
+    stream.synchronize();
+    FAIL() << "synchronize() should have rethrown";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+  EXPECT_TRUE(later_ran);  // an error does not wedge the queue
+  stream.synchronize();    // error consumed: no second throw
+  std::atomic<int> done{0};
+  stream.launch("after", 64, [&done](std::int64_t) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  stream.synchronize();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(StreamTest, DeviceSyncDrainsEveryStream) {
+  Device device(8);
+  Stream a(device, 2);
+  Stream b(device, 2);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 50; ++i) {
+    a.launch("a", 64, [&total](std::int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+    b.launch("b", 64, [&total](std::int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  device.sync();
+  EXPECT_EQ(total.load(), 2 * 50 * 64);
+}
+
+TEST(StreamTest, WidthOneStreamLeasesNoWorkers) {
+  Device device(4);
+  Stream stream(device, 1);
+  EXPECT_EQ(stream.width(), 1u);
+  EXPECT_EQ(device.num_workers(), 4u);  // default context untouched
+  std::vector<int> hits(100, 0);
+  stream.launch("serial", 100, [&hits](std::int64_t i) { hits[idx(i)] = 1; });
+  stream.synchronize();
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+}  // namespace
+}  // namespace gcol::sim
