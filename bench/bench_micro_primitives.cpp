@@ -15,12 +15,14 @@
 #include "graphblas/grb.hpp"
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
+#include "sim/bitops.hpp"
 #include "sim/compact.hpp"
 #include "sim/device.hpp"
 #include "sim/reduce.hpp"
 #include "sim/rng.hpp"
 #include "sim/scan.hpp"
 #include "sim/segmented_reduce.hpp"
+#include "sim/simd.hpp"
 
 namespace {
 
@@ -274,6 +276,107 @@ void BM_MinColorBitPacked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * degree);
 }
 BENCHMARK(BM_MinColorBitPacked)->Arg(8)->Arg(32)->Arg(64)->Arg(256)->Arg(1024);
+
+// SIMD substrate ablations (DESIGN.md §3f). Window-width axis of the
+// windowed first-fit: W = 1 is the scalar oracle (one 64-color word per
+// overflow pass), W = kLaneWords amortizes overflow passes over one vector
+// register's worth of palette. The input is the adversarial dense
+// neighborhood — neighbor k holds color k, so every color in [0, degree) is
+// taken, the answer is `degree`, and the sweep walks degree/(64*W)+2
+// adjacency passes. Same exact answer at any W; the realistic low-color
+// distribution (where the shared scalar first window resolves everything
+// and W is irrelevant) is BM_MinColorBitPacked above.
+template <std::size_t W>
+void BM_PaletteMinColor(benchmark::State& state) {
+  const std::int64_t degree = state.range(0);
+  std::vector<std::int32_t> colors(static_cast<std::size_t>(degree));
+  for (std::size_t k = 0; k < colors.size(); ++k) {
+    colors[k] = static_cast<std::int32_t>(colors.size() - 1 - k);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(color::palette::first_fit_windowed<W>(
+        degree,
+        [&](std::int64_t k) { return colors[static_cast<std::size_t>(k)]; }));
+  }
+  state.SetItemsProcessed(state.iterations() * degree);
+}
+constexpr std::size_t kScalarWindow = 1;
+constexpr std::size_t kSimdWindow =
+    static_cast<std::size_t>(sim::simd::kLaneWords);
+BENCHMARK(BM_PaletteMinColor<kScalarWindow>)
+    ->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_PaletteMinColor<kSimdWindow>)
+    ->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+
+// Bitmap-frontier scan: per-word visit loop (the pre-SIMD shape) vs
+// visit_set_bits_span, whose simd::first_nonzero_word hops zero runs a lane
+// at a time. The argument is the set-bit stride (1/k density): dense
+// frontiers have no zero runs to skip, sparse ones are mostly skipping —
+// the win must come without changing the visit order (both sides sum the
+// same bit indices).
+template <bool kSpanScan>
+void BM_BitmapScan(benchmark::State& state) {
+  constexpr std::int64_t kBits = 1 << 20;
+  const std::int64_t stride = state.range(0);
+  std::vector<std::uint64_t> words(
+      static_cast<std::size_t>(sim::words_for_bits(kBits)), 0);
+  std::int64_t set = 0;
+  for (std::int64_t b = 0; b < kBits; b += stride) {
+    words[static_cast<std::size_t>(b / 64)] |= std::uint64_t{1} << (b % 64);
+    ++set;
+  }
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    if constexpr (kSpanScan) {
+      sim::visit_set_bits_span(std::span<const std::uint64_t>(words), 0,
+                               [&](std::int64_t bit) { sum += bit; });
+    } else {
+      for (std::size_t w = 0; w < words.size(); ++w) {
+        sim::visit_set_bits(words[w], static_cast<std::int64_t>(w) * 64,
+                            [&](std::int64_t bit) { sum += bit; });
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * set);
+}
+BENCHMARK(BM_BitmapScan<false>)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_BitmapScan<true>)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+// Prefetch-distance sweep for the scattered CSR gathers (the grb_jpl
+// forbidden-pass shape: walk adjacency rows, gather a per-neighbor color).
+// Arg is the lookahead in edges; 0 is the no-prefetch control and
+// sim::kGatherPrefetchDistance is the shipped setting. Skewed R-MAT rows on
+// a graph bigger than L2 so the gathers actually miss.
+void BM_CsrGatherPrefetch(benchmark::State& state) {
+  const auto csr = graph::build_csr(graph::generate_rmat(16, 16, {.seed = 17}));
+  const std::int64_t distance = state.range(0);
+  std::vector<std::int32_t> colors(
+      static_cast<std::size_t>(csr.num_vertices));
+  for (std::size_t v = 0; v < colors.size(); ++v) {
+    colors[v] = static_cast<std::int32_t>(v % 97);
+  }
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (vid_t v = 0; v < csr.num_vertices; ++v) {
+      const auto row = static_cast<std::size_t>(v);
+      const auto begin = static_cast<std::size_t>(csr.row_offsets[row]);
+      const auto end = static_cast<std::size_t>(csr.row_offsets[row + 1]);
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::size_t ahead = k + static_cast<std::size_t>(distance);
+        if (distance > 0 && ahead < end) {
+          sim::prefetch(
+              &colors[static_cast<std::size_t>(csr.col_indices[ahead])]);
+        }
+        sum += colors[static_cast<std::size_t>(csr.col_indices[k])];
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_edges());
+}
+BENCHMARK(BM_CsrGatherPrefetch)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_SegmentedReduce(benchmark::State& state) {
   auto& device = sim::Device::instance();

@@ -9,6 +9,7 @@
 #include "core/verify.hpp"
 #include "obs/trace.hpp"
 #include "sim/device.hpp"
+#include "sim/simd.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::bench {
@@ -32,7 +33,7 @@ namespace {
       "  --batch=N    batched-throughput mode: color N copies of each graph "
       "as one multi-stream batch and compare against N sequential runs "
       "(default 0 = classic mode)\n"
-      "  --json PATH  also write a gcol-bench-v3 JSON report to PATH\n"
+      "  --json PATH  also write a gcol-bench-v4 JSON report to PATH\n"
       "  --trace PATH also write a Chrome trace-event JSON (open in "
       "ui.perfetto.dev)\n"
       "  --datasets=A,B  only run the named datasets (default: all)\n"
@@ -44,7 +45,7 @@ namespace {
   std::exit(2);
 }
 
-/// The run-environment block of the gcol-bench-v3 header: enough to tell two
+/// The run-environment block of the gcol-bench-v4 header: enough to tell two
 /// BENCH_*.json files measured different machines/configs apart before
 /// comparing their numbers. Git SHA and build type are baked in at configure
 /// time (see bench/CMakeLists.txt); worker count and GCOL_THREADS are read
@@ -78,6 +79,10 @@ obs::Json run_meta(gr::FrontierMode frontier_mode, unsigned streams) {
   // 0 marks a classic run (everything on the host's default context), so
   // bench_diff can refuse to compare batched against classic numbers.
   meta.set("streams", static_cast<std::int64_t>(streams));
+  // v4: which SIMD backend the binary was compiled against (sim/simd.hpp:
+  // avx2 | sse2 | neon | scalar), so a scalar-vs-vector wall-clock delta in
+  // the trajectory is attributable to the vector unit, not a code change.
+  meta.set("simd", sim::simd_isa());
   return meta;
 }
 
@@ -278,7 +283,7 @@ JsonReport::JsonReport(std::string bench_name, const Args& args,
     : path_(args.json_path),
       header_(obs::Json::object()),
       records_(obs::Json::array()) {
-  header_.set("schema", "gcol-bench-v3");
+  header_.set("schema", "gcol-bench-v4");
   header_.set("bench", std::move(bench_name));
   header_.set("scale", args.scale);
   header_.set("runs", args.runs);

@@ -99,14 +99,19 @@ class TablePrinter {
 /// Accumulates one schema-stable JSON record per (dataset, algorithm) data
 /// point and writes the whole report on demand:
 ///
-///   {"schema": "gcol-bench-v3", "bench": <name>, "scale": F, "runs": N,
+///   {"schema": "gcol-bench-v4", "bench": <name>, "scale": F, "runs": N,
 ///    "seed": N, "meta": {"workers": N, "gcol_threads": S, "git_sha": S,
 ///    "build_type": S, "advance_policy": S, "frontier_mode": S,
-///    "streams": N},
+///    "streams": N, "simd": S},
 ///    "records": [{"dataset": ..., "algorithm": ..., "ms": F,
 ///    "ms_min": F, "colors": N, "iterations": N, "kernel_launches": N,
 ///    "conflicts_resolved": N, "valid": B, "display_name": ...,
 ///    "metrics": {...}}, ...]}
+///
+/// v4 over v3: the trailing "simd" meta key — the compile-selected SIMD
+/// backend of sim/simd.hpp (avx2 | sse2 | neon | scalar), so wall-clock
+/// deltas between a scalar and a vectorized build are attributable in the
+/// trajectory.
 ///
 /// v3 over v2: the trailing "streams" meta key — the number of device
 /// streams the harness scheduled work onto (0 for a classic host-only run),

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Diff two gcol-bench JSON reports (see bench/common/bench_util.hpp).
 
-Accepts gcol-bench-v1, -v2, and -v3 reports (v2 adds a "meta"
+Accepts gcol-bench-v1 through -v4 reports (v2 adds a "meta"
 run-environment header and per-kernel imbalance fields; v3 adds the
 meta.streams key and optional batched-throughput records, which carry
 "kind": "batch" and are skipped here — batch throughput is compared by eye,
-not gated). Compares records
+not gated; v4 adds the meta.simd key naming the compiled SIMD backend, so a
+scalar-vs-vector comparison announces itself via the meta-mismatch warning
+rather than silently mixing builds). Compares records
 keyed by (dataset, algorithm) and reports, per pair: runtime (ms),
 kernel-launch count, color count deltas, and — when both sides carry
 telemetry — the time-weighted per-kernel load-imbalance delta. Wall time is
@@ -36,7 +38,8 @@ import argparse
 import json
 import sys
 
-ACCEPTED_SCHEMAS = ("gcol-bench-v1", "gcol-bench-v2", "gcol-bench-v3")
+ACCEPTED_SCHEMAS = ("gcol-bench-v1", "gcol-bench-v2", "gcol-bench-v3",
+                    "gcol-bench-v4")
 
 # Flags that fail a --gate run; everything else is advisory.
 GATING_FLAGS = ("INVALID", "LAUNCHES+", "COLORS+")
@@ -390,6 +393,24 @@ def self_test() -> int:
     check("v3 vs v2 compares, batch records skipped",
           _run_compare(base, v3) == 0)
     check("batch-only report refuses to diff", _batch_only_exits(v3))
+
+    # v4 reports (meta.simd names the compiled backend) are accepted, and a
+    # scalar-vs-vector comparison announces itself via the meta mismatch
+    # warning instead of silently mixing builds.
+    def v4(simd):
+        return _doc([_record()], schema="gcol-bench-v4",
+                    meta={"workers": 1, "streams": 0, "simd": simd})
+    check("v4 vs v4 compares", _run_compare(v4("avx2"), v4("avx2")) == 0)
+    out = []
+    code = _run_compare(v4("scalar"), v4("avx2"), capture=out)
+    check("meta.simd mismatch warned, not gated",
+          code == 0 and "meta.simd" in out[0]
+          and "'scalar' -> 'avx2'" in out[0])
+    out = []
+    _run_compare(v4("sse2"), v4("sse2"), capture=out)
+    check("matching meta.simd silent", "meta.simd" not in out[0])
+    # A v4 schema string is accepted by load_doc's whitelist.
+    check("v4 schema accepted", "gcol-bench-v4" in ACCEPTED_SCHEMAS)
 
     if failures:
         print(f"self-test FAILED: {len(failures)} case(s)")

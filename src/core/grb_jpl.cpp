@@ -11,6 +11,7 @@
 #include "sim/advance.hpp"
 #include "sim/bitops.hpp"
 #include "sim/scratch.hpp"
+#include "sim/simd.hpp"
 #include "sim/timer.hpp"
 
 namespace gcol::color {
@@ -92,7 +93,7 @@ std::int32_t jp_min_color_fused(sim::Device& device, const graph::Csr& csr,
   const unsigned workers = device.num_workers();
   const std::span<std::uint64_t> masks = device.scratch().get<std::uint64_t>(
       sim::ScratchLane::kPalette, words * workers);
-  std::fill(masks.begin(), masks.end(), std::uint64_t{0});
+  sim::simd::fill(masks, 0);
 
   // Frontier membership by VALUE (Boolean semiring semantics: a 0-valued
   // entry contributes nothing), across any storage representation.
@@ -122,24 +123,33 @@ std::int32_t jp_min_color_fused(sim::Device& device, const graph::Csr& csr,
         if (!active(s)) return;
         std::uint64_t* mask = masks.data() + slot * words;
         for (std::int64_t k = local_begin; k < local_end; ++k) {
-          const vid_t u = csr.col_indices[static_cast<std::size_t>(
-              global_begin + (k - local_begin))];
+          const auto p =
+              static_cast<std::size_t>(global_begin + (k - local_begin));
+          // The color read is a scattered gather through col_indices;
+          // prefetch the color of the neighbor D edges ahead so the miss
+          // overlaps this edge's mask OR.
+          if (k + sim::kGatherPrefetchDistance < local_end) {
+            sim::prefetch(&cv[static_cast<std::size_t>(
+                csr.col_indices[p + static_cast<std::size_t>(
+                                        sim::kGatherPrefetchDistance)])]);
+          }
+          const vid_t u = csr.col_indices[p];
           const std::int32_t cu = cv[static_cast<std::size_t>(u)];
           if (cu > 0) sim::set_bit(mask, cu);
         }
       });
 
-  for (std::size_t w = 0; w < words; ++w) {
-    // Bit 0 = color 0 = "uncolored", never available (Alg. 4 l.12).
-    std::uint64_t word = w == 0 ? std::uint64_t{1} : std::uint64_t{0};
-    for (unsigned slot = 0; slot < workers; ++slot) {
-      word |= masks[slot * words + w];
-    }
-    if (word != sim::kFullWord) {
-      return static_cast<std::int32_t>(w) * sim::kBitsPerWord +
-             sim::min_unset_bit(word);
-    }
+  // Wide OR of the per-slot masks into slot 0's words, then one SIMD
+  // first-zero-bit search — the same combine the word-major loop did, 4
+  // words per instruction.
+  const std::span<std::uint64_t> combined = masks.first(words);
+  for (unsigned slot = 1; slot < workers; ++slot) {
+    sim::simd::or_into(combined, masks.subspan(slot * words, words));
   }
+  // Bit 0 = color 0 = "uncolored", never available (Alg. 4 l.12).
+  combined[0] |= std::uint64_t{1};
+  const std::int64_t free_bit = sim::simd::first_zero_bit(combined);
+  if (free_bit >= 0) return static_cast<std::int32_t>(free_bit);
   // Unreachable: neighbor colors are <= max_color, so bit max_color + 1
   // of the window is always free.
   return max_color + 1;

@@ -195,12 +195,9 @@ class Frontier {
         for (const vid_t v : vertices_) visit(v);
         return;
       case Kind::kBitmap:
-        for (std::size_t w = 0; w < words_.size(); ++w) {
-          sim::visit_set_bits(
-              words_[w],
-              static_cast<std::int64_t>(w) * sim::kBitsPerWord,
-              [&](std::int64_t bit) { visit(static_cast<vid_t>(bit)); });
-        }
+        sim::visit_set_bits_span(
+            words_, 0,
+            [&](std::int64_t bit) { visit(static_cast<vid_t>(bit)); });
         return;
     }
   }

@@ -55,6 +55,7 @@
 #include "sim/scan.hpp"
 #include "sim/scratch.hpp"
 #include "sim/segmented_reduce.hpp"
+#include "sim/simd.hpp"
 #include "sim/slot_range.hpp"
 
 namespace gcol::gr {
@@ -174,12 +175,15 @@ template <typename Op, typename Count>
             op(v);
             if (count(v)) ++local;
           };
-          for (std::int64_t w = begin; w < end; ++w) {
-            const std::uint64_t word = words[static_cast<std::size_t>(w)];
-            const std::int64_t base = w * sim::kBitsPerWord;
-            if (dir == Direction::kPush) {
-              sim::visit_set_bits(word, base, apply);
-            } else {
+          if (dir == Direction::kPush) {
+            sim::visit_set_bits_span(
+                words.subspan(static_cast<std::size_t>(begin),
+                              static_cast<std::size_t>(end - begin)),
+                begin * sim::kBitsPerWord, apply);
+          } else {
+            for (std::int64_t w = begin; w < end; ++w) {
+              const std::uint64_t word = words[static_cast<std::size_t>(w)];
+              const std::int64_t base = w * sim::kBitsPerWord;
               for (std::int64_t b = 0; b < sim::kBitsPerWord; ++b) {
                 if ((word >> b) & 1u) apply(base + b);
               }
@@ -234,7 +238,24 @@ template <typename Pred>
       [&](unsigned slot, unsigned num_slots) {
         const auto [begin, end] = sim::slot_range(slot, num_slots, num_words);
         std::int64_t local = 0;
-        for (std::int64_t w = begin; w < end; ++w) {
+        // Empty input words filter to empty output words, so the SIMD
+        // first-nonzero-word search skips zero runs wholesale (4 words per
+        // compare on AVX2) and bulk-zeroes the matching output range; pred
+        // still runs exactly once per member, in the same order.
+        std::int64_t w = begin;
+        while (w < end) {
+          const std::int64_t skip = sim::simd::first_nonzero_word(
+              words.subspan(static_cast<std::size_t>(w),
+                            static_cast<std::size_t>(end - w)));
+          const std::int64_t stop = skip < 0 ? end : w + skip;
+          if (stop > w) {
+            sim::simd::fill(
+                std::span(out).subspan(static_cast<std::size_t>(w),
+                                       static_cast<std::size_t>(stop - w)),
+                0);
+            w = stop;
+          }
+          if (w == end) break;
           const std::uint64_t word = words[static_cast<std::size_t>(w)];
           const std::int64_t base = w * sim::kBitsPerWord;
           std::uint64_t next = 0;
@@ -252,6 +273,7 @@ template <typename Pred>
           }
           out[static_cast<std::size_t>(w)] = next;
           local += std::popcount(next);
+          ++w;
         }
         counts[slot] = local;
       },
@@ -333,18 +355,16 @@ inline std::span<const vid_t> frontier_gather(sim::Device& device,
       "gr::frontier_gather",
       [&](unsigned slot, unsigned num_slots) {
         const auto [begin, end] = sim::slot_range(slot, num_slots, num_words);
-        std::int64_t local = 0;
-        for (std::int64_t w = begin; w < end; ++w) {
-          local += std::popcount(words[static_cast<std::size_t>(w)]);
-        }
+        const auto block =
+            words.subspan(static_cast<std::size_t>(begin),
+                          static_cast<std::size_t>(end - begin));
+        const std::int64_t local = sim::simd::popcount(block);
         std::int64_t pos = cursor.fetch_add(local, std::memory_order_relaxed);
-        for (std::int64_t w = begin; w < end; ++w) {
-          sim::visit_set_bits(words[static_cast<std::size_t>(w)],
-                              w * sim::kBitsPerWord, [&](std::int64_t bit) {
-                                list[static_cast<std::size_t>(pos++)] =
-                                    static_cast<vid_t>(bit);
-                              });
-        }
+        sim::visit_set_bits_span(block, begin * sim::kBitsPerWord,
+                                 [&](std::int64_t bit) {
+                                   list[static_cast<std::size_t>(pos++)] =
+                                       static_cast<vid_t>(bit);
+                                 });
       },
       "push");
   return list;
@@ -371,6 +391,13 @@ void nr_fused_impl(sim::Device& device, const graph::Csr& csr,
   device.launch(
       "gr::nr_degrees", fsize,
       [&](std::int64_t i) {
+        // The degree read is a gather through the source list into
+        // row_offsets; prefetch the row of the source D slots ahead so the
+        // scattered load overlaps this item's work.
+        if (i + sim::kGatherPrefetchDistance < fsize) {
+          sim::prefetch(&csr.row_offsets[static_cast<std::size_t>(
+              vertex_of(i + sim::kGatherPrefetchDistance))]);
+        }
         const eid_t degree = csr.degree(vertex_of(i));
         offsets[static_cast<std::size_t>(i)] = degree;
         if (degree == 0) finalize(i, identity);
@@ -473,6 +500,10 @@ struct AdvanceResult {
   const std::span<eid_t> degrees = device.scratch().get<eid_t>(
       sim::ScratchLane::kDegrees, static_cast<std::size_t>(fsize));
   device.launch("gr::advance_degrees", fsize, [&](std::int64_t i) {
+    if (i + sim::kGatherPrefetchDistance < fsize) {
+      sim::prefetch(&csr.row_offsets[static_cast<std::size_t>(
+          frontier.vertex(i + sim::kGatherPrefetchDistance))]);
+    }
     degrees[static_cast<std::size_t>(i)] = csr.degree(frontier.vertex(i));
   });
   // Launches 2-3: scan to segment offsets.
@@ -584,6 +615,11 @@ struct AdvanceResult {
     device.launch(
         "gr::advance_degrees", fsize,
         [&](std::int64_t i) {
+          if (i + sim::kGatherPrefetchDistance < fsize) {
+            sim::prefetch(&csr.row_offsets[static_cast<std::size_t>(
+                list[static_cast<std::size_t>(
+                    i + sim::kGatherPrefetchDistance)])]);
+          }
           offsets[static_cast<std::size_t>(i)] =
               csr.degree(list[static_cast<std::size_t>(i)]);
         },
@@ -599,6 +635,12 @@ struct AdvanceResult {
             std::int64_t /*global_begin*/) {
           const auto adj = csr.neighbors(list[static_cast<std::size_t>(s)]);
           for (std::int64_t k = local_begin; k < local_end; ++k) {
+            // Scatter prefetch: the destination word of the neighbor D
+            // edges ahead, so the scattered RMW's line is already inbound.
+            if (k + sim::kGatherPrefetchDistance < local_end) {
+              sim::prefetch(&out[sim::word_index(adj[static_cast<std::size_t>(
+                  k + sim::kGatherPrefetchDistance)])]);
+            }
             set_neighbor(adj[static_cast<std::size_t>(k)]);
           }
         },
@@ -613,7 +655,7 @@ struct AdvanceResult {
         },
         sim::Schedule::kDynamic, "push");
   }
-  for (const std::uint64_t word : out) total += std::popcount(word);
+  total = sim::simd::popcount(out);
   return Frontier::bits(std::move(out), total, n, frontier.mode());
 }
 

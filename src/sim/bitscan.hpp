@@ -52,11 +52,11 @@ void for_each_set_bit_slotted(Device& device, const char* name,
       name,
       [&](unsigned slot, unsigned num_slots) {
         const auto [begin, end] = slot_range(slot, num_slots, num_words);
-        for (std::int64_t w = begin; w < end; ++w) {
-          visit_set_bits(words[static_cast<std::size_t>(w)],
-                         w * kBitsPerWord,
-                         [&](std::int64_t bit) { visit(slot, bit); });
-        }
+        visit_set_bits_span(
+            words.subspan(static_cast<std::size_t>(begin),
+                          static_cast<std::size_t>(end - begin)),
+            begin * kBitsPerWord,
+            [&](std::int64_t bit) { visit(slot, bit); });
       },
       direction);
 }

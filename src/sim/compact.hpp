@@ -19,6 +19,7 @@
 
 #include "sim/device.hpp"
 #include "sim/scratch.hpp"
+#include "sim/simd.hpp"
 #include "sim/slot_range.hpp"
 
 namespace gcol::sim {
@@ -37,16 +38,18 @@ void fused_compact(Device& device, std::int64_t n, Pred pred, Resize resize,
   const std::span<std::int64_t> slot_counts =
       device.scratch().get<std::int64_t>(ScratchLane::kSlotCounts, workers);
 
+  // The flag pass stores 0/1 bytes; the slot count is then one SIMD byte
+  // sum over the block (SAD on x86: 16-32 flags per add) instead of an
+  // in-loop counter carried through the predicate.
   device.launch_slots("sim::compact_flag_count",
                       [&](unsigned slot, unsigned num_slots) {
                         const auto [begin, end] = slot_range(slot, num_slots, n);
-                        std::int64_t local = 0;
                         for (std::int64_t i = begin; i < end; ++i) {
-                          const bool keep = pred(i);
-                          flags[static_cast<std::size_t>(i)] = keep ? 1 : 0;
-                          local += keep ? 1 : 0;
+                          flags[static_cast<std::size_t>(i)] = pred(i) ? 1 : 0;
                         }
-                        slot_counts[slot] = local;
+                        slot_counts[slot] = simd::sum_bytes(flags.subspan(
+                            static_cast<std::size_t>(begin),
+                            static_cast<std::size_t>(end - begin)));
                       });
 
   std::int64_t total = 0;

@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 
 #include "sim/device.hpp"
 #include "sim/scratch.hpp"
+#include "sim/simd.hpp"
 #include "sim/slot_range.hpp"
 
 namespace gcol::sim {
@@ -37,10 +39,31 @@ template <typename T, typename Combine>
   return result;
 }
 
+/// Sum reduction. 64-bit integer spans run each slot's partial through the
+/// SIMD wide sum (wrapping adds commute, so the lane regrouping is exact);
+/// the kernel keeps the "sim::reduce" launch name either way, so per-kernel
+/// stats stay comparable across backends.
 template <typename T>
 [[nodiscard]] T reduce_sum(Device& device, std::span<const T> values) {
-  return reduce<T>(device, values, T{0},
-                   [](T a, T b) { return static_cast<T>(a + b); });
+  if constexpr (std::is_integral_v<T> && sizeof(T) == sizeof(std::uint64_t)) {
+    const auto n = static_cast<std::int64_t>(values.size());
+    if (n == 0) return T{0};
+    const unsigned workers = device.num_workers();
+    const std::span<T> partials =
+        device.scratch().template get<T>(ScratchLane::kPartials, workers);
+    device.launch_slots("sim::reduce", [&](unsigned slot, unsigned num_slots) {
+      const auto [begin, end] = slot_range(slot, num_slots, n);
+      partials[slot] = simd::sum_span<T>(
+          values.subspan(static_cast<std::size_t>(begin),
+                         static_cast<std::size_t>(end - begin)));
+    });
+    T result{0};
+    for (const T& partial : partials) result = static_cast<T>(result + partial);
+    return result;
+  } else {
+    return reduce<T>(device, values, T{0},
+                     [](T a, T b) { return static_cast<T>(a + b); });
+  }
 }
 
 template <typename T>

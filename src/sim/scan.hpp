@@ -16,6 +16,7 @@
 
 #include "sim/device.hpp"
 #include "sim/scratch.hpp"
+#include "sim/simd.hpp"
 #include "sim/slot_range.hpp"
 
 namespace gcol::sim {
@@ -37,17 +38,17 @@ T exclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
     return acc;
   }
 
+  // The partials phase is order-free (one total per block), so it runs
+  // through the SIMD wide sum for 64-bit integers; only the apply phase
+  // needs the serial element order.
   const std::span<T> block_sums =
       device.scratch().template get<T>(ScratchLane::kBlockSums, workers);
   device.launch_slots("sim::scan_partials",
                       [&](unsigned slot, unsigned num_slots) {
                         const auto [begin, end] = slot_range(slot, num_slots, n);
-                        T acc{0};
-                        for (std::int64_t i = begin; i < end; ++i) {
-                          acc = static_cast<T>(
-                              acc + in[static_cast<std::size_t>(i)]);
-                        }
-                        block_sums[slot] = acc;
+                        block_sums[slot] = simd::sum_span<T>(in.subspan(
+                            static_cast<std::size_t>(begin),
+                            static_cast<std::size_t>(end - begin)));
                       });
 
   T total{0};
@@ -91,12 +92,9 @@ T inclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
   device.launch_slots("sim::scan_partials",
                       [&](unsigned slot, unsigned num_slots) {
                         const auto [begin, end] = slot_range(slot, num_slots, n);
-                        T acc{0};
-                        for (std::int64_t i = begin; i < end; ++i) {
-                          acc = static_cast<T>(
-                              acc + in[static_cast<std::size_t>(i)]);
-                        }
-                        block_sums[slot] = acc;
+                        block_sums[slot] = simd::sum_span<T>(in.subspan(
+                            static_cast<std::size_t>(begin),
+                            static_cast<std::size_t>(end - begin)));
                       });
 
   T total{0};

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/simd.hpp"
+
 namespace gcol::sim {
 
 namespace {
@@ -14,19 +16,11 @@ namespace {
 // the single-core-container case) pause spinning is strictly
 // counterproductive: the peer we are waiting on needs the core we are
 // burning, so the pause phase is skipped and parking comes sooner.
+// The pause instruction itself is sim::cpu_relax (sim/simd.hpp), the shared
+// arch shim (_mm_pause on x86, yield on ARM, a fence elsewhere).
 constexpr int kPauseSpins = 128;
 constexpr int kYieldSpins = 32;
 constexpr int kOversubscribedYieldSpins = 16;
-
-inline void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__) || defined(__arm__)
-  asm volatile("yield" ::: "memory");
-#else
-  std::atomic_signal_fence(std::memory_order_seq_cst);
-#endif
-}
 
 }  // namespace
 
