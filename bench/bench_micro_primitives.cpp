@@ -12,6 +12,7 @@
 #include "graph/build.hpp"
 #include "graph/generators/rgg.hpp"
 #include "graph/generators/rmat.hpp"
+#include "graph/reorder.hpp"
 #include "graphblas/grb.hpp"
 #include "gunrock/frontier.hpp"
 #include "gunrock/operators.hpp"
@@ -377,6 +378,76 @@ void BM_CsrGatherPrefetch(benchmark::State& state) {
 }
 BENCHMARK(BM_CsrGatherPrefetch)
     ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Cache-aware CSR relabeling (DESIGN.md §3g): the one-time preprocessing
+// cost each reorder strategy charges before the color phase earns it back.
+// make_permutation + relabel end to end on a skewed R-MAT — the histogram /
+// scan / scatter pipeline plus the per-row neighbor translation and re-sort.
+template <graph::ReorderStrategy strategy>
+void BM_Relabel(benchmark::State& state) {
+  const auto csr = graph::build_csr(graph::generate_rmat(
+      static_cast<int>(state.range(0)), 16, {.seed = 17}));
+  for (auto _ : state) {
+    const graph::Permutation perm = graph::make_permutation(csr, strategy);
+    const graph::Csr relabeled = graph::relabel(csr, perm);
+    benchmark::DoNotOptimize(relabeled.num_vertices);
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_edges());
+}
+BENCHMARK(BM_Relabel<graph::ReorderStrategy::kDegreeSort>)
+    ->DenseRange(12, 16, 2);
+BENCHMARK(BM_Relabel<graph::ReorderStrategy::kDbg>)->DenseRange(12, 16, 2);
+BENCHMARK(BM_Relabel<graph::ReorderStrategy::kBfs>)->DenseRange(12, 16, 2);
+
+// What the relabeling buys: the scattered per-neighbor gather (the
+// forbidden-color pass shape of BM_CsrGatherPrefetch, same prefetch
+// distance) on the natural labeling vs each strategy's relabeled CSR. The
+// work is identical — same edges, same per-vertex sum modulo the label
+// translation — so any delta is pure locality: neighbor ids drawn closer
+// together hit the same cache lines and pages.
+template <graph::ReorderStrategy strategy>
+void BM_CsrGatherReordered(benchmark::State& state) {
+  const auto base = graph::build_csr(graph::generate_rmat(
+      static_cast<int>(state.range(0)), 16, {.seed = 17}));
+  graph::Csr relabeled;
+  if (strategy != graph::ReorderStrategy::kIdentity) {
+    relabeled =
+        graph::relabel(base, graph::make_permutation(base, strategy));
+  }
+  const graph::Csr& csr =
+      strategy == graph::ReorderStrategy::kIdentity ? base : relabeled;
+  std::vector<std::int32_t> colors(
+      static_cast<std::size_t>(csr.num_vertices));
+  for (std::size_t v = 0; v < colors.size(); ++v) {
+    colors[v] = static_cast<std::int32_t>(v % 97);
+  }
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (vid_t v = 0; v < csr.num_vertices; ++v) {
+      const auto row = static_cast<std::size_t>(v);
+      const auto begin = static_cast<std::size_t>(csr.row_offsets[row]);
+      const auto end = static_cast<std::size_t>(csr.row_offsets[row + 1]);
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::size_t ahead = k + sim::kGatherPrefetchDistance;
+        if (ahead < end) {
+          sim::prefetch(
+              &colors[static_cast<std::size_t>(csr.col_indices[ahead])]);
+        }
+        sum += colors[static_cast<std::size_t>(csr.col_indices[k])];
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_edges());
+}
+BENCHMARK(BM_CsrGatherReordered<graph::ReorderStrategy::kIdentity>)
+    ->DenseRange(14, 18, 2);
+BENCHMARK(BM_CsrGatherReordered<graph::ReorderStrategy::kDegreeSort>)
+    ->DenseRange(14, 18, 2);
+BENCHMARK(BM_CsrGatherReordered<graph::ReorderStrategy::kDbg>)
+    ->DenseRange(14, 18, 2);
+BENCHMARK(BM_CsrGatherReordered<graph::ReorderStrategy::kBfs>)
+    ->DenseRange(14, 18, 2);
 
 void BM_SegmentedReduce(benchmark::State& state) {
   auto& device = sim::Device::instance();

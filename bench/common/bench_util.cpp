@@ -33,26 +33,30 @@ namespace {
       "  --batch=N    batched-throughput mode: color N copies of each graph "
       "as one multi-stream batch and compare against N sequential runs "
       "(default 0 = classic mode)\n"
-      "  --json PATH  also write a gcol-bench-v4 JSON report to PATH\n"
+      "  --json PATH  also write a gcol-bench-v5 JSON report to PATH\n"
       "  --trace PATH also write a Chrome trace-event JSON (open in "
       "ui.perfetto.dev)\n"
       "  --datasets=A,B  only run the named datasets (default: all)\n"
       "  --algorithms=A,B  run the named registry algorithms (default: the "
       "paper's nine Figure-1 series)\n"
       "  --frontier=M frontier policy for the frontier-driven algorithms: "
-      "sparse | bitmap-push | bitmap-pull | auto (default auto)\n",
+      "sparse | bitmap-push | bitmap-pull | auto (default auto)\n"
+      "  --reorder=S  cache-aware CSR relabeling applied (and un-permuted) "
+      "inside every measured run: identity | degree_sort | dbg | bfs "
+      "(default identity)\n",
       program);
   std::exit(2);
 }
 
-/// The run-environment block of the gcol-bench-v4 header: enough to tell two
+/// The run-environment block of the gcol-bench-v5 header: enough to tell two
 /// BENCH_*.json files measured different machines/configs apart before
 /// comparing their numbers. Git SHA and build type are baked in at configure
 /// time (see bench/CMakeLists.txt); worker count and GCOL_THREADS are read
 /// live so the report reflects the actual run. `streams` is the number of
 /// device streams the harness scheduled measured work onto (0 for a classic
 /// host-only run).
-obs::Json run_meta(gr::FrontierMode frontier_mode, unsigned streams) {
+obs::Json run_meta(gr::FrontierMode frontier_mode, unsigned streams,
+                   graph::ReorderStrategy reorder) {
   obs::Json meta = obs::Json::object();
   meta.set("workers",
            static_cast<std::int64_t>(sim::Device::instance().num_workers()));
@@ -83,6 +87,12 @@ obs::Json run_meta(gr::FrontierMode frontier_mode, unsigned streams) {
   // avx2 | sse2 | neon | scalar), so a scalar-vs-vector wall-clock delta in
   // the trajectory is attributable to the vector unit, not a code change.
   meta.set("simd", sim::simd_isa());
+  // v5: the CSR relabeling strategy the measured runs colored under
+  // (graph/reorder.hpp: identity | degree_sort | dbg | bfs). Reordering
+  // changes memory locality but not the external coloring contract, so two
+  // reports differing only here are the reorder ablation's axis — and
+  // bench_diff warns on a mismatch instead of silently mixing layouts.
+  meta.set("reorder", graph::to_string(reorder));
   return meta;
 }
 
@@ -144,6 +154,13 @@ Args parse_args(int argc, char** argv) {
         std::fprintf(stderr, "unknown frontier mode: %s\n", value);
         usage_and_exit(argv[0]);
       }
+    } else if (parse_kv(arg, "--reorder", &value) ||
+               (std::strcmp(arg, "--reorder") == 0 &&
+                (value = next_value(&i)) != nullptr)) {
+      if (!graph::parse_reorder(value, args.reorder)) {
+        std::fprintf(stderr, "unknown reorder strategy: %s\n", value);
+        usage_and_exit(argv[0]);
+      }
     } else {
       usage_and_exit(argv[0]);
     }
@@ -198,7 +215,8 @@ std::vector<const color::AlgorithmSpec*> selected_algorithms(
 
 Measurement run_averaged(const color::AlgorithmSpec& spec,
                          const graph::Csr& csr, std::uint64_t seed, int runs,
-                         gr::FrontierMode mode) {
+                         gr::FrontierMode mode,
+                         graph::ReorderStrategy reorder) {
   Measurement m;
   m.valid = true;
   double total = 0.0;
@@ -209,6 +227,7 @@ Measurement run_averaged(const color::AlgorithmSpec& spec,
     color::Options options;
     options.seed = seed;
     options.frontier_mode = mode;
+    options.reorder = reorder;
     sim::Stopwatch watch;
     color::Coloring result = spec.run(csr, options);
     const double ms = watch.elapsed_ms();
@@ -283,12 +302,12 @@ JsonReport::JsonReport(std::string bench_name, const Args& args,
     : path_(args.json_path),
       header_(obs::Json::object()),
       records_(obs::Json::array()) {
-  header_.set("schema", "gcol-bench-v4");
+  header_.set("schema", "gcol-bench-v5");
   header_.set("bench", std::move(bench_name));
   header_.set("scale", args.scale);
   header_.set("runs", args.runs);
   header_.set("seed", static_cast<std::int64_t>(args.seed));
-  header_.set("meta", run_meta(args.frontier_mode, streams));
+  header_.set("meta", run_meta(args.frontier_mode, streams, args.reorder));
 }
 
 void JsonReport::add_measurement(std::string_view dataset,

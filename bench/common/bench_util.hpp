@@ -14,6 +14,7 @@
 #include "core/registry.hpp"
 #include "core/result.hpp"
 #include "graph/csr.hpp"
+#include "graph/reorder.hpp"
 #include "gunrock/frontier.hpp"
 #include "obs/json.hpp"
 
@@ -36,6 +37,11 @@ struct Args {
   /// --frontier: frontier representation / direction policy handed to every
   /// measured run (sparse | bitmap-push | bitmap-pull | auto).
   gr::FrontierMode frontier_mode = gr::FrontierMode::kAuto;
+  /// --reorder: cache-aware CSR relabeling strategy applied inside every
+  /// measured run (identity | degree_sort | dbg | bfs). The registry
+  /// un-permutes colors back to the input labeling, so only locality — not
+  /// the external contract — changes.
+  graph::ReorderStrategy reorder = graph::ReorderStrategy::kIdentity;
   /// --batch: number of graph copies colored per batched cell. 0 (the
   /// default) keeps the harness in classic single-graph mode; N > 0 switches
   /// supporting harnesses into batched-throughput mode, comparing one
@@ -71,11 +77,14 @@ struct Measurement {
 /// averaged wall time plus the final coloring. When a TraceSession is active
 /// each timed run appears as a "run:<algorithm>" phase span on its timeline.
 /// `mode` is the frontier policy for the frontier-driven algorithms (others
-/// ignore it); harnesses pass Args::frontier_mode.
+/// ignore it); harnesses pass Args::frontier_mode. `reorder` is the CSR
+/// relabeling strategy the registry applies (and un-permutes) around the
+/// color phase; harnesses pass Args::reorder.
 [[nodiscard]] Measurement run_averaged(
     const color::AlgorithmSpec& spec, const graph::Csr& csr,
     std::uint64_t seed, int runs,
-    gr::FrontierMode mode = gr::FrontierMode::kAuto);
+    gr::FrontierMode mode = gr::FrontierMode::kAuto,
+    graph::ReorderStrategy reorder = graph::ReorderStrategy::kIdentity);
 
 /// Geometric mean (the paper's summary statistic for speedups).
 [[nodiscard]] double geomean(std::span<const double> values);
@@ -99,14 +108,21 @@ class TablePrinter {
 /// Accumulates one schema-stable JSON record per (dataset, algorithm) data
 /// point and writes the whole report on demand:
 ///
-///   {"schema": "gcol-bench-v4", "bench": <name>, "scale": F, "runs": N,
+///   {"schema": "gcol-bench-v5", "bench": <name>, "scale": F, "runs": N,
 ///    "seed": N, "meta": {"workers": N, "gcol_threads": S, "git_sha": S,
 ///    "build_type": S, "advance_policy": S, "frontier_mode": S,
-///    "streams": N, "simd": S},
+///    "streams": N, "simd": S, "reorder": S},
 ///    "records": [{"dataset": ..., "algorithm": ..., "ms": F,
 ///    "ms_min": F, "colors": N, "iterations": N, "kernel_launches": N,
 ///    "conflicts_resolved": N, "valid": B, "display_name": ...,
 ///    "metrics": {...}}, ...]}
+///
+/// v5 over v4: the trailing "reorder" meta key — the cache-aware CSR
+/// relabeling strategy the measured runs colored under (graph/reorder.hpp:
+/// identity | degree_sort | dbg | bfs). Reordering is transparent to the
+/// coloring contract (the registry un-permutes colors back to the input
+/// labeling), so this key is what distinguishes two otherwise-identical
+/// reports in a locality ablation, and bench_diff warns when it moves.
 ///
 /// v4 over v3: the trailing "simd" meta key — the compile-selected SIMD
 /// backend of sim/simd.hpp (avx2 | sse2 | neon | scalar), so wall-clock

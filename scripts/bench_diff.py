@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
 """Diff two gcol-bench JSON reports (see bench/common/bench_util.hpp).
 
-Accepts gcol-bench-v1 through -v4 reports (v2 adds a "meta"
+Accepts gcol-bench-v1 through -v5 reports (v2 adds a "meta"
 run-environment header and per-kernel imbalance fields; v3 adds the
 meta.streams key and optional batched-throughput records, which carry
 "kind": "batch" and are skipped here — batch throughput is compared by eye,
 not gated; v4 adds the meta.simd key naming the compiled SIMD backend, so a
 scalar-vs-vector comparison announces itself via the meta-mismatch warning
-rather than silently mixing builds). Compares records
+rather than silently mixing builds; v5 adds the meta.reorder key naming the
+cache-aware CSR relabeling strategy the runs colored under — reordering is
+transparent to colors and launches, so a reorder mismatch warns the same
+way, flagging that wall-clock deltas are a layout ablation, not a code
+change). Compares records
 keyed by (dataset, algorithm) and reports, per pair: runtime (ms),
 kernel-launch count, color count deltas, and — when both sides carry
 telemetry — the time-weighted per-kernel load-imbalance delta. Wall time is
@@ -39,7 +43,7 @@ import json
 import sys
 
 ACCEPTED_SCHEMAS = ("gcol-bench-v1", "gcol-bench-v2", "gcol-bench-v3",
-                    "gcol-bench-v4")
+                    "gcol-bench-v4", "gcol-bench-v5")
 
 # Flags that fail a --gate run; everything else is advisory.
 GATING_FLAGS = ("INVALID", "LAUNCHES+", "COLORS+")
@@ -411,6 +415,37 @@ def self_test() -> int:
     check("matching meta.simd silent", "meta.simd" not in out[0])
     # A v4 schema string is accepted by load_doc's whitelist.
     check("v4 schema accepted", "gcol-bench-v4" in ACCEPTED_SCHEMAS)
+
+    # v5 reports (meta.reorder names the CSR relabeling strategy) are
+    # accepted; comparing runs measured under different layouts announces
+    # itself via the meta mismatch warning — advisory, never gating, since
+    # reordering must not move colors or launches (that invariance is
+    # exactly what a cross-layout gate run proves).
+    def v5(reorder):
+        return _doc([_record()], schema="gcol-bench-v5",
+                    meta={"workers": 1, "streams": 0, "simd": "avx2",
+                          "reorder": reorder})
+    check("v5 schema accepted", "gcol-bench-v5" in ACCEPTED_SCHEMAS)
+    check("v5 vs v5 compares", _run_compare(v5("dbg"), v5("dbg")) == 0)
+    out = []
+    code = _run_compare(v5("identity"), v5("dbg"), capture=out)
+    check("meta.reorder mismatch warned, not gated",
+          code == 0 and "meta.reorder" in out[0]
+          and "'identity' -> 'dbg'" in out[0])
+    out = []
+    _run_compare(v5("degree_sort"), v5("degree_sort"), capture=out)
+    check("matching meta.reorder silent", "meta.reorder" not in out[0])
+    # Cross-layout regressions still gate: reordering may not cost colors
+    # or launches, so a v5 identity-vs-dbg diff with LAUNCHES+ fails.
+    after = v5("dbg")
+    after["records"] = [_record(launches=6)]
+    check("cross-layout LAUNCHES+ still gates",
+          _run_compare(v5("identity"), after) == 1)
+    # v4 vs v5: the new key shows up as absent-vs-present, warned only.
+    out = []
+    code = _run_compare(v4("avx2"), v5("identity"), capture=out)
+    check("v4 vs v5 compares with reorder key warning",
+          code == 0 and "meta.reorder" in out[0])
 
     if failures:
         print(f"self-test FAILED: {len(failures)} case(s)")

@@ -13,24 +13,26 @@ namespace gcol::color {
 
 namespace {
 
-/// Priority-queue key: (saturation, degree, -id) so the max-heap pops the
-/// most saturated, then highest degree, then lowest id — Brélaz's rule with
-/// a deterministic tie break.
+/// Priority-queue key: (saturation, degree, -original id) so the max-heap
+/// pops the most saturated, then highest degree, then lowest original id —
+/// Brélaz's rule with a tie break that survives relabeling (the coloring is
+/// invariant to the registry's reorder strategies).
 struct Key {
   vid_t saturation;
   vid_t degree;
-  vid_t vertex;
+  vid_t tie;     ///< original id of `vertex`
+  vid_t vertex;  ///< internal id (payload, not compared)
 
   bool operator<(const Key& other) const noexcept {
     if (saturation != other.saturation) return saturation < other.saturation;
     if (degree != other.degree) return degree < other.degree;
-    return vertex > other.vertex;
+    return tie > other.tie;
   }
 };
 
 }  // namespace
 
-Coloring dsatur_color(const graph::Csr& csr, const DsaturOptions&) {
+Coloring dsatur_color(const graph::Csr& csr, const DsaturOptions& options) {
   const vid_t n = csr.num_vertices;
   const auto un = static_cast<std::size_t>(n);
 
@@ -52,7 +54,7 @@ Coloring dsatur_color(const graph::Csr& csr, const DsaturOptions&) {
   std::vector<std::set<std::int32_t>> neighbor_colors(un);
   std::priority_queue<Key> queue;
   for (vid_t v = 0; v < n; ++v) {
-    queue.push({0, csr.degree(v), v});
+    queue.push({0, csr.degree(v), options.original_id(v), v});
   }
 
   std::vector<vid_t> forbidden(un + 1, -1);
@@ -86,7 +88,7 @@ Coloring dsatur_color(const graph::Csr& csr, const DsaturOptions&) {
       if (result.colors[uu] != kUncolored) continue;
       if (neighbor_colors[uu].insert(color).second) {
         queue.push({static_cast<vid_t>(neighbor_colors[uu].size()),
-                    csr.degree(u), u});
+                    csr.degree(u), options.original_id(u), u});
       }
     }
   }

@@ -76,13 +76,15 @@ Coloring gm_speculative_color(const graph::Csr& csr,
                         min_available(csr, colors, v));
     });
 
-    // Phase 2: conflict detection — the higher-id endpoint of every
-    // monochromatic edge returns to the active set.
+    // Phase 2: conflict detection — the higher-ORIGINAL-id endpoint of
+    // every monochromatic edge returns to the active set, so the retry
+    // choice does not depend on the registry's relabeling.
     std::vector<std::uint8_t> conflicted(un, 0);
     gr::compute(device, active, [&](vid_t v) {
       const std::int32_t cv = colors[static_cast<std::size_t>(v)];
       for (const vid_t u : csr.neighbors(v)) {
-        if (colors[static_cast<std::size_t>(u)] == cv && u < v) {
+        if (colors[static_cast<std::size_t>(u)] == cv &&
+            options.original_id(u) < options.original_id(v)) {
           conflicted[static_cast<std::size_t>(v)] = 1;
           conflicts_total.fetch_add(1, std::memory_order_relaxed);
           return;

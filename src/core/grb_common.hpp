@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/result.hpp"
 #include "graphblas/grb.hpp"
 #include "sim/rng.hpp"
 
@@ -16,23 +17,27 @@ namespace gcol::color::detail {
 /// probabilities are unchanged except on ties.
 using Weight = std::int64_t;
 
-/// The paper's `set_random()`: a counter-RNG draw keyed by vertex id,
-/// made unique by packing the id into the low bits. Always > 0, so weight 0
-/// can mean "colored / not a candidate".
+/// The paper's `set_random()`: a counter-RNG draw keyed by *original* vertex
+/// id (Options::original_id), made unique by packing that id into the low
+/// bits. Always > 0, so weight 0 can mean "colored / not a candidate".
+/// Because the max/min reductions the GraphBLAS algorithms run over these
+/// weights are order-free and the weights attach to logical vertices, the
+/// resulting colorings are invariant to the registry's reorder strategies.
 inline grb::Info set_random_weights(grb::Vector<Weight>& weight,
-                                    std::uint64_t seed) {
+                                    const Options& options) {
   // Stream 0xB1A5 keeps GraphBLAST draws independent of the Gunrock
   // family's (stream 0) for the same user seed, as distinct cuRAND streams
   // would be on the GPU.
-  const sim::CounterRng rng(seed, 0xB1A5);
+  const sim::CounterRng rng(options.seed, 0xB1A5);
   weight.fill(Weight{0});
   return grb::apply_indexed(
       weight, nullptr,
-      [&rng](grb::Index i, Weight) {
-        const auto draw = static_cast<Weight>(
-            rng.uniform_int31(static_cast<std::uint64_t>(i)));
+      [&rng, &options](grb::Index i, Weight) {
+        const auto orig = static_cast<std::uint64_t>(
+            options.original_id(static_cast<vid_t>(i)));
+        const auto draw = static_cast<Weight>(rng.uniform_int31(orig));
         return (((draw + 1) << 31) |
-                static_cast<Weight>(i & 0x7fffffff)) &
+                static_cast<Weight>(orig & 0x7fffffff)) &
                0x7fffffffffffffff;
       },
       weight);

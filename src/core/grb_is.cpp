@@ -30,7 +30,7 @@ Coloring grb_is_color(const graph::Csr& csr, const GrbIsOptions& options) {
 
   // Initialize colors to 0 (uncolored) and weights to random (Alg. 2 l.3-5).
   grb::assign(c, nullptr, std::int32_t{0});
-  detail::set_random_weights(weight, options.seed);
+  detail::set_random_weights(weight, options);
 
   std::int64_t colored_total = 0;
   for (std::int32_t color = 1; color <= options.max_iterations; ++color) {

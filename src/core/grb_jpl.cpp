@@ -178,7 +178,7 @@ Coloring grb_jpl_color(const graph::Csr& csr, const GrbJplOptions& options) {
   const std::uint64_t launches_before = device.launch_count();
 
   grb::assign(c, nullptr, std::int32_t{0});
-  detail::set_random_weights(weight, options.seed);
+  detail::set_random_weights(weight, options);
 
   std::int64_t colored_total = 0;
   std::int32_t max_color = 0;

@@ -61,7 +61,7 @@ Coloring grb_mis_color(const graph::Csr& csr, const GrbMisOptions& options) {
   const std::uint64_t launches_before = device.launch_count();
 
   grb::assign(c, nullptr, std::int32_t{0});
-  detail::set_random_weights(weight, options.seed);
+  detail::set_random_weights(weight, options);
 
   std::int64_t colored_total = 0;
   for (std::int32_t color = 1; color <= options.max_iterations; ++color) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <queue>
+#include <utility>
 
 #include "core/ordering.hpp"
 #include "core/verify.hpp"
@@ -56,42 +58,45 @@ Coloring greedy_color(const graph::Csr& csr, const GreedyOptions& options) {
   device.host_pass("greedy_color", [&] {
   if (options.order == GreedyOrder::kIncidenceDegree) {
     // Dynamic ordering: always color the vertex with the most colored
-    // neighbors (saturation by incidence count); bucket queue keyed by
-    // colored-neighbor count, ties by id through stack order.
+    // neighbors (saturation by incidence count). Lazy-deletion max-heap
+    // keyed (count, original id) — ties go to the lowest original id, so
+    // the visit sequence (and the coloring) is invariant to relabeling.
     std::vector<vid_t> colored_neighbors(un, 0);
-    std::vector<std::vector<vid_t>> buckets(un + 1);
-    for (vid_t v = 0; v < n; ++v) buckets[0].push_back(v);
-    std::int64_t colored = 0;
-    std::int64_t top = 0;
-    while (colored < n) {
-      while (top > 0 && buckets[static_cast<std::size_t>(top)].empty()) --top;
-      auto& bucket = buckets[static_cast<std::size_t>(top)];
-      const vid_t v = bucket.back();
-      bucket.pop_back();
-      if (result.colors[static_cast<std::size_t>(v)] >= 0 ||
-          colored_neighbors[static_cast<std::size_t>(v)] !=
-              static_cast<vid_t>(top)) {
+    using Entry = std::pair<std::int64_t, vid_t>;  // (count<<32 | ~orig, v)
+    const auto key_of = [&](vid_t v) {
+      return (static_cast<std::int64_t>(
+                  colored_neighbors[static_cast<std::size_t>(v)])
+              << 32) |
+             static_cast<std::int64_t>(0x7fffffff -
+                                       options.original_id(v));
+    };
+    std::priority_queue<Entry> heap;
+    for (vid_t v = 0; v < n; ++v) heap.emplace(key_of(v), v);
+    while (!heap.empty()) {
+      const auto [key, v] = heap.top();
+      heap.pop();
+      if (result.colors[static_cast<std::size_t>(v)] >= 0 || key != key_of(v)) {
         continue;  // stale entry
       }
       first_fit(v, v);
-      ++colored;
       for (const vid_t u : csr.neighbors(v)) {
         if (result.colors[static_cast<std::size_t>(u)] >= 0) continue;
-        const vid_t count = ++colored_neighbors[static_cast<std::size_t>(u)];
-        buckets[static_cast<std::size_t>(count)].push_back(u);
-        if (static_cast<std::int64_t>(count) > top) top = count;
+        ++colored_neighbors[static_cast<std::size_t>(u)];
+        heap.emplace(key_of(u), u);
       }
     }
   } else {
     std::vector<vid_t> order;
     switch (options.order) {
-      case GreedyOrder::kNatural: order = natural_order(n); break;
-      case GreedyOrder::kRandom: order = random_order(n, options.seed); break;
+      case GreedyOrder::kNatural: order = natural_order(n, options); break;
+      case GreedyOrder::kRandom:
+        order = random_order(n, options.seed, options);
+        break;
       case GreedyOrder::kLargestDegreeFirst:
-        order = largest_degree_first_order(csr);
+        order = largest_degree_first_order(csr, options);
         break;
       case GreedyOrder::kSmallestDegreeLast:
-        order = smallest_degree_last_order(csr);
+        order = smallest_degree_last_order(csr, options);
         break;
       case GreedyOrder::kIncidenceDegree: break;  // handled above
     }

@@ -47,12 +47,20 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
   if (n == 0) return result;
   const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
+  // Draws and tie ids key on original vertex ids, so the priority of a
+  // logical vertex — and the whole BSP race-free coloring — is invariant to
+  // the registry's reorder strategies.
   std::vector<std::int32_t> random(un);
   const sim::CounterRng rng(options.seed);
   device.launch("gunrock_ar::init_random", n, [&](std::int64_t v) {
-    random[static_cast<std::size_t>(v)] =
-        rng.uniform_int31(static_cast<std::uint64_t>(v));
+    random[static_cast<std::size_t>(v)] = rng.uniform_int31(
+        static_cast<std::uint64_t>(options.original_id(
+            static_cast<vid_t>(v))));
   });
+  const auto priority_of = [&](vid_t v) {
+    return packed_priority(random[static_cast<std::size_t>(v)],
+                           options.original_id(v));
+  };
 
   constexpr std::int64_t kNoNeighbor = std::numeric_limits<std::int64_t>::min();
   constexpr std::int64_t kNoNeighborMin = kNoColor;  // +inf: min identity
@@ -91,8 +99,7 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
         if (cu != kUncolored && cu != color && cu != color + 1) {
           return MinMaxPair{kNoNeighbor, kNoNeighborMin};
         }
-        const std::int64_t p =
-            packed_priority(random[static_cast<std::size_t>(u)], u);
+        const std::int64_t p = priority_of(u);
         return MinMaxPair{p, p};
       };
       const auto reduce = [](MinMaxPair a, MinMaxPair b) {
@@ -102,7 +109,7 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
       constexpr MinMaxPair identity{kNoNeighbor, kNoNeighborMin};
       const auto finalize = [&](vid_t v, MinMaxPair extreme) {
         const auto uv = static_cast<std::size_t>(v);
-        const std::int64_t mine = packed_priority(random[uv], v);
+        const std::int64_t mine = priority_of(v);
         if (mine > extreme.max) {
           sim::atomic_store(colors[uv], color);
         } else if (mine < extreme.min) {
@@ -125,16 +132,15 @@ Coloring gunrock_ar_color(const graph::Csr& csr,
       const auto map = [&](vid_t /*src*/, vid_t u) {
         const std::int32_t cu =
             sim::atomic_load(colors[static_cast<std::size_t>(u)]);
-        return cu == kUncolored || cu == iteration
-                   ? packed_priority(random[static_cast<std::size_t>(u)], u)
-                   : kNoNeighbor;
+        return cu == kUncolored || cu == iteration ? priority_of(u)
+                                                   : kNoNeighbor;
       };
       const auto reduce = [](std::int64_t a, std::int64_t b) {
         return b > a ? b : a;
       };
       const auto finalize = [&](vid_t v, std::int64_t neighbor_max) {
         const auto uv = static_cast<std::size_t>(v);
-        if (packed_priority(random[uv], v) > neighbor_max) {
+        if (priority_of(v) > neighbor_max) {
           sim::atomic_store(colors[uv], iteration);
         }
       };

@@ -40,12 +40,17 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
   const std::int32_t hash_size =
       options.hash_size < 1 ? 1 : options.hash_size;
 
+  // Draws and tie ids key on original vertex ids (Options::original_id):
+  // the proposal races stay, but each logical vertex's priority is the same
+  // under every reorder strategy.
   std::vector<std::int32_t> random(un);
   const sim::CounterRng rng(options.seed);
   device.launch("gunrock_hash::init_random", n, [&](std::int64_t v) {
-    random[static_cast<std::size_t>(v)] =
-        rng.uniform_int31(static_cast<std::uint64_t>(v));
+    random[static_cast<std::size_t>(v)] = rng.uniform_int31(
+        static_cast<std::uint64_t>(options.original_id(
+            static_cast<vid_t>(v))));
   });
+  const auto tie_of = [&](vid_t v) { return options.original_id(v); };
 
   std::int32_t* colors = result.colors.data();
   // Per-vertex prohibited-color table: hash_size slots, kUncolored = empty.
@@ -116,12 +121,12 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
         const auto uu = static_cast<std::size_t>(u);
         if (sim::atomic_load(colors[uu]) != kUncolored) continue;
         if (priority_less(random[static_cast<std::size_t>(cand_max)],
-                          cand_max, random[uu], u)) {
+                          tie_of(cand_max), random[uu], tie_of(u))) {
           cand_max = u;
         }
-        if (priority_less(random[uu], u,
+        if (priority_less(random[uu], tie_of(u),
                           random[static_cast<std::size_t>(cand_min)],
-                          cand_min)) {
+                          tie_of(cand_min))) {
           cand_min = u;
         }
       }
@@ -154,7 +159,7 @@ Coloring gunrock_hash_color(const graph::Csr& csr,
         const std::int32_t u_iter = sim::atomic_load(colored_iter[uu]);
         const bool u_final = u_iter != kUncolored && u_iter < iteration;
         if (u_final ||
-            priority_less(random[uv], v, random[uu], u)) {
+            priority_less(random[uv], tie_of(v), random[uu], tie_of(u))) {
           sim::atomic_store(colors[uv], kUncolored);
           sim::atomic_store(colored_iter[uv], kUncolored);
           lost_conflict[uv] = 1;

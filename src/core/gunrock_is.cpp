@@ -43,22 +43,28 @@ Coloring gunrock_is_color(const graph::Csr& csr,
 
   // Initialize R <- generateRandomNumbers (Algorithm 5 line 7). The bitmap
   // modes skip the materialization launch and draw the same counter-based
-  // values on the fly — rng.uniform_int31(v) is a pure function of (seed,
-  // v), so every access sees exactly the number the array would hold.
+  // values on the fly — the draw is a pure function of (seed, original id),
+  // so every access sees exactly the number the array would hold, and the
+  // same logical vertex draws the same number under every reorder strategy.
   const bool bitmap = options.frontier_mode != gr::FrontierMode::kSparse;
   std::vector<std::int32_t> random;
   const sim::CounterRng rng(options.seed);
   if (!bitmap) {
     random.resize(un);
     device.launch("gunrock_is::init_random", n, [&](std::int64_t v) {
-      random[static_cast<std::size_t>(v)] =
-          rng.uniform_int31(static_cast<std::uint64_t>(v));
+      random[static_cast<std::size_t>(v)] = rng.uniform_int31(
+          static_cast<std::uint64_t>(options.original_id(
+              static_cast<vid_t>(v))));
     });
   }
   const auto rand_of = [&](vid_t v) {
-    return bitmap ? rng.uniform_int31(static_cast<std::uint64_t>(v))
+    return bitmap ? rng.uniform_int31(
+                        static_cast<std::uint64_t>(options.original_id(v)))
                   : random[static_cast<std::size_t>(v)];
   };
+  // Ties (equal draws) break on original ids too, keeping the whole
+  // priority a function of the logical vertex.
+  const auto tie_of = [&](vid_t v) { return options.original_id(v); };
 
   std::int32_t* colors = result.colors.data();
   gr::Frontier frontier = bitmap
@@ -91,8 +97,8 @@ Coloring gunrock_is_color(const graph::Csr& csr,
         const std::int32_t cu = sim::atomic_load(colors[uu]);
         if (cu != kUncolored && cu != color + 1 && cu != color + 2) continue;
         const std::int32_t ru = rand_of(u);
-        if (!priority_less(ru, u, rv, v)) colormax = false;
-        if (!priority_less(rv, v, ru, u)) colormin = false;
+        if (!priority_less(ru, tie_of(u), rv, tie_of(v))) colormax = false;
+        if (!priority_less(rv, tie_of(v), ru, tie_of(u))) colormin = false;
         if (!colormax && !colormin) break;
       }
       if (colormax) {

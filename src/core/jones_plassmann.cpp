@@ -41,31 +41,35 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
   const obs::ScopedDeviceMetrics scoped(device, result.metrics);
 
   // Priorities: a strict total order packed into int64. Higher priority
-  // colors earlier; random bits break structural ties.
+  // colors earlier; random bits break structural ties. Draws and id
+  // tie-breaks key on original ids, so the coloring is invariant to the
+  // registry's reorder strategies (only the traversal layout changes).
   std::vector<std::int64_t> priority(un);
   const sim::CounterRng rng(options.seed);
   switch (options.priority) {
     case JpPriority::kRandom:
       device.launch("jp::priority_random", n, [&](std::int64_t v) {
+        const vid_t orig = options.original_id(static_cast<vid_t>(v));
         priority[static_cast<std::size_t>(v)] =
             (static_cast<std::int64_t>(
-                 rng.uniform_int31(static_cast<std::uint64_t>(v)))
+                 rng.uniform_int31(static_cast<std::uint64_t>(orig)))
              << 32) |
-            static_cast<std::int64_t>(v);
+            static_cast<std::int64_t>(orig);
       });
       break;
     case JpPriority::kLargestDegreeFirst:
       device.launch("jp::priority_degree", n, [&](std::int64_t v) {
+        const vid_t orig = options.original_id(static_cast<vid_t>(v));
         priority[static_cast<std::size_t>(v)] =
             (static_cast<std::int64_t>(csr.degree(static_cast<vid_t>(v)))
              << 32) |
             static_cast<std::int64_t>(
-                rng.uniform_int31(static_cast<std::uint64_t>(v)));
+                rng.uniform_int31(static_cast<std::uint64_t>(orig)));
       });
       break;
     case JpPriority::kSmallestDegreeLast: {
       // Degeneracy order: vertices removed later must color earlier.
-      const std::vector<vid_t> order = smallest_degree_last_order(csr);
+      const std::vector<vid_t> order = smallest_degree_last_order(csr, options);
       for (vid_t rank = 0; rank < n; ++rank) {
         priority[static_cast<std::size_t>(order[static_cast<std::size_t>(
             rank)])] = static_cast<std::int64_t>(n - rank);
@@ -92,14 +96,15 @@ Coloring jones_plassmann_color(const graph::Csr& csr,
                     cutoff_index, static_cast<std::size_t>(n) - 1)]);
       device.launch("jp::priority_hybrid", n, [&](std::int64_t v) {
         const vid_t degree = csr.degree(static_cast<vid_t>(v));
+        const vid_t orig = options.original_id(static_cast<vid_t>(v));
         const std::int64_t head =
             degree >= threshold ? static_cast<std::int64_t>(degree) + 1 : 0;
         priority[static_cast<std::size_t>(v)] =
             (head << 48) |
             (static_cast<std::int64_t>(
-                 rng.uniform_int31(static_cast<std::uint64_t>(v)))
+                 rng.uniform_int31(static_cast<std::uint64_t>(orig)))
              << 17) |
-            static_cast<std::int64_t>(v & 0x1ffff);
+            static_cast<std::int64_t>(orig & 0x1ffff);
       });
       break;
     }

@@ -19,11 +19,14 @@ namespace {
 
 /// Tie-broken per-iteration hash priority, packed so int64 comparison gives
 /// a strict total order (csrcolor breaks hash ties by vertex index too).
+/// Callers pass ORIGINAL vertex ids (Options::original_id), so a logical
+/// vertex hashes identically under every reorder strategy and the whole
+/// coloring is invariant to relabeling.
 inline std::int64_t hash_priority(std::uint64_t seed, std::uint32_t iteration,
-                                  vid_t v) noexcept {
-  return (static_cast<std::int64_t>(sim::iteration_hash(seed, iteration, v))
+                                  vid_t orig) noexcept {
+  return (static_cast<std::int64_t>(sim::iteration_hash(seed, iteration, orig))
           << 32) |
-         static_cast<std::int64_t>(static_cast<std::uint32_t>(v));
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(orig));
 }
 
 /// Runs `body(v)` for every vertex and returns how many vertices remain
@@ -84,7 +87,8 @@ Coloring naumov_jpl_color(const graph::Csr& csr,
           const auto uv = static_cast<std::size_t>(v);
           if (colors[uv] != kUncolored) return;
           const std::int64_t mine = hash_priority(
-              options.seed, static_cast<std::uint32_t>(iteration), v);
+              options.seed, static_cast<std::uint32_t>(iteration),
+              options.original_id(v));
           for (const vid_t u : csr.neighbors(v)) {
             // Skip only neighbors finalized in EARLIER iterations; a
             // neighbor racily colored this iteration must still be
@@ -95,7 +99,7 @@ Coloring naumov_jpl_color(const graph::Csr& csr,
             if (cu != kUncolored && cu != iteration) continue;
             if (hash_priority(options.seed,
                               static_cast<std::uint32_t>(iteration),
-                              u) > mine) {
+                              options.original_id(u)) > mine) {
               return;
             }
           }
@@ -156,7 +160,7 @@ Coloring naumov_cc_color(const graph::Csr& csr,
         is_min[static_cast<std::size_t>(h)] = true;
         mine[static_cast<std::size_t>(h)] = hash_priority(
             options.seed + static_cast<std::uint64_t>(h) * 0x9e37u,
-            static_cast<std::uint32_t>(iteration), v);
+            static_cast<std::uint32_t>(iteration), options.original_id(v));
       }
       for (const vid_t u : csr.neighbors(v)) {
         // As in JPL: only skip neighbors finalized before this iteration.
@@ -166,7 +170,7 @@ Coloring naumov_cc_color(const graph::Csr& csr,
         for (std::int32_t h = 0; h < num_hashes; ++h) {
           const std::int64_t theirs = hash_priority(
               options.seed + static_cast<std::uint64_t>(h) * 0x9e37u,
-              static_cast<std::uint32_t>(iteration), u);
+              static_cast<std::uint32_t>(iteration), options.original_id(u));
           if (theirs > mine[static_cast<std::size_t>(h)]) {
             is_max[static_cast<std::size_t>(h)] = false;
           }

@@ -2,19 +2,42 @@
 
 #include <algorithm>
 #include <numeric>
+#include <queue>
+#include <utility>
 
 #include "sim/rng.hpp"
 
 namespace gcol::color {
 
-std::vector<vid_t> natural_order(vid_t num_vertices) {
-  std::vector<vid_t> order(static_cast<std::size_t>(num_vertices));
-  std::iota(order.begin(), order.end(), vid_t{0});
+namespace {
+
+/// internal_of_original[k] = internal id of the vertex with original id k.
+/// Empty when internal ids already are original ids.
+std::vector<vid_t> internal_of_original(vid_t n, const Options& options) {
+  if (options.original_ids.empty()) return {};
+  std::vector<vid_t> internal(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) {
+    internal[static_cast<std::size_t>(options.original_id(v))] = v;
+  }
+  return internal;
+}
+
+}  // namespace
+
+std::vector<vid_t> natural_order(vid_t num_vertices, const Options& options) {
+  std::vector<vid_t> order = internal_of_original(num_vertices, options);
+  if (order.empty()) {
+    order.resize(static_cast<std::size_t>(num_vertices));
+    std::iota(order.begin(), order.end(), vid_t{0});
+  }
   return order;
 }
 
-std::vector<vid_t> random_order(vid_t num_vertices, std::uint64_t seed) {
-  std::vector<vid_t> order = natural_order(num_vertices);
+std::vector<vid_t> random_order(vid_t num_vertices, std::uint64_t seed,
+                                const Options& options) {
+  // The shuffle runs in the original id domain, then translates to internal
+  // ids — the same logical sequence under every relabeling.
+  std::vector<vid_t> order = natural_order(num_vertices, options);
   const sim::CounterRng rng(seed);
   for (std::size_t i = order.size(); i > 1; --i) {
     const auto j = static_cast<std::size_t>(
@@ -24,53 +47,48 @@ std::vector<vid_t> random_order(vid_t num_vertices, std::uint64_t seed) {
   return order;
 }
 
-std::vector<vid_t> largest_degree_first_order(const graph::Csr& csr) {
-  std::vector<vid_t> order = natural_order(csr.num_vertices);
+std::vector<vid_t> largest_degree_first_order(const graph::Csr& csr,
+                                              const Options& options) {
+  std::vector<vid_t> order = natural_order(csr.num_vertices, options);
   std::stable_sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
     return csr.degree(a) > csr.degree(b);
   });
   return order;
 }
 
-std::vector<vid_t> smallest_degree_last_order(const graph::Csr& csr) {
+std::vector<vid_t> smallest_degree_last_order(const graph::Csr& csr,
+                                              const Options& options) {
   const vid_t n = csr.num_vertices;
   const auto un = static_cast<std::size_t>(n);
   std::vector<vid_t> degree(un);
-  vid_t max_degree = 0;
-  for (vid_t v = 0; v < n; ++v) {
-    degree[static_cast<std::size_t>(v)] = csr.degree(v);
-    max_degree = std::max(max_degree, csr.degree(v));
-  }
-  std::vector<std::vector<vid_t>> buckets(
-      static_cast<std::size_t>(max_degree) + 1);
-  for (vid_t v = 0; v < n; ++v) {
-    buckets[static_cast<std::size_t>(degree[static_cast<std::size_t>(v)])]
-        .push_back(v);
-  }
+  for (vid_t v = 0; v < n; ++v) degree[static_cast<std::size_t>(v)] = csr.degree(v);
+
+  // Lazy-deletion min-heap keyed (current degree, original id): the pop
+  // sequence is a function of logical degrees and original ids only, so the
+  // degeneracy order survives any relabeling. Stale entries (vertex already
+  // removed, or its degree decreased since the push) are skipped.
+  using Entry = std::pair<std::int64_t, vid_t>;  // (degree<<32 | orig, v)
+  const auto key_of = [&](vid_t v) {
+    return (static_cast<std::int64_t>(degree[static_cast<std::size_t>(v)])
+            << 32) |
+           static_cast<std::int64_t>(options.original_id(v));
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (vid_t v = 0; v < n; ++v) heap.emplace(key_of(v), v);
+
   std::vector<bool> removed(un, false);
   std::vector<vid_t> removal_order;
   removal_order.reserve(un);
-  vid_t cursor = 0;
-  while (removal_order.size() < un) {
-    while (cursor <= max_degree &&
-           buckets[static_cast<std::size_t>(cursor)].empty()) {
-      ++cursor;
-    }
-    auto& bucket = buckets[static_cast<std::size_t>(cursor)];
-    const vid_t v = bucket.back();
-    bucket.pop_back();
-    // Lazy deletion: skip entries whose vertex moved buckets or is gone.
-    if (removed[static_cast<std::size_t>(v)] ||
-        degree[static_cast<std::size_t>(v)] != cursor) {
-      continue;
-    }
+  while (!heap.empty()) {
+    const auto [key, v] = heap.top();
+    heap.pop();
+    if (removed[static_cast<std::size_t>(v)] || key != key_of(v)) continue;
     removed[static_cast<std::size_t>(v)] = true;
     removal_order.push_back(v);
     for (const vid_t u : csr.neighbors(v)) {
       if (removed[static_cast<std::size_t>(u)]) continue;
-      const vid_t d = --degree[static_cast<std::size_t>(u)];
-      buckets[static_cast<std::size_t>(d)].push_back(u);
-      if (d < cursor) cursor = d;
+      --degree[static_cast<std::size_t>(u)];
+      heap.emplace(key_of(u), u);
     }
   }
   std::reverse(removal_order.begin(), removal_order.end());

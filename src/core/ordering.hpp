@@ -2,28 +2,41 @@
 // Vertex ordering heuristics shared by the sequential greedy baseline and
 // the Jones-Plassmann priority variants (paper §II and the future-work
 // largest-degree-first discussion).
+//
+// Every heuristic is deterministic in the *original* vertex ids
+// (Options::original_id): run on a reorder-relabeled graph, each returns the
+// same logical vertex sequence it would return on the input numbering, so
+// greedy/JP colorings are invariant to the registry's reorder strategies.
+// The default Options (empty original_ids) makes internal ids the original
+// ids — the historical behavior.
 
 #include <cstdint>
 #include <vector>
 
+#include "core/result.hpp"
 #include "graph/csr.hpp"
 
 namespace gcol::color {
 
-/// 0, 1, ..., n-1.
-[[nodiscard]] std::vector<vid_t> natural_order(vid_t num_vertices);
+/// Vertices in ascending original id: 0, 1, ..., n-1 on an unrelabeled
+/// graph, the input numbering's order otherwise.
+[[nodiscard]] std::vector<vid_t> natural_order(vid_t num_vertices,
+                                               const Options& options = {});
 
-/// Uniform shuffle (Fisher-Yates over a counter RNG; deterministic in seed).
+/// Uniform shuffle (Fisher-Yates over a counter RNG; deterministic in seed,
+/// drawn in the original id domain).
 [[nodiscard]] std::vector<vid_t> random_order(vid_t num_vertices,
-                                              std::uint64_t seed);
+                                              std::uint64_t seed,
+                                              const Options& options = {});
 
-/// Static degree, descending (Welsh-Powell).
+/// Static degree, descending (Welsh-Powell); ties by ascending original id.
 [[nodiscard]] std::vector<vid_t> largest_degree_first_order(
-    const graph::Csr& csr);
+    const graph::Csr& csr, const Options& options = {});
 
 /// Matula-Beck smallest-degree-last (degeneracy) order: greedy coloring in
-/// this order uses at most degeneracy + 1 colors. O(n + m) bucket queue.
+/// this order uses at most degeneracy + 1 colors. Lazy-deletion min-heap
+/// keyed (current degree, original id), O((n + m) log n).
 [[nodiscard]] std::vector<vid_t> smallest_degree_last_order(
-    const graph::Csr& csr);
+    const graph::Csr& csr, const Options& options = {});
 
 }  // namespace gcol::color

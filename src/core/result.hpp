@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "graph/reorder.hpp"
 #include "graph/types.hpp"
 #include "gunrock/frontier.hpp"
 #include "obs/metrics.hpp"
@@ -54,6 +56,30 @@ struct Options {
   /// push/pull, or bitmap with the per-launch occupancy-adaptive choice
   /// (the default). Algorithms without frontier loops ignore it.
   gr::FrontierMode frontier_mode = gr::FrontierMode::kAuto;
+  /// Vertex numbering the registry runs the algorithm under (see
+  /// graph/reorder.hpp). Non-identity strategies relabel the CSR on the way
+  /// in and inverse-permute the coloring on the way out, so callers always
+  /// receive colors in their own id space.
+  graph::ReorderStrategy reorder = graph::ReorderStrategy::kIdentity;
+  /// Set by the registry's reorder wrapper when the graph an algorithm sees
+  /// has been relabeled: original_ids[v] is the caller-visible id of
+  /// internal vertex v (the permutation's old_of_new). Empty means internal
+  /// ids ARE the original ids. The span aliases the wrapper's permutation,
+  /// valid for the duration of the run. Harnesses that pre-relabel a graph
+  /// themselves (amortizing the permutation across timed runs) set this
+  /// directly and receive colors in the relabeled space.
+  std::span<const vid_t> original_ids{};
+
+  /// The id randomized priorities and deterministic tie-breaks must key on:
+  /// the caller-visible id of internal vertex v. Deriving per-vertex
+  /// randomness from original ids makes a deterministic algorithm's
+  /// un-permuted coloring byte-identical under every reorder strategy —
+  /// reordering changes the memory layout the kernels traverse, never the
+  /// result.
+  [[nodiscard]] vid_t original_id(vid_t v) const noexcept {
+    return original_ids.empty() ? v
+                                : original_ids[static_cast<std::size_t>(v)];
+  }
 };
 
 }  // namespace gcol::color

@@ -1,0 +1,154 @@
+#pragma once
+// Parallel histogram and stable counting sort — the CPU analogue of
+// cub::DeviceHistogram / DeviceRadixSort for small key domains. The graph
+// reordering strategies (degree sort, degree-binned grouping) are counting
+// sorts over per-vertex bins, and doing them through the device keeps the
+// permutation build a measured, launch-counted workload like every other
+// kernel.
+//
+// Two-phase scheme (the classic GPU decomposition, mirroring scan.hpp):
+//   1. one launch ("sim::histogram_count"): each worker counts bins over its
+//      contiguous block into a private per-slot count row,
+//   2. serial exclusive scan over the (bin-major, slot-minor) count matrix —
+//      O(num_bins * workers), tiny for the bounded bin domains we use,
+//   3. one launch ("sim::histogram_scatter"): each worker re-walks its block
+//      and scatters items to their final ranks.
+// Because each slot owns a contiguous input block and bins are laid out
+// bin-major across slots, the scatter is *stable*: items of equal bin keep
+// their input order. The per-slot counts live in the device scratch arena
+// (ScratchLane::kHistogram), so a sort in a hot loop performs no allocation.
+//
+// Serial fallback: one worker, small n, or a bin domain so large that the
+// per-slot count matrix would dwarf the payload (degree sort on a graph with
+// a near-n max degree) — then a plain two-pass host counting sort runs on
+// the launching thread, matching scan.hpp's serial-path precedent.
+
+#include <cstdint>
+#include <span>
+
+#include "sim/device.hpp"
+#include "sim/scratch.hpp"
+#include "sim/slot_range.hpp"
+
+namespace gcol::sim {
+
+/// Per-slot count matrices above this many entries fall back to the serial
+/// path: the combine phase is O(entries) serial work and the scratch row per
+/// worker stops paying for itself.
+inline constexpr std::int64_t kHistogramMaxMatrixEntries = std::int64_t{1}
+                                                           << 22;
+
+/// counts[b] = |{ i in [0, n) : bin_of(i) == b }|. `bin_of` must return a
+/// value in [0, num_bins) and be safe to call concurrently for distinct i.
+/// `counts` must have num_bins entries; it is overwritten.
+template <typename BinFn>
+void histogram(Device& device, std::int64_t n, std::int64_t num_bins,
+               BinFn&& bin_of, std::span<std::int64_t> counts) {
+  const unsigned workers = device.num_workers();
+  const std::int64_t matrix = num_bins * static_cast<std::int64_t>(workers);
+  if (workers == 1 || n < 2048 || matrix > kHistogramMaxMatrixEntries) {
+    for (std::int64_t b = 0; b < num_bins; ++b)
+      counts[static_cast<std::size_t>(b)] = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+      ++counts[static_cast<std::size_t>(bin_of(i))];
+    return;
+  }
+  const std::span<std::int64_t> slot_counts =
+      device.scratch().template get<std::int64_t>(
+          ScratchLane::kHistogram, static_cast<std::size_t>(matrix));
+  device.launch_slots(
+      "sim::histogram_count", [&](unsigned slot, unsigned num_slots) {
+        const std::span<std::int64_t> mine = slot_counts.subspan(
+            static_cast<std::size_t>(slot) * static_cast<std::size_t>(num_bins),
+            static_cast<std::size_t>(num_bins));
+        for (std::int64_t b = 0; b < num_bins; ++b)
+          mine[static_cast<std::size_t>(b)] = 0;
+        const auto [begin, end] = slot_range(slot, num_slots, n);
+        for (std::int64_t i = begin; i < end; ++i)
+          ++mine[static_cast<std::size_t>(bin_of(i))];
+      });
+  device.launch("sim::histogram_reduce", num_bins, [&](std::int64_t b) {
+    std::int64_t total = 0;
+    for (unsigned slot = 0; slot < workers; ++slot)
+      total += slot_counts[static_cast<std::size_t>(slot) *
+                               static_cast<std::size_t>(num_bins) +
+                           static_cast<std::size_t>(b)];
+    counts[static_cast<std::size_t>(b)] = total;
+  });
+}
+
+/// Stable counting sort by bin: writes into `order` the item ids [0, n)
+/// sorted by ascending bin_of(i), preserving input order within each bin.
+/// `order` must have n entries. 2 launches + an O(num_bins * workers) serial
+/// combine on the parallel path; a plain two-pass host sort otherwise.
+template <typename IdT, typename BinFn>
+void stable_sort_by_bin(Device& device, std::int64_t n, std::int64_t num_bins,
+                        BinFn&& bin_of, std::span<IdT> order) {
+  if (n <= 0) return;
+  const unsigned workers = device.num_workers();
+  const std::int64_t matrix = num_bins * static_cast<std::int64_t>(workers);
+  if (workers == 1 || n < 2048 || matrix > kHistogramMaxMatrixEntries) {
+    const std::span<std::int64_t> offsets =
+        device.scratch().template get<std::int64_t>(
+            ScratchLane::kHistogram, static_cast<std::size_t>(num_bins));
+    for (std::int64_t b = 0; b < num_bins; ++b)
+      offsets[static_cast<std::size_t>(b)] = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+      ++offsets[static_cast<std::size_t>(bin_of(i))];
+    std::int64_t total = 0;
+    for (std::int64_t b = 0; b < num_bins; ++b) {
+      const std::int64_t count = offsets[static_cast<std::size_t>(b)];
+      offsets[static_cast<std::size_t>(b)] = total;
+      total += count;
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::int64_t& at = offsets[static_cast<std::size_t>(bin_of(i))];
+      order[static_cast<std::size_t>(at++)] = static_cast<IdT>(i);
+    }
+    return;
+  }
+
+  const std::span<std::int64_t> slot_counts =
+      device.scratch().template get<std::int64_t>(
+          ScratchLane::kHistogram, static_cast<std::size_t>(matrix));
+  device.launch_slots(
+      "sim::histogram_count", [&](unsigned slot, unsigned num_slots) {
+        const std::span<std::int64_t> mine = slot_counts.subspan(
+            static_cast<std::size_t>(slot) * static_cast<std::size_t>(num_bins),
+            static_cast<std::size_t>(num_bins));
+        for (std::int64_t b = 0; b < num_bins; ++b)
+          mine[static_cast<std::size_t>(b)] = 0;
+        const auto [begin, end] = slot_range(slot, num_slots, n);
+        for (std::int64_t i = begin; i < end; ++i)
+          ++mine[static_cast<std::size_t>(bin_of(i))];
+      });
+
+  // Bin-major, slot-minor exclusive scan: the scatter start of (bin b,
+  // slot s) is the count of every item in a smaller bin plus every item of
+  // bin b owned by an earlier (= input-order-earlier) slot — stability.
+  std::int64_t total = 0;
+  for (std::int64_t b = 0; b < num_bins; ++b) {
+    for (unsigned slot = 0; slot < workers; ++slot) {
+      std::int64_t& cell = slot_counts[static_cast<std::size_t>(slot) *
+                                           static_cast<std::size_t>(num_bins) +
+                                       static_cast<std::size_t>(b)];
+      const std::int64_t count = cell;
+      cell = total;
+      total += count;
+    }
+  }
+
+  device.launch_slots(
+      "sim::histogram_scatter", [&](unsigned slot, unsigned num_slots) {
+        const std::span<std::int64_t> mine = slot_counts.subspan(
+            static_cast<std::size_t>(slot) * static_cast<std::size_t>(num_bins),
+            static_cast<std::size_t>(num_bins));
+        const auto [begin, end] = slot_range(slot, num_slots, n);
+        for (std::int64_t i = begin; i < end; ++i) {
+          std::int64_t& at = mine[static_cast<std::size_t>(bin_of(i))];
+          order[static_cast<std::size_t>(at++)] = static_cast<IdT>(i);
+        }
+      });
+}
+
+}  // namespace gcol::sim

@@ -45,6 +45,7 @@ enum class ScratchLane : unsigned {
   kCarries,        ///< fused segmented reduce: per-slot boundary carries
   kPalette,        ///< bit-packed forbidden-color masks (per-slot words)
   kFrontier,       ///< bitmap push: materialized set-bit vertex list
+  kHistogram,      ///< histogram / counting sort: per-slot per-bin counts
   kLaneCount,
 };
 
