@@ -69,8 +69,7 @@ int run_batch_mode(const bench::Args& args,
   bench::TablePrinter speedup_table(headers, args.csv);
   std::vector<double> speedups;
 
-  for (const graph::DatasetInfo& info : graph::paper_datasets()) {
-    if (!bench::dataset_selected(args, info.name)) continue;
+  for (const graph::DatasetInfo& info : bench::selected_datasets(args)) {
     const graph::Csr csr = graph::build_dataset(info, args.scale);
     std::vector<std::string> throughput_row = {info.name};
     std::vector<std::string> speedup_row = {info.name};
@@ -204,7 +203,15 @@ int main(int argc, char** argv) {
   // device's tracer slot, so the per-run ScopedDeviceMetrics inside each
   // algorithm does not mask it.
   std::unique_ptr<obs::TraceSession> trace;
-  if (!args.trace_path.empty()) trace = std::make_unique<obs::TraceSession>();
+  if (!args.trace_path.empty()) {
+    // Calibrate the roofline ceiling BEFORE the session starts so the
+    // triad's own launches stay off the timeline, then stamp it (plus
+    // whether kernel spans carry real hardware counters) into the trace's
+    // gcol_meta for scripts/trace_report.py.
+    const double peak = bench::peak_gbps();
+    trace = std::make_unique<obs::TraceSession>();
+    trace->set_meta(peak, args.hw_counters);
+  }
 
   std::printf("== Figure 1: speedup vs Naumov/Color_JPL and color counts "
               "(scale=%.3f, runs=%d) ==\n\n",
@@ -223,8 +230,7 @@ int main(int argc, char** argv) {
   std::vector<double> mis_vs_greedy, mis_vs_naumov_jpl, mis_vs_naumov_cc;
   std::vector<double> mis_runtime_vs_is, jpl_runtime_vs_is;
 
-  for (const graph::DatasetInfo& info : graph::paper_datasets()) {
-    if (!bench::dataset_selected(args, info.name)) continue;
+  for (const graph::DatasetInfo& info : bench::selected_datasets(args)) {
     const graph::Csr csr = graph::build_dataset(info, args.scale);
     const obs::ScopedPhase dataset_phase(info.name);
     std::map<std::string, bench::Measurement> results;

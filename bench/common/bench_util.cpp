@@ -1,5 +1,6 @@
 #include "common/bench_util.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +8,7 @@
 #include <string>
 
 #include "core/verify.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "sim/simd.hpp"
@@ -33,7 +35,7 @@ namespace {
       "  --batch=N    batched-throughput mode: color N copies of each graph "
       "as one multi-stream batch and compare against N sequential runs "
       "(default 0 = classic mode)\n"
-      "  --json PATH  also write a gcol-bench-v5 JSON report to PATH\n"
+      "  --json PATH  also write a gcol-bench-v6 JSON report to PATH\n"
       "  --trace PATH also write a Chrome trace-event JSON (open in "
       "ui.perfetto.dev)\n"
       "  --datasets=A,B  only run the named datasets (default: all)\n"
@@ -43,12 +45,27 @@ namespace {
       "sparse | bitmap-push | bitmap-pull | auto (default auto)\n"
       "  --reorder=S  cache-aware CSR relabeling applied (and un-permuted) "
       "inside every measured run: identity | degree_sort | dbg | bfs "
-      "(default identity)\n",
+      "(default identity)\n"
+      "  --hw-counters  sample perf_event hardware counters around every "
+      "observed launch (Linux; silently degrades to modeled-traffic-only "
+      "when perf_event_open is denied)\n",
       program);
   std::exit(2);
 }
 
-/// The run-environment block of the gcol-bench-v5 header: enough to tell two
+/// Arms process-lifetime hardware-counter sampling on the global device;
+/// returns whether counters are actually available (the value
+/// Args::hw_counters and meta.hw_counters report). The sampler is a
+/// function-local static so it outlives every launch — harnesses never
+/// uninstall it.
+bool install_hw_sampling() {
+  if (!obs::hw_counters_supported()) return false;
+  static obs::PerfSampler sampler;
+  sim::Device::instance().set_hw_sampler(&sampler);
+  return true;
+}
+
+/// The run-environment block of the gcol-bench-v6 header: enough to tell two
 /// BENCH_*.json files measured different machines/configs apart before
 /// comparing their numbers. Git SHA and build type are baked in at configure
 /// time (see bench/CMakeLists.txt); worker count and GCOL_THREADS are read
@@ -56,7 +73,7 @@ namespace {
 /// device streams the harness scheduled measured work onto (0 for a classic
 /// host-only run).
 obs::Json run_meta(gr::FrontierMode frontier_mode, unsigned streams,
-                   graph::ReorderStrategy reorder) {
+                   graph::ReorderStrategy reorder, bool hw_counters) {
   obs::Json meta = obs::Json::object();
   meta.set("workers",
            static_cast<std::int64_t>(sim::Device::instance().num_workers()));
@@ -93,6 +110,12 @@ obs::Json run_meta(gr::FrontierMode frontier_mode, unsigned streams,
   // reports differing only here are the reorder ablation's axis — and
   // bench_diff warns on a mismatch instead of silently mixing layouts.
   meta.set("reorder", graph::to_string(reorder));
+  // v6: whether perf_event hardware counters were actually sampled (false
+  // covers both "--hw-counters absent" and "passed but denied"), and the
+  // machine's measured STREAM-triad peak bandwidth — the roofline ceiling
+  // every per-kernel "gbps" in this report is read against.
+  meta.set("hw_counters", hw_counters);
+  meta.set("peak_gbps", peak_gbps());
   return meta;
 }
 
@@ -119,6 +142,12 @@ Args parse_args(int argc, char** argv) {
     const char* value = nullptr;
     if (std::strcmp(arg, "--csv") == 0) {
       args.csv = true;
+    } else if (std::strcmp(arg, "--hw-counters") == 0) {
+      // Arms the device-global sampler right here, so every harness gets
+      // hardware attribution without per-harness wiring; resolves to the
+      // ACTUAL availability so downstream meta never claims counters that
+      // perf_event_open denied.
+      args.hw_counters = install_hw_sampling();
     } else if (parse_kv(arg, "--scale", &value)) {
       args.scale = std::atof(value);
     } else if (parse_kv(arg, "--runs", &value)) {
@@ -186,6 +215,38 @@ bool dataset_selected(const Args& args, std::string_view name) {
   return false;
 }
 
+std::vector<graph::DatasetInfo> selected_datasets(const Args& args) {
+  std::vector<graph::DatasetInfo> selected;
+  for (const graph::DatasetInfo& info : graph::paper_datasets()) {
+    if (dataset_selected(args, info.name)) selected.push_back(info);
+  }
+  // `rmat_<scale>` tokens name synthetic power-law extras outside the
+  // Table I registry; resolve them explicitly, in filter order.
+  const std::string_view filter = args.datasets;
+  std::size_t begin = 0;
+  while (begin < filter.size()) {
+    std::size_t end = filter.find(',', begin);
+    if (end == std::string_view::npos) end = filter.size();
+    const std::string_view token = filter.substr(begin, end - begin);
+    begin = end + 1;
+    if (token.rfind("rmat_", 0) != 0) continue;
+    const std::string_view digits = token.substr(5);
+    int scale = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), scale);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size() ||
+        scale < 8 || scale > 24) {
+      std::fprintf(stderr,
+                   "bad dataset token '%.*s': expected rmat_<scale> with "
+                   "scale in [8, 24]\n",
+                   static_cast<int>(token.size()), token.data());
+      std::exit(1);
+    }
+    selected.push_back(graph::rmat_dataset(scale));
+  }
+  return selected;
+}
+
 std::vector<const color::AlgorithmSpec*> selected_algorithms(
     const Args& args) {
   if (args.algorithms.empty()) return color::figure1_algorithms();
@@ -248,6 +309,12 @@ double geomean(std::span<const double> values) {
   return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+double peak_gbps() {
+  static const double peak =
+      obs::measure_peak_gbps(sim::Device::instance());
+  return peak;
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers, bool csv)
     : headers_(std::move(headers)), csv_(csv) {}
 
@@ -302,12 +369,16 @@ JsonReport::JsonReport(std::string bench_name, const Args& args,
     : path_(args.json_path),
       header_(obs::Json::object()),
       records_(obs::Json::array()) {
-  header_.set("schema", "gcol-bench-v5");
+  // Disabled reports never serialize, so skip the header — notably the
+  // peak-bandwidth calibration run_meta triggers — on table-only runs.
+  if (!enabled()) return;
+  header_.set("schema", "gcol-bench-v6");
   header_.set("bench", std::move(bench_name));
   header_.set("scale", args.scale);
   header_.set("runs", args.runs);
   header_.set("seed", static_cast<std::int64_t>(args.seed));
-  header_.set("meta", run_meta(args.frontier_mode, streams, args.reorder));
+  header_.set("meta", run_meta(args.frontier_mode, streams, args.reorder,
+                               args.hw_counters));
 }
 
 void JsonReport::add_measurement(std::string_view dataset,

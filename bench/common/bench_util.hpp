@@ -14,6 +14,7 @@
 #include "core/registry.hpp"
 #include "core/result.hpp"
 #include "graph/csr.hpp"
+#include "graph/datasets.hpp"
 #include "graph/reorder.hpp"
 #include "gunrock/frontier.hpp"
 #include "obs/json.hpp"
@@ -47,6 +48,12 @@ struct Args {
   /// supporting harnesses into batched-throughput mode, comparing one
   /// N-graph color::Batch against N sequential single-graph runs.
   int batch = 0;
+  /// --hw-counters: sample perf_event hardware counters (cycles,
+  /// instructions, LLC, branch misses) around every observed launch.
+  /// parse_args resolves this to ACTUAL availability — it stays false when
+  /// the flag was passed but perf_event_open is denied (non-Linux, seccomp,
+  /// perf_event_paranoid), so meta.hw_counters never lies.
+  bool hw_counters = false;
 };
 
 /// Parses --scale=0.1 --runs=10 --csv --min-rgg=15 --max-rgg=20 --seed=7
@@ -58,6 +65,14 @@ struct Args {
 /// True when `name` passes the --datasets filter (an empty filter passes
 /// everything). Matching is exact per comma-separated token.
 [[nodiscard]] bool dataset_selected(const Args& args, std::string_view name);
+
+/// The datasets a Figure-1-style harness should run: the paper's twelve
+/// passing the --datasets filter, plus one synthetic power-law extra per
+/// `rmat_<scale>` filter token (graph::rmat_dataset — not a Table I row,
+/// so it only runs when named explicitly). Prints an error and exits on a
+/// malformed rmat token; scales outside [8, 24] are rejected.
+[[nodiscard]] std::vector<graph::DatasetInfo> selected_datasets(
+    const Args& args);
 
 /// The algorithms a Figure-1-style harness should run: the paper's nine
 /// when --algorithms is empty, otherwise the named registry entries (any
@@ -89,6 +104,13 @@ struct Measurement {
 /// Geometric mean (the paper's summary statistic for speedups).
 [[nodiscard]] double geomean(std::span<const double> values);
 
+/// The machine's measured peak memory bandwidth (GB/s, STREAM-style triad —
+/// obs::measure_peak_gbps), the roofline ceiling reports record as
+/// meta.peak_gbps. Measured once per process on first call (~tens of ms)
+/// and cached; harnesses call it only on reporting paths (--json/--trace)
+/// so classic table runs never pay for the calibration.
+[[nodiscard]] double peak_gbps();
+
 /// Aligned table printing; in CSV mode prints comma-separated instead.
 class TablePrinter {
  public:
@@ -108,14 +130,23 @@ class TablePrinter {
 /// Accumulates one schema-stable JSON record per (dataset, algorithm) data
 /// point and writes the whole report on demand:
 ///
-///   {"schema": "gcol-bench-v5", "bench": <name>, "scale": F, "runs": N,
+///   {"schema": "gcol-bench-v6", "bench": <name>, "scale": F, "runs": N,
 ///    "seed": N, "meta": {"workers": N, "gcol_threads": S, "git_sha": S,
 ///    "build_type": S, "advance_policy": S, "frontier_mode": S,
-///    "streams": N, "simd": S, "reorder": S},
+///    "streams": N, "simd": S, "reorder": S, "hw_counters": B,
+///    "peak_gbps": F},
 ///    "records": [{"dataset": ..., "algorithm": ..., "ms": F,
 ///    "ms_min": F, "colors": N, "iterations": N, "kernel_launches": N,
 ///    "conflicts_resolved": N, "valid": B, "display_name": ...,
 ///    "metrics": {...}}, ...]}
+///
+/// v6 over v5: the trailing "hw_counters" (were perf_event counters
+/// actually sampled — false covers both "flag absent" and "flag passed but
+/// denied") and "peak_gbps" (the machine's measured STREAM-triad bandwidth,
+/// the roofline ceiling) meta keys, plus per-kernel traffic-model fields
+/// (bytes_read, bytes_written, gbps) and — under --hw-counters — raw
+/// counter sums and derived ipc/llc_miss_rate inside each record's
+/// metrics.kernels entries (DESIGN.md §3h).
 ///
 /// v5 over v4: the trailing "reorder" meta key — the cache-aware CSR
 /// relabeling strategy the measured runs colored under (graph/reorder.hpp:

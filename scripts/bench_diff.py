@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Diff two gcol-bench JSON reports (see bench/common/bench_util.hpp).
 
-Accepts gcol-bench-v1 through -v5 reports (v2 adds a "meta"
+Accepts gcol-bench-v1 through -v6 reports (v2 adds a "meta"
 run-environment header and per-kernel imbalance fields; v3 adds the
 meta.streams key and optional batched-throughput records, which carry
 "kind": "batch" and are skipped here — batch throughput is compared by eye,
@@ -11,7 +11,9 @@ rather than silently mixing builds; v5 adds the meta.reorder key naming the
 cache-aware CSR relabeling strategy the runs colored under — reordering is
 transparent to colors and launches, so a reorder mismatch warns the same
 way, flagging that wall-clock deltas are a layout ablation, not a code
-change). Compares records
+change; v6 adds the meta.hw_counters flag — were perf_event counters
+actually sampled — and meta.peak_gbps, the machine's measured STREAM-triad
+bandwidth, plus per-kernel traffic-model fields). Compares records
 keyed by (dataset, algorithm) and reports, per pair: runtime (ms),
 kernel-launch count, color count deltas, and — when both sides carry
 telemetry — the time-weighted per-kernel load-imbalance delta. Wall time is
@@ -21,18 +23,22 @@ on a single worker, so ANY increase is flagged.
 
 When the two reports' meta headers differ (different worker count, build
 type, ...) the mismatch is printed up front: the numbers may not be
-comparable.
+comparable. meta.peak_gbps is a measured float that jitters run to run, so
+it warns only when the two machines' peaks differ by more than 15%
+relative — that means a different machine (or memory config), not noise.
 
 Exit status is 0 unless --gate is passed, in which case the DETERMINISTIC
-regressions (LAUNCHES+, COLORS+, INVALID) fail the run. SLOWER and
-IMBALANCE+ are always advisory — shared CI runners are too noisy to gate on
-wall time, and imbalance is a timing-derived ratio — but the flags still
-land in the table and the summary so real movement is visible in the job
-log.
+regressions (LAUNCHES+, COLORS+, INVALID) fail the run. SLOWER,
+IMBALANCE+ and BANDWIDTH- (per-record achieved GB/s of the modeled
+traffic dropped by more than --bandwidth-tolerance) are always advisory —
+shared CI runners are too noisy to gate on wall time, and both imbalance
+and bandwidth are timing-derived ratios — but the flags still land in the
+table and the summary so real movement is visible in the job log.
 
 Usage:
   bench_diff.py BASELINE.json AFTER.json [--ms-tolerance 0.25]
-                [--imbalance-tolerance 0.25] [--gate]
+                [--imbalance-tolerance 0.25] [--bandwidth-tolerance 0.25]
+                [--gate]
   bench_diff.py --self-test
 """
 
@@ -43,7 +49,11 @@ import json
 import sys
 
 ACCEPTED_SCHEMAS = ("gcol-bench-v1", "gcol-bench-v2", "gcol-bench-v3",
-                    "gcol-bench-v4", "gcol-bench-v5")
+                    "gcol-bench-v4", "gcol-bench-v5", "gcol-bench-v6")
+
+# meta.peak_gbps is a measured float: ignore run-to-run jitter below this
+# relative difference, warn beyond it (a different machine or memory config).
+PEAK_GBPS_WARN_REL = 0.15
 
 # Flags that fail a --gate run; everything else is advisory.
 GATING_FLAGS = ("INVALID", "LAUNCHES+", "COLORS+")
@@ -97,6 +107,29 @@ def record_imbalance(record: dict) -> float | None:
     return weighted / weight_sum
 
 
+def record_bandwidth(record: dict) -> float | None:
+    """Aggregate achieved GB/s of the modeled traffic in one record.
+
+    Reconstructs each kernel's modeled wall time from its bytes and gbps
+    fields (modeled_ms = bytes / (gbps · 1e6)), then returns total bytes
+    over total modeled time — the exact aggregate rate, not a mean of
+    ratios. None when no kernel carries a traffic model (pre-v6 reports).
+    """
+    kernels = (record.get("metrics") or {}).get("kernels") or {}
+    total_bytes = 0.0
+    total_ms = 0.0
+    for stat in kernels.values():
+        gbps = stat.get("gbps", 0.0)
+        stat_bytes = stat.get("bytes_read", 0) + stat.get("bytes_written", 0)
+        if gbps <= 0.0 or stat_bytes <= 0:
+            continue
+        total_bytes += stat_bytes
+        total_ms += stat_bytes / (gbps * 1e6)
+    if total_ms == 0.0:
+        return None
+    return total_bytes / (total_ms * 1e6)
+
+
 def direction_launches(record: dict) -> dict[str, int]:
     """Launch counts per traversal direction for one record.
 
@@ -137,6 +170,12 @@ def diff_meta(base_doc: dict, after_doc: dict) -> list[str]:
     for key in sorted(set(base_meta) | set(after_meta)):
         b = base_meta.get(key, "<absent>")
         a = after_meta.get(key, "<absent>")
+        if key == "peak_gbps" and isinstance(b, (int, float)) \
+                and isinstance(a, (int, float)) and b > 0:
+            # Measured bandwidth jitters run to run; only a large relative
+            # difference means the reports came from different machines.
+            if abs(a - b) / b <= PEAK_GBPS_WARN_REL:
+                continue
         if b != a:
             lines.append(f"  meta.{key}: {b!r} -> {a!r}")
     return lines
@@ -144,7 +183,7 @@ def diff_meta(base_doc: dict, after_doc: dict) -> list[str]:
 
 def compare(base_doc: dict, after_doc: dict, base_path: str, after_path: str,
             ms_tolerance: float, imbalance_tolerance: float,
-            gate: bool) -> int:
+            gate: bool, bandwidth_tolerance: float = 0.25) -> int:
     base = index_records(base_doc, base_path)
     after = index_records(after_doc, after_path)
     common = sorted(set(base) & set(after))
@@ -190,6 +229,15 @@ def compare(base_doc: dict, after_doc: dict, base_path: str, after_path: str,
                 flags.append("IMBALANCE+")
         else:
             imbal_cell = "-"
+        # Advisory bandwidth lane: achieved GB/s of the modeled traffic
+        # dropping beyond tolerance means the same bytes took markedly
+        # longer to move — a locality/efficiency smell even when total ms
+        # stayed inside the (coarser) SLOWER tolerance.
+        b_bw = record_bandwidth(b)
+        a_bw = record_bandwidth(a)
+        if b_bw is not None and a_bw is not None and b_bw > 0 and \
+                (b_bw - a_bw) / b_bw > bandwidth_tolerance:
+            flags.append("BANDWIDTH-")
         print(f"{key[0]:<12} {key[1]:<28} "
               f"{b['ms']:>10.3f} {a['ms']:>10.3f} "
               f"{fmt_delta(b['ms'], a['ms']):>8} "
@@ -447,6 +495,66 @@ def self_test() -> int:
     check("v4 vs v5 compares with reorder key warning",
           code == 0 and "meta.reorder" in out[0])
 
+    # v6 reports: meta.hw_counters (bool) + meta.peak_gbps (measured float)
+    # plus per-kernel traffic-model fields.
+    def v6(hw=False, peak=25.0, kernels=None, launches=5):
+        return _doc([_record(kernels=kernels, launches=launches)],
+                    schema="gcol-bench-v6",
+                    meta={"workers": 1, "streams": 0, "simd": "avx2",
+                          "reorder": "identity", "hw_counters": hw,
+                          "peak_gbps": peak})
+    check("v6 schema accepted", "gcol-bench-v6" in ACCEPTED_SCHEMAS)
+    check("v6 vs v6 compares", _run_compare(v6(), v6()) == 0)
+    # hw_counters mismatch warns (counters change what launches cost).
+    out = []
+    code = _run_compare(v6(hw=False), v6(hw=True), capture=out)
+    check("meta.hw_counters mismatch warned, not gated",
+          code == 0 and "meta.hw_counters" in out[0])
+    # peak_gbps is measured: small jitter stays silent, a big relative
+    # difference (different machine) warns.
+    out = []
+    _run_compare(v6(peak=25.0), v6(peak=26.5), capture=out)
+    check("peak_gbps jitter silent", "meta.peak_gbps" not in out[0])
+    out = []
+    code = _run_compare(v6(peak=25.0), v6(peak=50.0), capture=out)
+    check("peak_gbps machine change warned, not gated",
+          code == 0 and "meta.peak_gbps" in out[0])
+
+    # BANDWIDTH-: achieved GB/s of the modeled traffic dropping beyond
+    # tolerance is flagged, advisory only; recoveries and small dips stay
+    # silent; pre-v6 baselines (no traffic fields) never flag.
+    def traffic_kernels(gbps):
+        return {"k": {"launches": 5, "items": 100, "total_ms": 9.0,
+                      "bytes_read": 8_000_000, "bytes_written": 2_000_000,
+                      "gbps": gbps}}
+    bw_base = v6(kernels=traffic_kernels(10.0))
+    out = []
+    code = _run_compare(bw_base, v6(kernels=traffic_kernels(5.0)),
+                        capture=out)
+    check("BANDWIDTH- flagged advisory",
+          code == 0 and "BANDWIDTH-" in out[0])
+    out = []
+    code = _run_compare(bw_base, v6(kernels=traffic_kernels(9.0)),
+                        capture=out)
+    check("bandwidth within tolerance unflagged",
+          code == 0 and "BANDWIDTH-" not in out[0])
+    out = []
+    code = _run_compare(bw_base, v6(kernels=traffic_kernels(20.0)),
+                        capture=out)
+    check("bandwidth improvement unflagged",
+          code == 0 and "BANDWIDTH-" not in out[0])
+    out = []
+    code = _run_compare(base, v6(kernels=traffic_kernels(5.0)), capture=out)
+    check("bandwidth skipped when baseline lacks traffic model",
+          code == 0 and "BANDWIDTH-" not in out[0])
+    # record_bandwidth reconstructs the aggregate rate exactly.
+    bw = record_bandwidth(bw_base["records"][0])
+    check("record bandwidth reconstructed",
+          bw is not None and 9.99 < bw < 10.01)
+    # Deterministic regressions in a v6 report still gate.
+    check("v6 LAUNCHES+ still gates",
+          _run_compare(v6(), v6(launches=6)) == 1)
+
     if failures:
         print(f"self-test FAILED: {len(failures)} case(s)")
         return 1
@@ -465,6 +573,10 @@ def main() -> int:
                         help="relative per-record imbalance increase "
                              "tolerated before the advisory IMBALANCE+ flag "
                              "(default 0.25 = 25%%)")
+    parser.add_argument("--bandwidth-tolerance", type=float, default=0.25,
+                        help="relative achieved-GB/s drop (modeled traffic) "
+                             "tolerated before the advisory BANDWIDTH- flag "
+                             "(default 0.25 = 25%%)")
     parser.add_argument("--gate", action="store_true",
                         help="exit non-zero on deterministic regressions "
                              "(LAUNCHES+/COLORS+/INVALID; SLOWER and "
@@ -482,7 +594,8 @@ def main() -> int:
     base_doc = load_doc(args.baseline)
     after_doc = load_doc(args.after)
     return compare(base_doc, after_doc, args.baseline, args.after,
-                   args.ms_tolerance, args.imbalance_tolerance, args.gate)
+                   args.ms_tolerance, args.imbalance_tolerance, args.gate,
+                   args.bandwidth_tolerance)
 
 
 if __name__ == "__main__":

@@ -7,23 +7,36 @@ out.json`) and prints three tables:
   1. top-N kernels by total time — launches, items, total/mean ms, and the
      imbalance pair (max/mean busy ratio, barrier-wait share) aggregated
      over every launch of that kernel;
-  2. per-direction breakdown — launches, items, and time attributed to
+  2. memory-traffic roofline — per kernel, modeled bytes (the Tier A
+     traffic model each launch stamps as bytes_read/bytes_written args),
+     bytes/item, achieved GB/s, % of the machine's measured STREAM-triad
+     peak (gcol_meta.peak_gbps), and — when the trace was recorded with
+     --hw-counters — IPC and LLC miss rate from the per-launch hardware
+     counters, ranked by total bytes (the top offenders);
+  3. per-direction breakdown — launches, items, and time attributed to
      push vs pull vs direction-less kernels (the "direction" launch arg the
      direction-optimized frontier engine stamps), showing what the
      occupancy-adaptive heuristic actually chose over the run;
-  3. imbalance table — kernels ranked by time-weighted max/mean busy ratio,
+  4. imbalance table — kernels ranked by time-weighted max/mean busy ratio,
      the straggler evidence behind the paper's load-balancing argument;
-  4. per-phase breakdown — total time and span count per phase name
+  5. per-phase breakdown — total time and span count per phase name
      (ScopedPhase annotations: algorithm rounds, datasets, runs), computed
      on self time so nested phases don't double-count their parents.
 
 With --check the script instead validates the trace structure (parses as
 JSON, has the trace-event envelope, spans are well-formed with non-negative
-timestamps/durations, per-worker tracks are named) and exits non-zero on
-any violation — CI runs this against the smoke trace.
+timestamps/durations, per-worker tracks are named, and EVERY kernel-track
+span carries the slot-telemetry-derived args the observability contract
+promises: items, slots, busy_max_over_mean, barrier_wait_share) and exits
+non-zero on any violation — CI runs this against the smoke trace. A kernel
+span missing those args is a FAILURE, not a skip: it means a launch path
+stopped threading telemetry through.
+
+--csv PATH additionally exports the per-kernel table (time, traffic,
+roofline and hardware-counter columns) as machine-readable CSV.
 
 Usage:
-  trace_report.py TRACE.json [--top 15]
+  trace_report.py TRACE.json [--top 15] [--csv kernels.csv]
   trace_report.py TRACE.json --check
 """
 
@@ -38,24 +51,47 @@ from collections import defaultdict
 KERNEL_TID = 0
 PHASE_TID = 1
 FIRST_WORKER_TID = 2
+# Streams get their own track group at stream * 4096 (kernels at the base).
+STREAM_TRACK_STRIDE = 4096
+
+# Per-slot-telemetry args every kernel span must carry (stamped by
+# TraceSession::on_kernel_launch from the device's SlotTelemetry array);
+# a span without them means a launch path dropped telemetry.
+REQUIRED_KERNEL_ARGS = ("items", "slots", "busy_max_over_mean",
+                        "barrier_wait_share")
 
 
-def load_events(path: str) -> list[dict]:
+def is_kernel_tid(tid: int) -> bool:
+    return tid % STREAM_TRACK_STRIDE == 0
+
+
+def load_doc(path: str) -> dict:
     with open(path) as f:
         doc = json.load(f)
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         sys.exit(f"{path}: not a Chrome trace-event document "
                  "(no traceEvents key)")
-    events = doc["traceEvents"]
-    if not isinstance(events, list):
+    if not isinstance(doc["traceEvents"], list):
         sys.exit(f"{path}: traceEvents is not a list")
-    return events
+    return doc
+
+
+def load_events(path: str) -> list[dict]:
+    return load_doc(path)["traceEvents"]
 
 
 def check(path: str) -> int:
     """Structural validation; prints one line per problem, exits non-zero."""
-    events = load_events(path)
+    doc = load_doc(path)
+    events = doc["traceEvents"]
     problems = []
+    meta = doc.get("gcol_meta")
+    if meta is not None:
+        if not isinstance(meta.get("peak_gbps"), (int, float)) or \
+                meta["peak_gbps"] < 0:
+            problems.append("gcol_meta.peak_gbps missing or negative")
+        if not isinstance(meta.get("hw_counters"), bool):
+            problems.append("gcol_meta.hw_counters missing or not a bool")
     named_tracks = set()
     span_count = counter_count = 0
     last_end_by_tid: dict[int, float] = {}
@@ -88,6 +124,21 @@ def check(path: str) -> int:
                 continue
             if tid not in named_tracks:
                 problems.append(f"event {i}: span on unnamed track {tid}")
+            # Every kernel span must carry the slot-telemetry-derived args;
+            # a miss means a launch path dropped telemetry, and silently
+            # passing would let the observability contract rot.
+            if is_kernel_tid(tid):
+                args = e.get("args") or {}
+                missing = [a for a in REQUIRED_KERNEL_ARGS if a not in args]
+                if missing:
+                    problems.append(
+                        f"event {i}: kernel span '{e.get('name')}' missing "
+                        f"telemetry args: {', '.join(missing)}")
+                if ("bytes_read" in args) != ("bytes_written" in args):
+                    problems.append(
+                        f"event {i}: kernel span '{e.get('name')}' has "
+                        "half a traffic model (bytes_read xor "
+                        "bytes_written)")
             # Kernel launches are serial (one host thread), so kernel-track
             # spans must not overlap; same for each worker track.
             if ts is not None and dur is not None and \
@@ -117,13 +168,19 @@ def check(path: str) -> int:
     return 0
 
 
-def report(path: str, top: int) -> int:
-    events = load_events(path)
+def report(path: str, top: int, csv_path: str | None = None) -> int:
+    doc = load_doc(path)
+    events = doc["traceEvents"]
+    meta = doc.get("gcol_meta") or {}
+    peak_gbps = meta.get("peak_gbps", 0.0)
 
     kernels: dict[str, dict] = defaultdict(
         lambda: {"launches": 0, "items": 0, "ms": 0.0,
                  "imbal_weighted": 0.0, "wait_weighted": 0.0,
-                 "imbal_weight": 0.0})
+                 "imbal_weight": 0.0,
+                 "bytes_read": 0, "bytes_written": 0, "modeled_ms": 0.0,
+                 "cycles": 0, "instructions": 0,
+                 "llc_loads": 0, "llc_misses": 0, "branch_misses": 0})
     directions: dict[str, dict] = defaultdict(
         lambda: {"launches": 0, "items": 0, "ms": 0.0})
     phase_spans: list[tuple[str, float, float]] = []  # (name, ts, dur)
@@ -151,6 +208,13 @@ def report(path: str, top: int) -> int:
                 k["wait_weighted"] += dur_ms * args.get(
                     "barrier_wait_share", 0.0)
                 k["imbal_weight"] += dur_ms
+            if "bytes_read" in args:
+                k["bytes_read"] += args["bytes_read"]
+                k["bytes_written"] += args.get("bytes_written", 0)
+                k["modeled_ms"] += dur_ms
+            for counter in ("cycles", "instructions", "llc_loads",
+                            "llc_misses", "branch_misses"):
+                k[counter] += args.get(counter, 0)
         elif tid == PHASE_TID:
             phase_spans.append((e["name"], e.get("ts", 0.0),
                                 e.get("dur", 0.0)))
@@ -182,6 +246,45 @@ def report(path: str, top: int) -> int:
               f"{100.0 * k['ms'] / total_ms if total_ms else 0.0:>5.1f}% "
               f"{ratio if ratio is not None else float('nan'):>8.2f} "
               f"{100.0 * wait if wait is not None else float('nan'):>5.1f}%")
+
+    # Memory-traffic roofline: modeled bytes vs the measured bandwidth
+    # ceiling, ranked by total bytes (the top offenders). GB/s uses only
+    # the wall time of the launches that carried a model, so partially
+    # modeled kernels are not diluted.
+    modeled = [(name, k) for name, k in kernels.items()
+               if k["bytes_read"] + k["bytes_written"] > 0]
+    have_hw = any(k["cycles"] > 0 for _, k in kernels.items())
+    if modeled:
+        total_bytes = sum(k["bytes_read"] + k["bytes_written"]
+                          for _, k in modeled)
+        peak_note = (f", peak {peak_gbps:.1f} GB/s"
+                     if peak_gbps else ", peak unknown")
+        print(f"\n== memory-traffic roofline ({len(modeled)} modeled "
+              f"kernels, {total_bytes / 1e6:.1f} MB modeled{peak_note}) ==")
+        header = (f"{'kernel':<32} {'MB':>9} {'B/item':>7} "
+                  f"{'GB/s':>7} {'% peak':>6}")
+        if have_hw:
+            header += f" {'IPC':>5} {'LLC miss':>8}"
+        print(header)
+        print("-" * len(header))
+        for name, k in sorted(
+                modeled,
+                key=lambda kv: -(kv[1]["bytes_read"] +
+                                 kv[1]["bytes_written"]))[:top]:
+            total = k["bytes_read"] + k["bytes_written"]
+            gbps = (total / (k["modeled_ms"] * 1e6)
+                    if k["modeled_ms"] > 0 else 0.0)
+            pct = 100.0 * gbps / peak_gbps if peak_gbps else float("nan")
+            per_item = total / k["items"] if k["items"] else 0.0
+            line = (f"{name:<32} {total / 1e6:>9.2f} {per_item:>7.1f} "
+                    f"{gbps:>7.2f} {pct:>5.1f}%")
+            if have_hw:
+                ipc = (k["instructions"] / k["cycles"]
+                       if k["cycles"] else float("nan"))
+                miss = (k["llc_misses"] / k["llc_loads"]
+                        if k["llc_loads"] else float("nan"))
+                line += f" {ipc:>5.2f} {100.0 * miss:>7.1f}%"
+            print(line)
 
     if any(d in directions for d in ("push", "pull")):
         print(f"\n== time by traversal direction ==")
@@ -246,7 +349,41 @@ def report(path: str, top: int) -> int:
         for name, p in sorted(phases.items(), key=lambda kv: -kv[1]["ms"]):
             print(f"{name:<32} {p['n']:>7} {p['ms']:>9.2f} "
                   f"{p['self_ms']:>9.2f} {p['ms'] / p['n']:>8.3f}")
+
+    if csv_path:
+        write_kernel_csv(csv_path, kernels, peak_gbps)
+        print(f"\nwrote kernel table CSV: {csv_path}")
     return 0
+
+
+def write_kernel_csv(csv_path: str, kernels: dict[str, dict],
+                     peak_gbps: float) -> None:
+    """Full per-kernel table (every kernel, no --top cut) as CSV."""
+    columns = ("kernel", "launches", "items", "total_ms",
+               "busy_max_over_mean", "barrier_wait_share",
+               "bytes_read", "bytes_written", "gbps", "pct_peak",
+               "cycles", "instructions", "llc_loads", "llc_misses",
+               "branch_misses", "ipc", "llc_miss_rate")
+    with open(csv_path, "w") as f:
+        f.write(",".join(columns) + "\n")
+        for name, k in sorted(kernels.items(), key=lambda kv: -kv[1]["ms"]):
+            total = k["bytes_read"] + k["bytes_written"]
+            gbps = (total / (k["modeled_ms"] * 1e6)
+                    if k["modeled_ms"] > 0 else 0.0)
+            pct = 100.0 * gbps / peak_gbps if peak_gbps else 0.0
+            imbal = (k["imbal_weighted"] / k["imbal_weight"]
+                     if k["imbal_weight"] else 0.0)
+            wait = (k["wait_weighted"] / k["imbal_weight"]
+                    if k["imbal_weight"] else 0.0)
+            ipc = k["instructions"] / k["cycles"] if k["cycles"] else 0.0
+            miss = (k["llc_misses"] / k["llc_loads"]
+                    if k["llc_loads"] else 0.0)
+            f.write(f"{name},{k['launches']},{k['items']},{k['ms']:.6f},"
+                    f"{imbal:.4f},{wait:.4f},"
+                    f"{k['bytes_read']},{k['bytes_written']},{gbps:.4f},"
+                    f"{pct:.2f},{k['cycles']},{k['instructions']},"
+                    f"{k['llc_loads']},{k['llc_misses']},"
+                    f"{k['branch_misses']},{ipc:.4f},{miss:.6f}\n")
 
 
 def main() -> int:
@@ -256,10 +393,12 @@ def main() -> int:
                         help="kernels to list per table (default 15)")
     parser.add_argument("--check", action="store_true",
                         help="validate trace structure instead of reporting")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="also export the full per-kernel table as CSV")
     args = parser.parse_args()
     if args.check:
         return check(args.trace)
-    return report(args.trace, args.top)
+    return report(args.trace, args.top, args.csv)
 
 
 if __name__ == "__main__":

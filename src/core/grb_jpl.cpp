@@ -5,6 +5,7 @@
 #include <span>
 
 #include "core/grb_common.hpp"
+#include "core/palette.hpp"
 #include "core/verify.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -137,7 +138,12 @@ std::int32_t jp_min_color_fused(sim::Device& device, const graph::Csr& csr,
           const std::int32_t cu = cv[static_cast<std::size_t>(u)];
           if (cu > 0) sim::set_bit(mask, cu);
         }
-      });
+      },
+      nullptr,
+      // Per edge position: one adjacency column gather plus the neighbor
+      // color gather; the per-slot mask words stay cache-resident.
+      sim::Traffic{static_cast<std::int64_t>(sizeof(vid_t)), 0} +
+          palette::kFirstFitPerNeighbor);
 
   // Wide OR of the per-slot masks into slot 0's words, then one SIMD
   // first-zero-bit search — the same combine the word-major loop did, 4

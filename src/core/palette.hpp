@@ -41,6 +41,23 @@
 
 namespace gcol::color::palette {
 
+/// Structural traffic of a first-fit color pass, per NEIGHBOR: one neighbor
+/// color gather (the window words are register-held, the adjacency gather is
+/// the substrate's own declaration). A floor — the rare high-color vertex
+/// re-reads its neighbors once per extra 64*W-color window. Color kernels
+/// pass this (plus their own extras) as the advance substrate's
+/// per-position traffic.
+inline constexpr sim::Traffic kFirstFitPerNeighbor{
+    static_cast<std::int64_t>(sizeof(std::int32_t)), 0};
+
+/// Structural traffic of a bit-packed forbidden-mask mark, per NEIGHBOR: one
+/// neighbor color gather plus one read-modify-write of the vertex's private
+/// mask word.
+inline constexpr sim::Traffic kMaskMarkPerNeighbor{
+    static_cast<std::int64_t>(sizeof(std::int32_t)) +
+        static_cast<std::int64_t>(sizeof(std::uint64_t)),
+    static_cast<std::int64_t>(sizeof(std::uint64_t))};
+
 /// Minimum color >= 0 not present in a degree-`degree` neighborhood, where
 /// `color_of(k)` yields the k-th neighbor's color (negative = uncolored).
 /// Allocation-free, in two phases: the first adjacency pass uses a single
@@ -112,10 +129,15 @@ class ForbiddenPalette {
       : offsets_(static_cast<std::size_t>(csr.num_vertices) + 1) {
     const vid_t n = csr.num_vertices;
     std::vector<std::int64_t> words(static_cast<std::size_t>(n));
-    device.launch("palette::words", n, [&](std::int64_t v) {
-      words[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(
-          words_for_degree(csr.degree(static_cast<vid_t>(v))));
-    });
+    device.launch(
+        "palette::words", n,
+        [&](std::int64_t v) {
+          words[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(
+              words_for_degree(csr.degree(static_cast<vid_t>(v))));
+        },
+        sim::Schedule::kStatic, 0, nullptr,
+        sim::Traffic{2 * static_cast<std::int64_t>(sizeof(eid_t)),
+                     static_cast<std::int64_t>(sizeof(std::int64_t))});
     const std::int64_t total = sim::exclusive_scan<std::int64_t>(
         device, words, std::span(offsets_).first(static_cast<std::size_t>(n)));
     offsets_[static_cast<std::size_t>(n)] = total;

@@ -42,6 +42,12 @@ struct DatasetInfo {
 /// The DIMACS10 rgg_n_2_<scale>_s0 dataset (Table I, scales 15..24).
 [[nodiscard]] DatasetInfo rgg_dataset(int scale);
 
+/// Synthetic power-law extra: a Graph500-style R-MAT with 2^scale vertices
+/// and edge factor 16. Not a Table I row — selectable by the harnesses'
+/// `--datasets=rmat_<scale>` token for skewed-degree experiments (the
+/// regime the paper's conclusion singles out).
+[[nodiscard]] DatasetInfo rmat_dataset(int scale);
+
 /// Looks up a paper dataset by name; returns nullptr when unknown.
 [[nodiscard]] const DatasetInfo* find_dataset(const std::string& name);
 

@@ -115,7 +115,12 @@ class DenseView {
               static_cast<std::size_t>(indices[static_cast<std::size_t>(k)]);
           scratch_values_[i] = values[static_cast<std::size_t>(k)];
           scratch_present_[i] = 1;
-        });
+        },
+        sim::Schedule::kStatic, 0, nullptr,
+        // Per entry: the index and value gathers, then the scattered value
+        // store and its present byte.
+        sim::Traffic{static_cast<std::int64_t>(sizeof(Index) + sizeof(T)),
+                     static_cast<std::int64_t>(sizeof(T)) + 1});
     values_ = scratch_values_;
     present_ = scratch_present_;
   }
@@ -220,18 +225,25 @@ void write_back(sim::Device& device, Vector<W>& w, const Mask& mask,
   // view so sparse outputs don't pay a binary search per position.
   const DenseView<W> old_view(w, device);
   std::vector<std::uint8_t> final_present(un, 0);
-  device.launch("grb::write_back", n, [&](std::int64_t i) {
-    const auto ui = static_cast<std::size_t>(i);
-    const bool produced = all_present || out_present[ui] != 0;
-    if (mask.allows(i) && produced) {
-      final_present[ui] = 1;
-      return;
-    }
-    if (!replace && old_view.has(i)) {
-      final_present[ui] = 1;
-      out_values[ui] = old_view[i];
-    }
-  });
+  device.launch(
+      "grb::write_back", n,
+      [&](std::int64_t i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const bool produced = all_present || out_present[ui] != 0;
+        if (mask.allows(i) && produced) {
+          final_present[ui] = 1;
+          return;
+        }
+        if (!replace && old_view.has(i)) {
+          final_present[ui] = 1;
+          out_values[ui] = old_view[i];
+        }
+      },
+      sim::Schedule::kStatic, 0, nullptr,
+      // Per position: the produced and old-presence probes plus the final
+      // presence byte; mask probes and the keep-old value copy are
+      // data-dependent and excluded (structural floor).
+      sim::Traffic{2, 1});
 
   const std::int64_t kept = sim::count_if<std::uint8_t>(
       device, final_present, [](std::uint8_t p) { return p != 0; });
@@ -297,10 +309,16 @@ Info apply_indexed(Vector<W>& w, const Vector<M>* mask, F f,
   std::vector<W> out(un);
   if (u.is_dense()) {
     const auto uv = u.dense_values();
-    device.launch("grb::apply", n, [&](std::int64_t i) {
-      out[static_cast<std::size_t>(i)] =
-          static_cast<W>(f(i, uv[static_cast<std::size_t>(i)]));
-    });
+    device.launch(
+        "grb::apply", n,
+        [&](std::int64_t i) {
+          out[static_cast<std::size_t>(i)] =
+              static_cast<W>(f(i, uv[static_cast<std::size_t>(i)]));
+        },
+        sim::Schedule::kStatic, 0, nullptr,
+        // Per position: one input gather and the output store.
+        sim::Traffic{static_cast<std::int64_t>(sizeof(U)),
+                     static_cast<std::int64_t>(sizeof(W))});
     detail::write_back(device, w, view, std::move(out), {},
                        /*all_present=*/true, desc.replace);
     return Info::kSuccess;
@@ -361,11 +379,17 @@ Info eWiseAdd(Vector<W>& w, const Vector<M>* mask, Op op, const Vector<U>& u,
   if (both_dense) {
     const auto uv = u.dense_values();
     const auto vv = v.dense_values();
-    device.launch("grb::eWiseAdd", n, [&](std::int64_t i) {
-      const auto ui = static_cast<std::size_t>(i);
-      out[ui] = static_cast<W>(
-          op(static_cast<W>(uv[ui]), static_cast<W>(vv[ui])));
-    });
+    device.launch(
+        "grb::eWiseAdd", n,
+        [&](std::int64_t i) {
+          const auto ui = static_cast<std::size_t>(i);
+          out[ui] = static_cast<W>(
+              op(static_cast<W>(uv[ui]), static_cast<W>(vv[ui])));
+        },
+        sim::Schedule::kStatic, 0, nullptr,
+        // Per position: both input gathers and the output store.
+        sim::Traffic{static_cast<std::int64_t>(sizeof(U) + sizeof(V)),
+                     static_cast<std::int64_t>(sizeof(W))});
     detail::write_back(device, w, view, std::move(out), {},
                        /*all_present=*/true, desc.replace);
     return Info::kSuccess;
@@ -373,22 +397,29 @@ Info eWiseAdd(Vector<W>& w, const Vector<M>* mask, Op op, const Vector<U>& u,
   std::vector<std::uint8_t> present(un, 0);
   const detail::DenseView<U> uview(u, device);
   const detail::DenseView<V> vview(v, device);
-  device.launch("grb::eWiseAdd", n, [&](std::int64_t i) {
-    const auto ui = static_cast<std::size_t>(i);
-    const bool has_u = uview.has(i);
-    const bool has_v = vview.has(i);
-    if (has_u && has_v) {
-      out[ui] = static_cast<W>(
-          op(static_cast<W>(uview[i]), static_cast<W>(vview[i])));
-      present[ui] = 1;
-    } else if (has_u) {
-      out[ui] = static_cast<W>(uview[i]);
-      present[ui] = 1;
-    } else if (has_v) {
-      out[ui] = static_cast<W>(vview[i]);
-      present[ui] = 1;
-    }
-  });
+  device.launch(
+      "grb::eWiseAdd", n,
+      [&](std::int64_t i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const bool has_u = uview.has(i);
+        const bool has_v = vview.has(i);
+        if (has_u && has_v) {
+          out[ui] = static_cast<W>(
+              op(static_cast<W>(uview[i]), static_cast<W>(vview[i])));
+          present[ui] = 1;
+        } else if (has_u) {
+          out[ui] = static_cast<W>(uview[i]);
+          present[ui] = 1;
+        } else if (has_v) {
+          out[ui] = static_cast<W>(vview[i]);
+          present[ui] = 1;
+        }
+      },
+      sim::Schedule::kStatic, 0, nullptr,
+      // Per position, modeling the both-present path: two presence probes,
+      // both value gathers, the output store and its present byte.
+      sim::Traffic{2 + static_cast<std::int64_t>(sizeof(U) + sizeof(V)),
+                   static_cast<std::int64_t>(sizeof(W)) + 1});
   detail::write_back(device, w, view, std::move(out), present,
                      /*all_present=*/false, desc.replace);
   return Info::kSuccess;
@@ -419,11 +450,17 @@ Info eWiseMult(Vector<W>& w, const Vector<M>* mask, Op op, const Vector<U>& u,
   if (u.is_dense() && v.is_dense()) {
     const auto uv = u.dense_values();
     const auto vv = v.dense_values();
-    device.launch("grb::eWiseMult", n, [&](std::int64_t i) {
-      const auto ui = static_cast<std::size_t>(i);
-      out[ui] = static_cast<W>(
-          op(static_cast<W>(uv[ui]), static_cast<W>(vv[ui])));
-    });
+    device.launch(
+        "grb::eWiseMult", n,
+        [&](std::int64_t i) {
+          const auto ui = static_cast<std::size_t>(i);
+          out[ui] = static_cast<W>(
+              op(static_cast<W>(uv[ui]), static_cast<W>(vv[ui])));
+        },
+        sim::Schedule::kStatic, 0, nullptr,
+        // Per position: both input gathers and the output store.
+        sim::Traffic{static_cast<std::int64_t>(sizeof(U) + sizeof(V)),
+                     static_cast<std::int64_t>(sizeof(W))});
     detail::write_back(device, w, view, std::move(out), {},
                        /*all_present=*/true, desc.replace);
     return Info::kSuccess;
@@ -431,14 +468,21 @@ Info eWiseMult(Vector<W>& w, const Vector<M>* mask, Op op, const Vector<U>& u,
   std::vector<std::uint8_t> present(un, 0);
   const detail::DenseView<U> uview(u, device);
   const detail::DenseView<V> vview(v, device);
-  device.launch("grb::eWiseMult", n, [&](std::int64_t i) {
-    const auto ui = static_cast<std::size_t>(i);
-    if (uview.has(i) && vview.has(i)) {
-      out[ui] = static_cast<W>(
-          op(static_cast<W>(uview[i]), static_cast<W>(vview[i])));
-      present[ui] = 1;
-    }
-  });
+  device.launch(
+      "grb::eWiseMult", n,
+      [&](std::int64_t i) {
+        const auto ui = static_cast<std::size_t>(i);
+        if (uview.has(i) && vview.has(i)) {
+          out[ui] = static_cast<W>(
+              op(static_cast<W>(uview[i]), static_cast<W>(vview[i])));
+          present[ui] = 1;
+        }
+      },
+      sim::Schedule::kStatic, 0, nullptr,
+      // Per position, modeling the both-present path: two presence probes,
+      // both value gathers, the output store and its present byte.
+      sim::Traffic{2 + static_cast<std::int64_t>(sizeof(U) + sizeof(V)),
+                   static_cast<std::int64_t>(sizeof(W)) + 1});
   detail::write_back(device, w, view, std::move(out), present,
                      /*all_present=*/false, desc.replace);
   return Info::kSuccess;
@@ -539,12 +583,20 @@ Info vxm(Vector<W>& w, const Vector<M>* mask,
       const auto nvals = static_cast<std::int64_t>(indices.size());
       const std::span<eid_t> offsets = device.scratch().get<eid_t>(
           sim::ScratchLane::kDegrees, static_cast<std::size_t>(nvals) + 1);
-      device.launch("grb::vxm_degrees", nvals, [&](std::int64_t k) {
-        const auto row = static_cast<std::size_t>(
-            indices[static_cast<std::size_t>(k)]);
-        offsets[static_cast<std::size_t>(k)] =
-            csr.row_offsets[row + 1] - csr.row_offsets[row];
-      });
+      device.launch(
+          "grb::vxm_degrees", nvals,
+          [&](std::int64_t k) {
+            const auto row = static_cast<std::size_t>(
+                indices[static_cast<std::size_t>(k)]);
+            offsets[static_cast<std::size_t>(k)] =
+                csr.row_offsets[row + 1] - csr.row_offsets[row];
+          },
+          sim::Schedule::kStatic, 0, nullptr,
+          // Per frontier entry: the index gather, the row-offset pair, and
+          // the degree store.
+          sim::Traffic{
+              static_cast<std::int64_t>(sizeof(Index) + 2 * sizeof(eid_t)),
+              static_cast<std::int64_t>(sizeof(eid_t))});
       const eid_t total = sim::exclusive_scan<eid_t>(
           device, offsets.first(static_cast<std::size_t>(nvals)),
           offsets.first(static_cast<std::size_t>(nvals)));
@@ -564,7 +616,13 @@ Info vxm(Vector<W>& w, const Vector<M>* mask,
                                csr.col_indices[static_cast<std::size_t>(e)]),
                            ui_value, e);
             }
-          });
+          },
+          nullptr,
+          // Per edge: one column gather plus the CAS read-modify-write of
+          // the accumulator and the present-byte store. Mask early-outs and
+          // CAS retries are data-dependent and excluded (structural floor).
+          sim::Traffic{static_cast<std::int64_t>(sizeof(vid_t) + sizeof(W)),
+                       static_cast<std::int64_t>(sizeof(W)) + 1});
     } else {
       detail::for_each_entry(
           device, u,
@@ -662,17 +720,28 @@ Info reduce(T* out, Monoid<Op, T> monoid, const Vector<U>& u,
         [&](std::int64_t i) {
           cast[static_cast<std::size_t>(i)] =
               static_cast<T>(values[static_cast<std::size_t>(i)]);
-        });
+        },
+        sim::Schedule::kStatic, 0, nullptr,
+        // Per entry: one value gather and the widened store.
+        sim::Traffic{static_cast<std::int64_t>(sizeof(U)),
+                     static_cast<std::int64_t>(sizeof(T))});
     *out = sim::reduce<T>(device, cast, monoid.identity,
                           [&](T x, T y) { return monoid(x, y); });
     return Info::kSuccess;
   }
   const detail::DenseView<U> view(u, device);
   std::vector<T> cast(static_cast<std::size_t>(u.size()));
-  device.launch("grb::reduce_cast", u.size(), [&](std::int64_t i) {
-    cast[static_cast<std::size_t>(i)] =
-        view.has(i) ? static_cast<T>(view[i]) : monoid.identity;
-  });
+  device.launch(
+      "grb::reduce_cast", u.size(),
+      [&](std::int64_t i) {
+        cast[static_cast<std::size_t>(i)] =
+            view.has(i) ? static_cast<T>(view[i]) : monoid.identity;
+      },
+      sim::Schedule::kStatic, 0, nullptr,
+      // Per position: the presence probe, the value gather, and the widened
+      // store.
+      sim::Traffic{1 + static_cast<std::int64_t>(sizeof(U)),
+                   static_cast<std::int64_t>(sizeof(T))});
   *out = sim::reduce<T>(device, cast, monoid.identity,
                         [&](T x, T y) { return monoid(x, y); });
   return Info::kSuccess;

@@ -37,6 +37,14 @@
 // The chosen direction is stamped into LaunchInfo so per-kernel tables and
 // traces attribute time per direction. Bitmap kernels count one work item
 // per 64-bit word — that is what the launch iterates.
+//
+// Traffic model: every operator declares the structural bytes its launches
+// move — frontier vertex gathers (sizeof(vid_t)), frontier words (8), CSR
+// row-offset pairs (2 x sizeof(eid_t)), adjacency column gathers
+// (sizeof(vid_t)) and its own outputs. User op/pred/map payloads are opaque
+// and excluded, so modeled bytes are a lower bound; data-dependent
+// traversals (push adjacency walks, pull early-exit probes) document what
+// they leave out at the launch site.
 
 #include <algorithm>
 #include <atomic>
@@ -59,6 +67,17 @@
 #include "sim/slot_range.hpp"
 
 namespace gcol::gr {
+
+/// Structural element sizes the operators' traffic models are phrased in.
+inline constexpr std::int64_t kVidBytes =
+    static_cast<std::int64_t>(sizeof(vid_t));
+inline constexpr std::int64_t kEidBytes =
+    static_cast<std::int64_t>(sizeof(eid_t));
+inline constexpr std::int64_t kWordBytes =
+    static_cast<std::int64_t>(sizeof(std::uint64_t));
+/// Slot-local tallies (popcounts, survivor counts) are int64 scratch cells.
+inline constexpr std::int64_t kSlotCountBytes =
+    static_cast<std::int64_t>(sizeof(std::int64_t));
 
 /// How advance (and neighbor_reduce) spread neighbor work over workers.
 enum class AdvancePolicy {
@@ -112,9 +131,10 @@ template <typename Op>
 void compute(sim::Device& device, const Frontier& frontier, Op op,
              double avg_degree = 0.0) {
   if (!frontier.is_bitmap()) {
-    device.launch("gr::compute", frontier.size(), [&](std::int64_t i) {
-      op(frontier.vertex(i));
-    });
+    device.launch(
+        "gr::compute", frontier.size(),
+        [&](std::int64_t i) { op(frontier.vertex(i)); },
+        sim::Schedule::kStatic, 0, nullptr, sim::Traffic{kVidBytes, 0});
     return;
   }
   if (frontier.is_empty()) return;
@@ -138,7 +158,7 @@ void compute(sim::Device& device, const Frontier& frontier, Op op,
           if ((word >> b) & 1u) op(static_cast<vid_t>(base + b));
         }
       },
-      sim::Schedule::kStatic, 0, "pull");
+      sim::Schedule::kStatic, 0, "pull", sim::Traffic{kWordBytes, 0});
 }
 
 /// ComputeOp fused with the enactor's "are we done" reduction: runs op over
@@ -191,7 +211,11 @@ template <typename Op, typename Count>
           }
           partials[slot] = local;
         },
-        to_cstr(dir));
+        to_cstr(dir), [num_words](unsigned slot, unsigned num_slots) {
+          const auto [begin, end] =
+              sim::slot_range(slot, num_slots, num_words);
+          return sim::Traffic{(end - begin) * kWordBytes, kSlotCountBytes};
+        });
   } else {
     device.launch_slots("gr::compute_count",
                         [&](unsigned slot, unsigned num_slots) {
@@ -204,6 +228,13 @@ template <typename Op, typename Count>
                             if (count(v)) ++local;
                           }
                           partials[slot] = local;
+                        },
+                        nullptr,
+                        [n](unsigned slot, unsigned num_slots) {
+                          const auto [begin, end] =
+                              sim::slot_range(slot, num_slots, n);
+                          return sim::Traffic{(end - begin) * kVidBytes,
+                                              kSlotCountBytes};
                         });
   }
   std::int64_t total = 0;
@@ -277,7 +308,11 @@ template <typename Pred>
         }
         counts[slot] = local;
       },
-      to_cstr(dir));
+      to_cstr(dir), [num_words](unsigned slot, unsigned num_slots) {
+        const auto [begin, end] = sim::slot_range(slot, num_slots, num_words);
+        return sim::Traffic{(end - begin) * kWordBytes,
+                            (end - begin) * kWordBytes + kSlotCountBytes};
+      });
   std::int64_t total = 0;
   for (unsigned slot = 0; slot < workers; ++slot) total += counts[slot];
   return Frontier::bits(std::move(out), total, frontier.num_vertices(),
@@ -295,14 +330,18 @@ template <typename Pred>
   }
   const std::vector<std::int64_t> kept = sim::compact_indices(
       device, frontier.size(),
-      [&](std::int64_t i) { return pred(frontier.vertex(i)); });
+      [&](std::int64_t i) { return pred(frontier.vertex(i)); },
+      sim::Traffic{kVidBytes, 0});
   std::vector<vid_t> vertices(kept.size());
   device.launch(
       "gr::filter_gather", static_cast<std::int64_t>(kept.size()),
       [&](std::int64_t k) {
         vertices[static_cast<std::size_t>(k)] =
             frontier.vertex(kept[static_cast<std::size_t>(k)]);
-      });
+      },
+      sim::Schedule::kStatic, 0, nullptr,
+      sim::Traffic{static_cast<std::int64_t>(sizeof(std::int64_t)) + kVidBytes,
+                   kVidBytes});
   return Frontier::of(std::move(vertices), frontier.num_vertices());
 }
 
@@ -331,7 +370,8 @@ template <typename Pred>
       },
       [&](std::int64_t i, std::int64_t pos) {
         out[static_cast<std::size_t>(pos)] = frontier.vertex(i);
-      });
+      },
+      sim::Traffic{kVidBytes, 0}, sim::Traffic{kVidBytes, kVidBytes});
   return Frontier::of(std::move(out), frontier.num_vertices());
 }
 
@@ -366,7 +406,15 @@ inline std::span<const vid_t> frontier_gather(sim::Device& device,
                                        static_cast<vid_t>(bit);
                                  });
       },
-      "push");
+      "push", [words, num_words](unsigned slot, unsigned num_slots) {
+        const auto [begin, end] = sim::slot_range(slot, num_slots, num_words);
+        // Per-slot writes are the block's popcount — recomputed here on the
+        // host, once per observed launch.
+        const std::int64_t members = sim::simd::popcount(
+            words.subspan(static_cast<std::size_t>(begin),
+                          static_cast<std::size_t>(end - begin)));
+        return sim::Traffic{(end - begin) * kWordBytes, members * kVidBytes};
+      });
   return list;
 }
 
@@ -402,7 +450,8 @@ void nr_fused_impl(sim::Device& device, const graph::Csr& csr,
         offsets[static_cast<std::size_t>(i)] = degree;
         if (degree == 0) finalize(i, identity);
       },
-      sim::Schedule::kStatic, 0, direction);
+      sim::Schedule::kStatic, 0, direction,
+      sim::Traffic{kVidBytes + 2 * kEidBytes, kEidBytes});
   // Launches 2-3 (elided for small frontiers): offsets, in place.
   const std::span<eid_t> degrees_in =
       offsets.first(static_cast<std::size_t>(fsize));
@@ -445,7 +494,7 @@ void nr_fused_impl(sim::Device& device, const graph::Csr& csr,
         carry.segment = s;
         carry.value = acc;
       },
-      direction);
+      direction, sim::Traffic{kVidBytes, 0});
 
   // Serial combine of the boundary partials (ascending segment order after
   // the sort; reduce_op commutes, so grouping order is immaterial).
@@ -499,13 +548,17 @@ struct AdvanceResult {
   // Launch 1: per-source degree (scratch arena — no allocation per call).
   const std::span<eid_t> degrees = device.scratch().get<eid_t>(
       sim::ScratchLane::kDegrees, static_cast<std::size_t>(fsize));
-  device.launch("gr::advance_degrees", fsize, [&](std::int64_t i) {
-    if (i + sim::kGatherPrefetchDistance < fsize) {
-      sim::prefetch(&csr.row_offsets[static_cast<std::size_t>(
-          frontier.vertex(i + sim::kGatherPrefetchDistance))]);
-    }
-    degrees[static_cast<std::size_t>(i)] = csr.degree(frontier.vertex(i));
-  });
+  device.launch(
+      "gr::advance_degrees", fsize,
+      [&](std::int64_t i) {
+        if (i + sim::kGatherPrefetchDistance < fsize) {
+          sim::prefetch(&csr.row_offsets[static_cast<std::size_t>(
+              frontier.vertex(i + sim::kGatherPrefetchDistance))]);
+        }
+        degrees[static_cast<std::size_t>(i)] = csr.degree(frontier.vertex(i));
+      },
+      sim::Schedule::kStatic, 0, nullptr,
+      sim::Traffic{kVidBytes + 2 * kEidBytes, kEidBytes});
   // Launches 2-3: scan to segment offsets.
   const eid_t total = sim::exclusive_scan<eid_t>(
       device, degrees, std::span(result.segment_offsets).first(
@@ -525,7 +578,8 @@ struct AdvanceResult {
                 global_begin + (k - local_begin))] =
                 adj[static_cast<std::size_t>(k)];
           }
-        });
+        },
+        nullptr, sim::Traffic{kVidBytes, kVidBytes});
   } else {
     device.launch(
         "gr::advance_fill", fsize,
@@ -593,7 +647,14 @@ struct AdvanceResult {
           }
           counts[slot] = local;
         },
-        "pull");
+        "pull", [num_words](unsigned slot, unsigned num_slots) {
+          // Candidate adjacency probes early-exit on the first frontier
+          // member — data-dependent reads, excluded; the dense output
+          // rewrite is the structural cost.
+          const auto [begin, end] = sim::slot_range(
+              slot, num_slots, static_cast<std::int64_t>(num_words));
+          return sim::Traffic{0, (end - begin) * kWordBytes + kSlotCountBytes};
+        });
     for (unsigned slot = 0; slot < workers; ++slot) total += counts[slot];
     return Frontier::bits(std::move(out), total, n, frontier.mode());
   }
@@ -623,7 +684,8 @@ struct AdvanceResult {
           offsets[static_cast<std::size_t>(i)] =
               csr.degree(list[static_cast<std::size_t>(i)]);
         },
-        sim::Schedule::kStatic, 0, "push");
+        sim::Schedule::kStatic, 0, "push",
+        sim::Traffic{kVidBytes + 2 * kEidBytes, kEidBytes});
     const std::span<eid_t> degrees_in =
         offsets.first(static_cast<std::size_t>(fsize));
     const eid_t edges =
@@ -644,7 +706,7 @@ struct AdvanceResult {
             set_neighbor(adj[static_cast<std::size_t>(k)]);
           }
         },
-        "push");
+        "push", sim::Traffic{kVidBytes + kWordBytes, kWordBytes});
   } else {
     sim::for_each_set_bit(
         device, "gr::advance_push", frontier.words(),
@@ -686,7 +748,8 @@ void neighbor_reduce(sim::Device& device, const graph::Csr& csr,
                 static_cast<std::size_t>(global_begin + (k - local_begin));
             values[p] = map(v, advanced.neighbors[p]);
           }
-        });
+        },
+        nullptr, sim::Traffic{kVidBytes, static_cast<std::int64_t>(sizeof(T))});
   } else {
     device.launch(
         "gr::neighbor_map", frontier.size(),

@@ -34,6 +34,7 @@ void KernelStat::accumulate_telemetry(const sim::LaunchInfo& info) {
   slot_samples += info.slots;
   double launch_busy = 0.0;
   double launch_max = 0.0;
+  bool any_hw = false;
   for (unsigned s = 0; s < info.slots; ++s) {
     const sim::SlotTelemetry& t = info.slot_telemetry[s];
     telemetry_items += t.items;
@@ -44,7 +45,12 @@ void KernelStat::accumulate_telemetry(const sim::LaunchInfo& info) {
     if (busy > launch_max) launch_max = busy;
     const double wait = info.elapsed_ms - t.end_ms;
     if (wait > 0.0) wait_ms += wait;
+    if (t.hw_valid) {
+      hw += t.hw;
+      any_hw = true;
+    }
   }
+  if (any_hw) ++hw_launches;
   busy_ms += launch_busy;
   busy_max_ms += launch_max;
   busy_mean_ms += launch_busy / static_cast<double>(info.slots);
@@ -111,6 +117,12 @@ void Metrics::record_kernel(const sim::LaunchInfo& info) {
   stat->total_ms += info.elapsed_ms;
   if (info.direction != nullptr) stat->direction = info.direction;
   stat->stream_mask |= std::uint64_t{1} << (info.stream < 63 ? info.stream : 63);
+  if (info.traffic.modeled()) {
+    ++stat->modeled_launches;
+    stat->bytes_read += info.traffic.bytes_read;
+    stat->bytes_written += info.traffic.bytes_written;
+    stat->modeled_ms += info.elapsed_ms;
+  }
   if (info.slot_telemetry != nullptr && info.slots > 0) {
     stat->accumulate_telemetry(info);
   }
@@ -183,6 +195,12 @@ void Metrics::merge(const Metrics& other) {
     mine.wait_ms += theirs.wait_ms;
     mine.span_ms += theirs.span_ms;
     mine.stream_mask |= theirs.stream_mask;
+    mine.modeled_launches += theirs.modeled_launches;
+    mine.bytes_read += theirs.bytes_read;
+    mine.bytes_written += theirs.bytes_written;
+    mine.modeled_ms += theirs.modeled_ms;
+    mine.hw_launches += theirs.hw_launches;
+    mine.hw += theirs.hw;
   }
 }
 
@@ -222,6 +240,24 @@ Json Metrics::to_json() const {
         entry.set("busy_max_over_mean", stat.busy_max_over_mean());
         entry.set("barrier_wait_share", stat.barrier_wait_share());
         entry.set("items_cov", stat.items_cov());
+      }
+      // Kernels whose launches declared a traffic model carry the modeled
+      // bytes and achieved bandwidth (Tier A; see DESIGN.md §3h). Kernels
+      // with at least one hardware-sampled launch additionally carry the
+      // raw counter sums and derived rates (Tier B).
+      if (stat.modeled_launches > 0) {
+        entry.set("bytes_read", stat.bytes_read);
+        entry.set("bytes_written", stat.bytes_written);
+        entry.set("gbps", stat.gbps());
+      }
+      if (stat.hw_launches > 0) {
+        entry.set("cycles", stat.hw.cycles);
+        entry.set("instructions", stat.hw.instructions);
+        entry.set("llc_loads", stat.hw.llc_loads);
+        entry.set("llc_misses", stat.hw.llc_misses);
+        entry.set("branch_misses", stat.hw.branch_misses);
+        entry.set("ipc", stat.ipc());
+        entry.set("llc_miss_rate", stat.llc_miss_rate());
       }
       // Launches confined to the default stream serialize exactly as before
       // (gcol-bench-v2 compatible); only genuinely streamed kernels grow a

@@ -36,6 +36,9 @@ namespace gcol::obs {
 ///                          the launch barrier for stragglers;
 ///   items CoV            — coefficient of variation of per-slot item counts
 ///                          (work-distribution skew independent of timing).
+/// Launches that declared a traffic model also fold in modeled bytes (and
+/// thus achieved GB/s), and hardware-sampled launches fold in per-slot
+/// counter deltas (IPC, LLC miss rate) — the two tiers of DESIGN.md §3h.
 /// All are accumulated as plain sums so KernelStats merge losslessly.
 struct KernelStat {
   std::uint64_t launches = 0;  ///< times this kernel was launched
@@ -62,6 +65,38 @@ struct KernelStat {
   double busy_mean_ms = 0.0;     ///< Σ per-launch mean slot busy time
   double wait_ms = 0.0;          ///< Σ per-slot barrier wait (T - end)
   double span_ms = 0.0;          ///< Σ per-launch slots × T (wait denominator)
+
+  // ---- modeled memory traffic (Tier A; launches that declared a model) ----
+  std::uint64_t modeled_launches = 0;  ///< launches with traffic.modeled()
+  std::int64_t bytes_read = 0;         ///< Σ modeled bytes read
+  std::int64_t bytes_written = 0;      ///< Σ modeled bytes written
+  double modeled_ms = 0.0;             ///< Σ wall time over modeled launches
+
+  // ---- hardware counters (Tier B; slots that sampled successfully) -------
+  std::uint64_t hw_launches = 0;  ///< launches with ≥ 1 hw_valid slot
+  sim::HwCounters hw{};           ///< Σ per-slot deltas over those launches
+
+  /// Achieved bandwidth of the traffic model, GB/s: Σ modeled bytes over the
+  /// wall time of the modeled launches only (so a kernel modeled on some
+  /// launches is not diluted); 0 when nothing was modeled.
+  [[nodiscard]] double gbps() const noexcept {
+    return modeled_ms > 0.0
+               ? static_cast<double>(bytes_read + bytes_written) /
+                     (modeled_ms * 1e6)
+               : 0.0;
+  }
+  /// Instructions per cycle over the sampled slots; 0 without samples.
+  [[nodiscard]] double ipc() const noexcept {
+    return hw.cycles > 0 ? static_cast<double>(hw.instructions) /
+                               static_cast<double>(hw.cycles)
+                         : 0.0;
+  }
+  /// LLC load-miss rate over the sampled slots; 0 without samples.
+  [[nodiscard]] double llc_miss_rate() const noexcept {
+    return hw.llc_loads > 0 ? static_cast<double>(hw.llc_misses) /
+                                  static_cast<double>(hw.llc_loads)
+                            : 0.0;
+  }
 
   /// Max/mean busy-time ratio across telemetered launches, time-weighted by
   /// launch (Σ max) / (Σ mean); 1.0 when no telemetry or perfectly balanced.

@@ -1,0 +1,71 @@
+#pragma once
+// Tier B observability: real hardware counters around observed kernel
+// launches, via Linux perf_event_open (see DESIGN.md §3h). The sampler is a
+// sim::HwSampler — the device reads it per worker slot inside observed
+// launches, so every SlotTelemetry entry carries the slot's own
+// cycles/instructions/LLC/branch-miss deltas. Everything degrades
+// gracefully: on non-Linux builds, in containers that deny perf_event_open
+// (seccomp, perf_event_paranoid), or on PMUs missing an event, the affected
+// counters read zero and hw_valid stays false — the run itself is unchanged.
+//
+// Counter layout: five independent per-thread counters (cycles,
+// instructions, LLC loads, LLC load misses, branch misses), each opened
+// separately rather than as one perf group. A grouped open is
+// all-or-nothing when the PMU lacks an event or runs out of slots;
+// independent counters keep cycles/IPC alive even where the LLC events are
+// unsupported (common in VMs).
+
+#include <cstdint>
+
+#include "sim/device.hpp"
+
+namespace gcol::obs {
+
+/// True when perf_event_open counters can actually be opened AND read in
+/// this environment. Feature-detected once (first call) by opening a
+/// cycles counter on the calling thread; false on non-Linux builds, under
+/// restrictive perf_event_paranoid, or inside seccomp'd containers.
+[[nodiscard]] bool hw_counters_supported();
+
+/// sim::HwSampler over perf_event_open. Each worker thread lazily opens its
+/// own counter fds on first read() and closes them at thread exit; reads
+/// are one read(2) per counter, safe to call concurrently from every
+/// worker. Counters that fail to open report zero; read() returns false
+/// only when NO counter opened on the thread (fully degraded — the device
+/// then records hw_valid = false).
+class PerfSampler final : public sim::HwSampler {
+ public:
+  bool read(sim::HwCounters& out) noexcept override;
+};
+
+/// RAII hardware-counter capture: installs a PerfSampler as `device`'s
+/// sampler when counters are supported (a no-op installer otherwise) and
+/// restores the previous sampler on destruction, so scopes nest. `active()`
+/// reports whether sampling is actually armed — harnesses surface it as
+/// the `hw_counters` meta flag.
+class ScopedHwSampling {
+ public:
+  explicit ScopedHwSampling(sim::Device& device);
+  ~ScopedHwSampling();
+
+  ScopedHwSampling(const ScopedHwSampling&) = delete;
+  ScopedHwSampling& operator=(const ScopedHwSampling&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  sim::Device& device_;
+  sim::HwSampler* previous_ = nullptr;
+  bool active_ = false;
+  PerfSampler sampler_;
+};
+
+/// Measured peak memory bandwidth in GB/s: a STREAM-style triad
+/// (a[i] = b[i] + s·c[i], 24 bytes per element) over the device's full
+/// worker width, best of `reps` timed passes after one warm-up. `elements`
+/// defaults to 2^22 doubles per array (96 MiB working set — well past any
+/// LLC), the roofline ceiling benchmarks stamp into `meta.peak_gbps`.
+[[nodiscard]] double measure_peak_gbps(sim::Device& device, int reps = 3,
+                                       std::int64_t elements = 1 << 22);
+
+}  // namespace gcol::obs

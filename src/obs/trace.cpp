@@ -98,6 +98,13 @@ void TraceSession::counter(std::string_view name, std::int64_t value) {
   events_.push_back(std::move(event));
 }
 
+void TraceSession::set_meta(double peak_gbps, bool hw_counters) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  has_meta_ = true;
+  meta_peak_gbps_ = peak_gbps;
+  meta_hw_counters_ = hw_counters;
+}
+
 void TraceSession::on_kernel_launch(const sim::LaunchInfo& info) {
   // The notification arrives right after the launch's barrier, so the launch
   // began `elapsed_ms` ago on the session clock. Slot telemetry timestamps
@@ -134,6 +141,16 @@ void TraceSession::on_kernel_launch(const sim::LaunchInfo& info) {
   launch.value = info.items;
   launch.imbalance = busy_mean > 0.0 ? busy_max / busy_mean : 1.0;
   launch.wait_share = span > 0.0 ? wait_sum / span : 0.0;
+  launch.traffic = info.traffic;
+  if (info.hw && info.slot_telemetry != nullptr) {
+    for (unsigned s = 0; s < info.slots; ++s) {
+      const sim::SlotTelemetry& t = info.slot_telemetry[s];
+      if (t.hw_valid) {
+        launch.hw += t.hw;
+        launch.hw_valid = true;
+      }
+    }
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   StreamState& state = state_for_locked(info.stream);
@@ -188,6 +205,17 @@ void TraceSession::append_event(Json& trace_events, const Event& event) {
       }
       if (event.stream != 0) {
         args.set("stream", static_cast<std::int64_t>(event.stream));
+      }
+      if (event.traffic.modeled()) {
+        args.set("bytes_read", event.traffic.bytes_read);
+        args.set("bytes_written", event.traffic.bytes_written);
+      }
+      if (event.hw_valid) {
+        args.set("cycles", event.hw.cycles);
+        args.set("instructions", event.hw.instructions);
+        args.set("llc_loads", event.hw.llc_loads);
+        args.set("llc_misses", event.hw.llc_misses);
+        args.set("branch_misses", event.hw.branch_misses);
       }
     } else if (event.tid % 4096 >= 2) {
       args.set("items", event.value);
@@ -249,6 +277,12 @@ Json TraceSession::to_json() const {
 
   Json doc = Json::object();
   doc.set("displayTimeUnit", "ms");
+  if (has_meta_) {
+    Json meta = Json::object();
+    meta.set("peak_gbps", meta_peak_gbps_);
+    meta.set("hw_counters", meta_hw_counters_);
+    doc.set("gcol_meta", std::move(meta));
+  }
   doc.set("traceEvents", std::move(trace_events));
   return doc;
 }

@@ -72,6 +72,12 @@ class TraceSession final : public sim::LaunchListener {
   /// Records one sample of a named counter track at the current session time.
   void counter(std::string_view name, std::int64_t value);
 
+  /// Stamps run-level roofline context into the exported document as a
+  /// top-level "gcol_meta" object ({"peak_gbps": F, "hw_counters": B}) —
+  /// what scripts/trace_report.py divides achieved GB/s by. Unset sessions
+  /// export no gcol_meta, keeping pre-v6 traces byte-identical.
+  void set_meta(double peak_gbps, bool hw_counters);
+
   /// Device tracer callback: records the launch span plus one busy span per
   /// participating worker slot.
   void on_kernel_launch(const sim::LaunchInfo& info) override;
@@ -110,6 +116,12 @@ class TraceSession final : public sim::LaunchListener {
     std::int64_t value = 0;       ///< counters: sample; launch spans: items
     double imbalance = 0.0;       ///< launch spans: max/mean slot busy time
     double wait_share = 0.0;      ///< launch spans: barrier-wait share
+    /// Launch spans: the launch's modeled traffic (args emitted only when
+    /// modeled) and its summed hardware-counter deltas (emitted only when
+    /// hw_valid — at least one slot sampled successfully).
+    sim::Traffic traffic{};
+    sim::HwCounters hw{};
+    bool hw_valid = false;
   };
 
   struct OpenPhase {
@@ -144,6 +156,9 @@ class TraceSession final : public sim::LaunchListener {
   mutable std::mutex mutex_;
   std::vector<Event> events_;
   std::vector<StreamState> streams_;
+  bool has_meta_ = false;
+  double meta_peak_gbps_ = 0.0;
+  bool meta_hw_counters_ = false;
 };
 
 /// RAII phase marker: opens a span on the phase track of the current

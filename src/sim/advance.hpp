@@ -12,6 +12,13 @@
 // One kernel launch, no atomics, deterministic partition — the balanced
 // counterpart to Device's Schedule::kDynamic chunking, for the common case
 // where per-item work is known from a degree scan.
+//
+// Traffic model: the caller declares `per_position` — the bytes its visit
+// body moves per *position* (typically one CSR column gather plus whatever
+// it writes). Because the position partition is deterministic (slot_range
+// over the prefix-summed offsets), per-slot bytes are exact and sum to
+// per_position × total. The offset binary search and segment-boundary reads
+// are second-order (O(log n + segments crossed) per slot) and excluded.
 
 #include <algorithm>
 #include <cstdint>
@@ -34,7 +41,8 @@ template <typename OffsetT, typename VisitRange>
 void for_each_segment_range_slotted(Device& device, const char* name,
                                     std::span<const OffsetT> offsets,
                                     VisitRange visit,
-                                    const char* direction = nullptr) {
+                                    const char* direction = nullptr,
+                                    Traffic per_position = {}) {
   const auto num_segments = static_cast<std::int64_t>(offsets.size()) - 1;
   if (num_segments <= 0) return;
   const auto base = static_cast<std::int64_t>(offsets[0]);
@@ -47,49 +55,62 @@ void for_each_segment_range_slotted(Device& device, const char* name,
   if (device.num_workers() == 1) {
     // One worker owns every position: no diagonal search, no range
     // clipping — just one whole-segment visit per non-empty segment.
-    device.launch_slots(name, [&](unsigned, unsigned) {
-      for (std::int64_t s = 0; s < num_segments; ++s) {
-        const auto seg_begin =
-            static_cast<std::int64_t>(offsets[static_cast<std::size_t>(s)]);
-        const auto seg_end = static_cast<std::int64_t>(
-            offsets[static_cast<std::size_t>(s) + 1]);
-        if (seg_begin < seg_end) {
-          visit(0u, s, 0, seg_end - seg_begin, seg_begin);
-        }
-      }
-    }, direction);
+    device.launch_slots(
+        name,
+        [&](unsigned, unsigned) {
+          for (std::int64_t s = 0; s < num_segments; ++s) {
+            const auto seg_begin = static_cast<std::int64_t>(
+                offsets[static_cast<std::size_t>(s)]);
+            const auto seg_end = static_cast<std::int64_t>(
+                offsets[static_cast<std::size_t>(s) + 1]);
+            if (seg_begin < seg_end) {
+              visit(0u, s, 0, seg_end - seg_begin, seg_begin);
+            }
+          }
+        },
+        direction, [total, per_position](unsigned, unsigned) {
+          return per_position * total;
+        });
     return;
   }
 
-  device.launch_slots(name, [&](unsigned slot, unsigned num_slots) {
-    const auto [work_begin, work_end] = slot_range(slot, num_slots, total);
-    if (work_begin >= work_end) return;
-    // Merge-path diagonal: the segment containing our first position.
-    const auto it = std::upper_bound(
-        offsets.begin(), offsets.end(),
-        static_cast<OffsetT>(base + work_begin));
-    std::int64_t s = (it - offsets.begin()) - 1;
-    std::int64_t w = work_begin;
-    while (w < work_end) {
-      // Skip empty segments (offsets[s] == offsets[s+1]).
-      while (static_cast<std::int64_t>(
-                 offsets[static_cast<std::size_t>(s) + 1]) -
-                 base <=
-             w) {
-        ++s;
-      }
-      const std::int64_t seg_begin =
-          static_cast<std::int64_t>(offsets[static_cast<std::size_t>(s)]) -
-          base;
-      const std::int64_t seg_end = std::min(
-          static_cast<std::int64_t>(
-              offsets[static_cast<std::size_t>(s) + 1]) -
-              base,
-          work_end);
-      visit(slot, s, w - seg_begin, seg_end - seg_begin, base + w);
-      w = seg_end;
-    }
-  }, direction);
+  device.launch_slots(
+      name,
+      [&](unsigned slot, unsigned num_slots) {
+        const auto [work_begin, work_end] =
+            slot_range(slot, num_slots, total);
+        if (work_begin >= work_end) return;
+        // Merge-path diagonal: the segment containing our first position.
+        const auto it =
+            std::upper_bound(offsets.begin(), offsets.end(),
+                             static_cast<OffsetT>(base + work_begin));
+        std::int64_t s = (it - offsets.begin()) - 1;
+        std::int64_t w = work_begin;
+        while (w < work_end) {
+          // Skip empty segments (offsets[s] == offsets[s+1]).
+          while (static_cast<std::int64_t>(
+                     offsets[static_cast<std::size_t>(s) + 1]) -
+                     base <=
+                 w) {
+            ++s;
+          }
+          const std::int64_t seg_begin =
+              static_cast<std::int64_t>(
+                  offsets[static_cast<std::size_t>(s)]) -
+              base;
+          const std::int64_t seg_end =
+              std::min(static_cast<std::int64_t>(
+                           offsets[static_cast<std::size_t>(s) + 1]) -
+                           base,
+                       work_end);
+          visit(slot, s, w - seg_begin, seg_end - seg_begin, base + w);
+          w = seg_end;
+        }
+      },
+      direction, [total, per_position](unsigned slot, unsigned num_slots) {
+        const auto [begin, end] = slot_range(slot, num_slots, total);
+        return per_position * (end - begin);
+      });
 }
 
 /// For every segment s in [0, offsets.size() - 2] and every position p in
@@ -110,14 +131,15 @@ template <typename OffsetT, typename VisitRange>
 void for_each_segment_range(Device& device, const char* name,
                             std::span<const OffsetT> offsets,
                             VisitRange visit,
-                            const char* direction = nullptr) {
+                            const char* direction = nullptr,
+                            Traffic per_position = {}) {
   for_each_segment_range_slotted<OffsetT>(
       device, name, offsets,
       [&](unsigned, std::int64_t s, std::int64_t local_begin,
           std::int64_t local_end, std::int64_t global_begin) {
         visit(s, local_begin, local_end, global_begin);
       },
-      direction);
+      direction, per_position);
 }
 
 /// Item-granular convenience wrapper:

@@ -10,6 +10,11 @@
 // is the word count, which is what the launch actually iterates. Static
 // word-block partition by default; pass Schedule::kDynamic when set-bit
 // density is expected to be skewed across the id range.
+//
+// Traffic model: one 8-byte frontier word read per item, plus whatever
+// per-word traffic the caller declares for its visit body (`per_word_extra`
+// — per-set-bit costs are data-dependent and excluded, so modeled bytes are
+// a lower bound for sparse visit bodies).
 
 #include <cstdint>
 #include <span>
@@ -28,14 +33,18 @@ template <typename Visit>
 void for_each_set_bit(Device& device, const char* name,
                       std::span<const std::uint64_t> words, Visit visit,
                       Schedule schedule = Schedule::kStatic,
-                      const char* direction = "push") {
+                      const char* direction = "push",
+                      Traffic per_word_extra = {}) {
+  constexpr auto kWordBytes = static_cast<std::int64_t>(sizeof(std::uint64_t));
   device.launch(
       name, static_cast<std::int64_t>(words.size()),
       [&](std::int64_t w) {
         visit_set_bits(words[static_cast<std::size_t>(w)],
                        w * kBitsPerWord, visit);
       },
-      schedule, 0, direction);
+      schedule, 0, direction,
+      Traffic{kWordBytes + per_word_extra.bytes_read,
+              per_word_extra.bytes_written});
 }
 
 /// Slot-aware variant: visit(slot, bit) with each slot owning a contiguous
@@ -45,7 +54,8 @@ template <typename Visit>
 void for_each_set_bit_slotted(Device& device, const char* name,
                               std::span<const std::uint64_t> words,
                               Visit visit,
-                              const char* direction = "push") {
+                              const char* direction = "push",
+                              Traffic per_word_extra = {}) {
   const auto num_words = static_cast<std::int64_t>(words.size());
   if (num_words == 0) return;
   device.launch_slots(
@@ -58,7 +68,15 @@ void for_each_set_bit_slotted(Device& device, const char* name,
             begin * kBitsPerWord,
             [&](std::int64_t bit) { visit(slot, bit); });
       },
-      direction);
+      direction,
+      [num_words, per_word_extra](unsigned slot, unsigned num_slots) {
+        const auto [begin, end] = slot_range(slot, num_slots, num_words);
+        constexpr auto kWordBytes =
+            static_cast<std::int64_t>(sizeof(std::uint64_t));
+        return Traffic{(kWordBytes + per_word_extra.bytes_read) *
+                           (end - begin),
+                       per_word_extra.bytes_written * (end - begin)};
+      });
 }
 
 }  // namespace gcol::sim

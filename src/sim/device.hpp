@@ -73,16 +73,100 @@ enum class Schedule {
 /// count and listener reporting are unaffected.
 inline constexpr std::int64_t kInlineLaunchItems = 16;
 
+/// Modeled memory traffic of a kernel: structural bytes the kernel substrate
+/// itself dereferences (CSR column gathers, frontier words, flag bytes,
+/// palette words, output writes). Used in two roles, disambiguated by the
+/// parameter it is passed as: *per-item* cost on Device::launch (scaled by
+/// each slot's item count) and *absolute* bytes on launch_slots traffic
+/// callbacks / host_pass. A zero Traffic means "not modeled" — no real
+/// kernel moves zero bytes — so observers test `modeled()` rather than a
+/// separate flag. The model is a documented lower bound: opaque user
+/// payload lambdas are not counted unless the call site declares them.
+struct Traffic {
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+
+  [[nodiscard]] constexpr bool modeled() const noexcept {
+    return bytes_read > 0 || bytes_written > 0;
+  }
+  [[nodiscard]] constexpr std::int64_t total() const noexcept {
+    return bytes_read + bytes_written;
+  }
+  constexpr Traffic& operator+=(const Traffic& o) noexcept {
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+  friend constexpr Traffic operator+(Traffic a, const Traffic& b) noexcept {
+    a += b;
+    return a;
+  }
+  friend constexpr Traffic operator*(Traffic t, std::int64_t k) noexcept {
+    t.bytes_read *= k;
+    t.bytes_written *= k;
+    return t;
+  }
+};
+
+/// One hardware-counter snapshot (or delta) for one thread, as produced by a
+/// HwSampler. All zeros when the backend is unavailable — observers must
+/// check SlotTelemetry::hw_valid / LaunchInfo::hw before deriving rates.
+struct HwCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+
+  constexpr HwCounters& operator+=(const HwCounters& o) noexcept {
+    cycles += o.cycles;
+    instructions += o.instructions;
+    llc_loads += o.llc_loads;
+    llc_misses += o.llc_misses;
+    branch_misses += o.branch_misses;
+    return *this;
+  }
+  friend constexpr HwCounters operator-(HwCounters a,
+                                        const HwCounters& b) noexcept {
+    a.cycles -= b.cycles;
+    a.instructions -= b.instructions;
+    a.llc_loads -= b.llc_loads;
+    a.llc_misses -= b.llc_misses;
+    a.branch_misses -= b.branch_misses;
+    return a;
+  }
+};
+
+/// Reads the calling thread's hardware counters. Implementations (e.g.
+/// obs::PerfSampler over perf_event_open) own per-thread counter state and
+/// must be callable concurrently from every worker thread. `read` returns
+/// false when counters are unavailable on this thread (out is untouched);
+/// the device then records zeroed deltas with hw_valid = false, so a run
+/// degrades gracefully on kernels/containers that deny counter access.
+class HwSampler {
+ public:
+  virtual ~HwSampler() = default;
+  virtual bool read(HwCounters& out) noexcept = 0;
+};
+
 /// What one worker slot did inside one observed launch. Timestamps are
 /// milliseconds relative to the launch's start; `end_ms` is the slot's
 /// barrier-arrival time, so `launch elapsed - end_ms` is the time the slot
 /// spent waiting on stragglers and `end_ms - start_ms` is its busy span.
-/// Cache-line aligned so concurrent per-slot writes never false-share.
+/// `bytes_read`/`bytes_written` are the slot's modeled traffic (zero when the
+/// kernel declared none); `hw` is the slot's hardware-counter delta, valid
+/// only when `hw_valid` (a sampler was installed AND this thread's counters
+/// opened). Cache-line aligned so concurrent per-slot writes never
+/// false-share.
 struct alignas(64) SlotTelemetry {
   std::int64_t items = 0;  ///< work items this slot processed
   double start_ms = 0.0;   ///< slot began its work, relative to launch start
   double end_ms = 0.0;     ///< slot finished its work (barrier arrival)
   unsigned stream = 0;     ///< stream the launch ran on (0 = default)
+  std::int64_t bytes_read = 0;     ///< modeled bytes this slot read
+  std::int64_t bytes_written = 0;  ///< modeled bytes this slot wrote
+  HwCounters hw{};                 ///< hardware-counter deltas for the slot
+  bool hw_valid = false;           ///< hw fields are real measurements
 };
 
 /// One completed kernel launch, as reported to a LaunchListener.
@@ -104,6 +188,12 @@ struct LaunchInfo {
   /// Stream the launch executed on: 0 for the default context, a Stream's
   /// id() otherwise. Profilers key per-stream tracks and aggregates off it.
   unsigned stream = 0;
+  /// Launch-total modeled traffic (the sum of the per-slot telemetry bytes
+  /// by construction); zero ⇔ the kernel declared no model.
+  Traffic traffic{};
+  /// A hardware sampler was installed for this launch; per-slot validity is
+  /// in SlotTelemetry::hw_valid (a sampler can fail on individual threads).
+  bool hw = false;
 };
 
 /// Receives a LaunchInfo after every kernel launch completes. Notifications
@@ -209,16 +299,30 @@ class Device {
     return tracer_.load(std::memory_order_acquire);
   }
 
+  /// Installs a hardware-counter sampler (nullptr to disable) and returns
+  /// the previous one. Device-global, like the tracer: counters are read
+  /// per worker slot around *observed* launches only (a listener or tracer
+  /// must also be installed — unobserved launches stay two relaxed loads).
+  HwSampler* set_hw_sampler(HwSampler* sampler) noexcept {
+    return hw_sampler_.exchange(sampler, std::memory_order_acq_rel);
+  }
+  [[nodiscard]] HwSampler* hw_sampler() const noexcept {
+    return hw_sampler_.load(std::memory_order_acquire);
+  }
+
   /// Named kernel launch: body(i) for every i in [0, n), blocking until done
   /// (one kernel launch + barrier over the context's lane). `body` must be
   /// safe to invoke concurrently from different workers for distinct i. The
   /// name must be a statically-allocated string (it is retained only for the
   /// duration of the listener callback); `direction` likewise ("push"/"pull"
-  /// for direction-optimized operators, nullptr elsewhere).
+  /// for direction-optimized operators, nullptr elsewhere). `per_item` is
+  /// the kernel's modeled traffic PER WORK ITEM (see Traffic): each slot's
+  /// telemetry bytes are per_item × its items, so per-slot bytes sum to the
+  /// launch total per_item × n exactly.
   template <typename Body>
   void launch(const char* name, std::int64_t n, Body&& body,
               Schedule schedule = Schedule::kStatic, std::int64_t chunk = 0,
-              const char* direction = nullptr) {
+              const char* direction = nullptr, Traffic per_item = {}) {
     if (n <= 0) return;
     ExecContext& ctx = context();
     ctx.launches.fetch_add(1, std::memory_order_relaxed);
@@ -229,16 +333,28 @@ class Device {
       dispatch(ctx, width, n, body, schedule, chunk);
       return;
     }
+    HwSampler* sampler = hw_sampler();
     const Stopwatch watch;
-    dispatch_observed(ctx, width, n, body, schedule, chunk, watch);
+    dispatch_observed(ctx, width, n, body, schedule, chunk, watch, sampler);
     const unsigned slots = n <= kInlineLaunchItems ? 1u : width;
+    // Telemetry bytes are derived post-barrier on the launching thread: the
+    // slot item counts are final, and the array is read only by the listener
+    // callbacks below. Always stamped (zeros when unmodeled) because the
+    // array is reused across launches.
+    for (unsigned s = 0; s < slots; ++s) {
+      SlotTelemetry& t = ctx.telemetry[s];
+      t.bytes_read = per_item.bytes_read * t.items;
+      t.bytes_written = per_item.bytes_written * t.items;
+    }
     LaunchInfo info{name,
                     n,
                     slots,
                     watch.elapsed_ms(),
                     ctx.telemetry.get(),
                     direction,
-                    ctx.stream};
+                    ctx.stream,
+                    per_item * n,
+                    sampler != nullptr};
     notify(listener, tracer, info);
   }
 
@@ -248,7 +364,7 @@ class Device {
   template <typename Body>
   void launch(Stream& stream, const char* name, std::int64_t n, Body&& body,
               Schedule schedule = Schedule::kStatic, std::int64_t chunk = 0,
-              const char* direction = nullptr);
+              const char* direction = nullptr, Traffic per_item = {});
 
   /// Named slot kernel: body(slot, num_slots) once per worker slot of the
   /// context's lane — the analogue of a cooperative kernel where each block
@@ -256,6 +372,19 @@ class Device {
   template <typename Body>
   void launch_slots(const char* name, Body&& body,
                     const char* direction = nullptr) {
+    launch_slots(name, std::forward<Body>(body), direction,
+                 [](unsigned, unsigned) { return Traffic{}; });
+  }
+
+  /// Slot kernel with a traffic model: `traffic_of(slot, num_slots)` returns
+  /// the ABSOLUTE modeled bytes slot processed (the device cannot see how a
+  /// slot kernel divides its work, so the substrate that can must say).
+  /// Evaluated post-barrier on the launching thread, observed launches only
+  /// — it may cheaply recompute the slot partition (slot_range etc.) or read
+  /// per-slot scratch counts the kernel left behind.
+  template <typename Body, typename TrafficFn>
+  void launch_slots(const char* name, Body&& body, const char* direction,
+                    TrafficFn&& traffic_of) {
     ExecContext& ctx = context();
     ctx.launches.fetch_add(1, std::memory_order_relaxed);
     const unsigned workers = context_width(ctx);
@@ -266,9 +395,12 @@ class Device {
                    [&](unsigned slot) { body(slot, workers); });
       return;
     }
+    HwSampler* sampler = hw_sampler();
     const Stopwatch watch;
     pool_.run_on(ctx.first_worker, workers, [&](unsigned slot) {
       SlotTelemetry& t = ctx.telemetry[slot];
+      HwCounters hw_begin;
+      const bool hw_ok = sample_hw_begin(sampler, hw_begin);
       t.start_ms = watch.elapsed_ms();
       body(slot, workers);
       // The device cannot see how a slot kernel divides its work, so each
@@ -276,14 +408,25 @@ class Device {
       t.items = 1;
       t.end_ms = watch.elapsed_ms();
       t.stream = ctx.stream;
+      sample_hw_end(t, sampler, hw_ok, hw_begin);
     });
+    Traffic total{};
+    for (unsigned s = 0; s < workers; ++s) {
+      const Traffic tr = traffic_of(s, workers);
+      SlotTelemetry& t = ctx.telemetry[s];
+      t.bytes_read = tr.bytes_read;
+      t.bytes_written = tr.bytes_written;
+      total += tr;
+    }
     LaunchInfo info{name,
                     static_cast<std::int64_t>(workers),
                     workers,
                     watch.elapsed_ms(),
                     ctx.telemetry.get(),
                     direction,
-                    ctx.stream};
+                    ctx.stream,
+                    total,
+                    sampler != nullptr};
     notify(listener, tracer, info);
   }
 
@@ -291,8 +434,10 @@ class Device {
   /// launch with a single slot. Sequential baselines (greedy, DSATUR) run
   /// their color phase through this so "kernel launches" and per-kernel
   /// timings stay comparable across every algorithm the harnesses report.
+  /// `traffic` is the pass's ABSOLUTE modeled bytes (a host pass is one
+  /// slot, so there is nothing to scale).
   template <typename Fn>
-  void host_pass(const char* name, Fn&& fn) {
+  void host_pass(const char* name, Fn&& fn, Traffic traffic = {}) {
     ExecContext& ctx = context();
     ctx.launches.fetch_add(1, std::memory_order_relaxed);
     LaunchListener* listener = ctx.listener.load(std::memory_order_acquire);
@@ -301,12 +446,29 @@ class Device {
       fn();
       return;
     }
+    HwSampler* sampler = hw_sampler();
+    HwCounters hw_begin;
+    const bool hw_ok = sample_hw_begin(sampler, hw_begin);
     const Stopwatch watch;
     fn();
     const double elapsed = watch.elapsed_ms();
-    ctx.telemetry[0] = SlotTelemetry{1, 0.0, elapsed, ctx.stream};
-    LaunchInfo info{name,    1, 1u, elapsed, ctx.telemetry.get(),
-                    nullptr, ctx.stream};
+    SlotTelemetry& t = ctx.telemetry[0];
+    t = SlotTelemetry{1,
+                      0.0,
+                      elapsed,
+                      ctx.stream,
+                      traffic.bytes_read,
+                      traffic.bytes_written};
+    sample_hw_end(t, sampler, hw_ok, hw_begin);
+    LaunchInfo info{name,
+                    1,
+                    1u,
+                    elapsed,
+                    ctx.telemetry.get(),
+                    nullptr,
+                    ctx.stream,
+                    traffic,
+                    sampler != nullptr};
     notify(listener, tracer, info);
   }
 
@@ -387,41 +549,71 @@ class Device {
     }
   }
 
+  /// Reads `sampler` into `before` if one is installed; returns whether the
+  /// read succeeded (the matching sample_hw_end then stamps the delta).
+  static bool sample_hw_begin(HwSampler* sampler, HwCounters& before) noexcept {
+    return sampler != nullptr && sampler->read(before);
+  }
+
+  /// Stamps the slot's hardware-counter delta. Always assigns hw/hw_valid —
+  /// the telemetry array is reused across launches, so stale deltas from an
+  /// earlier sampled launch must not leak into an unsampled one.
+  static void sample_hw_end(SlotTelemetry& t, HwSampler* sampler, bool began,
+                            const HwCounters& before) noexcept {
+    HwCounters after;
+    if (began && sampler->read(after)) {
+      t.hw = after - before;
+      t.hw_valid = true;
+      return;
+    }
+    t.hw = HwCounters{};
+    t.hw_valid = false;
+  }
+
   /// The observed twin of dispatch(): identical work distribution, plus each
-  /// slot stamps {items, start, end, stream} into its own telemetry entry.
-  /// Telemetry writes ride the lane barrier's release/acquire edge (and
-  /// `watch` is read-only after construction), so the launching thread may
-  /// read the whole array race-free as soon as the launch returns. The
-  /// unobserved path never touches a clock or the telemetry array.
+  /// slot stamps {items, start, end, stream} into its own telemetry entry
+  /// (and its hardware-counter delta when `sampler` is non-null). Telemetry
+  /// writes ride the lane barrier's release/acquire edge (and `watch` is
+  /// read-only after construction), so the launching thread may read the
+  /// whole array race-free as soon as the launch returns. The unobserved
+  /// path never touches a clock, the telemetry array, or the sampler.
   template <typename Body>
   void dispatch_observed(ExecContext& ctx, unsigned width, std::int64_t n,
                          Body& body, Schedule schedule, std::int64_t chunk,
-                         const Stopwatch& watch) {
+                         const Stopwatch& watch, HwSampler* sampler) {
     const auto workers = static_cast<std::int64_t>(width);
     if (workers == 1 || n <= kInlineLaunchItems) {
       SlotTelemetry& t = ctx.telemetry[0];
+      HwCounters hw_begin;
+      const bool hw_ok = sample_hw_begin(sampler, hw_begin);
       t.start_ms = watch.elapsed_ms();
       for (std::int64_t i = 0; i < n; ++i) body(i);
       t.items = n;
       t.end_ms = watch.elapsed_ms();
       t.stream = ctx.stream;
+      sample_hw_end(t, sampler, hw_ok, hw_begin);
       return;
     }
     if (schedule == Schedule::kStatic) {
       pool_.run_on(ctx.first_worker, width, [&](unsigned slot) {
         SlotTelemetry& t = ctx.telemetry[slot];
+        HwCounters hw_begin;
+        const bool hw_ok = sample_hw_begin(sampler, hw_begin);
         t.start_ms = watch.elapsed_ms();
         const auto [begin, end] = slot_range(slot, width, n);
         for (std::int64_t i = begin; i < end; ++i) body(i);
         t.items = end - begin;
         t.end_ms = watch.elapsed_ms();
         t.stream = ctx.stream;
+        sample_hw_end(t, sampler, hw_ok, hw_begin);
       });
     } else {
       if (chunk <= 0) chunk = default_chunk(n, workers);
       std::atomic<std::int64_t> next{0};
       pool_.run_on(ctx.first_worker, width, [&](unsigned slot) {
         SlotTelemetry& t = ctx.telemetry[slot];
+        HwCounters hw_begin;
+        const bool hw_ok = sample_hw_begin(sampler, hw_begin);
         t.start_ms = watch.elapsed_ms();
         std::int64_t claimed = 0;
         for (;;) {
@@ -435,6 +627,7 @@ class Device {
         t.items = claimed;
         t.end_ms = watch.elapsed_ms();
         t.stream = ctx.stream;
+        sample_hw_end(t, sampler, hw_ok, hw_begin);
       });
     }
   }
@@ -462,6 +655,7 @@ class Device {
   ThreadPool pool_;
   DevicePool memory_pool_;
   std::atomic<LaunchListener*> tracer_{nullptr};
+  std::atomic<HwSampler*> hw_sampler_{nullptr};
   /// Width the default context resolves to: the whole pool minus any leased
   /// stream lanes (recomputed under lane_mutex_, read on the launch path).
   std::atomic<unsigned> default_width_;

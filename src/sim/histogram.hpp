@@ -21,7 +21,13 @@
 // Serial fallback: one worker, small n, or a bin domain so large that the
 // per-slot count matrix would dwarf the payload (degree sort on a graph with
 // a near-n max degree) — then a plain two-pass host counting sort runs on
-// the launching thread, matching scan.hpp's serial-path precedent.
+// the launching thread, matching scan.hpp's serial-path precedent (no
+// launch, so nothing is modeled or counted).
+//
+// Traffic model: the count pass touches its private bin row (zero + count
+// writes) and reads whatever the caller's bin_of key costs per item
+// (`per_item`, default unmodeled); the scatter pass additionally writes one
+// IdT per item at its final rank.
 
 #include <cstdint>
 #include <span>
@@ -43,7 +49,8 @@ inline constexpr std::int64_t kHistogramMaxMatrixEntries = std::int64_t{1}
 /// `counts` must have num_bins entries; it is overwritten.
 template <typename BinFn>
 void histogram(Device& device, std::int64_t n, std::int64_t num_bins,
-               BinFn&& bin_of, std::span<std::int64_t> counts) {
+               BinFn&& bin_of, std::span<std::int64_t> counts,
+               Traffic per_item = {}) {
   const unsigned workers = device.num_workers();
   const std::int64_t matrix = num_bins * static_cast<std::int64_t>(workers);
   if (workers == 1 || n < 2048 || matrix > kHistogramMaxMatrixEntries) {
@@ -66,15 +73,27 @@ void histogram(Device& device, std::int64_t n, std::int64_t num_bins,
         const auto [begin, end] = slot_range(slot, num_slots, n);
         for (std::int64_t i = begin; i < end; ++i)
           ++mine[static_cast<std::size_t>(bin_of(i))];
+      },
+      nullptr, [n, num_bins, per_item](unsigned slot, unsigned num_slots) {
+        const auto [begin, end] = slot_range(slot, num_slots, n);
+        constexpr auto kBin = static_cast<std::int64_t>(sizeof(std::int64_t));
+        return Traffic{per_item.bytes_read * (end - begin),
+                       per_item.bytes_written * (end - begin) +
+                           num_bins * kBin};
       });
-  device.launch("sim::histogram_reduce", num_bins, [&](std::int64_t b) {
-    std::int64_t total = 0;
-    for (unsigned slot = 0; slot < workers; ++slot)
-      total += slot_counts[static_cast<std::size_t>(slot) *
-                               static_cast<std::size_t>(num_bins) +
-                           static_cast<std::size_t>(b)];
-    counts[static_cast<std::size_t>(b)] = total;
-  });
+  constexpr auto kBin = static_cast<std::int64_t>(sizeof(std::int64_t));
+  device.launch(
+      "sim::histogram_reduce", num_bins,
+      [&](std::int64_t b) {
+        std::int64_t total = 0;
+        for (unsigned slot = 0; slot < workers; ++slot)
+          total += slot_counts[static_cast<std::size_t>(slot) *
+                                   static_cast<std::size_t>(num_bins) +
+                               static_cast<std::size_t>(b)];
+        counts[static_cast<std::size_t>(b)] = total;
+      },
+      Schedule::kStatic, 0, nullptr,
+      Traffic{kBin * static_cast<std::int64_t>(workers), kBin});
 }
 
 /// Stable counting sort by bin: writes into `order` the item ids [0, n)
@@ -83,7 +102,8 @@ void histogram(Device& device, std::int64_t n, std::int64_t num_bins,
 /// combine on the parallel path; a plain two-pass host sort otherwise.
 template <typename IdT, typename BinFn>
 void stable_sort_by_bin(Device& device, std::int64_t n, std::int64_t num_bins,
-                        BinFn&& bin_of, std::span<IdT> order) {
+                        BinFn&& bin_of, std::span<IdT> order,
+                        Traffic per_item = {}) {
   if (n <= 0) return;
   const unsigned workers = device.num_workers();
   const std::int64_t matrix = num_bins * static_cast<std::int64_t>(workers);
@@ -121,6 +141,13 @@ void stable_sort_by_bin(Device& device, std::int64_t n, std::int64_t num_bins,
         const auto [begin, end] = slot_range(slot, num_slots, n);
         for (std::int64_t i = begin; i < end; ++i)
           ++mine[static_cast<std::size_t>(bin_of(i))];
+      },
+      nullptr, [n, num_bins, per_item](unsigned slot, unsigned num_slots) {
+        const auto [begin, end] = slot_range(slot, num_slots, n);
+        constexpr auto kBin = static_cast<std::int64_t>(sizeof(std::int64_t));
+        return Traffic{per_item.bytes_read * (end - begin),
+                       per_item.bytes_written * (end - begin) +
+                           num_bins * kBin};
       });
 
   // Bin-major, slot-minor exclusive scan: the scatter start of (bin b,
@@ -148,6 +175,14 @@ void stable_sort_by_bin(Device& device, std::int64_t n, std::int64_t num_bins,
           std::int64_t& at = mine[static_cast<std::size_t>(bin_of(i))];
           order[static_cast<std::size_t>(at++)] = static_cast<IdT>(i);
         }
+      },
+      nullptr, [n, num_bins, per_item](unsigned slot, unsigned num_slots) {
+        const auto [begin, end] = slot_range(slot, num_slots, n);
+        constexpr auto kBin = static_cast<std::int64_t>(sizeof(std::int64_t));
+        return Traffic{per_item.bytes_read * (end - begin) + num_bins * kBin,
+                       per_item.bytes_written * (end - begin) +
+                           (end - begin) *
+                               static_cast<std::int64_t>(sizeof(IdT))};
       });
 }
 

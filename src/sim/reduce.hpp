@@ -4,6 +4,9 @@
 // implementations. Two-phase: per-worker partial reduction inside one kernel
 // launch, then a serial combine of one partial per worker. Partials live in
 // the device scratch arena — no allocation per call.
+//
+// Traffic model (observed launches): each slot reads its block of values and
+// writes one partial.
 
 #include <cstdint>
 #include <span>
@@ -16,6 +19,18 @@
 
 namespace gcol::sim {
 
+namespace detail {
+/// Per-slot modeled traffic of a block reduction over n elements of T.
+template <typename T>
+[[nodiscard]] inline auto reduce_traffic(std::int64_t n) {
+  return [n](unsigned slot, unsigned num_slots) {
+    const auto [begin, end] = slot_range(slot, num_slots, n);
+    return Traffic{(end - begin) * static_cast<std::int64_t>(sizeof(T)),
+                   static_cast<std::int64_t>(sizeof(T))};
+  };
+}
+}  // namespace detail
+
 /// Reduces `values` with `combine` starting from `identity`.
 /// `combine` must be associative and commutative.
 template <typename T, typename Combine>
@@ -26,14 +41,17 @@ template <typename T, typename Combine>
   const unsigned workers = device.num_workers();
   const std::span<T> partials =
       device.scratch().template get<T>(ScratchLane::kPartials, workers);
-  device.launch_slots("sim::reduce", [&](unsigned slot, unsigned num_slots) {
-    const auto [begin, end] = slot_range(slot, num_slots, n);
-    T acc = identity;
-    for (std::int64_t i = begin; i < end; ++i) {
-      acc = combine(acc, values[static_cast<std::size_t>(i)]);
-    }
-    partials[slot] = acc;
-  });
+  device.launch_slots(
+      "sim::reduce",
+      [&](unsigned slot, unsigned num_slots) {
+        const auto [begin, end] = slot_range(slot, num_slots, n);
+        T acc = identity;
+        for (std::int64_t i = begin; i < end; ++i) {
+          acc = combine(acc, values[static_cast<std::size_t>(i)]);
+        }
+        partials[slot] = acc;
+      },
+      nullptr, detail::reduce_traffic<T>(n));
   T result = identity;
   for (const T& partial : partials) result = combine(result, partial);
   return result;
@@ -51,12 +69,15 @@ template <typename T>
     const unsigned workers = device.num_workers();
     const std::span<T> partials =
         device.scratch().template get<T>(ScratchLane::kPartials, workers);
-    device.launch_slots("sim::reduce", [&](unsigned slot, unsigned num_slots) {
-      const auto [begin, end] = slot_range(slot, num_slots, n);
-      partials[slot] = simd::sum_span<T>(
-          values.subspan(static_cast<std::size_t>(begin),
-                         static_cast<std::size_t>(end - begin)));
-    });
+    device.launch_slots(
+        "sim::reduce",
+        [&](unsigned slot, unsigned num_slots) {
+          const auto [begin, end] = slot_range(slot, num_slots, n);
+          partials[slot] = simd::sum_span<T>(
+              values.subspan(static_cast<std::size_t>(begin),
+                             static_cast<std::size_t>(end - begin)));
+        },
+        nullptr, detail::reduce_traffic<T>(n));
     T result{0};
     for (const T& partial : partials) result = static_cast<T>(result + partial);
     return result;
@@ -90,14 +111,17 @@ template <typename T, typename Pred>
   const std::span<std::int64_t> partials =
       device.scratch().template get<std::int64_t>(ScratchLane::kPartials,
                                                   device.num_workers());
-  device.launch_slots("sim::count_if", [&](unsigned slot, unsigned num_slots) {
-    const auto [begin, end] = slot_range(slot, num_slots, n);
-    std::int64_t local = 0;
-    for (std::int64_t i = begin; i < end; ++i) {
-      if (pred(values[static_cast<std::size_t>(i)])) ++local;
-    }
-    partials[slot] = local;
-  });
+  device.launch_slots(
+      "sim::count_if",
+      [&](unsigned slot, unsigned num_slots) {
+        const auto [begin, end] = slot_range(slot, num_slots, n);
+        std::int64_t local = 0;
+        for (std::int64_t i = begin; i < end; ++i) {
+          if (pred(values[static_cast<std::size_t>(i)])) ++local;
+        }
+        partials[slot] = local;
+      },
+      nullptr, detail::reduce_traffic<T>(n));
   std::int64_t total = 0;
   for (const std::int64_t partial : partials) total += partial;
   return total;

@@ -10,6 +10,11 @@
 //      with its offset.
 // The per-worker block sums live in the device scratch arena, so a scan in a
 // hot loop performs no allocation.
+//
+// Traffic model (observed launches): scan_partials reads its block and
+// writes one block sum; scan_apply reads its block plus its seed and writes
+// the block back out. The serial small-n/1-worker fallback issues no launch
+// and therefore models nothing.
 
 #include <cstdint>
 #include <span>
@@ -20,6 +25,26 @@
 #include "sim/slot_range.hpp"
 
 namespace gcol::sim {
+
+namespace detail {
+/// Per-slot modeled traffic of the two scan phases over n elements of T.
+template <typename T>
+[[nodiscard]] inline auto scan_partials_traffic(std::int64_t n) {
+  return [n](unsigned slot, unsigned num_slots) {
+    const auto [begin, end] = slot_range(slot, num_slots, n);
+    constexpr auto kElem = static_cast<std::int64_t>(sizeof(T));
+    return Traffic{(end - begin) * kElem, kElem};
+  };
+}
+template <typename T>
+[[nodiscard]] inline auto scan_apply_traffic(std::int64_t n) {
+  return [n](unsigned slot, unsigned num_slots) {
+    const auto [begin, end] = slot_range(slot, num_slots, n);
+    constexpr auto kElem = static_cast<std::int64_t>(sizeof(T));
+    return Traffic{(end - begin) * kElem + kElem, (end - begin) * kElem};
+  };
+}
+}  // namespace detail
 
 /// Exclusive prefix sum: out[i] = sum of in[0..i). `out` may alias `in`.
 /// Returns the total sum of `in`.
@@ -49,7 +74,8 @@ T exclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
                         block_sums[slot] = simd::sum_span<T>(in.subspan(
                             static_cast<std::size_t>(begin),
                             static_cast<std::size_t>(end - begin)));
-                      });
+                      },
+                      nullptr, detail::scan_partials_traffic<T>(n));
 
   T total{0};
   for (unsigned slot = 0; slot < workers; ++slot) {
@@ -67,7 +93,8 @@ T exclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
                           out[static_cast<std::size_t>(i)] = acc;
                           acc = static_cast<T>(acc + value);
                         }
-                      });
+                      },
+                      nullptr, detail::scan_apply_traffic<T>(n));
   return total;
 }
 
@@ -95,7 +122,8 @@ T inclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
                         block_sums[slot] = simd::sum_span<T>(in.subspan(
                             static_cast<std::size_t>(begin),
                             static_cast<std::size_t>(end - begin)));
-                      });
+                      },
+                      nullptr, detail::scan_partials_traffic<T>(n));
 
   T total{0};
   for (unsigned slot = 0; slot < workers; ++slot) {
@@ -113,7 +141,8 @@ T inclusive_scan(Device& device, std::span<const T> in, std::span<T> out) {
                               acc + in[static_cast<std::size_t>(i)]);
                           out[static_cast<std::size_t>(i)] = acc;
                         }
-                      });
+                      },
+                      nullptr, detail::scan_apply_traffic<T>(n));
   return total;
 }
 

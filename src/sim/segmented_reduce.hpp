@@ -26,6 +26,18 @@ void segmented_reduce(Device& device, std::span<const OffsetT> offsets,
                       Schedule schedule = Schedule::kDynamic) {
   const auto num_segments = static_cast<std::int64_t>(offsets.size()) - 1;
   if (num_segments <= 0) return;
+  // Traffic: per segment, one offsets pair plus the segment's values read
+  // and one result write. Segment sizes vary, so the value bytes are spread
+  // as a per-item mean — launch totals are exact (up to the division
+  // remainder), per-slot attribution is averaged.
+  const auto total_values =
+      static_cast<std::int64_t>(offsets[static_cast<std::size_t>(
+          num_segments)]) -
+      static_cast<std::int64_t>(offsets[0]);
+  const Traffic per_segment{
+      2 * static_cast<std::int64_t>(sizeof(OffsetT)) +
+          (total_values / num_segments) * static_cast<std::int64_t>(sizeof(T)),
+      static_cast<std::int64_t>(sizeof(T))};
   device.launch(
       "sim::segmented_reduce", num_segments,
       [&](std::int64_t s) {
@@ -39,7 +51,7 @@ void segmented_reduce(Device& device, std::span<const OffsetT> offsets,
         }
         out[static_cast<std::size_t>(s)] = acc;
       },
-      schedule);
+      schedule, 0, nullptr, per_segment);
 }
 
 /// Segmented argmax: for each segment, the index (into `values`) of the

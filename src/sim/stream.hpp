@@ -103,10 +103,10 @@ class Stream {
   template <typename Body>
   void launch(const char* name, std::int64_t n, Body&& body,
               Schedule schedule = Schedule::kStatic, std::int64_t chunk = 0,
-              const char* direction = nullptr) {
+              const char* direction = nullptr, Traffic per_item = {}) {
     submit([this, name, n, body = std::decay_t<Body>(std::forward<Body>(body)),
-            schedule, chunk, direction]() mutable {
-      device_.launch(name, n, body, schedule, chunk, direction);
+            schedule, chunk, direction, per_item]() mutable {
+      device_.launch(name, n, body, schedule, chunk, direction, per_item);
     });
   }
 
@@ -145,8 +145,9 @@ class Stream {
 template <typename Body>
 void Device::launch(Stream& stream, const char* name, std::int64_t n,
                     Body&& body, Schedule schedule, std::int64_t chunk,
-                    const char* direction) {
-  stream.launch(name, n, std::forward<Body>(body), schedule, chunk, direction);
+                    const char* direction, Traffic per_item) {
+  stream.launch(name, n, std::forward<Body>(body), schedule, chunk, direction,
+                per_item);
 }
 
 }  // namespace gcol::sim

@@ -96,17 +96,31 @@ class TelemetryAuditor final : public sim::LaunchListener {
     ASSERT_GE(info.slots, 1u) << info.name;
     ASSERT_LE(info.slots, device_.num_workers()) << info.name;
     std::int64_t slot_items = 0;
+    sim::Traffic slot_bytes{};
     for (unsigned s = 0; s < info.slots; ++s) {
       const sim::SlotTelemetry& t = info.slot_telemetry[s];
       slot_items += t.items;
+      slot_bytes += sim::Traffic{t.bytes_read, t.bytes_written};
       EXPECT_GE(t.items, 0) << info.name << " slot " << s;
+      EXPECT_GE(t.bytes_read, 0) << info.name << " slot " << s;
+      EXPECT_GE(t.bytes_written, 0) << info.name << " slot " << s;
       EXPECT_GE(t.start_ms, 0.0) << info.name << " slot " << s;
       EXPECT_GE(t.end_ms, t.start_ms) << info.name << " slot " << s;
       EXPECT_LE(t.end_ms, info.elapsed_ms) << info.name << " slot " << s;
+      // No sampler is installed in this test, so hardware validity must
+      // never be invented (and stale flags must not leak across launches).
+      EXPECT_FALSE(t.hw_valid) << info.name << " slot " << s;
     }
     // The invariant the imbalance metrics rest on: no work item is lost or
     // double-counted across slots, on any schedule, at any worker count.
     EXPECT_EQ(slot_items, info.items) << info.name;
+    // Same conservation law for the traffic model (DESIGN.md §3h): per-slot
+    // modeled bytes sum to the launch total exactly — zero when the kernel
+    // declared no model.
+    EXPECT_EQ(slot_bytes.bytes_read, info.traffic.bytes_read) << info.name;
+    EXPECT_EQ(slot_bytes.bytes_written, info.traffic.bytes_written)
+        << info.name;
+    EXPECT_FALSE(info.hw) << info.name;
   }
 
   [[nodiscard]] std::uint64_t launches() const noexcept { return launches_; }
@@ -160,6 +174,44 @@ TEST_F(MetricsEndToEndTest, Figure1AlgorithmsReportImbalanceAggregates) {
       EXPECT_GE(stat->items_cov(), 0.0) << spec->name << "/" << name;
     }
     EXPECT_GT(telemetered, 0u) << spec->name;
+  }
+}
+
+TEST_F(MetricsEndToEndTest, ParallelFigure1AlgorithmsReportModeledTraffic) {
+  // Tier-A coverage contract: every GraphBLAST- and Gunrock-family
+  // algorithm runs at least one traffic-modeled kernel (the serial greedy
+  // baseline and Naumov's monolithic per-vertex kernels are data-dependent
+  // traversals, deliberately unmodeled). Modeled aggregates must obey the
+  // basic accounting identities whatever the kernel mix.
+  for (const color::AlgorithmSpec* spec : color::figure1_algorithms()) {
+    const color::Coloring result = spec->run(csr_, color::Options{});
+    std::uint64_t modeled = 0;
+    for (const std::string& name : result.metrics.kernel_names()) {
+      const obs::KernelStat* stat = result.metrics.kernel(name);
+      ASSERT_NE(stat, nullptr) << spec->name;
+      modeled += stat->modeled_launches;
+      EXPECT_LE(stat->modeled_launches, stat->launches)
+          << spec->name << "/" << name;
+      EXPECT_GE(stat->bytes_read, 0) << spec->name << "/" << name;
+      EXPECT_GE(stat->bytes_written, 0) << spec->name << "/" << name;
+      EXPECT_LE(stat->modeled_ms, stat->total_ms + 1e-9)
+          << spec->name << "/" << name;
+      if (stat->modeled_launches == 0) {
+        // Unmodeled kernels must not carry phantom bytes.
+        EXPECT_EQ(stat->bytes_read + stat->bytes_written, 0)
+            << spec->name << "/" << name;
+      } else {
+        EXPECT_GT(stat->bytes_read + stat->bytes_written, 0)
+            << spec->name << "/" << name;
+        EXPECT_GE(stat->gbps(), 0.0) << spec->name << "/" << name;
+      }
+      // No sampler installed: Tier B must stay silent.
+      EXPECT_EQ(stat->hw_launches, 0u) << spec->name << "/" << name;
+    }
+    const std::string name(spec->name);
+    if (name.rfind("grb_", 0) == 0 || name.rfind("gunrock_", 0) == 0) {
+      EXPECT_GT(modeled, 0u) << spec->name;
+    }
   }
 }
 

@@ -13,6 +13,7 @@
 #include "core/palette.hpp"
 #include "graph/build.hpp"
 #include "graph/generators/erdos_renyi.hpp"
+#include "obs/metrics.hpp"
 #include "sim/bitops.hpp"
 #include "sim/device.hpp"
 
@@ -149,6 +150,42 @@ TEST(ForbiddenPalette, MarkMinFreeResetRoundTrip) {
   EXPECT_EQ(ForbiddenPalette::min_free(slice), 71);
   ForbiddenPalette::reset(slice);
   EXPECT_EQ(ForbiddenPalette::min_free(slice), 0);
+}
+
+TEST(PaletteTraffic, PerNeighborConstantsMatchTheirAccessPatterns) {
+  // The shared constants color kernels hand to the advance substrate
+  // (DESIGN.md §3h). First-fit: one 4-byte neighbor-color gather per
+  // neighbor, nothing written.
+  EXPECT_EQ(kFirstFitPerNeighbor.bytes_read,
+            static_cast<std::int64_t>(sizeof(std::int32_t)));
+  EXPECT_EQ(kFirstFitPerNeighbor.bytes_written, 0);
+  // Mask mark: the color gather plus a read-modify-write of one 8-byte
+  // mask word.
+  EXPECT_EQ(kMaskMarkPerNeighbor.bytes_read,
+            static_cast<std::int64_t>(sizeof(std::int32_t) +
+                                      sizeof(std::uint64_t)));
+  EXPECT_EQ(kMaskMarkPerNeighbor.bytes_written,
+            static_cast<std::int64_t>(sizeof(std::uint64_t)));
+}
+
+TEST(PaletteTraffic, WordCountLaunchModelsOffsetPairAndStore) {
+  // palette::words reads each vertex's row-offset pair and writes its word
+  // count: hand-counted 16 bytes read + 8 written per vertex.
+  const graph::Csr csr = gcol::testing::star_graph(80);
+  auto& device = sim::Device::instance();
+  obs::Metrics m;
+  {
+    const obs::ScopedDeviceMetrics scoped(device, m);
+    const ForbiddenPalette masks(device, csr);
+  }
+  const obs::KernelStat* words = m.kernel("palette::words");
+  ASSERT_NE(words, nullptr);
+  EXPECT_EQ(words->modeled_launches, words->launches);
+  const auto n = static_cast<std::int64_t>(csr.num_vertices);
+  EXPECT_EQ(words->bytes_read,
+            n * 2 * static_cast<std::int64_t>(sizeof(eid_t)));
+  EXPECT_EQ(words->bytes_written,
+            n * static_cast<std::int64_t>(sizeof(std::int64_t)));
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+// Tier-B hardware-counter tests (DESIGN.md §3h). Hardware availability is
+// environment-dependent (non-Linux builds, seccomp'd CI containers,
+// perf_event_paranoid), so these tests pin down the graceful-degradation
+// CONTRACT rather than any counter value: read() either produces a coherent
+// sample or reports failure, installation mirrors hw_counters_supported(),
+// the device marks slot validity honestly either way, and the peak-bandwidth
+// calibration always returns a usable ceiling.
+
+#include "obs/perf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/device.hpp"
+
+namespace gcol::obs {
+namespace {
+
+TEST(PerfSupport, ProbeIsStableAcrossCalls) {
+  // Feature detection is cached after the first probe; repeated calls must
+  // agree (and, above all, not crash in denied environments).
+  const bool first = hw_counters_supported();
+  EXPECT_EQ(hw_counters_supported(), first);
+  EXPECT_EQ(hw_counters_supported(), first);
+}
+
+TEST(PerfSampler, ReadMatchesAdvertisedSupport) {
+  PerfSampler sampler;
+  sim::HwCounters out;
+  const bool ok = sampler.read(out);
+  if (!hw_counters_supported()) {
+    // Fully degraded: no counter opened, and the sample stays zeroed so no
+    // stale garbage can leak into telemetry.
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(out.cycles, 0u);
+    EXPECT_EQ(out.instructions, 0u);
+    EXPECT_EQ(out.llc_loads, 0u);
+    EXPECT_EQ(out.llc_misses, 0u);
+    EXPECT_EQ(out.branch_misses, 0u);
+    return;
+  }
+  ASSERT_TRUE(ok);
+  // The cycles counter anchors the support probe, so a supported read must
+  // show forward progress between two samples.
+  sim::HwCounters later;
+  volatile std::uint64_t spin = 0;
+  for (int i = 0; i < 100000; ++i) spin = spin + 1;
+  ASSERT_TRUE(sampler.read(later));
+  EXPECT_GT(later.cycles, out.cycles);
+}
+
+TEST(ScopedHwSampling, ActiveMirrorsSupportAndRestoresOnExit) {
+  sim::Device device(2);
+  {
+    ScopedHwSampling sampling(device);
+    EXPECT_EQ(sampling.active(), hw_counters_supported());
+    {
+      ScopedHwSampling nested(device);
+      EXPECT_EQ(nested.active(), hw_counters_supported());
+    }
+  }
+  // After the scopes unwind, launches must report hw = false again.
+  Metrics m;
+  {
+    const ScopedDeviceMetrics scoped(device, m);
+    std::vector<std::int64_t> sink(256, 0);
+    device.launch("test::after_scope", 256, [&](std::int64_t i) {
+      sink[static_cast<std::size_t>(i)] = i;
+    });
+  }
+  const KernelStat* stat = m.kernel("test::after_scope");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->hw_launches, 0u);
+}
+
+TEST(ScopedHwSampling, LaunchesDegradeCleanlyOrSampleCoherently) {
+  sim::Device device(2);
+  Metrics m;
+  {
+    ScopedHwSampling sampling(device);
+    const ScopedDeviceMetrics scoped(device, m);
+    std::vector<std::int64_t> sink(4096, 0);
+    device.launch("test::sampled", 4096, [&](std::int64_t i) {
+      sink[static_cast<std::size_t>(i)] = i * i;
+    });
+
+    const KernelStat* stat = m.kernel("test::sampled");
+    ASSERT_NE(stat, nullptr);
+    EXPECT_EQ(stat->launches, 1u);
+    if (!sampling.active()) {
+      // Degraded: the launch ran, timing/telemetry are intact, and no
+      // hardware fields were invented.
+      EXPECT_EQ(stat->hw_launches, 0u);
+      EXPECT_EQ(stat->hw.cycles, 0u);
+      EXPECT_DOUBLE_EQ(stat->ipc(), 0.0);
+      EXPECT_DOUBLE_EQ(stat->llc_miss_rate(), 0.0);
+      return;
+    }
+    // Sampled: cycle deltas were captured (instructions retire alongside on
+    // every PMU that opens the cycles event; the LLC events may be zero on
+    // PMUs that lack them — that is the point of independent counters).
+    EXPECT_EQ(stat->hw_launches, 1u);
+    EXPECT_GT(stat->hw.cycles, 0u);
+  }
+}
+
+TEST(PeakBandwidth, CalibrationReturnsPositiveFiniteCeiling) {
+  sim::Device device(2);
+  // A small working set keeps the test fast; the ceiling is still a
+  // positive, finite GB/s figure whatever the machine.
+  const double gbps = measure_peak_gbps(device, /*reps=*/1,
+                                        /*elements=*/1 << 16);
+  EXPECT_GT(gbps, 0.0);
+  EXPECT_TRUE(std::isfinite(gbps));
+}
+
+TEST(PeakBandwidth, TriadLaunchIsObservableAndModeled) {
+  sim::Device device(2);
+  Metrics m;
+  {
+    const ScopedDeviceMetrics scoped(device, m);
+    (void)measure_peak_gbps(device, /*reps=*/1, /*elements=*/1 << 16);
+  }
+  // Warm-up + one timed rep, each one launch, all traffic-modeled at 24
+  // bytes per element.
+  const KernelStat* triad = m.kernel("obs::peak_triad");
+  ASSERT_NE(triad, nullptr);
+  EXPECT_EQ(triad->launches, 2u);
+  EXPECT_EQ(triad->modeled_launches, 2u);
+  EXPECT_EQ(triad->bytes_read + triad->bytes_written,
+            2 * 24 * static_cast<std::int64_t>(1 << 16));
+  EXPECT_GT(triad->gbps(), 0.0);
+}
+
+}  // namespace
+}  // namespace gcol::obs

@@ -1,0 +1,298 @@
+// Unit tests for the Tier-A software traffic model (DESIGN.md §3h): the
+// Traffic value type, the per-slot byte stamping of observed launches, and
+// the hand-counted models of the shared primitives (scan, reduce, compact,
+// segment-range advance, host passes). Every assertion is an exact integer
+// identity — the model is structural, so the expected bytes are computable
+// by hand from n, the element sizes and the worker partition.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/advance.hpp"
+#include "sim/compact.hpp"
+#include "sim/device.hpp"
+#include "sim/reduce.hpp"
+#include "sim/scan.hpp"
+
+namespace gcol::sim {
+namespace {
+
+// ---- Traffic value semantics ------------------------------------------------
+
+static_assert(!Traffic{}.modeled(), "zero traffic means no model declared");
+static_assert(Traffic{4, 0}.modeled());
+static_assert(Traffic{0, 8}.modeled());
+static_assert(Traffic{4, 8}.total() == 12);
+static_assert((Traffic{4, 8} + Traffic{1, 2}).bytes_read == 5);
+static_assert((Traffic{4, 8} + Traffic{1, 2}).bytes_written == 10);
+static_assert((Traffic{4, 8} * 3).bytes_read == 12);
+static_assert((Traffic{4, 8} * 3).bytes_written == 24);
+
+TEST(Traffic, AccumulateInPlace) {
+  Traffic t{4, 8};
+  t += Traffic{6, 2};
+  EXPECT_EQ(t.bytes_read, 10);
+  EXPECT_EQ(t.bytes_written, 10);
+  EXPECT_EQ(t.total(), 20);
+}
+
+// ---- listener capture harness ----------------------------------------------
+
+struct SlotSample {
+  std::int64_t items;
+  std::int64_t bytes_read;
+  std::int64_t bytes_written;
+};
+
+struct Capture {
+  std::string name;
+  std::int64_t items = 0;
+  unsigned slots = 0;
+  Traffic traffic{};
+  std::vector<SlotSample> per_slot;  // copied during the callback
+
+  [[nodiscard]] Traffic slot_total() const {
+    Traffic sum{};
+    for (const SlotSample& s : per_slot) {
+      sum += Traffic{s.bytes_read, s.bytes_written};
+    }
+    return sum;
+  }
+};
+
+/// Snapshots every observed launch. LaunchInfo::slot_telemetry is only valid
+/// for the duration of the callback, so the samples are copied out.
+class CapturingListener final : public LaunchListener {
+ public:
+  explicit CapturingListener(Device& device)
+      : device_(device), previous_(device.set_launch_listener(this)) {}
+  ~CapturingListener() override { device_.set_launch_listener(previous_); }
+
+  CapturingListener(const CapturingListener&) = delete;
+  CapturingListener& operator=(const CapturingListener&) = delete;
+
+  void on_kernel_launch(const LaunchInfo& info) override {
+    Capture c;
+    c.name = info.name;
+    c.items = info.items;
+    c.slots = info.slots;
+    c.traffic = info.traffic;
+    if (info.slot_telemetry != nullptr) {
+      c.per_slot.reserve(info.slots);
+      for (unsigned s = 0; s < info.slots; ++s) {
+        const SlotTelemetry& t = info.slot_telemetry[s];
+        c.per_slot.push_back({t.items, t.bytes_read, t.bytes_written});
+      }
+    }
+    captures_.push_back(std::move(c));
+  }
+
+  [[nodiscard]] const std::vector<Capture>& captures() const {
+    return captures_;
+  }
+  /// All captures of one kernel name, in launch order.
+  [[nodiscard]] std::vector<Capture> named(std::string_view name) const {
+    std::vector<Capture> out;
+    for (const Capture& c : captures_) {
+      if (c.name == name) out.push_back(c);
+    }
+    return out;
+  }
+
+ private:
+  Device& device_;
+  LaunchListener* previous_;
+  std::vector<Capture> captures_;
+};
+
+// ---- launch stamping ---------------------------------------------------------
+
+TEST(TrafficStamping, PerItemScalesBySlotItemsAndSumsToLaunchTotal) {
+  Device device(4);
+  CapturingListener listener(device);
+  constexpr std::int64_t kN = 1000;  // above the inline-launch threshold
+  constexpr Traffic kPerItem{4, 8};
+  std::vector<std::int64_t> sink(static_cast<std::size_t>(kN), 0);
+  device.launch(
+      "test::modeled", kN,
+      [&](std::int64_t i) { sink[static_cast<std::size_t>(i)] = i; },
+      Schedule::kStatic, 0, nullptr, kPerItem);
+
+  ASSERT_EQ(listener.captures().size(), 1u);
+  const Capture& c = listener.captures().front();
+  EXPECT_EQ(c.traffic.bytes_read, kPerItem.bytes_read * kN);
+  EXPECT_EQ(c.traffic.bytes_written, kPerItem.bytes_written * kN);
+
+  // Per-slot bytes are exactly per_item x that slot's items, and the slot
+  // sums reproduce the launch total with no rounding residue.
+  std::int64_t items = 0;
+  for (const SlotSample& s : c.per_slot) {
+    EXPECT_EQ(s.bytes_read, kPerItem.bytes_read * s.items);
+    EXPECT_EQ(s.bytes_written, kPerItem.bytes_written * s.items);
+    items += s.items;
+  }
+  EXPECT_EQ(items, kN);
+  EXPECT_EQ(c.slot_total().bytes_read, c.traffic.bytes_read);
+  EXPECT_EQ(c.slot_total().bytes_written, c.traffic.bytes_written);
+}
+
+TEST(TrafficStamping, UnmodeledLaunchStampsZerosOverReusedTelemetry) {
+  Device device(4);
+  CapturingListener listener(device);
+  constexpr std::int64_t kN = 1000;
+  std::vector<std::int64_t> sink(static_cast<std::size_t>(kN), 0);
+  const auto body = [&](std::int64_t i) {
+    sink[static_cast<std::size_t>(i)] = i;
+  };
+  // A modeled launch first, so stale bytes in the reused telemetry array
+  // would be visible if the unmodeled launch failed to overwrite them.
+  device.launch("test::modeled", kN, body, Schedule::kStatic, 0, nullptr,
+                Traffic{16, 16});
+  device.launch("test::unmodeled", kN, body);
+
+  const std::vector<Capture> unmodeled = listener.named("test::unmodeled");
+  ASSERT_EQ(unmodeled.size(), 1u);
+  EXPECT_FALSE(unmodeled.front().traffic.modeled());
+  for (const SlotSample& s : unmodeled.front().per_slot) {
+    EXPECT_EQ(s.bytes_read, 0);
+    EXPECT_EQ(s.bytes_written, 0);
+  }
+}
+
+TEST(TrafficStamping, InlineSmallLaunchModelsOnSingleSlot) {
+  Device device(4);
+  CapturingListener listener(device);
+  constexpr std::int64_t kN = 8;  // below kInlineLaunchItems: one slot runs
+  constexpr Traffic kPerItem{4, 2};
+  std::vector<std::int64_t> sink(static_cast<std::size_t>(kN), 0);
+  device.launch(
+      "test::small", kN,
+      [&](std::int64_t i) { sink[static_cast<std::size_t>(i)] = i; },
+      Schedule::kStatic, 0, nullptr, kPerItem);
+
+  ASSERT_EQ(listener.captures().size(), 1u);
+  const Capture& c = listener.captures().front();
+  ASSERT_EQ(c.slots, 1u);
+  EXPECT_EQ(c.per_slot.front().items, kN);
+  EXPECT_EQ(c.per_slot.front().bytes_read, kPerItem.bytes_read * kN);
+  EXPECT_EQ(c.traffic.bytes_read, kPerItem.bytes_read * kN);
+}
+
+TEST(TrafficStamping, HostPassRecordsAbsoluteBytes) {
+  Device device(2);
+  CapturingListener listener(device);
+  device.host_pass("test::host", [] {}, Traffic{100, 50});
+
+  ASSERT_EQ(listener.captures().size(), 1u);
+  const Capture& c = listener.captures().front();
+  EXPECT_EQ(c.traffic.bytes_read, 100);
+  EXPECT_EQ(c.traffic.bytes_written, 50);
+  ASSERT_EQ(c.per_slot.size(), 1u);
+  EXPECT_EQ(c.per_slot.front().bytes_read, 100);
+  EXPECT_EQ(c.per_slot.front().bytes_written, 50);
+}
+
+// ---- primitive models, hand-counted ------------------------------------------
+
+TEST(TrafficModels, ExclusiveScanCountsBlockAndSeedBytes) {
+  Device device(4);
+  if (device.num_workers() < 2) GTEST_SKIP() << "needs the parallel path";
+  CapturingListener listener(device);
+  constexpr std::int64_t kN = 2048;  // >= 1024 so the launches happen
+  constexpr auto kElem = static_cast<std::int64_t>(sizeof(std::int64_t));
+  std::vector<std::int64_t> in(static_cast<std::size_t>(kN), 1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(kN));
+  const std::int64_t total = exclusive_scan<std::int64_t>(device, in, out);
+  EXPECT_EQ(total, kN);
+
+  const auto workers = static_cast<std::int64_t>(device.num_workers());
+  // Partials: each slot reads its block and writes one block sum.
+  const std::vector<Capture> partials = listener.named("sim::scan_partials");
+  ASSERT_EQ(partials.size(), 1u);
+  EXPECT_EQ(partials.front().traffic.bytes_read, kN * kElem);
+  EXPECT_EQ(partials.front().traffic.bytes_written, workers * kElem);
+  EXPECT_EQ(partials.front().slot_total().total(),
+            partials.front().traffic.total());
+  // Apply: each slot re-reads its block plus its seed and writes it back.
+  const std::vector<Capture> apply = listener.named("sim::scan_apply");
+  ASSERT_EQ(apply.size(), 1u);
+  EXPECT_EQ(apply.front().traffic.bytes_read, kN * kElem + workers * kElem);
+  EXPECT_EQ(apply.front().traffic.bytes_written, kN * kElem);
+}
+
+TEST(TrafficModels, ReduceCountsBlockReadsAndOnePartialPerSlot) {
+  Device device(4);
+  CapturingListener listener(device);
+  constexpr std::int64_t kN = 513;  // deliberately not divisible by 4
+  constexpr auto kElem = static_cast<std::int64_t>(sizeof(std::int64_t));
+  std::vector<std::int64_t> values(static_cast<std::size_t>(kN), 2);
+  EXPECT_EQ(reduce_sum<std::int64_t>(device, values), 2 * kN);
+
+  const std::vector<Capture> reduces = listener.named("sim::reduce");
+  ASSERT_EQ(reduces.size(), 1u);
+  const auto workers = static_cast<std::int64_t>(device.num_workers());
+  EXPECT_EQ(reduces.front().traffic.bytes_read, kN * kElem);
+  EXPECT_EQ(reduces.front().traffic.bytes_written, workers * kElem);
+  EXPECT_EQ(reduces.front().slot_total().bytes_read, kN * kElem);
+}
+
+TEST(TrafficModels, CompactCountsFlagScatterAndPredicateBytes) {
+  Device device(4);
+  CapturingListener listener(device);
+  constexpr std::int64_t kN = 400;
+  constexpr Traffic kPredPerItem{4, 0};
+  const std::vector<std::int64_t> kept = compact_indices(
+      device, kN, [](std::int64_t i) { return i % 2 == 0; }, kPredPerItem);
+  ASSERT_EQ(kept.size(), static_cast<std::size_t>(kN / 2));
+
+  // Flag pass: predicate reads plus one flag byte written per item.
+  const std::vector<Capture> flag = listener.named("sim::compact_flag_count");
+  ASSERT_EQ(flag.size(), 1u);
+  EXPECT_EQ(flag.front().traffic.bytes_read, kPredPerItem.bytes_read * kN);
+  EXPECT_EQ(flag.front().traffic.bytes_written, kN);
+  // Scatter pass: one flag byte re-read per item, one 8-byte index written
+  // per kept element; per-slot kept counts must sum exactly.
+  const std::vector<Capture> scatter = listener.named("sim::compact_scatter");
+  ASSERT_EQ(scatter.size(), 1u);
+  EXPECT_EQ(scatter.front().traffic.bytes_read, kN);
+  EXPECT_EQ(scatter.front().traffic.bytes_written,
+            (kN / 2) * static_cast<std::int64_t>(sizeof(std::int64_t)));
+  EXPECT_EQ(scatter.front().slot_total().bytes_written,
+            scatter.front().traffic.bytes_written);
+}
+
+TEST(TrafficModels, SegmentRangeAdvanceCountsPerPositionBytes) {
+  Device device(4);
+  CapturingListener listener(device);
+  // Three segments of degree 3, 2, 4: nine positions total.
+  const std::vector<std::int64_t> offsets{0, 3, 5, 9};
+  constexpr Traffic kPerPosition{4, 4};
+  std::vector<std::int64_t> touched(9, 0);
+  for_each_segment_range<std::int64_t>(
+      device, "test::advance", offsets,
+      [&](std::int64_t /*s*/, std::int64_t local_begin, std::int64_t local_end,
+          std::int64_t global_begin) {
+        for (std::int64_t k = local_begin; k < local_end; ++k) {
+          touched[static_cast<std::size_t>(global_begin +
+                                           (k - local_begin))] = 1;
+        }
+      },
+      nullptr, kPerPosition);
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), std::int64_t{0}),
+            9);
+
+  const std::vector<Capture> advance = listener.named("test::advance");
+  ASSERT_EQ(advance.size(), 1u);
+  EXPECT_EQ(advance.front().traffic.bytes_read, kPerPosition.bytes_read * 9);
+  EXPECT_EQ(advance.front().traffic.bytes_written,
+            kPerPosition.bytes_written * 9);
+  EXPECT_EQ(advance.front().slot_total().total(),
+            advance.front().traffic.total());
+}
+
+}  // namespace
+}  // namespace gcol::sim
