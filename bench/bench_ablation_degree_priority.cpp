@@ -34,7 +34,7 @@ void run_panel(const char* title, const graph::Csr& csr,
                            "grb_mis"}) {
     const color::AlgorithmSpec* spec = color::find_algorithm(name);
     const bench::Measurement m =
-        bench::run_averaged(*spec, csr, args.seed, args.runs, args.frontier_mode, args.reorder);
+        bench::run_averaged(*spec, csr, args.seed, args.runs, args.frontier_mode, args.reorder, args.graph_replay);
     if (!m.valid) {
       std::fprintf(stderr, "INVALID coloring from %s\n", name);
       std::exit(1);

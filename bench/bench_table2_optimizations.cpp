@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     const color::AlgorithmSpec* spec = color::find_algorithm(row.algorithm);
     const bench::Measurement m =
-        bench::run_averaged(*spec, csr, args.seed, args.runs, args.frontier_mode, args.reorder);
+        bench::run_averaged(*spec, csr, args.seed, args.runs, args.frontier_mode, args.reorder, args.graph_replay);
     if (!m.valid) {
       std::fprintf(stderr, "INVALID coloring from %s\n", row.algorithm);
       return 1;
@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
   for (const Row& row : palette_rows) {
     const color::AlgorithmSpec* spec = color::find_algorithm(row.algorithm);
     const bench::Measurement m =
-        bench::run_averaged(*spec, csr, args.seed, args.runs, args.frontier_mode, args.reorder);
+        bench::run_averaged(*spec, csr, args.seed, args.runs, args.frontier_mode, args.reorder, args.graph_replay);
     if (!m.valid) {
       std::fprintf(stderr, "INVALID coloring from %s\n", row.algorithm);
       return 1;

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Diff two gcol-bench JSON reports (see bench/common/bench_util.hpp).
 
-Accepts gcol-bench-v1 through -v6 reports (v2 adds a "meta"
+Accepts gcol-bench-v1 through -v7 reports (v2 adds a "meta"
 run-environment header and per-kernel imbalance fields; v3 adds the
 meta.streams key and optional batched-throughput records, which carry
 "kind": "batch" and are skipped here — batch throughput is compared by eye,
@@ -13,7 +13,11 @@ transparent to colors and launches, so a reorder mismatch warns the same
 way, flagging that wall-clock deltas are a layout ablation, not a code
 change; v6 adds the meta.hw_counters flag — were perf_event counters
 actually sampled — and meta.peak_gbps, the machine's measured STREAM-triad
-bandwidth, plus per-kernel traffic-model fields). Compares records
+bandwidth, plus per-kernel traffic-model fields; v7 adds the
+meta.graph_replay flag — did the runs execute under launch-graph capture &
+replay — plus per-kernel "graphed"/"barrier_intervals" fields, emitted only
+for kernels that replayed, so the BARRIERS lane below defaults
+barrier_intervals to launches for everything older). Compares records
 keyed by (dataset, algorithm) and reports, per pair: runtime (ms),
 kernel-launch count, color count deltas, and — when both sides carry
 telemetry — the time-weighted per-kernel load-imbalance delta. Wall time is
@@ -29,8 +33,11 @@ relative — that means a different machine (or memory config), not noise.
 
 Exit status is 0 unless --gate is passed, in which case the DETERMINISTIC
 regressions (LAUNCHES+, COLORS+, INVALID) fail the run. SLOWER,
-IMBALANCE+ and BANDWIDTH- (per-record achieved GB/s of the modeled
-traffic dropped by more than --bandwidth-tolerance) are always advisory —
+IMBALANCE+, BANDWIDTH- (per-record achieved GB/s of the modeled
+traffic dropped by more than --bandwidth-tolerance) and BARRIERS-
+(total worker barriers paid per record SHRANK — the launch-graph elision
+savings marker, printed so a replay-on vs replay-off diff quantifies what
+the recorded graphs bought) are always advisory —
 shared CI runners are too noisy to gate on wall time, and both imbalance
 and bandwidth are timing-derived ratios — but the flags still land in the
 table and the summary so real movement is visible in the job log.
@@ -49,7 +56,8 @@ import json
 import sys
 
 ACCEPTED_SCHEMAS = ("gcol-bench-v1", "gcol-bench-v2", "gcol-bench-v3",
-                    "gcol-bench-v4", "gcol-bench-v5", "gcol-bench-v6")
+                    "gcol-bench-v4", "gcol-bench-v5", "gcol-bench-v6",
+                    "gcol-bench-v7")
 
 # meta.peak_gbps is a measured float: ignore run-to-run jitter below this
 # relative difference, warn beyond it (a different machine or memory config).
@@ -130,6 +138,25 @@ def record_bandwidth(record: dict) -> float | None:
     return total_bytes / (total_ms * 1e6)
 
 
+def record_barriers(record: dict) -> int | None:
+    """Total worker barriers paid across one record's kernels.
+
+    v7 reports emit per-kernel "barrier_intervals" only for kernels that
+    replayed from a recorded launch graph (one barrier per interval head);
+    everything else — including every kernel of a pre-v7 or replay-off
+    report — paid one barrier per launch, so the count defaults to
+    "launches". None when the record carries no kernel table at all (a
+    custom/ablation record), so callers can skip the lane entirely.
+    """
+    kernels = (record.get("metrics") or {}).get("kernels") or {}
+    if not kernels:
+        return None
+    total = 0
+    for stat in kernels.values():
+        total += stat.get("barrier_intervals", stat.get("launches", 0))
+    return total
+
+
 def direction_launches(record: dict) -> dict[str, int]:
     """Launch counts per traversal direction for one record.
 
@@ -203,7 +230,8 @@ def compare(base_doc: dict, after_doc: dict, base_path: str, after_path: str,
 
     header = (f"{'dataset':<12} {'algorithm':<28} "
               f"{'ms before':>10} {'ms after':>10} {'Δms':>8} "
-              f"{'launches':>14} {'colors':>11} {'imbal':>12}  flags")
+              f"{'launches':>14} {'barriers':>14} {'colors':>11} "
+              f"{'imbal':>12}  flags")
     print(header)
     print("-" * len(header))
 
@@ -238,10 +266,23 @@ def compare(base_doc: dict, after_doc: dict, base_path: str, after_path: str,
         if b_bw is not None and a_bw is not None and b_bw > 0 and \
                 (b_bw - a_bw) / b_bw > bandwidth_tolerance:
             flags.append("BANDWIDTH-")
+        # Advisory BARRIERS- lane: total worker barriers paid SHRANK — the
+        # launch-graph elision savings marker. Launch counts are
+        # mode-invariant under replay (one per node, gated above), so a
+        # replay-on vs replay-off diff shows its win exactly here.
+        b_barriers = record_barriers(b)
+        a_barriers = record_barriers(a)
+        if b_barriers is not None and a_barriers is not None:
+            barriers_cell = f"{b_barriers:>6}->{a_barriers:<6}"
+            if a_barriers < b_barriers:
+                flags.append("BARRIERS-")
+        else:
+            barriers_cell = "-"
         print(f"{key[0]:<12} {key[1]:<28} "
               f"{b['ms']:>10.3f} {a['ms']:>10.3f} "
               f"{fmt_delta(b['ms'], a['ms']):>8} "
-              f"{launches_cell:>14} {colors_cell:>11} {imbal_cell:>12}  "
+              f"{launches_cell:>14} {barriers_cell:>14} {colors_cell:>11} "
+              f"{imbal_cell:>12}  "
               f"{' '.join(flags)}")
         if flags:
             regressions.append((key, flags))
@@ -259,6 +300,22 @@ def compare(base_doc: dict, after_doc: dict, base_path: str, after_path: str,
               f"push {base_dirs['push']}->{after_dirs['push']}  "
               f"pull {base_dirs['pull']}->{after_dirs['pull']}  "
               f"direction-less {base_dirs['none']}->{after_dirs['none']}")
+
+    # Aggregate barrier accounting: quantifies what launch-graph elision
+    # bought across the whole sweep (the per-record BARRIERS- flags say
+    # where; this line says how much).
+    barrier_pairs = [(record_barriers(base[k]), record_barriers(after[k]))
+                     for k in common]
+    barrier_pairs = [(b, a) for b, a in barrier_pairs
+                     if b is not None and a is not None]
+    if barrier_pairs:
+        b_total = sum(b for b, _ in barrier_pairs)
+        a_total = sum(a for _, a in barrier_pairs)
+        line = (f"total worker barriers (common pairs): {b_total}->{a_total}")
+        if b_total > 0:
+            line += f"  ({fmt_delta(b_total, a_total)})"
+        print()
+        print(line)
 
     print()
     gating = [(key, [f for f in flags if f in GATING_FLAGS])
@@ -555,6 +612,50 @@ def self_test() -> int:
     check("v6 LAUNCHES+ still gates",
           _run_compare(v6(), v6(launches=6)) == 1)
 
+    # v7 reports: meta.graph_replay (did the runs execute under launch-graph
+    # capture & replay) plus per-kernel graphed/barrier_intervals fields.
+    # The replay-vs-eager identity gate in CI is exactly this comparison:
+    # the meta mismatch warns, LAUNCHES+/COLORS+ still gate, and the
+    # advisory BARRIERS- lane quantifies the elision savings.
+    def v7(replay=False, kernels=None, launches=5):
+        return _doc([_record(kernels=kernels, launches=launches)],
+                    schema="gcol-bench-v7",
+                    meta={"workers": 1, "streams": 0, "simd": "avx2",
+                          "reorder": "identity", "hw_counters": False,
+                          "peak_gbps": 25.0, "graph_replay": replay})
+    check("v7 schema accepted", "gcol-bench-v7" in ACCEPTED_SCHEMAS)
+    check("v7 vs v7 compares", _run_compare(v7(), v7()) == 0)
+    out = []
+    code = _run_compare(v7(replay=False), v7(replay=True), capture=out)
+    check("meta.graph_replay mismatch warned, not gated",
+          code == 0 and "meta.graph_replay" in out[0])
+
+    def barrier_kernels(intervals=None, launches=5):
+        stat = {"launches": launches, "items": 100, "total_ms": 9.0}
+        if intervals is not None:
+            stat["graphed"] = launches
+            stat["barrier_intervals"] = intervals
+        return {"k": stat}
+    eager = v7(kernels=barrier_kernels())
+    replayed = v7(replay=True, kernels=barrier_kernels(intervals=2))
+    out = []
+    code = _run_compare(eager, replayed, capture=out)
+    check("BARRIERS- flagged advisory",
+          code == 0 and "BARRIERS-" in out[0])
+    check("barriers summary printed",
+          "total worker barriers (common pairs): 5->2" in out[0])
+    out = []
+    code = _run_compare(eager, v7(kernels=barrier_kernels()), capture=out)
+    check("equal barriers unflagged",
+          code == 0 and "BARRIERS-" not in out[0])
+    # Pre-v7 kernels (no barrier_intervals key) paid one barrier per launch.
+    check("barrier_intervals defaults to launches",
+          record_barriers(eager["records"][0]) == 5)
+    check("barriers lane skipped without kernel table",
+          record_barriers(_record()) is None)
+    check("v7 LAUNCHES+ still gates",
+          _run_compare(v7(), v7(launches=6)) == 1)
+
     if failures:
         print(f"self-test FAILED: {len(failures)} case(s)")
         return 1
@@ -579,8 +680,9 @@ def main() -> int:
                              "(default 0.25 = 25%%)")
     parser.add_argument("--gate", action="store_true",
                         help="exit non-zero on deterministic regressions "
-                             "(LAUNCHES+/COLORS+/INVALID; SLOWER and "
-                             "IMBALANCE+ stay advisory)")
+                             "(LAUNCHES+/COLORS+/INVALID; SLOWER, "
+                             "IMBALANCE+, BANDWIDTH- and BARRIERS- stay "
+                             "advisory)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the script's own unit tests and exit")
     args = parser.parse_args()

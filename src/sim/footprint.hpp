@@ -1,0 +1,133 @@
+#pragma once
+// Declared memory footprints for captured kernel launches (see
+// launch_graph.hpp). A Footprint names the buffer regions and scratch lanes a
+// launch reads and writes, plus an *access class* per region that encodes the
+// concurrency contract the launch's body already obeys:
+//
+//   exclusive — the default. A write here conflicts with any overlapping
+//               access in another node; the dependency pass keeps the two
+//               nodes in separate barrier intervals.
+//   aligned   — the node's accesses to this region from work item / slot i
+//               stay inside slot i's slice of a shared static partition of
+//               `domain` items (sim::slot_range). Two aligned accesses to the
+//               same region with the same domain depend only same-slot, and
+//               replay runs an interval's nodes in order within each slot —
+//               so an aligned write feeding an aligned read needs no barrier.
+//   relaxed   — a read that tolerates racing concurrent writes (the benign
+//               races the gunrock-style kernels already document: a racily
+//               colored neighbor is still compared / its color still lands in
+//               the forbidden set). A relaxed read never conflicts with a
+//               write; declaring one is a statement about the ALGORITHM, not
+//               the machine, and must be justified at the declaration site.
+//
+// An empty footprint means "unknown": the dependency pass is conservative and
+// gives the node its own barrier interval. Footprints are captured by value
+// at record time and never dereferenced — only pointer ranges are compared —
+// so a footprint may safely describe buffers the graph owner will resize
+// *between* replays only if it re-captures afterwards.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/scratch.hpp"
+
+namespace gcol::sim {
+
+enum class AccessClass : std::uint8_t {
+  kExclusive,  ///< write conflicts with any overlapping access
+  kAligned,    ///< same static partition of `domain` items as the peer node
+  kRelaxed,    ///< read tolerant of racing writes (documented benign race)
+};
+
+/// One contiguous byte range a captured launch touches.
+struct FootprintRegion {
+  const void* begin = nullptr;
+  const void* end = nullptr;
+  bool write = false;
+  AccessClass access = AccessClass::kExclusive;
+  /// For kAligned: the item count of the static partition the accesses are
+  /// aligned to (a range node's n, or a slot kernel's slot_range domain).
+  std::int64_t domain = 0;
+
+  [[nodiscard]] bool overlaps(const FootprintRegion& o) const noexcept {
+    return begin < o.end && o.begin < end;
+  }
+};
+
+/// Builder-style footprint: chain reads()/writes() calls and hand the result
+/// to Device::capture_footprint() immediately before the launch it describes.
+class Footprint {
+ public:
+  Footprint& reads(const void* p, std::int64_t bytes) {
+    return add(p, bytes, false, AccessClass::kExclusive, 0);
+  }
+  Footprint& writes(const void* p, std::int64_t bytes) {
+    return add(p, bytes, true, AccessClass::kExclusive, 0);
+  }
+  Footprint& reads_aligned(const void* p, std::int64_t bytes,
+                           std::int64_t domain) {
+    return add(p, bytes, false, AccessClass::kAligned, domain);
+  }
+  Footprint& writes_aligned(const void* p, std::int64_t bytes,
+                            std::int64_t domain) {
+    return add(p, bytes, true, AccessClass::kAligned, domain);
+  }
+  Footprint& reads_relaxed(const void* p, std::int64_t bytes) {
+    return add(p, bytes, false, AccessClass::kRelaxed, 0);
+  }
+
+  template <typename T>
+  Footprint& reads(std::span<const T> s) {
+    return reads(s.data(), static_cast<std::int64_t>(s.size_bytes()));
+  }
+  template <typename T>
+  Footprint& writes(std::span<T> s) {
+    return writes(s.data(), static_cast<std::int64_t>(s.size_bytes()));
+  }
+
+  /// Scratch-lane usage (per-context arena lanes, scratch.hpp). Lanes are a
+  /// coarser axis than regions: two nodes touching the same lane conflict
+  /// whenever either writes it, because a lane is one re-typeable block.
+  Footprint& reads_lane(ScratchLane lane) {
+    lanes_read_ |= lane_bit(lane);
+    return *this;
+  }
+  Footprint& writes_lane(ScratchLane lane) {
+    lanes_written_ |= lane_bit(lane);
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return regions_.empty() && lanes_read_ == 0 && lanes_written_ == 0;
+  }
+  [[nodiscard]] const std::vector<FootprintRegion>& regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] std::uint32_t lanes_read() const noexcept {
+    return lanes_read_;
+  }
+  [[nodiscard]] std::uint32_t lanes_written() const noexcept {
+    return lanes_written_;
+  }
+
+ private:
+  static std::uint32_t lane_bit(ScratchLane lane) noexcept {
+    return std::uint32_t{1} << static_cast<unsigned>(lane);
+  }
+
+  Footprint& add(const void* p, std::int64_t bytes, bool write,
+                 AccessClass access, std::int64_t domain) {
+    if (p != nullptr && bytes > 0) {
+      regions_.push_back({p, static_cast<const char*>(p) + bytes, write,
+                          access, domain});
+    }
+    return *this;
+  }
+
+  std::vector<FootprintRegion> regions_;
+  std::uint32_t lanes_read_ = 0;
+  std::uint32_t lanes_written_ = 0;
+};
+
+}  // namespace gcol::sim

@@ -1,0 +1,316 @@
+#include "sim/launch_graph.hpp"
+
+#include <cassert>
+
+namespace gcol::sim {
+
+std::atomic<unsigned> LaunchGraph::next_id_{1};
+
+void LaunchGraph::record_range(
+    const char* name, std::int64_t n, Schedule schedule, std::int64_t chunk,
+    const char* direction, Traffic per_item, Footprint footprint,
+    std::function<void(std::int64_t, std::int64_t)> body) {
+  finalized_ = false;
+  interval_starts_.clear();
+  Node node;
+  node.kind = Node::Kind::kRange;
+  node.name = name;
+  node.direction = direction;
+  node.n = n;
+  node.schedule = schedule;
+  node.chunk = chunk;
+  node.per_item = per_item;
+  node.footprint = std::move(footprint);
+  node.range_body = std::move(body);
+  if (schedule == Schedule::kDynamic) {
+    node.cursor = std::make_unique<std::atomic<std::int64_t>>(0);
+  }
+  nodes_.push_back(std::move(node));
+}
+
+void LaunchGraph::record_slots(
+    const char* name, const char* direction, Footprint footprint,
+    std::function<void(unsigned, unsigned)> body,
+    std::function<Traffic(unsigned, unsigned)> traffic_of) {
+  finalized_ = false;
+  interval_starts_.clear();
+  Node node;
+  node.kind = Node::Kind::kSlots;
+  node.name = name;
+  node.direction = direction;
+  node.footprint = std::move(footprint);
+  node.slot_body = std::move(body);
+  node.traffic_of = std::move(traffic_of);
+  nodes_.push_back(std::move(node));
+}
+
+void LaunchGraph::record_host(const char* name, Traffic traffic,
+                              Footprint footprint,
+                              std::function<void()> body) {
+  finalized_ = false;
+  interval_starts_.clear();
+  Node node;
+  node.kind = Node::Kind::kHost;
+  node.name = name;
+  node.direction = nullptr;
+  node.absolute = traffic;
+  node.footprint = std::move(footprint);
+  node.host_body = std::move(body);
+  nodes_.push_back(std::move(node));
+}
+
+bool LaunchGraph::aligned_valid(const Node& node,
+                                const FootprintRegion& region) noexcept {
+  if (region.access != AccessClass::kAligned || region.domain <= 0) {
+    return false;
+  }
+  switch (node.kind) {
+    case Node::Kind::kRange:
+      // Only a statically partitioned range over exactly `domain` items has
+      // the slot-stable slices aligned reasoning needs; dynamic scheduling
+      // hands chunks to whichever slot asks first.
+      return node.schedule == Schedule::kStatic && node.n == region.domain;
+    case Node::Kind::kSlots:
+      // Slot kernels carve their own slices; the declaration asserts they
+      // use slot_range(slot, num_slots, domain).
+      return true;
+    case Node::Kind::kHost:
+      // Host nodes run on slot 0 only — no partition to align to.
+      return false;
+  }
+  return false;
+}
+
+bool LaunchGraph::compatible(const Node& a, const Node& b) noexcept {
+  // Unknown footprints are conservative: never share an interval.
+  if (a.footprint.empty() || b.footprint.empty()) return false;
+  // Scratch lanes are single re-typeable blocks: any write to a lane the
+  // other node touches is a conflict regardless of declared classes.
+  if ((a.footprint.lanes_written() &
+       (b.footprint.lanes_read() | b.footprint.lanes_written())) != 0) {
+    return false;
+  }
+  if ((a.footprint.lanes_read() & b.footprint.lanes_written()) != 0) {
+    return false;
+  }
+  for (const FootprintRegion& ra : a.footprint.regions()) {
+    for (const FootprintRegion& rb : b.footprint.regions()) {
+      if (!ra.overlaps(rb)) continue;
+      if (!ra.write && !rb.write) continue;  // read/read never conflicts
+      // Same-partition dependence: replay runs interval nodes in order
+      // within each slot, so an aligned write feeding an aligned read (or a
+      // second aligned write) of the same domain is ordered per item.
+      if (ra.domain == rb.domain && aligned_valid(a, ra) &&
+          aligned_valid(b, rb)) {
+        continue;
+      }
+      // Declared-benign race: a relaxed read tolerates the concurrent write.
+      if (ra.write && !rb.write && rb.access == AccessClass::kRelaxed) {
+        continue;
+      }
+      if (rb.write && !ra.write && ra.access == AccessClass::kRelaxed) {
+        continue;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void LaunchGraph::finalize() {
+  if (finalized_) return;
+  interval_starts_.clear();
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    bool merge = !interval_starts_.empty();
+    if (merge) {
+      // B must be compatible with EVERY member of the open interval: an
+      // interval has no internal barriers, so all pairs run concurrently
+      // (up to the per-slot in-order guarantee aligned_valid encodes).
+      for (std::size_t j = interval_starts_.back(); j < k && merge; ++j) {
+        merge = compatible(nodes_[j], nodes_[k]);
+      }
+    }
+    if (!merge) interval_starts_.push_back(k);
+    nodes_[k].interval = static_cast<unsigned>(interval_starts_.size() - 1);
+  }
+  finalized_ = true;
+}
+
+void Device::replay(LaunchGraph& g) {
+  ExecContext& ctx = context();
+  assert(ctx.capture == nullptr && "replay inside capture is a logic error");
+  g.finalize();
+  if (g.nodes_.empty()) return;
+  const unsigned width = context_width(ctx);
+  LaunchListener* listener = ctx.listener.load(std::memory_order_acquire);
+  LaunchListener* tracer = trace_listener();
+  // The launch counter advances by the node count so Coloring's
+  // kernel_launches (the paper's global-sync proxy by NAME) matches eager
+  // execution; the barrier savings are reported via interval_head instead.
+  ctx.launches.fetch_add(g.nodes_.size(), std::memory_order_relaxed);
+  ++g.replays_;
+  const bool observed = listener != nullptr || tracer != nullptr;
+  HwSampler* sampler = observed ? hw_sampler() : nullptr;
+
+  using Node = LaunchGraph::Node;
+
+  // One slot's share of one node inside a barrier interval; returns the
+  // slot's item count (the same accounting dispatch_observed stamps).
+  const auto run_slot_share = [](const Node& node, unsigned slot,
+                                 unsigned slots) -> std::int64_t {
+    switch (node.kind) {
+      case Node::Kind::kRange: {
+        if (node.schedule == Schedule::kStatic || slots == 1) {
+          const auto [begin, end] = slot_range(slot, slots, node.n);
+          if (begin < end) node.range_body(begin, end);
+          return end - begin;
+        }
+        std::int64_t chunk = node.chunk;
+        if (chunk <= 0) {
+          chunk = default_chunk(node.n, static_cast<std::int64_t>(slots));
+        }
+        std::atomic<std::int64_t>& cursor = *node.cursor;
+        std::int64_t claimed = 0;
+        for (;;) {
+          const std::int64_t begin =
+              cursor.fetch_add(chunk, std::memory_order_relaxed);
+          if (begin >= node.n) break;
+          const std::int64_t end =
+              begin + chunk < node.n ? begin + chunk : node.n;
+          node.range_body(begin, end);
+          claimed += end - begin;
+        }
+        return claimed;
+      }
+      case Node::Kind::kSlots:
+        node.slot_body(slot, slots);
+        return 1;
+      case Node::Kind::kHost:
+        if (slot == 0) {
+          node.host_body();
+          return 1;
+        }
+        return 0;
+    }
+    return 0;
+  };
+
+  for (std::size_t iv = 0; iv < g.interval_starts_.size(); ++iv) {
+    const std::size_t first = g.interval_starts_[iv];
+    const std::size_t last = iv + 1 < g.interval_starts_.size()
+                                 ? g.interval_starts_[iv + 1]
+                                 : g.nodes_.size();
+    for (std::size_t k = first; k < last; ++k) {
+      if (g.nodes_[k].cursor) {
+        g.nodes_[k].cursor->store(0, std::memory_order_relaxed);
+      }
+    }
+    // Serial execution mirrors the eager fast paths exactly: a one-worker
+    // lane always, and intervals of only tiny range / host nodes (the
+    // kInlineLaunchItems tail regime). Slot kernels always fan out — every
+    // slot's body must run, as in eager launch_slots.
+    bool serial = width == 1;
+    if (!serial) {
+      serial = true;
+      for (std::size_t k = first; k < last && serial; ++k) {
+        const Node& node = g.nodes_[k];
+        serial = node.kind == Node::Kind::kHost ||
+                 (node.kind == Node::Kind::kRange &&
+                  node.n <= kInlineLaunchItems);
+      }
+    }
+    const unsigned slots = serial ? 1u : width;
+
+    if (!observed) {
+      if (serial) {
+        for (std::size_t k = first; k < last; ++k) {
+          run_slot_share(g.nodes_[k], 0, 1);
+        }
+      } else {
+        pool_.run_on(ctx.first_worker, width, [&](unsigned slot) {
+          for (std::size_t k = first; k < last; ++k) {
+            run_slot_share(g.nodes_[k], slot, width);
+          }
+        });
+      }
+      continue;
+    }
+
+    // Observed replay: ONE telemetry stamp per interval (per slot), with
+    // the interval's wall time and telemetry attributed to the head node.
+    const Stopwatch watch;
+    if (serial) {
+      SlotTelemetry& t = ctx.telemetry[0];
+      HwCounters hw_begin;
+      const bool hw_ok = sample_hw_begin(sampler, hw_begin);
+      t.start_ms = watch.elapsed_ms();
+      std::int64_t items = 0;
+      for (std::size_t k = first; k < last; ++k) {
+        items += run_slot_share(g.nodes_[k], 0, 1);
+      }
+      t.items = items;
+      t.end_ms = watch.elapsed_ms();
+      t.stream = ctx.stream;
+      sample_hw_end(t, sampler, hw_ok, hw_begin);
+    } else {
+      pool_.run_on(ctx.first_worker, width, [&](unsigned slot) {
+        SlotTelemetry& t = ctx.telemetry[slot];
+        HwCounters hw_begin;
+        const bool hw_ok = sample_hw_begin(sampler, hw_begin);
+        t.start_ms = watch.elapsed_ms();
+        std::int64_t items = 0;
+        for (std::size_t k = first; k < last; ++k) {
+          items += run_slot_share(g.nodes_[k], slot, width);
+        }
+        t.items = items;
+        t.end_ms = watch.elapsed_ms();
+        t.stream = ctx.stream;
+        sample_hw_end(t, sampler, hw_ok, hw_begin);
+      });
+    }
+    const double elapsed = watch.elapsed_ms();
+    // Per-node per-slot byte splits are not reconstructable after fusion;
+    // modeled traffic is carried per node in LaunchInfo.traffic below, and
+    // the reused telemetry array must not leak an earlier launch's bytes.
+    for (unsigned s = 0; s < slots; ++s) {
+      ctx.telemetry[s].bytes_read = 0;
+      ctx.telemetry[s].bytes_written = 0;
+    }
+    for (std::size_t k = first; k < last; ++k) {
+      const Node& node = g.nodes_[k];
+      Traffic traffic{};
+      switch (node.kind) {
+        case Node::Kind::kRange:
+          traffic = node.per_item * node.n;
+          break;
+        case Node::Kind::kSlots:
+          if (node.traffic_of) {
+            for (unsigned s = 0; s < slots; ++s) {
+              traffic += node.traffic_of(s, slots);
+            }
+          }
+          break;
+        case Node::Kind::kHost:
+          traffic = node.absolute;
+          break;
+      }
+      const bool head = k == first;
+      LaunchInfo info{node.name,
+                      node.items(slots),
+                      slots,
+                      head ? elapsed : 0.0,
+                      head ? ctx.telemetry.get() : nullptr,
+                      node.direction,
+                      ctx.stream,
+                      traffic,
+                      head && sampler != nullptr};
+      info.graphed = true;
+      info.interval_head = head;
+      info.graph_id = g.id_;
+      info.graph_node = static_cast<unsigned>(k);
+      notify(listener, tracer, info);
+    }
+  }
+}
+
+}  // namespace gcol::sim

@@ -1,0 +1,187 @@
+#pragma once
+// Launch-graph capture & replay — the virtual-GPU analogue of CUDA Graphs.
+//
+// Why: every coloring algorithm here is a FIXED per-iteration sequence of
+// kernel launches, and on this device each launch pays a full worker barrier
+// plus closure/telemetry setup — the dominant cost once frontiers shrink
+// (DESIGN.md §3a: the barrier IS the launch cost). Capturing the sequence
+// once and replaying it per iteration removes the per-launch setup, and —
+// the real win — lets a dependency pass over declared footprints merge
+// adjacent independent (or same-slot-dependent) nodes into one *barrier
+// interval*, so a round that eagerly paid N barriers replays under fewer.
+//
+// Capture: Device::begin_capture(graph) installs the graph as the context's
+// CaptureSink; each launch records its name, grid shape, schedule, traffic
+// model, declared footprint and a copied body instead of executing.
+// Device::end_capture() + finalize() runs the dependency pass.
+//
+// Elision legality (see footprint.hpp for the access classes): node B joins
+// the current interval iff for EVERY member A no region pair conflicts —
+// overlap involving a write is allowed only when (a) both sides are aligned
+// to the same static partition domain and both nodes are partition-stable
+// (static-schedule range nodes over exactly `domain` items, or slot kernels
+// declaring that domain), or (b) the read side is relaxed. Replay executes
+// an interval's nodes IN ORDER within each slot, which is what makes an
+// aligned write feeding an aligned read legal without a barrier. Host nodes
+// run on slot 0 only, so their aligned claims are ignored; dynamic-schedule
+// nodes have no stable partition, so theirs are too. Empty footprints are
+// conservative: the node gets its own interval.
+//
+// Replay: one ThreadPool barrier per interval. The launch count advances by
+// the full node count and listeners are notified once per node with the SAME
+// kernel names and item counts as the eager execution — so per-kernel
+// LAUNCHES and colors stay byte-identical replay-on vs replay-off, while
+// barrier_intervals (one per interval head + one per eager launch) shrinks.
+// A single-worker replay runs every node serially in record order, making it
+// bit-identical to eager execution at GCOL_THREADS=1.
+//
+// Lifetime contract: bodies are copied at capture, so everything they
+// capture by reference or pointer must outlive the graph's last replay.
+// Scratch-arena lanes regrow (and dangle), so graphed rounds bind their
+// kernels to graph-owned persistent buffers instead (the algorithm
+// conversions in src/core keep a RoundGraphs struct alive for the run).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/footprint.hpp"
+
+namespace gcol::sim {
+
+class LaunchGraph final : public CaptureSink {
+ public:
+  LaunchGraph()
+      : id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {}
+
+  LaunchGraph(const LaunchGraph&) = delete;
+  LaunchGraph& operator=(const LaunchGraph&) = delete;
+
+  // ---- CaptureSink ------------------------------------------------------
+  void record_range(const char* name, std::int64_t n, Schedule schedule,
+                    std::int64_t chunk, const char* direction,
+                    Traffic per_item, Footprint footprint,
+                    std::function<void(std::int64_t, std::int64_t)> body)
+      override;
+  void record_slots(const char* name, const char* direction,
+                    Footprint footprint,
+                    std::function<void(unsigned, unsigned)> body,
+                    std::function<Traffic(unsigned, unsigned)> traffic_of)
+      override;
+  void record_host(const char* name, Traffic traffic, Footprint footprint,
+                   std::function<void()> body) override;
+
+  /// Runs the dependency/elision pass, assigning every node to a barrier
+  /// interval. Idempotent; Device::replay calls it lazily, so explicit calls
+  /// are only needed to inspect interval structure before the first replay.
+  void finalize();
+
+  // ---- introspection ----------------------------------------------------
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  /// Barrier intervals after finalize(); equals node_count() when nothing
+  /// elided, 0 before finalize() on a non-empty graph.
+  [[nodiscard]] std::size_t interval_count() const noexcept {
+    return interval_starts_.size();
+  }
+  [[nodiscard]] std::uint64_t replay_count() const noexcept {
+    return replays_;
+  }
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  /// The interval index node `k` was assigned to (finalize() first).
+  [[nodiscard]] unsigned interval_of(std::size_t k) const noexcept {
+    return nodes_[k].interval;
+  }
+  [[nodiscard]] const char* node_name(std::size_t k) const noexcept {
+    return nodes_[k].name;
+  }
+
+ private:
+  friend class Device;  // Device::replay walks nodes/intervals directly
+
+  struct Node {
+    enum class Kind : std::uint8_t { kRange, kSlots, kHost };
+    Kind kind;
+    const char* name;
+    const char* direction;
+    std::int64_t n = 0;  ///< kRange: item count (kSlots/kHost: see items())
+    Schedule schedule = Schedule::kStatic;
+    std::int64_t chunk = 0;
+    Traffic per_item{};      ///< kRange traffic model (scaled by n)
+    Traffic absolute{};      ///< kHost traffic model
+    Footprint footprint;
+    unsigned interval = 0;   ///< assigned by finalize()
+    std::function<void(std::int64_t, std::int64_t)> range_body;
+    std::function<void(unsigned, unsigned)> slot_body;
+    std::function<void()> host_body;
+    std::function<Traffic(unsigned, unsigned)> traffic_of;  ///< kSlots only
+    /// kRange+kDynamic: the shared chunk cursor, reset before each replayed
+    /// interval (heap-allocated so nodes stay movable).
+    std::unique_ptr<std::atomic<std::int64_t>> cursor;
+
+    /// LaunchInfo::items for this node under `width` slots — mirrors what
+    /// the eager launch of the same kernel would have reported.
+    [[nodiscard]] std::int64_t items(unsigned width) const noexcept {
+      switch (kind) {
+        case Kind::kRange: return n;
+        case Kind::kSlots: return static_cast<std::int64_t>(width);
+        case Kind::kHost: return 1;
+      }
+      return 0;
+    }
+  };
+
+  /// True when `node` may share a barrier interval with earlier member `a`.
+  [[nodiscard]] static bool compatible(const Node& a, const Node& b) noexcept;
+  /// True when `region` of `node` can legally claim aligned access (the node
+  /// has a stable static partition of exactly region.domain items).
+  [[nodiscard]] static bool aligned_valid(const Node& node,
+                                          const FootprintRegion& region)
+      noexcept;
+
+  unsigned id_;
+  bool finalized_ = false;
+  std::uint64_t replays_ = 0;
+  std::vector<Node> nodes_;
+  /// First node index of each interval (finalize()); intervals are the
+  /// half-open ranges between consecutive starts.
+  std::vector<std::size_t> interval_starts_;
+
+  static std::atomic<unsigned> next_id_;
+};
+
+/// A tiny shape-keyed cache of recorded graphs for one algorithm run: round
+/// bodies whose grid shape varies (ping-pong buffer parity, per-round
+/// push/pull direction, frontier word count) capture one graph per distinct
+/// signature and replay on hits. Linear scan — runs hold a handful of
+/// shapes. Graphs reference run-local state, so the cache lives exactly as
+/// long as the run.
+class GraphCache {
+ public:
+  /// The graph recorded under `key`, or nullptr (capture one via emplace).
+  [[nodiscard]] LaunchGraph* find(std::uint64_t key) noexcept {
+    for (auto& entry : entries_) {
+      if (entry.first == key) return entry.second.get();
+    }
+    return nullptr;
+  }
+
+  LaunchGraph& emplace(std::uint64_t key) {
+    entries_.emplace_back(key, std::make_unique<LaunchGraph>());
+    return *entries_.back().second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::unique_ptr<LaunchGraph>>>
+      entries_;
+};
+
+}  // namespace gcol::sim

@@ -1,0 +1,467 @@
+// Unit tests for the launch-graph capture/replay subsystem (DESIGN.md §3i):
+// capture semantics (record-don't-execute), the dependency/elision legality
+// rules on hand-built graphs with known disjoint and overlapping footprints,
+// replay correctness and listener accounting, the shape-keyed GraphCache,
+// and — as a regression pin — stream identity / slot telemetry stamping on
+// the kInlineLaunchItems inline-execution path and on replayed intervals.
+
+#include "sim/launch_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/footprint.hpp"
+#include "sim/stream.hpp"
+
+namespace gcol::sim {
+namespace {
+
+/// Captures every LaunchInfo (with a copy of the head-node telemetry) for
+/// later assertions. Installed context-scoped, so no synchronization needed.
+class RecordingListener final : public LaunchListener {
+ public:
+  struct Record {
+    std::string name;
+    std::int64_t items = 0;
+    unsigned slots = 0;
+    unsigned stream = 0;
+    bool graphed = false;
+    bool interval_head = false;
+    unsigned graph_id = 0;
+    unsigned graph_node = 0;
+    bool has_telemetry = false;
+    std::int64_t slot0_items = 0;
+    unsigned slot0_stream = 0;
+    Traffic traffic{};
+  };
+
+  void on_kernel_launch(const LaunchInfo& info) override {
+    Record r;
+    r.name = info.name;
+    r.items = info.items;
+    r.slots = info.slots;
+    r.stream = info.stream;
+    r.graphed = info.graphed;
+    r.interval_head = info.interval_head;
+    r.graph_id = info.graph_id;
+    r.graph_node = info.graph_node;
+    r.traffic = info.traffic;
+    if (info.slot_telemetry != nullptr) {
+      r.has_telemetry = true;
+      r.slot0_items = info.slot_telemetry[0].items;
+      r.slot0_stream = info.slot_telemetry[0].stream;
+    }
+    records.push_back(r);
+  }
+
+  std::vector<Record> records;
+};
+
+constexpr std::int64_t kN = 256;
+constexpr std::int64_t kBytes = kN * static_cast<std::int64_t>(sizeof(int));
+
+/// Records `graph` on `device` as `count` static range nodes over buffers
+/// described by `footprints` (one per node); bodies are no-ops — these
+/// graphs exist to probe the elision pass, not to compute.
+void capture_nodes(Device& device, LaunchGraph& graph,
+                   const std::vector<Footprint>& footprints,
+                   Schedule schedule = Schedule::kStatic) {
+  device.begin_capture(graph);
+  for (const Footprint& fp : footprints) {
+    device.capture_footprint(fp);
+    device.launch("test::node", kN, [](std::int64_t) {}, schedule);
+  }
+  device.end_capture();
+  graph.finalize();
+}
+
+TEST(LaunchGraphCapture, RecordsInsteadOfExecuting) {
+  Device device(2);
+  LaunchGraph graph;
+  int runs = 0;
+  device.reset_launch_count();
+  device.begin_capture(graph);
+  EXPECT_TRUE(device.capturing());
+  device.launch("test::captured", 100, [&](std::int64_t) { ++runs; });
+  device.launch_slots("test::slots", [&](unsigned, unsigned) { ++runs; });
+  device.host_pass("test::host", [&] { ++runs; });
+  device.end_capture();
+  EXPECT_FALSE(device.capturing());
+  EXPECT_EQ(runs, 0);                       // nothing executed
+  EXPECT_EQ(device.launch_count(), 0u);     // capture doesn't count launches
+  EXPECT_EQ(graph.node_count(), 3u);
+  EXPECT_EQ(graph.replay_count(), 0u);
+}
+
+TEST(LaunchGraphElision, DisjointExclusiveWritesShareOneInterval) {
+  Device device(2);
+  std::vector<int> a(kN), b(kN);
+  LaunchGraph graph;
+  capture_nodes(device, graph,
+                {Footprint{}.writes(a.data(), kBytes),
+                 Footprint{}.writes(b.data(), kBytes)});
+  EXPECT_EQ(graph.node_count(), 2u);
+  EXPECT_EQ(graph.interval_count(), 1u);  // disjoint buffers: fused
+  EXPECT_EQ(graph.interval_of(0), graph.interval_of(1));
+}
+
+TEST(LaunchGraphElision, OverlappingExclusiveWriteSplitsIntervals) {
+  Device device(2);
+  std::vector<int> a(kN);
+  LaunchGraph graph;
+  capture_nodes(device, graph,
+                {Footprint{}.writes(a.data(), kBytes),
+                 Footprint{}.reads(a.data(), kBytes)});
+  EXPECT_EQ(graph.interval_count(), 2u);  // exclusive write -> read: barrier
+}
+
+TEST(LaunchGraphElision, ReadReadOverlapFuses) {
+  Device device(2);
+  std::vector<int> a(kN);
+  LaunchGraph graph;
+  capture_nodes(device, graph,
+                {Footprint{}.reads(a.data(), kBytes),
+                 Footprint{}.reads(a.data(), kBytes)});
+  EXPECT_EQ(graph.interval_count(), 1u);
+}
+
+TEST(LaunchGraphElision, AlignedSameDomainWriteFeedingReadFuses) {
+  Device device(2);
+  std::vector<int> a(kN);
+  LaunchGraph graph;
+  // Static partition of the same kN-item domain on both sides: replay runs
+  // interval nodes in order within each slot, so the dependence is honored
+  // without a barrier.
+  capture_nodes(device, graph,
+                {Footprint{}.writes_aligned(a.data(), kBytes, kN),
+                 Footprint{}.reads_aligned(a.data(), kBytes, kN)});
+  EXPECT_EQ(graph.interval_count(), 1u);
+}
+
+TEST(LaunchGraphElision, AlignedDifferentDomainSplits) {
+  Device device(2);
+  std::vector<int> a(kN);
+  LaunchGraph graph;
+  capture_nodes(device, graph,
+                {Footprint{}.writes_aligned(a.data(), kBytes, kN),
+                 Footprint{}.reads_aligned(a.data(), kBytes, kN / 2)});
+  EXPECT_EQ(graph.interval_count(), 2u);  // partitions disagree: barrier
+}
+
+TEST(LaunchGraphElision, DynamicScheduleInvalidatesAlignedClaim) {
+  Device device(2);
+  std::vector<int> a(kN);
+  LaunchGraph graph;
+  // Same aligned declaration as the fusing case, but dynamic chunks land on
+  // whichever slot asks first — no stable partition, so no elision.
+  capture_nodes(device, graph,
+                {Footprint{}.writes_aligned(a.data(), kBytes, kN),
+                 Footprint{}.reads_aligned(a.data(), kBytes, kN)},
+                Schedule::kDynamic);
+  EXPECT_EQ(graph.interval_count(), 2u);
+}
+
+TEST(LaunchGraphElision, AlignedClaimOnMismatchedGridSplits) {
+  Device device(2);
+  std::vector<int> a(kN);
+  LaunchGraph graph;
+  device.begin_capture(graph);
+  device.capture_footprint(Footprint{}.writes_aligned(a.data(), kBytes, kN));
+  device.launch("test::writer", kN, [](std::int64_t) {});
+  device.capture_footprint(Footprint{}.reads_aligned(a.data(), kBytes, kN));
+  // Grid of kN/2 items cannot be partition-aligned to a kN-item domain.
+  device.launch("test::reader", kN / 2, [](std::int64_t) {});
+  device.end_capture();
+  graph.finalize();
+  EXPECT_EQ(graph.interval_count(), 2u);
+}
+
+TEST(LaunchGraphElision, RelaxedReadToleratesOverlappingWrite) {
+  Device device(2);
+  std::vector<int> a(kN);
+  LaunchGraph graph;
+  capture_nodes(device, graph,
+                {Footprint{}.writes(a.data(), kBytes),
+                 Footprint{}.reads_relaxed(a.data(), kBytes)});
+  EXPECT_EQ(graph.interval_count(), 1u);  // declared benign race
+}
+
+TEST(LaunchGraphElision, EmptyFootprintIsConservative) {
+  Device device(2);
+  std::vector<int> a(kN), b(kN);
+  LaunchGraph graph;
+  device.begin_capture(graph);
+  device.capture_footprint(Footprint{}.writes(a.data(), kBytes));
+  device.launch("test::declared", kN, [](std::int64_t) {});
+  // No footprint declared: unknown accesses, own barrier interval.
+  device.launch("test::undeclared", kN, [](std::int64_t) {});
+  device.capture_footprint(Footprint{}.writes(b.data(), kBytes));
+  device.launch("test::declared2", kN, [](std::int64_t) {});
+  device.end_capture();
+  graph.finalize();
+  EXPECT_EQ(graph.interval_count(), 3u);
+}
+
+TEST(LaunchGraphElision, ScratchLaneWriteConflicts) {
+  Device device(2);
+  std::vector<int> a(kN), b(kN);
+  LaunchGraph graph;
+  capture_nodes(
+      device, graph,
+      {Footprint{}.writes(a.data(), kBytes).writes_lane(ScratchLane::kPartials),
+       Footprint{}.reads(b.data(), kBytes).reads_lane(ScratchLane::kPartials)});
+  EXPECT_EQ(graph.interval_count(), 2u);  // lanes are one re-typeable block
+}
+
+TEST(LaunchGraphElision, HostNodeNeverClaimsAlignment) {
+  Device device(2);
+  std::vector<int> a(kN);
+  LaunchGraph graph;
+  device.begin_capture(graph);
+  device.capture_footprint(Footprint{}.writes_aligned(a.data(), kBytes, kN));
+  device.launch("test::writer", kN, [](std::int64_t) {});
+  device.capture_footprint(Footprint{}.reads_aligned(a.data(), kBytes, kN));
+  device.host_pass("test::host_reader", [] {});
+  device.end_capture();
+  graph.finalize();
+  EXPECT_EQ(graph.interval_count(), 2u);  // host runs on slot 0 only
+}
+
+/// Replay of a two-node aligned pipeline (fill then double, one interval)
+/// computes the same result as eager execution, across repeated replays.
+TEST(LaunchGraphReplay, FusedPipelineComputesCorrectly) {
+  Device device(4);
+  std::vector<int> a(kN, 0), b(kN, 0);
+  int* pa = a.data();
+  int* pb = b.data();
+  LaunchGraph graph;
+  device.begin_capture(graph);
+  device.capture_footprint(Footprint{}.writes_aligned(pa, kBytes, kN));
+  device.launch("test::fill", kN, [pa](std::int64_t i) {
+    pa[static_cast<std::size_t>(i)] = static_cast<int>(i);
+  });
+  device.capture_footprint(Footprint{}
+                               .reads_aligned(pa, kBytes, kN)
+                               .writes_aligned(pb, kBytes, kN));
+  device.launch("test::double", kN, [pa, pb](std::int64_t i) {
+    pb[static_cast<std::size_t>(i)] = 2 * pa[static_cast<std::size_t>(i)];
+  });
+  device.end_capture();
+  graph.finalize();
+  EXPECT_EQ(graph.interval_count(), 1u);
+
+  for (int replay = 0; replay < 3; ++replay) {
+    std::fill(a.begin(), a.end(), 0);
+    std::fill(b.begin(), b.end(), 0);
+    device.replay(graph);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(a[static_cast<std::size_t>(i)], static_cast<int>(i));
+      ASSERT_EQ(b[static_cast<std::size_t>(i)], static_cast<int>(2 * i));
+    }
+  }
+  EXPECT_EQ(graph.replay_count(), 3u);
+}
+
+TEST(LaunchGraphReplay, DynamicNodeCoversRangeOnEveryReplay) {
+  Device device(4);
+  std::vector<std::atomic<int>> hits(kN);
+  auto* ph = hits.data();
+  LaunchGraph graph;
+  device.begin_capture(graph);
+  device.launch(
+      "test::dyn", kN,
+      [ph](std::int64_t i) { ph[i].fetch_add(1, std::memory_order_relaxed); },
+      Schedule::kDynamic, 7);
+  device.end_capture();
+  // The shared chunk cursor must reset between replays.
+  device.replay(graph);
+  device.replay(graph);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 2);
+}
+
+TEST(LaunchGraphReplay, LaunchCountAdvancesByNodeCount) {
+  Device device(2);
+  std::vector<int> a(kN), b(kN);
+  LaunchGraph graph;
+  capture_nodes(device, graph,
+                {Footprint{}.writes(a.data(), kBytes),
+                 Footprint{}.writes(b.data(), kBytes)});
+  device.reset_launch_count();
+  device.replay(graph);
+  EXPECT_EQ(device.launch_count(), 2u);  // per NODE, matching eager counts
+  device.replay(graph);
+  EXPECT_EQ(device.launch_count(), 4u);
+}
+
+TEST(LaunchGraphReplay, ListenerSeesEveryNodeWithGraphIdentity) {
+  Device device(4);
+  std::vector<int> a(kN), b(kN);
+  LaunchGraph graph;
+  capture_nodes(device, graph,
+                {Footprint{}.writes(a.data(), kBytes),
+                 Footprint{}.writes(b.data(), kBytes)});
+  ASSERT_EQ(graph.interval_count(), 1u);
+
+  RecordingListener listener;
+  device.set_launch_listener(&listener);
+  device.replay(graph);
+  device.set_launch_listener(nullptr);
+
+  ASSERT_EQ(listener.records.size(), 2u);
+  const auto& head = listener.records[0];
+  const auto& tail = listener.records[1];
+  EXPECT_TRUE(head.graphed);
+  EXPECT_TRUE(head.interval_head);
+  EXPECT_EQ(head.graph_id, graph.id());
+  EXPECT_EQ(head.graph_node, 0u);
+  EXPECT_TRUE(head.has_telemetry);  // interval telemetry rides the head
+  EXPECT_EQ(head.items, kN);
+  EXPECT_TRUE(tail.graphed);
+  EXPECT_FALSE(tail.interval_head);  // fused: no second barrier, no stamp
+  EXPECT_EQ(tail.graph_node, 1u);
+  EXPECT_FALSE(tail.has_telemetry);
+  // Per-kernel names/items match what eager launches would have reported.
+  EXPECT_EQ(head.name, "test::node");
+  EXPECT_EQ(tail.items, kN);
+}
+
+TEST(LaunchGraphReplay, SingleWorkerReplayIsSerialRecordOrder) {
+  Device device(1);
+  std::vector<std::int64_t> order;
+  auto* po = &order;
+  LaunchGraph graph;
+  device.begin_capture(graph);
+  device.capture_footprint(Footprint{}.writes(po, 1));
+  device.launch("test::first", 8,
+                [po](std::int64_t i) { po->push_back(i); });
+  device.capture_footprint(Footprint{}.writes(po, 1));
+  device.launch("test::second", 8,
+                [po](std::int64_t i) { po->push_back(100 + i); });
+  device.end_capture();
+  device.replay(graph);
+  // Byte-identical to eager: strictly ascending within each node, nodes in
+  // record order (this is what makes replay-on vs replay-off colors equal
+  // at GCOL_THREADS=1 for every algorithm).
+  ASSERT_EQ(order.size(), 16u);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(order[static_cast<std::size_t>(8 + i)], 100 + i);
+  }
+}
+
+TEST(LaunchGraphReplay, SlotKernelRunsEverySlot) {
+  Device device(3);
+  std::vector<int> marks(3, 0);
+  auto* pm = marks.data();
+  LaunchGraph graph;
+  device.begin_capture(graph);
+  device.launch_slots("test::slots", [pm](unsigned slot, unsigned) {
+    pm[slot] = 1;
+  });
+  device.end_capture();
+  device.replay(graph);
+  for (const int m : marks) EXPECT_EQ(m, 1);
+}
+
+TEST(LaunchGraphReplay, EmptyGraphIsANoOp) {
+  Device device(2);
+  LaunchGraph graph;
+  device.reset_launch_count();
+  device.replay(graph);
+  EXPECT_EQ(device.launch_count(), 0u);
+  EXPECT_EQ(graph.interval_count(), 0u);
+}
+
+TEST(GraphCache, KeyedFindAndEmplace) {
+  GraphCache cache;
+  EXPECT_EQ(cache.find(0), nullptr);
+  LaunchGraph& g0 = cache.emplace(0);
+  LaunchGraph& g2 = cache.emplace(2);
+  EXPECT_EQ(cache.find(0), &g0);
+  EXPECT_EQ(cache.find(2), &g2);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(g0.id(), g2.id());
+}
+
+// ---------------------------------------------------------------------------
+// Inline-path stream attribution (regression pin). Grids at or below
+// kInlineLaunchItems execute inline on the launching thread; the observed
+// inline path must still stamp slot 0's {items, stream} telemetry and the
+// LaunchInfo stream id, or tiny tail-iteration launches vanish from
+// per-stream kernel attribution. The stream-mask threading has handled this
+// since the multi-stream executor PR — these tests pin it against
+// regression (an earlier draft of the inline fast path skipped the stamp).
+// ---------------------------------------------------------------------------
+
+TEST(InlineLaunchTelemetry, DefaultContextStampsSlotZero) {
+  Device device(4);
+  RecordingListener listener;
+  device.set_launch_listener(&listener);
+  device.launch("test::tiny", kInlineLaunchItems, [](std::int64_t) {},
+                Schedule::kStatic, 0, nullptr, Traffic{8, 4});
+  device.set_launch_listener(nullptr);
+
+  ASSERT_EQ(listener.records.size(), 1u);
+  const auto& r = listener.records[0];
+  EXPECT_EQ(r.slots, 1u);  // inline: one slot regardless of device width
+  ASSERT_TRUE(r.has_telemetry);
+  EXPECT_EQ(r.slot0_items, kInlineLaunchItems);
+  EXPECT_EQ(r.slot0_stream, 0u);  // default context
+  EXPECT_EQ(r.stream, 0u);
+  EXPECT_EQ(r.traffic.bytes_read, 8 * kInlineLaunchItems);
+  EXPECT_EQ(r.traffic.bytes_written, 4 * kInlineLaunchItems);
+}
+
+TEST(InlineLaunchTelemetry, StreamLaunchStampsStreamId) {
+  Device device(4);
+  RecordingListener listener;
+  Stream stream(device, 2);
+  // The metrics listener is context-scoped: install it from the stream's
+  // thread so the stream's launches notify it.
+  stream.submit([&] { device.set_launch_listener(&listener); });
+  stream.launch("test::tiny_stream", 4, [](std::int64_t) {});
+  stream.submit([&] { device.set_launch_listener(nullptr); });
+  stream.synchronize();
+
+  ASSERT_EQ(listener.records.size(), 1u);
+  const auto& r = listener.records[0];
+  EXPECT_EQ(r.slots, 1u);
+  EXPECT_EQ(r.stream, stream.id());  // inline launches carry stream identity
+  ASSERT_TRUE(r.has_telemetry);
+  EXPECT_EQ(r.slot0_stream, stream.id());
+  EXPECT_EQ(r.slot0_items, 4);
+}
+
+TEST(InlineLaunchTelemetry, ReplayedIntervalStampsStreamOnHead) {
+  Device device(4);
+  std::vector<int> a(8, 0);
+  int* pa = a.data();
+  LaunchGraph graph;
+  device.begin_capture(graph);
+  device.launch("test::tiny_graphed", 8, [pa](std::int64_t i) {
+    pa[static_cast<std::size_t>(i)] = 1;
+  });
+  device.end_capture();
+
+  RecordingListener listener;
+  device.set_launch_listener(&listener);
+  device.replay(graph);
+  device.set_launch_listener(nullptr);
+
+  ASSERT_EQ(listener.records.size(), 1u);
+  const auto& r = listener.records[0];
+  EXPECT_TRUE(r.graphed);
+  EXPECT_TRUE(r.interval_head);
+  ASSERT_TRUE(r.has_telemetry);
+  EXPECT_EQ(r.slot0_stream, 0u);
+  EXPECT_EQ(r.slot0_items, 8);
+  for (const int v : a) EXPECT_EQ(v, 1);
+}
+
+}  // namespace
+}  // namespace gcol::sim
